@@ -1,0 +1,124 @@
+//! Criterion microbenchmarks of the substrates: cache access, branch
+//! prediction, IFQ operations, functional interpretation, cycle-level
+//! simulation, and the SPEAR compiler pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spear_bpred::{Predictor, PredictorConfig};
+use spear_compiler::{CompilerConfig, SpearCompiler};
+use spear_cpu::{Core, CoreConfig};
+use spear_exec::Interp;
+use spear_isa::{Inst, Opcode, SpearBinary};
+use spear_mem::{AccessKind, HierConfig, Hierarchy};
+use spear_workloads::by_name;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+    // Streaming hits. The clock advances as a real core's would; a frozen
+    // timestamp would make in-flight-fill entries unexpirable and measure
+    // a degenerate prune path instead.
+    let mut h = Hierarchy::new(HierConfig::paper());
+    let mut addr = 0u64;
+    let mut now = 0u64;
+    g.bench_function("l1d_stream", |b| {
+        b.iter(|| {
+            addr = (addr + 8) & 0xFFF; // 4 KiB loop: all hits after warmup
+            now += 1;
+            h.access_data(addr, AccessKind::Read, 0, false, now)
+        })
+    });
+    // Random misses.
+    let mut h = Hierarchy::new(HierConfig::paper());
+    let mut x = 0x9E3779B97F4A7C15u64;
+    let mut now = 0u64;
+    g.bench_function("l1d_random_4m", |b| {
+        b.iter(|| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            now += 4;
+            h.access_data(x & 0x3F_FFFF, AccessKind::Read, 0, false, now)
+        })
+    });
+    g.finish();
+}
+
+fn bench_bpred(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bpred");
+    g.throughput(Throughput::Elements(1));
+    let mut p = Predictor::new(PredictorConfig::paper());
+    let br = Inst::new(Opcode::Bne, spear_isa::reg::R0, spear_isa::reg::R1, spear_isa::reg::R0, 7);
+    let mut i = 0u32;
+    g.bench_function("predict_update", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let pred = p.predict(i & 1023, &br);
+            p.update(i & 1023, &br, !i.is_multiple_of(3), 7, Some(pred));
+        })
+    });
+    g.finish();
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interp");
+    let w = by_name("field").expect("field workload");
+    let p = w.profile_program();
+    let mut i = Interp::new(&p);
+    i.run(u64::MAX).unwrap();
+    let icount = i.icount;
+    g.throughput(Throughput::Elements(icount));
+    g.sample_size(10);
+    g.bench_function("field_profile_run", |b| {
+        b.iter(|| {
+            let mut i = Interp::new(&p);
+            i.run(u64::MAX).unwrap();
+            i.icount
+        })
+    });
+    g.finish();
+}
+
+fn bench_cycle_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cycle_sim");
+    let w = by_name("field").expect("field workload");
+    let binary = SpearBinary::plain(w.profile_program());
+    let mut core = Core::new(&binary, CoreConfig::baseline());
+    let res = core.run(u64::MAX, u64::MAX).unwrap();
+    g.throughput(Throughput::Elements(res.stats.committed));
+    g.sample_size(10);
+    g.bench_function("field_baseline_run", |b| {
+        b.iter(|| {
+            let mut core = Core::new(&binary, CoreConfig::baseline());
+            core.run(u64::MAX, u64::MAX).unwrap().stats.committed
+        })
+    });
+    g.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler");
+    let w = by_name("mcf").expect("mcf workload");
+    let p = w.profile_program();
+    g.sample_size(10);
+    g.bench_function("mcf_full_pipeline", |b| {
+        b.iter(|| {
+            SpearCompiler::new(CompilerConfig::default())
+                .compile(&p)
+                .unwrap()
+                .1
+                .built
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_bpred,
+    bench_interp,
+    bench_cycle_sim,
+    bench_compiler
+);
+criterion_main!(benches);

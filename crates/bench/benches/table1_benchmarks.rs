@@ -1,0 +1,21 @@
+//! **Table 1** — benchmark inventory with simulated instruction counts.
+//!
+//! The paper lists each benchmark's suite and simulated instruction count;
+//! this harness prints the same inventory for our kernels (evaluation and
+//! profiling inputs).
+
+use spear::experiments::table1;
+use spear::report;
+
+fn main() {
+    let mut workloads = spear_workloads::all();
+    if spear_bench::fast_mode() {
+        // SPEAR_BENCH_FAST=1: a 4-benchmark smoke subset for CI.
+        workloads.retain(|w| ["field", "mcf", "matrix", "fft"].contains(&w.name));
+    }
+    print!("{}", report::header("Table 1 — benchmark inventory"));
+    let rows = table1(&workloads);
+    print!("{}", report::table1(&rows));
+    let total: u64 = rows.iter().map(|r| r.eval_insts).sum();
+    println!("\n  total evaluation instructions: {total}");
+}

@@ -1,0 +1,11 @@
+//! **Table 2** — simulation parameters for every evaluated machine model.
+
+use spear::report;
+use spear::Machine;
+
+fn main() {
+    for m in Machine::ALL {
+        print!("{}", report::header(&format!("Table 2 — {m}")));
+        print!("{}", report::table2(&m.config(None)));
+    }
+}

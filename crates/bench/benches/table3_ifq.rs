@@ -1,0 +1,22 @@
+//! **Table 3** — effect of the longer IFQ: SPEAR-256 over SPEAR-128 per
+//! benchmark, against the branch hit ratio and instructions-per-branch.
+//!
+//! Paper: matrix gains the most from the longer queue (1.45, hit ratio
+//! 0.9942); update and tr lose slightly (0.94 and 0.99) due to their low
+//! branch hit ratios — "the effectiveness of the long IFQ strongly
+//! depends on the branch prediction of the main thread".
+
+use spear::experiments::{compile_all, fig6, table3};
+use spear::report;
+
+fn main() {
+    let mut workloads = spear_workloads::all();
+    if spear_bench::fast_mode() {
+        // SPEAR_BENCH_FAST=1: a 4-benchmark smoke subset for CI.
+        workloads.retain(|w| ["field", "mcf", "matrix", "fft"].contains(&w.name));
+    }
+    let compiled = compile_all(&workloads);
+    let m = fig6(&compiled);
+    print!("{}", report::header("Table 3 — longer-IFQ enhancement vs branch behaviour"));
+    print!("{}", report::table3(&table3(&m)));
+}

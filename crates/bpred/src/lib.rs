@@ -1,0 +1,316 @@
+//! # spear-bpred — branch prediction
+//!
+//! The paper's front end uses a bimodal predictor with a 2048-entry table
+//! (Table 2). This crate provides that predictor, a gshare alternative for
+//! ablations, a branch target buffer for indirect jumps, and a return
+//! address stack, behind one [`Predictor`] facade that the fetch stage
+//! drives.
+//!
+//! Direction state is updated at branch *resolution* on the true path only
+//! (the core calls [`Predictor::update`] when a branch executes), so
+//! wrong-path fetches never pollute the tables — the same discipline
+//! `sim-outorder` uses.
+
+pub mod ras;
+pub mod tables;
+
+pub use ras::ReturnStack;
+pub use tables::{Bimodal, Btb, Gshare};
+
+use serde::{Deserialize, Serialize};
+use spear_isa::{Inst, OpShape};
+
+/// Which direction predictor to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// 2-bit saturating counters indexed by PC (the paper's predictor).
+    Bimodal,
+    /// Global-history-xor-PC indexing (ablation).
+    Gshare,
+}
+
+/// Predictor configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Direction predictor flavour.
+    pub kind: PredictorKind,
+    /// Direction table entries (power of two). Table 2: 2048.
+    pub table_size: usize,
+    /// BTB entries (power of two).
+    pub btb_entries: usize,
+    /// Return address stack depth.
+    pub ras_depth: usize,
+}
+
+impl PredictorConfig {
+    /// Table 2: bimodal, 2048-entry table.
+    pub fn paper() -> PredictorConfig {
+        PredictorConfig {
+            kind: PredictorKind::Bimodal,
+            table_size: 2048,
+            btb_entries: 512,
+            ras_depth: 16,
+        }
+    }
+}
+
+/// Prediction statistics (Table 3 reports the branch hit ratio).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredStats {
+    /// Conditional branches resolved.
+    pub cond_branches: u64,
+    /// Conditional branches whose predicted direction was correct.
+    pub cond_correct: u64,
+    /// Indirect jumps resolved.
+    pub indirect: u64,
+    /// Indirect jumps whose predicted target was correct.
+    pub indirect_correct: u64,
+}
+
+impl PredStats {
+    /// Direction hit ratio over conditional branches.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.cond_branches == 0 {
+            1.0
+        } else {
+            self.cond_correct as f64 / self.cond_branches as f64
+        }
+    }
+}
+
+/// A fetch-time prediction for one control instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted next PC.
+    pub next_pc: u32,
+    /// For conditional branches, the predicted direction.
+    pub taken: Option<bool>,
+}
+
+/// The combined front-end predictor.
+#[derive(Clone, Debug)]
+pub struct Predictor {
+    kind: PredictorKind,
+    bimodal: Bimodal,
+    gshare: Gshare,
+    btb: Btb,
+    ras: ReturnStack,
+    /// Resolution statistics.
+    pub stats: PredStats,
+}
+
+impl Predictor {
+    /// Build from a configuration.
+    pub fn new(cfg: PredictorConfig) -> Predictor {
+        Predictor {
+            kind: cfg.kind,
+            bimodal: Bimodal::new(cfg.table_size),
+            gshare: Gshare::new(cfg.table_size),
+            btb: Btb::new(cfg.btb_entries),
+            ras: ReturnStack::new(cfg.ras_depth),
+            stats: PredStats::default(),
+        }
+    }
+
+    fn predict_dir(&self, pc: u32) -> bool {
+        match self.kind {
+            PredictorKind::Bimodal => self.bimodal.predict(pc),
+            PredictorKind::Gshare => self.gshare.predict(pc),
+        }
+    }
+
+    /// Predict the next PC for the instruction at `pc`.
+    ///
+    /// The fetch stage calls this for every fetched instruction (our fetch
+    /// model sees the instruction word, i.e. predecode-time prediction).
+    /// Speculatively pushes/pops the return stack for `jal`/`jr`.
+    pub fn predict(&mut self, pc: u32, inst: &Inst) -> Prediction {
+        let fall = pc + 1;
+        match inst.op.shape() {
+            OpShape::Branch => {
+                let taken = self.predict_dir(pc);
+                let next_pc = if taken { inst.imm as u32 } else { fall };
+                Prediction { next_pc, taken: Some(taken) }
+            }
+            OpShape::Jump => Prediction { next_pc: inst.imm as u32, taken: None },
+            OpShape::JumpLink => {
+                self.ras.push(fall);
+                Prediction { next_pc: inst.imm as u32, taken: None }
+            }
+            OpShape::JumpReg => {
+                // Treat register-indirect jumps as returns first (workloads
+                // use jal/jr as call/ret), falling back to the BTB.
+                let next_pc = self
+                    .ras
+                    .pop()
+                    .or_else(|| self.btb.lookup(pc))
+                    .unwrap_or(fall);
+                Prediction { next_pc, taken: None }
+            }
+            OpShape::JumpLinkReg => {
+                let target = self.btb.lookup(pc);
+                self.ras.push(fall);
+                Prediction { next_pc: target.unwrap_or(fall), taken: None }
+            }
+            _ => Prediction { next_pc: fall, taken: None },
+        }
+    }
+
+    /// Resolve a control instruction on the true path: update direction
+    /// tables, BTB, and statistics. `predicted` is what [`Predictor::predict`]
+    /// returned at fetch (if this instruction was fetched with a prediction).
+    pub fn update(
+        &mut self,
+        pc: u32,
+        inst: &Inst,
+        taken: bool,
+        target: u32,
+        predicted: Option<Prediction>,
+    ) {
+        match inst.op.shape() {
+            OpShape::Branch => {
+                self.stats.cond_branches += 1;
+                if let Some(p) = predicted {
+                    if p.taken == Some(taken) {
+                        self.stats.cond_correct += 1;
+                    }
+                }
+                match self.kind {
+                    PredictorKind::Bimodal => self.bimodal.update(pc, taken),
+                    PredictorKind::Gshare => self.gshare.update(pc, taken),
+                }
+            }
+            OpShape::JumpReg | OpShape::JumpLinkReg => {
+                self.stats.indirect += 1;
+                if let Some(p) = predicted {
+                    if p.next_pc == target {
+                        self.stats.indirect_correct += 1;
+                    }
+                }
+                self.btb.insert(pc, target);
+            }
+            _ => {}
+        }
+    }
+
+    /// Squash speculative return-stack state after a misprediction. The
+    /// stack is simply cleared — a conservative recovery that matches the
+    /// cheap hardware the paper assumes.
+    pub fn recover(&mut self) {
+        self.ras.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_isa::reg::*;
+    use spear_isa::Opcode;
+
+    fn branch(target: u32) -> Inst {
+        Inst::new(Opcode::Bne, R0, R1, R0, target as i64)
+    }
+
+    #[test]
+    fn bimodal_learns_a_loop_branch() {
+        let mut p = Predictor::new(PredictorConfig::paper());
+        let b = branch(5);
+        for _ in 0..4 {
+            let pred = p.predict(100, &b);
+            p.update(100, &b, true, 5, Some(pred));
+        }
+        let pred = p.predict(100, &b);
+        assert_eq!(pred.taken, Some(true));
+        assert_eq!(pred.next_pc, 5);
+    }
+
+    #[test]
+    fn hit_ratio_tracks_accuracy() {
+        let mut p = Predictor::new(PredictorConfig::paper());
+        let b = branch(5);
+        for i in 0..10 {
+            let pred = p.predict(100, &b);
+            let taken = i >= 2; // first two may mispredict while warming
+            p.update(100, &b, taken, 5, Some(pred));
+        }
+        assert_eq!(p.stats.cond_branches, 10);
+        assert!(p.stats.hit_ratio() > 0.5, "{}", p.stats.hit_ratio());
+    }
+
+    #[test]
+    fn call_return_pairs_predict_via_ras() {
+        let mut p = Predictor::new(PredictorConfig::paper());
+        let call = Inst::new(Opcode::Jal, R31, R0, R0, 50);
+        let ret = Inst::new(Opcode::Jr, R0, R31, R0, 0);
+        let c = p.predict(10, &call);
+        assert_eq!(c.next_pc, 50);
+        let r = p.predict(60, &ret);
+        assert_eq!(r.next_pc, 11, "return address from RAS");
+    }
+
+    #[test]
+    fn indirect_jump_uses_btb_after_training() {
+        let mut p = Predictor::new(PredictorConfig::paper());
+        let jr = Inst::new(Opcode::Jr, R0, R7, R0, 0);
+        let miss = p.predict(20, &jr);
+        assert_eq!(miss.next_pc, 21);
+        p.update(20, &jr, true, 77, Some(miss));
+        let hit = p.predict(20, &jr);
+        assert_eq!(hit.next_pc, 77);
+        assert_eq!(p.stats.indirect, 1);
+        assert_eq!(p.stats.indirect_correct, 0);
+    }
+
+    #[test]
+    fn non_control_predicts_fallthrough() {
+        let mut p = Predictor::new(PredictorConfig::paper());
+        let add = Inst::new(Opcode::Add, R1, R2, R3, 0);
+        assert_eq!(p.predict(7, &add).next_pc, 8);
+    }
+
+    #[test]
+    fn recover_clears_ras() {
+        let mut p = Predictor::new(PredictorConfig::paper());
+        let call = Inst::new(Opcode::Jal, R31, R0, R0, 50);
+        p.predict(10, &call);
+        p.recover();
+        let ret = Inst::new(Opcode::Jr, R0, R31, R0, 0);
+        assert_eq!(p.predict(60, &ret).next_pc, 61, "stack cleared");
+    }
+
+    #[test]
+    fn gshare_distinguishes_history() {
+        let mut p = Predictor::new(PredictorConfig {
+            kind: PredictorKind::Gshare,
+            ..PredictorConfig::paper()
+        });
+        let b = branch(5);
+        // Alternating pattern TNTN… — gshare can learn it, bimodal cannot.
+        let mut correct = 0;
+        for i in 0..200 {
+            let taken = i % 2 == 0;
+            let pred = p.predict(100, &b);
+            if pred.taken == Some(taken) {
+                correct += 1;
+            }
+            p.update(100, &b, taken, 5, Some(pred));
+        }
+        assert!(correct > 150, "gshare should learn alternation, got {correct}");
+    }
+
+    #[test]
+    fn bimodal_fails_alternation() {
+        let mut p = Predictor::new(PredictorConfig::paper());
+        let b = branch(5);
+        let mut correct = 0;
+        for i in 0..200 {
+            let taken = i % 2 == 0;
+            let pred = p.predict(100, &b);
+            if pred.taken == Some(taken) {
+                correct += 1;
+            }
+            p.update(100, &b, taken, 5, Some(pred));
+        }
+        assert!(correct < 120, "bimodal cannot learn alternation, got {correct}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests of the predictor structures against simple reference
+//! models.
+
+use proptest::prelude::*;
+use spear_bpred::{Bimodal, Btb, ReturnStack};
+
+proptest! {
+    /// Bimodal counters behave like a clamped 0..=3 integer per index.
+    #[test]
+    fn bimodal_matches_saturating_counter(
+        outcomes in proptest::collection::vec((0u32..64, any::<bool>()), 1..500)
+    ) {
+        let mut b = Bimodal::new(64);
+        let mut reference = [1i32; 64];
+        for &(pc, taken) in &outcomes {
+            let idx = (pc & 63) as usize;
+            prop_assert_eq!(b.predict(pc), reference[idx] >= 2, "pc {}", pc);
+            b.update(pc, taken);
+            reference[idx] = (reference[idx] + if taken { 1 } else { -1 }).clamp(0, 3);
+        }
+    }
+
+    /// The return stack behaves like a depth-bounded Vec that drops its
+    /// oldest element on overflow.
+    #[test]
+    fn ras_matches_bounded_stack(
+        ops in proptest::collection::vec(proptest::option::of(0u32..1000), 1..300),
+        depth in 1usize..16,
+    ) {
+        let mut ras = ReturnStack::new(depth);
+        let mut reference: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                Some(addr) => {
+                    ras.push(addr);
+                    reference.push(addr);
+                    if reference.len() > depth {
+                        reference.remove(0);
+                    }
+                }
+                None => {
+                    prop_assert_eq!(ras.pop(), reference.pop());
+                }
+            }
+            prop_assert_eq!(ras.depth(), reference.len());
+        }
+    }
+
+    /// The BTB returns a target only for the exact PC that inserted it.
+    #[test]
+    fn btb_tag_check(inserts in proptest::collection::vec((0u32..4096, 0u32..4096), 1..200)) {
+        let mut btb = Btb::new(64);
+        let mut last: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for &(pc, target) in &inserts {
+            btb.insert(pc, target);
+            // This insert displaces any alias in the same slot.
+            last.retain(|&p, _| p % 64 != pc % 64);
+            last.insert(pc, target);
+        }
+        for (&pc, &target) in &last {
+            prop_assert_eq!(btb.lookup(pc), Some(target));
+        }
+        // Any PC aliasing an occupied slot with a different tag misses.
+        for &(pc, _) in &inserts {
+            let alias = pc + 64;
+            if !last.contains_key(&alias) {
+                prop_assert_eq!(btb.lookup(alias), None);
+            }
+        }
+    }
+}

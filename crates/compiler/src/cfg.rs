@@ -1,0 +1,287 @@
+//! Control-flow graph construction (module ① of §4.1).
+//!
+//! The CFG drawing tool partitions the binary into basic blocks, records
+//! edges from the targets of conditional/unconditional jumps, and identifies
+//! procedures by the targets of `jal` call instructions — exactly the
+//! binary-level analysis the paper's tool performs on PISA executables.
+
+use spear_isa::{OpShape, Program};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifier of a basic block (index into [`Cfg::blocks`]).
+pub type BlockId = usize;
+
+/// A basic block: the half-open PC range `[start, end)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction PC.
+    pub start: u32,
+    /// One past the last instruction PC.
+    pub end: u32,
+    /// Successor blocks.
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+}
+
+impl BasicBlock {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True for degenerate blocks.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterate the PCs in the block.
+    pub fn pcs(&self) -> impl Iterator<Item = u32> {
+        self.start..self.end
+    }
+}
+
+/// The control-flow graph of a program.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Basic blocks in ascending PC order.
+    pub blocks: Vec<BasicBlock>,
+    /// PC → owning block.
+    block_of_pc: Vec<BlockId>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// PCs that are `jal`/`jalr` call sites.
+    pub call_sites: BTreeSet<u32>,
+    /// Procedure entry PCs (targets of `jal`, plus the program entry).
+    pub proc_entries: BTreeSet<u32>,
+}
+
+impl Cfg {
+    /// Build the CFG of `program`.
+    ///
+    /// `jr`/`jalr` indirect targets are statically unknown: an indirect
+    /// jump ends its block with no intra-procedural successors (they are
+    /// returns under the workload calling convention, and the SPEAR
+    /// region selection never crosses calls anyway — §4.2).
+    pub fn build(program: &Program) -> Cfg {
+        let n = program.len();
+        assert!(n > 0, "empty program has no CFG");
+
+        // Leaders: entry, every control-transfer target, every
+        // fall-through after a control transfer.
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        leaders.insert(program.entry);
+        leaders.insert(0);
+        let mut call_sites = BTreeSet::new();
+        let mut proc_entries = BTreeSet::new();
+        proc_entries.insert(program.entry);
+        for (pc, inst) in program.insts.iter().enumerate() {
+            let pc = pc as u32;
+            match inst.op.shape() {
+                OpShape::Branch => {
+                    leaders.insert(inst.imm as u32);
+                    leaders.insert(pc + 1);
+                }
+                OpShape::Jump => {
+                    leaders.insert(inst.imm as u32);
+                    leaders.insert(pc + 1);
+                }
+                OpShape::JumpLink => {
+                    leaders.insert(inst.imm as u32);
+                    leaders.insert(pc + 1);
+                    call_sites.insert(pc);
+                    proc_entries.insert(inst.imm as u32);
+                }
+                OpShape::JumpReg | OpShape::JumpLinkReg => {
+                    leaders.insert(pc + 1);
+                    if inst.op.shape() == OpShape::JumpLinkReg {
+                        call_sites.insert(pc);
+                    }
+                }
+                _ => {}
+            }
+            if inst.op == spear_isa::Opcode::Halt {
+                leaders.insert(pc + 1);
+            }
+        }
+        leaders.retain(|&l| (l as usize) < n);
+
+        // Blocks between consecutive leaders.
+        let leader_list: Vec<u32> = leaders.iter().copied().collect();
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(leader_list.len());
+        let mut block_start: BTreeMap<u32, BlockId> = BTreeMap::new();
+        for (i, &start) in leader_list.iter().enumerate() {
+            let end = leader_list.get(i + 1).copied().unwrap_or(n as u32);
+            block_start.insert(start, i);
+            blocks.push(BasicBlock { start, end, succs: Vec::new(), preds: Vec::new() });
+        }
+        let mut block_of_pc = vec![0; n];
+        for (id, b) in blocks.iter().enumerate() {
+            for pc in b.pcs() {
+                block_of_pc[pc as usize] = id;
+            }
+        }
+
+        // Edges from each block's terminator.
+        let mut edges: Vec<(BlockId, BlockId)> = Vec::new();
+        for (id, b) in blocks.iter().enumerate() {
+            if b.is_empty() {
+                continue;
+            }
+            let last_pc = b.end - 1;
+            let inst = &program.insts[last_pc as usize];
+            let add = |target: u32, edges: &mut Vec<(BlockId, BlockId)>| {
+                if let Some(&t) = block_start.get(&target) {
+                    edges.push((id, t));
+                }
+            };
+            match inst.op.shape() {
+                OpShape::Branch => {
+                    add(inst.imm as u32, &mut edges);
+                    add(last_pc + 1, &mut edges);
+                }
+                OpShape::Jump => add(inst.imm as u32, &mut edges),
+                OpShape::JumpLink => {
+                    // Calls: edge to the callee and a return edge to the
+                    // fall-through (interprocedurally conservative but
+                    // keeps loop nesting intact around call sites).
+                    add(inst.imm as u32, &mut edges);
+                    add(last_pc + 1, &mut edges);
+                }
+                OpShape::JumpReg => { /* return — no static successor */ }
+                OpShape::JumpLinkReg => add(last_pc + 1, &mut edges),
+                _ => {
+                    if inst.op == spear_isa::Opcode::Halt {
+                        // No successor.
+                    } else {
+                        add(last_pc + 1, &mut edges);
+                    }
+                }
+            }
+        }
+        for (from, to) in edges {
+            blocks[from].succs.push(to);
+            blocks[to].preds.push(from);
+        }
+        for b in &mut blocks {
+            b.succs.sort_unstable();
+            b.succs.dedup();
+            b.preds.sort_unstable();
+            b.preds.dedup();
+        }
+
+        let entry = block_of_pc[program.entry as usize];
+        Cfg { blocks, block_of_pc, entry, call_sites, proc_entries }
+    }
+
+    /// Block containing `pc`.
+    pub fn block_of(&self, pc: u32) -> BlockId {
+        self.block_of_pc[pc as usize]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_isa::asm::Asm;
+    use spear_isa::reg::*;
+
+    /// if/else diamond inside a loop.
+    fn diamond() -> Program {
+        let mut a = Asm::new();
+        a.li(R1, 10); // B0
+        a.label("loop"); // B1
+        a.andi(R2, R1, 1);
+        a.beq(R2, R0, "even");
+        a.addi(R3, R3, 1); // B2 (odd)
+        a.j("join");
+        a.label("even"); // B3
+        a.addi(R4, R4, 1);
+        a.label("join"); // B4
+        a.addi(R1, R1, -1);
+        a.bne(R1, R0, "loop");
+        a.halt(); // B5
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn diamond_block_structure() {
+        let p = diamond();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.len(), 6, "{:#?}", cfg.blocks);
+        // Loop header (B1) has two successors (odd arm, even arm).
+        let header = cfg.block_of(*p.labels.get("loop").unwrap());
+        assert_eq!(cfg.blocks[header].succs.len(), 2);
+        // The join block jumps back to the header or exits.
+        let join = cfg.block_of(*p.labels.get("join").unwrap());
+        assert!(cfg.blocks[join].succs.contains(&header));
+        assert_eq!(cfg.blocks[join].succs.len(), 2);
+        // Header's preds: entry block and join.
+        assert!(cfg.blocks[header].preds.contains(&join));
+    }
+
+    #[test]
+    fn every_pc_belongs_to_exactly_one_block() {
+        let p = diamond();
+        let cfg = Cfg::build(&p);
+        for pc in 0..p.len() as u32 {
+            let b = cfg.block_of(pc);
+            assert!(cfg.blocks[b].pcs().any(|x| x == pc));
+        }
+        let total: usize = cfg.blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(total, p.len());
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let p = diamond();
+        let cfg = Cfg::build(&p);
+        for (id, b) in cfg.blocks.iter().enumerate() {
+            for &s in &b.succs {
+                assert!(cfg.blocks[s].preds.contains(&id));
+            }
+            for &pr in &b.preds {
+                assert!(cfg.blocks[pr].succs.contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn calls_are_recorded() {
+        let mut a = Asm::new();
+        a.jal(R31, "fn");
+        a.halt();
+        a.label("fn");
+        a.addi(R1, R1, 1);
+        a.jr(R31);
+        let p = a.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        assert!(cfg.call_sites.contains(&0));
+        assert!(cfg.proc_entries.contains(p.labels.get("fn").unwrap()));
+        // The return (`jr`) block has no successors.
+        let ret_block = cfg.block_of(3);
+        assert!(cfg.blocks[ret_block].succs.is_empty());
+    }
+
+    #[test]
+    fn straightline_single_block_until_halt() {
+        let mut a = Asm::new();
+        a.li(R1, 1);
+        a.addi(R1, R1, 1);
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+}

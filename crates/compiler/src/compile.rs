@@ -1,0 +1,285 @@
+//! The complete SPEAR post-compiler pipeline (Figure 4): CFG drawing tool
+//! (①) → profiling tool (②) → program slicing (③) → attaching tool (④).
+//!
+//! Input: a plain program binary. Output: the SPEAR executable — the
+//! unmodified program plus the p-thread table the hardware loads into its
+//! PT at launch.
+
+use crate::cfg::Cfg;
+use crate::dom::{Dominators, LoopForest};
+use crate::profile::{profile, Profile};
+use crate::slice::{build_entry, select_dloads, SkipReason, SlicerConfig};
+use spear_exec::ExecError;
+use spear_isa::pthread::PThreadTable;
+use spear_isa::{Program, SpearBinary};
+use spear_mem::HierConfig;
+
+/// Compiler configuration.
+#[derive(Clone, Debug)]
+pub struct CompilerConfig {
+    /// Slicer knobs (§4.2).
+    pub slicer: SlicerConfig,
+    /// Cache model used while profiling (normally the Table 2 hierarchy).
+    pub profile_hier: HierConfig,
+    /// Profiling instruction budget.
+    pub profile_max_insts: u64,
+}
+
+impl Default for CompilerConfig {
+    fn default() -> Self {
+        CompilerConfig {
+            slicer: SlicerConfig::default(),
+            profile_hier: HierConfig::paper(),
+            profile_max_insts: 50_000_000,
+        }
+    }
+}
+
+/// Summary of one constructed p-thread, for reports.
+#[derive(Clone, Debug)]
+pub struct EntrySummary {
+    /// The delinquent load.
+    pub dload_pc: u32,
+    /// Slice length in instructions.
+    pub slice_len: usize,
+    /// Number of live-in registers.
+    pub live_ins: usize,
+    /// Accumulated d-cycle of the chosen region.
+    pub dcycle: f64,
+    /// Loops included in the region (innermost first).
+    pub region_loops: usize,
+    /// Profiled misses at the d-load.
+    pub misses: u64,
+}
+
+/// What the compiler did, for diagnostics and the evaluation tables.
+#[derive(Clone, Debug, Default)]
+pub struct CompileReport {
+    /// Instructions profiled.
+    pub profiled_insts: u64,
+    /// Total L1D misses seen while profiling.
+    pub total_misses: u64,
+    /// Candidate d-loads (pc, misses) that passed selection.
+    pub candidates: Vec<(u32, u64)>,
+    /// Constructed p-threads.
+    pub built: Vec<EntrySummary>,
+    /// Candidates skipped, with reasons.
+    pub skipped: Vec<(u32, SkipReason)>,
+}
+
+impl CompileReport {
+    /// Total p-thread instructions across all entries.
+    pub fn total_slice_len(&self) -> usize {
+        self.built.iter().map(|e| e.slice_len).sum()
+    }
+}
+
+/// Compilation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The input program failed validation.
+    BadProgram(String),
+    /// The profiling run crashed (workload bug).
+    ProfileFailed(ExecError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::BadProgram(e) => write!(f, "invalid program: {e}"),
+            CompileError::ProfileFailed(e) => write!(f, "profiling failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The SPEAR compiler.
+pub struct SpearCompiler {
+    cfg: CompilerConfig,
+}
+
+impl SpearCompiler {
+    /// A compiler with the paper's default configuration.
+    pub fn new(cfg: CompilerConfig) -> SpearCompiler {
+        SpearCompiler { cfg }
+    }
+
+    /// Run all four modules over `program` and return the SPEAR binary
+    /// plus a report.
+    ///
+    /// `program` should be built with the *profiling* input data set; the
+    /// returned binary's program is the one passed in, so callers that
+    /// evaluate with a different input rebuild the program with the
+    /// evaluation input and reuse the table via
+    /// [`SpearCompiler::attach`] — PCs are identical because only the data
+    /// image differs.
+    pub fn compile(
+        &self,
+        program: &Program,
+    ) -> Result<(SpearBinary, CompileReport), CompileError> {
+        program
+            .validate()
+            .map_err(|e| CompileError::BadProgram(e.to_string()))?;
+
+        // ① CFG drawing tool.
+        let cfg = Cfg::build(program);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+
+        // ② Profiling tool.
+        let prof: Profile = profile(
+            program,
+            &cfg,
+            &forest,
+            self.cfg.profile_hier,
+            self.cfg.profile_max_insts,
+        )
+        .map_err(CompileError::ProfileFailed)?;
+
+        // ③ Program slicing.
+        let mut report = CompileReport {
+            profiled_insts: prof.insts,
+            total_misses: prof.total_misses,
+            candidates: select_dloads(&prof, &self.cfg.slicer),
+            ..Default::default()
+        };
+        let mut entries = Vec::new();
+        for &(dload_pc, misses) in &report.candidates {
+            let out = build_entry(
+                dload_pc,
+                misses,
+                program,
+                &cfg,
+                &forest,
+                &prof,
+                &self.cfg.slicer,
+            );
+            match out.result {
+                Ok(entry) => {
+                    report.built.push(EntrySummary {
+                        dload_pc,
+                        slice_len: entry.members.len(),
+                        live_ins: entry.live_ins.len(),
+                        dcycle: entry.region.dcycle,
+                        region_loops: entry.region.loop_headers.len(),
+                        misses,
+                    });
+                    entries.push(entry);
+                }
+                Err(reason) => report.skipped.push((dload_pc, reason)),
+            }
+        }
+        entries.sort_by_key(|e| e.dload_pc);
+
+        // ④ Attaching tool.
+        let binary = Self::attach(program.clone(), PThreadTable { entries });
+        binary
+            .validate()
+            .map_err(CompileError::BadProgram)?;
+        Ok((binary, report))
+    }
+
+    /// Module ④ standalone: attach a p-thread table to a program (used to
+    /// re-bind a profiled table onto the evaluation-input program image).
+    pub fn attach(program: Program, table: PThreadTable) -> SpearBinary {
+        SpearBinary { program, table }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_isa::asm::Asm;
+    use spear_isa::reg::*;
+
+    fn gather(n: i64, seed: u64) -> Program {
+        let mut a = Asm::new();
+        let idx: Vec<u64> = (0..n as u64).map(|i| (i.wrapping_mul(7919) ^ seed) % 4096).collect();
+        let ib = a.alloc_u64("idx", &idx);
+        let xb = a.reserve("x", 4096 * 4096);
+        a.li(R1, ib as i64);
+        a.li(R2, xb as i64);
+        a.li(R3, n);
+        a.label("loop");
+        a.ld(R5, R1, 0);
+        a.slli(R6, R5, 12);
+        a.add(R6, R2, R6);
+        a.ld(R7, R6, 0);
+        a.add(R4, R4, R7);
+        a.addi(R1, R1, 8);
+        a.addi(R3, R3, -1);
+        a.bne(R3, R0, "loop");
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn end_to_end_compile_builds_a_valid_binary() {
+        let p = gather(500, 17);
+        let (binary, report) = SpearCompiler::new(CompilerConfig::default())
+            .compile(&p)
+            .unwrap();
+        binary.validate().unwrap();
+        assert!(!report.built.is_empty(), "{report:#?}");
+        let loop_pc = *p.labels.get("loop").unwrap();
+        let entry = binary
+            .table
+            .entry_for(loop_pc + 3)
+            .expect("the gather d-load has a p-thread");
+        assert!(entry.members.len() >= 4);
+        assert!(!entry.live_ins.is_empty());
+    }
+
+    #[test]
+    fn attach_rebinds_table_to_new_input() {
+        // Profile with one input, attach the table to a program built
+        // with a different input — the paper's methodology.
+        let p_profile = gather(500, 17);
+        let (binary, _) = SpearCompiler::new(CompilerConfig::default())
+            .compile(&p_profile)
+            .unwrap();
+        let p_eval = gather(500, 9999);
+        let rebound = SpearCompiler::attach(p_eval, binary.table.clone());
+        rebound.validate().unwrap();
+        assert_eq!(rebound.table, binary.table);
+    }
+
+    #[test]
+    fn cache_friendly_program_gets_no_pthreads() {
+        let mut a = Asm::new();
+        let xs: Vec<u64> = (0..128).collect();
+        let base = a.alloc_u64("xs", &xs);
+        a.li(R1, base as i64);
+        a.li(R2, 128);
+        a.label("loop");
+        a.ld(R3, R1, 0);
+        a.addi(R1, R1, 8);
+        a.addi(R2, R2, -1);
+        a.bne(R2, R0, "loop");
+        a.halt();
+        let p = a.finish().unwrap();
+        let (binary, report) = SpearCompiler::new(CompilerConfig::default())
+            .compile(&p)
+            .unwrap();
+        assert!(binary.table.is_empty(), "{report:#?}");
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let p = gather(500, 3);
+        let (_, report) = SpearCompiler::new(CompilerConfig::default())
+            .compile(&p)
+            .unwrap();
+        assert_eq!(
+            report.candidates.len(),
+            report.built.len() + report.skipped.len()
+        );
+        assert!(report.profiled_insts > 0);
+        assert!(report.total_misses > 0);
+        assert_eq!(
+            report.total_slice_len(),
+            report.built.iter().map(|e| e.slice_len).sum::<usize>()
+        );
+    }
+}

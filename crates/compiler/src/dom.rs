@@ -1,0 +1,331 @@
+//! Dominators and natural-loop detection.
+//!
+//! Loop structure drives the region-based prefetching range of §4.2: the
+//! base region of a p-thread is the innermost loop containing the
+//! delinquent load, grown outward through the loop-nesting forest until the
+//! accumulated d-cycle reaches the criterion.
+
+use crate::cfg::{BlockId, Cfg};
+use std::collections::BTreeSet;
+
+/// Immediate-dominator tree, computed with the iterative
+/// Cooper–Harvey–Kennedy algorithm.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// `idom[b]` — immediate dominator of `b`; the entry is its own idom.
+    /// Unreachable blocks have `None`.
+    pub idom: Vec<Option<BlockId>>,
+    /// Blocks in reverse postorder.
+    pub rpo: Vec<BlockId>,
+}
+
+impl Dominators {
+    /// Compute dominators for `cfg`.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.len();
+        // Postorder DFS from the entry.
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Iterative DFS with an explicit stack of (block, next-succ-index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(cfg.entry, 0)];
+        visited[cfg.entry] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < cfg.blocks[b].succs.len() {
+                let s = cfg.blocks[b].succs[*i];
+                *i += 1;
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.iter().rev().copied().collect();
+        let mut rpo_num = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_num[b] = i;
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[cfg.entry] = Some(cfg.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.blocks[b].preds {
+                    if idom[p].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_num, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom, rpo }
+    }
+
+    /// Does `a` dominate `b`? (Reflexive.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_num: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_num[a] > rpo_num[b] {
+            a = idom[a].expect("processed block has idom");
+        }
+        while rpo_num[b] > rpo_num[a] {
+            b = idom[b].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+/// One natural loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Loop {
+    /// Header block.
+    pub header: BlockId,
+    /// All blocks in the loop body (header included).
+    pub blocks: BTreeSet<BlockId>,
+    /// Index of the innermost enclosing loop, if any.
+    pub parent: Option<usize>,
+    /// Nesting depth (outermost = 0).
+    pub depth: usize,
+}
+
+/// The loop-nesting forest of a CFG.
+#[derive(Clone, Debug)]
+pub struct LoopForest {
+    /// All loops, outer loops before inner (sorted by body size,
+    /// descending).
+    pub loops: Vec<Loop>,
+    /// Innermost loop containing each block, if any.
+    pub innermost: Vec<Option<usize>>,
+}
+
+impl LoopForest {
+    /// Find all natural loops (back edge `t → h` with `h` dominating `t`),
+    /// merging loops that share a header.
+    pub fn compute(cfg: &Cfg, dom: &Dominators) -> LoopForest {
+        // Collect loop bodies per header.
+        let mut bodies: Vec<(BlockId, BTreeSet<BlockId>)> = Vec::new();
+        for (t, b) in cfg.blocks.iter().enumerate() {
+            for &h in &b.succs {
+                if dom.idom[t].is_some() && dom.dominates(h, t) {
+                    // Natural loop of back edge t → h: h plus everything
+                    // reaching t without passing through h.
+                    let mut body: BTreeSet<BlockId> = [h, t].into();
+                    let mut work = vec![t];
+                    while let Some(x) = work.pop() {
+                        if x == h {
+                            continue;
+                        }
+                        for &p in &cfg.blocks[x].preds {
+                            if body.insert(p) {
+                                work.push(p);
+                            }
+                        }
+                    }
+                    if let Some(existing) =
+                        bodies.iter_mut().find(|(hh, _)| *hh == h)
+                    {
+                        existing.1.extend(body);
+                    } else {
+                        bodies.push((h, body));
+                    }
+                }
+            }
+        }
+        // Sort outermost (largest) first so parents precede children.
+        bodies.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+        let mut loops: Vec<Loop> = bodies
+            .into_iter()
+            .map(|(header, blocks)| Loop { header, blocks, parent: None, depth: 0 })
+            .collect();
+        // Parent: the smallest strictly-containing loop.
+        for i in 0..loops.len() {
+            let mut best: Option<usize> = None;
+            for j in 0..loops.len() {
+                if i == j {
+                    continue;
+                }
+                if loops[j].blocks.len() > loops[i].blocks.len()
+                    && loops[i].blocks.is_subset(&loops[j].blocks)
+                {
+                    best = match best {
+                        None => Some(j),
+                        Some(b) if loops[j].blocks.len() < loops[b].blocks.len() => Some(j),
+                        Some(b) => Some(b),
+                    };
+                }
+            }
+            loops[i].parent = best;
+        }
+        for i in 0..loops.len() {
+            let mut d = 0;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = loops[p].parent;
+            }
+            loops[i].depth = d;
+        }
+        // Innermost loop per block: deepest loop containing it.
+        let mut innermost: Vec<Option<usize>> = vec![None; cfg.len()];
+        for (li, l) in loops.iter().enumerate() {
+            for &b in &l.blocks {
+                innermost[b] = match innermost[b] {
+                    None => Some(li),
+                    Some(cur) if l.depth > loops[cur].depth => Some(li),
+                    Some(cur) => Some(cur),
+                };
+            }
+        }
+        LoopForest { loops, innermost }
+    }
+
+    /// Innermost loop containing the block of `pc` under `cfg`.
+    pub fn innermost_at(&self, cfg: &Cfg, pc: u32) -> Option<usize> {
+        self.innermost[cfg.block_of(pc)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_isa::asm::Asm;
+    use spear_isa::reg::*;
+    use spear_isa::Program;
+
+    fn nested_loops() -> Program {
+        let mut a = Asm::new();
+        a.li(R1, 10); // outer counter
+        a.label("outer");
+        a.li(R2, 20); // inner counter
+        a.label("inner");
+        a.addi(R3, R3, 1);
+        a.addi(R2, R2, -1);
+        a.bne(R2, R0, "inner");
+        a.addi(R1, R1, -1);
+        a.bne(R1, R0, "outer");
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let p = nested_loops();
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        for b in 0..cfg.len() {
+            if dom.idom[b].is_some() {
+                assert!(dom.dominates(cfg.entry, b));
+            }
+        }
+    }
+
+    #[test]
+    fn finds_two_nested_loops() {
+        let p = nested_loops();
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        assert_eq!(forest.loops.len(), 2, "{:#?}", forest.loops);
+        let inner = forest
+            .loops
+            .iter()
+            .position(|l| l.depth == 1)
+            .expect("inner loop at depth 1");
+        let outer = forest
+            .loops
+            .iter()
+            .position(|l| l.depth == 0)
+            .expect("outer loop at depth 0");
+        assert_eq!(forest.loops[inner].parent, Some(outer));
+        assert!(forest.loops[inner]
+            .blocks
+            .is_subset(&forest.loops[outer].blocks));
+    }
+
+    #[test]
+    fn innermost_assignment() {
+        let p = nested_loops();
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        let inner_pc = *p.labels.get("inner").unwrap();
+        let li = forest.innermost_at(&cfg, inner_pc).expect("in a loop");
+        assert_eq!(forest.loops[li].depth, 1, "body pc maps to the inner loop");
+        // The outer counter decrement is only in the outer loop.
+        let outer_body_pc = *p.labels.get("inner").unwrap() + 3; // addi r1
+        let lo = forest.innermost_at(&cfg, outer_body_pc).expect("in a loop");
+        assert_eq!(forest.loops[lo].depth, 0);
+    }
+
+    #[test]
+    fn dominance_is_reflexive_and_entry_rooted() {
+        let p = nested_loops();
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        for b in 0..cfg.len() {
+            assert!(dom.dominates(b, b));
+        }
+        assert_eq!(dom.idom[cfg.entry], Some(cfg.entry));
+    }
+
+    #[test]
+    fn acyclic_program_has_no_loops() {
+        let mut a = Asm::new();
+        a.li(R1, 1);
+        a.beq(R1, R0, "skip");
+        a.addi(R1, R1, 1);
+        a.label("skip");
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        assert!(forest.loops.is_empty());
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut a = Asm::new();
+        a.li(R1, 5);
+        a.label("spin");
+        a.addi(R1, R1, -1);
+        a.bne(R1, R0, "spin");
+        a.halt();
+        let p = a.finish().unwrap();
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        assert_eq!(forest.loops.len(), 1);
+        assert_eq!(forest.loops[0].depth, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Graphviz (DOT) export of the compiler's intermediate structures — the
+//! CFG with loop annotations, and a delinquent load's sliced dependence
+//! neighborhood. `spearc --dot` writes these next to the output binary.
+
+use crate::cfg::Cfg;
+use crate::dom::LoopForest;
+use crate::profile::Profile;
+use spear_isa::pthread::PThreadEntry;
+use spear_isa::Program;
+use std::fmt::Write;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the CFG as DOT: one node per basic block (listing its
+/// instructions), loop members shaded and annotated with nesting depth.
+pub fn cfg_dot(program: &Program, cfg: &Cfg, forest: &LoopForest) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph cfg {{");
+    let _ = writeln!(out, "  node [shape=box fontname=\"monospace\" fontsize=9];");
+    for (id, b) in cfg.blocks.iter().enumerate() {
+        let mut label = format!("B{id} [{}..{})\\l", b.start, b.end);
+        for pc in b.pcs() {
+            let _ = write!(label, "{pc:>4}  {}\\l", escape(&program.insts[pc as usize].to_string()));
+        }
+        let style = match forest.innermost[id] {
+            Some(li) => format!(
+                " style=filled fillcolor=\"gray{}\"",
+                (90 - 12 * forest.loops[li].depth.min(4)).max(50)
+            ),
+            None => String::new(),
+        };
+        let _ = writeln!(out, "  b{id} [label=\"{label}\"{style}];");
+    }
+    for (id, b) in cfg.blocks.iter().enumerate() {
+        for &s in &b.succs {
+            // Back edges (to a dominator header) drawn dashed.
+            let dashed = forest
+                .loops
+                .iter()
+                .any(|l| l.header == s && l.blocks.contains(&id));
+            let attr = if dashed { " [style=dashed]" } else { "" };
+            let _ = writeln!(out, "  b{id} -> b{s}{attr};");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render one p-thread's slice as DOT: member instructions as nodes, hot
+/// profiled dependence edges between them, the d-load highlighted, and
+/// live-in registers as diamond sources.
+pub fn slice_dot(
+    program: &Program,
+    profile: &Profile,
+    entry: &PThreadEntry,
+    edge_threshold: f64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph slice {{");
+    let _ = writeln!(out, "  rankdir=BT; node [fontname=\"monospace\" fontsize=9];");
+    for &pc in &entry.members {
+        let inst = &program.insts[pc as usize];
+        let shape = if pc == entry.dload_pc {
+            " shape=doubleoctagon style=filled fillcolor=lightcoral"
+        } else {
+            " shape=box"
+        };
+        let _ = writeln!(out, "  n{pc} [label=\"{pc}: {}\"{shape}];", escape(&inst.to_string()));
+    }
+    for r in &entry.live_ins {
+        let _ = writeln!(out, "  li_{} [label=\"{r}\" shape=diamond];", r.index());
+    }
+    // Edges: for each member's sources, hot producers inside the slice;
+    // sources without in-slice producers point at the live-in diamonds.
+    for &pc in &entry.members {
+        let inst = &program.insts[pc as usize];
+        for (slot, src) in inst.srcs().into_iter().enumerate() {
+            let Some(src) = src else { continue };
+            if src.is_zero() {
+                continue;
+            }
+            let producers = profile.hot_producers(pc, slot as u8, edge_threshold);
+            let mut drew = false;
+            for p in producers {
+                if entry.members.contains(&p) {
+                    let _ = writeln!(out, "  n{p} -> n{pc} [label=\"{src}\"];");
+                    drew = true;
+                }
+            }
+            if !drew && entry.live_ins.contains(&src) {
+                let _ = writeln!(out, "  li_{} -> n{pc} [style=dotted];", src.index());
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{CompilerConfig, SpearCompiler};
+    use crate::dom::Dominators;
+    use spear_isa::asm::Asm;
+    use spear_isa::reg::*;
+
+    fn gather() -> Program {
+        let mut a = Asm::new();
+        let idx: Vec<u64> = (0..400u64).map(|i| (i * 7919) % 2048).collect();
+        let ib = a.alloc_u64("idx", &idx);
+        let xb = a.reserve("x", 2048 * 4096);
+        a.li(R1, ib as i64);
+        a.li(R2, xb as i64);
+        a.li(R3, 400);
+        a.label("loop");
+        a.ld(R5, R1, 0);
+        a.slli(R6, R5, 12);
+        a.add(R6, R2, R6);
+        a.ld(R7, R6, 0);
+        a.add(R4, R4, R7);
+        a.addi(R1, R1, 8);
+        a.addi(R3, R3, -1);
+        a.bne(R3, R0, "loop");
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn cfg_dot_is_wellformed() {
+        let p = gather();
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        let dot = cfg_dot(&p, &cfg, &forest);
+        assert!(dot.starts_with("digraph cfg {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.matches(" -> ").count() >= cfg.blocks.len() - 1);
+        assert!(dot.contains("style=dashed"), "the loop back edge is dashed");
+    }
+
+    #[test]
+    fn slice_dot_highlights_dload_and_liveins() {
+        let p = gather();
+        let (binary, _) = SpearCompiler::new(CompilerConfig::default())
+            .compile(&p)
+            .unwrap();
+        let e = &binary.table.entries[0];
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        let prof =
+            crate::profile::profile(&p, &cfg, &forest, spear_mem::HierConfig::paper(), 10_000_000)
+                .unwrap();
+        let dot = slice_dot(&p, &prof, e, 0.25);
+        assert!(dot.contains("doubleoctagon"), "d-load node highlighted");
+        assert!(dot.contains("shape=diamond"), "live-ins drawn");
+        assert!(dot.matches(" -> ").count() >= e.members.len() - 1);
+    }
+}

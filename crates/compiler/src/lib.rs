@@ -1,0 +1,31 @@
+//! # spear-compiler — the SPEAR post-compiler
+//!
+//! The paper's primary software contribution (§4): an automated tool that
+//! operates on program binaries and produces the SPEAR executable. Four
+//! modules, matching Figure 4:
+//!
+//! 1. [`mod@cfg`] — the CFG drawing tool: basic blocks, control edges, call
+//!    sites; [`dom`] adds dominators and the natural-loop nesting forest.
+//! 2. [`mod@profile`] — the profiling tool: per-load miss counts, the dynamic
+//!    dependence graph with edge frequencies, per-loop d-cycles, branch
+//!    bias.
+//! 3. [`mod@slice`] — hybrid program slicing: dynamic-dependence backward
+//!    chasing (cold control-flow paths filtered per Figure 5) within the
+//!    region-based prefetching range (innermost loop grown outward under
+//!    the 120-d-cycle criterion, never across calls).
+//! 4. [`compile`] — the pipeline driver and the attaching tool that binds
+//!    the p-thread table to the binary.
+
+pub mod cfg;
+pub mod compile;
+pub mod dom;
+pub mod dot;
+pub mod profile;
+pub mod slice;
+
+pub use cfg::{BasicBlock, BlockId, Cfg};
+pub use compile::{CompileError, CompileReport, CompilerConfig, EntrySummary, SpearCompiler};
+pub use dom::{Dominators, Loop, LoopForest};
+pub use dot::{cfg_dot, slice_dot};
+pub use profile::{profile, LoopProfile, Profile};
+pub use slice::{build_entry, select_dloads, RegionPolicy, SkipReason, SliceOutcome, SlicerConfig};

@@ -1,0 +1,381 @@
+//! The profiling tool (module ② of §4.1).
+//!
+//! Runs the program functionally (on the *profiling* input — the paper
+//! deliberately profiles with a different data set than it evaluates with)
+//! against a cache model, and collects the dynamic information the hybrid
+//! slicer needs:
+//!
+//! - cache-miss counts per static load (delinquent-load identification),
+//! - the dynamic register data-dependence graph with edge frequencies
+//!   (which producer PC actually fed each consumer's source register, and
+//!   how often — this is what lets the slicer drop cold control-flow paths,
+//!   Figure 5),
+//! - memory (store→load) dependence edges with frequencies,
+//! - per-loop iteration counts and average cycles per iteration (the
+//!   d-cycle of §4.2, estimated as base op latencies plus measured memory
+//!   access latencies),
+//! - branch bias per static branch.
+
+use crate::cfg::Cfg;
+use crate::dom::LoopForest;
+use spear_exec::{ExecError, Interp, Stop};
+use spear_isa::reg::NUM_REGS;
+use spear_isa::{FuClass, Opcode, Program};
+use spear_mem::{AccessKind, HierConfig, Hierarchy};
+use std::collections::HashMap;
+
+/// A dynamic dependence edge: consumer PC × source-register slot →
+/// producer PC, with an occurrence count.
+pub type EdgeMap = HashMap<(u32, u8), HashMap<u32, u64>>;
+
+/// Per-loop dynamic measurements.
+#[derive(Clone, Debug, Default)]
+pub struct LoopProfile {
+    /// Times the header block was entered (iterations).
+    pub iterations: u64,
+    /// Estimated cycles attributed to instructions executed in the loop
+    /// (including nested loops).
+    pub est_cycles: f64,
+}
+
+impl LoopProfile {
+    /// The paper's d-cycle: average estimated cycles per iteration.
+    pub fn dcycle(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.est_cycles / self.iterations as f64
+        }
+    }
+}
+
+/// Everything the profiler learned.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// L1D misses per static load PC.
+    pub load_misses: HashMap<u32, u64>,
+    /// Dynamic accesses per static load PC.
+    pub load_count: HashMap<u32, u64>,
+    /// Total L1D misses.
+    pub total_misses: u64,
+    /// Register dependence edges.
+    pub reg_edges: EdgeMap,
+    /// Memory dependence edges: load PC → producing store PC → count.
+    pub mem_edges: HashMap<u32, HashMap<u32, u64>>,
+    /// Per-loop measurements, indexed like `LoopForest::loops`.
+    pub loops: Vec<LoopProfile>,
+    /// Taken/total per static conditional branch.
+    pub branch_bias: HashMap<u32, (u64, u64)>,
+    /// Instructions profiled.
+    pub insts: u64,
+}
+
+impl Profile {
+    /// Loads ranked by miss count, descending.
+    pub fn ranked_loads(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self.load_misses.iter().map(|(&p, &m)| (p, m)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Producers of `(consumer, src_slot)` with frequency at least
+    /// `threshold` times the hottest producer's frequency.
+    pub fn hot_producers(&self, consumer: u32, slot: u8, threshold: f64) -> Vec<u32> {
+        let Some(prods) = self.reg_edges.get(&(consumer, slot)) else {
+            return Vec::new();
+        };
+        let max = prods.values().copied().max().unwrap_or(0);
+        if max == 0 {
+            return Vec::new();
+        }
+        let cut = (max as f64 * threshold).max(1.0);
+        let mut v: Vec<u32> = prods
+            .iter()
+            .filter(|(_, &c)| c as f64 >= cut)
+            .map(|(&p, _)| p)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Hot store producers for a load, same thresholding as registers.
+    pub fn hot_mem_producers(&self, load: u32, threshold: f64) -> Vec<u32> {
+        let Some(prods) = self.mem_edges.get(&load) else {
+            return Vec::new();
+        };
+        let max = prods.values().copied().max().unwrap_or(0);
+        if max == 0 {
+            return Vec::new();
+        }
+        let cut = (max as f64 * threshold).max(1.0);
+        let mut v: Vec<u32> = prods
+            .iter()
+            .filter(|(_, &c)| c as f64 >= cut)
+            .map(|(&p, _)| p)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Base latency estimate for d-cycle accounting (non-memory ops).
+fn base_latency(op: Opcode) -> f64 {
+    match op.fu_class() {
+        FuClass::IntAlu | FuClass::Ctrl | FuClass::None => 1.0,
+        FuClass::IntMul => 3.0,
+        FuClass::IntDiv => 20.0,
+        FuClass::FpAlu => 2.0,
+        FuClass::FpMul => 4.0,
+        FuClass::FpDiv => {
+            if op == Opcode::Fsqrt {
+                24.0
+            } else {
+                12.0
+            }
+        }
+        FuClass::RdPort | FuClass::WrPort => 0.0, // measured instead
+    }
+}
+
+/// Run the profiler over `program`, stopping after `max_insts`.
+///
+/// `cfg`/`forest` provide the static structure the measurements attach to;
+/// `hier_cfg` configures the profiling cache model (normally the Table 2
+/// hierarchy).
+pub fn profile(
+    program: &Program,
+    cfg: &Cfg,
+    forest: &LoopForest,
+    hier_cfg: HierConfig,
+    max_insts: u64,
+) -> Result<Profile, ExecError> {
+    let mut hier = Hierarchy::new(hier_cfg);
+    let mut p = Profile { loops: vec![LoopProfile::default(); forest.loops.len()], ..Default::default() };
+
+    // Last dynamic writer of each architectural register.
+    let mut last_writer: [Option<u32>; NUM_REGS] = [None; NUM_REGS];
+    // Last store to each byte address (block-granular would lose precision
+    // on packed structures; workloads are small enough for exact byte
+    // tracking at 8-byte granularity on the start address).
+    let mut last_store: HashMap<u64, u32> = HashMap::new();
+
+    // Loops headed at each header-block start PC (a back-to-back
+    // iteration of a single-block loop re-enters at the same block, so
+    // header entry is detected by PC, not by block transition).
+    let mut header_starts: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (idx, l) in forest.loops.iter().enumerate() {
+        header_starts
+            .entry(cfg.blocks[l.header].start)
+            .or_default()
+            .push(idx);
+    }
+
+    let mut interp = Interp::new(program);
+    // The profiler has no real clock; its accumulated cycle estimate
+    // stands in as the fill-merge timestamp.
+    let mut est_now: u64 = 0;
+    let stop = interp.run_with(max_insts, |si, _regs| {
+        p.insts += 1;
+        let pc = si.pc;
+        let inst = &si.inst;
+
+        // Register dependence edges.
+        for (slot, src) in inst.srcs().into_iter().enumerate() {
+            let Some(src) = src else { continue };
+            if src.is_zero() {
+                continue;
+            }
+            if let Some(producer) = last_writer[src.index()] {
+                *p.reg_edges
+                    .entry((pc, slot as u8))
+                    .or_default()
+                    .entry(producer)
+                    .or_insert(0) += 1;
+            }
+        }
+        if let Some(d) = inst.dst() {
+            last_writer[d.index()] = Some(pc);
+        }
+
+        // Memory model + dependences + per-loop cost.
+        let mut cost = base_latency(inst.op);
+        if let Some(addr) = si.outcome.eff_addr {
+            if inst.op.is_load() {
+                *p.load_count.entry(pc).or_insert(0) += 1;
+                let acc = hier.access_data(addr, AccessKind::Read, pc, false, est_now);
+                cost += acc.latency as f64;
+                if let Some(&store_pc) = last_store.get(&addr) {
+                    *p.mem_edges.entry(pc).or_default().entry(store_pc).or_insert(0) += 1;
+                }
+            } else {
+                let acc = hier.access_data(addr, AccessKind::Write, pc, false, est_now);
+                cost += acc.latency as f64;
+                last_store.insert(addr, pc);
+            }
+        }
+
+        // Branch bias.
+        if let Some(taken) = si.outcome.taken {
+            let e = p.branch_bias.entry(pc).or_insert((0, 0));
+            e.1 += 1;
+            if taken {
+                e.0 += 1;
+            }
+        }
+
+        est_now += cost as u64;
+
+        // Attribute cost to every enclosing loop; count header entries.
+        let block = cfg.block_of(pc);
+        let mut li = forest.innermost[block];
+        while let Some(l) = li {
+            p.loops[l].est_cycles += cost;
+            li = forest.loops[l].parent;
+        }
+        if let Some(headed) = header_starts.get(&pc) {
+            for &idx in headed {
+                p.loops[idx].iterations += 1;
+            }
+        }
+    })?;
+
+    // Fold the cache model's per-PC miss counts into the profile.
+    for (pc, misses) in hier.pc_misses.ranked() {
+        if program.fetch(pc).is_some_and(|i| i.op.is_load()) {
+            p.load_misses.insert(pc, misses);
+        }
+    }
+    p.total_misses = hier.pc_misses.total();
+    debug_assert!(matches!(stop, Stop::Halted | Stop::Budget));
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Dominators;
+    use spear_isa::asm::Asm;
+    use spear_isa::reg::*;
+
+    fn analyze(program: &Program) -> (Cfg, LoopForest, Profile) {
+        let cfg = Cfg::build(program);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        let prof = profile(program, &cfg, &forest, HierConfig::paper(), 10_000_000).unwrap();
+        (cfg, forest, prof)
+    }
+
+    /// Strided scatter over a large array: every load misses.
+    fn missing_loop(n: i64) -> Program {
+        let mut a = Asm::new();
+        let big = a.reserve("big", (n as u64) * 4096 + 8);
+        a.li(R1, big as i64);
+        a.li(R2, n);
+        a.label("loop");
+        a.ld(R3, R1, 0); // misses every time (4 KiB stride)
+        a.add(R4, R4, R3);
+        a.addi(R1, R1, 4096);
+        a.addi(R2, R2, -1);
+        a.bne(R2, R0, "loop");
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn identifies_the_missing_load() {
+        let p = missing_loop(200);
+        let (_, _, prof) = analyze(&p);
+        let ld_pc = *p.labels.get("loop").unwrap();
+        let ranked = prof.ranked_loads();
+        assert_eq!(ranked[0].0, ld_pc, "{ranked:?}");
+        assert!(ranked[0].1 >= 190, "nearly every access misses: {ranked:?}");
+        assert_eq!(prof.load_count[&ld_pc], 200);
+    }
+
+    #[test]
+    fn register_edges_point_to_real_producers() {
+        let p = missing_loop(50);
+        let (_, _, prof) = analyze(&p);
+        let ld_pc = *p.labels.get("loop").unwrap();
+        let addi_r1 = ld_pc + 2;
+        // The load's base register r1 is produced by `li` once and by the
+        // addi 49 times — the addi dominates.
+        let hot = prof.hot_producers(ld_pc, 0, 0.5);
+        assert_eq!(hot, vec![addi_r1], "{:?}", prof.reg_edges.get(&(ld_pc, 0)));
+    }
+
+    #[test]
+    fn cold_producers_are_dropped_by_threshold() {
+        let p = missing_loop(50);
+        let (_, _, prof) = analyze(&p);
+        let ld_pc = *p.labels.get("loop").unwrap();
+        // With a generous threshold the cold `li` producer appears too.
+        let all = prof.hot_producers(ld_pc, 0, 0.0);
+        assert_eq!(all.len(), 2, "li and addi both feed r1: {all:?}");
+    }
+
+    #[test]
+    fn loop_dcycle_reflects_misses() {
+        let p = missing_loop(100);
+        let (_, forest, prof) = analyze(&p);
+        assert_eq!(forest.loops.len(), 1);
+        let lp = &prof.loops[0];
+        assert_eq!(lp.iterations, 100);
+        // Every iteration pays a full memory walk (133 cycles) plus a few
+        // ALU ops.
+        assert!(lp.dcycle() > 100.0, "dcycle = {}", lp.dcycle());
+        assert!(lp.dcycle() < 200.0, "dcycle = {}", lp.dcycle());
+    }
+
+    #[test]
+    fn branch_bias_measured() {
+        let p = missing_loop(100);
+        let (_, _, prof) = analyze(&p);
+        let bne = *p.labels.get("loop").unwrap() + 4;
+        let (taken, total) = prof.branch_bias[&bne];
+        assert_eq!(total, 100);
+        assert_eq!(taken, 99, "taken except the final exit");
+    }
+
+    #[test]
+    fn store_load_dependence_recorded() {
+        let mut a = Asm::new();
+        let buf = a.reserve("buf", 64);
+        a.li(R1, buf as i64);
+        a.li(R2, 5);
+        a.label("loop");
+        a.sd(R2, R1, 0); // store pc
+        a.ld(R3, R1, 0); // load pc reads it back
+        a.addi(R2, R2, -1);
+        a.bne(R2, R0, "loop");
+        a.halt();
+        let p = a.finish().unwrap();
+        let (_, _, prof) = analyze(&p);
+        let st = *p.labels.get("loop").unwrap();
+        let ld = st + 1;
+        assert_eq!(prof.hot_mem_producers(ld, 0.5), vec![st]);
+    }
+
+    #[test]
+    fn cache_friendly_loop_has_few_misses() {
+        let mut a = Asm::new();
+        let xs: Vec<u64> = (0..512).collect();
+        let base = a.alloc_u64("xs", &xs);
+        a.li(R1, base as i64);
+        a.li(R2, 512);
+        a.label("loop");
+        a.ld(R3, R1, 0);
+        a.add(R4, R4, R3);
+        a.addi(R1, R1, 8);
+        a.addi(R2, R2, -1);
+        a.bne(R2, R0, "loop");
+        a.halt();
+        let p = a.finish().unwrap();
+        let (_, _, prof) = analyze(&p);
+        // Sequential: one miss per 32-byte block = 128 misses for 512 loads.
+        let ld_pc = *p.labels.get("loop").unwrap();
+        let misses = prof.load_misses.get(&ld_pc).copied().unwrap_or(0);
+        assert!(misses <= 130, "sequential loads mostly hit: {misses}");
+        assert!(misses >= 100, "cold blocks still miss once: {misses}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the compiler's static analyses over randomly
+//! generated (but well-formed) programs: CFG partitioning, dominator
+//! axioms, loop-nesting structure, and slice closure.
+
+use proptest::prelude::*;
+use spear_compiler::{build_entry, profile, Cfg, Dominators, LoopForest, SlicerConfig};
+use spear_isa::asm::Asm;
+use spear_isa::reg::*;
+use spear_isa::Program;
+use spear_mem::HierConfig;
+
+/// Generate a random structured program: a chain of `segments`, each
+/// either a straight-line block, an if/else diamond, or a counted loop.
+/// Always terminates (loops are counted), always ends in `halt`.
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(0u8..3, 1..8).prop_map(|segments| {
+        let mut a = Asm::new();
+        a.alloc_u64("data", &[7; 64]);
+        a.li(R10, 0); // accumulator
+        for (i, seg) in segments.iter().enumerate() {
+            match seg {
+                0 => {
+                    // straight line
+                    a.addi(R10, R10, 3);
+                    a.slli(R11, R10, 1);
+                    a.xor(R10, R10, R11);
+                }
+                1 => {
+                    // diamond
+                    let t = format!("then{i}");
+                    let j = format!("join{i}");
+                    a.andi(R11, R10, 1);
+                    a.beq(R11, R0, &t);
+                    a.addi(R10, R10, 5);
+                    a.j(&j);
+                    a.label(&t);
+                    a.addi(R10, R10, 9);
+                    a.label(&j);
+                }
+                _ => {
+                    // counted loop with a load
+                    let l = format!("loop{i}");
+                    a.li(R12, 5);
+                    a.li(R13, 0); // data cursor
+                    a.label(&l);
+                    a.ld(R14, R13, 0);
+                    a.add(R10, R10, R14);
+                    a.addi(R13, R13, 8);
+                    a.addi(R12, R12, -1);
+                    a.bne(R12, R0, &l);
+                }
+            }
+        }
+        a.halt();
+        a.finish().expect("generated program assembles")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CFG partitions the program: every PC in exactly one block; edges
+    /// are symmetric; every non-entry reachable block has a predecessor.
+    #[test]
+    fn cfg_partitions_program(p in arb_program()) {
+        let cfg = Cfg::build(&p);
+        let total: usize = cfg.blocks.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(total, p.len());
+        for (id, b) in cfg.blocks.iter().enumerate() {
+            for pc in b.pcs() {
+                prop_assert_eq!(cfg.block_of(pc), id);
+            }
+            for &s in &b.succs {
+                prop_assert!(cfg.blocks[s].preds.contains(&id));
+            }
+        }
+    }
+
+    /// Dominator axioms: entry dominates every reachable block; dominance
+    /// is reflexive; the idom of a block strictly dominates it.
+    #[test]
+    fn dominator_axioms(p in arb_program()) {
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        for b in 0..cfg.len() {
+            prop_assert!(dom.dominates(b, b));
+            if dom.idom[b].is_some() {
+                prop_assert!(dom.dominates(cfg.entry, b));
+                let id = dom.idom[b].unwrap();
+                prop_assert!(dom.dominates(id, b));
+            }
+        }
+    }
+
+    /// Loop forest structure: headers dominate their bodies; child loops
+    /// nest strictly inside their parents; depths are consistent.
+    #[test]
+    fn loop_forest_structure(p in arb_program()) {
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        for l in &forest.loops {
+            for &b in &l.blocks {
+                prop_assert!(dom.dominates(l.header, b), "header dominates body");
+            }
+            if let Some(parent) = l.parent {
+                prop_assert!(l.blocks.is_subset(&forest.loops[parent].blocks));
+                prop_assert_eq!(l.depth, forest.loops[parent].depth + 1);
+            } else {
+                prop_assert_eq!(l.depth, 0);
+            }
+        }
+    }
+
+    /// Slice closure: every built p-thread's members are inside the
+    /// program; the d-load is a member; live-ins never include r0; members
+    /// are strictly sorted.
+    #[test]
+    fn slices_are_wellformed(p in arb_program()) {
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::compute(&cfg, &dom);
+        let prof = profile(&p, &cfg, &forest, HierConfig::paper(), 1_000_000).unwrap();
+        let scfg = SlicerConfig { dload_min_misses: 1, dload_miss_fraction: 0.0, ..Default::default() };
+        for (pc, misses) in prof.ranked_loads() {
+            let out = build_entry(pc, misses, &p, &cfg, &forest, &prof, &scfg);
+            if let Ok(e) = out.result {
+                prop_assert!(e.members.contains(&e.dload_pc));
+                prop_assert!(e.members.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(e.members.iter().all(|&m| (m as usize) < p.len()));
+                prop_assert!(e.live_ins.iter().all(|r| !r.is_zero()));
+                // Validate through the table-level checker too.
+                let table = spear_isa::PThreadTable { entries: vec![e] };
+                prop_assert!(table.validate(&p).is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Per-workload diagnostic: the compile report (d-loads, slices,
+//! live-ins) followed by the full SPEAR counters on every machine model.
+//! The first stop when a benchmark behaves unexpectedly.
+//!
+//! Run with: `cargo run --release -p spear --example diag [workload]`
+
+use spear::machines::Machine;
+use spear::runner::{compile_workload, run_one};
+use spear_workloads::by_name;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mcf".into());
+    let Some(w) = by_name(&name) else {
+        eprintln!("unknown workload `{name}`");
+        std::process::exit(1);
+    };
+    let (table, report) = compile_workload(&w);
+    println!("== compile report for {name}");
+    println!(
+        "profiled insts: {}  total misses: {}",
+        report.profiled_insts, report.total_misses
+    );
+    for e in &report.built {
+        println!(
+            "  dload @{}: slice {} insts, {} live-ins, dcycle {:.1}, misses {}",
+            e.dload_pc, e.slice_len, e.live_ins, e.dcycle, e.misses
+        );
+    }
+    for (pc, r) in &report.skipped {
+        println!("  skipped @{pc}: {r:?}");
+    }
+    for e in &table.entries {
+        println!(
+            "  entry @{} members {:?} live_ins {:?}",
+            e.dload_pc, e.members, e.live_ins
+        );
+    }
+    for m in Machine::ALL {
+        let o = run_one(&w, &table, m, None);
+        let s = &o.stats;
+        println!(
+            "== {m}: cycles={} ipc={:.4} misses(main)={} bpred={:.4}",
+            s.cycles,
+            s.ipc(),
+            s.l1d_main_misses,
+            s.branch_hit_ratio()
+        );
+        if m.is_spear() {
+            println!(
+                "   triggers acc={} busy={} occ={} | aborts flush={} missed={} | completed={} | pth insts={} loads={} faults={} | missed_extr={} livein_cyc={}",
+                s.triggers_accepted,
+                s.triggers_ignored_busy,
+                s.triggers_rejected_occupancy,
+                s.preexec_aborted_flush,
+                s.preexec_aborted_missed,
+                s.preexec_completed,
+                s.pthread_insts,
+                s.pthread_loads,
+                s.pthread_faults,
+                s.missed_extractions,
+                s.livein_copy_cycles
+            );
+            println!(
+                "   prefetches timely={} late={} | episode len {} | extractions {}",
+                s.useful_prefetches, s.late_prefetches, s.episode_cycles, s.episode_extractions
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! `spear-sim` — the cycle-level simulator driver.
+//!
+//! Runs a `.spear` executable (produced by `spearc`) on any of the five
+//! evaluated machine models, printing the full statistics block, and
+//! optionally an episode trace.
+//!
+//! ```text
+//! spear-sim mcf.spear                          # baseline superscalar
+//! spear-sim mcf.spear -m spear-128             # the SPEAR machine
+//! spear-sim workload:mcf -m spear-128          # compile+run a built-in workload
+//! spear-sim mcf.spear -m spear-256 --mem-latency 200
+//! spear-sim mcf.spear -m spear-128 --trace 40  # print the last 40 episode events
+//! ```
+
+use spear::Machine;
+use spear_cpu::Core;
+use spear_isa::binfile;
+use spear_mem::LatencyConfig;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spear-sim FILE.spear [-m MACHINE] [--mem-latency N]\n\
+         \x20      [--max-cycles N] [--max-insts N] [--trace N] [--quiet]\n\n\
+         machines: baseline, spear-128, spear-256, spear-sf-128, spear-sf-256"
+    );
+    exit(2)
+}
+
+fn parse_machine(s: &str) -> Machine {
+    match s {
+        "baseline" | "superscalar" => Machine::Baseline,
+        "spear-128" => Machine::Spear128,
+        "spear-256" => Machine::Spear256,
+        "spear-sf-128" | "spear.sf-128" => Machine::SpearSf128,
+        "spear-sf-256" | "spear.sf-256" => Machine::SpearSf256,
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut file: Option<String> = None;
+    let mut machine = Machine::Baseline;
+    let mut latency: Option<LatencyConfig> = None;
+    let mut max_cycles = u64::MAX;
+    let mut max_insts = u64::MAX;
+    let mut trace: Option<usize> = None;
+    let mut quiet = false;
+
+    let mut it = args.into_iter();
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("spear-sim: {flag} needs a value");
+            exit(2)
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-m" | "--machine" => machine = parse_machine(&next_val(&mut it, "-m")),
+            "--mem-latency" => {
+                let mem: u32 = next_val(&mut it, "--mem-latency").parse().unwrap_or_else(|_| usage());
+                latency = Some(LatencyConfig::sweep_point(mem));
+            }
+            "--max-cycles" => {
+                max_cycles = next_val(&mut it, "--max-cycles").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-insts" => {
+                max_insts = next_val(&mut it, "--max-insts").parse().unwrap_or_else(|_| usage())
+            }
+            "--trace" => {
+                trace = Some(next_val(&mut it, "--trace").parse().unwrap_or_else(|_| usage()))
+            }
+            "--quiet" => quiet = true,
+            _ if file.is_none() && !arg.starts_with('-') => file = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(file) = file else { usage() };
+    let binary = if let Some(name) = file.strip_prefix("workload:") {
+        // Convenience path: compile the built-in workload in-process
+        // (profiling input drives the compiler; evaluation input runs).
+        let Some(w) = spear_workloads::by_name(name) else {
+            eprintln!("spear-sim: unknown workload `{name}`");
+            exit(1)
+        };
+        let (table, _) = spear::runner::compile_workload(&w);
+        spear_compiler::SpearCompiler::attach(w.eval_program(), table)
+    } else {
+        let bytes = std::fs::read(&file).unwrap_or_else(|e| {
+            eprintln!("spear-sim: cannot read `{file}`: {e}");
+            exit(1)
+        });
+        binfile::load(&bytes).unwrap_or_else(|e| {
+            eprintln!("spear-sim: `{file}`: {e}");
+            exit(1)
+        })
+    };
+
+    let cfg = machine.config(latency);
+    let mut core = Core::new(&binary, cfg);
+    if let Some(cap) = trace {
+        core.enable_trace(cap);
+    }
+    let res = core.run(max_cycles, max_insts).unwrap_or_else(|e| {
+        eprintln!("spear-sim: {e}");
+        exit(1)
+    });
+    let s = &res.stats;
+
+    println!("machine       {}", machine.name());
+    println!("exit          {:?}", res.exit);
+    println!("cycles        {}", s.cycles);
+    println!("committed     {}", s.committed);
+    println!("IPC           {:.4}", s.ipc());
+    if !quiet {
+        println!("loads/stores  {} / {}", s.committed_loads, s.committed_stores);
+        println!("branches      {} (IPB {:.2})", s.committed_branches, s.ipb());
+        println!("bpred hit     {:.4}", s.branch_hit_ratio());
+        println!("recoveries    {} ({} squashed)", s.recoveries, s.squashed);
+        println!("L1D misses    {} main / {} p-thread", s.l1d_main_misses, s.l1d_pthread_misses);
+        if machine.is_spear() {
+            println!(
+                "triggers      {} accepted / {} busy / {} below-occupancy",
+                s.triggers_accepted, s.triggers_ignored_busy, s.triggers_rejected_occupancy
+            );
+            println!(
+                "episodes      {} completed / {} flush-aborted / {} missed / {} re-armed",
+                s.preexec_completed,
+                s.preexec_aborted_flush,
+                s.preexec_aborted_missed,
+                s.preexec_retargets
+            );
+            println!(
+                "p-thread      {} insts, {} loads, {} faults, {} live-in copy cycles",
+                s.pthread_insts, s.pthread_loads, s.pthread_faults, s.livein_copy_cycles
+            );
+            println!(
+                "prefetches    {} timely / {} late of {} issued",
+                s.useful_prefetches, s.late_prefetches, s.pthread_loads
+            );
+            println!("episode len   {}", s.episode_cycles);
+            println!("extractions   {}", s.episode_extractions);
+        }
+    }
+    if let Some(t) = core.trace() {
+        println!("\nepisode trace (last {} of {} events):", t.len(), t.total);
+        for e in t.events() {
+            println!("  {e}");
+        }
+    }
+}

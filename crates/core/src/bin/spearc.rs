@@ -1,0 +1,204 @@
+//! `spearc` — the SPEAR post-compiler driver.
+//!
+//! Compiles a program (a `.s` assembly file or a built-in workload) into a
+//! SPEAR executable: profiles it, identifies delinquent loads, constructs
+//! p-threads, and writes the `.spear` binary with the table attached.
+//!
+//! ```text
+//! spearc input.s -o out.spear            # compile an assembly file
+//! spearc workload:mcf -o mcf.spear       # compile a built-in workload
+//! spearc input.s --report                # print the compile report only
+//! spearc input.s --min-misses 32 --dcycle 240 --slice-cap 64
+//! ```
+
+use spear_compiler::{CompilerConfig, SpearCompiler};
+use spear_isa::{binfile, parse_asm, Program};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spearc <input.s | workload:NAME[@scale=N][@seed=N]> [-o OUT.spear] [--report]\n\
+         \x20      [--min-misses N] [--miss-fraction F] [--max-dloads N]\n\
+         \x20      [--dcycle N] [--slice-cap N] [--edge-threshold F]\n\
+         \x20      [--profile-insts N] [--no-mem-deps] [--dot]\n\n\
+         built-in workloads: {}",
+        spear_workloads::all()
+            .iter()
+            .map(|w| w.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    exit(2)
+}
+
+/// `workload:NAME[@scale=N][@seed=N]` or a `.s` path.
+fn load_input(spec: &str) -> Program {
+    if let Some(rest) = spec.strip_prefix("workload:") {
+        let mut parts = rest.split('@');
+        let name = parts.next().unwrap_or(rest);
+        let Some(w) = spear_workloads::by_name(name) else {
+            eprintln!("spearc: unknown workload `{name}`");
+            exit(1)
+        };
+        let mut input = w.profile_input;
+        for p in parts {
+            if let Some(v) = p.strip_prefix("scale=") {
+                input.scale = v.parse().unwrap_or_else(|_| {
+                    eprintln!("spearc: bad scale `{v}`");
+                    exit(2)
+                });
+            } else if let Some(v) = p.strip_prefix("seed=") {
+                input.seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("spearc: bad seed `{v}`");
+                    exit(2)
+                });
+            } else {
+                eprintln!("spearc: bad workload parameter `{p}`");
+                exit(2)
+            }
+        }
+        (w.build)(input)
+    } else {
+        let src = std::fs::read_to_string(spec).unwrap_or_else(|e| {
+            eprintln!("spearc: cannot read `{spec}`: {e}");
+            exit(1)
+        });
+        parse_asm(&src).unwrap_or_else(|e| {
+            eprintln!("spearc: {spec}: {e}");
+            exit(1)
+        })
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut report_only = false;
+    let mut dot = false;
+    let mut cfg = CompilerConfig::default();
+
+    let mut it = args.into_iter();
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("spearc: {flag} needs a value");
+            exit(2)
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" => output = Some(next_val(&mut it, "-o")),
+            "--report" => report_only = true,
+            "--min-misses" => {
+                cfg.slicer.dload_min_misses = next_val(&mut it, "--min-misses")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--miss-fraction" => {
+                cfg.slicer.dload_miss_fraction = next_val(&mut it, "--miss-fraction")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--max-dloads" => {
+                cfg.slicer.max_dloads =
+                    next_val(&mut it, "--max-dloads").parse().unwrap_or_else(|_| usage())
+            }
+            "--dcycle" => {
+                cfg.slicer.dcycle_limit =
+                    next_val(&mut it, "--dcycle").parse().unwrap_or_else(|_| usage())
+            }
+            "--slice-cap" => {
+                cfg.slicer.slice_cap = Some(
+                    next_val(&mut it, "--slice-cap").parse().unwrap_or_else(|_| usage()),
+                )
+            }
+            "--edge-threshold" => {
+                cfg.slicer.edge_threshold = next_val(&mut it, "--edge-threshold")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--profile-insts" => {
+                cfg.profile_max_insts = next_val(&mut it, "--profile-insts")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--no-mem-deps" => cfg.slicer.follow_mem_deps = false,
+            "--dot" => dot = true,
+            _ if input.is_none() && !arg.starts_with('-') => input = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+    let program = load_input(&input);
+
+    // Static diagnostics before compiling.
+    for l in spear_isa::lint::lint(&program) {
+        eprintln!("spearc: warning: {l}");
+    }
+
+    let (binary, report) = SpearCompiler::new(cfg).compile(&program).unwrap_or_else(|e| {
+        eprintln!("spearc: {e}");
+        exit(1)
+    });
+
+    println!(
+        "profiled {} instructions; {} L1D misses; {} d-load candidate(s)",
+        report.profiled_insts,
+        report.total_misses,
+        report.candidates.len()
+    );
+    for e in &report.built {
+        println!(
+            "  d-load @{:<6} slice {:>4} insts, {} live-ins, region d-cycle {:>8.1}, {} misses",
+            e.dload_pc, e.slice_len, e.live_ins, e.dcycle, e.misses
+        );
+    }
+    for (pc, reason) in &report.skipped {
+        println!("  d-load @{pc:<6} skipped: {reason:?}");
+    }
+
+    if dot {
+        // Graphviz exports next to the binary: the CFG and each slice.
+        use spear_compiler::{cfg_dot, profile, slice_dot, Cfg, Dominators, LoopForest};
+        let cfgg = Cfg::build(&program);
+        let dom = Dominators::compute(&cfgg);
+        let forest = LoopForest::compute(&cfgg, &dom);
+        let prof = profile(&program, &cfgg, &forest, spear_mem::HierConfig::paper(), 10_000_000)
+            .expect("profile for dot");
+        let stem = input
+            .strip_prefix("workload:")
+            .unwrap_or(&input)
+            .trim_end_matches(".s")
+            .to_string();
+        let cfg_path = format!("{stem}.cfg.dot");
+        std::fs::write(&cfg_path, cfg_dot(&program, &cfgg, &forest)).expect("write dot");
+        println!("wrote {cfg_path}");
+        for e in &binary.table.entries {
+            let path = format!("{stem}.slice{}.dot", e.dload_pc);
+            std::fs::write(&path, slice_dot(&program, &prof, e, 0.25)).expect("write dot");
+            println!("wrote {path}");
+        }
+    }
+    if report_only {
+        return;
+    }
+    let out = output.unwrap_or_else(|| {
+        let base = input.strip_prefix("workload:").unwrap_or(&input);
+        let base = base.split('@').next().unwrap_or(base);
+        format!("{}.spear", base.trim_end_matches(".s"))
+    });
+    let bytes = binfile::save(&binary);
+    std::fs::write(&out, &bytes).unwrap_or_else(|e| {
+        eprintln!("spearc: cannot write `{out}`: {e}");
+        exit(1)
+    });
+    println!(
+        "wrote {out} ({} bytes: {} instructions, {} p-threads)",
+        bytes.len(),
+        binary.program.len(),
+        binary.table.len()
+    );
+}

@@ -1,0 +1,153 @@
+//! Functional-unit pools.
+//!
+//! Table 2's execution resources: 4 integer ALUs + 1 integer MUL/DIV,
+//! 4 FP ALUs + 1 FP MUL/DIV, 2 memory ports. ALUs and multipliers are
+//! pipelined (a unit is occupied for one cycle per issue); divide and
+//! square root are non-pipelined (the unit is occupied for the full
+//! latency), matching `sim-outorder`.
+//!
+//! The `.sf` machine models of Figure 7 instantiate a second, dedicated
+//! [`FuPool`] for the p-thread.
+
+use crate::config::CoreConfig;
+use spear_isa::FuClass;
+
+/// Which pool a [`FuClass`] maps to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pool {
+    IntAlu,
+    IntMulDiv,
+    FpAlu,
+    FpMulDiv,
+    MemPort,
+    None,
+}
+
+fn pool_of(class: FuClass) -> Pool {
+    match class {
+        FuClass::IntAlu | FuClass::Ctrl => Pool::IntAlu,
+        FuClass::IntMul | FuClass::IntDiv => Pool::IntMulDiv,
+        FuClass::FpAlu => Pool::FpAlu,
+        FuClass::FpMul | FuClass::FpDiv => Pool::FpMulDiv,
+        FuClass::RdPort | FuClass::WrPort => Pool::MemPort,
+        FuClass::None => Pool::None,
+    }
+}
+
+/// A set of functional units, each with a busy-until cycle.
+#[derive(Clone, Debug)]
+pub struct FuPool {
+    int_alu: Vec<u64>,
+    int_muldiv: Vec<u64>,
+    fp_alu: Vec<u64>,
+    fp_muldiv: Vec<u64>,
+    mem_ports: Vec<u64>,
+}
+
+impl FuPool {
+    /// Build the pool described by the configuration.
+    pub fn new(cfg: &CoreConfig) -> FuPool {
+        FuPool {
+            int_alu: vec![0; cfg.int_alu],
+            int_muldiv: vec![0; cfg.int_muldiv],
+            fp_alu: vec![0; cfg.fp_alu],
+            fp_muldiv: vec![0; cfg.fp_muldiv],
+            mem_ports: vec![0; cfg.mem_ports],
+        }
+    }
+
+    fn units(&mut self, pool: Pool) -> Option<&mut Vec<u64>> {
+        match pool {
+            Pool::IntAlu => Some(&mut self.int_alu),
+            Pool::IntMulDiv => Some(&mut self.int_muldiv),
+            Pool::FpAlu => Some(&mut self.fp_alu),
+            Pool::FpMulDiv => Some(&mut self.fp_muldiv),
+            Pool::MemPort => Some(&mut self.mem_ports),
+            Pool::None => None,
+        }
+    }
+
+    /// Try to acquire a unit of `class` at cycle `now`, occupying it for
+    /// `occupy` cycles. Returns false if every unit of the class is busy.
+    /// `FuClass::None` always succeeds (no resource needed).
+    pub fn acquire(&mut self, class: FuClass, now: u64, occupy: u64) -> bool {
+        let Some(units) = self.units(pool_of(class)) else {
+            return true;
+        };
+        for busy_until in units.iter_mut() {
+            if *busy_until <= now {
+                *busy_until = now + occupy.max(1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// How many units of the class are free at `now` (for tests/stats).
+    pub fn free(&mut self, class: FuClass, now: u64) -> usize {
+        match self.units(pool_of(class)) {
+            Some(units) => units.iter().filter(|&&b| b <= now).count(),
+            None => usize::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> FuPool {
+        FuPool::new(&CoreConfig::baseline())
+    }
+
+    #[test]
+    fn four_int_alus_then_stall() {
+        let mut p = pool();
+        for _ in 0..4 {
+            assert!(p.acquire(FuClass::IntAlu, 10, 1));
+        }
+        assert!(!p.acquire(FuClass::IntAlu, 10, 1), "fifth ALU op stalls");
+        assert!(p.acquire(FuClass::IntAlu, 11, 1), "freed next cycle");
+    }
+
+    #[test]
+    fn ctrl_shares_int_alus() {
+        let mut p = pool();
+        for _ in 0..4 {
+            assert!(p.acquire(FuClass::Ctrl, 0, 1));
+        }
+        assert!(!p.acquire(FuClass::IntAlu, 0, 1));
+    }
+
+    #[test]
+    fn div_blocks_the_muldiv_unit() {
+        let mut p = pool();
+        assert!(p.acquire(FuClass::IntDiv, 0, 20));
+        assert!(!p.acquire(FuClass::IntMul, 5, 1), "unit busy for 20 cycles");
+        assert!(p.acquire(FuClass::IntMul, 20, 1));
+    }
+
+    #[test]
+    fn two_memory_ports() {
+        let mut p = pool();
+        assert!(p.acquire(FuClass::RdPort, 0, 1));
+        assert!(p.acquire(FuClass::WrPort, 0, 1));
+        assert!(!p.acquire(FuClass::RdPort, 0, 1), "both ports taken");
+    }
+
+    #[test]
+    fn none_class_needs_no_unit() {
+        let mut p = pool();
+        for _ in 0..100 {
+            assert!(p.acquire(FuClass::None, 0, 1));
+        }
+    }
+
+    #[test]
+    fn free_counts() {
+        let mut p = pool();
+        assert_eq!(p.free(FuClass::FpAlu, 0), 4);
+        p.acquire(FuClass::FpAlu, 0, 1);
+        assert_eq!(p.free(FuClass::FpAlu, 0), 3);
+    }
+}

@@ -1,0 +1,220 @@
+//! The Instruction Fetch Queue (§3.1–3.2).
+//!
+//! A circular FIFO between fetch and decode. SPEAR's distinctive feature
+//! lives here: during pre-decode, instructions whose PC is in the p-thread
+//! table are *marked* with a p-thread indicator; the P-thread Extractor
+//! (PE) later scans the queue from its `p-thread head` position, copies
+//! marked instructions to the decoder, and switches the indicator off so
+//! each instruction is pre-executed at most once. The instruction itself
+//! stays in the queue — it still belongs to the main program.
+
+use spear_bpred::Prediction;
+use spear_isa::Inst;
+use std::collections::VecDeque;
+
+/// One IFQ slot.
+#[derive(Clone, Debug)]
+pub struct IfqEntry {
+    /// Fetch sequence number (globally unique, monotonic).
+    pub seq: u64,
+    /// Instruction PC.
+    pub pc: u32,
+    /// The instruction word (available after the fetch).
+    pub inst: Inst,
+    /// Next-PC prediction made at fetch.
+    pub pred: Prediction,
+    /// The p-thread indicator set by pre-decode.
+    pub marked: bool,
+    /// True if pre-decode matched this PC in the d-load set.
+    pub is_dload: bool,
+}
+
+/// The queue. `scan` is the PE's "p-thread head" pointer, kept as an index
+/// into the live entries and adjusted as the main thread consumes from the
+/// front.
+#[derive(Clone, Debug)]
+pub struct Ifq {
+    entries: VecDeque<IfqEntry>,
+    capacity: usize,
+    scan: usize,
+}
+
+impl Ifq {
+    /// An empty queue of `capacity` entries.
+    pub fn new(capacity: usize) -> Ifq {
+        assert!(capacity > 0);
+        Ifq { entries: VecDeque::with_capacity(capacity), capacity, scan: 0 }
+    }
+
+    /// Occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no fetch slot is free.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Insert a fetched instruction at the tail. Panics if full (the fetch
+    /// stage checks [`Ifq::is_full`] first).
+    pub fn push(&mut self, entry: IfqEntry) {
+        assert!(!self.is_full(), "IFQ overflow");
+        self.entries.push_back(entry);
+    }
+
+    /// Peek the head entry (the next instruction decode will take).
+    pub fn front(&self) -> Option<&IfqEntry> {
+        self.entries.front()
+    }
+
+    /// Remove the head entry for main-thread decode; the PE scan position
+    /// shifts with the queue.
+    pub fn pop_front(&mut self) -> Option<IfqEntry> {
+        let e = self.entries.pop_front();
+        if e.is_some() {
+            self.scan = self.scan.saturating_sub(1);
+        }
+        e
+    }
+
+    /// Reset the PE scan to the queue head (entering pre-execution mode:
+    /// "the PE … scans each entry starting with the head of the IFQ").
+    pub fn reset_scan(&mut self) {
+        self.scan = 0;
+    }
+
+    /// Advance the PE scan to the next marked entry; extract it (clear the
+    /// indicator, move the p-thread head past it) and return a copy.
+    ///
+    /// Returns `None` when no marked entry remains between the p-thread
+    /// head and the tail.
+    pub fn extract_next_marked(&mut self) -> Option<IfqEntry> {
+        while self.scan < self.entries.len() {
+            let idx = self.scan;
+            if self.entries[idx].marked {
+                self.entries[idx].marked = false;
+                self.scan = idx + 1;
+                return Some(self.entries[idx].clone());
+            }
+            self.scan += 1;
+        }
+        None
+    }
+
+    /// Drop everything (branch-misprediction recovery flush).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.scan = 0;
+    }
+
+    /// Iterate entries from head to tail (diagnostics/tests).
+    pub fn iter(&self) -> impl Iterator<Item = &IfqEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_isa::Inst;
+
+    fn entry(seq: u64, marked: bool) -> IfqEntry {
+        IfqEntry {
+            seq,
+            pc: seq as u32,
+            inst: Inst::nop(),
+            pred: Prediction { next_pc: seq as u32 + 1, taken: None },
+            marked,
+            is_dload: false,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = Ifq::new(4);
+        q.push(entry(1, false));
+        q.push(entry(2, false));
+        assert_eq!(q.pop_front().unwrap().seq, 1);
+        assert_eq!(q.pop_front().unwrap().seq, 2);
+        assert!(q.pop_front().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "IFQ overflow")]
+    fn overflow_panics() {
+        let mut q = Ifq::new(1);
+        q.push(entry(1, false));
+        q.push(entry(2, false));
+    }
+
+    #[test]
+    fn extraction_skips_unmarked_and_clears_indicator() {
+        let mut q = Ifq::new(8);
+        q.push(entry(1, false));
+        q.push(entry(2, true));
+        q.push(entry(3, false));
+        q.push(entry(4, true));
+        q.reset_scan();
+        assert_eq!(q.extract_next_marked().unwrap().seq, 2);
+        assert_eq!(q.extract_next_marked().unwrap().seq, 4);
+        assert!(q.extract_next_marked().is_none());
+        // Indicators are off but entries remain for the main thread.
+        assert_eq!(q.len(), 4);
+        assert!(q.iter().all(|e| !e.marked));
+    }
+
+    #[test]
+    fn extraction_does_not_reextract_after_reset() {
+        let mut q = Ifq::new(8);
+        q.push(entry(1, true));
+        q.reset_scan();
+        assert_eq!(q.extract_next_marked().unwrap().seq, 1);
+        q.reset_scan();
+        assert!(q.extract_next_marked().is_none(), "indicator was cleared");
+    }
+
+    #[test]
+    fn scan_position_survives_head_pops() {
+        let mut q = Ifq::new(8);
+        for s in 1..=5 {
+            q.push(entry(s, s >= 4));
+        }
+        q.reset_scan();
+        assert_eq!(q.extract_next_marked().unwrap().seq, 4);
+        // Main decode consumes two entries from the head.
+        q.pop_front();
+        q.pop_front();
+        // Scan should resume after seq 4, finding seq 5.
+        assert_eq!(q.extract_next_marked().unwrap().seq, 5);
+    }
+
+    #[test]
+    fn marked_entries_pushed_during_scan_are_found() {
+        let mut q = Ifq::new(8);
+        q.push(entry(1, false));
+        q.reset_scan();
+        assert!(q.extract_next_marked().is_none());
+        q.push(entry(2, true));
+        assert_eq!(q.extract_next_marked().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn flush_empties_and_resets() {
+        let mut q = Ifq::new(4);
+        q.push(entry(1, true));
+        q.flush();
+        assert!(q.is_empty());
+        assert!(q.extract_next_marked().is_none());
+    }
+}

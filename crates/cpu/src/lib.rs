@@ -1,0 +1,28 @@
+//! # spear-cpu — the cycle-level SMT core with the SPEAR front end
+//!
+//! Models the machine of §3 and Table 2: an 8-wide out-of-order superscalar
+//! with a Register-Update-Unit-style scheduler, a circular Instruction
+//! Fetch Queue, bimodal branch prediction, split L1 caches over a unified
+//! L2 — plus the SPEAR hardware: p-thread indicators written at pre-decode,
+//! a d-load detector, trigger logic with the IFQ-occupancy condition and
+//! live-in copying, the P-thread Extractor, priority issue for the
+//! p-thread, and optional dedicated p-thread functional units (the `.sf`
+//! models of Figure 7).
+//!
+//! Committed architectural state is bit-identical to the
+//! [`spear_exec::Interp`] golden model by construction (execute-at-dispatch
+//! oracle timing); the differential tests in `tests/` enforce this for
+//! every workload.
+
+pub mod config;
+pub mod core;
+pub mod fu;
+pub mod hist;
+pub mod ifq;
+pub mod stats;
+pub mod trace;
+
+pub use crate::core::{Core, RunResult, SimError, Thread};
+pub use config::{CoreConfig, OpLatencies, SpearConfig};
+pub use hist::Histogram;
+pub use stats::{CoreStats, RunExit};

@@ -1,0 +1,141 @@
+//! Simulation statistics.
+
+use crate::hist::Histogram;
+use serde::{Deserialize, Serialize};
+use spear_bpred::PredStats;
+use spear_mem::CacheStats;
+
+/// Counters accumulated by one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Main-thread instructions committed.
+    pub committed: u64,
+    /// Main-thread loads committed.
+    pub committed_loads: u64,
+    /// Main-thread stores committed.
+    pub committed_stores: u64,
+    /// Main-thread control-flow instructions committed (for IPB).
+    pub committed_branches: u64,
+    /// Instructions fetched (true and wrong path).
+    pub fetched: u64,
+    /// Wrong-path instructions dispatched and later squashed.
+    pub squashed: u64,
+    /// Branch mispredictions recovered.
+    pub recoveries: u64,
+
+    // ---- SPEAR-specific ------------------------------------------------
+    /// Triggers accepted (pre-execution episodes started).
+    pub triggers_accepted: u64,
+    /// D-load detections ignored because a pre-execution episode was
+    /// already in progress (the paper's "excessive triggering" signal).
+    pub triggers_ignored_busy: u64,
+    /// D-load detections rejected by the IFQ-occupancy condition.
+    pub triggers_rejected_occupancy: u64,
+    /// Episodes abandoned after a branch-misprediction IFQ flush (no
+    /// refetched d-load instance arrived within the re-arm window).
+    pub preexec_aborted_flush: u64,
+    /// Episodes re-armed onto a refetched d-load instance after a flush.
+    pub preexec_retargets: u64,
+    /// Episodes aborted because the main thread decoded the triggering
+    /// d-load before the PE could extract it.
+    pub preexec_aborted_missed: u64,
+    /// Episodes that ran to d-load retirement.
+    pub preexec_completed: u64,
+    /// P-thread instructions extracted and executed.
+    pub pthread_insts: u64,
+    /// P-thread loads executed (prefetches issued).
+    pub pthread_loads: u64,
+    /// Marked instructions consumed by main decode before extraction.
+    pub missed_extractions: u64,
+    /// Cycles spent copying live-ins.
+    pub livein_copy_cycles: u64,
+    /// P-thread instructions dropped because their speculative address
+    /// faulted.
+    pub pthread_faults: u64,
+
+    // ---- substrates ----------------------------------------------------
+    /// Branch predictor statistics.
+    pub bpred: PredStats,
+    /// L1 data cache statistics.
+    pub l1d: CacheStats,
+    /// Unified L2 statistics.
+    pub l2: CacheStats,
+    /// L1D misses attributed to main-thread accesses.
+    pub l1d_main_misses: u64,
+    /// L1D misses incurred by p-thread prefetch accesses.
+    pub l1d_pthread_misses: u64,
+    /// Main-thread L1 hits on lines the p-thread prefetched (useful
+    /// prefetches — the paper's future-work "actual effectiveness of the
+    /// p-thread execution").
+    pub useful_prefetches: u64,
+    /// Main-thread accesses that merged into a still-in-flight p-thread
+    /// fill (late prefetches: partially hidden latency).
+    pub late_prefetches: u64,
+    /// Distribution of episode durations (cycles from trigger acceptance
+    /// to completion or abort).
+    pub episode_cycles: Histogram,
+    /// Distribution of instructions extracted per episode.
+    pub episode_extractions: Histogram,
+}
+
+impl CoreStats {
+    /// Main-thread instructions per cycle — the paper's metric ("the
+    /// performance is measured in terms of IPC of the main program
+    /// thread").
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Instructions per branch (Table 3).
+    pub fn ipb(&self) -> f64 {
+        if self.committed_branches == 0 {
+            self.committed as f64
+        } else {
+            self.committed as f64 / self.committed_branches as f64
+        }
+    }
+
+    /// Branch direction hit ratio (Table 3).
+    pub fn branch_hit_ratio(&self) -> f64 {
+        self.bpred.hit_ratio()
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunExit {
+    /// The program's `halt` committed.
+    Halted,
+    /// The cycle budget was exhausted first.
+    CycleBudget,
+    /// The committed-instruction budget was exhausted first.
+    InstBudget,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_ipb() {
+        let s = CoreStats {
+            cycles: 100,
+            committed: 250,
+            committed_branches: 50,
+            ..Default::default()
+        };
+        assert_eq!(s.ipc(), 2.5);
+        assert_eq!(s.ipb(), 5.0);
+    }
+
+    #[test]
+    fn zero_cycle_ipc_is_zero() {
+        assert_eq!(CoreStats::default().ipc(), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Episode tracing: a bounded log of SPEAR front-end events for
+//! debugging and for the `spear-sim --trace` CLI.
+//!
+//! Tracing is off by default and costs one branch per event site when
+//! disabled.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One traced SPEAR event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A d-load detection was accepted as a trigger.
+    Trigger {
+        /// Cycle of acceptance.
+        cycle: u64,
+        /// Static d-load PC.
+        dload_pc: u32,
+        /// IFQ occupancy at detection.
+        occupancy: usize,
+    },
+    /// Live-in copying finished; the PE was armed.
+    LiveInsCopied {
+        /// Cycle the PE went active.
+        cycle: u64,
+        /// Registers copied.
+        count: usize,
+    },
+    /// The PE extracted an instruction into the p-thread.
+    Extract {
+        /// Cycle of extraction.
+        cycle: u64,
+        /// Instruction PC.
+        pc: u32,
+        /// True for the episode-terminating d-load.
+        is_trigger: bool,
+    },
+    /// The episode finished (its d-load retired from the p-thread RUU).
+    EpisodeComplete {
+        /// Completion cycle.
+        cycle: u64,
+    },
+    /// The episode was abandoned.
+    EpisodeAborted {
+        /// Abort cycle.
+        cycle: u64,
+        /// Why.
+        reason: AbortReason,
+    },
+    /// A branch misprediction flushed the IFQ.
+    Flush {
+        /// Recovery cycle.
+        cycle: u64,
+        /// PC fetch restarted from.
+        redirect_pc: u32,
+    },
+}
+
+/// Why an episode was abandoned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// An IFQ flush emptied the queue (paper behaviour).
+    Flush,
+    /// Main decode consumed the triggering d-load first.
+    MissedTrigger,
+    /// The triggering d-load's speculative address faulted.
+    Fault,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Trigger { cycle, dload_pc, occupancy } => write!(
+                f,
+                "[{cycle:>9}] trigger      d-load @{dload_pc} (IFQ occupancy {occupancy})"
+            ),
+            Event::LiveInsCopied { cycle, count } => {
+                write!(f, "[{cycle:>9}] live-ins     {count} register(s) copied; PE armed")
+            }
+            Event::Extract { cycle, pc, is_trigger } => write!(
+                f,
+                "[{cycle:>9}] extract      @{pc}{}",
+                if *is_trigger { "  <-- triggering d-load" } else { "" }
+            ),
+            Event::EpisodeComplete { cycle } => {
+                write!(f, "[{cycle:>9}] episode done (d-load retired from p-thread RUU)")
+            }
+            Event::EpisodeAborted { cycle, reason } => {
+                write!(f, "[{cycle:>9}] episode aborted: {reason:?}")
+            }
+            Event::Flush { cycle, redirect_pc } => {
+                write!(f, "[{cycle:>9}] flush        IFQ emptied, refetch from @{redirect_pc}")
+            }
+        }
+    }
+}
+
+/// A bounded event log.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: VecDeque<Event>,
+    capacity: usize,
+    /// Total events recorded (including evicted ones).
+    pub total: u64,
+}
+
+impl Trace {
+    /// A trace holding the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Trace {
+        Trace { events: VecDeque::with_capacity(capacity.min(4096)), capacity, total: 0 }
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, event: Event) {
+        self.total += 1;
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_retention() {
+        let mut t = Trace::new(3);
+        for c in 0..10 {
+            t.record(Event::Flush { cycle: c, redirect_pc: 0 });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total, 10);
+        let first = t.events().next().unwrap();
+        assert_eq!(first, &Event::Flush { cycle: 7, redirect_pc: 0 });
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = Event::Trigger { cycle: 42, dload_pc: 7, occupancy: 99 };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains("@7") && s.contains("99"), "{s}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the IFQ's FIFO and extraction invariants under
+//! arbitrary interleavings of push / pop / extract / reset / flush.
+
+use proptest::prelude::*;
+use spear_bpred::Prediction;
+use spear_cpu::ifq::{Ifq, IfqEntry};
+use spear_isa::Inst;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Push { marked: bool },
+    Pop,
+    Extract,
+    ResetScan,
+    Flush,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<bool>().prop_map(|marked| Op::Push { marked }),
+        2 => Just(Op::Pop),
+        2 => Just(Op::Extract),
+        1 => Just(Op::ResetScan),
+        1 => Just(Op::Flush),
+    ]
+}
+
+fn entry(seq: u64, marked: bool) -> IfqEntry {
+    IfqEntry {
+        seq,
+        pc: seq as u32,
+        inst: Inst::nop(),
+        pred: Prediction { next_pc: seq as u32 + 1, taken: None },
+        marked,
+        is_dload: false,
+    }
+}
+
+proptest! {
+    /// Under any op sequence: pops come out in push (seq) order; no entry
+    /// is ever extracted twice; extracted entries were pushed marked;
+    /// occupancy never exceeds capacity.
+    #[test]
+    fn fifo_and_extraction_invariants(ops in proptest::collection::vec(arb_op(), 0..300)) {
+        let cap = 8;
+        let mut q = Ifq::new(cap);
+        let mut next_seq = 0u64;
+        let mut last_popped: Option<u64> = None;
+        let mut extracted = std::collections::HashSet::new();
+        let mut pushed_marked = std::collections::HashSet::new();
+
+        for op in ops {
+            match op {
+                Op::Push { marked } => {
+                    if !q.is_full() {
+                        if marked {
+                            pushed_marked.insert(next_seq);
+                        }
+                        q.push(entry(next_seq, marked));
+                        next_seq += 1;
+                    }
+                }
+                Op::Pop => {
+                    if let Some(e) = q.pop_front() {
+                        if let Some(prev) = last_popped {
+                            prop_assert!(e.seq > prev, "FIFO order violated");
+                        }
+                        last_popped = Some(e.seq);
+                    }
+                }
+                Op::Extract => {
+                    if let Some(e) = q.extract_next_marked() {
+                        prop_assert!(
+                            extracted.insert(e.seq),
+                            "entry {} extracted twice", e.seq
+                        );
+                        prop_assert!(
+                            pushed_marked.contains(&e.seq),
+                            "extracted an unmarked entry"
+                        );
+                    }
+                }
+                Op::ResetScan => q.reset_scan(),
+                Op::Flush => {
+                    q.flush();
+                    // FIFO ordering restarts after a flush in the sense
+                    // that remaining pops still come from later pushes,
+                    // which have larger seqs — invariant holds as-is.
+                }
+            }
+            prop_assert!(q.len() <= cap);
+        }
+    }
+
+    /// Extraction with periodic scan resets still never double-extracts
+    /// (the indicator, not the scan position, is the guard).
+    #[test]
+    fn reset_never_causes_double_extraction(marks in proptest::collection::vec(any::<bool>(), 1..64)) {
+        let mut q = Ifq::new(64);
+        for (i, &m) in marks.iter().enumerate() {
+            q.push(entry(i as u64, m));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for round in 0..4 {
+            q.reset_scan();
+            while let Some(e) = q.extract_next_marked() {
+                prop_assert!(seen.insert(e.seq), "round {round}: {} again", e.seq);
+            }
+        }
+        let expected: usize = marks.iter().filter(|&&m| m).count();
+        prop_assert_eq!(seen.len(), expected);
+    }
+}

@@ -1,0 +1,20 @@
+//! # spear-exec — functional execution of SPEAR programs
+//!
+//! The architectural golden model:
+//!
+//! - [`semantics::exec_inst`] — the single implementation of instruction
+//!   semantics, shared with the cycle-level core,
+//! - [`regfile::RegFile`] — the unified 64-entry register file,
+//! - [`memory::Memory`] — flat bounds-checked data memory,
+//! - [`interp::Interp`] — the in-order interpreter used for workload
+//!   validation, profiling, and differential testing.
+
+pub mod interp;
+pub mod memory;
+pub mod regfile;
+pub mod semantics;
+
+pub use interp::{ExecError, Interp, StepInfo, Stop};
+pub use memory::Memory;
+pub use regfile::RegFile;
+pub use semantics::{exec_inst, DataMem, MemFault, Outcome};

@@ -1,0 +1,164 @@
+//! Flat data memory.
+
+use crate::semantics::{DataMem, MemFault};
+use spear_isa::DataImage;
+
+/// Byte-addressable flat data memory.
+///
+/// Workload data images are modest (tens of MiB at most), so memory is one
+/// contiguous `Vec<u8>` — the fastest structure for a simulator's inner
+/// loop, and bounds checks double as fault detection.
+#[derive(Clone, PartialEq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Memory({} bytes)", self.bytes.len())
+    }
+}
+
+impl Memory {
+    /// `size` zero bytes.
+    pub fn zeroed(size: usize) -> Memory {
+        Memory { bytes: vec![0; size] }
+    }
+
+    /// Materialize a program's initial data image.
+    pub fn from_image(img: &DataImage) -> Memory {
+        Memory { bytes: img.to_bytes() }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    #[inline]
+    fn range(&self, addr: u64, width: usize, is_store: bool) -> Result<usize, MemFault> {
+        let a = addr as usize;
+        if addr > usize::MAX as u64 || a.checked_add(width).is_none_or(|end| end > self.bytes.len())
+        {
+            Err(MemFault { addr, width, is_store })
+        } else {
+            Ok(a)
+        }
+    }
+
+    /// Non-mutating bounds-checked read (used by speculative p-thread
+    /// memory views, which must not disturb anything).
+    pub fn peek(&self, addr: u64, width: usize) -> Result<u64, MemFault> {
+        let a = self.range(addr, width, false)?;
+        let mut buf = [0u8; 8];
+        buf[..width].copy_from_slice(&self.bytes[a..a + width]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Convenience typed readers for tests and result checking.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let a = addr as usize;
+        u64::from_le_bytes(self.bytes[a..a + 8].try_into().unwrap())
+    }
+
+    /// Read an `f64` at `addr`.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Write a `u64` at `addr` (bounds-checked by slice indexing).
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        let a = addr as usize;
+        self.bytes[a..a + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// FNV-1a hash over all bytes, for differential tests.
+    pub fn checksum(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        // Hash 8 bytes at a time for speed; the tail is padded with zeros,
+        // which is fine because length is part of the initial state.
+        let mut chunks = self.bytes.chunks_exact(8);
+        for c in &mut chunks {
+            h ^= u64::from_le_bytes(c.try_into().unwrap());
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let mut tail = [0u8; 8];
+        let rem = chunks.remainder();
+        tail[..rem.len()].copy_from_slice(rem);
+        if !rem.is_empty() {
+            h ^= u64::from_le_bytes(tail);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+impl DataMem for Memory {
+    #[inline]
+    fn load(&mut self, addr: u64, width: usize) -> Result<u64, MemFault> {
+        let a = self.range(addr, width, false)?;
+        let mut buf = [0u8; 8];
+        buf[..width].copy_from_slice(&self.bytes[a..a + width]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    #[inline]
+    fn store(&mut self, addr: u64, width: usize, value: u64) -> Result<(), MemFault> {
+        let a = self.range(addr, width, true)?;
+        self.bytes[a..a + width].copy_from_slice(&value.to_le_bytes()[..width]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_round_trip_all_widths() {
+        let mut m = Memory::zeroed(64);
+        for width in [1usize, 2, 4, 8] {
+            let v = 0xDEAD_BEEF_CAFE_F00Du64 & (u64::MAX >> (64 - width * 8));
+            m.store(16, width, v).unwrap();
+            assert_eq!(m.load(16, width).unwrap(), v, "width {width}");
+        }
+    }
+
+    #[test]
+    fn oob_access_faults() {
+        let mut m = Memory::zeroed(16);
+        assert!(m.load(9, 8).is_err());
+        assert!(m.load(16, 1).is_err());
+        assert!(m.store(u64::MAX, 8, 0).is_err());
+        assert!(m.load(8, 8).is_ok());
+    }
+
+    #[test]
+    fn from_image_zero_extends() {
+        let img = DataImage { init: vec![0xAA], size: 32 };
+        let mut m = Memory::from_image(&img);
+        assert_eq!(m.len(), 32);
+        assert_eq!(m.load(0, 1).unwrap(), 0xAA);
+        assert_eq!(m.load(8, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn checksum_sensitive_to_every_byte() {
+        let mut m = Memory::zeroed(17);
+        let c0 = m.checksum();
+        m.store(16, 1, 1).unwrap(); // the chunk tail
+        assert_ne!(m.checksum(), c0);
+    }
+
+    #[test]
+    fn unaligned_access_is_allowed() {
+        let mut m = Memory::zeroed(32);
+        m.store(3, 8, 0x0102030405060708).unwrap();
+        assert_eq!(m.load(3, 8).unwrap(), 0x0102030405060708);
+    }
+}

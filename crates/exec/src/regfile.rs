@@ -1,0 +1,133 @@
+//! The unified architectural register file.
+
+use spear_isa::reg::{Reg, NUM_REGS};
+
+/// 64 architectural registers as raw bits.
+///
+/// Integer registers hold two's-complement `i64`; FP registers hold `f64`
+/// bit patterns. Keeping one `u64` array makes copying live-ins at p-thread
+/// trigger time (and whole-file snapshots in tests) trivial.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegFile {
+    bits: [u64; NUM_REGS],
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegFile {
+    /// All registers zero.
+    pub fn new() -> RegFile {
+        RegFile { bits: [0; NUM_REGS] }
+    }
+
+    /// Raw bits of `r` (`r0` reads zero).
+    #[inline]
+    pub fn read_u64(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.bits[r.index()]
+        }
+    }
+
+    /// Signed integer view.
+    #[inline]
+    pub fn read_i64(&self, r: Reg) -> i64 {
+        self.read_u64(r) as i64
+    }
+
+    /// Floating-point view (bit cast).
+    #[inline]
+    pub fn read_f64(&self, r: Reg) -> f64 {
+        f64::from_bits(self.read_u64(r))
+    }
+
+    /// Write raw bits (writes to `r0` are discarded).
+    #[inline]
+    pub fn write_u64(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.bits[r.index()] = v;
+        }
+    }
+
+    /// Write a signed integer.
+    #[inline]
+    pub fn write_i64(&mut self, r: Reg, v: i64) {
+        self.write_u64(r, v as u64);
+    }
+
+    /// Write a float (bit cast).
+    #[inline]
+    pub fn write_f64(&mut self, r: Reg, v: f64) {
+        self.write_u64(r, v.to_bits());
+    }
+
+    /// Copy the named registers from `src` (the p-thread live-in copy).
+    pub fn copy_from(&mut self, src: &RegFile, regs: impl IntoIterator<Item = Reg>) {
+        for r in regs {
+            self.write_u64(r, src.read_u64(r));
+        }
+    }
+
+    /// FNV-1a hash of the whole file, for differential tests.
+    pub fn checksum(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in &self.bits {
+            h ^= b;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_isa::reg::*;
+
+    #[test]
+    fn r0_reads_zero_and_ignores_writes() {
+        let mut rf = RegFile::new();
+        rf.write_u64(R0, 42);
+        assert_eq!(rf.read_u64(R0), 0);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut rf = RegFile::new();
+        rf.write_f64(F7, -0.125);
+        assert_eq!(rf.read_f64(F7), -0.125);
+    }
+
+    #[test]
+    fn int_and_fp_are_separate_storage() {
+        let mut rf = RegFile::new();
+        rf.write_i64(R5, 99);
+        rf.write_f64(F5, 1.0);
+        assert_eq!(rf.read_i64(R5), 99);
+        assert_eq!(rf.read_f64(F5), 1.0);
+    }
+
+    #[test]
+    fn copy_from_copies_only_named() {
+        let mut a = RegFile::new();
+        let mut b = RegFile::new();
+        a.write_i64(R1, 11);
+        a.write_i64(R2, 22);
+        b.copy_from(&a, [R1]);
+        assert_eq!(b.read_i64(R1), 11);
+        assert_eq!(b.read_i64(R2), 0);
+    }
+
+    #[test]
+    fn checksum_changes_with_state() {
+        let mut rf = RegFile::new();
+        let c0 = rf.checksum();
+        rf.write_i64(R9, 1);
+        assert_ne!(rf.checksum(), c0);
+    }
+}

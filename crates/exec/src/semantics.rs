@@ -1,0 +1,322 @@
+//! Instruction semantics — the single source of truth.
+//!
+//! [`exec_inst`] defines what every opcode *does*. The in-order interpreter
+//! ([`crate::interp`]), the SPEAR compiler's profiler, and the cycle-level
+//! core's dispatch-time execution all call this one function, which is what
+//! makes the differential tests between the golden model and the
+//! out-of-order core meaningful: there is exactly one implementation of the
+//! ISA to agree with.
+//!
+//! Memory is abstracted behind [`DataMem`] so callers can interpose store
+//! overlays (the cycle core's p-thread isolation) or profiling hooks without
+//! duplicating semantics.
+
+use crate::regfile::RegFile;
+use spear_isa::op::Opcode;
+use spear_isa::Inst;
+use std::fmt;
+
+/// Raw data-memory access. `load` returns zero-extended bits of `width`
+/// bytes; sign extension is applied by the semantics according to the
+/// opcode. `width` is 1, 2, 4 or 8.
+pub trait DataMem {
+    /// Read `width` bytes at `addr`, zero-extended into a `u64`.
+    fn load(&mut self, addr: u64, width: usize) -> Result<u64, MemFault>;
+    /// Write the low `width` bytes of `value` at `addr`.
+    fn store(&mut self, addr: u64, width: usize, value: u64) -> Result<(), MemFault>;
+}
+
+/// An out-of-bounds data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// Faulting byte address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub width: usize,
+    /// True for stores.
+    pub is_store: bool,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fault: {} bytes at {:#x}",
+            if self.is_store { "store" } else { "load" },
+            self.width,
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// What one dynamic instruction did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outcome {
+    /// PC of the next instruction to execute.
+    pub next_pc: u32,
+    /// Effective address, for loads and stores.
+    pub eff_addr: Option<u64>,
+    /// For conditional branches: whether the branch was taken.
+    pub taken: Option<bool>,
+    /// True if this instruction was `halt`.
+    pub halted: bool,
+}
+
+/// Execute one instruction at `pc` against `regs` and `mem`.
+///
+/// Returns the [`Outcome`] (control-flow and memory effects); register
+/// effects are applied to `regs` directly. On a [`MemFault`] no register or
+/// memory state is modified.
+pub fn exec_inst(
+    inst: &Inst,
+    pc: u32,
+    regs: &mut RegFile,
+    mem: &mut impl DataMem,
+) -> Result<Outcome, MemFault> {
+    use Opcode::*;
+    let fall = pc + 1;
+    let mut out = Outcome { next_pc: fall, eff_addr: None, taken: None, halted: false };
+
+    // Integer operand helpers.
+    let x = |r| regs.read_i64(r);
+    let xu = |r| regs.read_u64(r);
+    let d = |r| regs.read_f64(r);
+
+    match inst.op {
+        // ---- integer register-register -------------------------------
+        Add => regs.write_i64(inst.rd, x(inst.rs1).wrapping_add(x(inst.rs2))),
+        Sub => regs.write_i64(inst.rd, x(inst.rs1).wrapping_sub(x(inst.rs2))),
+        Mul => regs.write_i64(inst.rd, x(inst.rs1).wrapping_mul(x(inst.rs2))),
+        Div => {
+            // RISC-V semantics: x/0 = -1, MIN/-1 = MIN; never traps.
+            let (a, b) = (x(inst.rs1), x(inst.rs2));
+            let q = if b == 0 { -1 } else { a.wrapping_div(b) };
+            regs.write_i64(inst.rd, q);
+        }
+        Rem => {
+            let (a, b) = (x(inst.rs1), x(inst.rs2));
+            let r = if b == 0 { a } else { a.wrapping_rem(b) };
+            regs.write_i64(inst.rd, r);
+        }
+        And => regs.write_i64(inst.rd, x(inst.rs1) & x(inst.rs2)),
+        Or => regs.write_i64(inst.rd, x(inst.rs1) | x(inst.rs2)),
+        Xor => regs.write_i64(inst.rd, x(inst.rs1) ^ x(inst.rs2)),
+        Sll => regs.write_u64(inst.rd, xu(inst.rs1) << (xu(inst.rs2) & 63)),
+        Srl => regs.write_u64(inst.rd, xu(inst.rs1) >> (xu(inst.rs2) & 63)),
+        Sra => regs.write_i64(inst.rd, x(inst.rs1) >> (xu(inst.rs2) & 63)),
+        Slt => regs.write_i64(inst.rd, (x(inst.rs1) < x(inst.rs2)) as i64),
+        Sltu => regs.write_i64(inst.rd, (xu(inst.rs1) < xu(inst.rs2)) as i64),
+
+        // ---- integer register-immediate ------------------------------
+        Addi => regs.write_i64(inst.rd, x(inst.rs1).wrapping_add(inst.imm)),
+        Andi => regs.write_i64(inst.rd, x(inst.rs1) & inst.imm),
+        Ori => regs.write_i64(inst.rd, x(inst.rs1) | inst.imm),
+        Xori => regs.write_i64(inst.rd, x(inst.rs1) ^ inst.imm),
+        Slli => regs.write_u64(inst.rd, xu(inst.rs1) << (inst.imm as u64 & 63)),
+        Srli => regs.write_u64(inst.rd, xu(inst.rs1) >> (inst.imm as u64 & 63)),
+        Srai => regs.write_i64(inst.rd, x(inst.rs1) >> (inst.imm as u64 & 63)),
+        Slti => regs.write_i64(inst.rd, (x(inst.rs1) < inst.imm) as i64),
+        Muli => regs.write_i64(inst.rd, x(inst.rs1).wrapping_mul(inst.imm)),
+        Li => regs.write_i64(inst.rd, inst.imm),
+
+        // ---- loads ----------------------------------------------------
+        Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | Fld => {
+            let addr = (x(inst.rs1)).wrapping_add(inst.imm) as u64;
+            let width = inst.op.mem_width();
+            let raw = mem.load(addr, width)?;
+            out.eff_addr = Some(addr);
+            match inst.op {
+                Lb => regs.write_i64(inst.rd, raw as u8 as i8 as i64),
+                Lh => regs.write_i64(inst.rd, raw as u16 as i16 as i64),
+                Lw => regs.write_i64(inst.rd, raw as u32 as i32 as i64),
+                Lbu | Lhu | Lwu | Ld => regs.write_u64(inst.rd, raw),
+                Fld => regs.write_f64(inst.rd, f64::from_bits(raw)),
+                _ => unreachable!(),
+            }
+        }
+
+        // ---- stores ---------------------------------------------------
+        Sb | Sh | Sw | Sd | Fsd => {
+            let addr = (x(inst.rs1)).wrapping_add(inst.imm) as u64;
+            let width = inst.op.mem_width();
+            let bits = if inst.op == Fsd {
+                d(inst.rs2).to_bits()
+            } else {
+                xu(inst.rs2)
+            };
+            mem.store(addr, width, bits)?;
+            out.eff_addr = Some(addr);
+        }
+
+        // ---- floating point -------------------------------------------
+        Fadd => regs.write_f64(inst.rd, d(inst.rs1) + d(inst.rs2)),
+        Fsub => regs.write_f64(inst.rd, d(inst.rs1) - d(inst.rs2)),
+        Fmul => regs.write_f64(inst.rd, d(inst.rs1) * d(inst.rs2)),
+        Fdiv => regs.write_f64(inst.rd, d(inst.rs1) / d(inst.rs2)),
+        Fsqrt => regs.write_f64(inst.rd, d(inst.rs1).sqrt()),
+        Fneg => regs.write_f64(inst.rd, -d(inst.rs1)),
+        Fabs => regs.write_f64(inst.rd, d(inst.rs1).abs()),
+        Fmin => regs.write_f64(inst.rd, d(inst.rs1).min(d(inst.rs2))),
+        Fmax => regs.write_f64(inst.rd, d(inst.rs1).max(d(inst.rs2))),
+        Fmov => regs.write_f64(inst.rd, d(inst.rs1)),
+        Feq => regs.write_i64(inst.rd, (d(inst.rs1) == d(inst.rs2)) as i64),
+        Flt => regs.write_i64(inst.rd, (d(inst.rs1) < d(inst.rs2)) as i64),
+        Fle => regs.write_i64(inst.rd, (d(inst.rs1) <= d(inst.rs2)) as i64),
+        Fcvtdl => regs.write_f64(inst.rd, x(inst.rs1) as f64),
+        Fcvtld => regs.write_i64(inst.rd, d(inst.rs1) as i64),
+
+        // ---- control --------------------------------------------------
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+            let t = match inst.op {
+                Beq => x(inst.rs1) == x(inst.rs2),
+                Bne => x(inst.rs1) != x(inst.rs2),
+                Blt => x(inst.rs1) < x(inst.rs2),
+                Bge => x(inst.rs1) >= x(inst.rs2),
+                Bltu => xu(inst.rs1) < xu(inst.rs2),
+                Bgeu => xu(inst.rs1) >= xu(inst.rs2),
+                _ => unreachable!(),
+            };
+            out.taken = Some(t);
+            if t {
+                out.next_pc = inst.imm as u32;
+            }
+        }
+        J => out.next_pc = inst.imm as u32,
+        Jal => {
+            regs.write_i64(inst.rd, fall as i64);
+            out.next_pc = inst.imm as u32;
+        }
+        Jr => out.next_pc = x(inst.rs1) as u32,
+        Jalr => {
+            let target = x(inst.rs1) as u32;
+            regs.write_i64(inst.rd, fall as i64);
+            out.next_pc = target;
+        }
+
+        // ---- misc -----------------------------------------------------
+        Nop => {}
+        Halt => {
+            out.halted = true;
+            out.next_pc = pc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::Memory;
+    use spear_isa::reg::*;
+
+    fn setup() -> (RegFile, Memory) {
+        (RegFile::new(), Memory::zeroed(256))
+    }
+
+    fn run(inst: Inst, regs: &mut RegFile, mem: &mut Memory) -> Outcome {
+        exec_inst(&inst, 10, regs, mem).unwrap()
+    }
+
+    #[test]
+    fn div_by_zero_is_defined() {
+        let (mut r, mut m) = setup();
+        r.write_i64(R1, 42);
+        run(Inst::new(Opcode::Div, R3, R1, R2, 0), &mut r, &mut m);
+        assert_eq!(r.read_i64(R3), -1);
+        run(Inst::new(Opcode::Rem, R3, R1, R2, 0), &mut r, &mut m);
+        assert_eq!(r.read_i64(R3), 42);
+    }
+
+    #[test]
+    fn signed_load_extends() {
+        let (mut r, mut m) = setup();
+        m.store(0, 1, 0xff).unwrap();
+        run(Inst::new(Opcode::Lb, R2, R0, R0, 0), &mut r, &mut m);
+        assert_eq!(r.read_i64(R2), -1);
+        run(Inst::new(Opcode::Lbu, R2, R0, R0, 0), &mut r, &mut m);
+        assert_eq!(r.read_i64(R2), 255);
+    }
+
+    #[test]
+    fn store_then_load_round_trips_f64() {
+        let (mut r, mut m) = setup();
+        r.write_f64(F1, 2.5);
+        r.write_i64(R1, 64);
+        run(Inst::new(Opcode::Fsd, R0, R1, F1, 8), &mut r, &mut m);
+        run(Inst::new(Opcode::Fld, F2, R1, R0, 8), &mut r, &mut m);
+        assert_eq!(r.read_f64(F2), 2.5);
+    }
+
+    #[test]
+    fn taken_and_untaken_branches() {
+        let (mut r, mut m) = setup();
+        r.write_i64(R1, 1);
+        let out = run(Inst::new(Opcode::Beq, R0, R1, R0, 99), &mut r, &mut m);
+        assert_eq!(out.taken, Some(false));
+        assert_eq!(out.next_pc, 11);
+        let out = run(Inst::new(Opcode::Bne, R0, R1, R0, 99), &mut r, &mut m);
+        assert_eq!(out.taken, Some(true));
+        assert_eq!(out.next_pc, 99);
+    }
+
+    #[test]
+    fn jal_links_return_address() {
+        let (mut r, mut m) = setup();
+        let out = run(Inst::new(Opcode::Jal, R31, R0, R0, 50), &mut r, &mut m);
+        assert_eq!(r.read_i64(R31), 11);
+        assert_eq!(out.next_pc, 50);
+        let out = run(Inst::new(Opcode::Jr, R0, R31, R0, 0), &mut r, &mut m);
+        assert_eq!(out.next_pc, 11);
+    }
+
+    #[test]
+    fn halt_pins_pc() {
+        let (mut r, mut m) = setup();
+        let out = run(Inst::halt(), &mut r, &mut m);
+        assert!(out.halted);
+        assert_eq!(out.next_pc, 10);
+    }
+
+    #[test]
+    fn writes_to_r0_ignored() {
+        let (mut r, mut m) = setup();
+        run(Inst::new(Opcode::Li, R0, R0, R0, 77), &mut r, &mut m);
+        assert_eq!(r.read_i64(R0), 0);
+    }
+
+    #[test]
+    fn fault_leaves_state_untouched() {
+        let (mut r, mut m) = setup();
+        r.write_i64(R1, 1_000_000);
+        let err = exec_inst(
+            &Inst::new(Opcode::Ld, R2, R1, R0, 0),
+            0,
+            &mut r,
+            &mut m,
+        )
+        .unwrap_err();
+        assert!(!err.is_store);
+        assert_eq!(r.read_i64(R2), 0, "destination untouched on fault");
+    }
+
+    #[test]
+    fn shift_amounts_mask_to_six_bits() {
+        let (mut r, mut m) = setup();
+        r.write_i64(R1, 1);
+        r.write_i64(R2, 65); // 65 & 63 == 1
+        run(Inst::new(Opcode::Sll, R3, R1, R2, 0), &mut r, &mut m);
+        assert_eq!(r.read_i64(R3), 2);
+    }
+
+    #[test]
+    fn fcvt_round_trips_small_ints() {
+        let (mut r, mut m) = setup();
+        r.write_i64(R1, -7);
+        run(Inst::new(Opcode::Fcvtdl, F1, R1, R0, 0), &mut r, &mut m);
+        assert_eq!(r.read_f64(F1), -7.0);
+        run(Inst::new(Opcode::Fcvtld, R2, F1, R0, 0), &mut r, &mut m);
+        assert_eq!(r.read_i64(R2), -7);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests pinning the ISA semantics to Rust's own integer/float
+//! operations — the golden model's golden model.
+
+use proptest::prelude::*;
+use spear_exec::{exec_inst, Memory, RegFile};
+use spear_isa::reg::*;
+use spear_isa::{Inst, Opcode};
+
+fn exec_rrr(op: Opcode, a: i64, b: i64) -> i64 {
+    let mut regs = RegFile::new();
+    let mut mem = Memory::zeroed(64);
+    regs.write_i64(R1, a);
+    regs.write_i64(R2, b);
+    exec_inst(&Inst::new(op, R3, R1, R2, 0), 0, &mut regs, &mut mem).unwrap();
+    regs.read_i64(R3)
+}
+
+fn exec_fp(op: Opcode, a: f64, b: f64) -> f64 {
+    let mut regs = RegFile::new();
+    let mut mem = Memory::zeroed(64);
+    regs.write_f64(F1, a);
+    regs.write_f64(F2, b);
+    exec_inst(&Inst::new(op, F3, F1, F2, 0), 0, &mut regs, &mut mem).unwrap();
+    regs.read_f64(F3)
+}
+
+proptest! {
+    #[test]
+    fn integer_ops_match_rust(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(exec_rrr(Opcode::Add, a, b), a.wrapping_add(b));
+        prop_assert_eq!(exec_rrr(Opcode::Sub, a, b), a.wrapping_sub(b));
+        prop_assert_eq!(exec_rrr(Opcode::Mul, a, b), a.wrapping_mul(b));
+        prop_assert_eq!(exec_rrr(Opcode::And, a, b), a & b);
+        prop_assert_eq!(exec_rrr(Opcode::Or, a, b), a | b);
+        prop_assert_eq!(exec_rrr(Opcode::Xor, a, b), a ^ b);
+        prop_assert_eq!(exec_rrr(Opcode::Slt, a, b), (a < b) as i64);
+        prop_assert_eq!(
+            exec_rrr(Opcode::Sltu, a, b),
+            ((a as u64) < (b as u64)) as i64
+        );
+    }
+
+    #[test]
+    fn division_never_traps(a in any::<i64>(), b in any::<i64>()) {
+        let q = exec_rrr(Opcode::Div, a, b);
+        let r = exec_rrr(Opcode::Rem, a, b);
+        if b == 0 {
+            prop_assert_eq!(q, -1);
+            prop_assert_eq!(r, a);
+        } else {
+            prop_assert_eq!(q, a.wrapping_div(b));
+            prop_assert_eq!(r, a.wrapping_rem(b));
+            if a != i64::MIN || b != -1 {
+                prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a, "a = q*b + r");
+            }
+        }
+    }
+
+    #[test]
+    fn shifts_mask_amount(a in any::<i64>(), s in any::<i64>()) {
+        let sh = (s as u64 & 63) as u32;
+        prop_assert_eq!(exec_rrr(Opcode::Sll, a, s), ((a as u64) << sh) as i64);
+        prop_assert_eq!(exec_rrr(Opcode::Srl, a, s), ((a as u64) >> sh) as i64);
+        prop_assert_eq!(exec_rrr(Opcode::Sra, a, s), a >> sh);
+    }
+
+    #[test]
+    fn fp_ops_match_rust(a in any::<f64>(), b in any::<f64>()) {
+        let eq = |x: f64, y: f64| x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan());
+        prop_assert!(eq(exec_fp(Opcode::Fadd, a, b), a + b));
+        prop_assert!(eq(exec_fp(Opcode::Fsub, a, b), a - b));
+        prop_assert!(eq(exec_fp(Opcode::Fmul, a, b), a * b));
+        prop_assert!(eq(exec_fp(Opcode::Fdiv, a, b), a / b));
+        prop_assert!(eq(exec_fp(Opcode::Fmin, a, b), a.min(b)));
+        prop_assert!(eq(exec_fp(Opcode::Fmax, a, b), a.max(b)));
+    }
+
+    #[test]
+    fn store_load_round_trip_through_semantics(
+        v in any::<u64>(),
+        addr in 0u64..56,
+    ) {
+        let mut regs = RegFile::new();
+        let mut mem = Memory::zeroed(64);
+        regs.write_i64(R1, addr as i64);
+        regs.write_u64(R2, v);
+        exec_inst(&Inst::new(Opcode::Sd, R0, R1, R2, 0), 0, &mut regs, &mut mem).unwrap();
+        exec_inst(&Inst::new(Opcode::Ld, R3, R1, R0, 0), 0, &mut regs, &mut mem).unwrap();
+        prop_assert_eq!(regs.read_u64(R3), v);
+    }
+
+    #[test]
+    fn narrow_loads_extend_correctly(v in any::<u64>()) {
+        let mut regs = RegFile::new();
+        let mut mem = Memory::zeroed(64);
+        regs.write_u64(R2, v);
+        exec_inst(&Inst::new(Opcode::Sd, R0, R0, R2, 0), 0, &mut regs, &mut mem).unwrap();
+        let check = |op: Opcode, expect: i64, regs: &mut RegFile, mem: &mut Memory| {
+            exec_inst(&Inst::new(op, R3, R0, R0, 0), 0, regs, mem).unwrap();
+            regs.read_i64(R3) == expect
+        };
+        prop_assert!(check(Opcode::Lb, v as u8 as i8 as i64, &mut regs, &mut mem));
+        prop_assert!(check(Opcode::Lbu, (v & 0xFF) as i64, &mut regs, &mut mem));
+        prop_assert!(check(Opcode::Lh, v as u16 as i16 as i64, &mut regs, &mut mem));
+        prop_assert!(check(Opcode::Lhu, (v & 0xFFFF) as i64, &mut regs, &mut mem));
+        prop_assert!(check(Opcode::Lw, v as u32 as i32 as i64, &mut regs, &mut mem));
+        prop_assert!(check(Opcode::Lwu, (v & 0xFFFF_FFFF) as i64, &mut regs, &mut mem));
+    }
+
+    #[test]
+    fn branch_direction_matches_comparison(a in any::<i64>(), b in any::<i64>()) {
+        let mut regs = RegFile::new();
+        let mut mem = Memory::zeroed(8);
+        regs.write_i64(R1, a);
+        regs.write_i64(R2, b);
+        let taken = |op: Opcode, regs: &mut RegFile, mem: &mut Memory| {
+            exec_inst(&Inst::new(op, R0, R1, R2, 99), 5, regs, mem)
+                .unwrap()
+                .taken
+                .unwrap()
+        };
+        prop_assert_eq!(taken(Opcode::Beq, &mut regs, &mut mem), a == b);
+        prop_assert_eq!(taken(Opcode::Bne, &mut regs, &mut mem), a != b);
+        prop_assert_eq!(taken(Opcode::Blt, &mut regs, &mut mem), a < b);
+        prop_assert_eq!(taken(Opcode::Bge, &mut regs, &mut mem), a >= b);
+        prop_assert_eq!(taken(Opcode::Bltu, &mut regs, &mut mem), (a as u64) < (b as u64));
+        prop_assert_eq!(taken(Opcode::Bgeu, &mut regs, &mut mem), (a as u64) >= (b as u64));
+    }
+}

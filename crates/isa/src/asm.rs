@@ -1,0 +1,440 @@
+//! Programmatic assembler.
+//!
+//! Workloads and tests build programs through [`Asm`]: one method per
+//! instruction, string labels with forward references, and named data-memory
+//! allocations. [`Asm::finish`] resolves labels, validates the program, and
+//! hands back a [`Program`].
+//!
+//! ```
+//! use spear_isa::asm::Asm;
+//! use spear_isa::reg::*;
+//!
+//! let mut a = Asm::new();
+//! let xs = a.alloc_u64("xs", &[3, 1, 4, 1, 5]);
+//! a.li(R1, xs as i64);      // cursor
+//! a.li(R2, 0);              // sum
+//! a.li(R3, 5);              // remaining
+//! a.label("loop");
+//! a.ld(R4, R1, 0);
+//! a.add(R2, R2, R4);
+//! a.addi(R1, R1, 8);
+//! a.addi(R3, R3, -1);
+//! a.bne(R3, R0, "loop");
+//! a.halt();
+//! let prog = a.finish().unwrap();
+//! assert_eq!(prog.len(), 9);
+//! ```
+
+use crate::inst::Inst;
+use crate::op::Opcode;
+use crate::program::{DataImage, Program, ProgramError};
+use crate::reg::{Reg, R0};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors produced while assembling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// The same data symbol was allocated twice.
+    DuplicateSymbol(String),
+    /// The assembled program failed structural validation.
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::DuplicateSymbol(s) => write!(f, "duplicate data symbol `{s}`"),
+            AsmError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// The assembler state. See the module docs for usage.
+#[derive(Default)]
+pub struct Asm {
+    insts: Vec<Inst>,
+    labels: BTreeMap<String, u32>,
+    duplicate_label: Option<String>,
+    duplicate_symbol: Option<String>,
+    /// Instruction slots whose `imm` must be patched with a label address.
+    fixups: Vec<(usize, String)>,
+    data: Vec<u8>,
+    data_extra: usize,
+    data_symbols: BTreeMap<String, u64>,
+    entry: u32,
+    reserved: bool,
+}
+
+macro_rules! rrr_ops {
+    ($($fn_name:ident => $op:ident),* $(,)?) => {
+        $(#[doc = concat!("`", stringify!($fn_name), " rd, rs1, rs2`")]
+        pub fn $fn_name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+            self.push(Inst::new(Opcode::$op, rd, rs1, rs2, 0))
+        })*
+    };
+}
+
+macro_rules! rr_ops {
+    ($($fn_name:ident => $op:ident),* $(,)?) => {
+        $(#[doc = concat!("`", stringify!($fn_name), " rd, rs1`")]
+        pub fn $fn_name(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+            self.push(Inst::new(Opcode::$op, rd, rs1, R0, 0))
+        })*
+    };
+}
+
+macro_rules! rri_ops {
+    ($($fn_name:ident => $op:ident),* $(,)?) => {
+        $(#[doc = concat!("`", stringify!($fn_name), " rd, rs1, imm`")]
+        pub fn $fn_name(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+            self.push(Inst::new(Opcode::$op, rd, rs1, R0, imm))
+        })*
+    };
+}
+
+macro_rules! load_ops {
+    ($($fn_name:ident => $op:ident),* $(,)?) => {
+        $(#[doc = concat!("`", stringify!($fn_name), " rd, off(base)`")]
+        pub fn $fn_name(&mut self, rd: Reg, base: Reg, off: i64) -> &mut Self {
+            self.push(Inst::new(Opcode::$op, rd, base, R0, off))
+        })*
+    };
+}
+
+macro_rules! store_ops {
+    ($($fn_name:ident => $op:ident),* $(,)?) => {
+        $(#[doc = concat!("`", stringify!($fn_name), " src, off(base)`")]
+        pub fn $fn_name(&mut self, src: Reg, base: Reg, off: i64) -> &mut Self {
+            self.push(Inst::new(Opcode::$op, R0, base, src, off))
+        })*
+    };
+}
+
+macro_rules! branch_ops {
+    ($($fn_name:ident => $op:ident),* $(,)?) => {
+        $(#[doc = concat!("`", stringify!($fn_name), " rs1, rs2, label`")]
+        pub fn $fn_name(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+            let slot = self.insts.len();
+            self.fixups.push((slot, label.to_string()));
+            self.push(Inst::new(Opcode::$op, R0, rs1, rs2, 0))
+        })*
+    };
+}
+
+impl Asm {
+    /// A fresh assembler.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Current PC (index the next instruction will get).
+    pub fn pc(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Define a label at the current PC.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        if self.labels.insert(name.to_string(), self.pc()).is_some() {
+            self.duplicate_label.get_or_insert_with(|| name.to_string());
+        }
+        self
+    }
+
+    /// Set the entry point to the current PC.
+    pub fn entry_here(&mut self) -> &mut Self {
+        self.entry = self.pc();
+        self
+    }
+
+    rrr_ops! {
+        add => Add, sub => Sub, mul => Mul, div => Div, rem => Rem,
+        and => And, or => Or, xor => Xor, sll => Sll, srl => Srl, sra => Sra,
+        slt => Slt, sltu => Sltu,
+        fadd => Fadd, fsub => Fsub, fmul => Fmul, fdiv => Fdiv,
+        fmin => Fmin, fmax => Fmax,
+        feq => Feq, flt => Flt, fle => Fle,
+    }
+
+    rr_ops! {
+        fsqrt => Fsqrt, fneg => Fneg, fabs => Fabs, fmov => Fmov,
+        fcvt_d_l => Fcvtdl, fcvt_l_d => Fcvtld,
+    }
+
+    rri_ops! {
+        addi => Addi, andi => Andi, ori => Ori, xori => Xori,
+        slli => Slli, srli => Srli, srai => Srai, slti => Slti, muli => Muli,
+    }
+
+    load_ops! {
+        lb => Lb, lbu => Lbu, lh => Lh, lhu => Lhu,
+        lw => Lw, lwu => Lwu, ld => Ld, fld => Fld,
+    }
+
+    store_ops! {
+        sb => Sb, sh => Sh, sw => Sw, sd => Sd, fsd => Fsd,
+    }
+
+    branch_ops! {
+        beq => Beq, bne => Bne, blt => Blt, bge => Bge,
+        bltu => Bltu, bgeu => Bgeu,
+    }
+
+    /// `li rd, imm` — load a full 64-bit immediate.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::new(Opcode::Li, rd, R0, R0, imm))
+    }
+
+    /// `mv rd, rs` — pseudo for `addi rd, rs, 0`.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.addi(rd, rs, 0)
+    }
+
+    /// `j label`.
+    pub fn j(&mut self, label: &str) -> &mut Self {
+        let slot = self.insts.len();
+        self.fixups.push((slot, label.to_string()));
+        self.push(Inst::new(Opcode::J, R0, R0, R0, 0))
+    }
+
+    /// `jal rd, label` — call, leaving the return PC in `rd`.
+    pub fn jal(&mut self, rd: Reg, label: &str) -> &mut Self {
+        let slot = self.insts.len();
+        self.fixups.push((slot, label.to_string()));
+        self.push(Inst::new(Opcode::Jal, rd, R0, R0, 0))
+    }
+
+    /// `jr rs1` — indirect jump (also used as `ret`).
+    pub fn jr(&mut self, rs1: Reg) -> &mut Self {
+        self.push(Inst::new(Opcode::Jr, R0, rs1, R0, 0))
+    }
+
+    /// `jalr rd, rs1`.
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.push(Inst::new(Opcode::Jalr, rd, rs1, R0, 0))
+    }
+
+    /// Append an already-built instruction verbatim (used by the text
+    /// assembler; prefer the typed methods elsewhere).
+    pub fn push_raw(&mut self, inst: Inst) -> &mut Self {
+        self.push(inst)
+    }
+
+    /// Append a conditional branch of arbitrary opcode targeting `label`
+    /// (used by the text assembler).
+    pub fn branch_to(&mut self, op: Opcode, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        let slot = self.insts.len();
+        self.fixups.push((slot, label.to_string()));
+        self.push(Inst::new(op, R0, rs1, rs2, 0))
+    }
+
+    /// Append a direct jump (`j`/`jal`) of arbitrary opcode targeting
+    /// `label` (used by the text assembler).
+    pub fn jump_to(&mut self, op: Opcode, rd: Reg, label: &str) -> &mut Self {
+        let slot = self.insts.len();
+        self.fixups.push((slot, label.to_string()));
+        self.push(Inst::new(op, rd, R0, R0, 0))
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::nop())
+    }
+
+    /// `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::halt())
+    }
+
+    fn align8(&mut self) {
+        while !self.data.len().is_multiple_of(8) {
+            self.data.push(0);
+        }
+    }
+
+    fn check_no_reserve_yet(&self) {
+        assert!(
+            !self.reserved,
+            "initialized allocations must precede all reserve() calls"
+        );
+    }
+
+    fn define_symbol(&mut self, name: &str, addr: u64) {
+        if self.data_symbols.insert(name.to_string(), addr).is_some() {
+            self.duplicate_symbol.get_or_insert_with(|| name.to_string());
+        }
+    }
+
+    /// Allocate and initialize an array of `u64`s; returns its byte address.
+    pub fn alloc_u64(&mut self, name: &str, values: &[u64]) -> u64 {
+        self.check_no_reserve_yet();
+        self.align8();
+        let addr = self.data.len() as u64;
+        for v in values {
+            self.data.extend_from_slice(&v.to_le_bytes());
+        }
+        self.define_symbol(name, addr);
+        addr
+    }
+
+    /// Allocate and initialize an array of `f64`s; returns its byte address.
+    pub fn alloc_f64(&mut self, name: &str, values: &[f64]) -> u64 {
+        self.check_no_reserve_yet();
+        self.align8();
+        let addr = self.data.len() as u64;
+        for v in values {
+            self.data.extend_from_slice(&v.to_le_bytes());
+        }
+        self.define_symbol(name, addr);
+        addr
+    }
+
+    /// Allocate and initialize raw bytes; returns the byte address.
+    pub fn alloc_bytes(&mut self, name: &str, bytes: &[u8]) -> u64 {
+        self.check_no_reserve_yet();
+        self.align8();
+        let addr = self.data.len() as u64;
+        self.data.extend_from_slice(bytes);
+        self.define_symbol(name, addr);
+        addr
+    }
+
+    /// Reserve `nbytes` of zeroed memory after all initialized data.
+    ///
+    /// Reservations never enlarge the initialized image; they extend the
+    /// memory size. All `reserve` calls should come after `alloc_*` calls
+    /// for the addresses to be stable (this is asserted).
+    pub fn reserve(&mut self, name: &str, nbytes: u64) -> u64 {
+        self.reserved = true;
+        self.align8();
+        let addr = (self.data.len() + self.data_extra) as u64;
+        self.data_extra += nbytes as usize;
+        self.data_extra = (self.data_extra + 7) & !7;
+        self.define_symbol(name, addr);
+        addr
+    }
+
+    /// Resolve fixups, validate, and produce the program.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        if let Some(l) = self.duplicate_label {
+            return Err(AsmError::DuplicateLabel(l));
+        }
+        if let Some(s) = self.duplicate_symbol {
+            return Err(AsmError::DuplicateSymbol(s));
+        }
+        for (slot, label) in std::mem::take(&mut self.fixups) {
+            let target = *self
+                .labels
+                .get(&label)
+                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            self.insts[slot].imm = target as i64;
+        }
+        let size = self.data.len() + self.data_extra;
+        let prog = Program {
+            insts: self.insts,
+            labels: self.labels,
+            data_symbols: self.data_symbols,
+            data: DataImage { init: self.data, size },
+            entry: self.entry,
+        };
+        prog.validate().map_err(AsmError::Invalid)?;
+        Ok(prog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        a.li(R1, 3);
+        a.label("back");
+        a.addi(R1, R1, -1);
+        a.beq(R1, R0, "fwd"); // forward reference
+        a.j("back");
+        a.label("fwd");
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(p.insts[2].imm, 4, "forward branch to `fwd`");
+        assert_eq!(p.insts[3].imm, 1, "backward jump to `back`");
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut a = Asm::new();
+        a.j("nowhere");
+        a.halt();
+        assert_eq!(
+            a.finish().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+        a.halt();
+        assert_eq!(a.finish().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn duplicate_symbol_errors() {
+        let mut a = Asm::new();
+        a.alloc_u64("d", &[1]);
+        a.alloc_u64("d", &[2]);
+        a.halt();
+        assert_eq!(a.finish().unwrap_err(), AsmError::DuplicateSymbol("d".into()));
+    }
+
+    #[test]
+    fn data_allocation_layout() {
+        let mut a = Asm::new();
+        let b = a.alloc_bytes("b", &[1, 2, 3]); // 3 bytes, then align
+        let u = a.alloc_u64("u", &[7, 8]); // 16 bytes at offset 8
+        let r = a.reserve("r", 100);
+        a.halt();
+        assert_eq!(b, 0);
+        assert_eq!(u, 8);
+        assert_eq!(r, 24);
+        let p = a.finish().unwrap();
+        assert_eq!(p.data.size, 24 + 104); // reserve rounds to 8
+        assert_eq!(p.data_addr("u"), Some(8));
+        let bytes = p.data.to_bytes();
+        assert_eq!(u64::from_le_bytes(bytes[8..16].try_into().unwrap()), 7);
+        assert_eq!(u64::from_le_bytes(bytes[16..24].try_into().unwrap()), 8);
+    }
+
+    #[test]
+    fn builder_example_program_validates() {
+        let mut a = Asm::new();
+        let xs = a.alloc_f64("xs", &[1.0, 2.0]);
+        a.li(R1, xs as i64);
+        a.fld(F1, R1, 0);
+        a.fld(F2, R1, 8);
+        a.fadd(F3, F1, F2);
+        a.fsd(F3, R1, 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.len(), 6);
+    }
+}

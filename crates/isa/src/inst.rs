@@ -1,0 +1,261 @@
+//! The instruction word and its operand accessors.
+
+use crate::op::{OpShape, Opcode};
+use crate::reg::{Reg, R0};
+use std::fmt;
+
+/// One SPEAR instruction.
+///
+/// All instructions share a single four-field layout; the [`OpShape`] of the
+/// opcode says which fields are live. Branch and jump targets are *absolute
+/// instruction indices* carried in `imm` (the assembler resolves labels to
+/// indices). The in-memory form allows a full 64-bit immediate; the binary
+/// encoding (see [`crate::encode`]) is a fixed 16 bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Inst {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register (if the shape has one).
+    pub rd: Reg,
+    /// First source register.
+    pub rs1: Reg,
+    /// Second source register (store data for stores).
+    pub rs2: Reg,
+    /// Immediate / displacement / branch target.
+    pub imm: i64,
+}
+
+/// Up to two source registers, with `None` holes.
+pub type SrcRegs = [Option<Reg>; 2];
+
+impl Inst {
+    /// Build an instruction; prefer the [`crate::asm::Asm`] builder which
+    /// also validates register classes.
+    pub fn new(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, imm: i64) -> Inst {
+        Inst { op, rd, rs1, rs2, imm }
+    }
+
+    /// A `nop`.
+    pub fn nop() -> Inst {
+        Inst::new(Opcode::Nop, R0, R0, R0, 0)
+    }
+
+    /// A `halt`.
+    pub fn halt() -> Inst {
+        Inst::new(Opcode::Halt, R0, R0, R0, 0)
+    }
+
+    /// The destination register, if this instruction writes one.
+    ///
+    /// Writes to `r0` are reported as `None`: they have no architectural
+    /// effect and must not create rename dependences.
+    pub fn dst(&self) -> Option<Reg> {
+        let rd = match self.op.shape() {
+            OpShape::RRR | OpShape::RRI | OpShape::RI | OpShape::Load => Some(self.rd),
+            OpShape::JumpLink | OpShape::JumpLinkReg => Some(self.rd),
+            OpShape::Store | OpShape::Branch | OpShape::Jump | OpShape::JumpReg
+            | OpShape::Nullary => None,
+        };
+        rd.filter(|r| !r.is_zero())
+    }
+
+    /// Source registers actually read by this instruction.
+    ///
+    /// Reads of `r0` are reported (they are real operand slots) but always
+    /// produce zero; dependence analyses should skip `r.is_zero()` sources.
+    pub fn srcs(&self) -> SrcRegs {
+        match self.op.shape() {
+            OpShape::RRR | OpShape::Branch => [Some(self.rs1), Some(self.rs2)],
+            OpShape::RRI | OpShape::Load => [Some(self.rs1), None],
+            OpShape::Store => [Some(self.rs1), Some(self.rs2)],
+            OpShape::JumpReg | OpShape::JumpLinkReg => [Some(self.rs1), None],
+            OpShape::RI | OpShape::Jump | OpShape::JumpLink | OpShape::Nullary => [None, None],
+        }
+    }
+
+    /// Source registers excluding `r0` (the common case for dependence
+    /// chasing).
+    pub fn live_srcs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs().into_iter().flatten().filter(|r| !r.is_zero())
+    }
+
+    /// For direct control transfers, the target instruction index.
+    pub fn target(&self) -> Option<u32> {
+        match self.op.shape() {
+            OpShape::Branch | OpShape::Jump | OpShape::JumpLink => Some(self.imm as u32),
+            _ => None,
+        }
+    }
+
+    /// Check register-class agreement between the opcode and its operands;
+    /// returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        use Opcode::*;
+        let want = |r: Reg, fp: bool, what: &str| -> Result<(), String> {
+            if r.is_fp() != fp {
+                Err(format!(
+                    "{}: {} should be {} register, got {}",
+                    self.op,
+                    what,
+                    if fp { "an fp" } else { "an int" },
+                    r
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        match self.op {
+            // FP arithmetic: all FP.
+            Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax => {
+                want(self.rd, true, "rd")?;
+                want(self.rs1, true, "rs1")?;
+                want(self.rs2, true, "rs2")
+            }
+            Fsqrt | Fneg | Fabs | Fmov => {
+                want(self.rd, true, "rd")?;
+                want(self.rs1, true, "rs1")
+            }
+            Feq | Flt | Fle => {
+                want(self.rd, false, "rd")?;
+                want(self.rs1, true, "rs1")?;
+                want(self.rs2, true, "rs2")
+            }
+            Fcvtdl => {
+                want(self.rd, true, "rd")?;
+                want(self.rs1, false, "rs1")
+            }
+            Fcvtld => {
+                want(self.rd, false, "rd")?;
+                want(self.rs1, true, "rs1")
+            }
+            Fld => {
+                want(self.rd, true, "rd")?;
+                want(self.rs1, false, "rs1 (base)")
+            }
+            Fsd => {
+                want(self.rs1, false, "rs1 (base)")?;
+                want(self.rs2, true, "rs2 (data)")
+            }
+            // Integer memory ops: everything integer.
+            Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld => {
+                want(self.rd, false, "rd")?;
+                want(self.rs1, false, "rs1 (base)")
+            }
+            Sb | Sh | Sw | Sd => {
+                want(self.rs1, false, "rs1 (base)")?;
+                want(self.rs2, false, "rs2 (data)")
+            }
+            // Everything else is pure integer (branches compare GPRs).
+            _ => {
+                for (r, what) in [(self.rd, "rd"), (self.rs1, "rs1"), (self.rs2, "rs2")] {
+                    // Only check slots the shape actually uses.
+                    let used = match self.op.shape() {
+                        OpShape::RRR => true,
+                        OpShape::RRI => what != "rs2",
+                        OpShape::RI => what == "rd",
+                        OpShape::Branch | OpShape::Store => what != "rd",
+                        OpShape::Jump | OpShape::Nullary => false,
+                        OpShape::JumpLink => what == "rd",
+                        OpShape::JumpReg => what == "rs1",
+                        OpShape::JumpLinkReg => what != "rs2",
+                        OpShape::Load => what != "rs2",
+                    };
+                    if used {
+                        want(r, false, what)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        let unary_fp = matches!(
+            self.op,
+            Opcode::Fsqrt | Opcode::Fneg | Opcode::Fabs | Opcode::Fmov
+                | Opcode::Fcvtdl | Opcode::Fcvtld
+        );
+        match self.op.shape() {
+            OpShape::RRR if unary_fp => write!(f, "{m} {}, {}", self.rd, self.rs1),
+            OpShape::RRR => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.rs2),
+            OpShape::RRI => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.imm),
+            OpShape::RI => write!(f, "{m} {}, {}", self.rd, self.imm),
+            OpShape::Load => write!(f, "{m} {}, {}({})", self.rd, self.imm, self.rs1),
+            OpShape::Store => write!(f, "{m} {}, {}({})", self.rs2, self.imm, self.rs1),
+            OpShape::Branch => write!(f, "{m} {}, {}, @{}", self.rs1, self.rs2, self.imm),
+            OpShape::Jump => write!(f, "{m} @{}", self.imm),
+            OpShape::JumpLink => write!(f, "{m} {}, @{}", self.rd, self.imm),
+            OpShape::JumpReg => write!(f, "{m} {}", self.rs1),
+            OpShape::JumpLinkReg => write!(f, "{m} {}, {}", self.rd, self.rs1),
+            OpShape::Nullary => f.write_str(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::*;
+
+    #[test]
+    fn dst_of_store_and_branch_is_none() {
+        let st = Inst::new(Opcode::Sd, R0, R1, R2, 0);
+        assert_eq!(st.dst(), None);
+        let br = Inst::new(Opcode::Beq, R0, R1, R2, 10);
+        assert_eq!(br.dst(), None);
+    }
+
+    #[test]
+    fn writes_to_r0_are_discarded() {
+        let i = Inst::new(Opcode::Add, R0, R1, R2, 0);
+        assert_eq!(i.dst(), None);
+    }
+
+    #[test]
+    fn store_reads_base_and_data() {
+        let st = Inst::new(Opcode::Sd, R0, R1, R2, 8);
+        let srcs: Vec<_> = st.live_srcs().collect();
+        assert_eq!(srcs, vec![R1, R2]);
+    }
+
+    #[test]
+    fn load_reads_base_only() {
+        let ld = Inst::new(Opcode::Ld, R3, R1, R0, 8);
+        let srcs: Vec<_> = ld.live_srcs().collect();
+        assert_eq!(srcs, vec![R1]);
+        assert_eq!(ld.dst(), Some(R3));
+    }
+
+    #[test]
+    fn branch_target() {
+        let br = Inst::new(Opcode::Bne, R0, R1, R2, 42);
+        assert_eq!(br.target(), Some(42));
+        let jr = Inst::new(Opcode::Jr, R0, R31, R0, 0);
+        assert_eq!(jr.target(), None);
+    }
+
+    #[test]
+    fn validate_rejects_class_mismatch() {
+        let bad = Inst::new(Opcode::Fadd, F1, R1, F2, 0);
+        assert!(bad.validate().is_err());
+        let good = Inst::new(Opcode::Fadd, F1, F1, F2, 0);
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_accepts_cross_class_converts() {
+        assert!(Inst::new(Opcode::Fcvtdl, F1, R4, R0, 0).validate().is_ok());
+        assert!(Inst::new(Opcode::Fcvtld, R4, F1, R0, 0).validate().is_ok());
+        assert!(Inst::new(Opcode::Fcvtdl, R1, R4, R0, 0).validate().is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Inst::new(Opcode::Ld, R3, R1, R0, 16).to_string(), "ld r3, 16(r1)");
+        assert_eq!(Inst::new(Opcode::Beq, R0, R1, R2, 7).to_string(), "beq r1, r2, @7");
+        assert_eq!(Inst::nop().to_string(), "nop");
+    }
+}

@@ -1,0 +1,35 @@
+//! # spear-isa — the SPEAR instruction set
+//!
+//! A 64-bit RISC instruction set standing in for SimpleScalar PISA (see the
+//! repository `DESIGN.md` for the substitution argument). Provides:
+//!
+//! - register names and the unified 64-entry architectural namespace
+//!   ([`reg`]),
+//! - opcodes with functional-unit classes and operand shapes ([`op`]),
+//! - the instruction word with operand/dependence accessors ([`inst`]),
+//! - a fixed 16-byte binary encoding ([`encode`]),
+//! - a programmatic assembler with labels and data allocation ([`asm`]),
+//! - the program container ([`program`]),
+//! - the p-thread table format attached to SPEAR binaries ([`pthread`]).
+//!
+//! Everything downstream — the functional interpreter, the cycle-level SMT
+//! core, the SPEAR post-compiler, and the workloads — builds on this crate.
+
+pub mod asm;
+pub mod binfile;
+pub mod encode;
+pub mod inst;
+pub mod lint;
+pub mod op;
+pub mod program;
+pub mod pthread;
+pub mod reg;
+pub mod text;
+
+pub use asm::Asm;
+pub use inst::Inst;
+pub use op::{FuClass, OpShape, Opcode};
+pub use program::{DataImage, Program};
+pub use pthread::{PThreadEntry, PThreadTable, SpearBinary};
+pub use reg::Reg;
+pub use text::{emit_asm, parse_asm, ParseError};

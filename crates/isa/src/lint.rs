@@ -1,0 +1,288 @@
+//! Static diagnostics for SPEAR programs.
+//!
+//! Workload kernels are hand-written assembly; these lints catch the
+//! common authoring mistakes before they turn into confusing simulation
+//! results: unreachable instructions, reads of registers that no path has
+//! written, and labels that nothing targets. `spearc` runs them on every
+//! compile.
+
+use crate::program::Program;
+use crate::reg::{Reg, NUM_REGS};
+use crate::{OpShape, Opcode};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// No control path reaches this instruction.
+    Unreachable {
+        /// The dead instruction's PC.
+        pc: u32,
+    },
+    /// A register is read on some reachable path before any instruction
+    /// has written it (it reads as zero — legal, but usually a typo).
+    ReadBeforeWrite {
+        /// PC of the reading instruction.
+        pc: u32,
+        /// The register read.
+        reg: Reg,
+    },
+    /// A label that no branch or jump targets (dead annotation).
+    UnusedLabel {
+        /// The label name.
+        name: String,
+    },
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::Unreachable { pc } => write!(f, "pc {pc}: unreachable instruction"),
+            Lint::ReadBeforeWrite { pc, reg } => {
+                write!(f, "pc {pc}: {reg} may be read before it is written")
+            }
+            Lint::UnusedLabel { name } => write!(f, "label `{name}` is never targeted"),
+        }
+    }
+}
+
+/// Instruction-level successors (for reachability and dataflow).
+fn successors(program: &Program, pc: u32) -> Vec<u32> {
+    let inst = &program.insts[pc as usize];
+    let n = program.len() as u32;
+    let mut succ = Vec::with_capacity(2);
+    match inst.op.shape() {
+        OpShape::Branch => {
+            succ.push(inst.imm as u32);
+            if pc + 1 < n {
+                succ.push(pc + 1);
+            }
+        }
+        OpShape::Jump | OpShape::JumpLink => succ.push(inst.imm as u32),
+        // Indirect jumps: statically unknown; conservatively assume the
+        // instruction after any `jal` (the return point) — handled by
+        // treating every instruction after a call site as reachable via
+        // the call's fall-through, which JumpLink above already covers
+        // for `jal`. A bare `jr` ends the path.
+        OpShape::JumpReg | OpShape::JumpLinkReg => {
+            if inst.op.shape() == OpShape::JumpLinkReg && pc + 1 < n {
+                succ.push(pc + 1);
+            }
+        }
+        _ => {
+            if inst.op != Opcode::Halt && pc + 1 < n {
+                succ.push(pc + 1);
+            }
+        }
+    }
+    succ
+}
+
+/// Run all lints over a (validated) program.
+pub fn lint(program: &Program) -> Vec<Lint> {
+    let n = program.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+
+    // ---- reachability + may-be-uninitialized dataflow -----------------
+    // Forward dataflow over instructions: `written[pc]` is the set of
+    // registers definitely written on *every* path reaching pc (bitmask);
+    // meet = intersection. Seeds: the entry with nothing written (r0 is
+    // always "written").
+    const R0_MASK: u64 = 1;
+    let mut reachable = vec![false; n];
+    let mut written_in: Vec<u64> = vec![u64::MAX; n];
+    let mut work = VecDeque::new();
+    let entry = program.entry as usize;
+    reachable[entry] = true;
+    written_in[entry] = R0_MASK;
+    work.push_back(program.entry);
+    // `jr` targets are unknown; treat every `jal` callee's return as
+    // flowing from the call site (already modelled) and assume `jr`
+    // returns to all recorded `jal` fall-throughs. For lint purposes the
+    // simpler model above suffices; unmatched `jr` paths just end.
+    while let Some(pc) = work.pop_front() {
+        let inst = &program.insts[pc as usize];
+        let mut written = written_in[pc as usize];
+        // Check reads against the definitely-written set.
+        for src in inst.live_srcs() {
+            if written & (1u64 << src.index().min(63)) == 0 {
+                let l = Lint::ReadBeforeWrite { pc, reg: src };
+                if !out.contains(&l) {
+                    out.push(l);
+                }
+            }
+        }
+        if let Some(d) = inst.dst() {
+            written |= 1u64 << d.index().min(63);
+        }
+        for s in successors(program, pc) {
+            let s_idx = s as usize;
+            let new = if reachable[s_idx] { written_in[s_idx] & written } else { written };
+            if !reachable[s_idx] || new != written_in[s_idx] {
+                reachable[s_idx] = true;
+                written_in[s_idx] = new;
+                work.push_back(s);
+            }
+        }
+    }
+    for (pc, &r) in reachable.iter().enumerate() {
+        if !r {
+            out.push(Lint::Unreachable { pc: pc as u32 });
+        }
+    }
+
+    // ---- unused labels --------------------------------------------------
+    let targeted: std::collections::BTreeSet<u32> = program
+        .insts
+        .iter()
+        .filter_map(|i| i.target())
+        .collect();
+    for (name, &pc) in &program.labels {
+        if !targeted.contains(&pc) && pc != program.entry {
+            out.push(Lint::UnusedLabel { name: clone_name(name) });
+        }
+    }
+
+    out.sort_by_key(|l| match l {
+        Lint::Unreachable { pc } => (*pc, 0),
+        Lint::ReadBeforeWrite { pc, .. } => (*pc, 1),
+        Lint::UnusedLabel { .. } => (u32::MAX, 2),
+    });
+    out
+}
+
+fn clone_name(s: &str) -> String {
+    s.to_string()
+}
+
+/// Number of registers coverable by the dataflow mask (one mask bit per
+/// register — the 64-entry namespace fits a `u64` exactly).
+pub const LINT_TRACKED_REGS: usize = NUM_REGS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::*;
+
+    #[test]
+    fn clean_program_has_no_lints() {
+        let mut a = Asm::new();
+        a.li(R1, 5);
+        a.label("loop");
+        a.addi(R1, R1, -1);
+        a.bne(R1, R0, "loop");
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(lint(&p), Vec::new());
+    }
+
+    #[test]
+    fn detects_unreachable_after_jump() {
+        let mut a = Asm::new();
+        a.j("end");
+        a.addi(R1, R1, 1); // dead
+        a.label("end");
+        a.halt();
+        let p = a.finish().unwrap();
+        let lints = lint(&p);
+        assert!(lints.contains(&Lint::Unreachable { pc: 1 }), "{lints:?}");
+    }
+
+    #[test]
+    fn detects_read_before_write() {
+        let mut a = Asm::new();
+        a.addi(R2, R1, 1); // r1 never written
+        a.halt();
+        let p = a.finish().unwrap();
+        let lints = lint(&p);
+        assert!(
+            lints.iter().any(|l| matches!(l, Lint::ReadBeforeWrite { pc: 0, reg } if *reg == R1)),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn r0_reads_are_fine() {
+        let mut a = Asm::new();
+        a.add(R1, R0, R0);
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(lint(&p), Vec::new());
+    }
+
+    #[test]
+    fn write_on_one_arm_only_is_flagged() {
+        // r5 written only on the taken arm; the join reads it.
+        let mut a = Asm::new();
+        a.li(R1, 1);
+        a.beq(R1, R0, "skip");
+        a.li(R5, 9);
+        a.label("skip");
+        a.addi(R6, R5, 1); // may read unwritten r5
+        a.halt();
+        let p = a.finish().unwrap();
+        let lints = lint(&p);
+        assert!(
+            lints.iter().any(|l| matches!(l, Lint::ReadBeforeWrite { reg, .. } if *reg == R5)),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn write_on_both_arms_is_clean() {
+        let mut a = Asm::new();
+        a.li(R1, 1);
+        a.beq(R1, R0, "else");
+        a.li(R5, 9);
+        a.j("join");
+        a.label("else");
+        a.li(R5, 7);
+        a.label("join");
+        a.addi(R6, R5, 1);
+        a.halt();
+        let p = a.finish().unwrap();
+        assert!(
+            !lint(&p).iter().any(|l| matches!(l, Lint::ReadBeforeWrite { .. })),
+            "{:?}",
+            lint(&p)
+        );
+    }
+
+    #[test]
+    fn unused_label_reported() {
+        let mut a = Asm::new();
+        a.li(R1, 1);
+        a.label("never"); // not the entry, never targeted
+        a.li(R2, 2);
+        a.halt();
+        let p = a.finish().unwrap();
+        assert!(lint(&p)
+            .iter()
+            .any(|l| matches!(l, Lint::UnusedLabel { name } if name == "never")));
+    }
+
+    #[test]
+    fn workloads_are_lint_relevant_but_mostly_clean() {
+        // Loop-carried reads (accumulators initialized with `li`) must not
+        // trip the may-uninit analysis on a realistic kernel.
+        let mut a = Asm::new();
+        let xs = a.alloc_u64("xs", &[1, 2, 3, 4]);
+        a.li(R1, xs as i64);
+        a.li(R2, 4);
+        a.li(R3, 0);
+        a.label("loop");
+        a.ld(R4, R1, 0);
+        a.add(R3, R3, R4);
+        a.addi(R1, R1, 8);
+        a.addi(R2, R2, -1);
+        a.bne(R2, R0, "loop");
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(lint(&p), Vec::new());
+    }
+}

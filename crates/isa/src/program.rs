@@ -1,0 +1,286 @@
+//! Program container: instruction text, data image, symbols.
+
+use crate::encode::INST_BYTES;
+use crate::inst::Inst;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Initial contents and extent of a program's data memory.
+///
+/// Data memory is a flat byte-addressable space of `size` bytes. The first
+/// `init.len()` bytes are initialized from `init`; the rest read as zero.
+/// Workload builders allocate regions through [`crate::asm::Asm`], which
+/// keeps the image and the symbolic base addresses consistent.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DataImage {
+    /// Initialized prefix of memory.
+    pub init: Vec<u8>,
+    /// Total data-memory size in bytes (`>= init.len()`).
+    pub size: usize,
+}
+
+impl DataImage {
+    /// An image of `size` zero bytes.
+    pub fn zeroed(size: usize) -> DataImage {
+        DataImage { init: Vec::new(), size }
+    }
+
+    /// Materialize the full memory contents.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = self.init.clone();
+        v.resize(self.size, 0);
+        v
+    }
+}
+
+/// A complete SPEAR program: text, data, and symbols.
+///
+/// The PC is an instruction index into `insts`; instruction *addresses* (as
+/// seen by the I-cache) are `pc * INST_BYTES`.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Instruction text.
+    pub insts: Vec<Inst>,
+    /// Label name → instruction index. `BTreeMap` so listings are stable.
+    pub labels: BTreeMap<String, u32>,
+    /// Data-memory name → byte address, for named allocations.
+    pub data_symbols: BTreeMap<String, u64>,
+    /// Initial data memory.
+    pub data: DataImage,
+    /// Entry PC.
+    pub entry: u32,
+}
+
+/// Static instruction-mix counts (see [`Program::static_mix`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StaticMix {
+    /// All instructions.
+    pub total: usize,
+    /// Loads (integer and FP).
+    pub loads: usize,
+    /// Stores.
+    pub stores: usize,
+    /// Branches and jumps.
+    pub controls: usize,
+    /// FP arithmetic.
+    pub fp: usize,
+    /// Integer arithmetic and everything else.
+    pub int: usize,
+}
+
+impl StaticMix {
+    /// Memory operations as a fraction of all instructions.
+    pub fn mem_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.loads + self.stores) as f64 / self.total as f64
+        }
+    }
+}
+
+/// A structural problem detected by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A control transfer targets an instruction index outside the text.
+    TargetOutOfRange { pc: u32, target: u32 },
+    /// An instruction failed register-class validation.
+    BadInst { pc: u32, reason: String },
+    /// The entry point is outside the text.
+    BadEntry(u32),
+    /// The program has no `halt`, so execution would run off the end.
+    NoHalt,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::TargetOutOfRange { pc, target } => {
+                write!(f, "pc {pc}: branch/jump target @{target} out of range")
+            }
+            ProgramError::BadInst { pc, reason } => write!(f, "pc {pc}: {reason}"),
+            ProgramError::BadEntry(e) => write!(f, "entry point @{e} out of range"),
+            ProgramError::NoHalt => write!(f, "program contains no halt instruction"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the text is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Fetch by PC; `None` past the end of text.
+    #[inline]
+    pub fn fetch(&self, pc: u32) -> Option<&Inst> {
+        self.insts.get(pc as usize)
+    }
+
+    /// Instruction address as the I-cache sees it.
+    #[inline]
+    pub fn inst_addr(pc: u32) -> u64 {
+        pc as u64 * INST_BYTES as u64
+    }
+
+    /// Byte address of a named data allocation.
+    pub fn data_addr(&self, name: &str) -> Option<u64> {
+        self.data_symbols.get(name).copied()
+    }
+
+    /// Structural validation: operand classes, control-transfer targets,
+    /// entry point, presence of `halt`.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        if self.entry as usize >= self.insts.len() && !self.insts.is_empty() {
+            return Err(ProgramError::BadEntry(self.entry));
+        }
+        let mut has_halt = false;
+        for (pc, inst) in self.insts.iter().enumerate() {
+            let pc = pc as u32;
+            if let Err(reason) = inst.validate() {
+                return Err(ProgramError::BadInst { pc, reason });
+            }
+            if let Some(t) = inst.target() {
+                if t as usize >= self.insts.len() {
+                    return Err(ProgramError::TargetOutOfRange { pc, target: t });
+                }
+            }
+            has_halt |= inst.op == crate::op::Opcode::Halt;
+        }
+        if !has_halt && !self.insts.is_empty() {
+            return Err(ProgramError::NoHalt);
+        }
+        Ok(())
+    }
+
+    /// Static instruction mix (counts by category).
+    pub fn static_mix(&self) -> StaticMix {
+        let mut m = StaticMix::default();
+        for i in &self.insts {
+            m.total += 1;
+            if i.op.is_load() {
+                m.loads += 1;
+            } else if i.op.is_store() {
+                m.stores += 1;
+            } else if i.op.is_ctrl() {
+                m.controls += 1;
+            } else if matches!(
+                i.op.fu_class(),
+                crate::op::FuClass::FpAlu | crate::op::FuClass::FpMul | crate::op::FuClass::FpDiv
+            ) {
+                m.fp += 1;
+            } else {
+                m.int += 1;
+            }
+        }
+        m
+    }
+
+    /// Human-readable listing with label annotations — the disassembler.
+    pub fn listing(&self) -> String {
+        use fmt::Write;
+        let mut by_pc: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+        for (name, &pc) in &self.labels {
+            by_pc.entry(pc).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (pc, inst) in self.insts.iter().enumerate() {
+            if let Some(names) = by_pc.get(&(pc as u32)) {
+                for n in names {
+                    let _ = writeln!(out, "{n}:");
+                }
+            }
+            let _ = writeln!(out, "  {pc:>6}  {inst}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Opcode;
+    use crate::reg::*;
+
+    fn tiny() -> Program {
+        Program {
+            insts: vec![
+                Inst::new(Opcode::Li, R1, R0, R0, 5),
+                Inst::new(Opcode::Addi, R1, R1, R0, -1),
+                Inst::new(Opcode::Bne, R0, R1, R0, 1),
+                Inst::halt(),
+            ],
+            labels: [("loop".to_string(), 1u32)].into(),
+            data_symbols: BTreeMap::new(),
+            data: DataImage::zeroed(64),
+            entry: 0,
+        }
+    }
+
+    #[test]
+    fn validate_ok() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_bad_target() {
+        let mut p = tiny();
+        p.insts[2].imm = 99;
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::TargetOutOfRange { pc: 2, target: 99 })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_missing_halt() {
+        let mut p = tiny();
+        p.insts.pop();
+        p.insts.push(Inst::nop());
+        assert_eq!(p.validate(), Err(ProgramError::NoHalt));
+    }
+
+    #[test]
+    fn validate_catches_bad_entry() {
+        let mut p = tiny();
+        p.entry = 100;
+        assert!(matches!(p.validate(), Err(ProgramError::BadEntry(100))));
+    }
+
+    #[test]
+    fn data_image_materializes_zero_tail() {
+        let img = DataImage { init: vec![1, 2, 3], size: 6 };
+        assert_eq!(img.to_bytes(), vec![1, 2, 3, 0, 0, 0]);
+    }
+
+    #[test]
+    fn listing_includes_labels() {
+        let l = tiny().listing();
+        assert!(l.contains("loop:"), "{l}");
+        assert!(l.contains("halt"), "{l}");
+    }
+
+    #[test]
+    fn static_mix_counts() {
+        let p = tiny();
+        let m = p.static_mix();
+        assert_eq!(m.total, 4);
+        assert_eq!(m.controls, 1); // the bne
+        assert_eq!(m.loads + m.stores, 0);
+        assert_eq!(m.int + m.fp, 3); // li, addi, halt
+        assert_eq!(m.mem_fraction(), 0.0);
+    }
+
+    #[test]
+    fn inst_addr_spacing() {
+        assert_eq!(Program::inst_addr(0), 0);
+        assert_eq!(Program::inst_addr(2), 2 * INST_BYTES as u64);
+    }
+}

@@ -1,0 +1,265 @@
+//! The p-thread table: the SPEAR binary's prefetching metadata.
+//!
+//! The SPEAR compiler's attaching tool (module ④ of §4.1) appends a table of
+//! p-thread descriptors to the program binary. At program launch the table is
+//! loaded into the processor's P-thread Table (PT); the pre-decode stage
+//! consults it to mark IFQ entries with p-thread indicators and to detect
+//! delinquent loads (§3.1–3.2).
+//!
+//! One [`PThreadEntry`] describes one delinquent load: the d-load's PC, the
+//! PCs of its backward slice (the p-thread members), the live-in registers
+//! to copy from the main thread at trigger time, and the region metadata
+//! (loop headers and accumulated d-cycle) the compiler used to bound the
+//! prefetching range.
+
+use crate::program::Program;
+use crate::reg::Reg;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Region metadata recorded with each p-thread (§4.2).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegionInfo {
+    /// Header PCs of the loops included in the prefetching range,
+    /// innermost first.
+    pub loop_headers: Vec<u32>,
+    /// Accumulated expected delay (cycles per iteration of the outermost
+    /// included loop) — the paper's d-cycle, bounded by the 120-cycle
+    /// criterion.
+    pub dcycle: f64,
+}
+
+/// Descriptor for one delinquent load's p-thread.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PThreadEntry {
+    /// PC of the delinquent load.
+    pub dload_pc: u32,
+    /// PCs of all p-thread member instructions (the backward slice plus the
+    /// d-load itself), sorted ascending.
+    pub members: Vec<u32>,
+    /// Registers whose values must be copied from the main thread's
+    /// architectural state when the p-thread is triggered. Copying costs one
+    /// cycle per register (§3.2).
+    pub live_ins: Vec<Reg>,
+    /// Region (prefetching range) metadata.
+    pub region: RegionInfo,
+    /// Cache misses observed at this load during profiling (diagnostic).
+    pub profiled_misses: u64,
+}
+
+impl PThreadEntry {
+    /// Slice length in instructions (the paper reports this per benchmark;
+    /// e.g. fft's 1,129-instruction p-thread).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the entry has no members (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// The full p-thread table attached to a program.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PThreadTable {
+    /// One entry per delinquent load, sorted by `dload_pc`.
+    pub entries: Vec<PThreadEntry>,
+}
+
+impl PThreadTable {
+    /// An empty table (a SPEAR binary with no p-threads behaves exactly
+    /// like the baseline binary).
+    pub fn empty() -> PThreadTable {
+        PThreadTable::default()
+    }
+
+    /// Number of p-threads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no p-threads are attached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Union of all member PCs — what the pre-decoder marks with p-thread
+    /// indicators.
+    pub fn member_union(&self) -> BTreeSet<u32> {
+        self.entries
+            .iter()
+            .flat_map(|e| e.members.iter().copied())
+            .collect()
+    }
+
+    /// Set of delinquent-load PCs — what the pre-decode d-load detector
+    /// (PD) matches against.
+    pub fn dload_pcs(&self) -> BTreeSet<u32> {
+        self.entries.iter().map(|e| e.dload_pc).collect()
+    }
+
+    /// Look up the entry for a d-load PC.
+    pub fn entry_for(&self, dload_pc: u32) -> Option<&PThreadEntry> {
+        self.entries.iter().find(|e| e.dload_pc == dload_pc)
+    }
+
+    /// Consistency checks against a program: members in range and sorted,
+    /// each d-load a member of its own slice, each d-load actually a load.
+    pub fn validate(&self, program: &Program) -> Result<(), TableError> {
+        let mut last_dload = None;
+        for e in &self.entries {
+            if let Some(prev) = last_dload {
+                if e.dload_pc <= prev {
+                    return Err(TableError::Unsorted);
+                }
+            }
+            last_dload = Some(e.dload_pc);
+            let inst = program
+                .fetch(e.dload_pc)
+                .ok_or(TableError::PcOutOfRange(e.dload_pc))?;
+            if !inst.op.is_load() {
+                return Err(TableError::DLoadNotALoad(e.dload_pc));
+            }
+            if !e.members.contains(&e.dload_pc) {
+                return Err(TableError::DLoadNotInSlice(e.dload_pc));
+            }
+            let mut prev_m = None;
+            for &m in &e.members {
+                if program.fetch(m).is_none() {
+                    return Err(TableError::PcOutOfRange(m));
+                }
+                if let Some(p) = prev_m {
+                    if m <= p {
+                        return Err(TableError::Unsorted);
+                    }
+                }
+                prev_m = Some(m);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Inconsistencies detected by [`PThreadTable::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Entries or members not strictly ascending.
+    Unsorted,
+    /// A PC referenced by the table is outside the program text.
+    PcOutOfRange(u32),
+    /// The designated delinquent load is not a load instruction.
+    DLoadNotALoad(u32),
+    /// The delinquent load is missing from its own member set.
+    DLoadNotInSlice(u32),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Unsorted => write!(f, "p-thread table entries not sorted"),
+            TableError::PcOutOfRange(pc) => write!(f, "p-thread pc @{pc} out of range"),
+            TableError::DLoadNotALoad(pc) => write!(f, "d-load @{pc} is not a load"),
+            TableError::DLoadNotInSlice(pc) => {
+                write!(f, "d-load @{pc} missing from its own slice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A program together with its attached p-thread table — the output of the
+/// SPEAR compiler, the input to the SPEAR machine.
+#[derive(Clone, Debug, Default)]
+pub struct SpearBinary {
+    /// The unmodified program text and data (the p-thread is a strict
+    /// subset of the main program and is *not* duplicated — §3).
+    pub program: Program,
+    /// The attached p-thread table.
+    pub table: PThreadTable,
+}
+
+impl SpearBinary {
+    /// Wrap a program with no p-threads (baseline behaviour).
+    pub fn plain(program: Program) -> SpearBinary {
+        SpearBinary { program, table: PThreadTable::empty() }
+    }
+
+    /// Validate both the program and the table against it.
+    pub fn validate(&self) -> Result<(), String> {
+        self.program.validate().map_err(|e| e.to_string())?;
+        self.table.validate(&self.program).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::*;
+
+    fn prog_with_load() -> Program {
+        let mut a = Asm::new();
+        let xs = a.alloc_u64("xs", &[0; 8]);
+        a.li(R1, xs as i64);
+        a.label("top");
+        a.ld(R2, R1, 0); // pc 1
+        a.addi(R1, R1, 8); // pc 2
+        a.bne(R2, R0, "top");
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    fn entry(dload: u32, members: Vec<u32>) -> PThreadEntry {
+        PThreadEntry { dload_pc: dload, members, ..Default::default() }
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        let p = prog_with_load();
+        let t = PThreadTable { entries: vec![entry(1, vec![1, 2])] };
+        t.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_nonload_dload() {
+        let p = prog_with_load();
+        let t = PThreadTable { entries: vec![entry(2, vec![2])] };
+        assert_eq!(t.validate(&p), Err(TableError::DLoadNotALoad(2)));
+    }
+
+    #[test]
+    fn validate_rejects_dload_outside_slice() {
+        let p = prog_with_load();
+        let t = PThreadTable { entries: vec![entry(1, vec![2])] };
+        assert_eq!(t.validate(&p), Err(TableError::DLoadNotInSlice(1)));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let p = prog_with_load();
+        let t = PThreadTable { entries: vec![entry(1, vec![1, 99])] };
+        assert_eq!(t.validate(&p), Err(TableError::PcOutOfRange(99)));
+    }
+
+    #[test]
+    fn member_union_and_dload_sets() {
+        let t = PThreadTable {
+            entries: vec![entry(1, vec![0, 1]), entry(5, vec![3, 5])],
+        };
+        assert_eq!(t.member_union(), [0, 1, 3, 5].into());
+        assert_eq!(t.dload_pcs(), [1, 5].into());
+        assert_eq!(t.entry_for(5).unwrap().dload_pc, 5);
+        assert!(t.entry_for(2).is_none());
+    }
+
+    #[test]
+    fn empty_table_is_benign() {
+        let p = prog_with_load();
+        let b = SpearBinary::plain(p);
+        b.validate().unwrap();
+        assert!(b.table.is_empty());
+    }
+}

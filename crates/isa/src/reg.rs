@@ -1,0 +1,163 @@
+//! Architectural register names.
+//!
+//! The SPEAR ISA (our stand-in for SimpleScalar PISA, see `DESIGN.md`) has 32
+//! integer registers `R0`–`R31` and 32 floating-point registers `F0`–`F31`.
+//! `R0` is hardwired to zero, as in PISA/MIPS. By convention `R29` is the
+//! stack pointer and `R31` the link register, but nothing in the toolchain
+//! enforces an ABI — workloads are free-standing kernels.
+//!
+//! A [`Reg`] is a single byte: indices `0..32` are integer registers and
+//! `32..64` are floating-point registers. Packing both classes into one
+//! namespace keeps dependence analysis (renaming in the core, backward
+//! slicing in the compiler) uniform: a "register" is just an index into a
+//! 64-entry architectural file.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of integer architectural registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Total architectural register namespace (integer + floating point).
+pub const NUM_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
+
+/// An architectural register name.
+///
+/// The inner index is `0..64`: `0..32` integer, `32..64` floating point.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero integer register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Integer register `Rn`. Panics if `n >= 32`.
+    #[inline]
+    pub const fn int(n: u8) -> Reg {
+        assert!(n < NUM_INT_REGS as u8);
+        Reg(n)
+    }
+
+    /// Floating-point register `Fn`. Panics if `n >= 32`.
+    #[inline]
+    pub const fn fp(n: u8) -> Reg {
+        assert!(n < NUM_FP_REGS as u8);
+        Reg(n + NUM_INT_REGS as u8)
+    }
+
+    /// Reconstruct from a raw namespace index (`0..64`).
+    #[inline]
+    pub const fn from_index(i: u8) -> Reg {
+        assert!(i < NUM_REGS as u8);
+        Reg(i)
+    }
+
+    /// Index into the unified 64-entry architectural namespace.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for `F0`–`F31`.
+    #[inline]
+    pub const fn is_fp(self) -> bool {
+        self.0 >= NUM_INT_REGS as u8
+    }
+
+    /// True for `R0`, which always reads as zero and ignores writes.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The number within the class (the `n` of `Rn`/`Fn`).
+    #[inline]
+    pub const fn num(self) -> u8 {
+        if self.is_fp() {
+            self.0 - NUM_INT_REGS as u8
+        } else {
+            self.0
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.num())
+        } else {
+            write!(f, "r{}", self.num())
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+macro_rules! int_regs {
+    ($($name:ident = $n:expr),* $(,)?) => {
+        $(#[doc = concat!("Integer register `r", stringify!($n), "`.")]
+          pub const $name: Reg = Reg::int($n);)*
+    };
+}
+
+macro_rules! fp_regs {
+    ($($name:ident = $n:expr),* $(,)?) => {
+        $(#[doc = concat!("Floating-point register `f", stringify!($n), "`.")]
+          pub const $name: Reg = Reg::fp($n);)*
+    };
+}
+
+int_regs! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+    R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21, R22 = 22, R23 = 23,
+    R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28, R29 = 29, R30 = 30, R31 = 31,
+}
+
+fp_regs! {
+    F0 = 0, F1 = 1, F2 = 2, F3 = 3, F4 = 4, F5 = 5, F6 = 6, F7 = 7,
+    F8 = 8, F9 = 9, F10 = 10, F11 = 11, F12 = 12, F13 = 13, F14 = 14, F15 = 15,
+    F16 = 16, F17 = 17, F18 = 18, F19 = 19, F20 = 20, F21 = 21, F22 = 22, F23 = 23,
+    F24 = 24, F25 = 25, F26 = 26, F27 = 27, F28 = 28, F29 = 29, F30 = 30, F31 = 31,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_namespaces_are_disjoint() {
+        for n in 0..32u8 {
+            assert!(!Reg::int(n).is_fp());
+            assert!(Reg::fp(n).is_fp());
+            assert_ne!(Reg::int(n), Reg::fp(n));
+            assert_eq!(Reg::int(n).num(), n);
+            assert_eq!(Reg::fp(n).num(), n);
+        }
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(R0.is_zero());
+        assert!(!R1.is_zero());
+        assert!(!F0.is_zero(), "f0 is a normal register");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(R17.to_string(), "r17");
+        assert_eq!(F3.to_string(), "f3");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..NUM_REGS as u8 {
+            assert_eq!(Reg::from_index(i).index(), i as usize);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Property test: every structurally valid program round-trips through
+//! the assembly emitter and parser bit-exactly.
+
+use proptest::prelude::*;
+use spear_isa::asm::Asm;
+use spear_isa::reg::Reg;
+use spear_isa::{emit_asm, parse_asm, Program};
+
+/// Random structured programs using (almost) every instruction form.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec((0u8..10, 0u8..30, any::<i16>()), 1..40),
+        proptest::collection::vec(any::<u64>(), 1..8),
+    )
+        .prop_map(|(ops, data)| {
+            let mut a = Asm::new();
+            a.alloc_u64("blob", &data);
+            for (i, &(kind, r, imm)) in ops.iter().enumerate() {
+                let rd = Reg::int(1 + (r % 28));
+                let rs = Reg::int(1 + ((r + 7) % 28));
+                let fd = Reg::fp(r % 30);
+                let fs = Reg::fp((r + 3) % 30);
+                match kind {
+                    0 => {
+                        a.add(rd, rs, rd);
+                    }
+                    1 => {
+                        a.addi(rd, rs, imm as i64);
+                    }
+                    2 => {
+                        a.li(rd, imm as i64);
+                    }
+                    3 => {
+                        a.ld(rd, spear_isa::reg::R0, (imm as i64 & 3) * 8);
+                    }
+                    4 => {
+                        a.sd(rs, spear_isa::reg::R0, (imm as i64 & 3) * 8);
+                    }
+                    5 => {
+                        a.fadd(fd, fs, fd);
+                    }
+                    6 => {
+                        a.fsqrt(fd, fs);
+                    }
+                    7 => {
+                        a.fld(fd, spear_isa::reg::R0, (imm as i64 & 3) * 8);
+                    }
+                    8 => {
+                        // A short forward branch to a fresh label.
+                        let l = format!("l{i}");
+                        a.beq(rd, rs, &l);
+                        a.nop();
+                        a.label(&l);
+                    }
+                    _ => {
+                        a.slli(rd, rs, (imm as i64).rem_euclid(63));
+                    }
+                }
+            }
+            a.halt();
+            a.finish().expect("assembles")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn emit_parse_is_identity_on_instructions(p in arb_program()) {
+        let text = emit_asm(&p);
+        let back = parse_asm(&text)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
+        prop_assert_eq!(&back.insts, &p.insts);
+        prop_assert_eq!(back.entry, p.entry);
+        prop_assert_eq!(back.data.to_bytes(), p.data.to_bytes());
+    }
+
+    #[test]
+    fn binfile_is_identity(p in arb_program()) {
+        let b = spear_isa::SpearBinary::plain(p);
+        let loaded = spear_isa::binfile::load(&spear_isa::binfile::save(&b)).unwrap();
+        prop_assert_eq!(loaded.program.insts, b.program.insts);
+        prop_assert_eq!(loaded.program.data.to_bytes(), b.program.data.to_bytes());
+    }
+}

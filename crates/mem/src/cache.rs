@@ -1,0 +1,372 @@
+//! A single set-associative cache (tag array + replacement state).
+//!
+//! This is a *timing* model: it tracks tags, validity, dirtiness and
+//! replacement state, not data (the simulator's functional state lives in
+//! `spear_exec::Memory`). Geometry and policy follow Table 2 of the paper:
+//! L1D = 256 sets × 32-byte blocks × 4-way LRU, unified L2 = 1024 sets ×
+//! 64-byte blocks × 4-way LRU.
+
+use serde::{Deserialize, Serialize};
+
+/// Cache shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Block (line) size in bytes (power of two).
+    pub block_bytes: usize,
+}
+
+impl CacheGeometry {
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.assoc * self.block_bytes
+    }
+
+    /// Table 2 L1 data cache: 256 sets, 32-byte block, 4-way.
+    pub fn l1d_paper() -> CacheGeometry {
+        CacheGeometry { sets: 256, assoc: 4, block_bytes: 32 }
+    }
+
+    /// Table 2 unified L2: 1024 sets, 64-byte block, 4-way.
+    pub fn l2_paper() -> CacheGeometry {
+        CacheGeometry { sets: 1024, assoc: 4, block_bytes: 64 }
+    }
+
+    /// L1 instruction cache (not specified in Table 2; a conventional
+    /// 16 KiB 2-way configuration, documented in DESIGN.md).
+    pub fn l1i_default() -> CacheGeometry {
+        CacheGeometry { sets: 256, assoc: 2, block_bytes: 32 }
+    }
+}
+
+/// Replacement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplPolicy {
+    /// Least-recently-used (the paper's policy).
+    Lru,
+    /// First-in-first-out (ablation).
+    Fifo,
+    /// Pseudo-random (xorshift; ablation).
+    Random,
+}
+
+/// Result of one cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// True on a tag hit.
+    pub hit: bool,
+    /// True if the fill evicted a dirty line (write-back traffic).
+    pub writeback: bool,
+    /// Block-aligned address of an evicted line, if any.
+    pub evicted: Option<u64>,
+}
+
+/// Per-cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Read misses.
+    pub read_misses: u64,
+    /// Write misses.
+    pub write_misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// All accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// All misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Miss ratio over all accesses (0 when idle).
+    pub fn miss_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / a as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU: last-touch stamp. FIFO: fill stamp.
+    stamp: u64,
+}
+
+/// The cache proper. Write-back, write-allocate.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    geom: CacheGeometry,
+    policy: ReplPolicy,
+    lines: Vec<Line>,
+    tick: u64,
+    rng: u64,
+    /// Access/miss counters.
+    pub stats: CacheStats,
+    block_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Build an empty cache. Panics unless sets and block size are powers
+    /// of two and associativity is nonzero.
+    pub fn new(geom: CacheGeometry, policy: ReplPolicy) -> Cache {
+        assert!(geom.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            geom.block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        assert!(geom.assoc > 0, "associativity must be nonzero");
+        Cache {
+            geom,
+            policy,
+            lines: vec![Line::default(); geom.sets * geom.assoc],
+            tick: 0,
+            rng: 0x9E3779B97F4A7C15,
+            stats: CacheStats::default(),
+            block_shift: geom.block_bytes.trailing_zeros(),
+            set_mask: (geom.sets - 1) as u64,
+        }
+    }
+
+    /// Geometry this cache was built with.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    #[inline]
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr >> self.block_shift) & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr >> self.block_shift >> self.geom.sets.trailing_zeros()
+    }
+
+    /// Block-aligned address for a (set, tag) pair.
+    fn block_addr(&self, set: usize, tag: u64) -> u64 {
+        ((tag << self.geom.sets.trailing_zeros()) | set as u64) << self.block_shift
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Access `addr`; on a miss the line is filled (write-allocate).
+    /// Write hits and write fills mark the line dirty.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.geom.assoc;
+        let ways = &mut self.lines[base..base + self.geom.assoc];
+
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+
+        // Hit path.
+        for line in ways.iter_mut() {
+            if line.valid && line.tag == tag {
+                if matches!(self.policy, ReplPolicy::Lru) {
+                    line.stamp = tick;
+                }
+                line.dirty |= is_write;
+                return AccessResult { hit: true, writeback: false, evicted: None };
+            }
+        }
+
+        // Miss: pick a victim.
+        if is_write {
+            self.stats.write_misses += 1;
+        } else {
+            self.stats.read_misses += 1;
+        }
+        let victim = match ways.iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => match self.policy {
+                ReplPolicy::Lru | ReplPolicy::Fifo => ways
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.stamp)
+                    .map(|(i, _)| i)
+                    .expect("assoc > 0"),
+                ReplPolicy::Random => {
+                    let assoc = self.geom.assoc;
+                    (self.next_rand() % assoc as u64) as usize
+                }
+            },
+        };
+        let ways = &mut self.lines[base..base + self.geom.assoc];
+        let old = ways[victim];
+        let writeback = old.valid && old.dirty;
+        if writeback {
+            self.stats.writebacks += 1;
+        }
+        let evicted = old
+            .valid
+            .then(|| self.block_addr(set, old.tag));
+        let ways = &mut self.lines[base..base + self.geom.assoc];
+        ways[victim] = Line { tag, valid: true, dirty: is_write, stamp: tick };
+        AccessResult { hit: false, writeback, evicted }
+    }
+
+    /// Would `addr` hit right now? Does not disturb replacement state or
+    /// statistics (used by tests and by the profiler's peek).
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.geom.assoc;
+        self.lines[base..base + self.geom.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidate everything (keeps statistics).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(
+            CacheGeometry { sets: 4, assoc: 2, block_bytes: 16 },
+            ReplPolicy::Lru,
+        )
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = small();
+        assert!(!c.access(0x100, false).hit);
+        assert!(c.access(0x100, false).hit);
+        assert!(c.access(0x10F, false).hit, "same block");
+        assert!(!c.access(0x110, false).hit, "next block");
+        assert_eq!(c.stats.reads, 4);
+        assert_eq!(c.stats.read_misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Set 0 holds blocks whose addr = tag * 64 (4 sets * 16B).
+        c.access(0, false); // tag 0
+        c.access(64, false); // tag 1 — set full
+        c.access(0, false); // touch tag 0, tag 1 is now LRU
+        let r = c.access(128, false); // tag 2 evicts tag 1
+        assert_eq!(r.evicted, Some(64));
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+        assert!(c.probe(128));
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut c = Cache::new(
+            CacheGeometry { sets: 4, assoc: 2, block_bytes: 16 },
+            ReplPolicy::Fifo,
+        );
+        c.access(0, false);
+        c.access(64, false);
+        c.access(0, false); // touch does not refresh FIFO stamp
+        let r = c.access(128, false);
+        assert_eq!(r.evicted, Some(0), "oldest fill evicted despite touch");
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.access(0, true); // fill dirty
+        c.access(64, false);
+        let r = c.access(128, false); // evicts one of them
+        // tag 0 is LRU (written first, never touched again)
+        assert!(r.writeback);
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.access(0, false); // clean fill
+        c.access(0, true); // dirty it
+        c.access(64, false);
+        c.access(128, false); // evict tag 0
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn probe_does_not_disturb() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(64, false);
+        assert!(c.probe(64));
+        let before = c.stats;
+        assert!(c.probe(0));
+        assert_eq!(c.stats, before);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = small();
+        c.access(0, false);
+        c.flush();
+        assert!(!c.probe(0));
+        assert!(!c.access(0, false).hit);
+    }
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(CacheGeometry::l1d_paper().capacity(), 32 * 1024);
+        assert_eq!(CacheGeometry::l2_paper().capacity(), 256 * 1024);
+    }
+
+    #[test]
+    fn random_policy_fills_all_ways_before_evicting() {
+        let mut c = Cache::new(
+            CacheGeometry { sets: 1, assoc: 4, block_bytes: 16 },
+            ReplPolicy::Random,
+        );
+        for i in 0..4 {
+            assert!(!c.access(i * 16, false).hit);
+        }
+        for i in 0..4 {
+            assert!(c.access(i * 16, false).hit, "all four resident");
+        }
+        c.access(4 * 16, false);
+        let resident = (0..5).filter(|i| c.probe(i * 16)).count();
+        assert_eq!(resident, 4, "exactly one block was evicted");
+    }
+}

@@ -1,0 +1,560 @@
+//! The two-level memory hierarchy: L1I + L1D over a unified L2 over main
+//! memory, with the access latencies of Table 2 (and the Figure 9 latency
+//! sweep knobs).
+
+use crate::cache::{Cache, CacheGeometry, CacheStats, ReplPolicy};
+use crate::prefetch::{StrideConfig, StridePrefetcher};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Prune the pending-fill map when it grows past this.
+const PENDING_PRUNE: usize = 4096;
+
+/// Access latencies, in CPU cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyConfig {
+    /// L1 (data or instruction) hit latency.
+    pub l1_hit: u32,
+    /// Unified L2 hit latency.
+    pub l2_hit: u32,
+    /// Main-memory access latency.
+    pub memory: u32,
+}
+
+impl LatencyConfig {
+    /// Table 2: L1 = 1, L2 = 12, memory = 120.
+    pub fn paper() -> LatencyConfig {
+        LatencyConfig { l1_hit: 1, l2_hit: 12, memory: 120 }
+    }
+
+    /// One point of the Figure 9 sweep: `memory` ∈ {40,80,120,160,200}
+    /// paired with `l2 = memory / 10`.
+    pub fn sweep_point(memory: u32) -> LatencyConfig {
+        LatencyConfig { l1_hit: 1, l2_hit: memory / 10, memory }
+    }
+}
+
+/// What kind of data access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Where an access was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServedBy {
+    /// L1 hit.
+    L1,
+    /// L1 miss, L2 hit.
+    L2,
+    /// Missed both caches.
+    Memory,
+}
+
+/// One hierarchy access, with the total latency and where it was served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Total latency in cycles.
+    pub latency: u32,
+    /// Level that supplied the line.
+    pub served_by: ServedBy,
+}
+
+/// Full hierarchy configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierConfig {
+    /// L1 data cache geometry.
+    pub l1d: CacheGeometry,
+    /// L1 instruction cache geometry.
+    pub l1i: CacheGeometry,
+    /// Unified L2 geometry.
+    pub l2: CacheGeometry,
+    /// Replacement policy (applies to all levels).
+    pub policy: ReplPolicy,
+    /// Latencies.
+    pub latency: LatencyConfig,
+    /// Maximum outstanding L1D line fills (MSHRs). A miss issued while
+    /// all MSHRs are busy queues behind the oldest outstanding fill
+    /// (latency extends until an MSHR frees). `None` = unlimited, the
+    /// default (`sim-outorder`'s default infinite-bandwidth memory).
+    pub mshrs: Option<usize>,
+    /// Attach a conventional per-PC stride prefetcher to the L1D (the
+    /// "traditional prefetching" baseline of the paper's motivation;
+    /// off by default and in every paper configuration).
+    pub stride_prefetch: Option<StrideConfig>,
+}
+
+impl HierConfig {
+    /// The paper's configuration (Table 2).
+    pub fn paper() -> HierConfig {
+        HierConfig {
+            l1d: CacheGeometry::l1d_paper(),
+            l1i: CacheGeometry::l1i_default(),
+            l2: CacheGeometry::l2_paper(),
+            policy: ReplPolicy::Lru,
+            latency: LatencyConfig::paper(),
+            mshrs: None,
+            stride_prefetch: None,
+        }
+    }
+}
+
+/// Per-static-PC L1D miss accounting, used by the profiler to identify
+/// delinquent loads and by the evaluation to report miss reductions.
+#[derive(Clone, Debug, Default)]
+pub struct PcMissCounts {
+    map: HashMap<u32, u64>,
+}
+
+impl PcMissCounts {
+    /// Record one miss at `pc`.
+    pub fn record(&mut self, pc: u32) {
+        *self.map.entry(pc).or_insert(0) += 1;
+    }
+
+    /// Misses recorded at `pc`.
+    pub fn get(&self, pc: u32) -> u64 {
+        self.map.get(&pc).copied().unwrap_or(0)
+    }
+
+    /// All (pc, misses) pairs, descending by miss count then ascending PC
+    /// (stable for reporting).
+    pub fn ranked(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<_> = self.map.iter().map(|(&pc, &n)| (pc, n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Total misses across all PCs.
+    pub fn total(&self) -> u64 {
+        self.map.values().sum()
+    }
+}
+
+/// The memory hierarchy.
+///
+/// Loads and stores go through [`Hierarchy::access_data`]; instruction
+/// fetches through [`Hierarchy::access_inst`]. Misses propagate to the next
+/// level; the returned latency is the sum along the walk. Dirty evictions
+/// from L1D are installed in L2 (write-back), modelled as state changes
+/// only (no extra latency, matching `sim-outorder`'s default bus model).
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// L1 data cache.
+    pub l1d: Cache,
+    /// L1 instruction cache.
+    pub l1i: Cache,
+    /// Unified L2.
+    pub l2: Cache,
+    /// Latency configuration.
+    pub latency: LatencyConfig,
+    /// L1D misses per static load/store PC.
+    pub pc_misses: PcMissCounts,
+    /// L1D misses incurred by p-thread accesses (prefetches).
+    pub pthread_misses: u64,
+    /// L1D accesses issued by the p-thread.
+    pub pthread_accesses: u64,
+    /// MSHR limit, from the configuration.
+    mshr_limit: Option<usize>,
+    /// In-flight line fills: L1D block address → cycle the data arrives.
+    ///
+    /// A tag array alone would let a second access to a just-missed block
+    /// hit instantly; real hardware makes it wait on the outstanding fill
+    /// (an MSHR merge). Accesses to a pending block are charged the
+    /// *remaining* fill latency — this is also what makes a prefetch that
+    /// is still in flight partially (rather than fully) hide the miss.
+    pending_fills: HashMap<u64, u64>,
+    /// Accesses that merged into an outstanding fill (delayed hits).
+    pub delayed_hits: u64,
+    /// Blocks whose most recent fill was requested by the p-thread and
+    /// that the main thread has not touched yet.
+    pthread_blocks: HashMap<u64, ()>,
+    /// Main-thread accesses that hit a line the p-thread prefetched
+    /// (fully — an L1 hit) — the "useful prefetch" count.
+    pub useful_prefetches: u64,
+    /// Main-thread accesses that merged into a still-in-flight p-thread
+    /// fill (a partially useful prefetch).
+    pub late_prefetches: u64,
+    /// Fills delayed because all MSHRs were busy.
+    pub mshr_stalls: u64,
+    /// The optional stride prefetcher.
+    stride: Option<StridePrefetcher>,
+    /// Lines filled by the stride prefetcher.
+    pub hw_prefetch_fills: u64,
+}
+
+impl Hierarchy {
+    /// Build an empty hierarchy.
+    pub fn new(cfg: HierConfig) -> Hierarchy {
+        Hierarchy {
+            l1d: Cache::new(cfg.l1d, cfg.policy),
+            l1i: Cache::new(cfg.l1i, cfg.policy),
+            l2: Cache::new(cfg.l2, cfg.policy),
+            latency: cfg.latency,
+            mshr_limit: cfg.mshrs,
+            pc_misses: PcMissCounts::default(),
+            pthread_misses: 0,
+            pthread_accesses: 0,
+            pending_fills: HashMap::new(),
+            delayed_hits: 0,
+            pthread_blocks: HashMap::new(),
+            useful_prefetches: 0,
+            late_prefetches: 0,
+            mshr_stalls: 0,
+            stride: cfg.stride_prefetch.map(StridePrefetcher::new),
+            hw_prefetch_fills: 0,
+        }
+    }
+
+    /// Fill a line on behalf of the hardware prefetcher: installs the tag
+    /// in L1D (and L2 on the way) without touching the demand-miss
+    /// statistics and with the usual in-flight-fill bookkeeping.
+    fn hw_prefetch(&mut self, addr: u64, now: u64) {
+        if self.l1d.probe(addr) {
+            return;
+        }
+        let r1 = self.l1d.access(addr, false);
+        debug_assert!(!r1.hit);
+        if r1.writeback {
+            if let Some(victim) = r1.evicted {
+                self.l2.access(victim, true);
+            }
+        }
+        let r2 = self.l2.access(addr, false);
+        let raw = if r2.hit {
+            self.latency.l1_hit + self.latency.l2_hit
+        } else {
+            self.latency.l1_hit + self.latency.l2_hit + self.latency.memory
+        };
+        self.note_fill(addr, now, raw);
+        self.hw_prefetch_fills += 1;
+        // Demand-stat hygiene: back out the access/miss this probe added.
+        self.l1d.stats.reads -= 1;
+        self.l1d.stats.read_misses -= 1;
+        self.l2.stats.reads -= 1;
+        if !r2.hit {
+            self.l2.stats.read_misses -= 1;
+        }
+    }
+
+    fn block_of(&self, addr: u64) -> u64 {
+        addr / self.l1d.geometry().block_bytes as u64
+    }
+
+    /// Remaining latency if `addr`'s block has an outstanding fill.
+    fn pending_latency(&mut self, addr: u64, now: u64) -> Option<u32> {
+        let block = self.block_of(addr);
+        match self.pending_fills.get(&block) {
+            Some(&fill_at) if fill_at > now => Some((fill_at - now) as u32),
+            Some(_) => {
+                self.pending_fills.remove(&block);
+                None
+            }
+            None => None,
+        }
+    }
+
+    fn note_fill(&mut self, addr: u64, now: u64, latency: u32) -> u32 {
+        if self.pending_fills.len() >= PENDING_PRUNE {
+            self.pending_fills.retain(|_, &mut t| t > now);
+        }
+        // Finite MSHRs: if every miss register is busy, this fill cannot
+        // start until the soonest outstanding fill retires its MSHR.
+        let mut start = now;
+        if let Some(limit) = self.mshr_limit {
+            let live: Vec<u64> = self
+                .pending_fills
+                .values()
+                .copied()
+                .filter(|&t| t > now)
+                .collect();
+            if live.len() >= limit {
+                let mut soonest: Vec<u64> = live;
+                soonest.sort_unstable();
+                start = soonest[soonest.len() - limit];
+                self.mshr_stalls += 1;
+            }
+        }
+        let done = start + latency as u64;
+        self.pending_fills.insert(self.block_of(addr), done);
+        (done - now) as u32
+    }
+
+    /// A data access from thread `is_pthread` at static `pc`, issued at
+    /// cycle `now` (used to merge accesses into outstanding line fills).
+    pub fn access_data(
+        &mut self,
+        addr: u64,
+        kind: AccessKind,
+        pc: u32,
+        is_pthread: bool,
+        now: u64,
+    ) -> MemAccess {
+        let is_write = kind == AccessKind::Write;
+        // Conventional stride prefetching observes main-thread loads.
+        if !is_pthread && !is_write && self.stride.is_some() {
+            let targets = self
+                .stride
+                .as_mut()
+                .expect("checked")
+                .observe(pc, addr);
+            for t in targets {
+                self.hw_prefetch(t, now);
+            }
+        }
+        let r1 = self.l1d.access(addr, is_write);
+        if is_pthread {
+            self.pthread_accesses += 1;
+        }
+        if r1.hit {
+            let block = self.block_of(addr);
+            // Prefetch-effectiveness accounting: the first main-thread
+            // touch of a p-thread-fetched line is a useful (or, if the
+            // fill is still in flight, late) prefetch.
+            if !is_pthread && self.pthread_blocks.remove(&block).is_some() {
+                if self.pending_fills.get(&block).is_some_and(|&t| t > now) {
+                    self.late_prefetches += 1;
+                } else {
+                    self.useful_prefetches += 1;
+                }
+            }
+            // Tag hit, but the line may still be in flight.
+            if let Some(remaining) = self.pending_latency(addr, now) {
+                self.delayed_hits += 1;
+                return MemAccess {
+                    latency: remaining.max(self.latency.l1_hit),
+                    served_by: ServedBy::L1,
+                };
+            }
+            return MemAccess { latency: self.latency.l1_hit, served_by: ServedBy::L1 };
+        }
+        if is_pthread {
+            self.pthread_misses += 1;
+        } else {
+            self.pc_misses.record(pc);
+        }
+        // Write-back of the evicted dirty line into L2.
+        if r1.writeback {
+            if let Some(victim) = r1.evicted {
+                self.l2.access(victim, true);
+            }
+        }
+        let r2 = self.l2.access(addr, false);
+        let (raw_latency, served_by) = if r2.hit {
+            (self.latency.l1_hit + self.latency.l2_hit, ServedBy::L2)
+        } else {
+            (
+                self.latency.l1_hit + self.latency.l2_hit + self.latency.memory,
+                ServedBy::Memory,
+            )
+        };
+        let latency = self.note_fill(addr, now, raw_latency);
+        let acc = MemAccess { latency, served_by };
+        if is_pthread {
+            if self.pthread_blocks.len() >= PENDING_PRUNE {
+                self.pthread_blocks.clear();
+            }
+            self.pthread_blocks.insert(self.block_of(addr), ());
+        } else {
+            self.pthread_blocks.remove(&self.block_of(addr));
+        }
+        acc
+    }
+
+    /// An instruction fetch of the block containing `addr`.
+    pub fn access_inst(&mut self, addr: u64) -> MemAccess {
+        let r1 = self.l1i.access(addr, false);
+        if r1.hit {
+            return MemAccess { latency: self.latency.l1_hit, served_by: ServedBy::L1 };
+        }
+        let r2 = self.l2.access(addr, false);
+        if r2.hit {
+            MemAccess {
+                latency: self.latency.l1_hit + self.latency.l2_hit,
+                served_by: ServedBy::L2,
+            }
+        } else {
+            MemAccess {
+                latency: self.latency.l1_hit + self.latency.l2_hit + self.latency.memory,
+                served_by: ServedBy::Memory,
+            }
+        }
+    }
+
+    /// L1D statistics snapshot.
+    pub fn l1d_stats(&self) -> CacheStats {
+        self.l1d.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> Hierarchy {
+        Hierarchy::new(HierConfig::paper())
+    }
+
+    #[test]
+    fn cold_miss_costs_full_walk() {
+        let mut h = hier();
+        let a = h.access_data(0x4000, AccessKind::Read, 7, false, 0);
+        assert_eq!(a.served_by, ServedBy::Memory);
+        assert_eq!(a.latency, 1 + 12 + 120);
+        assert_eq!(h.pc_misses.get(7), 1);
+    }
+
+    #[test]
+    fn second_access_merges_into_outstanding_fill() {
+        let mut h = hier();
+        h.access_data(0x4000, AccessKind::Read, 7, false, 0);
+        // Same block, same cycle: the line is still in flight — the access
+        // waits out the remaining fill latency (MSHR merge).
+        let a = h.access_data(0x4008, AccessKind::Read, 7, false, 0);
+        assert_eq!(a.served_by, ServedBy::L1);
+        assert_eq!(a.latency, 133, "delayed hit pays the remaining latency");
+        assert_eq!(h.delayed_hits, 1);
+        assert_eq!(h.pc_misses.get(7), 1, "a merge is not a new miss");
+    }
+
+    #[test]
+    fn second_access_hits_l1_after_fill_arrives() {
+        let mut h = hier();
+        h.access_data(0x4000, AccessKind::Read, 7, false, 0);
+        let a = h.access_data(0x4008, AccessKind::Read, 7, false, 200);
+        assert_eq!(a.served_by, ServedBy::L1);
+        assert_eq!(a.latency, 1);
+    }
+
+    #[test]
+    fn partial_fill_charges_remaining_cycles() {
+        let mut h = hier();
+        h.access_data(0x4000, AccessKind::Read, 7, false, 0); // fills at 133
+        let a = h.access_data(0x4000, AccessKind::Read, 7, false, 100);
+        assert_eq!(a.latency, 33, "33 cycles left on the fill");
+    }
+
+    #[test]
+    fn l1_evict_l2_hit_path() {
+        let mut h = hier();
+        // Fill one L1D set (4 ways) with conflicting blocks: L1D stride for
+        // the same set is sets*block = 256*32 = 8 KiB.
+        for i in 0..5u64 {
+            h.access_data(i * 8192, AccessKind::Read, 0, false, 0);
+        }
+        // Block 0 was evicted from L1 but still sits in L2
+        // (L2 same-set stride is 1024*64 = 64 KiB, so no L2 conflicts).
+        let a = h.access_data(0, AccessKind::Read, 0, false, 0);
+        assert_eq!(a.served_by, ServedBy::L2);
+        assert_eq!(a.latency, 1 + 12);
+    }
+
+    #[test]
+    fn pthread_prefetch_warms_l1_for_main_thread() {
+        let mut h = hier();
+        let p = h.access_data(0x9000, AccessKind::Read, 3, true, 0);
+        assert_eq!(p.served_by, ServedBy::Memory);
+        assert_eq!(h.pthread_misses, 1);
+        assert_eq!(h.pc_misses.total(), 0, "p-thread misses are not main misses");
+        let m = h.access_data(0x9000, AccessKind::Read, 3, false, 0);
+        assert_eq!(m.served_by, ServedBy::L1, "prefetched line hits");
+    }
+
+    #[test]
+    fn writeback_installs_into_l2() {
+        let mut h = hier();
+        h.access_data(0, AccessKind::Write, 0, false, 0); // dirty in L1
+        for i in 1..5u64 {
+            h.access_data(i * 8192, AccessKind::Read, 0, false, 0); // evict block 0
+        }
+        assert_eq!(h.l1d.stats.writebacks, 1);
+        // Block 0 must now hit in L2.
+        let a = h.access_data(0, AccessKind::Read, 0, false, 0);
+        assert_eq!(a.served_by, ServedBy::L2);
+    }
+
+    #[test]
+    fn inst_fetches_use_l1i_then_l2() {
+        let mut h = hier();
+        let a = h.access_inst(0x100);
+        assert_eq!(a.served_by, ServedBy::Memory);
+        let b = h.access_inst(0x100);
+        assert_eq!(b.served_by, ServedBy::L1);
+        assert_eq!(h.l1d.stats.accesses(), 0, "instructions never touch L1D");
+    }
+
+    #[test]
+    fn sweep_latencies() {
+        let l = LatencyConfig::sweep_point(200);
+        assert_eq!(l.l2_hit, 20);
+        let l = LatencyConfig::sweep_point(40);
+        assert_eq!(l.l2_hit, 4);
+    }
+
+    #[test]
+    fn useful_and_late_prefetches_counted() {
+        let mut h = hier();
+        // P-thread fetches a line at t=0 (fill at 133).
+        h.access_data(0x9000, AccessKind::Read, 3, true, 0);
+        // Main touches it while in flight → late prefetch.
+        let a = h.access_data(0x9000, AccessKind::Read, 3, false, 50);
+        assert_eq!(h.late_prefetches, 1);
+        assert!(a.latency > 1 && a.latency < 133);
+        // P-thread fetches another line; main touches after the fill.
+        h.access_data(0xA000, AccessKind::Read, 3, true, 0);
+        let b = h.access_data(0xA000, AccessKind::Read, 3, false, 500);
+        assert_eq!(h.useful_prefetches, 1);
+        assert_eq!(b.latency, 1);
+        // Second main touch is no longer counted (the line was claimed).
+        h.access_data(0xA000, AccessKind::Read, 3, false, 501);
+        assert_eq!(h.useful_prefetches, 1);
+    }
+
+    #[test]
+    fn finite_mshrs_serialize_excess_misses() {
+        let mut cfg = HierConfig::paper();
+        cfg.mshrs = Some(2);
+        let mut h = Hierarchy::new(cfg);
+        // Three distinct-block misses in the same cycle: the third must
+        // wait for the first fill's MSHR (completes at 133).
+        let a = h.access_data(0x10000, AccessKind::Read, 0, false, 0);
+        let b = h.access_data(0x20000, AccessKind::Read, 0, false, 0);
+        let c = h.access_data(0x30000, AccessKind::Read, 0, false, 0);
+        assert_eq!(a.latency, 133);
+        assert_eq!(b.latency, 133);
+        assert_eq!(c.latency, 266, "third miss queues behind an MSHR");
+        assert_eq!(h.mshr_stalls, 1);
+    }
+
+    #[test]
+    fn unlimited_mshrs_never_stall() {
+        let mut h = hier();
+        for i in 0..64u64 {
+            h.access_data(0x40000 + i * 4096, AccessKind::Read, 0, false, 0);
+        }
+        assert_eq!(h.mshr_stalls, 0);
+    }
+
+    #[test]
+    fn main_thread_fills_are_not_prefetches() {
+        let mut h = hier();
+        h.access_data(0xB000, AccessKind::Read, 3, false, 0);
+        h.access_data(0xB000, AccessKind::Read, 3, false, 500);
+        assert_eq!(h.useful_prefetches, 0);
+        assert_eq!(h.late_prefetches, 0);
+    }
+
+    #[test]
+    fn ranked_pc_misses_sorted_desc() {
+        let mut p = PcMissCounts::default();
+        for _ in 0..3 {
+            p.record(10);
+        }
+        p.record(5);
+        assert_eq!(p.ranked(), vec![(10, 3), (5, 1)]);
+        assert_eq!(p.total(), 4);
+    }
+}

@@ -1,0 +1,18 @@
+//! # spear-workloads — the 15 evaluation benchmarks
+//!
+//! Synthetic kernels in the SPEAR ISA whose memory-access structure
+//! mirrors the paper's benchmark set (Table 1): six Atlantic Aerospace
+//! Stressmarks, three DIS benchmarks, and six SPEC2000 codes. See
+//! `DESIGN.md` for the substitution rationale per benchmark.
+//!
+//! Every workload provides separate *profiling* and *evaluation* inputs
+//! (different seeds and sizes), matching the paper's methodology of
+//! profiling on a different data set than the one simulated.
+
+pub mod dis;
+pub mod spec;
+pub mod specsuite;
+pub mod stressmark;
+pub mod util;
+
+pub use spec::{all, by_name, Input, Suite, Workload, FIG9_SET};

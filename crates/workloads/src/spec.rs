@@ -1,0 +1,159 @@
+//! Workload registry: the 15 benchmarks of Table 1.
+//!
+//! Every workload is a kernel written in the SPEAR ISA whose *memory
+//! behaviour* mirrors the corresponding paper benchmark (see the
+//! substitution table in `DESIGN.md`). Each exposes a *profiling* build and
+//! an *evaluation* build with different input seeds and sizes — the paper
+//! "intentionally used different input data sets for profiling and
+//! benchmark simulation" (§4.1).
+
+use spear_isa::Program;
+
+/// Benchmark suite of origin (Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suite {
+    /// Atlantic Aerospace Stressmark suite.
+    Stressmark,
+    /// Atlantic Aerospace Data-Intensive Systems benchmarks.
+    Dis,
+    /// SPEC CINT2000.
+    SpecInt,
+    /// SPEC CFP2000.
+    SpecFp,
+}
+
+impl Suite {
+    /// Display name used in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Stressmark => "Stressmark",
+            Suite::Dis => "DIS Benchmarks",
+            Suite::SpecInt => "SPEC CINT2000",
+            Suite::SpecFp => "SPEC CFP2000",
+        }
+    }
+}
+
+/// Input parameters for a kernel build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Input {
+    /// PRNG seed for data generation.
+    pub seed: u64,
+    /// Nominal iteration count (kernels scale their footprint with it).
+    pub scale: u32,
+}
+
+/// One benchmark.
+#[derive(Clone)]
+pub struct Workload {
+    /// Short name used throughout the evaluation (paper abbreviation).
+    pub name: &'static str,
+    /// Suite of origin.
+    pub suite: Suite,
+    /// One-line description of the kernel and which paper behaviour it
+    /// mirrors.
+    pub description: &'static str,
+    /// Kernel builder.
+    pub build: fn(Input) -> Program,
+    /// Profiling input.
+    pub profile_input: Input,
+    /// Evaluation input.
+    pub eval_input: Input,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .finish()
+    }
+}
+
+impl Workload {
+    /// Build with the profiling input.
+    pub fn profile_program(&self) -> Program {
+        (self.build)(self.profile_input)
+    }
+
+    /// Build with the evaluation input.
+    pub fn eval_program(&self) -> Program {
+        (self.build)(self.eval_input)
+    }
+}
+
+/// All 15 benchmarks, in Table 1 order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        crate::stressmark::pointer(),
+        crate::stressmark::update(),
+        crate::stressmark::nbh(),
+        crate::stressmark::tr(),
+        crate::stressmark::matrix(),
+        crate::stressmark::field(),
+        crate::dis::dm(),
+        crate::dis::ray(),
+        crate::dis::fft(),
+        crate::specsuite::gzip(),
+        crate::specsuite::mcf(),
+        crate::specsuite::vpr(),
+        crate::specsuite::bzip2(),
+        crate::specsuite::equake(),
+        crate::specsuite::art(),
+    ]
+}
+
+/// Look up a workload by its abbreviation.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// The six benchmarks of the Figure 9 latency sweep.
+pub const FIG9_SET: [&str; 6] = ["pointer", "update", "nbh", "dm", "mcf", "vpr"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_workloads_with_unique_names() {
+        let ws = all();
+        assert_eq!(ws.len(), 15);
+        let mut names: Vec<_> = ws.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 15);
+    }
+
+    #[test]
+    fn suite_membership_matches_table1() {
+        let ws = all();
+        let count = |s: Suite| ws.iter().filter(|w| w.suite == s).count();
+        assert_eq!(count(Suite::Stressmark), 6);
+        assert_eq!(count(Suite::Dis), 3);
+        assert_eq!(count(Suite::SpecInt) + count(Suite::SpecFp), 6);
+    }
+
+    #[test]
+    fn profile_and_eval_inputs_differ() {
+        for w in all() {
+            assert_ne!(
+                w.profile_input, w.eval_input,
+                "{}: profiling must not use the evaluation input",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn fig9_set_exists() {
+        for name in FIG9_SET {
+            assert!(by_name(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn by_name_misses_unknown() {
+        assert!(by_name("nonesuch").is_none());
+    }
+}

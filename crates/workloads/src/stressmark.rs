@@ -1,0 +1,609 @@
+//! The six Atlantic Aerospace Stressmark kernels (Table 1).
+//!
+//! Each kernel mirrors the memory behaviour the paper relies on for its
+//! Stressmark results: `pointer`/`update` are pointer-chasing with a
+//! per-node work body; `nbh` gathers neighborhoods at computed offsets;
+//! `tr` is a partial transitive-closure (Floyd–Warshall) sweep with a
+//! data-dependent update branch (the low branch hit ratio that makes tr
+//! *lose* under SPEAR); `matrix` walks matrix columns against the storage
+//! order (the long-IFQ winner, ×1.45 in Table 3); `field` streams a
+//! cache-resident field (too few misses to benefit — Figure 6).
+
+use crate::spec::{Input, Suite, Workload};
+use crate::util::{ring_permutation, uniform_indices};
+use spear_isa::asm::Asm;
+use spear_isa::reg::*;
+use spear_isa::Program;
+
+/// Node size in bytes for the pointer-chase pools (one per L2 block).
+const NODE_BYTES: usize = 64;
+
+fn build_ring(a: &mut Asm, name: &str, nodes: usize, seed: u64) -> u64 {
+    build_ring_with_indices(a, name, nodes, seed, 0)
+}
+
+/// Like [`build_ring`], with payload word 2 holding a table index below
+/// `index_bound` (0 disables).
+fn build_ring_with_indices(
+    a: &mut Asm,
+    name: &str,
+    nodes: usize,
+    seed: u64,
+    index_bound: u64,
+) -> u64 {
+    let next = ring_permutation(nodes, seed);
+    let mut bytes = vec![0u8; nodes * NODE_BYTES];
+    for (i, &n) in next.iter().enumerate() {
+        // next pointer at +0 (relative byte offset of the successor node
+        // from the pool base; the kernel adds the base register).
+        let off = (n * NODE_BYTES) as u64;
+        bytes[i * NODE_BYTES..i * NODE_BYTES + 8].copy_from_slice(&off.to_le_bytes());
+        // payload at +8.
+        let payload = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 16;
+        bytes[i * NODE_BYTES + 8..i * NODE_BYTES + 16]
+            .copy_from_slice(&payload.to_le_bytes());
+        if index_bound > 0 {
+            let idx = (i as u64).wrapping_mul(0xD1342543DE82EF95) % index_bound;
+            bytes[i * NODE_BYTES + 16..i * NODE_BYTES + 24]
+                .copy_from_slice(&idx.to_le_bytes());
+        }
+    }
+    a.alloc_bytes(name, &bytes)
+}
+
+/// `pointer` — four concurrent pointer chains with a hashing work body.
+///
+/// The Stressmark processes many pointers; four independent chains let
+/// both the out-of-order window and the p-thread overlap misses across
+/// chains (a single chain is irreducibly serial, and neither the paper's
+/// machine nor ours could speed it up). Chains start a quarter-ring apart
+/// so they never touch the same node within a run.
+///
+/// Registers: r11/r12/r13/r14 cursors, r2 base, r3 steps, r4 acc.
+pub fn pointer() -> Workload {
+    // The pool is sized just beyond the L2 (384 KiB vs 256 KiB): after a
+    // warmup round the chase itself runs at L2 speed, cheap enough for
+    // the p-thread to race ahead of the main thread — whose per-hop
+    // translation-table gathers (2 MiB, always missing) are the expensive
+    // part the p-thread prefetches.
+    const NODES: usize = 6144;
+    const CHAINS: [u8; 4] = [11, 12, 13, 14];
+    fn build(input: Input) -> Program {
+        let steps = input.scale as i64; // per-chain hops
+        const TABLE_ELEMS: u64 = 1 << 18; // 2 MiB translation table
+        let mut a = Asm::new();
+        let base =
+            build_ring_with_indices(&mut a, "pool", NODES, input.seed, TABLE_ELEMS);
+        let table: Vec<u64> = (0..TABLE_ELEMS)
+            .map(|i| i.wrapping_mul(0xA0761D6478BD642F ^ input.seed))
+            .collect();
+        let table_b = a.alloc_u64("table", &table);
+        let result = a.reserve("result", 8);
+        a.li(R2, base as i64);
+        a.li(R7, table_b as i64);
+        a.li(R3, steps);
+        a.li(R4, 0);
+        // Spread the four cursors a quarter of the ring apart.
+        let next = ring_permutation(NODES, input.seed);
+        let mut cur = 0usize;
+        for (k, &reg) in CHAINS.iter().enumerate() {
+            a.li(spear_isa::Reg::int(reg), base as i64 + (cur * NODE_BYTES) as i64);
+            for _ in 0..NODES / 4 {
+                cur = next[cur];
+            }
+            let _ = k;
+        }
+        a.label("loop");
+        for &reg in &CHAINS {
+            let c = spear_isa::Reg::int(reg);
+            a.ld(R5, c, 8); // payload word
+            a.add(R4, R4, R5);
+            // Table lookup keyed by the node (the Stressmark consults a
+            // translation table per hop): a dependent gather the p-thread
+            // prefetches one hop behind its own chase.
+            a.ld(R6, c, 16); // slice: table index stored at the node
+            a.slli(R6, R6, 3); // slice
+            a.add(R6, R7, R6); // slice: table address
+            a.ld(R5, R6, 0); // d-load: table cell (random miss)
+            a.add(R4, R4, R5);
+            a.ld(R5, c, 0); // d-load: next offset
+            a.add(c, R2, R5); // chase
+        }
+        // Work body: a small hash round (mirrored by the Rust reference).
+        a.slli(R6, R4, 7);
+        a.xor(R4, R4, R6);
+        a.srli(R6, R4, 9);
+        a.xor(R4, R4, R6);
+        a.addi(R3, R3, -1);
+        a.bne(R3, R0, "loop");
+        a.li(R6, result as i64);
+        a.sd(R4, R6, 0);
+        a.halt();
+        a.finish().unwrap()
+    }
+    Workload {
+        name: "pointer",
+        suite: Suite::Stressmark,
+        description: "four concurrent pointer chains over a 2 MiB ring with a hash body",
+        build,
+        profile_input: Input { seed: 11, scale: 3_000 },
+        eval_input: Input { seed: 1101, scale: 7_000 },
+    }
+}
+
+/// Rust reference for `pointer` (used by the golden-value test).
+pub fn pointer_reference(input: Input) -> u64 {
+    let nodes = 6144;
+    let next = ring_permutation(nodes, input.seed);
+    let payload: Vec<u64> = (0..nodes as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 16)
+        .collect();
+    // Chain start positions: 0, N/4, N/2, 3N/4 hops along the ring.
+    let mut curs = [0usize; 4];
+    let mut cur = 0usize;
+    for (k, slot) in curs.iter_mut().enumerate() {
+        *slot = cur;
+        for _ in 0..nodes / 4 {
+            cur = next[cur];
+        }
+        let _ = k;
+    }
+    let table_elems: u64 = 1 << 18;
+    let table: Vec<u64> = (0..table_elems)
+        .map(|i| i.wrapping_mul(0xA0761D6478BD642F ^ input.seed))
+        .collect();
+    let mut acc = 0u64;
+    for _ in 0..input.scale {
+        for c in curs.iter_mut() {
+            acc = acc.wrapping_add(payload[*c]);
+            let idx = (*c as u64).wrapping_mul(0xD1342543DE82EF95) % table_elems;
+            acc = acc.wrapping_add(table[idx as usize]);
+            *c = next[*c];
+        }
+        acc ^= acc << 7;
+        acc ^= acc >> 9;
+    }
+    acc
+}
+
+/// `update` — pointer chasing that also *writes* each node and branches on
+/// the loaded value (low branch hit ratio, 0.8865 in Table 3).
+pub fn update() -> Workload {
+    fn build(input: Input) -> Program {
+        let nodes = 1 << 15;
+        let steps = input.scale as i64;
+        let mut a = Asm::new();
+        let base = build_ring(&mut a, "pool", nodes, input.seed);
+        let result = a.reserve("result", 8);
+        a.li(R2, base as i64);
+        a.mv(R1, R2);
+        a.li(R3, steps);
+        a.li(R4, 0);
+        a.label("loop");
+        a.ld(R5, R1, 8); // payload
+        a.andi(R6, R5, 1);
+        a.beq(R6, R0, "even"); // data-dependent: ~50/50
+        a.addi(R5, R5, 3);
+        a.j("join");
+        a.label("even");
+        a.slli(R5, R5, 1);
+        a.label("join");
+        a.sd(R5, R1, 8); // update the node (dirty lines, writebacks)
+        a.add(R4, R4, R5);
+        a.ld(R7, R1, 0); // d-load: next offset
+        a.add(R1, R2, R7);
+        a.addi(R3, R3, -1);
+        a.bne(R3, R0, "loop");
+        a.li(R6, result as i64);
+        a.sd(R4, R6, 0);
+        a.halt();
+        a.finish().unwrap()
+    }
+    Workload {
+        name: "update",
+        suite: Suite::Stressmark,
+        description: "pointer chasing with read-modify-write nodes and a data-dependent branch",
+        build,
+        profile_input: Input { seed: 23, scale: 4_000 },
+        eval_input: Input { seed: 2302, scale: 12_000 },
+    }
+}
+
+/// Rust reference for `update` (used by the golden-value test).
+pub fn update_reference(input: Input) -> u64 {
+    let nodes = 1 << 15;
+    let next = ring_permutation(nodes, input.seed);
+    let mut payload: Vec<u64> = (0..nodes as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 16)
+        .collect();
+    let mut cur = 0usize;
+    let mut acc = 0u64;
+    for _ in 0..input.scale {
+        let mut v = payload[cur];
+        if v & 1 != 0 {
+            v = v.wrapping_add(3);
+        } else {
+            v <<= 1;
+        }
+        payload[cur] = v;
+        acc = acc.wrapping_add(v);
+        cur = next[cur];
+    }
+    acc
+}
+
+/// Rust reference for `nbh` (used by the golden-value test).
+pub fn nbh_reference(input: Input) -> u64 {
+    const W: u64 = 512;
+    const H: u64 = 512;
+    let grid: Vec<u64> = (0..W * (H + 2))
+        .map(|i| i.wrapping_mul(0x2545F4914F6CDD1D ^ input.seed))
+        .collect();
+    let mut acc = 0u64;
+    let mut lcg = input.seed | 1;
+    for _ in 0..input.scale {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let idx = ((lcg >> 11) & (W * H - 1)) + W;
+        acc = acc.wrapping_add(grid[idx as usize]);
+        acc = acc.wrapping_add(grid[idx as usize + 1]);
+        acc = acc.wrapping_add(grid[(idx - W) as usize]);
+        acc = acc.wrapping_add(grid[(idx + W) as usize]);
+    }
+    acc
+}
+
+/// `nbh` (neighborhood) — gathers 2D neighborhoods at computed positions.
+///
+/// The center index comes from an in-register linear-congruential update,
+/// so the whole address computation is sliceable; the four neighbor loads
+/// of each visit miss on a 2 MiB grid. Branches are only loop control
+/// (hit ratio ≈ 0.996 in Table 3).
+pub fn nbh() -> Workload {
+    fn build(input: Input) -> Program {
+        const W: i64 = 512; // grid width in u64 elements
+        const H: i64 = 512; // 512×512×8 = 2 MiB of visited cells
+        let iters = input.scale as i64;
+        let mut a = Asm::new();
+        // Grid initialized with a cheap hash of the element index; two
+        // pad rows so i±W of any visited index stays in range without a
+        // division in the (sliceable) address chain.
+        let grid: Vec<u64> = (0..(W * (H + 2)) as u64)
+            .map(|i| i.wrapping_mul(0x2545F4914F6CDD1D ^ input.seed))
+            .collect();
+        let base = a.alloc_u64("grid", &grid);
+        let result = a.reserve("result", 8);
+        a.li(R1, base as i64);
+        a.li(R3, iters);
+        a.li(R4, 0); // acc
+        a.li(R5, (input.seed | 1) as i64); // LCG state
+        a.li(R8, 6364136223846793005); // LCG multiplier
+        a.li(R9, 1442695040888963407); // LCG increment
+        a.label("loop");
+        a.mul(R5, R5, R8); // slice: LCG step
+        a.add(R5, R5, R9); // slice
+        a.srli(R6, R5, 11); // slice: top bits are the random part
+        a.andi(R6, R6, W * H - 1); // slice: bound (power of two)
+        a.addi(R6, R6, W); // slice: skip row 0
+        a.slli(R6, R6, 3); // slice: byte offset
+        a.add(R6, R1, R6); // slice: center address
+        a.ld(R7, R6, 0); // d-load: center
+        a.add(R4, R4, R7);
+        a.ld(R7, R6, 8); // east (same block half the time)
+        a.add(R4, R4, R7);
+        a.ld(R7, R6, -8 * W); // north (different row: misses)
+        a.add(R4, R4, R7);
+        a.ld(R7, R6, 8 * W); // south (different row: misses)
+        a.add(R4, R4, R7);
+        a.addi(R3, R3, -1);
+        a.bne(R3, R0, "loop");
+        a.li(R6, result as i64);
+        a.sd(R4, R6, 0);
+        a.halt();
+        a.finish().unwrap()
+    }
+    Workload {
+        name: "nbh",
+        suite: Suite::Stressmark,
+        description: "2D neighborhood gathers at LCG-computed positions on a 2 MiB grid",
+        build,
+        profile_input: Input { seed: 31, scale: 5_000 },
+        eval_input: Input { seed: 3103, scale: 15_000 },
+    }
+}
+
+/// `tr` (transitive closure) — partial Floyd–Warshall sweeps.
+///
+/// The j-loop is unrolled ×4 with branchless minimum updates (multiply
+/// selects) plus one data-dependent row-update branch, giving the
+/// Table 3 profile of tr: long stretches between branches (high IPB) but
+/// a poorly predicted branch when one does appear. The dense load stream
+/// keeps both memory ports busy, so the p-thread's priority prefetches
+/// steal exactly the resource the main thread needs — the contention
+/// that dedicated functional units (the `.sf` models) relieve (Figure 7
+/// reports tr gaining 33.2% from `.sf`).
+pub fn tr() -> Workload {
+    fn build(input: Input) -> Program {
+        // 128×128×8 = 128 KiB: resident in the 256 KiB L2 but 4× the L1,
+        // so every L1 miss is a cheap, overlappable L2 hit. The baseline
+        // runs fast and *port-bound* — exactly the regime where a shared
+        // p-thread's extra memory traffic hurts and dedicated units help.
+        const N: i64 = 128;
+        let k_rounds = input.scale as i64;
+        let mut a = Asm::new();
+        let w: Vec<u64> = uniform_indices((N * N) as usize, 4_000, input.seed)
+            .into_iter()
+            .map(|v| v + 1)
+            .collect();
+        let base = a.alloc_u64("w", &w);
+        let result = a.reserve("result", 8);
+        a.li(R1, base as i64);
+        a.li(R2, 0); // k
+        a.li(R15, k_rounds);
+        a.li(R14, N);
+        a.label("kloop");
+        a.li(R3, 0); // i
+        a.label("iloop");
+        a.mul(R4, R3, R14);
+        a.slli(R4, R4, 3);
+        a.add(R4, R1, R4); // &w[i][0]
+        a.mul(R5, R2, R14);
+        a.slli(R5, R5, 3);
+        a.add(R5, R1, R5); // &w[k][0]
+        a.slli(R6, R2, 3);
+        a.add(R6, R4, R6);
+        a.ld(R6, R6, 0); // w[i][k], j-loop invariant
+        a.li(R7, 0); // j
+        a.li(R28, 0); // row-updates counter
+        a.label("jloop");
+        for u in 0..8i64 {
+            // cand = w[i][k] + w[k][j+u]; w[i][j+u] = min(old, cand),
+            // branchless: min = cand + (old-cand)*(old<cand). Sixteen
+            // loads and eight stores per group keep both memory ports
+            // saturated — the shared-resource pressure behind tr's
+            // Figure 7 behaviour.
+            a.ld(R8, R4, 8 * u); // old (d-load: streams w[i][*])
+            a.ld(R9, R5, 8 * u); // w[k][j+u] (d-load: streams w[k][*])
+            a.add(R10, R6, R9); // cand
+            a.slt(R11, R8, R10); // old < cand ?
+            a.sub(R12, R8, R10);
+            a.mul(R12, R12, R11); // (old-cand) if old<cand else 0
+            a.add(R10, R10, R12); // min
+            a.sd(R10, R4, 8 * u);
+            a.xor(R28, R28, R12);
+        }
+        // One data-dependent branch per unrolled group: did the last
+        // element keep its old value? (~biased, data-driven).
+        a.beq(R12, R0, "nochg");
+        a.addi(R28, R28, 1);
+        a.label("nochg");
+        a.addi(R4, R4, 64);
+        a.addi(R5, R5, 64);
+        a.addi(R7, R7, 8);
+        a.blt(R7, R14, "jloop");
+        a.addi(R3, R3, 1);
+        a.blt(R3, R14, "iloop");
+        a.addi(R2, R2, 1);
+        a.blt(R2, R15, "kloop");
+        // Checksum the first row.
+        a.li(R3, 0);
+        a.li(R4, 0);
+        a.mv(R5, R1);
+        a.label("sum");
+        a.ld(R6, R5, 0);
+        a.add(R4, R4, R6);
+        a.addi(R5, R5, 8);
+        a.addi(R3, R3, 1);
+        a.blt(R3, R14, "sum");
+        a.add(R4, R4, R28);
+        a.li(R6, result as i64);
+        a.sd(R4, R6, 0);
+        a.halt();
+        a.finish().unwrap()
+    }
+    Workload {
+        name: "tr",
+        suite: Suite::Stressmark,
+        description: "partial Floyd-Warshall, unrolled, port-saturating with a data-dependent branch",
+        build,
+        profile_input: Input { seed: 47, scale: 2 },
+        eval_input: Input { seed: 4701, scale: 5 },
+    }
+}
+
+/// `matrix` — column walks against row-major storage.
+///
+/// Every element access strides one full row (4 KiB), so each one misses
+/// while the address chain is two adds — the deeper the IFQ, the further
+/// ahead the p-thread prefetches. This is the Table 3 long-IFQ winner.
+pub fn matrix() -> Workload {
+    fn build(input: Input) -> Program {
+        const ROWS: i64 = 512;
+        const COLS: i64 = 512; // 512×512×8 = 2 MiB
+        let col_count = input.scale as i64; // columns visited
+        let mut a = Asm::new();
+        let m: Vec<u64> = (0..(ROWS * COLS) as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15 ^ input.seed) >> 8)
+            .collect();
+        let base = a.alloc_u64("m", &m);
+        let result = a.reserve("result", 8);
+        a.li(R1, base as i64);
+        a.li(R2, 0); // column index
+        a.li(R3, col_count);
+        a.li(R4, 0); // acc
+        a.li(R10, 8 * COLS); // row stride in bytes
+        a.label("cloop");
+        // &m[0][c]
+        a.rem(R5, R2, R10); // wrap the column (bytes) — stays sliceable
+        a.andi(R5, R5, !7);
+        a.add(R5, R1, R5);
+        a.li(R6, ROWS);
+        a.label("rloop");
+        a.ld(R7, R5, 0); // d-load: column walk, misses every time
+        a.add(R4, R4, R7);
+        a.xor(R8, R4, R7);
+        a.srli(R8, R8, 3);
+        a.add(R4, R4, R8);
+        a.add(R5, R5, R10); // next row
+        a.addi(R6, R6, -1);
+        a.bne(R6, R0, "rloop");
+        a.addi(R2, R2, 24);
+        a.addi(R3, R3, -1);
+        a.bne(R3, R0, "cloop");
+        a.li(R6, result as i64);
+        a.sd(R4, R6, 0);
+        a.halt();
+        a.finish().unwrap()
+    }
+    Workload {
+        name: "matrix",
+        suite: Suite::Stressmark,
+        description: "column walks over a row-major 2 MiB matrix (every access misses)",
+        build,
+        profile_input: Input { seed: 59, scale: 20 },
+        eval_input: Input { seed: 5905, scale: 60 },
+    }
+}
+
+/// `field` — repeated streaming over a 16 KiB field.
+///
+/// The working set fits in L1, so the miss rate is too low for
+/// pre-execution to matter (the paper's explanation for field's flat
+/// result). Unrolled ×8 for the high IPB of Table 3 (39.3).
+pub fn field() -> Workload {
+    fn build(input: Input) -> Program {
+        const ELEMS: i64 = 2048; // 16 KiB
+        let passes = input.scale as i64;
+        let mut a = Asm::new();
+        let f: Vec<u64> = (0..ELEMS as u64)
+            .map(|i| i.wrapping_mul(0xD1342543DE82EF95 ^ input.seed))
+            .collect();
+        let base = a.alloc_u64("field", &f);
+        let result = a.reserve("result", 8);
+        a.li(R3, passes);
+        a.li(R4, 0);
+        a.label("pass");
+        a.li(R1, base as i64);
+        a.li(R2, ELEMS / 8);
+        a.label("loop");
+        for k in 0..8 {
+            a.ld(R5, R1, 8 * k);
+            if k % 2 == 0 {
+                a.add(R4, R4, R5);
+            } else {
+                a.xor(R4, R4, R5);
+            }
+        }
+        a.addi(R1, R1, 64);
+        a.addi(R2, R2, -1);
+        a.bne(R2, R0, "loop");
+        a.addi(R3, R3, -1);
+        a.bne(R3, R0, "pass");
+        a.li(R6, result as i64);
+        a.sd(R4, R6, 0);
+        a.halt();
+        a.finish().unwrap()
+    }
+    Workload {
+        name: "field",
+        suite: Suite::Stressmark,
+        description: "repeated unrolled streaming over an L1-resident 16 KiB field",
+        build,
+        profile_input: Input { seed: 61, scale: 12 },
+        eval_input: Input { seed: 6101, scale: 40 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_exec::{Interp, Stop};
+
+    fn run(program: &Program) -> (u64, u64) {
+        let mut i = Interp::new(program);
+        assert_eq!(i.run(80_000_000).unwrap(), Stop::Halted);
+        let result = i.mem.read_u64(program.data_addr("result").unwrap());
+        (result, i.icount)
+    }
+
+    #[test]
+    fn pointer_matches_rust_reference() {
+        let w = pointer();
+        for input in [w.profile_input, w.eval_input] {
+            let (result, _) = run(&(w.build)(input));
+            assert_eq!(result, pointer_reference(input));
+        }
+    }
+
+    #[test]
+    fn update_matches_rust_reference() {
+        let w = update();
+        for input in [w.profile_input, w.eval_input] {
+            let (result, _) = run(&(w.build)(input));
+            assert_eq!(result, update_reference(input));
+        }
+    }
+
+    #[test]
+    fn nbh_matches_rust_reference() {
+        let w = nbh();
+        for input in [w.profile_input, w.eval_input] {
+            let (result, _) = run(&(w.build)(input));
+            assert_eq!(result, nbh_reference(input));
+        }
+    }
+
+    #[test]
+    fn all_stressmarks_halt_and_produce_results() {
+        for w in [pointer(), update(), nbh(), tr(), matrix(), field()] {
+            let (result, icount) = run(&w.eval_program());
+            assert_ne!(result, 0, "{}: zero result is suspicious", w.name);
+            assert!(
+                icount > 50_000,
+                "{}: {} dynamic instructions is too small to evaluate",
+                w.name,
+                icount
+            );
+            assert!(
+                icount < 3_000_000,
+                "{}: {} dynamic instructions is too slow to simulate",
+                w.name,
+                icount
+            );
+        }
+    }
+
+    #[test]
+    fn eval_and_profile_differ_in_behaviour() {
+        for w in [pointer(), update(), nbh()] {
+            let (r1, i1) = run(&w.profile_program());
+            let (r2, i2) = run(&w.eval_program());
+            assert_ne!((r1, i1), (r2, i2), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn update_writes_back_to_the_pool() {
+        let w = update();
+        let p = w.eval_program();
+        let mut i = Interp::new(&p);
+        i.run(80_000_000).unwrap();
+        // The pool must have been mutated relative to the initial image.
+        let base = p.data_addr("pool").unwrap();
+        let init = spear_exec::Memory::from_image(&p.data);
+        let changed = (0..1000).any(|n| {
+            let addr = base + n * 64 + 8;
+            i.mem.read_u64(addr) != init.read_u64(addr)
+        });
+        assert!(changed, "update must mutate node payloads");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let w = nbh();
+        let (r1, _) = run(&w.eval_program());
+        let (r2, _) = run(&w.eval_program());
+        assert_eq!(r1, r2);
+    }
+}

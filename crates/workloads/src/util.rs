@@ -1,0 +1,76 @@
+//! Shared input-generation helpers for the workload kernels.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic PRNG for input generation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A uniformly random single-cycle permutation of `0..n` (Sattolo's
+/// algorithm): `perm[i]` is the successor of `i`, and following it visits
+/// every element exactly once before returning. Used to build pointer
+/// chains that defeat every stride prefetcher and hit a new cache set on
+/// each hop.
+pub fn ring_permutation(n: usize, seed: u64) -> Vec<usize> {
+    assert!(n >= 2);
+    let mut r = rng(seed);
+    let mut items: Vec<usize> = (0..n).collect();
+    // Sattolo: like Fisher–Yates but j < i strictly, yielding one cycle.
+    for i in (1..n).rev() {
+        let j = r.random_range(0..i);
+        items.swap(i, j);
+    }
+    // `items` is a cyclic order; turn it into successor pointers.
+    let mut next = vec![0usize; n];
+    for w in 0..n {
+        next[items[w]] = items[(w + 1) % n];
+    }
+    next
+}
+
+/// `count` uniform values below `bound`.
+pub fn uniform_indices(count: usize, bound: usize, seed: u64) -> Vec<u64> {
+    let mut r = rng(seed);
+    (0..count).map(|_| r.random_range(0..bound) as u64).collect()
+}
+
+/// `count` random f64 values in [0, 1).
+pub fn uniform_f64(count: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..count).map(|_| r.random::<f64>()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_a_single_cycle() {
+        for n in [2, 3, 10, 257, 1024] {
+            let next = ring_permutation(n, 42);
+            let mut seen = vec![false; n];
+            let mut cur = 0;
+            for _ in 0..n {
+                assert!(!seen[cur], "revisited {cur} early (n={n})");
+                seen[cur] = true;
+                cur = next[cur];
+            }
+            assert_eq!(cur, 0, "cycle closes after n hops");
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn ring_deterministic_per_seed() {
+        assert_eq!(ring_permutation(64, 7), ring_permutation(64, 7));
+        assert_ne!(ring_permutation(64, 7), ring_permutation(64, 8));
+    }
+
+    #[test]
+    fn uniform_indices_in_bounds() {
+        let v = uniform_indices(1000, 37, 5);
+        assert!(v.iter().all(|&x| x < 37));
+    }
+}

@@ -1,0 +1,45 @@
+; histogram.s — a small irregular-access kernel in SPEAR assembly.
+;
+; Builds a 64-bucket histogram of pseudo-random values, reading the
+; values through a large indirection table so the bucket loads miss.
+; Compile and run it with:
+;
+;   cargo run --release -p spear --bin spearc   -- examples/asm/histogram.s -o histogram.spear
+;   cargo run --release -p spear --bin spear-sim -- histogram.spear -m spear-128
+
+.data    seeds u64 2654435761, 40503, 2246822519, 3266489917
+.reserve table 2097152          ; 2 MiB indirection table (zeroed)
+.reserve hist  512              ; 64 × u64 buckets
+.reserve result 8
+
+    li   r1, table
+    li   r2, hist
+    li   r3, 20000              ; iterations
+    li   r5, 88172645463325252  ; xorshift state
+loop:
+    ; xorshift64 step (the whole address chain is sliceable)
+    slli r6, r5, 13
+    xor  r5, r5, r6
+    srli r6, r5, 7
+    xor  r5, r5, r6
+    slli r6, r5, 17
+    xor  r5, r5, r6
+    ; random table cell → bucket index
+    srli r6, r5, 17
+    andi r6, r6, 2097144        ; byte offset, 8-aligned
+    add  r6, r1, r6
+    ld   r7, 0(r6)              ; the delinquent load
+    add  r7, r7, r5
+    andi r7, r7, 63             ; bucket
+    slli r7, r7, 3
+    add  r7, r2, r7
+    ld   r8, 0(r7)              ; bucket read
+    addi r8, r8, 1
+    sd   r8, 0(r7)              ; bucket write
+    addi r3, r3, -1
+    bne  r3, r0, loop
+    ; checksum the first bucket into result
+    ld   r9, 0(r2)
+    li   r10, result
+    sd   r9, 0(r10)
+    halt

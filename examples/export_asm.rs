@@ -1,0 +1,45 @@
+//! Export the 15 benchmark kernels as SPEAR assembly text — the textual
+//! face of the toolchain. Every exported file re-assembles (via
+//! `spear_isa::parse_asm` or the `spearc` CLI) into a bit-identical
+//! program, which this example verifies before writing.
+//!
+//! Run with: `cargo run --release --example export_asm [out_dir]`
+//! (default out_dir: target/asm)
+
+use spear_isa::{emit_asm, parse_asm};
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/asm".to_string())
+        .into();
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    for w in spear_workloads::all() {
+        let program = w.profile_program();
+        let text = emit_asm(&program);
+
+        // Verify the round trip before writing anything.
+        let back = parse_asm(&text)
+            .unwrap_or_else(|e| panic!("{}: emitted text failed to re-assemble: {e}", w.name));
+        assert_eq!(back.insts, program.insts, "{}: instruction mismatch", w.name);
+        assert_eq!(
+            back.data.to_bytes(),
+            program.data.to_bytes(),
+            "{}: data mismatch",
+            w.name
+        );
+
+        let path = out_dir.join(format!("{}.s", w.name));
+        std::fs::write(&path, &text).expect("write");
+        println!(
+            "{:<28} {:>6} instructions, {:>9} data bytes",
+            path.display(),
+            program.len(),
+            program.data.size
+        );
+    }
+    println!("\nre-assemble any of them with:");
+    println!("  cargo run --release -p spear --bin spearc -- {}/mcf.s", out_dir.display());
+}

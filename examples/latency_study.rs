@@ -1,0 +1,49 @@
+//! Latency-tolerance study (the Figure 9 scenario) on a single workload.
+//!
+//! Sweeps main-memory latency from 40 to 200 cycles (L2 at one tenth, as
+//! in the paper) and shows how much performance each machine model loses —
+//! the paper's headline: SPEAR degrades by ~39% where the plain
+//! superscalar loses ~48.5%.
+//!
+//! Run with: `cargo run --release --example latency_study [workload]`
+//! (default: mcf; any Table 1 abbreviation works).
+
+use spear_repro::spear::experiments::FIG9_LATENCIES;
+use spear_repro::spear::runner::{compile_workload, run_one};
+use spear_repro::spear::Machine;
+use spear_workloads::by_name;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mcf".to_string());
+    let w = by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload `{name}`; try one of:");
+        for w in spear_workloads::all() {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(1);
+    });
+
+    println!("latency sweep for `{name}` (memory 40..200 cycles, L2 = memory/10)\n");
+    let (table, _) = compile_workload(&w);
+
+    println!(
+        "  {:<14} {:>8} {:>8} {:>8} {:>8} {:>8}   {:>6}",
+        "machine", 40, 80, 120, 160, 200, "loss"
+    );
+    for machine in Machine::FIG6 {
+        let ipcs: Vec<f64> = FIG9_LATENCIES
+            .iter()
+            .map(|&mem| {
+                run_one(&w, &table, machine, Some(spear_mem::LatencyConfig::sweep_point(mem)))
+                    .ipc()
+            })
+            .collect();
+        print!("  {:<14}", machine.name());
+        for ipc in &ipcs {
+            print!(" {ipc:>8.4}");
+        }
+        println!("   {:>5.1}%", (1.0 - ipcs[4] / ipcs[0]) * 100.0);
+    }
+    println!("\n(`loss` = IPC drop from the 40-cycle to the 200-cycle configuration;");
+    println!(" paper averages: superscalar 48.5%, SPEAR-128 39.7%, SPEAR-256 38.4%)");
+}

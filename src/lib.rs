@@ -1,0 +1,14 @@
+//! Umbrella crate for the SPEAR reproduction workspace.
+//!
+//! Holds the cross-crate integration tests (`tests/`) and the runnable
+//! examples (`examples/`). The library surface simply re-exports the member
+//! crates so examples can use one import root.
+
+pub use spear;
+pub use spear_bpred as bpred;
+pub use spear_compiler as compiler;
+pub use spear_cpu as cpu;
+pub use spear_exec as exec;
+pub use spear_isa as isa;
+pub use spear_mem as mem;
+pub use spear_workloads as workloads;

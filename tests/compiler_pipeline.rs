@@ -1,0 +1,90 @@
+//! Cross-crate tests of the SPEAR post-compiler over the real workloads:
+//! every benchmark compiles to a valid SPEAR binary, the memory-bound
+//! benchmarks get p-threads, slices look like slices, and the attach step
+//! rebinds cleanly across input sets.
+
+use spear_repro::compiler::{CompilerConfig, SpearCompiler};
+use spear_repro::spear::runner::{compile_workload, compile_workload_with};
+
+#[test]
+fn every_workload_compiles_to_a_valid_binary() {
+    for w in spear_workloads::all() {
+        let program = w.profile_program();
+        let (binary, report) = SpearCompiler::new(CompilerConfig::default())
+            .compile(&program)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        binary.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(report.profiled_insts > 10_000, "{}: trivial profile", w.name);
+    }
+}
+
+#[test]
+fn memory_bound_workloads_get_pthreads() {
+    for name in ["pointer", "update", "nbh", "matrix", "dm", "mcf", "vpr", "equake", "art"] {
+        let w = spear_workloads::by_name(name).unwrap();
+        let (table, report) = compile_workload(&w);
+        assert!(
+            !table.is_empty(),
+            "{name}: expected delinquent loads, report: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn slices_contain_their_dloads_and_address_chains() {
+    let w = spear_workloads::by_name("mcf").unwrap();
+    let (table, _) = compile_workload(&w);
+    let program = w.profile_program();
+    for e in &table.entries {
+        assert!(e.members.contains(&e.dload_pc));
+        assert!(!e.live_ins.is_empty(), "loop slices always have live-ins");
+        // Every member is load/store/ALU — a slice never contains a halt.
+        for &pc in &e.members {
+            let inst = &program.insts[pc as usize];
+            assert_ne!(inst.op, spear_isa::Opcode::Halt);
+        }
+        // Slices are small relative to the program for mcf.
+        assert!(e.members.len() < 20, "mcf slices are compact: {}", e.members.len());
+    }
+}
+
+#[test]
+fn fft_slices_are_large() {
+    // The paper's fft p-thread has 1,129 instructions; ours must likewise
+    // blow up via the read-modify-write dependences.
+    let w = spear_workloads::by_name("fft").unwrap();
+    let (table, _) = compile_workload(&w);
+    let max = table.entries.iter().map(|e| e.members.len()).max().unwrap_or(0);
+    assert!(max >= 25, "fft's RMW chains should inflate the slice: {max}");
+}
+
+#[test]
+fn tables_rebind_across_input_sets() {
+    for name in ["mcf", "nbh"] {
+        let w = spear_workloads::by_name(name).unwrap();
+        let (table, _) = compile_workload(&w);
+        // Attach to the (different) evaluation image: PCs are identical,
+        // data differs.
+        let rebound = SpearCompiler::attach(w.eval_program(), table);
+        rebound.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn slice_cap_bounds_every_entry() {
+    let w = spear_workloads::by_name("fft").unwrap();
+    let mut cfg = CompilerConfig::default();
+    cfg.slicer.slice_cap = Some(10);
+    let (table, _) = compile_workload_with(&w, &cfg);
+    for e in &table.entries {
+        assert!(e.members.len() <= 11, "cap plus the d-load: {}", e.members.len());
+    }
+}
+
+#[test]
+fn compile_is_deterministic() {
+    let w = spear_workloads::by_name("vpr").unwrap();
+    let (t1, _) = compile_workload(&w);
+    let (t2, _) = compile_workload(&w);
+    assert_eq!(t1, t2);
+}

@@ -1,0 +1,47 @@
+//! Run-to-run determinism: the whole pipeline (input generation,
+//! profiling, slicing, cycle simulation, parallel sweep scheduling) must
+//! be bit-reproducible — a requirement for the evaluation numbers in
+//! EXPERIMENTS.md to be meaningful.
+
+use spear_repro::spear::experiments::{compile_all, fig6};
+use spear_repro::spear::report;
+use spear_workloads::by_name;
+
+#[test]
+fn matrix_runs_are_bit_identical() {
+    let ws = vec![by_name("field").unwrap(), by_name("mcf").unwrap()];
+    let c1 = compile_all(&ws);
+    let c2 = compile_all(&ws);
+    assert_eq!(c1.tables, c2.tables, "compilation is deterministic");
+
+    let m1 = fig6(&c1);
+    let m2 = fig6(&c2);
+    for r in 0..m1.workloads.len() {
+        for c in 0..m1.machines.len() {
+            let s1 = &m1.outcomes[r][c].stats;
+            let s2 = &m2.outcomes[r][c].stats;
+            assert_eq!(s1.cycles, s2.cycles, "{} col {c}", m1.workloads[r]);
+            assert_eq!(s1.committed, s2.committed);
+            assert_eq!(s1.l1d_main_misses, s2.l1d_main_misses);
+            assert_eq!(s1.triggers_accepted, s2.triggers_accepted);
+            assert_eq!(s1.preexec_completed, s2.preexec_completed);
+            assert_eq!(s1.pthread_loads, s2.pthread_loads);
+        }
+    }
+    // The rendered reports are therefore identical too.
+    assert_eq!(report::ipc_matrix(&m1), report::ipc_matrix(&m2));
+}
+
+#[test]
+fn reports_render_all_rows() {
+    let ws = vec![by_name("field").unwrap()];
+    let compiled = compile_all(&ws);
+    let m = fig6(&compiled);
+    let text = report::ipc_matrix(&m);
+    assert!(text.contains("field"));
+    assert!(text.contains("AVERAGE"));
+    assert_eq!(text.lines().count(), 3, "header + one row + average");
+    let (header, rows) = report::ipc_matrix_csv(&m);
+    assert_eq!(header.len(), 4);
+    assert_eq!(rows.len(), 3, "one row per (workload, machine)");
+}

@@ -1,0 +1,74 @@
+//! The strongest correctness property in the repository: for every
+//! workload, the cycle-level out-of-order SMT core — with or without a
+//! compiled p-thread table — must commit exactly the same architectural
+//! state (registers, memory, instruction count) as the in-order functional
+//! interpreter. Speculative pre-execution must never change program
+//! semantics ("the p-thread … only updates the data cache without changing
+//! the semantic state of the main program").
+
+use spear_cpu::{Core, CoreConfig, RunExit};
+use spear_exec::Interp;
+use spear_isa::SpearBinary;
+use spear_repro::compiler::SpearCompiler;
+use spear_repro::spear::runner::compile_workload;
+
+fn golden(program: &spear_isa::Program) -> (u64, u64) {
+    let mut i = Interp::new(program);
+    i.run(u64::MAX).expect("golden run");
+    (i.icount, i.state_checksum())
+}
+
+fn check(binary: &SpearBinary, cfg: CoreConfig, label: &str) {
+    let (icount, checksum) = golden(&binary.program);
+    let mut core = Core::new(binary, cfg);
+    let res = core.run(500_000_000, u64::MAX).expect("simulation");
+    assert_eq!(res.exit, RunExit::Halted, "{label}: did not halt");
+    assert_eq!(res.stats.committed, icount, "{label}: instruction count");
+    assert_eq!(core.state_checksum(), checksum, "{label}: architectural state");
+}
+
+/// Baseline equivalence over all 15 workloads (profiling inputs — smaller,
+/// so the full suite stays fast).
+#[test]
+fn baseline_matches_golden_on_all_workloads() {
+    for w in spear_workloads::all() {
+        let binary = SpearBinary::plain(w.profile_program());
+        check(&binary, CoreConfig::baseline(), w.name);
+    }
+}
+
+/// SPEAR equivalence with real compiled p-thread tables: pre-execution
+/// must be architecturally invisible on every workload.
+#[test]
+fn spear_matches_golden_on_all_workloads() {
+    for w in spear_workloads::all() {
+        let (table, _) = compile_workload(&w);
+        let binary = SpearCompiler::attach(w.profile_program(), table);
+        check(&binary, CoreConfig::spear(128), w.name);
+    }
+}
+
+/// The separate-functional-unit models are equally invisible.
+#[test]
+fn spear_sf_matches_golden_on_selected_workloads() {
+    for name in ["mcf", "matrix", "fft", "update"] {
+        let w = spear_workloads::by_name(name).unwrap();
+        let (table, _) = compile_workload(&w);
+        let binary = SpearCompiler::attach(w.profile_program(), table);
+        check(&binary, CoreConfig::spear_sf(256), name);
+    }
+}
+
+/// Equivalence holds across the Figure 9 latency range, where prefetch
+/// timing shifts drastically.
+#[test]
+fn equivalence_across_latency_sweep() {
+    let w = spear_workloads::by_name("mcf").unwrap();
+    let (table, _) = compile_workload(&w);
+    let binary = SpearCompiler::attach(w.profile_program(), table);
+    for mem in [40u32, 200] {
+        let mut cfg = CoreConfig::spear(128);
+        cfg.hier.latency = spear_mem::LatencyConfig::sweep_point(mem);
+        check(&binary, cfg, &format!("mcf@{mem}"));
+    }
+}

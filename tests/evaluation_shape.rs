@@ -1,0 +1,106 @@
+//! Shape tests for the headline evaluation results: not the paper's exact
+//! numbers (our substrate is a reconstruction, not the authors' testbed),
+//! but the orderings and signs its conclusions rest on. EXPERIMENTS.md
+//! records the full measured-vs-paper comparison.
+
+use spear_repro::spear::experiments::FIG9_LATENCIES;
+use spear_repro::spear::runner::{compile_workload, run_one};
+use spear_repro::spear::Machine;
+use spear_workloads::by_name;
+
+fn speedup(name: &str, machine: Machine) -> f64 {
+    let w = by_name(name).unwrap();
+    let (table, _) = compile_workload(&w);
+    let base = run_one(&w, &table, Machine::Baseline, None).ipc();
+    run_one(&w, &table, machine, None).ipc() / base
+}
+
+#[test]
+fn mcf_is_a_big_winner() {
+    // Paper: +87.6%, the best case of Figure 6.
+    let s = speedup("mcf", Machine::Spear256);
+    assert!(s > 1.4, "mcf SPEAR-256 speedup: {s:.3}");
+}
+
+#[test]
+fn field_is_flat() {
+    // Paper: "the cache miss rate is too low to benefit from prefetching".
+    let s = speedup("field", Machine::Spear128);
+    assert!((0.97..=1.05).contains(&s), "field: {s:.3}");
+}
+
+#[test]
+fn fft_gains_nothing() {
+    // Paper: slight degradation — the 1,129-instruction p-thread cannot
+    // run ahead of the main program.
+    let s = speedup("fft", Machine::Spear128);
+    assert!((0.90..=1.03).contains(&s), "fft: {s:.3}");
+}
+
+#[test]
+fn matrix_wins_most_from_the_longer_ifq() {
+    // Paper Table 3: matrix's SPEAR-256/SPEAR-128 ratio is the largest
+    // (1.45) thanks to its near-perfect branch prediction.
+    let w = by_name("matrix").unwrap();
+    let (table, _) = compile_workload(&w);
+    let s128 = run_one(&w, &table, Machine::Spear128, None).ipc();
+    let s256 = run_one(&w, &table, Machine::Spear256, None).ipc();
+    let ratio = s256 / s128;
+    assert!(ratio > 1.2, "matrix long-IFQ ratio: {ratio:.3}");
+}
+
+#[test]
+fn spear_tolerates_long_latency_better_than_baseline() {
+    // The Figure 9 conclusion, on mcf: between the shortest and longest
+    // memory latency the baseline must lose a larger fraction of its
+    // performance than SPEAR.
+    let w = by_name("mcf").unwrap();
+    let (table, _) = compile_workload(&w);
+    let loss = |machine: Machine| {
+        let short = run_one(
+            &w,
+            &table,
+            machine,
+            Some(spear_mem::LatencyConfig::sweep_point(FIG9_LATENCIES[0])),
+        )
+        .ipc();
+        let long = run_one(
+            &w,
+            &table,
+            machine,
+            Some(spear_mem::LatencyConfig::sweep_point(
+                FIG9_LATENCIES[FIG9_LATENCIES.len() - 1],
+            )),
+        )
+        .ipc();
+        1.0 - long / short
+    };
+    let base_loss = loss(Machine::Baseline);
+    let spear_loss = loss(Machine::Spear128);
+    assert!(
+        spear_loss < base_loss,
+        "SPEAR loss {spear_loss:.3} must be below baseline loss {base_loss:.3}"
+    );
+}
+
+#[test]
+fn art_has_a_strong_miss_reduction() {
+    // Paper Figure 8: art has the best miss reduction (38.8%).
+    let w = by_name("art").unwrap();
+    let (table, _) = compile_workload(&w);
+    let base = run_one(&w, &table, Machine::Baseline, None).stats.l1d_main_misses;
+    let spear = run_one(&w, &table, Machine::Spear128, None).stats.l1d_main_misses;
+    let reduction = 1.0 - spear as f64 / base as f64;
+    assert!(reduction > 0.3, "art miss reduction: {reduction:.3}");
+}
+
+#[test]
+fn empty_tables_never_perturb_timing() {
+    // SPEAR hardware with no p-threads is cycle-identical to the baseline
+    // — the front-end additions are inert without PT entries.
+    let w = by_name("field").unwrap();
+    let empty = spear_isa::PThreadTable::empty();
+    let base = run_one(&w, &empty, Machine::Baseline, None);
+    let spear = run_one(&w, &empty, Machine::Spear128, None);
+    assert_eq!(base.stats.cycles, spear.stats.cycles);
+}

@@ -1,0 +1,109 @@
+//! End-to-end toolchain tests: text assembly → post-compiler → `.spear`
+//! binary serialization → simulator, with architectural equivalence
+//! checked at every step.
+
+use spear_cpu::{Core, CoreConfig, RunExit};
+use spear_exec::Interp;
+use spear_isa::{binfile, emit_asm, parse_asm};
+use spear_repro::compiler::{CompilerConfig, SpearCompiler};
+
+const HISTOGRAM_S: &str = include_str!("../examples/asm/histogram.s");
+
+#[test]
+fn histogram_source_assembles_and_runs() {
+    let p = parse_asm(HISTOGRAM_S).expect("assembles");
+    p.validate().expect("valid");
+    let mut i = Interp::new(&p);
+    i.run(50_000_000).expect("runs");
+    assert!(i.halted);
+    assert!(i.icount > 100_000, "{}", i.icount);
+    // The histogram must have counted something.
+    let result = i.mem.read_u64(p.data_addr("result").unwrap());
+    assert!(result > 0);
+}
+
+#[test]
+fn emitted_text_round_trips_through_the_parser() {
+    let p = parse_asm(HISTOGRAM_S).unwrap();
+    let p2 = parse_asm(&emit_asm(&p)).expect("emitted text re-assembles");
+    assert_eq!(p.insts, p2.insts);
+    assert_eq!(p.data.to_bytes(), p2.data.to_bytes());
+    // Functional equivalence of the round-tripped program.
+    let run = |prog: &spear_isa::Program| {
+        let mut i = Interp::new(prog);
+        i.run(50_000_000).unwrap();
+        (i.icount, i.state_checksum())
+    };
+    assert_eq!(run(&p), run(&p2));
+}
+
+#[test]
+fn compile_serialize_load_simulate() {
+    let p = parse_asm(HISTOGRAM_S).unwrap();
+    let (icount, checksum) = {
+        let mut i = Interp::new(&p);
+        i.run(50_000_000).unwrap();
+        (i.icount, i.state_checksum())
+    };
+
+    // Compile → save → load.
+    let (binary, report) = SpearCompiler::new(CompilerConfig::default())
+        .compile(&p)
+        .expect("compile");
+    assert!(!report.built.is_empty(), "the gather load must be delinquent");
+    let bytes = binfile::save(&binary);
+    let loaded = binfile::load(&bytes).expect("load");
+    assert_eq!(loaded.table, binary.table);
+
+    // Simulate the loaded binary on baseline and SPEAR; both must match
+    // the golden model.
+    for cfg in [CoreConfig::baseline(), CoreConfig::spear(128)] {
+        let mut core = Core::new(&loaded, cfg);
+        let res = core.run(100_000_000, u64::MAX).expect("sim");
+        assert_eq!(res.exit, RunExit::Halted);
+        assert_eq!(res.stats.committed, icount);
+        assert_eq!(core.state_checksum(), checksum);
+    }
+}
+
+#[test]
+fn spear_accelerates_the_histogram() {
+    let p = parse_asm(HISTOGRAM_S).unwrap();
+    let (binary, _) = SpearCompiler::new(CompilerConfig::default())
+        .compile(&p)
+        .expect("compile");
+    let plain = spear_isa::SpearBinary::plain(p);
+    let base = {
+        let mut c = Core::new(&plain, CoreConfig::baseline());
+        c.run(100_000_000, u64::MAX).unwrap().stats.ipc()
+    };
+    let spear = {
+        let mut c = Core::new(&binary, CoreConfig::spear(128));
+        c.run(100_000_000, u64::MAX).unwrap().stats.ipc()
+    };
+    assert!(
+        spear > base * 1.02,
+        "SPEAR ({spear:.4}) should beat baseline ({base:.4}) on the histogram"
+    );
+}
+
+#[test]
+fn workload_binaries_survive_serialization() {
+    // Every workload's compiled SPEAR binary round-trips through the file
+    // format bit-exactly.
+    for name in ["mcf", "field", "fft"] {
+        let w = spear_workloads::by_name(name).unwrap();
+        let p = w.profile_program();
+        let (binary, _) = SpearCompiler::new(CompilerConfig::default())
+            .compile(&p)
+            .unwrap();
+        let loaded = binfile::load(&binfile::save(&binary)).unwrap();
+        assert_eq!(loaded.program.insts, binary.program.insts, "{name}");
+        assert_eq!(loaded.table, binary.table, "{name}");
+        assert_eq!(
+            loaded.program.data.to_bytes(),
+            binary.program.data.to_bytes(),
+            "{name}"
+        );
+    }
+}
