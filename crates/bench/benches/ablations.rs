@@ -20,7 +20,10 @@ use spear_workloads::{by_name, Workload};
 const SUBSET: [&str; 4] = ["mcf", "matrix", "fft", "nbh"];
 
 fn subset() -> Vec<Workload> {
-    SUBSET.iter().map(|n| by_name(n).expect("workload")).collect()
+    SUBSET
+        .iter()
+        .map(|n| by_name(n).expect("workload"))
+        .collect()
 }
 
 fn header(title: &str) {
@@ -144,7 +147,10 @@ fn main() {
     }
 
     header("branch predictor (paper: bimodal) — baseline IPC shift");
-    for kind in [spear_bpred::PredictorKind::Bimodal, spear_bpred::PredictorKind::Gshare] {
+    for kind in [
+        spear_bpred::PredictorKind::Bimodal,
+        spear_bpred::PredictorKind::Gshare,
+    ] {
         let rows: Vec<(String, f64)> = ws
             .iter()
             .zip(&tables)
@@ -164,7 +170,11 @@ fn main() {
         let mut cfg = Machine::Spear128.config(None);
         cfg.spear.as_mut().unwrap().full_priority = full;
         speedup_row(
-            if full { "full priority (paper-literal)" } else { "memory priority (default)" },
+            if full {
+                "full priority (paper-literal)"
+            } else {
+                "memory priority (default)"
+            },
             &speedups(&uniform(cfg)),
         );
     }

@@ -23,17 +23,24 @@ fn main() {
     if report::write_csv(csv, &header, &rows).is_ok() {
         eprintln!("(csv written to {})", csv.display());
     }
-    print!("{}", report::header("Figure 6 — normalized IPC (baseline = 1.0)"));
+    print!(
+        "{}",
+        report::header("Figure 6 — normalized IPC (baseline = 1.0)")
+    );
     print!("{}", report::ipc_matrix(&m));
     println!();
     let s128 = (m.mean_normalized(m.col(Machine::Spear128)) - 1.0) * 100.0;
     let s256 = (m.mean_normalized(m.col(Machine::Spear256)) - 1.0) * 100.0;
-    print!("{}", report::summary_line("SPEAR-128 mean speedup", s128, 12.7));
-    print!("{}", report::summary_line("SPEAR-256 mean speedup", s256, 20.1));
+    print!(
+        "{}",
+        report::summary_line("SPEAR-128 mean speedup", s128, 12.7)
+    );
+    print!(
+        "{}",
+        report::summary_line("SPEAR-256 mean speedup", s256, 20.1)
+    );
     let best = (0..m.workloads.len())
-        .max_by(|&a, &b| {
-            m.normalized(a, 2).partial_cmp(&m.normalized(b, 2)).unwrap()
-        })
+        .max_by(|&a, &b| m.normalized(a, 2).partial_cmp(&m.normalized(b, 2)).unwrap())
         .unwrap();
     println!(
         "  best case: {} at +{:.1}% (paper: mcf at +87.6%)",

@@ -17,7 +17,10 @@ fn main() {
     }
     let compiled = compile_all(&workloads);
     let m = fig7(&compiled);
-    print!("{}", report::header("Figure 7 — normalized IPC with dedicated p-thread FUs"));
+    print!(
+        "{}",
+        report::header("Figure 7 — normalized IPC with dedicated p-thread FUs")
+    );
     print!("{}", report::ipc_matrix(&m));
     println!();
     for (mach, paper) in [
@@ -27,7 +30,10 @@ fn main() {
         (Machine::SpearSf256, 26.3),
     ] {
         let v = (m.mean_normalized(m.col(mach)) - 1.0) * 100.0;
-        print!("{}", report::summary_line(&format!("{} mean speedup", mach.name()), v, paper));
+        print!(
+            "{}",
+            report::summary_line(&format!("{} mean speedup", mach.name()), v, paper)
+        );
     }
 
     // The same four machines under the paper-literal §3.3 policy (every
@@ -50,7 +56,13 @@ fn main() {
     let flat = parallel_map(&jobs, |&(wi, ci)| {
         let mut cfg = spear_machines[ci].config(None);
         cfg.spear.as_mut().unwrap().full_priority = true;
-        run_custom(&compiled.workloads[wi], &compiled.tables[wi], cfg, spear_machines[ci]).ipc()
+        run_custom(
+            &compiled.workloads[wi],
+            &compiled.tables[wi],
+            cfg,
+            spear_machines[ci],
+        )
+        .ipc()
     });
     print!("  {:<10} {:>10}", "benchmark", "base IPC");
     for mach in spear_machines {

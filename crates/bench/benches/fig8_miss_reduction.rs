@@ -16,7 +16,10 @@ fn main() {
     }
     let compiled = compile_all(&workloads);
     let m = fig6(&compiled);
-    print!("{}", report::header("Figure 8 — L1D miss reduction (main thread)"));
+    print!(
+        "{}",
+        report::header("Figure 8 — L1D miss reduction (main thread)")
+    );
     print!("{}", report::fig8(&fig8(&m)));
     println!("  (paper: best art -38.8%, average -19.7% with SPEAR-256)");
 

@@ -17,7 +17,10 @@ fn main() {
         .collect();
     let compiled = compile_all(&workloads);
     let series = fig9(&compiled);
-    print!("{}", report::header("Figure 9 — IPC under memory-latency sweep"));
+    print!(
+        "{}",
+        report::header("Figure 9 — IPC under memory-latency sweep")
+    );
     print!("{}", report::fig9(&series));
     println!("  (paper averages: superscalar -48.5%, SPEAR-128 -39.7%, SPEAR-256 -38.4%)");
 }

@@ -47,7 +47,13 @@ fn bench_bpred(c: &mut Criterion) {
     let mut g = c.benchmark_group("bpred");
     g.throughput(Throughput::Elements(1));
     let mut p = Predictor::new(PredictorConfig::paper());
-    let br = Inst::new(Opcode::Bne, spear_isa::reg::R0, spear_isa::reg::R1, spear_isa::reg::R0, 7);
+    let br = Inst::new(
+        Opcode::Bne,
+        spear_isa::reg::R0,
+        spear_isa::reg::R1,
+        spear_isa::reg::R0,
+        7,
+    );
     let mut i = 0u32;
     g.bench_function("predict_update", |b| {
         b.iter(|| {

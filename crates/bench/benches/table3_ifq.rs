@@ -17,6 +17,9 @@ fn main() {
     }
     let compiled = compile_all(&workloads);
     let m = fig6(&compiled);
-    print!("{}", report::header("Table 3 — longer-IFQ enhancement vs branch behaviour"));
+    print!(
+        "{}",
+        report::header("Table 3 — longer-IFQ enhancement vs branch behaviour")
+    );
     print!("{}", report::table3(&table3(&m)));
 }

@@ -130,12 +130,21 @@ impl Predictor {
             OpShape::Branch => {
                 let taken = self.predict_dir(pc);
                 let next_pc = if taken { inst.imm as u32 } else { fall };
-                Prediction { next_pc, taken: Some(taken) }
+                Prediction {
+                    next_pc,
+                    taken: Some(taken),
+                }
             }
-            OpShape::Jump => Prediction { next_pc: inst.imm as u32, taken: None },
+            OpShape::Jump => Prediction {
+                next_pc: inst.imm as u32,
+                taken: None,
+            },
             OpShape::JumpLink => {
                 self.ras.push(fall);
-                Prediction { next_pc: inst.imm as u32, taken: None }
+                Prediction {
+                    next_pc: inst.imm as u32,
+                    taken: None,
+                }
             }
             OpShape::JumpReg => {
                 // Treat register-indirect jumps as returns first (workloads
@@ -145,14 +154,23 @@ impl Predictor {
                     .pop()
                     .or_else(|| self.btb.lookup(pc))
                     .unwrap_or(fall);
-                Prediction { next_pc, taken: None }
+                Prediction {
+                    next_pc,
+                    taken: None,
+                }
             }
             OpShape::JumpLinkReg => {
                 let target = self.btb.lookup(pc);
                 self.ras.push(fall);
-                Prediction { next_pc: target.unwrap_or(fall), taken: None }
+                Prediction {
+                    next_pc: target.unwrap_or(fall),
+                    taken: None,
+                }
             }
-            _ => Prediction { next_pc: fall, taken: None },
+            _ => Prediction {
+                next_pc: fall,
+                taken: None,
+            },
         }
     }
 
@@ -295,7 +313,10 @@ mod tests {
             }
             p.update(100, &b, taken, 5, Some(pred));
         }
-        assert!(correct > 150, "gshare should learn alternation, got {correct}");
+        assert!(
+            correct > 150,
+            "gshare should learn alternation, got {correct}"
+        );
     }
 
     #[test]
@@ -311,6 +332,9 @@ mod tests {
             }
             p.update(100, &b, taken, 5, Some(pred));
         }
-        assert!(correct < 120, "bimodal cannot learn alternation, got {correct}");
+        assert!(
+            correct < 120,
+            "bimodal cannot learn alternation, got {correct}"
+        );
     }
 }

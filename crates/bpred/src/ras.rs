@@ -16,7 +16,11 @@ impl ReturnStack {
     /// A stack with `depth` entries (at least 1).
     pub fn new(depth: usize) -> ReturnStack {
         assert!(depth > 0, "RAS depth must be nonzero");
-        ReturnStack { buf: vec![0; depth], top: 0, len: 0 }
+        ReturnStack {
+            buf: vec![0; depth],
+            top: 0,
+            len: 0,
+        }
     }
 
     /// Push a return address; overwrites the oldest entry when full.

@@ -14,7 +14,10 @@ impl Bimodal {
     /// `size` must be a power of two.
     pub fn new(size: usize) -> Bimodal {
         assert!(size.is_power_of_two(), "bimodal table size must be 2^k");
-        Bimodal { table: vec![1; size], mask: (size - 1) as u32 }
+        Bimodal {
+            table: vec![1; size],
+            mask: (size - 1) as u32,
+        }
     }
 
     #[inline]
@@ -98,7 +101,10 @@ impl Btb {
     /// `entries` must be a power of two.
     pub fn new(entries: usize) -> Btb {
         assert!(entries.is_power_of_two(), "BTB size must be 2^k");
-        Btb { entries: vec![None; entries], mask: (entries - 1) as u32 }
+        Btb {
+            entries: vec![None; entries],
+            mask: (entries - 1) as u32,
+        }
     }
 
     /// Predicted target for the control instruction at `pc`, if cached.

@@ -113,7 +113,12 @@ impl Cfg {
         for (i, &start) in leader_list.iter().enumerate() {
             let end = leader_list.get(i + 1).copied().unwrap_or(n as u32);
             block_start.insert(start, i);
-            blocks.push(BasicBlock { start, end, succs: Vec::new(), preds: Vec::new() });
+            blocks.push(BasicBlock {
+                start,
+                end,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
         }
         let mut block_of_pc = vec![0; n];
         for (id, b) in blocks.iter().enumerate() {
@@ -171,7 +176,13 @@ impl Cfg {
         }
 
         let entry = block_of_pc[program.entry as usize];
-        Cfg { blocks, block_of_pc, entry, call_sites, proc_entries }
+        Cfg {
+            blocks,
+            block_of_pc,
+            entry,
+            call_sites,
+            proc_entries,
+        }
     }
 
     /// Block containing `pc`.

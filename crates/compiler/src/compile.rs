@@ -114,10 +114,7 @@ impl SpearCompiler {
     /// evaluation input and reuse the table via
     /// [`SpearCompiler::attach`] — PCs are identical because only the data
     /// image differs.
-    pub fn compile(
-        &self,
-        program: &Program,
-    ) -> Result<(SpearBinary, CompileReport), CompileError> {
+    pub fn compile(&self, program: &Program) -> Result<(SpearBinary, CompileReport), CompileError> {
         program
             .validate()
             .map_err(|e| CompileError::BadProgram(e.to_string()))?;
@@ -174,9 +171,7 @@ impl SpearCompiler {
 
         // ④ Attaching tool.
         let binary = Self::attach(program.clone(), PThreadTable { entries });
-        binary
-            .validate()
-            .map_err(CompileError::BadProgram)?;
+        binary.validate().map_err(CompileError::BadProgram)?;
         Ok((binary, report))
     }
 
@@ -195,7 +190,9 @@ mod tests {
 
     fn gather(n: i64, seed: u64) -> Program {
         let mut a = Asm::new();
-        let idx: Vec<u64> = (0..n as u64).map(|i| (i.wrapping_mul(7919) ^ seed) % 4096).collect();
+        let idx: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(7919) ^ seed) % 4096)
+            .collect();
         let ib = a.alloc_u64("idx", &idx);
         let xb = a.reserve("x", 4096 * 4096);
         a.li(R1, ib as i64);

@@ -151,9 +151,7 @@ impl LoopForest {
                             }
                         }
                     }
-                    if let Some(existing) =
-                        bodies.iter_mut().find(|(hh, _)| *hh == h)
-                    {
+                    if let Some(existing) = bodies.iter_mut().find(|(hh, _)| *hh == h) {
                         existing.1.extend(body);
                     } else {
                         bodies.push((h, body));
@@ -165,7 +163,12 @@ impl LoopForest {
         bodies.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
         let mut loops: Vec<Loop> = bodies
             .into_iter()
-            .map(|(header, blocks)| Loop { header, blocks, parent: None, depth: 0 })
+            .map(|(header, blocks)| Loop {
+                header,
+                blocks,
+                parent: None,
+                depth: 0,
+            })
             .collect();
         // Parent: the smallest strictly-containing loop.
         for i in 0..loops.len() {

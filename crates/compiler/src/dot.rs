@@ -22,7 +22,11 @@ pub fn cfg_dot(program: &Program, cfg: &Cfg, forest: &LoopForest) -> String {
     for (id, b) in cfg.blocks.iter().enumerate() {
         let mut label = format!("B{id} [{}..{})\\l", b.start, b.end);
         for pc in b.pcs() {
-            let _ = write!(label, "{pc:>4}  {}\\l", escape(&program.insts[pc as usize].to_string()));
+            let _ = write!(
+                label,
+                "{pc:>4}  {}\\l",
+                escape(&program.insts[pc as usize].to_string())
+            );
         }
         let style = match forest.innermost[id] {
             Some(li) => format!(
@@ -59,7 +63,10 @@ pub fn slice_dot(
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph slice {{");
-    let _ = writeln!(out, "  rankdir=BT; node [fontname=\"monospace\" fontsize=9];");
+    let _ = writeln!(
+        out,
+        "  rankdir=BT; node [fontname=\"monospace\" fontsize=9];"
+    );
     for &pc in &entry.members {
         let inst = &program.insts[pc as usize];
         let shape = if pc == entry.dload_pc {
@@ -67,7 +74,11 @@ pub fn slice_dot(
         } else {
             " shape=box"
         };
-        let _ = writeln!(out, "  n{pc} [label=\"{pc}: {}\"{shape}];", escape(&inst.to_string()));
+        let _ = writeln!(
+            out,
+            "  n{pc} [label=\"{pc}: {}\"{shape}];",
+            escape(&inst.to_string())
+        );
     }
     for r in &entry.live_ins {
         let _ = writeln!(out, "  li_{} [label=\"{r}\" shape=diamond];", r.index());
@@ -150,9 +161,14 @@ mod tests {
         let cfg = Cfg::build(&p);
         let dom = Dominators::compute(&cfg);
         let forest = LoopForest::compute(&cfg, &dom);
-        let prof =
-            crate::profile::profile(&p, &cfg, &forest, spear_mem::HierConfig::paper(), 10_000_000)
-                .unwrap();
+        let prof = crate::profile::profile(
+            &p,
+            &cfg,
+            &forest,
+            spear_mem::HierConfig::paper(),
+            10_000_000,
+        )
+        .unwrap();
         let dot = slice_dot(&p, &prof, e, 0.25);
         assert!(dot.contains("doubleoctagon"), "d-load node highlighted");
         assert!(dot.contains("shape=diamond"), "live-ins drawn");

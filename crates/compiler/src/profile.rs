@@ -150,7 +150,10 @@ pub fn profile(
     max_insts: u64,
 ) -> Result<Profile, ExecError> {
     let mut hier = Hierarchy::new(hier_cfg);
-    let mut p = Profile { loops: vec![LoopProfile::default(); forest.loops.len()], ..Default::default() };
+    let mut p = Profile {
+        loops: vec![LoopProfile::default(); forest.loops.len()],
+        ..Default::default()
+    };
 
     // Last dynamic writer of each architectural register.
     let mut last_writer: [Option<u32>; NUM_REGS] = [None; NUM_REGS];
@@ -205,7 +208,11 @@ pub fn profile(
                 let acc = hier.access_data(addr, AccessKind::Read, pc, false, est_now);
                 cost += acc.latency as f64;
                 if let Some(&store_pc) = last_store.get(&addr) {
-                    *p.mem_edges.entry(pc).or_default().entry(store_pc).or_insert(0) += 1;
+                    *p.mem_edges
+                        .entry(pc)
+                        .or_default()
+                        .entry(store_pc)
+                        .or_insert(0) += 1;
                 }
             } else {
                 let acc = hier.access_data(addr, AccessKind::Write, pc, false, est_now);

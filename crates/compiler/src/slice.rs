@@ -135,13 +135,14 @@ fn select_region(
         RegionPolicy::OutermostCallFree => true,
     };
     while keep_growing(acc) {
-        let Some(parent) = forest.loops[li].parent else { break };
+        let Some(parent) = forest.loops[li].parent else {
+            break;
+        };
         let parent_loop = &forest.loops[parent];
-        let crosses_call = parent_loop.blocks.iter().any(|&b| {
-            cfg.blocks[b]
-                .pcs()
-                .any(|pc| cfg.call_sites.contains(&pc))
-        });
+        let crosses_call = parent_loop
+            .blocks
+            .iter()
+            .any(|&b| cfg.blocks[b].pcs().any(|pc| cfg.call_sites.contains(&pc)));
         if crosses_call {
             break;
         }
@@ -154,7 +155,13 @@ fn select_region(
         .iter()
         .flat_map(|&b| cfg.blocks[b].pcs())
         .collect();
-    Some(Region { pcs, info: RegionInfo { loop_headers: headers, dcycle: acc } })
+    Some(Region {
+        pcs,
+        info: RegionInfo {
+            loop_headers: headers,
+            dcycle: acc,
+        },
+    })
 }
 
 /// Chase the backward slice of `dload_pc` over the profiled dynamic
@@ -232,11 +239,19 @@ pub fn build_entry(
     scfg: &SlicerConfig,
 ) -> SliceOutcome {
     let Some(region) = select_region(dload_pc, cfg, forest, profile, scfg) else {
-        return SliceOutcome { dload_pc, misses, result: Err(SkipReason::NotInLoop) };
+        return SliceOutcome {
+            dload_pc,
+            misses,
+            result: Err(SkipReason::NotInLoop),
+        };
     };
     let slice = backward_slice(dload_pc, &region.pcs, program, profile, scfg);
     if slice.is_empty() {
-        return SliceOutcome { dload_pc, misses, result: Err(SkipReason::EmptySlice) };
+        return SliceOutcome {
+            dload_pc,
+            misses,
+            result: Err(SkipReason::EmptySlice),
+        };
     }
     let live = live_ins(&slice, program);
     let entry = PThreadEntry {
@@ -246,7 +261,11 @@ pub fn build_entry(
         region: region.info,
         profiled_misses: misses,
     };
-    SliceOutcome { dload_pc, misses, result: Ok(entry) }
+    SliceOutcome {
+        dload_pc,
+        misses,
+        result: Ok(entry),
+    }
 }
 
 #[cfg(test)]
@@ -269,9 +288,13 @@ mod tests {
         let cfg = Cfg::build(&program);
         let dom = Dominators::compute(&cfg);
         let forest = LoopForest::compute(&cfg, &dom);
-        let profile =
-            profile(&program, &cfg, &forest, HierConfig::paper(), 10_000_000).unwrap();
-        Analysis { program, cfg, forest, profile }
+        let profile = profile(&program, &cfg, &forest, HierConfig::paper(), 10_000_000).unwrap();
+        Analysis {
+            program,
+            cfg,
+            forest,
+            profile,
+        }
     }
 
     /// The indexed-gather kernel: slice should be the index load, the
@@ -374,7 +397,10 @@ mod tests {
     #[test]
     fn slice_cap_truncates() {
         let an = analyze(gather(500));
-        let scfg = SlicerConfig { slice_cap: Some(2), ..Default::default() };
+        let scfg = SlicerConfig {
+            slice_cap: Some(2),
+            ..Default::default()
+        };
         let loop_pc = *an.program.labels.get("loop").unwrap();
         let out = build_entry(
             loop_pc + 3,
@@ -405,7 +431,10 @@ mod tests {
         a.bne(R2, R0, "loop");
         a.halt();
         let an = analyze(a.finish().unwrap());
-        let scfg = SlicerConfig { dload_min_misses: 100, ..Default::default() };
+        let scfg = SlicerConfig {
+            dload_min_misses: 100,
+            ..Default::default()
+        };
         assert!(select_dloads(&an.profile, &scfg).is_empty());
     }
 
@@ -431,10 +460,21 @@ mod tests {
         let an = analyze(a.finish().unwrap());
         let dload = *an.program.labels.get("inner").unwrap();
         let entry_for = |policy: RegionPolicy| {
-            let scfg = SlicerConfig { region_policy: policy, ..Default::default() };
-            build_entry(dload, 1000, &an.program, &an.cfg, &an.forest, &an.profile, &scfg)
-                .result
-                .expect("slice built")
+            let scfg = SlicerConfig {
+                region_policy: policy,
+                ..Default::default()
+            };
+            build_entry(
+                dload,
+                1000,
+                &an.program,
+                &an.cfg,
+                &an.forest,
+                &an.profile,
+                &scfg,
+            )
+            .result
+            .expect("slice built")
         };
         let inner = entry_for(RegionPolicy::InnermostOnly);
         assert_eq!(inner.region.loop_headers.len(), 1);

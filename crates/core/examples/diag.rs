@@ -65,5 +65,11 @@ fn main() {
                 s.useful_prefetches, s.late_prefetches, s.episode_cycles, s.episode_extractions
             );
         }
+        println!("   CPI stack:");
+        print!("{}", o.cpi_stack());
+        if m.is_spear() && !s.dload_profiles.is_empty() {
+            println!("   d-load prefetch profiles:");
+            print!("{}", spear::report::dload_profiles(s));
+        }
     }
 }

@@ -10,18 +10,22 @@
 //! spear-sim workload:mcf -m spear-128          # compile+run a built-in workload
 //! spear-sim mcf.spear -m spear-256 --mem-latency 200
 //! spear-sim mcf.spear -m spear-128 --trace 40  # print the last 40 episode events
+//! spear-sim workload:mcf -m spear-128 --stats-json out.json --trace-file t.jsonl
 //! ```
 
-use spear::Machine;
+use spear::export::StatsExport;
+use spear::{report, Machine};
 use spear_cpu::Core;
 use spear_isa::binfile;
 use spear_mem::LatencyConfig;
+use std::io::BufWriter;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
         "usage: spear-sim FILE.spear [-m MACHINE] [--mem-latency N]\n\
-         \x20      [--max-cycles N] [--max-insts N] [--trace N] [--quiet]\n\n\
+         \x20      [--max-cycles N] [--max-insts N] [--trace N] [--quiet]\n\
+         \x20      [--stats-json PATH] [--trace-file PATH]\n\n\
          machines: baseline, spear-128, spear-256, spear-sf-128, spear-sf-256"
     );
     exit(2)
@@ -34,8 +38,19 @@ fn parse_machine(s: &str) -> Machine {
         "spear-256" => Machine::Spear256,
         "spear-sf-128" | "spear.sf-128" => Machine::SpearSf128,
         "spear-sf-256" | "spear.sf-256" => Machine::SpearSf256,
-        _ => usage(),
+        _ => {
+            eprintln!("spear-sim: unknown machine `{s}`");
+            usage()
+        }
     }
+}
+
+/// Parse a numeric flag value, reporting the offending text on failure.
+fn parse_num<T: std::str::FromStr>(flag: &str, val: &str) -> T {
+    val.parse().unwrap_or_else(|_| {
+        eprintln!("spear-sim: {flag} expects a number, got `{val}`");
+        exit(2)
+    })
 }
 
 fn main() {
@@ -50,6 +65,8 @@ fn main() {
     let mut max_insts = u64::MAX;
     let mut trace: Option<usize> = None;
     let mut quiet = false;
+    let mut stats_json: Option<String> = None;
+    let mut trace_file: Option<String> = None;
 
     let mut it = args.into_iter();
     let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -62,21 +79,24 @@ fn main() {
         match arg.as_str() {
             "-m" | "--machine" => machine = parse_machine(&next_val(&mut it, "-m")),
             "--mem-latency" => {
-                let mem: u32 = next_val(&mut it, "--mem-latency").parse().unwrap_or_else(|_| usage());
+                let mem: u32 = parse_num("--mem-latency", &next_val(&mut it, "--mem-latency"));
                 latency = Some(LatencyConfig::sweep_point(mem));
             }
             "--max-cycles" => {
-                max_cycles = next_val(&mut it, "--max-cycles").parse().unwrap_or_else(|_| usage())
+                max_cycles = parse_num("--max-cycles", &next_val(&mut it, "--max-cycles"))
             }
             "--max-insts" => {
-                max_insts = next_val(&mut it, "--max-insts").parse().unwrap_or_else(|_| usage())
+                max_insts = parse_num("--max-insts", &next_val(&mut it, "--max-insts"))
             }
-            "--trace" => {
-                trace = Some(next_val(&mut it, "--trace").parse().unwrap_or_else(|_| usage()))
-            }
+            "--trace" => trace = Some(parse_num("--trace", &next_val(&mut it, "--trace"))),
+            "--stats-json" => stats_json = Some(next_val(&mut it, "--stats-json")),
+            "--trace-file" => trace_file = Some(next_val(&mut it, "--trace-file")),
             "--quiet" => quiet = true,
             _ if file.is_none() && !arg.starts_with('-') => file = Some(arg),
-            _ => usage(),
+            _ => {
+                eprintln!("spear-sim: unrecognized argument `{arg}`");
+                usage()
+            }
         }
     }
     let Some(file) = file else { usage() };
@@ -101,9 +121,18 @@ fn main() {
     };
 
     let cfg = machine.config(latency);
+    let commit_width = cfg.commit_width;
+    let mem_latency = cfg.hier.latency.memory;
     let mut core = Core::new(&binary, cfg);
     if let Some(cap) = trace {
         core.enable_trace(cap);
+    }
+    if let Some(path) = &trace_file {
+        let f = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("spear-sim: cannot create trace file `{path}`: {e}");
+            exit(1)
+        });
+        core.set_trace_sink(Box::new(BufWriter::new(f)));
     }
     let res = core.run(max_cycles, max_insts).unwrap_or_else(|e| {
         eprintln!("spear-sim: {e}");
@@ -111,17 +140,41 @@ fn main() {
     });
     let s = &res.stats;
 
+    if let Some(path) = &stats_json {
+        let doc = StatsExport::new(
+            file.clone(),
+            machine.name(),
+            mem_latency,
+            res.exit,
+            s.clone(),
+        );
+        std::fs::write(path, doc.to_json()).unwrap_or_else(|e| {
+            eprintln!("spear-sim: cannot write `{path}`: {e}");
+            exit(1)
+        });
+    }
+
     println!("machine       {}", machine.name());
     println!("exit          {:?}", res.exit);
     println!("cycles        {}", s.cycles);
     println!("committed     {}", s.committed);
     println!("IPC           {:.4}", s.ipc());
     if !quiet {
-        println!("loads/stores  {} / {}", s.committed_loads, s.committed_stores);
-        println!("branches      {} (IPB {:.2})", s.committed_branches, s.ipb());
+        println!(
+            "loads/stores  {} / {}",
+            s.committed_loads, s.committed_stores
+        );
+        println!(
+            "branches      {} (IPB {:.2})",
+            s.committed_branches,
+            s.ipb()
+        );
         println!("bpred hit     {:.4}", s.branch_hit_ratio());
         println!("recoveries    {} ({} squashed)", s.recoveries, s.squashed);
-        println!("L1D misses    {} main / {} p-thread", s.l1d_main_misses, s.l1d_pthread_misses);
+        println!(
+            "L1D misses    {} main / {} p-thread",
+            s.l1d_main_misses, s.l1d_pthread_misses
+        );
         if machine.is_spear() {
             println!(
                 "triggers      {} accepted / {} busy / {} below-occupancy",
@@ -145,11 +198,21 @@ fn main() {
             println!("episode len   {}", s.episode_cycles);
             println!("extractions   {}", s.episode_extractions);
         }
+        println!("\nCPI stack:");
+        print!("{}", report::cpi_stack(s, commit_width));
+        if machine.is_spear() && !s.dload_profiles.is_empty() {
+            println!("\nd-load prefetch profiles:");
+            print!("{}", report::dload_profiles(s));
+        }
     }
+    // The in-memory episode trace prints after (never interleaved with)
+    // the statistics block, and only when it retained something.
     if let Some(t) = core.trace() {
-        println!("\nepisode trace (last {} of {} events):", t.len(), t.total);
-        for e in t.events() {
-            println!("  {e}");
+        if trace.is_some() && !t.is_empty() {
+            println!("\nepisode trace (last {} of {} events):", t.len(), t.total);
+            for e in t.events() {
+                println!("  {e}");
+            }
         }
     }
 }

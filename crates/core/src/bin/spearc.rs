@@ -103,16 +103,20 @@ fn main() {
                     .unwrap_or_else(|_| usage())
             }
             "--max-dloads" => {
-                cfg.slicer.max_dloads =
-                    next_val(&mut it, "--max-dloads").parse().unwrap_or_else(|_| usage())
+                cfg.slicer.max_dloads = next_val(&mut it, "--max-dloads")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--dcycle" => {
-                cfg.slicer.dcycle_limit =
-                    next_val(&mut it, "--dcycle").parse().unwrap_or_else(|_| usage())
+                cfg.slicer.dcycle_limit = next_val(&mut it, "--dcycle")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--slice-cap" => {
                 cfg.slicer.slice_cap = Some(
-                    next_val(&mut it, "--slice-cap").parse().unwrap_or_else(|_| usage()),
+                    next_val(&mut it, "--slice-cap")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
                 )
             }
             "--edge-threshold" => {
@@ -139,10 +143,12 @@ fn main() {
         eprintln!("spearc: warning: {l}");
     }
 
-    let (binary, report) = SpearCompiler::new(cfg).compile(&program).unwrap_or_else(|e| {
-        eprintln!("spearc: {e}");
-        exit(1)
-    });
+    let (binary, report) = SpearCompiler::new(cfg)
+        .compile(&program)
+        .unwrap_or_else(|e| {
+            eprintln!("spearc: {e}");
+            exit(1)
+        });
 
     println!(
         "profiled {} instructions; {} L1D misses; {} d-load candidate(s)",
@@ -166,8 +172,14 @@ fn main() {
         let cfgg = Cfg::build(&program);
         let dom = Dominators::compute(&cfgg);
         let forest = LoopForest::compute(&cfgg, &dom);
-        let prof = profile(&program, &cfgg, &forest, spear_mem::HierConfig::paper(), 10_000_000)
-            .expect("profile for dot");
+        let prof = profile(
+            &program,
+            &cfgg,
+            &forest,
+            spear_mem::HierConfig::paper(),
+            10_000_000,
+        )
+        .expect("profile for dot");
         let stem = input
             .strip_prefix("workload:")
             .unwrap_or(&input)

@@ -29,7 +29,11 @@ pub struct Compiled {
 pub fn compile_all(workloads: &[Workload]) -> Compiled {
     let compiled = parallel_map(workloads, compile_workload);
     let (tables, reports) = compiled.into_iter().unzip();
-    Compiled { workloads: workloads.to_vec(), tables, reports }
+    Compiled {
+        workloads: workloads.to_vec(),
+        tables,
+        reports,
+    }
 }
 
 /// A workload × machine IPC matrix (the shape of Figures 6 and 7).
@@ -66,7 +70,10 @@ impl IpcMatrix {
 
     /// The column index of a machine.
     pub fn col(&self, m: Machine) -> usize {
-        self.machines.iter().position(|&x| x == m).expect("machine in matrix")
+        self.machines
+            .iter()
+            .position(|&x| x == m)
+            .expect("machine in matrix")
     }
 }
 
@@ -77,7 +84,12 @@ pub fn run_matrix(compiled: &Compiled, machines: &[Machine]) -> IpcMatrix {
         .flat_map(|r| (0..machines.len()).map(move |c| (r, c)))
         .collect();
     let flat = parallel_map(&jobs, |&(r, c)| {
-        run_one(&compiled.workloads[r], &compiled.tables[r], machines[c], None)
+        run_one(
+            &compiled.workloads[r],
+            &compiled.tables[r],
+            machines[c],
+            None,
+        )
     });
     let mut outcomes: Vec<Vec<RunOutcome>> = Vec::with_capacity(compiled.workloads.len());
     let mut it = flat.into_iter();
@@ -86,7 +98,11 @@ pub fn run_matrix(compiled: &Compiled, machines: &[Machine]) -> IpcMatrix {
     }
     IpcMatrix {
         machines: machines.to_vec(),
-        workloads: compiled.workloads.iter().map(|w| w.name.to_string()).collect(),
+        workloads: compiled
+            .workloads
+            .iter()
+            .map(|w| w.name.to_string())
+            .collect(),
         outcomes,
     }
 }
@@ -197,8 +213,7 @@ pub fn fig9(compiled: &Compiled) -> Vec<Fig9Series> {
     let machines = Machine::FIG6;
     let jobs: Vec<(usize, usize, usize)> = (0..compiled.workloads.len())
         .flat_map(|w| {
-            (0..machines.len())
-                .flat_map(move |m| (0..FIG9_LATENCIES.len()).map(move |l| (w, m, l)))
+            (0..machines.len()).flat_map(move |m| (0..FIG9_LATENCIES.len()).map(move |l| (w, m, l)))
         })
         .collect();
     let flat = parallel_map(&jobs, |&(w, m, l)| {
@@ -215,7 +230,11 @@ pub fn fig9(compiled: &Compiled) -> Vec<Fig9Series> {
     for w in 0..compiled.workloads.len() {
         let mut ipc = Vec::new();
         for _ in 0..machines.len() {
-            ipc.push((0..FIG9_LATENCIES.len()).map(|_| it.next().unwrap()).collect());
+            ipc.push(
+                (0..FIG9_LATENCIES.len())
+                    .map(|_| it.next().unwrap())
+                    .collect(),
+            );
         }
         out.push(Fig9Series {
             workload: compiled.workloads[w].name.to_string(),
@@ -289,9 +308,11 @@ mod tests {
                 vals.iter()
                     .enumerate()
                     .map(|(c, &ipc)| {
-                        let mut stats = CoreStats::default();
-                        stats.cycles = 1_000_000;
-                        stats.committed = (ipc * 1_000_000.0) as u64;
+                        let stats = CoreStats {
+                            cycles: 1_000_000,
+                            committed: (ipc * 1_000_000.0) as u64,
+                            ..Default::default()
+                        };
                         crate::runner::RunOutcome {
                             workload: name.to_string(),
                             machine: machines[c],
@@ -335,8 +356,14 @@ mod tests {
             spear256_misses: 1100,
         };
         assert!((row.reduction(600) - 0.4).abs() < 1e-9);
-        assert!((row.reduction(1100) + 0.1).abs() < 1e-9, "negative = more misses");
-        let zero = Fig8Row { base_misses: 0, ..row };
+        assert!(
+            (row.reduction(1100) + 0.1).abs() < 1e-9,
+            "negative = more misses"
+        );
+        let zero = Fig8Row {
+            base_misses: 0,
+            ..row
+        };
         assert_eq!(zero.reduction(5), 0.0);
     }
 
@@ -361,7 +388,10 @@ mod tests {
         assert_eq!(m.machines.len(), 3);
         assert_eq!(m.workloads, vec!["field", "mcf"]);
         for r in 0..2 {
-            assert!((m.normalized(r, 0) - 1.0).abs() < 1e-12, "baseline col is 1.0");
+            assert!(
+                (m.normalized(r, 0) - 1.0).abs() < 1e-12,
+                "baseline col is 1.0"
+            );
         }
         // mcf must speed up under SPEAR (the paper's headline case).
         let row = m.workloads.iter().position(|w| w == "mcf").unwrap();
@@ -379,7 +409,12 @@ mod tests {
         let t3 = table3(&m);
         assert_eq!(t3.len(), 2);
         for row in &t3 {
-            assert!(row.ratio > 0.5 && row.ratio < 2.0, "{}: {}", row.workload, row.ratio);
+            assert!(
+                row.ratio > 0.5 && row.ratio < 2.0,
+                "{}: {}",
+                row.workload,
+                row.ratio
+            );
             assert!(row.branch_hit > 0.5 && row.branch_hit <= 1.0);
             assert!(row.ipb > 1.0);
         }

@@ -1,0 +1,128 @@
+//! Structured telemetry export: a versioned JSON envelope around a full
+//! run's statistics, for downstream tooling (plots, regression diffs,
+//! CI dashboards) that should not have to scrape the text report.
+//!
+//! The schema is versioned by [`SCHEMA_VERSION`]: any field rename or
+//! semantic change bumps it, and a golden-file test in
+//! `tests/export_schema.rs` pins the flattened key set so accidental
+//! drift fails loudly.
+
+use crate::machines::Machine;
+use crate::runner::RunOutcome;
+use serde::{Deserialize, Serialize};
+use spear_cpu::{CoreStats, RunExit};
+
+/// Version of the exported JSON schema. Bump on any breaking change to
+/// [`StatsExport`] or the stats types it embeds.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The top-level JSON document written by `spear-sim --stats-json` and
+/// [`RunOutcome::export`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StatsExport {
+    /// Schema version of this document ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Workload name or input-file path.
+    pub workload: String,
+    /// Machine model name (e.g. `SPEAR-128`).
+    pub machine: String,
+    /// Main-memory access latency in cycles (Table 2 default or the
+    /// `--mem-latency` sweep point).
+    pub mem_latency: u32,
+    /// How the run ended.
+    pub exit: RunExit,
+    /// Full simulator statistics, including the CPI-stack cycle account
+    /// and the per-d-load prefetch profiles.
+    pub stats: CoreStats,
+}
+
+impl StatsExport {
+    /// Build the export envelope around a finished run.
+    pub fn new(
+        workload: impl Into<String>,
+        machine: &str,
+        mem_latency: u32,
+        exit: RunExit,
+        stats: CoreStats,
+    ) -> Self {
+        StatsExport {
+            schema_version: SCHEMA_VERSION,
+            workload: workload.into(),
+            machine: machine.to_string(),
+            mem_latency,
+            exit,
+            stats,
+        }
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parse a document produced by [`Self::to_json`]. Unknown fields are
+    /// ignored, so newer documents load under older readers as long as
+    /// the present fields keep their meaning.
+    pub fn from_json(s: &str) -> Result<Self, serde::Error> {
+        serde::json::from_str(s)
+    }
+}
+
+impl RunOutcome {
+    /// The export envelope for this outcome (latency defaulting to the
+    /// machine's Table 2 configuration when none was overridden).
+    pub fn export(&self) -> StatsExport {
+        let mem_latency = self.machine.config(self.latency).hier.latency.memory;
+        StatsExport::new(
+            self.workload.clone(),
+            self.machine.name(),
+            mem_latency,
+            RunExit::Halted,
+            self.stats.clone(),
+        )
+    }
+
+    /// Render this outcome's CPI stack (see [`crate::report::cpi_stack`]).
+    pub fn cpi_stack(&self) -> String {
+        let width = self.machine.config(self.latency).commit_width;
+        crate::report::cpi_stack(&self.stats, width)
+    }
+}
+
+/// Convenience: the machine's effective memory latency for an optional
+/// override (used by `spear-sim` before a core is even built).
+pub fn effective_mem_latency(machine: Machine, latency: Option<spear_mem::LatencyConfig>) -> u32 {
+    machine.config(latency).hier.latency.memory
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut stats = CoreStats {
+            cycles: 123,
+            committed: 456,
+            ..Default::default()
+        };
+        stats.cycle_account.useful_slots = 456;
+        stats.cycle_account.dload_miss = 528;
+        let doc = StatsExport::new("mcf", "SPEAR-128", 120, RunExit::Halted, stats);
+        let json = doc.to_json();
+        let back = StatsExport::from_json(&json).expect("valid JSON");
+        assert_eq!(doc, back);
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn effective_latency_tracks_override() {
+        let default = effective_mem_latency(Machine::Baseline, None);
+        assert_eq!(default, 120);
+        let swept = effective_mem_latency(
+            Machine::Baseline,
+            Some(spear_mem::LatencyConfig::sweep_point(200)),
+        );
+        assert_eq!(swept, 200);
+    }
+}

@@ -20,9 +20,11 @@
 //! ```
 
 pub mod experiments;
+pub mod export;
 pub mod machines;
 pub mod report;
 pub mod runner;
 
+pub use export::{StatsExport, SCHEMA_VERSION};
 pub use machines::Machine;
 pub use runner::{compile_workload, parallel_map, run_one, RunOutcome};

@@ -1,12 +1,98 @@
 //! Render experiment results in the paper's row/series formats
 //! (plain-text tables suitable for terminals and EXPERIMENTS.md).
 
-use crate::experiments::{
-    Fig8Row, Fig9Series, IpcMatrix, Table1Row, Table3Row, FIG9_LATENCIES,
-};
+use crate::experiments::{Fig8Row, Fig9Series, IpcMatrix, Table1Row, Table3Row, FIG9_LATENCIES};
 
-use spear_cpu::CoreConfig;
+use spear_cpu::{CoreConfig, CoreStats};
 use std::fmt::Write;
+
+/// Render the CPI-stack cycle account: where every commit slot of every
+/// cycle went. `commit_width` is the machine's commit width (the slot
+/// count per cycle). Shares are of total slot-cycles; the per-cause CPI
+/// column is `slot-cycles / commit_width / committed`, so the column sums
+/// to the run's overall CPI.
+pub fn cpi_stack(stats: &CoreStats, commit_width: usize) -> String {
+    let acct = &stats.cycle_account;
+    let total = acct.total_slots().max(1);
+    let committed = stats.committed.max(1);
+    let w = commit_width.max(1) as f64;
+    let cpi = |slots: u64| slots as f64 / w / committed as f64;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "  {:<24} {:>14} {:>7} {:>8}",
+        "cause", "slot-cycles", "share", "CPI"
+    );
+    let _ = writeln!(
+        s,
+        "  {:<24} {:>14} {:>6.1}% {:>8.4}",
+        "useful (committed)",
+        acct.useful_slots,
+        acct.useful_slots as f64 / total as f64 * 100.0,
+        cpi(acct.useful_slots)
+    );
+    for (label, slots) in acct.causes() {
+        if slots == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "  {:<24} {:>14} {:>6.1}% {:>8.4}",
+            label,
+            slots,
+            slots as f64 / total as f64 * 100.0,
+            cpi(slots)
+        );
+    }
+    let _ = writeln!(
+        s,
+        "  {:<24} {:>14} {:>6} {:>8.4}",
+        "TOTAL",
+        acct.total_slots(),
+        "100.0%",
+        cpi(acct.total_slots())
+    );
+    if acct.ruu_full_cycles > 0 {
+        let _ = writeln!(
+            s,
+            "  (RUU full with work waiting: {} cycles)",
+            acct.ruu_full_cycles
+        );
+    }
+    s
+}
+
+/// Render the per-static-d-load prefetch effectiveness profiles: for each
+/// p-thread target load, how its episodes fared and how its prefetches
+/// divided into timely / late / useless.
+pub fn dload_profiles(stats: &CoreStats) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "  {:<10} {:>8} {:>14} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "d-load PC", "misses", "epi trg/cpl/ab", "loads", "timely", "late", "useless", "accuracy"
+    );
+    for p in &stats.dload_profiles {
+        let _ = writeln!(
+            s,
+            "  {:<10} {:>8} {:>6}/{:>3}/{:>3} {:>8} {:>8} {:>8} {:>8} {:>8.1}%",
+            format!("{:#06x}", p.dload_pc),
+            p.demand_misses,
+            p.episodes_triggered,
+            p.episodes_completed,
+            p.episodes_aborted,
+            p.pthread_loads,
+            p.timely_prefetches,
+            p.late_prefetches,
+            p.useless_prefetches,
+            p.accuracy() * 100.0
+        );
+    }
+    if stats.dload_profiles.is_empty() {
+        let _ = writeln!(s, "  (no p-thread target loads)");
+    }
+    s
+}
 
 /// Render the Table 2 simulation parameters for a configuration.
 pub fn table2(cfg: &CoreConfig) -> String {
@@ -19,7 +105,10 @@ pub fn table2(cfg: &CoreConfig) -> String {
     row("Issue width", format!("{}", cfg.issue_width));
     row("Commit width", format!("{}", cfg.commit_width));
     row("Instruction fetch queue size", format!("{}", cfg.ifq_size));
-    row("Reorder buffer size", format!("{} instructions", cfg.ruu_size));
+    row(
+        "Reorder buffer size",
+        format!("{} instructions", cfg.ruu_size),
+    );
     row(
         "Integer functional units",
         format!("ALU(x{}), MUL/DIV(x{})", cfg.int_alu, cfg.int_muldiv),
@@ -36,7 +125,10 @@ pub fn table2(cfg: &CoreConfig) -> String {
             cfg.hier.l1d.sets, cfg.hier.l1d.block_bytes, cfg.hier.l1d.assoc
         ),
     );
-    row("Data L1 cache latency", format!("{} CPU clock cycle", cfg.hier.latency.l1_hit));
+    row(
+        "Data L1 cache latency",
+        format!("{} CPU clock cycle", cfg.hier.latency.l1_hit),
+    );
     row(
         "Unified L2 cache configuration",
         format!(
@@ -44,8 +136,14 @@ pub fn table2(cfg: &CoreConfig) -> String {
             cfg.hier.l2.sets, cfg.hier.l2.block_bytes, cfg.hier.l2.assoc
         ),
     );
-    row("Unified L2 cache latency", format!("{} CPU clock cycles", cfg.hier.latency.l2_hit));
-    row("Memory access latency", format!("{} CPU clock cycles", cfg.hier.latency.memory));
+    row(
+        "Unified L2 cache latency",
+        format!("{} CPU clock cycles", cfg.hier.latency.l2_hit),
+    );
+    row(
+        "Memory access latency",
+        format!("{} CPU clock cycles", cfg.hier.latency.memory),
+    );
     s
 }
 
@@ -131,15 +229,24 @@ pub fn fig8(rows: &[Fig8Row]) -> String {
         let _ = writeln!(
             s,
             "  {:<10} {:>12} {:>12} {:>12} {:>9.1}% {:>9.1}%",
-            r.workload, r.base_misses, r.spear128_misses, r.spear256_misses,
-            r128 * 100.0, r256 * 100.0
+            r.workload,
+            r.base_misses,
+            r.spear128_misses,
+            r.spear256_misses,
+            r128 * 100.0,
+            r256 * 100.0
         );
     }
     let n = rows.len().max(1) as f64;
     let _ = writeln!(
         s,
         "  {:<10} {:>12} {:>12} {:>12} {:>9.1}% {:>9.1}%",
-        "AVERAGE", "", "", "", sum128 / n * 100.0, sum256 / n * 100.0
+        "AVERAGE",
+        "",
+        "",
+        "",
+        sum128 / n * 100.0,
+        sum256 / n * 100.0
     );
     s
 }
@@ -178,9 +285,7 @@ pub fn fig9(series: &[Fig9Series]) -> String {
 /// A single summary line comparing a measured mean speedup against the
 /// paper's reported number.
 pub fn summary_line(label: &str, measured: f64, paper: f64) -> String {
-    format!(
-        "  {label:<34} measured {measured:>7.1}%   (paper: {paper:>5.1}%)\n"
-    )
+    format!("  {label:<34} measured {measured:>7.1}%   (paper: {paper:>5.1}%)\n")
 }
 
 /// Write rows as CSV (plain std, no extra dependencies). Fields
@@ -229,9 +334,15 @@ pub fn ipc_matrix_csv(m: &IpcMatrix) -> (Vec<&'static str>, Vec<Vec<String>>) {
 /// Header printed by every bench target.
 pub fn header(title: &str) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "\n================================================================");
+    let _ = writeln!(
+        s,
+        "\n================================================================"
+    );
     let _ = writeln!(s, "{title}");
-    let _ = writeln!(s, "================================================================");
+    let _ = writeln!(
+        s,
+        "================================================================"
+    );
     s
 }
 

@@ -43,10 +43,7 @@ pub fn compile_workload(w: &Workload) -> (PThreadTable, CompileReport) {
 }
 
 /// [`compile_workload`] with explicit compiler configuration (ablations).
-pub fn compile_workload_with(
-    w: &Workload,
-    cfg: &CompilerConfig,
-) -> (PThreadTable, CompileReport) {
+pub fn compile_workload_with(w: &Workload, cfg: &CompilerConfig) -> (PThreadTable, CompileReport) {
     let profile_program = w.profile_program();
     let (binary, report) = SpearCompiler::new(cfg.clone())
         .compile(&profile_program)
@@ -108,7 +105,12 @@ pub fn run_custom(
         .run(MAX_CYCLES, MAX_INSTS)
         .unwrap_or_else(|e| panic!("{} (custom cfg): {e}", w.name));
     assert_eq!(res.exit, RunExit::Halted, "{} did not halt", w.name);
-    RunOutcome { workload: w.name.to_string(), machine, latency: None, stats: res.stats }
+    RunOutcome {
+        workload: w.name.to_string(),
+        machine,
+        latency: None,
+        stats: res.stats,
+    }
 }
 
 /// Run `f` over `items` on all available cores, preserving order.

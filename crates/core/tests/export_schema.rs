@@ -1,0 +1,93 @@
+//! Golden-file test for the `--stats-json` schema: the flattened key set
+//! of a [`StatsExport`] document is pinned in `golden/stats_schema_v1.txt`.
+//! Adding, removing, or renaming a field changes the key set and fails
+//! this test — the fix is to bump [`spear::SCHEMA_VERSION`], regenerate
+//! the golden file, and note the change in EXPERIMENTS.md.
+
+use serde::json::parse;
+use serde::Value;
+use spear::export::StatsExport;
+use spear::SCHEMA_VERSION;
+use spear_cpu::{CoreStats, DloadProfile, RunExit};
+
+/// Flatten a JSON document into sorted `a.b.c` key paths. Arrays
+/// contribute their element schema once (index `[]`), so the key set is
+/// independent of run length.
+fn flatten(v: &Value, prefix: &str, out: &mut Vec<String>) {
+    match v {
+        Value::Object(fields) => {
+            for (k, val) in fields {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(val, &path, out);
+            }
+        }
+        Value::Array(items) => {
+            if let Some(first) = items.first() {
+                flatten(first, &format!("{prefix}[]"), out);
+            } else {
+                out.push(format!("{prefix}[]"));
+            }
+        }
+        _ => out.push(prefix.to_string()),
+    }
+}
+
+/// A fully-populated export document: every optional/array field holds at
+/// least one element so its nested keys appear in the flattened schema.
+fn representative_export() -> StatsExport {
+    let mut stats = CoreStats::default();
+    stats.dload_profiles.push(DloadProfile {
+        dload_pc: 5,
+        ..Default::default()
+    });
+    StatsExport::new("mcf", "SPEAR-128", 120, RunExit::Halted, stats)
+}
+
+#[test]
+fn schema_matches_golden_file() {
+    let doc = representative_export();
+    let json = doc.to_json();
+    let value = parse(&json).expect("export emits valid JSON");
+    let mut keys = Vec::new();
+    flatten(&value, "", &mut keys);
+    keys.sort();
+    keys.dedup();
+    let rendered = keys.join("\n") + "\n";
+
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/stats_schema_v1.txt"
+    );
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::write(golden_path, &rendered).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .unwrap_or_else(|e| panic!("missing golden file {golden_path}: {e}"));
+    assert_eq!(
+        rendered, golden,
+        "exported JSON schema drifted from tests/golden/stats_schema_v1.txt;\n\
+         if the change is intentional bump SCHEMA_VERSION and regenerate"
+    );
+    assert_eq!(SCHEMA_VERSION, 1, "golden file is for schema v1");
+}
+
+#[test]
+fn schema_version_field_matches_constant() {
+    let doc = representative_export();
+    let value = parse(&doc.to_json()).unwrap();
+    let v = value
+        .field("schema_version")
+        .expect("schema_version present");
+    assert_eq!(*v, Value::U64(SCHEMA_VERSION as u64));
+}
+
+#[test]
+fn round_trip_preserves_document() {
+    let doc = representative_export();
+    let back = StatsExport::from_json(&doc.to_json()).expect("parses");
+    assert_eq!(doc, back);
+}

@@ -193,7 +193,10 @@ impl CoreConfig {
 
     /// SPEAR.sf — separate functional units for the p-thread (Figure 7).
     pub fn spear_sf(ifq_size: usize) -> CoreConfig {
-        CoreConfig { separate_fu: true, ..CoreConfig::spear(ifq_size) }
+        CoreConfig {
+            separate_fu: true,
+            ..CoreConfig::spear(ifq_size)
+        }
     }
 
     /// Human-readable name used in reports.

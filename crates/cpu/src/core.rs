@@ -39,7 +39,7 @@
 use crate::config::{CoreConfig, SpearConfig};
 use crate::fu::FuPool;
 use crate::ifq::{Ifq, IfqEntry};
-use crate::stats::{CoreStats, RunExit};
+use crate::stats::{CoreStats, DloadProfile, RunExit, StallCause};
 use crate::trace::{AbortReason, Event, Trace};
 use spear_bpred::Predictor;
 use spear_exec::{exec_inst, DataMem, ExecError, MemFault, Memory, RegFile};
@@ -83,6 +83,26 @@ struct RuuEntry {
     is_trigger_dload: bool,
     /// Architectural result, applied to `commit_regs` at commit.
     dst_val: Option<(spear_isa::Reg, u64)>,
+    /// Cycle the entry was dispatched into the RUU (cycle accounting:
+    /// distinguishes "never had an issue opportunity" from contention).
+    dispatch_cycle: u64,
+    /// Set at issue if this memory operation's access went past the L1
+    /// (or merged into an in-flight fill) — the commit-head signal for
+    /// the d-load-miss CPI-stack bucket.
+    mem_missed: bool,
+    /// For p-thread entries: the static d-load PC of the episode that
+    /// extracted it, attributing its prefetches in the per-d-load
+    /// effectiveness profiles.
+    dload_owner: Option<u32>,
+}
+
+/// Per-d-load episode outcome tally (harvested into
+/// [`crate::stats::DloadProfile`] at the end of a run).
+#[derive(Clone, Copy, Debug, Default)]
+struct EpisodeTally {
+    triggered: u64,
+    completed: u64,
+    aborted: u64,
 }
 
 /// P-thread memory view: reads fall through a private byte overlay to the
@@ -114,7 +134,11 @@ impl DataMem for PthreadView<'_> {
     fn store(&mut self, addr: u64, width: usize, value: u64) -> Result<(), MemFault> {
         // Bounds-check against the real image so runaway speculative
         // stores fault (and get dropped) instead of growing the overlay.
-        self.mem.peek(addr, width).map_err(|_| MemFault { addr, width, is_store: true })?;
+        self.mem.peek(addr, width).map_err(|_| MemFault {
+            addr,
+            width,
+            is_store: true,
+        })?;
         for (i, b) in value.to_le_bytes().iter().enumerate().take(width) {
             self.overlay.insert(addr.wrapping_add(i as u64), *b);
         }
@@ -130,11 +154,25 @@ enum Mode {
     /// Waiting until the last producers of the live-in registers have
     /// completed (bounded by the live-in wait limit), so their
     /// dispatch-point values are available to copy.
-    DrainWait { dload_seq: u64, dload_pc: u32, pt_idx: usize, deadline: u64 },
+    DrainWait {
+        dload_seq: u64,
+        dload_pc: u32,
+        pt_idx: usize,
+        deadline: u64,
+    },
     /// Copying live-in registers, one cycle each.
-    CopyLiveIns { remaining: u32, dload_seq: u64, dload_pc: u32, pt_idx: usize },
+    CopyLiveIns {
+        remaining: u32,
+        dload_seq: u64,
+        dload_pc: u32,
+        pt_idx: usize,
+    },
     /// PE active (or drained after extracting the d-load).
-    PreExec { dload_seq: u64, dload_pc: u32, extraction_done: bool },
+    PreExec {
+        dload_seq: u64,
+        dload_pc: u32,
+        extraction_done: bool,
+    },
 }
 
 /// Simulation errors — all indicate workload or harness bugs, not
@@ -230,6 +268,17 @@ pub struct Core<'p> {
     wrongpath: bool,
     halt_dispatched: bool,
     pending_recovery: Option<(u64, u32)>,
+    /// Set by a misprediction flush, cleared when dispatch next inserts a
+    /// main-thread instruction: the window where an empty RUU is charged
+    /// to the post-flush refill rather than generic front-end causes.
+    post_flush_refill: bool,
+    /// Whether the p-thread issued a memory / any operation during the
+    /// previous cycle's issue phase (read by this cycle's commit-slot
+    /// classification, which runs first).
+    pth_issued_mem_last: bool,
+    pth_issued_any_last: bool,
+    /// Per-d-load episode outcomes.
+    episode_tally: HashMap<u32, EpisodeTally>,
     cycle: u64,
     next_seq: u64,
     last_commit_cycle: u64,
@@ -299,6 +348,10 @@ impl<'p> Core<'p> {
             wrongpath: false,
             halt_dispatched: false,
             pending_recovery: None,
+            post_flush_refill: false,
+            pth_issued_mem_last: false,
+            pth_issued_any_last: false,
+            episode_tally: HashMap::new(),
             cycle: 0,
             next_seq: 1,
             last_commit_cycle: 0,
@@ -338,6 +391,21 @@ impl<'p> Core<'p> {
         let pe_used = self.pe_extract();
         self.dispatch(pe_used)?;
         self.fetch();
+        // Stream the cache-line fills this cycle produced (only when a
+        // trace sink is attached; the hierarchy log is off otherwise).
+        if let Some(t) = &mut self.trace {
+            if t.has_sink() {
+                let cycle = self.cycle;
+                for f in self.hier.drain_fills() {
+                    t.stream(Event::Fill {
+                        cycle,
+                        block_addr: f.block_addr,
+                        latency: f.latency,
+                        pthread: f.pthread,
+                    });
+                }
+            }
+        }
         if self.cycle - self.last_commit_cycle > DEADLOCK_CYCLES && !self.halted {
             return Err(SimError::Deadlock { cycle: self.cycle });
         }
@@ -345,6 +413,9 @@ impl<'p> Core<'p> {
     }
 
     fn finish(&mut self, exit: RunExit) -> RunResult {
+        // Prefetches still unclaimed when the run ends never helped
+        // anyone — close the timely/late/useless partition.
+        self.hier.drain_pending_prefetches();
         self.stats.bpred = self.predictor.stats;
         self.stats.l1d = self.hier.l1d.stats;
         self.stats.l2 = self.hier.l2.stats;
@@ -352,7 +423,35 @@ impl<'p> Core<'p> {
         self.stats.l1d_pthread_misses = self.hier.pthread_misses;
         self.stats.useful_prefetches = self.hier.useful_prefetches;
         self.stats.late_prefetches = self.hier.late_prefetches;
-        RunResult { exit, stats: self.stats.clone() }
+        // Per-d-load effectiveness profiles, one row per p-thread table
+        // entry, sorted by static PC.
+        let mut pcs: Vec<u32> = self.dload_idx.keys().copied().collect();
+        pcs.sort_unstable();
+        self.stats.dload_profiles = pcs
+            .into_iter()
+            .map(|pc| {
+                let p = self.hier.dload_profile(pc);
+                let t = self.episode_tally.get(&pc).copied().unwrap_or_default();
+                DloadProfile {
+                    dload_pc: pc,
+                    demand_misses: self.hier.pc_misses.get(pc),
+                    episodes_triggered: t.triggered,
+                    episodes_completed: t.completed,
+                    episodes_aborted: t.aborted,
+                    pthread_loads: p.pthread_loads,
+                    timely_prefetches: p.timely,
+                    late_prefetches: p.late,
+                    useless_prefetches: p.useless,
+                }
+            })
+            .collect();
+        if let Some(t) = &mut self.trace {
+            t.flush();
+        }
+        RunResult {
+            exit,
+            stats: self.stats.clone(),
+        }
     }
 
     /// Committed architectural register state (for differential tests).
@@ -421,6 +520,17 @@ impl<'p> Core<'p> {
         self.trace = Some(Trace::new(capacity));
     }
 
+    /// Stream every trace event — the episode events plus high-volume
+    /// pipeline events (per-instruction commits, cache-line fills) — as
+    /// one JSON object per line to `sink`. Composes with
+    /// [`Core::enable_trace`]; without it, only the sink sees events
+    /// (the in-memory ring stays empty).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn std::io::Write + Send>) {
+        let t = self.trace.get_or_insert_with(|| Trace::new(0));
+        t.set_sink(sink);
+        self.hier.enable_fill_log();
+    }
+
     /// The recorded trace, if enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
@@ -434,14 +544,30 @@ impl<'p> Core<'p> {
         }
     }
 
+    /// Like [`Core::trace_event`] but sink-only, for per-instruction
+    /// pipeline events too frequent for the bounded ring.
+    #[inline]
+    fn stream_event(&mut self, f: impl FnOnce(u64) -> Event) {
+        if let Some(t) = &mut self.trace {
+            if t.has_sink() {
+                let cycle = self.cycle;
+                t.stream(f(cycle));
+            }
+        }
+    }
+
     // =================================================================
     // Commit
     // =================================================================
 
     fn commit(&mut self) {
-        let mut budget = self.cfg.commit_width;
+        let width = self.cfg.commit_width;
+        let mut budget = width;
+        let mut halted_now = false;
         while budget > 0 {
-            let Some(&seq) = self.main_order.front() else { break };
+            let Some(&seq) = self.main_order.front() else {
+                break;
+            };
             let e = &self.entries[&seq];
             if e.state != EState::Done {
                 break;
@@ -465,11 +591,33 @@ impl<'p> Core<'p> {
             if e.inst.op.is_ctrl() {
                 self.stats.committed_branches += 1;
             }
+            budget -= 1;
+            let pc = e.pc;
+            self.stream_event(|cycle| Event::Commit { cycle, pc });
             if e.is_halt {
                 self.halted = true;
-                return;
+                halted_now = true;
+                break;
             }
-            budget -= 1;
+        }
+        // CPI-stack slot accounting: every cycle has `width` commit
+        // slots; the unused ones are charged to exactly one cause, so
+        // `useful_slots + lost == cycles * width` holds strictly.
+        let used = (width - budget) as u64;
+        self.stats.cycle_account.useful_slots += used;
+        let lost = budget as u64;
+        if lost > 0 {
+            let cause = if halted_now {
+                // The program is over; the rest of the final cycle's
+                // slots have nothing left to commit.
+                StallCause::FrontendOther
+            } else {
+                self.classify_commit_stall()
+            };
+            self.stats.cycle_account.charge(cause, lost);
+        }
+        if halted_now {
+            return;
         }
         // P-thread retirement (does not consume main commit bandwidth: the
         // p-thread writes no architectural state, its "retire" just frees
@@ -482,13 +630,66 @@ impl<'p> Core<'p> {
             self.pth_order.pop_front();
             self.consumers.remove(&seq);
             if e.is_trigger_dload {
-                if let Mode::PreExec { .. } = self.mode {
+                if let Mode::PreExec { dload_pc, .. } = self.mode {
                     self.mode = Mode::Normal;
                     self.stats.preexec_completed += 1;
+                    self.episode_tally.entry(dload_pc).or_default().completed += 1;
                     self.record_episode_end();
                     self.trace_event(|cycle| Event::EpisodeComplete { cycle });
                 }
             }
+        }
+    }
+
+    /// Attribute this cycle's lost commit slots to one cause, judged from
+    /// the commit head (or the front-end state when the window is empty).
+    /// The head is never `Waiting`: its producers are older, hence
+    /// already completed.
+    fn classify_commit_stall(&self) -> StallCause {
+        if let Some(&head) = self.main_order.front() {
+            let e = &self.entries[&head];
+            if self.pending_recovery.is_some_and(|(b, _)| b == head) {
+                // Commit is blocked on the unresolved mispredicted
+                // branch itself.
+                return StallCause::BranchRecovery;
+            }
+            match e.state {
+                EState::Executing => {
+                    if e.mem_missed {
+                        StallCause::DloadMiss
+                    } else {
+                        StallCause::FuBusy
+                    }
+                }
+                EState::Ready => {
+                    // Dispatched after the most recent issue phase: the
+                    // head never had an issue opportunity — pipeline
+                    // refill, not contention.
+                    if e.dispatch_cycle + 1 >= self.cycle {
+                        StallCause::FrontendOther
+                    } else if e.inst.op.is_mem() {
+                        if self.pth_issued_mem_last {
+                            StallCause::PthreadContention
+                        } else {
+                            StallCause::MemPortContention
+                        }
+                    } else if self.pth_issued_any_last {
+                        StallCause::PthreadContention
+                    } else {
+                        StallCause::FuBusy
+                    }
+                }
+                // Waiting/Done heads are unreachable here (producers are
+                // older; Done would have committed) — keep the stack
+                // total correct regardless.
+                EState::Waiting | EState::Done => StallCause::FrontendOther,
+            }
+        } else if self.post_flush_refill {
+            StallCause::IfqEmptyAfterFlush
+        } else if self.cycle <= self.fetch_ready_at {
+            StallCause::IcacheStall
+        } else {
+            StallCause::FrontendOther
         }
     }
 
@@ -570,6 +771,7 @@ impl<'p> Core<'p> {
         self.predictor.recover();
         self.wrongpath = false;
         self.pending_recovery = None;
+        self.post_flush_refill = true;
         // An active SPEAR episode loses its IFQ entries, including the
         // remembered trigger d-load entry. Paper behaviour: the episode
         // dies with the queue. With the `rearm_after_flush` extension the
@@ -580,6 +782,9 @@ impl<'p> Core<'p> {
             if self.spear.is_some_and(|sp| sp.rearm_after_flush) {
                 self.retarget_deadline = Some(self.cycle + RETARGET_WINDOW);
             } else {
+                if let Some(pc) = self.mode_dload_pc() {
+                    self.episode_tally.entry(pc).or_default().aborted += 1;
+                }
                 self.mode = Mode::Normal;
                 self.stats.preexec_aborted_flush += 1;
                 self.record_episode_end();
@@ -589,7 +794,10 @@ impl<'p> Core<'p> {
                 });
             }
         }
-        self.trace_event(|cycle| Event::Flush { cycle, redirect_pc: target });
+        self.trace_event(|cycle| Event::Flush {
+            cycle,
+            redirect_pc: target,
+        });
     }
 
     // =================================================================
@@ -601,6 +809,9 @@ impl<'p> Core<'p> {
             if self.cycle > deadline {
                 self.retarget_deadline = None;
                 if self.mode != Mode::Normal {
+                    if let Some(pc) = self.mode_dload_pc() {
+                        self.episode_tally.entry(pc).or_default().aborted += 1;
+                    }
                     self.mode = Mode::Normal;
                     self.stats.preexec_aborted_flush += 1;
                     self.record_episode_end();
@@ -608,22 +819,21 @@ impl<'p> Core<'p> {
             }
         }
         match self.mode.clone() {
-            Mode::DrainWait { dload_seq, dload_pc, pt_idx, deadline } => {
+            Mode::DrainWait {
+                dload_seq,
+                dload_pc,
+                pt_idx,
+                deadline,
+            } => {
                 let drained = self.pt_entries[pt_idx].live_ins.iter().all(|r| {
                     match self.rename_main[r.index()] {
                         None => true,
-                        Some(p) => self
-                            .entries
-                            .get(&p)
-                            .is_none_or(|e| e.state == EState::Done),
+                        Some(p) => self.entries.get(&p).is_none_or(|e| e.state == EState::Done),
                     }
                 });
                 if drained || self.cycle >= deadline {
                     let n = self.pt_entries[pt_idx].live_ins.len() as u32;
-                    let per = self
-                        .spear
-                        .as_ref()
-                        .map_or(1, |s| s.livein_cycles_per_reg);
+                    let per = self.spear.as_ref().map_or(1, |s| s.livein_cycles_per_reg);
                     self.mode = Mode::CopyLiveIns {
                         remaining: n * per,
                         dload_seq,
@@ -632,7 +842,12 @@ impl<'p> Core<'p> {
                     };
                 }
             }
-            Mode::CopyLiveIns { remaining, dload_seq, dload_pc, pt_idx } => {
+            Mode::CopyLiveIns {
+                remaining,
+                dload_seq,
+                dload_pc,
+                pt_idx,
+            } => {
                 if remaining > 0 {
                     self.stats.livein_copy_cycles += 1;
                     self.mode = Mode::CopyLiveIns {
@@ -657,7 +872,11 @@ impl<'p> Core<'p> {
                     self.ifq.reset_scan();
                     let n = entry.live_ins.len();
                     self.trace_event(|cycle| Event::LiveInsCopied { cycle, count: n });
-                    self.mode = Mode::PreExec { dload_seq, dload_pc, extraction_done: false };
+                    self.mode = Mode::PreExec {
+                        dload_seq,
+                        dload_pc,
+                        extraction_done: false,
+                    };
                 }
             }
             Mode::Normal | Mode::PreExec { .. } => {}
@@ -669,6 +888,8 @@ impl<'p> Core<'p> {
     // =================================================================
 
     fn issue(&mut self) {
+        self.pth_issued_mem_last = false;
+        self.pth_issued_any_last = false;
         let mut budget = self.cfg.issue_width;
         // Scheduling priority (§3.3, "the instructions from the p-thread
         // are selected for execution first") applies to the p-thread's
@@ -689,12 +910,17 @@ impl<'p> Core<'p> {
             if pth_used >= pth_cap {
                 break;
             }
-            if !full_priority && !self.entries[&seq].inst.op.is_mem() {
+            let is_mem = self.entries[&seq].inst.op.is_mem();
+            if !full_priority && !is_mem {
                 continue;
             }
             if self.try_issue(seq, Thread::Pthread) {
                 pth_used += 1;
                 budget -= 1;
+                self.pth_issued_any_last = true;
+                if is_mem {
+                    self.pth_issued_mem_last = true;
+                }
             }
         }
         let main: Vec<u64> = self.ready_main.iter().copied().collect();
@@ -710,13 +936,17 @@ impl<'p> Core<'p> {
             if budget == 0 || pth_used >= pth_cap {
                 break;
             }
-            if self.entries.get(&seq).is_none_or(|e| e.inst.op.is_mem() || e.state != EState::Ready)
+            if self
+                .entries
+                .get(&seq)
+                .is_none_or(|e| e.inst.op.is_mem() || e.state != EState::Ready)
             {
                 continue;
             }
             if self.try_issue(seq, Thread::Pthread) {
                 pth_used += 1;
                 budget -= 1;
+                self.pth_issued_any_last = true;
             }
         }
     }
@@ -729,6 +959,7 @@ impl<'p> Core<'p> {
         let is_mem = e.inst.op.is_mem();
         let (eff_addr, pc, wrong_path, is_store) =
             (e.eff_addr, e.pc, e.wrong_path, e.inst.op.is_store());
+        let dload_owner = e.dload_owner;
 
         // Latency: memory ops ask the hierarchy; the rest use class
         // latencies. Wrong-path memory ops are charged an L1 hit and do
@@ -740,7 +971,11 @@ impl<'p> Core<'p> {
             latency = if wrong_path {
                 self.hier.latency.l1_hit as u64
             } else if let Some(eff) = eff_addr {
-                let kind = if is_store { AccessKind::Write } else { AccessKind::Read };
+                let kind = if is_store {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 // The cache access happens at issue; peek the FU first so
                 // a rejected issue does not touch the cache.
                 let pool = match (thread, &mut self.fus_pth) {
@@ -750,10 +985,19 @@ impl<'p> Core<'p> {
                 if !pool.acquire(class, now, 1) {
                     return false;
                 }
-                let acc = self.hier.access_data(eff, kind, pc, thread == Thread::Pthread, now);
+                let is_pth = thread == Thread::Pthread;
+                if is_pth {
+                    self.hier.set_prefetch_owner(dload_owner);
+                }
+                let l1_hit = self.hier.latency.l1_hit;
+                let acc = self.hier.access_data(eff, kind, pc, is_pth, now);
                 let e = self.entries.get_mut(&seq).expect("entry exists");
                 e.state = EState::Executing;
                 e.complete_at = now + acc.latency as u64;
+                // Anything slower than an L1 hit (true miss or a delayed
+                // hit merging into an in-flight fill) counts as an
+                // outstanding-miss cause for the CPI stack.
+                e.mem_missed = acc.latency > l1_hit;
                 match thread {
                     Thread::Main => self.ready_main.remove(&seq),
                     Thread::Pthread => self.ready_pth.remove(&seq),
@@ -794,7 +1038,12 @@ impl<'p> Core<'p> {
     // =================================================================
 
     fn pe_extract(&mut self) -> usize {
-        let Mode::PreExec { dload_seq, dload_pc, extraction_done } = self.mode else {
+        let Mode::PreExec {
+            dload_seq,
+            dload_pc,
+            extraction_done,
+        } = self.mode
+        else {
             return 0;
         };
         if extraction_done {
@@ -807,16 +1056,26 @@ impl<'p> Core<'p> {
             if self.pth_order.len() >= pth_cap {
                 break;
             }
-            let Some(entry) = self.ifq.extract_next_marked() else { break };
+            let Some(entry) = self.ifq.extract_next_marked() else {
+                break;
+            };
             used += 1;
             let is_trigger = entry.seq == dload_seq;
             let pc = entry.pc;
             self.episode_extracted += 1;
-            self.trace_event(|cycle| Event::Extract { cycle, pc, is_trigger });
+            self.trace_event(|cycle| Event::Extract {
+                cycle,
+                pc,
+                is_trigger,
+            });
             self.dispatch_pthread(&entry, is_trigger);
             if is_trigger {
                 if let Mode::PreExec { .. } = self.mode {
-                    self.mode = Mode::PreExec { dload_seq, dload_pc, extraction_done: true };
+                    self.mode = Mode::PreExec {
+                        dload_seq,
+                        dload_pc,
+                        extraction_done: true,
+                    };
                 }
                 break;
             }
@@ -825,10 +1084,14 @@ impl<'p> Core<'p> {
     }
 
     fn dispatch_pthread(&mut self, fetched: &IfqEntry, is_trigger: bool) {
+        let owner = self.mode_dload_pc();
         // Functional execution against the p-thread context. Faulting
         // speculative accesses are simply dropped (no fault is ever raised
         // architecturally by the p-thread).
-        let mut view = PthreadView { overlay: &mut self.pth_overlay, mem: &self.mem };
+        let mut view = PthreadView {
+            overlay: &mut self.pth_overlay,
+            mem: &self.mem,
+        };
         let outcome = exec_inst(&fetched.inst, fetched.pc, &mut self.pth_regs, &mut view);
         let eff_addr = match outcome {
             Ok(o) => o.eff_addr,
@@ -836,6 +1099,9 @@ impl<'p> Core<'p> {
                 self.stats.pthread_faults += 1;
                 if is_trigger {
                     // The episode cannot prefetch its own d-load; give up.
+                    if let Some(pc) = owner {
+                        self.episode_tally.entry(pc).or_default().aborted += 1;
+                    }
                     self.mode = Mode::Normal;
                     self.stats.preexec_aborted_missed += 1;
                     self.record_episode_end();
@@ -856,7 +1122,11 @@ impl<'p> Core<'p> {
         let mut deps: Vec<u64> = Vec::new();
         for src in fetched.inst.live_srcs() {
             if let Some(p) = self.rename_pth[src.index()] {
-                if self.entries.get(&p).is_some_and(|pe| pe.state != EState::Done) {
+                if self
+                    .entries
+                    .get(&p)
+                    .is_some_and(|pe| pe.state != EState::Done)
+                {
                     deps.push(p);
                 }
             }
@@ -878,14 +1148,19 @@ impl<'p> Core<'p> {
         }
         if fetched.inst.op.is_store() {
             if let Some(addr) = eff_addr {
-                self.stores_pth.push((seq, addr, fetched.inst.op.mem_width()));
+                self.stores_pth
+                    .push((seq, addr, fetched.inst.op.mem_width()));
             }
         }
         let pending = deps.len() as u32;
         for d in &deps {
             self.consumers.entry(*d).or_default().push(seq);
         }
-        let state = if pending == 0 { EState::Ready } else { EState::Waiting };
+        let state = if pending == 0 {
+            EState::Ready
+        } else {
+            EState::Waiting
+        };
         if state == EState::Ready {
             self.ready_pth.insert(seq);
         }
@@ -904,6 +1179,9 @@ impl<'p> Core<'p> {
                 is_halt: false,
                 is_trigger_dload: is_trigger,
                 dst_val: None,
+                dispatch_cycle: self.cycle,
+                mem_missed: false,
+                dload_owner: owner,
             },
         );
         self.pth_order.push_back(seq);
@@ -917,6 +1195,11 @@ impl<'p> Core<'p> {
         let mut budget = self.cfg.decode_width.saturating_sub(pe_used);
         while budget > 0 {
             if self.main_order.len() >= self.cfg.ruu_size {
+                // Auxiliary counter (not part of the slot-cause sum): the
+                // window blocked dispatch while work was waiting.
+                if !self.ifq.is_empty() {
+                    self.stats.cycle_account.ruu_full_cycles += 1;
+                }
                 break;
             }
             let Some(front) = self.ifq.front() else { break };
@@ -929,7 +1212,11 @@ impl<'p> Core<'p> {
             // active was missed; if it is the triggering d-load, the
             // episode can never finish — abort it.
             match self.mode {
-                Mode::PreExec { dload_seq, dload_pc, extraction_done } => {
+                Mode::PreExec {
+                    dload_seq,
+                    dload_pc,
+                    extraction_done,
+                } => {
                     if front_marked {
                         self.stats.missed_extractions += 1;
                     }
@@ -937,8 +1224,16 @@ impl<'p> Core<'p> {
                         self.retarget_or_abort(dload_pc);
                     }
                 }
-                Mode::DrainWait { dload_seq, dload_pc, .. }
-                | Mode::CopyLiveIns { dload_seq, dload_pc, .. } => {
+                Mode::DrainWait {
+                    dload_seq,
+                    dload_pc,
+                    ..
+                }
+                | Mode::CopyLiveIns {
+                    dload_seq,
+                    dload_pc,
+                    ..
+                } => {
                     if front_seq == dload_seq {
                         self.retarget_or_abort(dload_pc);
                     }
@@ -952,6 +1247,7 @@ impl<'p> Core<'p> {
     }
 
     fn dispatch_main(&mut self, fetched: IfqEntry) -> Result<(), SimError> {
+        self.post_flush_refill = false;
         let seq = self.next_seq;
         self.next_seq += 1;
         let wrong_path = self.wrongpath || self.halt_dispatched;
@@ -961,7 +1257,12 @@ impl<'p> Core<'p> {
 
         if !wrong_path {
             let outcome = exec_inst(&fetched.inst, fetched.pc, &mut self.regs, &mut self.mem)
-                .map_err(|fault| SimError::Exec(ExecError::Mem { pc: fetched.pc, fault }))?;
+                .map_err(|fault| {
+                    SimError::Exec(ExecError::Mem {
+                        pc: fetched.pc,
+                        fault,
+                    })
+                })?;
             eff_addr = outcome.eff_addr;
             if let Some(d) = fetched.inst.dst() {
                 dst_val = Some((d, self.regs.read_u64(d)));
@@ -988,7 +1289,11 @@ impl<'p> Core<'p> {
         let mut deps: Vec<u64> = Vec::new();
         for src in fetched.inst.live_srcs() {
             if let Some(p) = self.rename_main[src.index()] {
-                if self.entries.get(&p).is_some_and(|pe| pe.state != EState::Done) {
+                if self
+                    .entries
+                    .get(&p)
+                    .is_some_and(|pe| pe.state != EState::Done)
+                {
                     deps.push(p);
                 }
             }
@@ -1010,14 +1315,19 @@ impl<'p> Core<'p> {
         }
         if fetched.inst.op.is_store() && !wrong_path {
             if let Some(addr) = eff_addr {
-                self.stores_main.push((seq, addr, fetched.inst.op.mem_width()));
+                self.stores_main
+                    .push((seq, addr, fetched.inst.op.mem_width()));
             }
         }
         let pending = deps.len() as u32;
         for d in &deps {
             self.consumers.entry(*d).or_default().push(seq);
         }
-        let state = if pending == 0 { EState::Ready } else { EState::Waiting };
+        let state = if pending == 0 {
+            EState::Ready
+        } else {
+            EState::Waiting
+        };
         if state == EState::Ready {
             self.ready_main.insert(seq);
         }
@@ -1036,6 +1346,9 @@ impl<'p> Core<'p> {
                 is_halt,
                 is_trigger_dload: false,
                 dst_val,
+                dispatch_cycle: self.cycle,
+                mem_missed: false,
+                dload_owner: None,
             },
         );
         self.main_order.push_back(seq);
@@ -1076,11 +1389,7 @@ impl<'p> Core<'p> {
             let pred = self.predictor.predict(pc, &inst);
             let seq = self.next_fetch_seq();
             self.stats.fetched += 1;
-            let marked = self
-                .marked_pcs
-                .get(pc as usize)
-                .copied()
-                .unwrap_or(false);
+            let marked = self.marked_pcs.get(pc as usize).copied().unwrap_or(false);
             let dload = self.dload_idx.get(&pc).copied();
             self.ifq.push(IfqEntry {
                 seq,
@@ -1143,11 +1452,21 @@ impl<'p> Core<'p> {
         let dload_pc = self.pt_entries[pt_idx].dload_pc;
         let deadline = self.cycle + spear.livein_wait_limit as u64;
         let occupancy = self.ifq.len();
-        self.mode = Mode::DrainWait { dload_seq: ifq_seq, dload_pc, pt_idx, deadline };
+        self.mode = Mode::DrainWait {
+            dload_seq: ifq_seq,
+            dload_pc,
+            pt_idx,
+            deadline,
+        };
         self.stats.triggers_accepted += 1;
+        self.episode_tally.entry(dload_pc).or_default().triggered += 1;
         self.episode_start = self.cycle;
         self.episode_extracted = 0;
-        self.trace_event(|cycle| Event::Trigger { cycle, dload_pc, occupancy });
+        self.trace_event(|cycle| Event::Trigger {
+            cycle,
+            dload_pc,
+            occupancy,
+        });
     }
 
     /// The freshest forwardable value of register `r`: the youngest
@@ -1176,7 +1495,9 @@ impl<'p> Core<'p> {
     fn record_episode_end(&mut self) {
         let dur = self.cycle.saturating_sub(self.episode_start);
         self.stats.episode_cycles.record(dur);
-        self.stats.episode_extractions.record(self.episode_extracted);
+        self.stats
+            .episode_extractions
+            .record(self.episode_extracted);
     }
 
     /// The static d-load PC of the active episode, if any.
@@ -1195,18 +1516,45 @@ impl<'p> Core<'p> {
         self.retarget_deadline = None;
         self.stats.preexec_retargets += 1;
         match self.mode {
-            Mode::DrainWait { dload_pc, pt_idx, deadline, .. } => {
-                self.mode = Mode::DrainWait { dload_seq: seq, dload_pc, pt_idx, deadline };
+            Mode::DrainWait {
+                dload_pc,
+                pt_idx,
+                deadline,
+                ..
+            } => {
+                self.mode = Mode::DrainWait {
+                    dload_seq: seq,
+                    dload_pc,
+                    pt_idx,
+                    deadline,
+                };
             }
-            Mode::CopyLiveIns { remaining, dload_pc, pt_idx, .. } => {
-                self.mode = Mode::CopyLiveIns { remaining, dload_seq: seq, dload_pc, pt_idx };
+            Mode::CopyLiveIns {
+                remaining,
+                dload_pc,
+                pt_idx,
+                ..
+            } => {
+                self.mode = Mode::CopyLiveIns {
+                    remaining,
+                    dload_seq: seq,
+                    dload_pc,
+                    pt_idx,
+                };
             }
-            Mode::PreExec { dload_pc, extraction_done, .. } => {
+            Mode::PreExec {
+                dload_pc,
+                extraction_done,
+                ..
+            } => {
                 // If the d-load was already extracted the episode is just
                 // waiting for retirement; no re-arm needed.
                 if !extraction_done {
-                    self.mode =
-                        Mode::PreExec { dload_seq: seq, dload_pc, extraction_done };
+                    self.mode = Mode::PreExec {
+                        dload_seq: seq,
+                        dload_pc,
+                        extraction_done,
+                    };
                 }
             }
             Mode::Normal => {}
@@ -1220,6 +1568,7 @@ impl<'p> Core<'p> {
     /// IFQ instead.
     fn retarget_or_abort(&mut self, dload_pc: u32) {
         if !self.spear.is_some_and(|sp| sp.retarget_missed) {
+            self.episode_tally.entry(dload_pc).or_default().aborted += 1;
             self.mode = Mode::Normal;
             self.stats.preexec_aborted_missed += 1;
             self.record_episode_end();
@@ -1237,19 +1586,39 @@ impl<'p> Core<'p> {
             .max();
         match newest {
             Some(seq) => match self.mode {
-                Mode::DrainWait { pt_idx, deadline, .. } => {
-                    self.mode = Mode::DrainWait { dload_seq: seq, dload_pc, pt_idx, deadline };
+                Mode::DrainWait {
+                    pt_idx, deadline, ..
+                } => {
+                    self.mode = Mode::DrainWait {
+                        dload_seq: seq,
+                        dload_pc,
+                        pt_idx,
+                        deadline,
+                    };
                 }
-                Mode::CopyLiveIns { remaining, pt_idx, .. } => {
-                    self.mode =
-                        Mode::CopyLiveIns { remaining, dload_seq: seq, dload_pc, pt_idx };
+                Mode::CopyLiveIns {
+                    remaining, pt_idx, ..
+                } => {
+                    self.mode = Mode::CopyLiveIns {
+                        remaining,
+                        dload_seq: seq,
+                        dload_pc,
+                        pt_idx,
+                    };
                 }
-                Mode::PreExec { extraction_done, .. } => {
-                    self.mode = Mode::PreExec { dload_seq: seq, dload_pc, extraction_done };
+                Mode::PreExec {
+                    extraction_done, ..
+                } => {
+                    self.mode = Mode::PreExec {
+                        dload_seq: seq,
+                        dload_pc,
+                        extraction_done,
+                    };
                 }
                 Mode::Normal => {}
             },
             None => {
+                self.episode_tally.entry(dload_pc).or_default().aborted += 1;
                 self.mode = Mode::Normal;
                 self.stats.preexec_aborted_missed += 1;
                 self.record_episode_end();

@@ -43,7 +43,11 @@ impl Ifq {
     /// An empty queue of `capacity` entries.
     pub fn new(capacity: usize) -> Ifq {
         assert!(capacity > 0);
-        Ifq { entries: VecDeque::with_capacity(capacity), capacity, scan: 0 }
+        Ifq {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            scan: 0,
+        }
     }
 
     /// Occupancy.
@@ -134,7 +138,10 @@ mod tests {
             seq,
             pc: seq as u32,
             inst: Inst::nop(),
-            pred: Prediction { next_pc: seq as u32 + 1, taken: None },
+            pred: Prediction {
+                next_pc: seq as u32 + 1,
+                taken: None,
+            },
             marked,
             is_dload: false,
         }

@@ -25,4 +25,4 @@ pub mod trace;
 pub use crate::core::{Core, RunResult, SimError, Thread};
 pub use config::{CoreConfig, OpLatencies, SpearConfig};
 pub use hist::Histogram;
-pub use stats::{CoreStats, RunExit};
+pub use stats::{CoreStats, CycleAccount, DloadProfile, RunExit, StallCause};

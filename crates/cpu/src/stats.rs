@@ -5,8 +5,157 @@ use serde::{Deserialize, Serialize};
 use spear_bpred::PredStats;
 use spear_mem::CacheStats;
 
+/// Why commit slots went unused in a cycle. One cause is charged per
+/// cycle for all of that cycle's lost slots, judged from the state of the
+/// oldest in-flight instruction (the classic CPI-stack "blame the commit
+/// head" rule), or from the front-end state when the window is empty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallCause {
+    /// Fetch blocked on an instruction-cache miss (empty window).
+    IcacheStall,
+    /// Window empty while the front end refills after a misprediction
+    /// flush emptied the IFQ.
+    IfqEmptyAfterFlush,
+    /// Commit blocked on the unresolved mispredicted branch itself.
+    BranchRecovery,
+    /// Commit head is a memory operation waiting on a cache miss (the
+    /// latency SPEAR exists to hide).
+    DloadMiss,
+    /// Commit head is executing a long-latency operation, or is ready but
+    /// was denied a functional unit.
+    FuBusy,
+    /// Commit head is a ready memory operation that could not get a
+    /// memory port.
+    MemPortContention,
+    /// Commit head was ready but the p-thread consumed the issue slots or
+    /// ports it needed (the cost side of pre-execution).
+    PthreadContention,
+    /// Anything else: cold-start, decode/dispatch refill, post-halt
+    /// drain, runaway wrong-path fetch.
+    FrontendOther,
+}
+
+/// CPI-stack cycle accounting: every cycle has `commit_width` commit
+/// slots; each is either used by a committing instruction
+/// (`useful_slots`) or charged to exactly one [`StallCause`]. The strict
+/// invariant `useful_slots + lost_slots() == cycles * commit_width` makes
+/// SPEAR-vs-baseline IPC deltas decompose into recovered stall cycles.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleAccount {
+    /// Commit slots filled by retiring main-thread instructions.
+    pub useful_slots: u64,
+    /// Slot-cycles lost to instruction-fetch stalls.
+    pub icache_stall: u64,
+    /// Slot-cycles lost refilling the pipe after a misprediction flush.
+    pub ifq_empty_after_flush: u64,
+    /// Slot-cycles lost waiting on the mispredicted branch to resolve.
+    pub branch_recovery: u64,
+    /// Slot-cycles lost to outstanding data-cache misses at commit head.
+    pub dload_miss: u64,
+    /// Slot-cycles lost to busy/denied functional units.
+    pub fu_busy: u64,
+    /// Slot-cycles lost to memory-port contention.
+    pub mem_port_contention: u64,
+    /// Slot-cycles lost to p-thread resource contention.
+    pub pthread_contention: u64,
+    /// Slot-cycles lost to other front-end causes (cold start, dispatch
+    /// refill, post-halt drain).
+    pub frontend_other: u64,
+    /// Auxiliary (outside the slot-sum invariant): cycles dispatch was
+    /// blocked by a full RUU with instructions waiting in the IFQ.
+    pub ruu_full_cycles: u64,
+}
+
+impl CycleAccount {
+    /// Charge `slots` lost commit slots to `cause`.
+    pub fn charge(&mut self, cause: StallCause, slots: u64) {
+        let field = match cause {
+            StallCause::IcacheStall => &mut self.icache_stall,
+            StallCause::IfqEmptyAfterFlush => &mut self.ifq_empty_after_flush,
+            StallCause::BranchRecovery => &mut self.branch_recovery,
+            StallCause::DloadMiss => &mut self.dload_miss,
+            StallCause::FuBusy => &mut self.fu_busy,
+            StallCause::MemPortContention => &mut self.mem_port_contention,
+            StallCause::PthreadContention => &mut self.pthread_contention,
+            StallCause::FrontendOther => &mut self.frontend_other,
+        };
+        *field += slots;
+    }
+
+    /// Lost slot-cycles summed over every cause (excludes the auxiliary
+    /// `ruu_full_cycles` backpressure counter).
+    pub fn lost_slots(&self) -> u64 {
+        self.icache_stall
+            + self.ifq_empty_after_flush
+            + self.branch_recovery
+            + self.dload_miss
+            + self.fu_busy
+            + self.mem_port_contention
+            + self.pthread_contention
+            + self.frontend_other
+    }
+
+    /// Total accounted slot-cycles; equals `cycles * commit_width`.
+    pub fn total_slots(&self) -> u64 {
+        self.useful_slots + self.lost_slots()
+    }
+
+    /// `(label, slot-cycles)` for each lost-slot cause, in a stable
+    /// reporting order (largest architectural causes first).
+    pub fn causes(&self) -> [(&'static str, u64); 8] {
+        [
+            ("d-load miss", self.dload_miss),
+            ("branch recovery", self.branch_recovery),
+            ("IFQ empty after flush", self.ifq_empty_after_flush),
+            ("I-cache stall", self.icache_stall),
+            ("FU busy", self.fu_busy),
+            ("memory-port contention", self.mem_port_contention),
+            ("p-thread contention", self.pthread_contention),
+            ("front-end other", self.frontend_other),
+        ]
+    }
+}
+
+/// Per-static-d-load prefetch effectiveness: how one p-thread's target
+/// load fared over the run. Every p-thread load access lands in exactly
+/// one of the timely/late/useless buckets, so
+/// `timely + late + useless == pthread_loads`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DloadProfile {
+    /// Static PC of the delinquent load this p-thread targets.
+    pub dload_pc: u32,
+    /// Main-thread L1D demand misses at this PC.
+    pub demand_misses: u64,
+    /// Pre-execution episodes triggered for this d-load.
+    pub episodes_triggered: u64,
+    /// Episodes that ran to d-load retirement.
+    pub episodes_completed: u64,
+    /// Episodes aborted (flush, missed trigger, fault, re-arm timeout).
+    pub episodes_aborted: u64,
+    /// P-thread load accesses issued to the data cache for this d-load.
+    pub pthread_loads: u64,
+    /// Prefetched lines the main thread hit after the fill completed.
+    pub timely_prefetches: u64,
+    /// Prefetched lines the main thread touched while still in flight.
+    pub late_prefetches: u64,
+    /// Prefetches never used: redundant, evicted before use, or
+    /// unclaimed at the end of the run.
+    pub useless_prefetches: u64,
+}
+
+impl DloadProfile {
+    /// Fraction of p-thread loads that helped (timely or late).
+    pub fn accuracy(&self) -> f64 {
+        if self.pthread_loads == 0 {
+            0.0
+        } else {
+            (self.timely_prefetches + self.late_prefetches) as f64 / self.pthread_loads as f64
+        }
+    }
+}
+
 /// Counters accumulated by one simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct CoreStats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -78,6 +227,12 @@ pub struct CoreStats {
     pub episode_cycles: Histogram,
     /// Distribution of instructions extracted per episode.
     pub episode_extractions: Histogram,
+
+    // ---- telemetry -----------------------------------------------------
+    /// CPI-stack cycle accounting (commit-slot attribution).
+    pub cycle_account: CycleAccount,
+    /// Per-static-d-load prefetch effectiveness profiles, sorted by PC.
+    pub dload_profiles: Vec<DloadProfile>,
 }
 
 impl CoreStats {
@@ -108,7 +263,7 @@ impl CoreStats {
 }
 
 /// How a run ended.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RunExit {
     /// The program's `halt` committed.
     Halted,
@@ -137,5 +292,68 @@ mod tests {
     #[test]
     fn zero_cycle_ipc_is_zero() {
         assert_eq!(CoreStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn cycle_account_charges_and_sums() {
+        let mut a = CycleAccount {
+            useful_slots: 10,
+            ..Default::default()
+        };
+        a.charge(StallCause::DloadMiss, 7);
+        a.charge(StallCause::FrontendOther, 3);
+        a.charge(StallCause::DloadMiss, 2);
+        a.ruu_full_cycles = 99; // auxiliary: must not enter the sum
+        assert_eq!(a.dload_miss, 9);
+        assert_eq!(a.lost_slots(), 12);
+        assert_eq!(a.total_slots(), 22);
+        let total: u64 = a.causes().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, a.lost_slots(), "causes() must cover every cause");
+    }
+
+    #[test]
+    fn dload_profile_accuracy() {
+        let p = DloadProfile {
+            pthread_loads: 10,
+            timely_prefetches: 6,
+            late_prefetches: 2,
+            useless_prefetches: 2,
+            ..Default::default()
+        };
+        assert!((p.accuracy() - 0.8).abs() < 1e-12);
+        assert_eq!(DloadProfile::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn stats_json_round_trip() {
+        let s = CoreStats {
+            cycles: 123,
+            committed: 456,
+            cycle_account: CycleAccount {
+                useful_slots: 456,
+                dload_miss: 100,
+                ..Default::default()
+            },
+            dload_profiles: vec![DloadProfile {
+                dload_pc: 7,
+                demand_misses: 3,
+                pthread_loads: 2,
+                timely_prefetches: 1,
+                useless_prefetches: 1,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let json = serde::json::to_string(&s);
+        let back: CoreStats = serde::json::from_str(&json).expect("round trip");
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn run_exit_serializes_as_string() {
+        let v = serde::json::to_string(&RunExit::CycleBudget);
+        assert_eq!(v, "\"CycleBudget\"");
+        let back: RunExit = serde::json::from_str(&v).unwrap();
+        assert_eq!(back, RunExit::CycleBudget);
     }
 }

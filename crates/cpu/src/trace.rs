@@ -1,13 +1,17 @@
-//! Episode tracing: a bounded log of SPEAR front-end events for
-//! debugging and for the `spear-sim --trace` CLI.
+//! Pipeline tracing: a bounded in-memory log of SPEAR front-end events
+//! for debugging and the `spear-sim --trace` CLI, plus an optional
+//! streaming JSONL sink (`spear-sim --trace-file`) that additionally
+//! carries high-volume pipeline events (commits, cache-line fills).
 //!
 //! Tracing is off by default and costs one branch per event site when
 //! disabled.
 
+use serde::{Serialize, Value};
 use std::collections::VecDeque;
 use std::fmt;
+use std::io::Write;
 
-/// One traced SPEAR event.
+/// One traced event.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Event {
     /// A d-load detection was accepted as a trigger.
@@ -54,6 +58,25 @@ pub enum Event {
         /// PC fetch restarted from.
         redirect_pc: u32,
     },
+    /// An L1D cache-line fill was requested (demand miss or prefetch).
+    /// Streamed to the sink only — too frequent for the bounded ring.
+    Fill {
+        /// Cycle the fill was requested.
+        cycle: u64,
+        /// Byte address of the filled block.
+        block_addr: u64,
+        /// Cycles until the line arrives.
+        latency: u32,
+        /// True if the p-thread (a prefetch) requested it.
+        pthread: bool,
+    },
+    /// A main-thread instruction committed. Streamed to the sink only.
+    Commit {
+        /// Commit cycle.
+        cycle: u64,
+        /// Instruction PC.
+        pc: u32,
+    },
 }
 
 /// Why an episode was abandoned.
@@ -67,56 +90,245 @@ pub enum AbortReason {
     Fault,
 }
 
+impl AbortReason {
+    fn name(&self) -> &'static str {
+        match self {
+            AbortReason::Flush => "flush",
+            AbortReason::MissedTrigger => "missed_trigger",
+            AbortReason::Fault => "fault",
+        }
+    }
+}
+
+impl Event {
+    /// Short machine-readable event name (the JSONL `event` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::Trigger { .. } => "trigger",
+            Event::LiveInsCopied { .. } => "livein_copied",
+            Event::Extract { .. } => "extract",
+            Event::EpisodeComplete { .. } => "episode_complete",
+            Event::EpisodeAborted { .. } => "episode_aborted",
+            Event::Flush { .. } => "flush",
+            Event::Fill { .. } => "fill",
+            Event::Commit { .. } => "commit",
+        }
+    }
+}
+
+// Enum variants carry data, which the derive does not cover — build the
+// tagged object by hand so every event serializes as
+// `{"event": "...", "cycle": N, ...}`.
+impl Serialize for Event {
+    fn to_value(&self) -> Value {
+        let mut f: Vec<(String, Value)> = vec![("event".into(), Value::Str(self.name().into()))];
+        let mut put = |k: &str, v: Value| f.push((k.into(), v));
+        match *self {
+            Event::Trigger {
+                cycle,
+                dload_pc,
+                occupancy,
+            } => {
+                put("cycle", Value::U64(cycle));
+                put("dload_pc", Value::U64(dload_pc as u64));
+                put("occupancy", Value::U64(occupancy as u64));
+            }
+            Event::LiveInsCopied { cycle, count } => {
+                put("cycle", Value::U64(cycle));
+                put("count", Value::U64(count as u64));
+            }
+            Event::Extract {
+                cycle,
+                pc,
+                is_trigger,
+            } => {
+                put("cycle", Value::U64(cycle));
+                put("pc", Value::U64(pc as u64));
+                put("is_trigger", Value::Bool(is_trigger));
+            }
+            Event::EpisodeComplete { cycle } => put("cycle", Value::U64(cycle)),
+            Event::EpisodeAborted { cycle, reason } => {
+                put("cycle", Value::U64(cycle));
+                put("reason", Value::Str(reason.name().into()));
+            }
+            Event::Flush { cycle, redirect_pc } => {
+                put("cycle", Value::U64(cycle));
+                put("redirect_pc", Value::U64(redirect_pc as u64));
+            }
+            Event::Fill {
+                cycle,
+                block_addr,
+                latency,
+                pthread,
+            } => {
+                put("cycle", Value::U64(cycle));
+                put("block_addr", Value::U64(block_addr));
+                put("latency", Value::U64(latency as u64));
+                put("pthread", Value::Bool(pthread));
+            }
+            Event::Commit { cycle, pc } => {
+                put("cycle", Value::U64(cycle));
+                put("pc", Value::U64(pc as u64));
+            }
+        }
+        Value::Object(f)
+    }
+}
+
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Event::Trigger { cycle, dload_pc, occupancy } => write!(
+            Event::Trigger {
+                cycle,
+                dload_pc,
+                occupancy,
+            } => write!(
                 f,
                 "[{cycle:>9}] trigger      d-load @{dload_pc} (IFQ occupancy {occupancy})"
             ),
             Event::LiveInsCopied { cycle, count } => {
-                write!(f, "[{cycle:>9}] live-ins     {count} register(s) copied; PE armed")
+                write!(
+                    f,
+                    "[{cycle:>9}] live-ins     {count} register(s) copied; PE armed"
+                )
             }
-            Event::Extract { cycle, pc, is_trigger } => write!(
+            Event::Extract {
+                cycle,
+                pc,
+                is_trigger,
+            } => write!(
                 f,
                 "[{cycle:>9}] extract      @{pc}{}",
-                if *is_trigger { "  <-- triggering d-load" } else { "" }
+                if *is_trigger {
+                    "  <-- triggering d-load"
+                } else {
+                    ""
+                }
             ),
             Event::EpisodeComplete { cycle } => {
-                write!(f, "[{cycle:>9}] episode done (d-load retired from p-thread RUU)")
+                write!(
+                    f,
+                    "[{cycle:>9}] episode done (d-load retired from p-thread RUU)"
+                )
             }
             Event::EpisodeAborted { cycle, reason } => {
                 write!(f, "[{cycle:>9}] episode aborted: {reason:?}")
             }
             Event::Flush { cycle, redirect_pc } => {
-                write!(f, "[{cycle:>9}] flush        IFQ emptied, refetch from @{redirect_pc}")
+                write!(
+                    f,
+                    "[{cycle:>9}] flush        IFQ emptied, refetch from @{redirect_pc}"
+                )
+            }
+            Event::Fill {
+                cycle,
+                block_addr,
+                latency,
+                pthread,
+            } => write!(
+                f,
+                "[{cycle:>9}] fill         block {block_addr:#x} in {latency} cycle(s){}",
+                if *pthread { " (p-thread)" } else { "" }
+            ),
+            Event::Commit { cycle, pc } => {
+                write!(f, "[{cycle:>9}] commit       @{pc}")
             }
         }
     }
 }
 
-/// A bounded event log.
-#[derive(Debug, Default)]
+/// Eagerly preallocated ring slots. The `VecDeque` grows lazily past
+/// this, so a huge `--trace` capacity does not allocate gigabytes up
+/// front; retention always honours the full requested capacity.
+const PREALLOC_CAP: usize = 4096;
+
+/// A bounded event log with an optional streaming JSONL sink.
+#[derive(Default)]
 pub struct Trace {
     events: VecDeque<Event>,
     capacity: usize,
-    /// Total events recorded (including evicted ones).
+    /// Total events recorded into the ring (including evicted ones).
     pub total: u64,
+    /// Events written to the sink (ring-recorded plus streamed).
+    pub streamed: u64,
+    sink: Option<Box<dyn Write + Send>>,
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Trace")
+            .field("events", &self.events)
+            .field("capacity", &self.capacity)
+            .field("total", &self.total)
+            .field("streamed", &self.streamed)
+            .field("sink", &self.sink.as_ref().map(|_| "Box<dyn Write>"))
+            .finish()
+    }
 }
 
 impl Trace {
-    /// A trace holding the most recent `capacity` events.
+    /// A trace retaining the most recent `capacity` events (all of them —
+    /// only the eager preallocation is capped, at [`PREALLOC_CAP`]).
     pub fn new(capacity: usize) -> Trace {
-        Trace { events: VecDeque::with_capacity(capacity.min(4096)), capacity, total: 0 }
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(PREALLOC_CAP)),
+            capacity,
+            total: 0,
+            streamed: 0,
+            sink: None,
+        }
     }
 
-    /// Record an event.
+    /// Stream every event written to this trace as one JSON object per
+    /// line to `sink` (episode events recorded into the ring as well as
+    /// sink-only pipeline events passed to [`Trace::stream`]).
+    pub fn set_sink(&mut self, sink: Box<dyn Write + Send>) {
+        self.sink = Some(sink);
+    }
+
+    /// True if a JSONL sink is attached.
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    fn write_sink(&mut self, event: &Event) {
+        if let Some(s) = &mut self.sink {
+            let mut line = serde::json::to_string(event);
+            line.push('\n');
+            if s.write_all(line.as_bytes()).is_err() {
+                // A broken sink (e.g. full disk) disables streaming
+                // rather than aborting the simulation.
+                self.sink = None;
+                return;
+            }
+            self.streamed += 1;
+        }
+    }
+
+    /// Record an event into the bounded ring (and the sink, if any).
     pub fn record(&mut self, event: Event) {
         self.total += 1;
+        self.write_sink(&event);
+        if self.capacity == 0 {
+            return;
+        }
         if self.events.len() >= self.capacity {
             self.events.pop_front();
         }
         self.events.push_back(event);
+    }
+
+    /// Write a high-volume pipeline event to the sink only, leaving the
+    /// bounded ring to the episode events.
+    pub fn stream(&mut self, event: Event) {
+        self.write_sink(&event);
+    }
+
+    /// Flush the sink (call once at the end of a run).
+    pub fn flush(&mut self) {
+        if let Some(s) = &mut self.sink {
+            let _ = s.flush();
+        }
     }
 
     /// Events, oldest first.
@@ -143,18 +355,116 @@ mod tests {
     fn bounded_retention() {
         let mut t = Trace::new(3);
         for c in 0..10 {
-            t.record(Event::Flush { cycle: c, redirect_pc: 0 });
+            t.record(Event::Flush {
+                cycle: c,
+                redirect_pc: 0,
+            });
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.total, 10);
         let first = t.events().next().unwrap();
-        assert_eq!(first, &Event::Flush { cycle: 7, redirect_pc: 0 });
+        assert_eq!(
+            first,
+            &Event::Flush {
+                cycle: 7,
+                redirect_pc: 0
+            }
+        );
+    }
+
+    #[test]
+    fn retention_honours_capacities_beyond_the_prealloc_cap() {
+        // The eager allocation is capped at PREALLOC_CAP, but the ring
+        // must still retain the full requested capacity.
+        let cap = PREALLOC_CAP + 1000;
+        let mut t = Trace::new(cap);
+        for c in 0..(cap as u64 + 500) {
+            t.record(Event::Commit { cycle: c, pc: 0 });
+        }
+        assert_eq!(t.len(), cap, "retention must honour the full capacity");
+        assert_eq!(
+            t.events().next(),
+            Some(&Event::Commit { cycle: 500, pc: 0 }),
+            "oldest retained event must be total - capacity"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_ring_retains_nothing_but_counts() {
+        let mut t = Trace::new(0);
+        t.record(Event::EpisodeComplete { cycle: 1 });
+        assert!(t.is_empty());
+        assert_eq!(t.total, 1);
     }
 
     #[test]
     fn display_forms() {
-        let e = Event::Trigger { cycle: 42, dload_pc: 7, occupancy: 99 };
+        let e = Event::Trigger {
+            cycle: 42,
+            dload_pc: 7,
+            occupancy: 99,
+        };
         let s = e.to_string();
-        assert!(s.contains("42") && s.contains("@7") && s.contains("99"), "{s}");
+        assert!(
+            s.contains("42") && s.contains("@7") && s.contains("99"),
+            "{s}"
+        );
+        let e = Event::Fill {
+            cycle: 1,
+            block_addr: 0x1000,
+            latency: 133,
+            pthread: true,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("0x1000") && s.contains("133") && s.contains("p-thread"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn events_serialize_as_tagged_json_objects() {
+        let e = Event::Fill {
+            cycle: 9,
+            block_addr: 4096,
+            latency: 133,
+            pthread: true,
+        };
+        let json = serde::json::to_string(&e);
+        let v = serde::json::parse(&json).unwrap();
+        assert_eq!(v.field("event").unwrap(), &Value::Str("fill".into()));
+        assert_eq!(v.field("cycle").unwrap(), &Value::U64(9));
+        assert_eq!(v.field("pthread").unwrap(), &Value::Bool(true));
+    }
+
+    #[test]
+    fn sink_receives_jsonl_including_streamed_events() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        let mut t = Trace::new(2);
+        t.set_sink(Box::new(buf.clone()));
+        t.record(Event::EpisodeComplete { cycle: 5 });
+        t.stream(Event::Commit { cycle: 6, pc: 3 });
+        t.flush();
+        assert_eq!(t.streamed, 2);
+        assert_eq!(t.len(), 1, "streamed events stay out of the ring");
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let v = serde::json::parse(lines[1]).unwrap();
+        assert_eq!(v.field("event").unwrap(), &Value::Str("commit".into()));
     }
 }

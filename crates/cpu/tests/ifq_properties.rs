@@ -30,7 +30,10 @@ fn entry(seq: u64, marked: bool) -> IfqEntry {
         seq,
         pc: seq as u32,
         inst: Inst::nop(),
-        pred: Prediction { next_pc: seq as u32 + 1, taken: None },
+        pred: Prediction {
+            next_pc: seq as u32 + 1,
+            taken: None,
+        },
         marked,
         is_dload: false,
     }

@@ -268,7 +268,11 @@ fn counted_loop_matches_golden() {
 #[test]
 fn noisy_branches_match_golden() {
     let res = assert_equivalent(&noisy_branches(), CoreConfig::baseline());
-    assert!(res.stats.recoveries > 10, "mispredictions must occur: {}", res.stats.recoveries);
+    assert!(
+        res.stats.recoveries > 10,
+        "mispredictions must occur: {}",
+        res.stats.recoveries
+    );
     assert!(res.stats.squashed > 0, "wrong-path work must be squashed");
 }
 
@@ -322,8 +326,12 @@ fn superscalar_extracts_ilp_from_alu_loop() {
 fn cache_misses_hurt_ipc() {
     let hot = counted_loop(2000); // sequential, cache friendly
     let cold = pointer_chase(8192, 2000); // one miss per iteration
-    let hot_ipc = run_core(&SpearBinary::plain(hot), CoreConfig::baseline()).stats.ipc();
-    let cold_ipc = run_core(&SpearBinary::plain(cold), CoreConfig::baseline()).stats.ipc();
+    let hot_ipc = run_core(&SpearBinary::plain(hot), CoreConfig::baseline())
+        .stats
+        .ipc();
+    let cold_ipc = run_core(&SpearBinary::plain(cold), CoreConfig::baseline())
+        .stats
+        .ipc();
     assert!(
         cold_ipc < hot_ipc / 2.0,
         "pointer chase ({cold_ipc:.3}) should be much slower than streaming ({hot_ipc:.3})"
@@ -344,7 +352,10 @@ fn longer_memory_latency_reduces_ipc() {
         cfg.hier.latency = spear_mem::LatencyConfig::sweep_point(200);
         run_core(&b, cfg).stats.ipc()
     };
-    assert!(long < short, "IPC at 200-cycle memory ({long:.3}) must be below 40-cycle ({short:.3})");
+    assert!(
+        long < short,
+        "IPC at 200-cycle memory ({long:.3}) must be below 40-cycle ({short:.3})"
+    );
 }
 
 #[test]
@@ -366,7 +377,10 @@ fn branch_predictor_learns_loop() {
 fn spear_triggers_and_completes_episodes() {
     let b = gather_spear(1 << 16, 4000);
     let res = run_core(&b, CoreConfig::spear(128));
-    assert!(res.stats.triggers_accepted > 0, "d-load detection must trigger");
+    assert!(
+        res.stats.triggers_accepted > 0,
+        "d-load detection must trigger"
+    );
     assert!(
         res.stats.preexec_completed > 0,
         "episodes must run to d-load retirement: {:?}",
@@ -507,9 +521,12 @@ fn fp_dense_gather(iters: i64) -> SpearBinary {
 #[test]
 fn full_priority_hurts_compute_dense_slices_and_sf_restores() {
     let b = fp_dense_gather(4000);
-    let base = run_core(&SpearBinary::plain(b.program.clone()), CoreConfig::baseline())
-        .stats
-        .ipc();
+    let base = run_core(
+        &SpearBinary::plain(b.program.clone()),
+        CoreConfig::baseline(),
+    )
+    .stats
+    .ipc();
     let mut full = CoreConfig::spear(128);
     full.spear.as_mut().unwrap().full_priority = true;
     let shared = run_core(&b, full.clone()).stats.ipc();
@@ -570,8 +587,10 @@ fn stride_prefetcher_accelerates_sequential_baseline() {
     let mut cfg = CoreConfig::baseline();
     // A deep prefetch degree so fills land well ahead of the demand
     // stream (the default degree of 2 only shaves partial latency).
-    cfg.hier.stride_prefetch =
-        Some(spear_mem::StrideConfig { degree: 8, ..Default::default() });
+    cfg.hier.stride_prefetch = Some(spear_mem::StrideConfig {
+        degree: 8,
+        ..Default::default()
+    });
     let pf = run_core(&b, cfg).stats.ipc();
     assert!(
         pf > base * 1.05,
@@ -635,7 +654,10 @@ fn trace_records_full_episode_lifecycle() {
             _ => {}
         }
     }
-    assert!(kinds.iter().all(|&k| k > 0), "all lifecycle stages traced: {kinds:?}");
+    assert!(
+        kinds.iter().all(|&k| k > 0),
+        "all lifecycle stages traced: {kinds:?}"
+    );
     assert!(kinds[2] >= kinds[3], "extractions >= completions");
 }
 

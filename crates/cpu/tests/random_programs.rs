@@ -17,86 +17,80 @@ use spear_isa::{Program, SpearBinary};
 /// counted loops with loads/stores, gathers over a large array, and
 /// call/return pairs. Always halts.
 fn arb_program() -> impl Strategy<Value = Program> {
-    (
-        proptest::collection::vec(0u8..5, 1..7),
-        any::<u64>(),
-    )
-        .prop_map(|(segments, seed)| {
-            let mut a = Asm::new();
-            let data: Vec<u64> = (0..512u64)
-                .map(|i| i.wrapping_mul(seed | 1))
-                .collect();
-            let d = a.alloc_u64("data", &data);
-            let big = a.reserve("big", 1 << 20);
-            a.li(R10, seed as i64); // accumulator
-            a.li(R20, d as i64);
-            a.li(R21, big as i64);
-            let mut fns = Vec::new();
-            for (i, seg) in segments.iter().enumerate() {
-                match seg {
-                    0 => {
-                        a.addi(R10, R10, 3);
-                        a.muli(R11, R10, 7);
-                        a.xor(R10, R10, R11);
-                    }
-                    1 => {
-                        let t = format!("t{i}");
-                        let j = format!("j{i}");
-                        a.andi(R11, R10, 3);
-                        a.beq(R11, R0, &t);
-                        a.addi(R10, R10, 5);
-                        a.j(&j);
-                        a.label(&t);
-                        a.slli(R10, R10, 1);
-                        a.label(&j);
-                    }
-                    2 => {
-                        // Counted loop, sequential loads + stores.
-                        let l = format!("l{i}");
-                        a.li(R12, 24);
-                        a.mv(R13, R20);
-                        a.label(&l);
-                        a.ld(R14, R13, 0);
-                        a.add(R10, R10, R14);
-                        a.sd(R10, R13, 8);
-                        a.addi(R13, R13, 16);
-                        a.addi(R12, R12, -1);
-                        a.bne(R12, R0, &l);
-                    }
-                    3 => {
-                        // Gather loop over the big array (misses →
-                        // delinquent loads → real p-threads).
-                        let l = format!("g{i}");
-                        a.li(R12, 40);
-                        a.li(R15, (seed | 1) as i64);
-                        a.label(&l);
-                        a.muli(R15, R15, 6364136223846793005);
-                        a.addi(R15, R15, 1442695040888963407);
-                        a.srli(R16, R15, 24);
-                        a.andi(R16, R16, (1 << 20) - 8);
-                        a.add(R16, R21, R16);
-                        a.ld(R17, R16, 0);
-                        a.add(R10, R10, R17);
-                        a.addi(R12, R12, -1);
-                        a.bne(R12, R0, &l);
-                    }
-                    _ => {
-                        // Call/return pair.
-                        let f = format!("f{i}");
-                        let over = format!("o{i}");
-                        a.jal(R31, &f);
-                        a.j(&over);
-                        fns.push((f.clone(), i));
-                        a.label(&f);
-                        a.addi(R10, R10, 11);
-                        a.jr(R31);
-                        a.label(&over);
-                    }
+    (proptest::collection::vec(0u8..5, 1..7), any::<u64>()).prop_map(|(segments, seed)| {
+        let mut a = Asm::new();
+        let data: Vec<u64> = (0..512u64).map(|i| i.wrapping_mul(seed | 1)).collect();
+        let d = a.alloc_u64("data", &data);
+        let big = a.reserve("big", 1 << 20);
+        a.li(R10, seed as i64); // accumulator
+        a.li(R20, d as i64);
+        a.li(R21, big as i64);
+        let mut fns = Vec::new();
+        for (i, seg) in segments.iter().enumerate() {
+            match seg {
+                0 => {
+                    a.addi(R10, R10, 3);
+                    a.muli(R11, R10, 7);
+                    a.xor(R10, R10, R11);
+                }
+                1 => {
+                    let t = format!("t{i}");
+                    let j = format!("j{i}");
+                    a.andi(R11, R10, 3);
+                    a.beq(R11, R0, &t);
+                    a.addi(R10, R10, 5);
+                    a.j(&j);
+                    a.label(&t);
+                    a.slli(R10, R10, 1);
+                    a.label(&j);
+                }
+                2 => {
+                    // Counted loop, sequential loads + stores.
+                    let l = format!("l{i}");
+                    a.li(R12, 24);
+                    a.mv(R13, R20);
+                    a.label(&l);
+                    a.ld(R14, R13, 0);
+                    a.add(R10, R10, R14);
+                    a.sd(R10, R13, 8);
+                    a.addi(R13, R13, 16);
+                    a.addi(R12, R12, -1);
+                    a.bne(R12, R0, &l);
+                }
+                3 => {
+                    // Gather loop over the big array (misses →
+                    // delinquent loads → real p-threads).
+                    let l = format!("g{i}");
+                    a.li(R12, 40);
+                    a.li(R15, (seed | 1) as i64);
+                    a.label(&l);
+                    a.muli(R15, R15, 6364136223846793005);
+                    a.addi(R15, R15, 1442695040888963407);
+                    a.srli(R16, R15, 24);
+                    a.andi(R16, R16, (1 << 20) - 8);
+                    a.add(R16, R21, R16);
+                    a.ld(R17, R16, 0);
+                    a.add(R10, R10, R17);
+                    a.addi(R12, R12, -1);
+                    a.bne(R12, R0, &l);
+                }
+                _ => {
+                    // Call/return pair.
+                    let f = format!("f{i}");
+                    let over = format!("o{i}");
+                    a.jal(R31, &f);
+                    a.j(&over);
+                    fns.push((f.clone(), i));
+                    a.label(&f);
+                    a.addi(R10, R10, 11);
+                    a.jr(R31);
+                    a.label(&over);
                 }
             }
-            a.halt();
-            a.finish().expect("generated program assembles")
-        })
+        }
+        a.halt();
+        a.finish().expect("generated program assembles")
+    })
 }
 
 fn golden(p: &Program) -> (u64, u64) {

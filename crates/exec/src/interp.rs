@@ -89,10 +89,7 @@ impl<'p> Interp<'p> {
     pub fn step(&mut self) -> Result<StepInfo, ExecError> {
         debug_assert!(!self.halted, "stepping a halted interpreter");
         let pc = self.pc;
-        let inst = *self
-            .program
-            .fetch(pc)
-            .ok_or(ExecError::PcOutOfRange(pc))?;
+        let inst = *self.program.fetch(pc).ok_or(ExecError::PcOutOfRange(pc))?;
         let outcome = exec_inst(&inst, pc, &mut self.regs, &mut self.mem)
             .map_err(|fault| ExecError::Mem { pc, fault })?;
         self.pc = outcome.next_pc;

@@ -22,12 +22,16 @@ impl std::fmt::Debug for Memory {
 impl Memory {
     /// `size` zero bytes.
     pub fn zeroed(size: usize) -> Memory {
-        Memory { bytes: vec![0; size] }
+        Memory {
+            bytes: vec![0; size],
+        }
     }
 
     /// Materialize a program's initial data image.
     pub fn from_image(img: &DataImage) -> Memory {
-        Memory { bytes: img.to_bytes() }
+        Memory {
+            bytes: img.to_bytes(),
+        }
     }
 
     /// Size in bytes.
@@ -43,9 +47,15 @@ impl Memory {
     #[inline]
     fn range(&self, addr: u64, width: usize, is_store: bool) -> Result<usize, MemFault> {
         let a = addr as usize;
-        if addr > usize::MAX as u64 || a.checked_add(width).is_none_or(|end| end > self.bytes.len())
+        if addr > usize::MAX as u64
+            || a.checked_add(width)
+                .is_none_or(|end| end > self.bytes.len())
         {
-            Err(MemFault { addr, width, is_store })
+            Err(MemFault {
+                addr,
+                width,
+                is_store,
+            })
         } else {
             Ok(a)
         }
@@ -140,7 +150,10 @@ mod tests {
 
     #[test]
     fn from_image_zero_extends() {
-        let img = DataImage { init: vec![0xAA], size: 32 };
+        let img = DataImage {
+            init: vec![0xAA],
+            size: 32,
+        };
         let mut m = Memory::from_image(&img);
         assert_eq!(m.len(), 32);
         assert_eq!(m.load(0, 1).unwrap(), 0xAA);

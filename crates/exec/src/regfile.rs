@@ -21,7 +21,9 @@ impl Default for RegFile {
 impl RegFile {
     /// All registers zero.
     pub fn new() -> RegFile {
-        RegFile { bits: [0; NUM_REGS] }
+        RegFile {
+            bits: [0; NUM_REGS],
+        }
     }
 
     /// Raw bits of `r` (`r0` reads zero).

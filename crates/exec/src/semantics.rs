@@ -77,7 +77,12 @@ pub fn exec_inst(
 ) -> Result<Outcome, MemFault> {
     use Opcode::*;
     let fall = pc + 1;
-    let mut out = Outcome { next_pc: fall, eff_addr: None, taken: None, halted: false };
+    let mut out = Outcome {
+        next_pc: fall,
+        eff_addr: None,
+        taken: None,
+        halted: false,
+    };
 
     // Integer operand helpers.
     let x = |r| regs.read_i64(r);
@@ -290,13 +295,7 @@ mod tests {
     fn fault_leaves_state_untouched() {
         let (mut r, mut m) = setup();
         r.write_i64(R1, 1_000_000);
-        let err = exec_inst(
-            &Inst::new(Opcode::Ld, R2, R1, R0, 0),
-            0,
-            &mut r,
-            &mut m,
-        )
-        .unwrap_err();
+        let err = exec_inst(&Inst::new(Opcode::Ld, R2, R1, R0, 0), 0, &mut r, &mut m).unwrap_err();
         assert!(!err.is_store);
         assert_eq!(r.read_i64(R2), 0, "destination untouched on fault");
     }

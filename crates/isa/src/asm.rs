@@ -274,7 +274,8 @@ impl Asm {
 
     fn define_symbol(&mut self, name: &str, addr: u64) {
         if self.data_symbols.insert(name.to_string(), addr).is_some() {
-            self.duplicate_symbol.get_or_insert_with(|| name.to_string());
+            self.duplicate_symbol
+                .get_or_insert_with(|| name.to_string());
         }
     }
 
@@ -347,7 +348,10 @@ impl Asm {
             insts: self.insts,
             labels: self.labels,
             data_symbols: self.data_symbols,
-            data: DataImage { init: self.data, size },
+            data: DataImage {
+                init: self.data,
+                size,
+            },
             entry: self.entry,
         };
         prog.validate().map_err(AsmError::Invalid)?;
@@ -393,7 +397,10 @@ mod tests {
         a.nop();
         a.label("x");
         a.halt();
-        assert_eq!(a.finish().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+        assert_eq!(
+            a.finish().unwrap_err(),
+            AsmError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]
@@ -402,7 +409,10 @@ mod tests {
         a.alloc_u64("d", &[1]);
         a.alloc_u64("d", &[2]);
         a.halt();
-        assert_eq!(a.finish().unwrap_err(), AsmError::DuplicateSymbol("d".into()));
+        assert_eq!(
+            a.finish().unwrap_err(),
+            AsmError::DuplicateSymbol("d".into())
+        );
     }
 
     #[test]

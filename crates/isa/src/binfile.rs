@@ -214,7 +214,10 @@ pub fn load(mut buf: &[u8]) -> Result<SpearBinary, BinError> {
             dload_pc,
             members,
             live_ins,
-            region: RegionInfo { loop_headers, dcycle },
+            region: RegionInfo {
+                loop_headers,
+                dcycle,
+            },
             profiled_misses,
         });
     }
@@ -255,7 +258,10 @@ mod tests {
                 dload_pc: 1,
                 members: vec![1, 2],
                 live_ins: vec![R1],
-                region: RegionInfo { loop_headers: vec![1], dcycle: 42.5 },
+                region: RegionInfo {
+                    loop_headers: vec![1],
+                    dcycle: 42.5,
+                },
                 profiled_misses: 777,
             }],
         };

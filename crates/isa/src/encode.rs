@@ -88,7 +88,13 @@ pub fn decode(buf: &mut impl Buf) -> Result<Inst, DecodeError> {
         }
     }
     let imm = buf.get_i64_le();
-    Ok(Inst { op, rd, rs1, rs2, imm })
+    Ok(Inst {
+        op,
+        rd,
+        rs1,
+        rs2,
+        imm,
+    })
 }
 
 /// Encode a full instruction stream.

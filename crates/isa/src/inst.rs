@@ -32,7 +32,13 @@ impl Inst {
     /// Build an instruction; prefer the [`crate::asm::Asm`] builder which
     /// also validates register classes.
     pub fn new(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, imm: i64) -> Inst {
-        Inst { op, rd, rs1, rs2, imm }
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        }
     }
 
     /// A `nop`.
@@ -53,7 +59,10 @@ impl Inst {
         let rd = match self.op.shape() {
             OpShape::RRR | OpShape::RRI | OpShape::RI | OpShape::Load => Some(self.rd),
             OpShape::JumpLink | OpShape::JumpLinkReg => Some(self.rd),
-            OpShape::Store | OpShape::Branch | OpShape::Jump | OpShape::JumpReg
+            OpShape::Store
+            | OpShape::Branch
+            | OpShape::Jump
+            | OpShape::JumpReg
             | OpShape::Nullary => None,
         };
         rd.filter(|r| !r.is_zero())
@@ -175,8 +184,12 @@ impl fmt::Display for Inst {
         let m = self.op.mnemonic();
         let unary_fp = matches!(
             self.op,
-            Opcode::Fsqrt | Opcode::Fneg | Opcode::Fabs | Opcode::Fmov
-                | Opcode::Fcvtdl | Opcode::Fcvtld
+            Opcode::Fsqrt
+                | Opcode::Fneg
+                | Opcode::Fabs
+                | Opcode::Fmov
+                | Opcode::Fcvtdl
+                | Opcode::Fcvtld
         );
         match self.op.shape() {
             OpShape::RRR if unary_fp => write!(f, "{m} {}, {}", self.rd, self.rs1),
@@ -254,8 +267,14 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(Inst::new(Opcode::Ld, R3, R1, R0, 16).to_string(), "ld r3, 16(r1)");
-        assert_eq!(Inst::new(Opcode::Beq, R0, R1, R2, 7).to_string(), "beq r1, r2, @7");
+        assert_eq!(
+            Inst::new(Opcode::Ld, R3, R1, R0, 16).to_string(),
+            "ld r3, 16(r1)"
+        );
+        assert_eq!(
+            Inst::new(Opcode::Beq, R0, R1, R2, 7).to_string(),
+            "beq r1, r2, @7"
+        );
         assert_eq!(Inst::nop().to_string(), "nop");
     }
 }

@@ -121,7 +121,11 @@ pub fn lint(program: &Program) -> Vec<Lint> {
         }
         for s in successors(program, pc) {
             let s_idx = s as usize;
-            let new = if reachable[s_idx] { written_in[s_idx] & written } else { written };
+            let new = if reachable[s_idx] {
+                written_in[s_idx] & written
+            } else {
+                written
+            };
             if !reachable[s_idx] || new != written_in[s_idx] {
                 reachable[s_idx] = true;
                 written_in[s_idx] = new;
@@ -136,14 +140,13 @@ pub fn lint(program: &Program) -> Vec<Lint> {
     }
 
     // ---- unused labels --------------------------------------------------
-    let targeted: std::collections::BTreeSet<u32> = program
-        .insts
-        .iter()
-        .filter_map(|i| i.target())
-        .collect();
+    let targeted: std::collections::BTreeSet<u32> =
+        program.insts.iter().filter_map(|i| i.target()).collect();
     for (name, &pc) in &program.labels {
         if !targeted.contains(&pc) && pc != program.entry {
-            out.push(Lint::UnusedLabel { name: clone_name(name) });
+            out.push(Lint::UnusedLabel {
+                name: clone_name(name),
+            });
         }
     }
 
@@ -201,7 +204,9 @@ mod tests {
         let p = a.finish().unwrap();
         let lints = lint(&p);
         assert!(
-            lints.iter().any(|l| matches!(l, Lint::ReadBeforeWrite { pc: 0, reg } if *reg == R1)),
+            lints
+                .iter()
+                .any(|l| matches!(l, Lint::ReadBeforeWrite { pc: 0, reg } if *reg == R1)),
             "{lints:?}"
         );
     }
@@ -228,7 +233,9 @@ mod tests {
         let p = a.finish().unwrap();
         let lints = lint(&p);
         assert!(
-            lints.iter().any(|l| matches!(l, Lint::ReadBeforeWrite { reg, .. } if *reg == R5)),
+            lints
+                .iter()
+                .any(|l| matches!(l, Lint::ReadBeforeWrite { reg, .. } if *reg == R5)),
             "{lints:?}"
         );
     }
@@ -247,7 +254,9 @@ mod tests {
         a.halt();
         let p = a.finish().unwrap();
         assert!(
-            !lint(&p).iter().any(|l| matches!(l, Lint::ReadBeforeWrite { .. })),
+            !lint(&p)
+                .iter()
+                .any(|l| matches!(l, Lint::ReadBeforeWrite { .. })),
             "{:?}",
             lint(&p)
         );

@@ -22,7 +22,10 @@ pub struct DataImage {
 impl DataImage {
     /// An image of `size` zero bytes.
     pub fn zeroed(size: usize) -> DataImage {
-        DataImage { init: Vec::new(), size }
+        DataImage {
+            init: Vec::new(),
+            size,
+        }
     }
 
     /// Materialize the full memory contents.
@@ -256,7 +259,10 @@ mod tests {
 
     #[test]
     fn data_image_materializes_zero_tail() {
-        let img = DataImage { init: vec![1, 2, 3], size: 6 };
+        let img = DataImage {
+            init: vec![1, 2, 3],
+            size: 6,
+        };
         assert_eq!(img.to_bytes(), vec![1, 2, 3, 0, 0, 0]);
     }
 

@@ -184,13 +184,18 @@ pub struct SpearBinary {
 impl SpearBinary {
     /// Wrap a program with no p-threads (baseline behaviour).
     pub fn plain(program: Program) -> SpearBinary {
-        SpearBinary { program, table: PThreadTable::empty() }
+        SpearBinary {
+            program,
+            table: PThreadTable::empty(),
+        }
     }
 
     /// Validate both the program and the table against it.
     pub fn validate(&self) -> Result<(), String> {
         self.program.validate().map_err(|e| e.to_string())?;
-        self.table.validate(&self.program).map_err(|e| e.to_string())
+        self.table
+            .validate(&self.program)
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -213,34 +218,46 @@ mod tests {
     }
 
     fn entry(dload: u32, members: Vec<u32>) -> PThreadEntry {
-        PThreadEntry { dload_pc: dload, members, ..Default::default() }
+        PThreadEntry {
+            dload_pc: dload,
+            members,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn validate_accepts_wellformed() {
         let p = prog_with_load();
-        let t = PThreadTable { entries: vec![entry(1, vec![1, 2])] };
+        let t = PThreadTable {
+            entries: vec![entry(1, vec![1, 2])],
+        };
         t.validate(&p).unwrap();
     }
 
     #[test]
     fn validate_rejects_nonload_dload() {
         let p = prog_with_load();
-        let t = PThreadTable { entries: vec![entry(2, vec![2])] };
+        let t = PThreadTable {
+            entries: vec![entry(2, vec![2])],
+        };
         assert_eq!(t.validate(&p), Err(TableError::DLoadNotALoad(2)));
     }
 
     #[test]
     fn validate_rejects_dload_outside_slice() {
         let p = prog_with_load();
-        let t = PThreadTable { entries: vec![entry(1, vec![2])] };
+        let t = PThreadTable {
+            entries: vec![entry(1, vec![2])],
+        };
         assert_eq!(t.validate(&p), Err(TableError::DLoadNotInSlice(1)));
     }
 
     #[test]
     fn validate_rejects_out_of_range() {
         let p = prog_with_load();
-        let t = PThreadTable { entries: vec![entry(1, vec![1, 99])] };
+        let t = PThreadTable {
+            entries: vec![entry(1, vec![1, 99])],
+        };
         assert_eq!(t.validate(&p), Err(TableError::PcOutOfRange(99)));
     }
 

@@ -51,7 +51,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
@@ -69,11 +72,7 @@ fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
 
 /// Parse an immediate: decimal, hex (`0x`), negative, or a data-symbol
 /// name resolved against `symbols`.
-fn parse_imm(
-    tok: &str,
-    symbols: &HashMap<String, u64>,
-    line: usize,
-) -> Result<i64, ParseError> {
+fn parse_imm(tok: &str, symbols: &HashMap<String, u64>, line: usize) -> Result<i64, ParseError> {
     let tok = tok.trim();
     if let Some(&addr) = symbols.get(tok) {
         return Ok(addr as i64);
@@ -104,7 +103,11 @@ fn parse_mem(
     let close = tok
         .rfind(')')
         .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
-    let off = if open == 0 { 0 } else { parse_imm(&tok[..open], symbols, line)? };
+    let off = if open == 0 {
+        0
+    } else {
+        parse_imm(&tok[..open], symbols, line)?
+    };
     let base = parse_reg(&tok[open + 1..close], line)?;
     Ok((base, off))
 }
@@ -156,7 +159,10 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
             continue;
         }
 
-        if let Some(rest) = text.strip_prefix(".data ").or_else(|| text.strip_prefix(".dataf ")) {
+        if let Some(rest) = text
+            .strip_prefix(".data ")
+            .or_else(|| text.strip_prefix(".dataf "))
+        {
             let is_f = text.starts_with(".dataf");
             let mut parts = rest.trim().splitn(3, char::is_whitespace);
             let name = parts.next().ok_or_else(|| err(line, "missing data name"))?;
@@ -196,7 +202,9 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
         }
         if let Some(rest) = text.strip_prefix(".reserve ") {
             let mut parts = rest.split_whitespace();
-            let name = parts.next().ok_or_else(|| err(line, "missing reserve name"))?;
+            let name = parts
+                .next()
+                .ok_or_else(|| err(line, "missing reserve name"))?;
             let size: u64 = parts
                 .next()
                 .ok_or_else(|| err(line, "missing reserve size"))?
@@ -275,7 +283,10 @@ fn expect(n: usize, ops: &[String], line: usize, shape: &str) -> Result<(), Pars
     if ops.len() == n {
         Ok(())
     } else {
-        Err(err(line, format!("expected {n} operands ({shape}), got {}", ops.len())))
+        Err(err(
+            line,
+            format!("expected {n} operands ({shape}), got {}", ops.len()),
+        ))
     }
 }
 
@@ -293,8 +304,12 @@ fn emit(
             // Unary FP ops print as two operands.
             let unary = matches!(
                 op,
-                Opcode::Fsqrt | Opcode::Fneg | Opcode::Fabs | Opcode::Fmov
-                    | Opcode::Fcvtdl | Opcode::Fcvtld
+                Opcode::Fsqrt
+                    | Opcode::Fneg
+                    | Opcode::Fabs
+                    | Opcode::Fmov
+                    | Opcode::Fcvtdl
+                    | Opcode::Fcvtld
             );
             if unary {
                 expect(2, ops, line, "rd, rs1")?;
@@ -378,11 +393,7 @@ fn target_name(tok: &str) -> &str {
 /// `parse_asm(emit_asm(p))` reproduces `p`'s instructions exactly.
 pub fn emit_asm(program: &Program) -> String {
     use fmt::Write;
-    let mut targets: Vec<u32> = program
-        .insts
-        .iter()
-        .filter_map(|i| i.target())
-        .collect();
+    let mut targets: Vec<u32> = program.insts.iter().filter_map(|i| i.target()).collect();
     targets.sort_unstable();
     targets.dedup();
     let label_of = |pc: u32| format!("L{pc}");
@@ -520,7 +531,11 @@ mod tests {
         let text = emit_asm(&p);
         let p2 = parse_asm(&text).unwrap();
         assert_eq!(p.insts, p2.insts, "instructions round-trip\n{text}");
-        assert_eq!(p.data.to_bytes(), p2.data.to_bytes(), "data image round-trips");
+        assert_eq!(
+            p.data.to_bytes(),
+            p2.data.to_bytes(),
+            "data image round-trips"
+        );
         assert_eq!(p.entry, p2.entry);
     }
 

@@ -27,18 +27,30 @@ impl CacheGeometry {
 
     /// Table 2 L1 data cache: 256 sets, 32-byte block, 4-way.
     pub fn l1d_paper() -> CacheGeometry {
-        CacheGeometry { sets: 256, assoc: 4, block_bytes: 32 }
+        CacheGeometry {
+            sets: 256,
+            assoc: 4,
+            block_bytes: 32,
+        }
     }
 
     /// Table 2 unified L2: 1024 sets, 64-byte block, 4-way.
     pub fn l2_paper() -> CacheGeometry {
-        CacheGeometry { sets: 1024, assoc: 4, block_bytes: 64 }
+        CacheGeometry {
+            sets: 1024,
+            assoc: 4,
+            block_bytes: 64,
+        }
     }
 
     /// L1 instruction cache (not specified in Table 2; a conventional
     /// 16 KiB 2-way configuration, documented in DESIGN.md).
     pub fn l1i_default() -> CacheGeometry {
-        CacheGeometry { sets: 256, assoc: 2, block_bytes: 32 }
+        CacheGeometry {
+            sets: 256,
+            assoc: 2,
+            block_bytes: 32,
+        }
     }
 }
 
@@ -199,7 +211,11 @@ impl Cache {
                     line.stamp = tick;
                 }
                 line.dirty |= is_write;
-                return AccessResult { hit: true, writeback: false, evicted: None };
+                return AccessResult {
+                    hit: true,
+                    writeback: false,
+                    evicted: None,
+                };
             }
         }
 
@@ -230,12 +246,19 @@ impl Cache {
         if writeback {
             self.stats.writebacks += 1;
         }
-        let evicted = old
-            .valid
-            .then(|| self.block_addr(set, old.tag));
+        let evicted = old.valid.then(|| self.block_addr(set, old.tag));
         let ways = &mut self.lines[base..base + self.geom.assoc];
-        ways[victim] = Line { tag, valid: true, dirty: is_write, stamp: tick };
-        AccessResult { hit: false, writeback, evicted }
+        ways[victim] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            stamp: tick,
+        };
+        AccessResult {
+            hit: false,
+            writeback,
+            evicted,
+        }
     }
 
     /// Would `addr` hit right now? Does not disturb replacement state or
@@ -263,7 +286,11 @@ mod tests {
 
     fn small() -> Cache {
         Cache::new(
-            CacheGeometry { sets: 4, assoc: 2, block_bytes: 16 },
+            CacheGeometry {
+                sets: 4,
+                assoc: 2,
+                block_bytes: 16,
+            },
             ReplPolicy::Lru,
         )
     }
@@ -296,7 +323,11 @@ mod tests {
     #[test]
     fn fifo_ignores_touches() {
         let mut c = Cache::new(
-            CacheGeometry { sets: 4, assoc: 2, block_bytes: 16 },
+            CacheGeometry {
+                sets: 4,
+                assoc: 2,
+                block_bytes: 16,
+            },
             ReplPolicy::Fifo,
         );
         c.access(0, false);
@@ -312,7 +343,7 @@ mod tests {
         c.access(0, true); // fill dirty
         c.access(64, false);
         let r = c.access(128, false); // evicts one of them
-        // tag 0 is LRU (written first, never touched again)
+                                      // tag 0 is LRU (written first, never touched again)
         assert!(r.writeback);
         assert_eq!(c.stats.writebacks, 1);
     }
@@ -356,7 +387,11 @@ mod tests {
     #[test]
     fn random_policy_fills_all_ways_before_evicting() {
         let mut c = Cache::new(
-            CacheGeometry { sets: 1, assoc: 4, block_bytes: 16 },
+            CacheGeometry {
+                sets: 1,
+                assoc: 4,
+                block_bytes: 16,
+            },
             ReplPolicy::Random,
         );
         for i in 0..4 {

@@ -24,13 +24,21 @@ pub struct LatencyConfig {
 impl LatencyConfig {
     /// Table 2: L1 = 1, L2 = 12, memory = 120.
     pub fn paper() -> LatencyConfig {
-        LatencyConfig { l1_hit: 1, l2_hit: 12, memory: 120 }
+        LatencyConfig {
+            l1_hit: 1,
+            l2_hit: 12,
+            memory: 120,
+        }
     }
 
     /// One point of the Figure 9 sweep: `memory` ∈ {40,80,120,160,200}
     /// paired with `l2 = memory / 10`.
     pub fn sweep_point(memory: u32) -> LatencyConfig {
-        LatencyConfig { l1_hit: 1, l2_hit: memory / 10, memory }
+        LatencyConfig {
+            l1_hit: 1,
+            l2_hit: memory / 10,
+            memory,
+        }
     }
 }
 
@@ -134,6 +142,36 @@ impl PcMissCounts {
     }
 }
 
+/// Per-owner prefetch effectiveness counters, keyed by the static PC of
+/// the delinquent load a p-thread targets. Every p-thread load access is
+/// eventually classified into exactly one of the timely/late/useless
+/// buckets (after [`Hierarchy::drain_pending_prefetches`]), so
+/// `timely + late + useless == pthread_loads`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefetchCounts {
+    /// P-thread load accesses issued to the data cache.
+    pub pthread_loads: u64,
+    /// Prefetched lines the main thread hit after the fill completed.
+    pub timely: u64,
+    /// Prefetched lines the main thread touched while still in flight.
+    pub late: u64,
+    /// Prefetches that never helped: redundant (line already present),
+    /// evicted before use, displaced, pruned, or unclaimed at run end.
+    pub useless: u64,
+}
+
+/// One cache-line fill, as logged when the fill log is enabled (the
+/// `--trace-file` pipeline-event hook).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FillRecord {
+    /// Byte address of the filled block.
+    pub block_addr: u64,
+    /// Total fill latency in cycles (including any MSHR queueing).
+    pub latency: u32,
+    /// True if the p-thread (a prefetch) requested the fill.
+    pub pthread: bool,
+}
+
 /// The memory hierarchy.
 ///
 /// Loads and stores go through [`Hierarchy::access_data`]; instruction
@@ -170,8 +208,20 @@ pub struct Hierarchy {
     /// Accesses that merged into an outstanding fill (delayed hits).
     pub delayed_hits: u64,
     /// Blocks whose most recent fill was requested by the p-thread and
-    /// that the main thread has not touched yet.
-    pthread_blocks: HashMap<u64, ()>,
+    /// that the main thread has not touched yet. The value is the static
+    /// d-load PC whose p-thread issued the prefetch (`None` for
+    /// p-thread stores, which warm the cache but are not counted in the
+    /// per-d-load load-effectiveness profiles).
+    pthread_blocks: HashMap<u64, Option<u32>>,
+    /// The d-load PC owning p-thread accesses issued right now (set by
+    /// the core per issued p-thread instruction; falls back to the
+    /// accessing PC when unset).
+    prefetch_owner: Option<u32>,
+    /// Per-d-load prefetch effectiveness counters.
+    dload_profiles: HashMap<u32, PrefetchCounts>,
+    /// Fill log for pipeline-event tracing (`None` = disabled, the
+    /// default: one branch per fill).
+    fill_log: Option<Vec<FillRecord>>,
     /// Main-thread accesses that hit a line the p-thread prefetched
     /// (fully — an L1 hit) — the "useful prefetch" count.
     pub useful_prefetches: u64,
@@ -201,6 +251,9 @@ impl Hierarchy {
             pending_fills: HashMap::new(),
             delayed_hits: 0,
             pthread_blocks: HashMap::new(),
+            prefetch_owner: None,
+            dload_profiles: HashMap::new(),
+            fill_log: None,
             useful_prefetches: 0,
             late_prefetches: 0,
             mshr_stalls: 0,
@@ -229,7 +282,7 @@ impl Hierarchy {
         } else {
             self.latency.l1_hit + self.latency.l2_hit + self.latency.memory
         };
-        self.note_fill(addr, now, raw);
+        self.note_fill(addr, now, raw, false);
         self.hw_prefetch_fills += 1;
         // Demand-stat hygiene: back out the access/miss this probe added.
         self.l1d.stats.reads -= 1;
@@ -257,7 +310,7 @@ impl Hierarchy {
         }
     }
 
-    fn note_fill(&mut self, addr: u64, now: u64, latency: u32) -> u32 {
+    fn note_fill(&mut self, addr: u64, now: u64, latency: u32, pthread: bool) -> u32 {
         if self.pending_fills.len() >= PENDING_PRUNE {
             self.pending_fills.retain(|_, &mut t| t > now);
         }
@@ -279,8 +332,77 @@ impl Hierarchy {
             }
         }
         let done = start + latency as u64;
-        self.pending_fills.insert(self.block_of(addr), done);
-        (done - now) as u32
+        let block = self.block_of(addr);
+        self.pending_fills.insert(block, done);
+        let total = (done - now) as u32;
+        if let Some(log) = &mut self.fill_log {
+            let block_bytes = self.l1d.geometry().block_bytes as u64;
+            log.push(FillRecord {
+                block_addr: block * block_bytes,
+                latency: total,
+                pthread,
+            });
+        }
+        total
+    }
+
+    /// Record every subsequent cache-line fill for pipeline tracing.
+    pub fn enable_fill_log(&mut self) {
+        self.fill_log = Some(Vec::new());
+    }
+
+    /// Take the fills logged since the last drain (empty when the log is
+    /// disabled).
+    pub fn drain_fills(&mut self) -> Vec<FillRecord> {
+        self.fill_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Attribute subsequent p-thread accesses to the p-thread targeting
+    /// the d-load at `dload_pc` (the core sets this per issued p-thread
+    /// memory operation). When unset, p-thread accesses fall back to
+    /// their own PC as the profile key.
+    pub fn set_prefetch_owner(&mut self, dload_pc: Option<u32>) {
+        self.prefetch_owner = dload_pc;
+    }
+
+    /// Prefetch effectiveness counters for the p-thread targeting
+    /// `dload_pc` (zeros if it never issued a load).
+    pub fn dload_profile(&self, dload_pc: u32) -> PrefetchCounts {
+        self.dload_profiles
+            .get(&dload_pc)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All per-d-load profiles, sorted by d-load PC.
+    pub fn dload_profiles(&self) -> Vec<(u32, PrefetchCounts)> {
+        let mut v: Vec<_> = self
+            .dload_profiles
+            .iter()
+            .map(|(&pc, &c)| (pc, c))
+            .collect();
+        v.sort_unstable_by_key(|&(pc, _)| pc);
+        v
+    }
+
+    fn classify_useless(&mut self, owner: Option<u32>) {
+        if let Some(pc) = owner {
+            self.dload_profiles.entry(pc).or_default().useless += 1;
+        }
+    }
+
+    /// Classify every still-pending p-thread prefetch as useless: the
+    /// main thread never claimed it. Call once at the end of a run so the
+    /// per-d-load partition `timely + late + useless == pthread_loads`
+    /// closes.
+    pub fn drain_pending_prefetches(&mut self) {
+        let pending: Vec<Option<u32>> = self.pthread_blocks.drain().map(|(_, o)| o).collect();
+        for owner in pending {
+            self.classify_useless(owner);
+        }
     }
 
     /// A data access from thread `is_pthread` at static `pc`, issued at
@@ -296,11 +418,7 @@ impl Hierarchy {
         let is_write = kind == AccessKind::Write;
         // Conventional stride prefetching observes main-thread loads.
         if !is_pthread && !is_write && self.stride.is_some() {
-            let targets = self
-                .stride
-                .as_mut()
-                .expect("checked")
-                .observe(pc, addr);
+            let targets = self.stride.as_mut().expect("checked").observe(pc, addr);
             for t in targets {
                 self.hw_prefetch(t, now);
             }
@@ -309,16 +427,37 @@ impl Hierarchy {
         if is_pthread {
             self.pthread_accesses += 1;
         }
+        // Per-d-load effectiveness: each p-thread *load* is attributed to
+        // the d-load its episode targets and will be classified exactly
+        // once (timely / late / useless).
+        let owner = if is_pthread && !is_write {
+            let o = self.prefetch_owner.unwrap_or(pc);
+            self.dload_profiles.entry(o).or_default().pthread_loads += 1;
+            Some(o)
+        } else {
+            None
+        };
         if r1.hit {
             let block = self.block_of(addr);
-            // Prefetch-effectiveness accounting: the first main-thread
-            // touch of a p-thread-fetched line is a useful (or, if the
-            // fill is still in flight, late) prefetch.
-            if !is_pthread && self.pthread_blocks.remove(&block).is_some() {
+            if is_pthread {
+                // The line is already present (or already in flight):
+                // this prefetch brought nothing new — redundant.
+                self.classify_useless(owner);
+            } else if let Some(prev) = self.pthread_blocks.remove(&block) {
+                // Prefetch-effectiveness accounting: the first
+                // main-thread touch of a p-thread-fetched line is a
+                // useful (or, if the fill is still in flight, late)
+                // prefetch.
                 if self.pending_fills.get(&block).is_some_and(|&t| t > now) {
                     self.late_prefetches += 1;
+                    if let Some(pc) = prev {
+                        self.dload_profiles.entry(pc).or_default().late += 1;
+                    }
                 } else {
                     self.useful_prefetches += 1;
+                    if let Some(pc) = prev {
+                        self.dload_profiles.entry(pc).or_default().timely += 1;
+                    }
                 }
             }
             // Tag hit, but the line may still be in flight.
@@ -329,7 +468,10 @@ impl Hierarchy {
                     served_by: ServedBy::L1,
                 };
             }
-            return MemAccess { latency: self.latency.l1_hit, served_by: ServedBy::L1 };
+            return MemAccess {
+                latency: self.latency.l1_hit,
+                served_by: ServedBy::L1,
+            };
         }
         if is_pthread {
             self.pthread_misses += 1;
@@ -351,15 +493,22 @@ impl Hierarchy {
                 ServedBy::Memory,
             )
         };
-        let latency = self.note_fill(addr, now, raw_latency);
+        let latency = self.note_fill(addr, now, raw_latency, is_pthread);
         let acc = MemAccess { latency, served_by };
         if is_pthread {
             if self.pthread_blocks.len() >= PENDING_PRUNE {
-                self.pthread_blocks.clear();
+                // Pruned entries were never claimed by the main thread.
+                self.drain_pending_prefetches();
             }
-            self.pthread_blocks.insert(self.block_of(addr), ());
-        } else {
-            self.pthread_blocks.remove(&self.block_of(addr));
+            if let Some(prev) = self.pthread_blocks.insert(self.block_of(addr), owner) {
+                // A still-pending prefetch of this block was displaced
+                // before the main thread used it.
+                self.classify_useless(prev);
+            }
+        } else if let Some(prev) = self.pthread_blocks.remove(&self.block_of(addr)) {
+            // The main thread missed anyway: the prefetched line was
+            // evicted before it could be used.
+            self.classify_useless(prev);
         }
         acc
     }
@@ -368,7 +517,10 @@ impl Hierarchy {
     pub fn access_inst(&mut self, addr: u64) -> MemAccess {
         let r1 = self.l1i.access(addr, false);
         if r1.hit {
-            return MemAccess { latency: self.latency.l1_hit, served_by: ServedBy::L1 };
+            return MemAccess {
+                latency: self.latency.l1_hit,
+                served_by: ServedBy::L1,
+            };
         }
         let r2 = self.l2.access(addr, false);
         if r2.hit {
@@ -458,7 +610,11 @@ mod tests {
         let p = h.access_data(0x9000, AccessKind::Read, 3, true, 0);
         assert_eq!(p.served_by, ServedBy::Memory);
         assert_eq!(h.pthread_misses, 1);
-        assert_eq!(h.pc_misses.total(), 0, "p-thread misses are not main misses");
+        assert_eq!(
+            h.pc_misses.total(),
+            0,
+            "p-thread misses are not main misses"
+        );
         let m = h.access_data(0x9000, AccessKind::Read, 3, false, 0);
         assert_eq!(m.served_by, ServedBy::L1, "prefetched line hits");
     }
@@ -545,6 +701,79 @@ mod tests {
         h.access_data(0xB000, AccessKind::Read, 3, false, 500);
         assert_eq!(h.useful_prefetches, 0);
         assert_eq!(h.late_prefetches, 0);
+    }
+
+    #[test]
+    fn dload_profile_partitions_every_pthread_load() {
+        let mut h = hier();
+        h.set_prefetch_owner(Some(77));
+        // Timely: prefetched at 0, main touches at 500.
+        h.access_data(0x9000, AccessKind::Read, 3, true, 0);
+        h.access_data(0x9000, AccessKind::Read, 3, false, 500);
+        // Late: prefetched at 600, main touches mid-flight.
+        h.access_data(0xA000, AccessKind::Read, 3, true, 600);
+        h.access_data(0xA000, AccessKind::Read, 3, false, 650);
+        // Redundant: a second prefetch of an already-present line.
+        h.access_data(0x9000, AccessKind::Read, 3, true, 900);
+        // Never claimed: prefetched, main never touches it.
+        h.access_data(0xB000, AccessKind::Read, 3, true, 900);
+        h.drain_pending_prefetches();
+        let p = h.dload_profile(77);
+        assert_eq!(p.pthread_loads, 4);
+        assert_eq!(p.timely, 1);
+        assert_eq!(p.late, 1);
+        assert_eq!(p.useless, 2, "redundant + unclaimed");
+        assert_eq!(p.timely + p.late + p.useless, p.pthread_loads);
+        // The global counters agree with the profile.
+        assert_eq!(h.useful_prefetches, 1);
+        assert_eq!(h.late_prefetches, 1);
+    }
+
+    #[test]
+    fn evicted_prefetch_counts_as_useless() {
+        let mut h = hier();
+        h.set_prefetch_owner(Some(5));
+        // Prefetch a block, then let main-thread conflicts evict it
+        // (5 distinct blocks mapping to the same 4-way L1D set).
+        h.access_data(0x0, AccessKind::Read, 3, true, 0);
+        for i in 1..6u64 {
+            h.access_data(i * 8192, AccessKind::Read, 0, false, 1000 + i);
+        }
+        // Main touches block 0 after eviction: a demand miss, and the
+        // prefetch is classified useless on that path.
+        h.access_data(0x0, AccessKind::Read, 0, false, 5000);
+        let p = h.dload_profile(5);
+        assert_eq!(p.pthread_loads, 1);
+        assert_eq!(p.useless, 1);
+        assert_eq!(p.timely + p.late + p.useless, p.pthread_loads);
+    }
+
+    #[test]
+    fn unowned_pthread_access_falls_back_to_its_own_pc() {
+        let mut h = hier();
+        h.access_data(0x9000, AccessKind::Read, 3, true, 0);
+        h.drain_pending_prefetches();
+        let p = h.dload_profile(3);
+        assert_eq!(p.pthread_loads, 1);
+        assert_eq!(p.useless, 1);
+    }
+
+    #[test]
+    fn fill_log_records_demand_and_prefetch_fills() {
+        let mut h = hier();
+        assert!(h.drain_fills().is_empty(), "disabled log drains empty");
+        h.enable_fill_log();
+        h.access_data(0x4000, AccessKind::Read, 7, false, 0);
+        h.access_data(0x9000, AccessKind::Read, 3, true, 0);
+        // An L1 hit must not log a fill.
+        h.access_data(0x4000, AccessKind::Read, 7, false, 500);
+        let fills = h.drain_fills();
+        assert_eq!(fills.len(), 2);
+        assert!(!fills[0].pthread);
+        assert!(fills[1].pthread);
+        assert_eq!(fills[0].latency, 133);
+        assert_eq!(fills[0].block_addr, 0x4000);
+        assert!(h.drain_fills().is_empty(), "drain takes the backlog");
     }
 
     #[test]

@@ -12,6 +12,7 @@ pub mod prefetch;
 
 pub use cache::{AccessResult, Cache, CacheGeometry, CacheStats, ReplPolicy};
 pub use hier::{
-    AccessKind, HierConfig, Hierarchy, LatencyConfig, MemAccess, PcMissCounts, ServedBy,
+    AccessKind, FillRecord, HierConfig, Hierarchy, LatencyConfig, MemAccess, PcMissCounts,
+    PrefetchCounts, ServedBy,
 };
 pub use prefetch::{StrideConfig, StridePrefetcher};

@@ -23,7 +23,11 @@ pub struct StrideConfig {
 
 impl Default for StrideConfig {
     fn default() -> Self {
-        StrideConfig { table_size: 256, confidence: 2, degree: 2 }
+        StrideConfig {
+            table_size: 256,
+            confidence: 2,
+            degree: 2,
+        }
     }
 }
 
@@ -49,7 +53,11 @@ impl StridePrefetcher {
     /// Build from a configuration (table size must be a power of two).
     pub fn new(cfg: StrideConfig) -> StridePrefetcher {
         assert!(cfg.table_size.is_power_of_two());
-        StridePrefetcher { cfg, table: vec![Entry::default(); cfg.table_size], issued: 0 }
+        StridePrefetcher {
+            cfg,
+            table: vec![Entry::default(); cfg.table_size],
+            issued: 0,
+        }
     }
 
     /// Observe a demand access by `pc` at `addr`; returns the prefetch
@@ -75,7 +83,13 @@ impl StridePrefetcher {
                 self.issued += out.len() as u64;
             }
         } else {
-            *e = Entry { pc, last_addr: addr, stride: 0, confidence: 0, valid: true };
+            *e = Entry {
+                pc,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
         }
         out
     }
@@ -120,7 +134,10 @@ mod tests {
 
     #[test]
     fn pc_aliasing_reallocates() {
-        let mut p = StridePrefetcher::new(StrideConfig { table_size: 16, ..Default::default() });
+        let mut p = StridePrefetcher::new(StrideConfig {
+            table_size: 16,
+            ..Default::default()
+        });
         for i in 0..4 {
             p.observe(1, 100 + i * 8);
         }

@@ -42,7 +42,11 @@ impl RefCache {
 }
 
 fn small_geom() -> CacheGeometry {
-    CacheGeometry { sets: 8, assoc: 2, block_bytes: 16 }
+    CacheGeometry {
+        sets: 8,
+        assoc: 2,
+        block_bytes: 16,
+    }
 }
 
 proptest! {

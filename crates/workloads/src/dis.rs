@@ -90,8 +90,14 @@ pub fn dm() -> Workload {
         suite: Suite::Dis,
         description: "hash-table probes with short data-dependent collision chains",
         build,
-        profile_input: Input { seed: 71, scale: 4_000 },
-        eval_input: Input { seed: 7107, scale: 12_000 },
+        profile_input: Input {
+            seed: 71,
+            scale: 4_000,
+        },
+        eval_input: Input {
+            seed: 7107,
+            scale: 12_000,
+        },
     }
 }
 
@@ -165,8 +171,14 @@ pub fn ray() -> Workload {
         suite: Suite::Dis,
         description: "BSP-tree descent with FP split compares over a 2 MiB node pool",
         build,
-        profile_input: Input { seed: 83, scale: 1_000 },
-        eval_input: Input { seed: 8311, scale: 2_600 },
+        profile_input: Input {
+            seed: 83,
+            scale: 1_000,
+        },
+        eval_input: Input {
+            seed: 8311,
+            scale: 2_600,
+        },
     }
 }
 
@@ -231,14 +243,14 @@ pub fn fft() -> Workload {
         a.add(R17, R2, R11);
         a.fld(F5, R16, 0); // im[i0]
         a.fld(F6, R17, 0); // im[i1]
-        // t = w * x1  (complex)
+                           // t = w * x1  (complex)
         a.fmul(F7, F1, F4);
         a.fmul(F8, F2, F6);
         a.fsub(F7, F7, F8); // t.re
         a.fmul(F9, F1, F6);
         a.fmul(F10, F2, F4);
         a.fadd(F9, F9, F10); // t.im
-        // x1 = x0 - t ; x0 = x0 + t
+                             // x1 = x0 - t ; x0 = x0 + t
         a.fsub(F11, F3, F7);
         a.fsd(F11, R13, 0);
         a.fadd(F12, F3, F7);
@@ -276,7 +288,10 @@ pub fn fft() -> Workload {
         description: "radix-2 FFT butterflies; RMW dependences make the slice huge",
         build,
         profile_input: Input { seed: 97, scale: 1 },
-        eval_input: Input { seed: 9713, scale: 2 },
+        eval_input: Input {
+            seed: 9713,
+            scale: 2,
+        },
     }
 }
 
@@ -353,6 +368,9 @@ mod tests {
         let w = dm();
         let (_, icount) = run(&w.profile_program());
         let fixed = 4_000u64 * 16;
-        assert!(icount > fixed, "chain walks must add work: {icount} <= {fixed}");
+        assert!(
+            icount > fixed,
+            "chain walks must add work: {icount} <= {fixed}"
+        );
     }
 }

@@ -35,7 +35,9 @@ pub fn gzip() -> Workload {
         let positions = input.scale as i64;
         let mut a = Asm::new();
         let mut r = rng(input.seed);
-        let text: Vec<u8> = (0..WIN + 16).map(|_| r.random_range(0u8..64) + 32).collect();
+        let text: Vec<u8> = (0..WIN + 16)
+            .map(|_| r.random_range(0u8..64) + 32)
+            .collect();
         let heads = uniform_indices(HASH as usize, WIN as usize - 64, input.seed ^ 0x6A);
         // prev[pos & mask] links positions with equal hash (synthetic:
         // random earlier positions).
@@ -67,7 +69,7 @@ pub fn gzip() -> Workload {
         a.add(R10, R2, R10);
         a.ld(R11, R10, 0); // d-load: head[hash] → candidate pos
         a.sd(R5, R10, 0); // head[hash] = pos
-        // Walk two prev-chain hops, each chained through the last load.
+                          // Walk two prev-chain hops, each chained through the last load.
         for hop in 0..2 {
             let skip = format!("skip{hop}");
             a.add(R12, R1, R11);
@@ -102,8 +104,14 @@ pub fn gzip() -> Workload {
         suite: Suite::SpecInt,
         description: "LZ77 probes chaining head -> prev -> prev tables (many moderate d-loads)",
         build,
-        profile_input: Input { seed: 101, scale: 3_000 },
-        eval_input: Input { seed: 10117, scale: 5_000 },
+        profile_input: Input {
+            seed: 101,
+            scale: 3_000,
+        },
+        eval_input: Input {
+            seed: 10117,
+            scale: 5_000,
+        },
     }
 }
 
@@ -152,7 +160,7 @@ pub fn mcf() -> Workload {
         a.slli(R10, R6, 3); // slice
         a.add(R10, R2, R10); // slice
         a.ld(R11, R10, 0); // d-load: potential[head] — random miss
-        // reduced cost = cost - pot[tail] + pot[head]
+                           // reduced cost = cost - pot[tail] + pot[head]
         a.sub(R12, R7, R9);
         a.add(R12, R12, R11);
         a.bge(R12, R0, "noflow"); // data-dependent (~半)
@@ -177,8 +185,14 @@ pub fn mcf() -> Workload {
         suite: Suite::SpecInt,
         description: "arc scan gathering node potentials from a 1 MiB array (two d-loads per arc)",
         build,
-        profile_input: Input { seed: 113, scale: 1 },
-        eval_input: Input { seed: 11311, scale: 2 },
+        profile_input: Input {
+            seed: 113,
+            scale: 1,
+        },
+        eval_input: Input {
+            seed: 11311,
+            scale: 2,
+        },
     }
 }
 
@@ -217,7 +231,7 @@ pub fn vpr() -> Workload {
         a.slli(R15, R7, 3);
         a.add(R15, R2, R15);
         a.ld(R16, R15, 0); // d-load: y[b]
-        // bbox half-perimeter, branchless: |xa-xb| + |ya-yb|.
+                           // bbox half-perimeter, branchless: |xa-xb| + |ya-yb|.
         a.sub(R17, R9, R11);
         a.srai(R18, R17, 63);
         a.xor(R17, R17, R18);
@@ -249,8 +263,14 @@ pub fn vpr() -> Workload {
         suite: Suite::SpecInt,
         description: "bounding-box cost of random net endpoints over 1 MiB coordinate arrays",
         build,
-        profile_input: Input { seed: 127, scale: 3_500 },
-        eval_input: Input { seed: 12713, scale: 10_000 },
+        profile_input: Input {
+            seed: 127,
+            scale: 3_500,
+        },
+        eval_input: Input {
+            seed: 12713,
+            scale: 10_000,
+        },
     }
 }
 
@@ -330,8 +350,14 @@ pub fn bzip2() -> Workload {
         suite: Suite::SpecInt,
         description: "byte-string comparisons at random positions in a 1 MiB text",
         build,
-        profile_input: Input { seed: 131, scale: 2_500 },
-        eval_input: Input { seed: 13117, scale: 7_000 },
+        profile_input: Input {
+            seed: 131,
+            scale: 2_500,
+        },
+        eval_input: Input {
+            seed: 13117,
+            scale: 7_000,
+        },
     }
 }
 
@@ -402,8 +428,14 @@ pub fn equake() -> Workload {
         suite: Suite::SpecFp,
         description: "CSR sparse matvec with a random x-vector gather and FP MAC chain",
         build,
-        profile_input: Input { seed: 137, scale: 1_200 },
-        eval_input: Input { seed: 13719, scale: 3_200 },
+        profile_input: Input {
+            seed: 137,
+            scale: 1_200,
+        },
+        eval_input: Input {
+            seed: 13719,
+            scale: 3_200,
+        },
     }
 }
 
@@ -523,8 +555,14 @@ pub fn art() -> Workload {
         suite: Suite::SpecFp,
         description: "neural F1 layer: streaming weighted sums plus winner-take-all",
         build,
-        profile_input: Input { seed: 149, scale: 16 },
-        eval_input: Input { seed: 14923, scale: 48 },
+        profile_input: Input {
+            seed: 149,
+            scale: 16,
+        },
+        eval_input: Input {
+            seed: 14923,
+            scale: 48,
+        },
     }
 }
 

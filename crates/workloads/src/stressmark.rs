@@ -40,12 +40,10 @@ fn build_ring_with_indices(
         bytes[i * NODE_BYTES..i * NODE_BYTES + 8].copy_from_slice(&off.to_le_bytes());
         // payload at +8.
         let payload = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 16;
-        bytes[i * NODE_BYTES + 8..i * NODE_BYTES + 16]
-            .copy_from_slice(&payload.to_le_bytes());
+        bytes[i * NODE_BYTES + 8..i * NODE_BYTES + 16].copy_from_slice(&payload.to_le_bytes());
         if index_bound > 0 {
             let idx = (i as u64).wrapping_mul(0xD1342543DE82EF95) % index_bound;
-            bytes[i * NODE_BYTES + 16..i * NODE_BYTES + 24]
-                .copy_from_slice(&idx.to_le_bytes());
+            bytes[i * NODE_BYTES + 16..i * NODE_BYTES + 24].copy_from_slice(&idx.to_le_bytes());
         }
     }
     a.alloc_bytes(name, &bytes)
@@ -72,8 +70,7 @@ pub fn pointer() -> Workload {
         let steps = input.scale as i64; // per-chain hops
         const TABLE_ELEMS: u64 = 1 << 18; // 2 MiB translation table
         let mut a = Asm::new();
-        let base =
-            build_ring_with_indices(&mut a, "pool", NODES, input.seed, TABLE_ELEMS);
+        let base = build_ring_with_indices(&mut a, "pool", NODES, input.seed, TABLE_ELEMS);
         let table: Vec<u64> = (0..TABLE_ELEMS)
             .map(|i| i.wrapping_mul(0xA0761D6478BD642F ^ input.seed))
             .collect();
@@ -87,7 +84,10 @@ pub fn pointer() -> Workload {
         let next = ring_permutation(NODES, input.seed);
         let mut cur = 0usize;
         for (k, &reg) in CHAINS.iter().enumerate() {
-            a.li(spear_isa::Reg::int(reg), base as i64 + (cur * NODE_BYTES) as i64);
+            a.li(
+                spear_isa::Reg::int(reg),
+                base as i64 + (cur * NODE_BYTES) as i64,
+            );
             for _ in 0..NODES / 4 {
                 cur = next[cur];
             }
@@ -126,8 +126,14 @@ pub fn pointer() -> Workload {
         suite: Suite::Stressmark,
         description: "four concurrent pointer chains over a 2 MiB ring with a hash body",
         build,
-        profile_input: Input { seed: 11, scale: 3_000 },
-        eval_input: Input { seed: 1101, scale: 7_000 },
+        profile_input: Input {
+            seed: 11,
+            scale: 3_000,
+        },
+        eval_input: Input {
+            seed: 1101,
+            scale: 7_000,
+        },
     }
 }
 
@@ -204,8 +210,14 @@ pub fn update() -> Workload {
         suite: Suite::Stressmark,
         description: "pointer chasing with read-modify-write nodes and a data-dependent branch",
         build,
-        profile_input: Input { seed: 23, scale: 4_000 },
-        eval_input: Input { seed: 2302, scale: 12_000 },
+        profile_input: Input {
+            seed: 23,
+            scale: 4_000,
+        },
+        eval_input: Input {
+            seed: 2302,
+            scale: 12_000,
+        },
     }
 }
 
@@ -308,8 +320,14 @@ pub fn nbh() -> Workload {
         suite: Suite::Stressmark,
         description: "2D neighborhood gathers at LCG-computed positions on a 2 MiB grid",
         build,
-        profile_input: Input { seed: 31, scale: 5_000 },
-        eval_input: Input { seed: 3103, scale: 15_000 },
+        profile_input: Input {
+            seed: 31,
+            scale: 5_000,
+        },
+        eval_input: Input {
+            seed: 3103,
+            scale: 15_000,
+        },
     }
 }
 
@@ -405,10 +423,14 @@ pub fn tr() -> Workload {
     Workload {
         name: "tr",
         suite: Suite::Stressmark,
-        description: "partial Floyd-Warshall, unrolled, port-saturating with a data-dependent branch",
+        description:
+            "partial Floyd-Warshall, unrolled, port-saturating with a data-dependent branch",
         build,
         profile_input: Input { seed: 47, scale: 2 },
-        eval_input: Input { seed: 4701, scale: 5 },
+        eval_input: Input {
+            seed: 4701,
+            scale: 5,
+        },
     }
 }
 
@@ -461,8 +483,14 @@ pub fn matrix() -> Workload {
         suite: Suite::Stressmark,
         description: "column walks over a row-major 2 MiB matrix (every access misses)",
         build,
-        profile_input: Input { seed: 59, scale: 20 },
-        eval_input: Input { seed: 5905, scale: 60 },
+        profile_input: Input {
+            seed: 59,
+            scale: 20,
+        },
+        eval_input: Input {
+            seed: 5905,
+            scale: 60,
+        },
     }
 }
 
@@ -510,8 +538,14 @@ pub fn field() -> Workload {
         suite: Suite::Stressmark,
         description: "repeated unrolled streaming over an L1-resident 16 KiB field",
         build,
-        profile_input: Input { seed: 61, scale: 12 },
-        eval_input: Input { seed: 6101, scale: 40 },
+        profile_input: Input {
+            seed: 61,
+            scale: 12,
+        },
+        eval_input: Input {
+            seed: 6101,
+            scale: 40,
+        },
     }
 }
 

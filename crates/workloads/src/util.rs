@@ -33,7 +33,9 @@ pub fn ring_permutation(n: usize, seed: u64) -> Vec<usize> {
 /// `count` uniform values below `bound`.
 pub fn uniform_indices(count: usize, bound: usize, seed: u64) -> Vec<u64> {
     let mut r = rng(seed);
-    (0..count).map(|_| r.random_range(0..bound) as u64).collect()
+    (0..count)
+        .map(|_| r.random_range(0..bound) as u64)
+        .collect()
 }
 
 /// `count` random f64 values in [0, 1).

@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release --example compiler_tour [workload]`
 //! (default: mcf).
 
-use spear_repro::compiler::{
-    profile, Cfg, CompilerConfig, Dominators, LoopForest, SpearCompiler,
-};
+use spear_repro::compiler::{profile, Cfg, CompilerConfig, Dominators, LoopForest, SpearCompiler};
 use spear_workloads::by_name;
 
 fn main() {
@@ -23,14 +21,22 @@ fn main() {
     let dom = Dominators::compute(&cfg);
     let forest = LoopForest::compute(&cfg, &dom);
     println!("== module 1: control-flow graph");
-    println!("  {} instructions in {} basic blocks", program.len(), cfg.len());
+    println!(
+        "  {} instructions in {} basic blocks",
+        program.len(),
+        cfg.len()
+    );
     for (i, b) in cfg.blocks.iter().enumerate() {
         println!(
             "  B{i}: pc {}..{}  succs {:?}{}",
             b.start,
             b.end,
             b.succs,
-            if forest.innermost[i].is_some() { "  (in loop)" } else { "" }
+            if forest.innermost[i].is_some() {
+                "  (in loop)"
+            } else {
+                ""
+            }
         );
     }
     println!("  {} natural loops:", forest.loops.len());
@@ -96,5 +102,8 @@ fn main() {
         println!("  candidate @{pc} skipped: {reason:?}");
     }
     binary.validate().expect("attached binary is consistent");
-    println!("\nbinary validated: {} p-threads attached.", binary.table.len());
+    println!(
+        "\nbinary validated: {} p-threads attached.",
+        binary.table.len()
+    );
 }

@@ -33,9 +33,9 @@ fn index_lookup(queries: usize, seed: u64) -> Program {
     a.li(R4, 0); // acc
     a.label("query");
     a.ld(R5, R1, 0); // key (sequential — the slice's anchor)
-    // Three-level descent: probe at key/64, key/8, key (each level a
-    // different region of the leaf array → three dependent-but-computable
-    // loads per query).
+                     // Three-level descent: probe at key/64, key/8, key (each level a
+                     // different region of the leaf array → three dependent-but-computable
+                     // loads per query).
     for shift in [6i64, 3, 0] {
         a.srli(R6, R5, shift as u64 as i64);
         a.slli(R6, R6, 3);
@@ -61,7 +61,10 @@ fn main() {
     let (binary, report) = SpearCompiler::new(CompilerConfig::default())
         .compile(&profile_program)
         .expect("compile");
-    println!("SPEAR compiler found {} delinquent load(s):", report.built.len());
+    println!(
+        "SPEAR compiler found {} delinquent load(s):",
+        report.built.len()
+    );
     for e in &report.built {
         println!(
             "  d-load @{}: slice {} insts, {} live-ins, {} profiled misses",
@@ -74,7 +77,10 @@ fn main() {
     let plain_binary = SpearBinary::plain(eval_program);
 
     // 4. Measure.
-    println!("\n{:<14} {:>10} {:>8} {:>10}", "machine", "cycles", "IPC", "L1D misses");
+    println!(
+        "\n{:<14} {:>10} {:>8} {:>10}",
+        "machine", "cycles", "IPC", "L1D misses"
+    );
     let mut results = Vec::new();
     for (label, bin, cfg) in [
         ("superscalar", &plain_binary, CoreConfig::baseline()),

@@ -23,7 +23,11 @@ fn main() {
         // Verify the round trip before writing anything.
         let back = parse_asm(&text)
             .unwrap_or_else(|e| panic!("{}: emitted text failed to re-assemble: {e}", w.name));
-        assert_eq!(back.insts, program.insts, "{}: instruction mismatch", w.name);
+        assert_eq!(
+            back.insts, program.insts,
+            "{}: instruction mismatch",
+            w.name
+        );
         assert_eq!(
             back.data.to_bytes(),
             program.data.to_bytes(),
@@ -41,5 +45,8 @@ fn main() {
         );
     }
     println!("\nre-assemble any of them with:");
-    println!("  cargo run --release -p spear --bin spearc -- {}/mcf.s", out_dir.display());
+    println!(
+        "  cargo run --release -p spear --bin spearc -- {}/mcf.s",
+        out_dir.display()
+    );
 }

@@ -34,8 +34,13 @@ fn main() {
         let ipcs: Vec<f64> = FIG9_LATENCIES
             .iter()
             .map(|&mem| {
-                run_one(&w, &table, machine, Some(spear_mem::LatencyConfig::sweep_point(mem)))
-                    .ipc()
+                run_one(
+                    &w,
+                    &table,
+                    machine,
+                    Some(spear_mem::LatencyConfig::sweep_point(mem)),
+                )
+                .ipc()
             })
             .collect();
         print!("  {:<14}", machine.name());

@@ -76,7 +76,10 @@ fn main() {
         );
         for &pc in &e.members {
             let marker = if pc == e.dload_pc { "  <-- d-load" } else { "" };
-            println!("    {:>4}  {}{}", pc, binary.program.insts[pc as usize], marker);
+            println!(
+                "    {:>4}  {}{}",
+                pc, binary.program.insts[pc as usize], marker
+            );
         }
         let live: Vec<String> = e.live_ins.iter().map(|r| r.to_string()).collect();
         println!("  live-ins: {}", live.join(", "));

@@ -13,14 +13,22 @@ fn every_workload_compiles_to_a_valid_binary() {
         let (binary, report) = SpearCompiler::new(CompilerConfig::default())
             .compile(&program)
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        binary.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        assert!(report.profiled_insts > 10_000, "{}: trivial profile", w.name);
+        binary
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(
+            report.profiled_insts > 10_000,
+            "{}: trivial profile",
+            w.name
+        );
     }
 }
 
 #[test]
 fn memory_bound_workloads_get_pthreads() {
-    for name in ["pointer", "update", "nbh", "matrix", "dm", "mcf", "vpr", "equake", "art"] {
+    for name in [
+        "pointer", "update", "nbh", "matrix", "dm", "mcf", "vpr", "equake", "art",
+    ] {
         let w = spear_workloads::by_name(name).unwrap();
         let (table, report) = compile_workload(&w);
         assert!(
@@ -44,7 +52,11 @@ fn slices_contain_their_dloads_and_address_chains() {
             assert_ne!(inst.op, spear_isa::Opcode::Halt);
         }
         // Slices are small relative to the program for mcf.
-        assert!(e.members.len() < 20, "mcf slices are compact: {}", e.members.len());
+        assert!(
+            e.members.len() < 20,
+            "mcf slices are compact: {}",
+            e.members.len()
+        );
     }
 }
 
@@ -54,8 +66,16 @@ fn fft_slices_are_large() {
     // blow up via the read-modify-write dependences.
     let w = spear_workloads::by_name("fft").unwrap();
     let (table, _) = compile_workload(&w);
-    let max = table.entries.iter().map(|e| e.members.len()).max().unwrap_or(0);
-    assert!(max >= 25, "fft's RMW chains should inflate the slice: {max}");
+    let max = table
+        .entries
+        .iter()
+        .map(|e| e.members.len())
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max >= 25,
+        "fft's RMW chains should inflate the slice: {max}"
+    );
 }
 
 #[test]
@@ -77,7 +97,11 @@ fn slice_cap_bounds_every_entry() {
     cfg.slicer.slice_cap = Some(10);
     let (table, _) = compile_workload_with(&w, &cfg);
     for e in &table.entries {
-        assert!(e.members.len() <= 11, "cap plus the d-load: {}", e.members.len());
+        assert!(
+            e.members.len() <= 11,
+            "cap plus the d-load: {}",
+            e.members.len()
+        );
     }
 }
 

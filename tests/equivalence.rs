@@ -24,7 +24,11 @@ fn check(binary: &SpearBinary, cfg: CoreConfig, label: &str) {
     let res = core.run(500_000_000, u64::MAX).expect("simulation");
     assert_eq!(res.exit, RunExit::Halted, "{label}: did not halt");
     assert_eq!(res.stats.committed, icount, "{label}: instruction count");
-    assert_eq!(core.state_checksum(), checksum, "{label}: architectural state");
+    assert_eq!(
+        core.state_checksum(),
+        checksum,
+        "{label}: architectural state"
+    );
 }
 
 /// Baseline equivalence over all 15 workloads (profiling inputs — smaller,

@@ -88,8 +88,12 @@ fn art_has_a_strong_miss_reduction() {
     // Paper Figure 8: art has the best miss reduction (38.8%).
     let w = by_name("art").unwrap();
     let (table, _) = compile_workload(&w);
-    let base = run_one(&w, &table, Machine::Baseline, None).stats.l1d_main_misses;
-    let spear = run_one(&w, &table, Machine::Spear128, None).stats.l1d_main_misses;
+    let base = run_one(&w, &table, Machine::Baseline, None)
+        .stats
+        .l1d_main_misses;
+    let spear = run_one(&w, &table, Machine::Spear128, None)
+        .stats
+        .l1d_main_misses;
     let reduction = 1.0 - spear as f64 / base as f64;
     assert!(reduction > 0.3, "art miss reduction: {reduction:.3}");
 }

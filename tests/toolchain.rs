@@ -50,7 +50,10 @@ fn compile_serialize_load_simulate() {
     let (binary, report) = SpearCompiler::new(CompilerConfig::default())
         .compile(&p)
         .expect("compile");
-    assert!(!report.built.is_empty(), "the gather load must be delinquent");
+    assert!(
+        !report.built.is_empty(),
+        "the gather load must be delinquent"
+    );
     let bytes = binfile::save(&binary);
     let loaded = binfile::load(&bytes).expect("load");
     assert_eq!(loaded.table, binary.table);

@@ -1,0 +1,203 @@
+//! Offline stand-in for `criterion`: the group/bench-function API used by
+//! the microbenchmarks, backed by a simple wall-clock timer.
+//!
+//! Each bench runs its closure for a short, bounded measurement window
+//! and prints mean time per iteration (plus throughput when declared).
+//! There is no statistical analysis, warm-up tuning, or HTML report —
+//! the numbers are order-of-magnitude honest and the API is compatible.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared units of work per iteration, for derived throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+
+    /// Run a standalone benchmark (group-less).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, None, 100, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Hint for how many samples to take (bounds the measurement window).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measure `f` and print `group/id: time per iteration`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// End the group (upstream flushes reports here; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(name: &str, throughput: Option<Throughput>, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+        budget: budget(sample_size),
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<40} (no iterations)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let mut line = format!("{name:<40} {:>12} / iter   ({} iters)", fmt_ns(ns), b.iters);
+    match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            let rate = n as f64 * 1e9 / ns;
+            line.push_str(&format!("   {:.2} Melem/s", rate / 1e6));
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            let rate = n as f64 * 1e9 / ns;
+            line.push_str(&format!("   {:.2} MiB/s", rate / (1024.0 * 1024.0)));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// Measurement window: generous for default groups, tight for benches
+/// that opted into a small sample size (those iterate slow full runs).
+fn budget(sample_size: usize) -> Duration {
+    if sample_size >= 100 {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_millis(50)
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Passed to each benchmark closure; `iter` performs the measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine` until the measurement budget is
+    /// spent (always at least one call).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iters += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; none apply.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_at_least_once() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        g.sample_size(10);
+        let mut calls = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::thread::sleep(std::time::Duration::from_millis(60));
+            })
+        });
+        g.finish();
+        assert!(calls >= 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Offline stand-in for `crossbeam`: the scoped-thread API the runner
+//! uses, implemented over `std::thread::scope` (available since Rust
+//! 1.63, so the crossbeam implementation is no longer load-bearing).
+//!
+//! As in crossbeam, `scope` returns `Err` (instead of unwinding) when a
+//! child thread panicked, and spawn closures receive a scope handle so
+//! they could spawn further threads.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A handle for spawning threads tied to the enclosing [`scope`] call.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread that joins before the scope ends. The closure
+    /// receives the scope handle (crossbeam's signature), letting workers
+    /// spawn nested threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned;
+/// all spawned threads are joined before this returns. Returns `Err` with
+/// the panic payload if any child thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn threads_share_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .expect("no panics");
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}
