@@ -217,6 +217,55 @@ impl Predictor {
     pub fn recover(&mut self) {
         self.ras.clear();
     }
+
+    /// Capture the warm predictor state (direction counters, global
+    /// history, BTB, RAS). Statistics are not captured: a restored
+    /// predictor counts only its own resolutions.
+    pub fn snapshot(&self) -> PredictorSnapshot {
+        let (gshare, gshare_history) = self.gshare.snapshot();
+        PredictorSnapshot {
+            bimodal: self.bimodal.snapshot(),
+            gshare,
+            gshare_history,
+            btb: self.btb.snapshot(),
+            ras: self.ras.snapshot(),
+        }
+    }
+
+    /// Load warm state captured from a predictor built with the same
+    /// configuration (table/BTB sizes must match). Resets statistics.
+    pub fn restore(&mut self, snap: &PredictorSnapshot) -> Result<(), String> {
+        self.bimodal
+            .restore(&snap.bimodal)
+            .map_err(|e| format!("bimodal: {e}"))?;
+        self.gshare
+            .restore(&snap.gshare, snap.gshare_history)
+            .map_err(|e| format!("gshare: {e}"))?;
+        self.btb
+            .restore(&snap.btb)
+            .map_err(|e| format!("btb: {e}"))?;
+        self.ras.restore(&snap.ras);
+        self.stats = PredStats::default();
+        Ok(())
+    }
+}
+
+/// Serializable image of a [`Predictor`]'s warm state, used by the
+/// checkpointing subsystem (`spear-campaign`). Both direction tables are
+/// captured regardless of the active [`PredictorKind`], so a snapshot is
+/// self-contained for either flavour.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorSnapshot {
+    /// Bimodal 2-bit counters.
+    pub bimodal: Vec<u8>,
+    /// Gshare 2-bit counters.
+    pub gshare: Vec<u8>,
+    /// Gshare global history register.
+    pub gshare_history: u32,
+    /// BTB `(tag, target)` entries.
+    pub btb: Vec<Option<(u32, u32)>>,
+    /// Return-stack live entries, oldest first.
+    pub ras: Vec<u32>,
 }
 
 #[cfg(test)]
@@ -294,6 +343,40 @@ mod tests {
         p.recover();
         let ret = Inst::new(Opcode::Jr, R0, R31, R0, 0);
         assert_eq!(p.predict(60, &ret).next_pc, 61, "stack cleared");
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_predictions() {
+        let mut p = Predictor::new(PredictorConfig::paper());
+        let b = branch(5);
+        for _ in 0..4 {
+            let pred = p.predict(100, &b);
+            p.update(100, &b, true, 5, Some(pred));
+        }
+        let jr = Inst::new(Opcode::Jr, R0, R7, R0, 0);
+        p.update(20, &jr, true, 77, None);
+        let call = Inst::new(Opcode::Jal, R31, R0, R0, 50);
+        p.predict(10, &call); // push 11 onto the RAS
+        let snap = p.snapshot();
+
+        let mut q = Predictor::new(PredictorConfig::paper());
+        q.restore(&snap).expect("same configuration");
+        let ret = Inst::new(Opcode::Jr, R0, R31, R0, 0);
+        assert_eq!(q.predict(60, &ret).next_pc, 11, "RAS carried over");
+        assert_eq!(q.predict(100, &b).taken, Some(true), "counters warm");
+        assert_eq!(q.predict(20, &jr).next_pc, 77, "BTB carried over");
+        assert_eq!(q.stats, PredStats::default(), "stats reset on restore");
+    }
+
+    #[test]
+    fn restore_rejects_size_mismatch() {
+        let p = Predictor::new(PredictorConfig::paper());
+        let snap = p.snapshot();
+        let mut small = Predictor::new(PredictorConfig {
+            table_size: 64,
+            ..PredictorConfig::paper()
+        });
+        assert!(small.restore(&snap).is_err());
     }
 
     #[test]

@@ -42,6 +42,24 @@ impl Bimodal {
             *c = c.saturating_sub(1);
         }
     }
+
+    /// The counter table (for checkpointing warm predictor state).
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.table.clone()
+    }
+
+    /// Load counters captured from a same-sized table.
+    pub fn restore(&mut self, counters: &[u8]) -> Result<(), String> {
+        if counters.len() != self.table.len() {
+            return Err(format!(
+                "bimodal snapshot has {} counters, table holds {}",
+                counters.len(),
+                self.table.len()
+            ));
+        }
+        self.table.copy_from_slice(counters);
+        Ok(())
+    }
 }
 
 /// Gshare: global history XOR PC indexes the counter table.
@@ -88,6 +106,25 @@ impl Gshare {
         }
         self.history = ((self.history << 1) | taken as u32) & ((1 << self.hist_bits) - 1);
     }
+
+    /// Counter table and history register (for checkpointing).
+    pub fn snapshot(&self) -> (Vec<u8>, u32) {
+        (self.table.clone(), self.history)
+    }
+
+    /// Load counters and history captured from a same-sized table.
+    pub fn restore(&mut self, counters: &[u8], history: u32) -> Result<(), String> {
+        if counters.len() != self.table.len() {
+            return Err(format!(
+                "gshare snapshot has {} counters, table holds {}",
+                counters.len(),
+                self.table.len()
+            ));
+        }
+        self.table.copy_from_slice(counters);
+        self.history = history & ((1 << self.hist_bits) - 1);
+        Ok(())
+    }
 }
 
 /// Direct-mapped branch target buffer with tag check.
@@ -120,6 +157,24 @@ impl Btb {
     #[inline]
     pub fn insert(&mut self, pc: u32, target: u32) {
         self.entries[(pc & self.mask) as usize] = Some((pc, target));
+    }
+
+    /// All `(tag, target)` entries (for checkpointing).
+    pub fn snapshot(&self) -> Vec<Option<(u32, u32)>> {
+        self.entries.clone()
+    }
+
+    /// Load entries captured from a same-sized BTB.
+    pub fn restore(&mut self, entries: &[Option<(u32, u32)>]) -> Result<(), String> {
+        if entries.len() != self.entries.len() {
+            return Err(format!(
+                "BTB snapshot has {} entries, buffer holds {}",
+                entries.len(),
+                self.entries.len()
+            ));
+        }
+        self.entries.copy_from_slice(entries);
+        Ok(())
     }
 }
 

@@ -1,0 +1,578 @@
+//! The resumable campaign engine: a crash-safe work queue over
+//! (workload, machine, latency, interval) cells.
+//!
+//! A campaign lives in a directory:
+//!
+//! ```text
+//! campaign-dir/
+//!   manifest.json    # the campaign spec fingerprint (guards resume)
+//!   cells.jsonl      # one CellResult per line, appended as cells finish
+//! ```
+//!
+//! Every finished cell is appended to `cells.jsonl` and flushed before
+//! the worker takes more work, so killing the process at any moment loses
+//! at most the cells still in flight. On restart the engine replays the
+//! file, skips every completed cell (a truncated final line — the
+//! signature of a mid-write crash — is tolerated and re-run), and
+//! continues. Two phases:
+//!
+//! 1. **prepare** (one job per workload, parallel): compile the p-thread
+//!    table, then one functional pass capturing a warm checkpoint at each
+//!    sampled interval start (see [`crate::checkpoint`]);
+//! 2. **simulate** (one job per cell, parallel): build a core, restore
+//!    the interval's checkpoint, run for the interval's instruction
+//!    budget, persist the statistics.
+//!
+//! Checkpoints are keyed by workload only: the warm substrate (cache
+//! geometry, predictor sizing) is identical across the five machine
+//! models and the latency sweep, so one functional pass serves every
+//! (machine, latency) point.
+
+use crate::checkpoint::{capture_interval_checkpoints, CheckpointSet};
+use crate::sample::{aggregate, plan_intervals, Aggregate, Interval, SampleSpec};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use spear_compiler::{CompilerConfig, SpearCompiler};
+use spear_cpu::{Core, CoreConfig, CoreStats, RunExit};
+use spear_isa::SpearBinary;
+use std::collections::HashSet;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Version of the per-cell JSONL record format. Bump on breaking change.
+pub const CELL_SCHEMA_VERSION: u32 = 1;
+
+/// Cycle ceiling per cell, so one pathological cell cannot hang a
+/// campaign (same ceiling the full-run experiment runner uses).
+const MAX_CELL_CYCLES: u64 = 200_000_000;
+
+/// Instruction ceiling for the functional pass.
+const MAX_FUNCTIONAL_INSTS: u64 = 1_000_000_000;
+
+/// One (machine, latency) point of the sweep, with its fully resolved
+/// core configuration. The `machine` and `mem_latency` fields are the
+/// cell key; `config` is what actually runs.
+#[derive(Clone, Debug)]
+pub struct MachinePoint {
+    /// Machine model name (e.g. `SPEAR-128`).
+    pub machine: String,
+    /// Main-memory latency in cycles (the key of the Figure 9 sweep).
+    pub mem_latency: u32,
+    /// The resolved configuration (latency already applied).
+    pub config: CoreConfig,
+}
+
+/// What a campaign runs.
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// Workload names (resolved via `spear_workloads::by_name`).
+    pub workloads: Vec<String>,
+    /// The (machine, latency) sweep points.
+    pub points: Vec<MachinePoint>,
+    /// Interval sampling parameters.
+    pub sample: SampleSpec,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Stop after executing this many cells in this invocation (used to
+    /// exercise crash-resume in tests and CI; `None` = run to the end).
+    pub max_cells: Option<u64>,
+}
+
+/// One completed cell, as persisted to `cells.jsonl`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Record format version ([`CELL_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Workload name.
+    pub workload: String,
+    /// Machine model name.
+    pub machine: String,
+    /// Main-memory latency in cycles.
+    pub mem_latency: u32,
+    /// Interval index within the workload.
+    pub interval: u64,
+    /// First instruction of the interval.
+    pub start_inst: u64,
+    /// Instructions the cell was budgeted to simulate.
+    pub target_insts: u64,
+    /// How the cell's simulation ended (`InstBudget` for interior
+    /// intervals, `Halted` for the final one).
+    pub exit: RunExit,
+    /// Wall-clock simulation time for this cell, in milliseconds.
+    pub wall_ms: u64,
+    /// Full simulator statistics for the interval.
+    pub stats: CoreStats,
+}
+
+type CellKey = (String, String, u32, u64);
+
+impl CellResult {
+    /// The cell's identity within a campaign.
+    pub fn key(&self) -> CellKey {
+        (
+            self.workload.clone(),
+            self.machine.clone(),
+            self.mem_latency,
+            self.interval,
+        )
+    }
+}
+
+/// Live progress, handed to the `on_progress` callback after every cell.
+#[derive(Clone, Copy, Debug)]
+pub struct ProgressSnapshot {
+    /// Cells finished (including ones skipped as already done).
+    pub done: u64,
+    /// Total cells in the campaign.
+    pub total: u64,
+    /// Cells executed by this invocation.
+    pub executed: u64,
+    /// Wall-clock time since this invocation started, in ms.
+    pub elapsed_ms: u64,
+    /// Estimated remaining time, from the mean per-cell wall time of the
+    /// cells executed so far divided across the worker threads (`None`
+    /// until the first cell finishes).
+    pub eta_ms: Option<u64>,
+}
+
+/// Per-workload simulation time over the whole campaign directory.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadTiming {
+    /// Workload name.
+    pub workload: String,
+    /// Cells recorded for this workload.
+    pub cells: u64,
+    /// Summed per-cell wall time, in ms.
+    pub wall_ms: u64,
+}
+
+/// What one `Campaign::run` invocation did.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Total cells in the campaign.
+    pub total_cells: u64,
+    /// Cells executed by this invocation.
+    pub executed: u64,
+    /// Cells skipped because a prior invocation had completed them.
+    pub skipped: u64,
+    /// True if `max_cells` stopped this invocation before the campaign
+    /// finished (pending cells remain for a future resume).
+    pub interrupted: bool,
+    /// Every cell result now on disk (prior + new).
+    pub results: Vec<CellResult>,
+    /// Per-workload timing over `results`, sorted by workload name.
+    pub timings: Vec<WorkloadTiming>,
+    /// Wall-clock time of this invocation, in ms.
+    pub elapsed_ms: u64,
+}
+
+impl RunSummary {
+    /// Weighted aggregates over all cells on disk (see
+    /// [`crate::sample::aggregate`]).
+    pub fn aggregates(&self) -> Vec<Aggregate> {
+        aggregate(&self.results)
+    }
+}
+
+/// The manifest pins the campaign's shape so a resume into the wrong
+/// directory fails loudly instead of silently mixing results.
+#[derive(PartialEq, Serialize, Deserialize)]
+struct ManifestDoc {
+    version: u32,
+    workloads: Vec<String>,
+    points: Vec<(String, u32)>,
+    interval_len: u64,
+    stride: u64,
+}
+
+/// A campaign bound to its directory.
+pub struct Campaign {
+    dir: PathBuf,
+    spec: CampaignSpec,
+}
+
+/// Everything phase 1 prepares for one workload.
+struct WorkloadData {
+    name: String,
+    binary: SpearBinary,
+    set: CheckpointSet,
+    intervals: Vec<Interval>,
+}
+
+/// One unit of phase-2 work.
+struct Cell {
+    w: usize,
+    p: usize,
+    interval: Interval,
+}
+
+impl Campaign {
+    /// Bind a spec to a directory (created on [`Campaign::run`]).
+    pub fn new(dir: impl Into<PathBuf>, spec: CampaignSpec) -> Campaign {
+        Campaign {
+            dir: dir.into(),
+            spec,
+        }
+    }
+
+    /// The campaign directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn manifest(&self) -> ManifestDoc {
+        ManifestDoc {
+            version: CELL_SCHEMA_VERSION,
+            workloads: self.spec.workloads.clone(),
+            points: self
+                .spec
+                .points
+                .iter()
+                .map(|p| (p.machine.clone(), p.mem_latency))
+                .collect(),
+            interval_len: self.spec.sample.interval_len,
+            stride: self.spec.sample.stride,
+        }
+    }
+
+    fn check_or_write_manifest(&self) -> Result<(), String> {
+        let path = self.dir.join("manifest.json");
+        let mine = serde::json::to_string_pretty(&self.manifest());
+        match std::fs::read_to_string(&path) {
+            Ok(existing) => {
+                let theirs: ManifestDoc = serde::json::from_str(&existing)
+                    .map_err(|e| format!("corrupt manifest {}: {e:?}", path.display()))?;
+                if theirs != self.manifest() {
+                    return Err(format!(
+                        "campaign directory {} was created for a different spec; \
+                         use a fresh directory",
+                        self.dir.display()
+                    ));
+                }
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => std::fs::write(&path, mine)
+                .map_err(|e| format!("cannot write {}: {e}", path.display())),
+            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+
+    /// Replay `cells.jsonl`: every parseable line is a completed cell. A
+    /// final truncated line (mid-write crash) is tolerated and its cell
+    /// re-run; a malformed line elsewhere is an error.
+    pub fn load_results(&self) -> Result<Vec<CellResult>, String> {
+        let path = self.dir.join("cells.jsonl");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut out = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            match serde::json::from_str::<CellResult>(line) {
+                Ok(cell) => out.push(cell),
+                Err(_) if i + 1 == lines.len() => break, // truncated tail
+                Err(e) => {
+                    return Err(format!(
+                        "{}: malformed record on line {}: {e:?}",
+                        path.display(),
+                        i + 1
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Weighted aggregates over every cell currently on disk.
+    pub fn aggregates(&self) -> Result<Vec<Aggregate>, String> {
+        Ok(aggregate(&self.load_results()?))
+    }
+
+    /// Run (or resume) the campaign. `on_progress` is invoked after every
+    /// executed cell.
+    pub fn run(
+        &self,
+        on_progress: Option<&(dyn Fn(&ProgressSnapshot) + Sync)>,
+    ) -> Result<RunSummary, String> {
+        let t0 = Instant::now();
+        if self.spec.workloads.is_empty() || self.spec.points.is_empty() {
+            return Err("campaign needs at least one workload and one machine point".into());
+        }
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("cannot create {}: {e}", self.dir.display()))?;
+        self.check_or_write_manifest()?;
+        let prior = self.load_results()?;
+        let done: HashSet<CellKey> = prior.iter().map(|c| c.key()).collect();
+
+        let threads = if self.spec.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        } else {
+            self.spec.threads
+        };
+
+        // Phase 1: compile + functional checkpointing, one job/workload.
+        let sample = self.spec.sample;
+        let prepared: Vec<Result<WorkloadData, String>> =
+            parallel_map(&self.spec.workloads, threads, |name| {
+                prepare_workload(name, &sample)
+            });
+        let mut wds = Vec::with_capacity(prepared.len());
+        for r in prepared {
+            wds.push(r?);
+        }
+
+        // Enumerate cells in deterministic order and drop completed ones.
+        let mut pending = Vec::new();
+        let mut total: u64 = 0;
+        for (w, wd) in wds.iter().enumerate() {
+            for (p, point) in self.spec.points.iter().enumerate() {
+                for &interval in &wd.intervals {
+                    total += 1;
+                    let key = (
+                        wd.name.clone(),
+                        point.machine.clone(),
+                        point.mem_latency,
+                        interval.index,
+                    );
+                    if !done.contains(&key) {
+                        pending.push(Cell { w, p, interval });
+                    }
+                }
+            }
+        }
+        let skipped = total - pending.len() as u64;
+
+        // Phase 2: the cell work queue.
+        let results_path = self.dir.join("cells.jsonl");
+        let sink = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&results_path)
+            .map_err(|e| format!("cannot open {}: {e}", results_path.display()))?;
+        let sink = Mutex::new(sink);
+        let new_results: Mutex<Vec<CellResult>> = Mutex::new(Vec::new());
+        let first_error: Mutex<Option<String>> = Mutex::new(None);
+        let next = AtomicUsize::new(0);
+        let executed = AtomicU64::new(0);
+        let done_count = AtomicU64::new(skipped);
+        let wall_sum_ms = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        let budget = self.spec.max_cells.unwrap_or(u64::MAX);
+        let points = &self.spec.points;
+        let wds_ref = &wds;
+
+        crossbeam::scope(|scope| {
+            for _ in 0..threads.min(pending.len().max(1)) {
+                scope.spawn(|_| loop {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    // Claim an execution slot against the cell budget
+                    // before claiming a cell, so `max_cells` is exact.
+                    if executed.fetch_add(1, Ordering::SeqCst) >= budget {
+                        executed.fetch_sub(1, Ordering::SeqCst);
+                        stop.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= pending.len() {
+                        executed.fetch_sub(1, Ordering::SeqCst);
+                        break;
+                    }
+                    let cell = &pending[i];
+                    match run_cell(&wds_ref[cell.w], &points[cell.p], cell.interval) {
+                        Ok(res) => {
+                            let line = serde::json::to_string(&res);
+                            {
+                                let mut f = sink.lock();
+                                let io = writeln!(f, "{line}").and_then(|_| f.flush());
+                                if let Err(e) = io {
+                                    *first_error.lock() =
+                                        Some(format!("cannot append cell result: {e}"));
+                                    stop.store(true, Ordering::SeqCst);
+                                    break;
+                                }
+                            }
+                            wall_sum_ms.fetch_add(res.wall_ms, Ordering::SeqCst);
+                            new_results.lock().push(res);
+                            let d = done_count.fetch_add(1, Ordering::SeqCst) + 1;
+                            if let Some(cb) = on_progress {
+                                let ex = executed.load(Ordering::SeqCst).min(budget);
+                                let remaining = total - d;
+                                let eta_ms = (ex > 0).then(|| {
+                                    let per_cell =
+                                        wall_sum_ms.load(Ordering::SeqCst) as f64 / ex as f64;
+                                    (per_cell * remaining as f64 / threads as f64) as u64
+                                });
+                                cb(&ProgressSnapshot {
+                                    done: d,
+                                    total,
+                                    executed: ex,
+                                    elapsed_ms: t0.elapsed().as_millis() as u64,
+                                    eta_ms,
+                                });
+                            }
+                        }
+                        Err(e) => {
+                            let mut slot = first_error.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            stop.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("campaign worker panicked");
+
+        if let Some(e) = first_error.into_inner() {
+            return Err(e);
+        }
+        let new = new_results.into_inner();
+        let executed = new.len() as u64;
+        let interrupted = executed + skipped < total;
+        let mut results = prior;
+        results.extend(new);
+        let timings = workload_timings(&results);
+        Ok(RunSummary {
+            total_cells: total,
+            executed,
+            skipped,
+            interrupted,
+            results,
+            timings,
+            elapsed_ms: t0.elapsed().as_millis() as u64,
+        })
+    }
+}
+
+/// Per-workload wall-time table over a set of cell results, sorted by
+/// workload name.
+pub fn workload_timings(results: &[CellResult]) -> Vec<WorkloadTiming> {
+    let mut out: Vec<WorkloadTiming> = Vec::new();
+    for r in results {
+        match out.binary_search_by(|t| t.workload.as_str().cmp(&r.workload)) {
+            Ok(i) => {
+                out[i].cells += 1;
+                out[i].wall_ms += r.wall_ms;
+            }
+            Err(i) => out.insert(
+                i,
+                WorkloadTiming {
+                    workload: r.workload.clone(),
+                    cells: 1,
+                    wall_ms: r.wall_ms,
+                },
+            ),
+        }
+    }
+    out
+}
+
+/// Phase 1 for one workload: compile the p-thread table against the
+/// profiling input, attach it to the evaluation image, and capture warm
+/// checkpoints at every sampled interval boundary.
+fn prepare_workload(name: &str, sample: &SampleSpec) -> Result<WorkloadData, String> {
+    let w = spear_workloads::by_name(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+    let profile = w.profile_program();
+    let (compiled, _report) = SpearCompiler::new(CompilerConfig::default())
+        .compile(&profile)
+        .map_err(|e| format!("{name}: compile failed: {e}"))?;
+    let binary = SpearCompiler::attach(w.eval_program(), compiled.table);
+    // The warm substrate is machine-independent: Table 2 geometry and
+    // predictor sizing are shared by every evaluated model, so these
+    // checkpoints serve all (machine, latency) points.
+    let set = capture_interval_checkpoints(
+        &binary.program,
+        name,
+        spear_mem::HierConfig::paper(),
+        spear_bpred::PredictorConfig::paper(),
+        sample.interval_len,
+        sample.stride,
+        MAX_FUNCTIONAL_INSTS,
+    )?;
+    let intervals = plan_intervals(set.total_insts, sample);
+    debug_assert_eq!(intervals.len(), set.checkpoints.len());
+    Ok(WorkloadData {
+        name: name.to_string(),
+        binary,
+        set,
+        intervals,
+    })
+}
+
+/// Phase 2 for one cell: restore the interval's checkpoint into a fresh
+/// core and simulate the interval's instruction budget.
+fn run_cell(
+    wd: &WorkloadData,
+    point: &MachinePoint,
+    interval: Interval,
+) -> Result<CellResult, String> {
+    let cp = wd.set.at(interval.start_inst).ok_or_else(|| {
+        format!(
+            "{}: no checkpoint at instruction {}",
+            wd.name, interval.start_inst
+        )
+    })?;
+    let t0 = Instant::now();
+    let mut core = Core::new(&wd.binary, point.config.clone());
+    cp.restore_into(&mut core)?;
+    let res = core
+        .run(MAX_CELL_CYCLES, interval.len)
+        .map_err(|e| format!("{} on {}: {e}", wd.name, point.machine))?;
+    if res.exit == RunExit::CycleBudget {
+        return Err(format!(
+            "{} on {} interval {}: cycle ceiling hit before the instruction budget",
+            wd.name, point.machine, interval.index
+        ));
+    }
+    Ok(CellResult {
+        schema_version: CELL_SCHEMA_VERSION,
+        workload: wd.name.clone(),
+        machine: point.machine.clone(),
+        mem_latency: point.mem_latency,
+        interval: interval.index,
+        start_inst: interval.start_inst,
+        target_insts: interval.len,
+        exit: res.exit,
+        wall_ms: t0.elapsed().as_millis() as u64,
+        stats: res.stats,
+    })
+}
+
+/// Run `f` over `items` on `threads` workers, preserving order.
+fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}

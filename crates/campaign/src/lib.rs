@@ -1,0 +1,194 @@
+//! # spear-campaign — checkpointed sampled simulation and resumable campaigns
+//!
+//! Full-program cycle simulation of the evaluation grid (15 workloads ×
+//! 5 machines × the latency sweep) is the bottleneck of every experiment
+//! in the paper. This crate cuts that cost along two independent axes:
+//!
+//! * **Sampling** ([`sample`]): split each workload's dynamic instruction
+//!   stream into fixed-length intervals and cycle-simulate only every
+//!   `stride`-th one, SMARTS-style. The functional pass still touches
+//!   every instruction, continuously warming the caches and the branch
+//!   predictor, so each simulated interval starts from representative
+//!   microarchitectural state rather than a cold machine.
+//! * **Checkpointing** ([`checkpoint`]): the warm state at each sampled
+//!   interval boundary — architectural registers, memory image, PC, plus
+//!   cache contents/LRU and predictor tables — is captured once per
+//!   workload and restored into a fresh cycle core per (machine,
+//!   latency) cell. The substrate is machine-independent (Table 2
+//!   geometry is shared by all five models), so one functional pass
+//!   serves the whole sweep.
+//!
+//! The [`engine`] module turns the resulting (workload, machine,
+//! latency, interval) cells into a crash-safe parallel work queue: each
+//! finished cell is flushed to an append-only `cells.jsonl` in the
+//! campaign directory, and a restarted campaign skips everything already
+//! on disk. Aggregation sorts cells by their full key before merging, so
+//! the final statistics are byte-identical regardless of thread count or
+//! completion order — and the exact-slot CPI accounting invariant holds
+//! on the aggregate because it holds per interval and merging is a plain
+//! sum.
+
+pub mod checkpoint;
+pub mod engine;
+pub mod sample;
+
+pub use checkpoint::{capture_interval_checkpoints, Checkpoint, CheckpointSet, Warmer};
+pub use engine::{
+    workload_timings, Campaign, CampaignSpec, CellResult, MachinePoint, ProgressSnapshot,
+    RunSummary, WorkloadTiming, CELL_SCHEMA_VERSION,
+};
+pub use sample::{aggregate, plan_intervals, Aggregate, Interval, SampleSpec};
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use spear_cpu::CoreConfig;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("spear-campaign-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_spec(threads: usize, max_cells: Option<u64>) -> CampaignSpec {
+        CampaignSpec {
+            workloads: vec!["pointer".into(), "update".into()],
+            points: vec![
+                MachinePoint {
+                    machine: "superscalar".into(),
+                    mem_latency: 120,
+                    config: CoreConfig::baseline(),
+                },
+                MachinePoint {
+                    machine: "SPEAR-128".into(),
+                    mem_latency: 120,
+                    config: CoreConfig::spear(128),
+                },
+            ],
+            sample: SampleSpec {
+                interval_len: 20_000,
+                stride: 2,
+            },
+            threads,
+            max_cells,
+        }
+    }
+
+    /// Strip the wall-clock fields so runs can be compared for semantic
+    /// equality.
+    fn comparable(aggs: &[Aggregate]) -> Vec<String> {
+        aggs.iter()
+            .map(|a| {
+                format!(
+                    "{}|{}|{}|{}|{}|{}",
+                    a.workload,
+                    a.machine,
+                    a.mem_latency,
+                    a.cells,
+                    a.target_insts,
+                    serde::json::to_string(&a.stats)
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn campaign_runs_resumes_after_interruption_and_matches_uninterrupted() {
+        // Reference: one uninterrupted run.
+        let ref_dir = temp_dir("ref");
+        let full = Campaign::new(&ref_dir, small_spec(2, None))
+            .run(None)
+            .expect("uninterrupted run");
+        assert!(!full.interrupted);
+        assert_eq!(full.executed, full.total_cells);
+        let want = comparable(&full.aggregates());
+
+        // Interrupted run: stop after 3 cells, then resume to the end.
+        let dir = temp_dir("resume");
+        let first = Campaign::new(&dir, small_spec(2, Some(3)))
+            .run(None)
+            .expect("interrupted run");
+        assert!(first.interrupted);
+        assert_eq!(first.executed, 3);
+        let second = Campaign::new(&dir, small_spec(2, None))
+            .run(None)
+            .expect("resumed run");
+        assert!(!second.interrupted);
+        assert_eq!(second.skipped, 3, "resume must skip the finished cells");
+        assert_eq!(
+            second.executed + second.skipped,
+            second.total_cells,
+            "resume must finish exactly the remaining cells"
+        );
+        assert_eq!(comparable(&second.aggregates()), want);
+
+        let _ = std::fs::remove_dir_all(&ref_dir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_aggregates_identical_across_thread_counts() {
+        let d1 = temp_dir("t1");
+        let dn = temp_dir("tn");
+        let serial = Campaign::new(&d1, small_spec(1, None)).run(None).unwrap();
+        let parallel = Campaign::new(&dn, small_spec(4, None)).run(None).unwrap();
+        assert_eq!(
+            comparable(&serial.aggregates()),
+            comparable(&parallel.aggregates())
+        );
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&dn);
+    }
+
+    #[test]
+    fn campaign_tolerates_truncated_tail_line_and_reruns_that_cell() {
+        let dir = temp_dir("trunc");
+        let spec = small_spec(1, None);
+        let full = Campaign::new(&dir, spec.clone()).run(None).unwrap();
+        let want = comparable(&full.aggregates());
+
+        // Chop the last line mid-record, as a crash during the final
+        // append would.
+        let path = dir.join("cells.jsonl");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.len() - 40;
+        std::fs::write(&path, &text[..cut]).unwrap();
+
+        let resumed = Campaign::new(&dir, spec).run(None).unwrap();
+        assert_eq!(resumed.executed, 1, "exactly the damaged cell re-runs");
+        assert_eq!(comparable(&resumed.aggregates()), want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_rejects_mismatched_manifest() {
+        let dir = temp_dir("manifest");
+        Campaign::new(&dir, small_spec(1, Some(1)))
+            .run(None)
+            .unwrap();
+        let mut other = small_spec(1, Some(1));
+        other.sample.interval_len = 999;
+        let err = Campaign::new(&dir, other).run(None).unwrap_err();
+        assert!(err.contains("different spec"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_callback_reports_monotone_done_and_eta() {
+        let dir = temp_dir("progress");
+        let calls = AtomicU64::new(0);
+        let summary = Campaign::new(&dir, small_spec(1, None))
+            .run(Some(&|p: &ProgressSnapshot| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                assert!(p.done <= p.total);
+                assert!(p.eta_ms.is_some(), "ETA available after first cell");
+            }))
+            .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), summary.executed);
+        assert!(!summary.timings.is_empty());
+        let total_cells: u64 = summary.timings.iter().map(|t| t.cells).sum();
+        assert_eq!(total_cells, summary.total_cells);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

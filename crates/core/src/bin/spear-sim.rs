@@ -15,7 +15,8 @@
 
 use spear::export::StatsExport;
 use spear::{report, Machine};
-use spear_cpu::Core;
+use spear_campaign::{Campaign, CampaignSpec, MachinePoint, SampleSpec};
+use spear_cpu::{Core, RunExit};
 use spear_isa::binfile;
 use spear_mem::LatencyConfig;
 use std::io::BufWriter;
@@ -25,7 +26,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: spear-sim FILE.spear [-m MACHINE] [--mem-latency N]\n\
          \x20      [--max-cycles N] [--max-insts N] [--trace N] [--quiet]\n\
-         \x20      [--stats-json PATH] [--trace-file PATH]\n\n\
+         \x20      [--stats-json PATH] [--trace-file PATH]\n\
+         \x20  or: spear-sim campaign --dir DIR [--workloads a,b,c|all]\n\
+         \x20      [--machines M1,M2,...] [--mem-latency N] [--interval N]\n\
+         \x20      [--stride N] [--threads N] [--max-cells N] [--quiet]\n\n\
          machines: baseline, spear-128, spear-256, spear-sf-128, spear-sf-256"
     );
     exit(2)
@@ -53,10 +57,202 @@ fn parse_num<T: std::str::FromStr>(flag: &str, val: &str) -> T {
     })
 }
 
+/// The `campaign` subcommand: run (or resume) a checkpointed sampled
+/// campaign and write one `--stats-json`-shaped envelope per aggregate.
+fn campaign_main(args: Vec<String>) -> ! {
+    let mut dir: Option<String> = None;
+    let mut workloads = vec!["all".to_string()];
+    let mut machines = vec![Machine::Baseline, Machine::Spear128, Machine::Spear256];
+    let mut latency: Option<LatencyConfig> = None;
+    let mut interval: u64 = 100_000;
+    let mut stride: u64 = 1;
+    let mut threads: usize = 0;
+    let mut max_cells: Option<u64> = None;
+    let mut quiet = false;
+
+    let mut it = args.into_iter();
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("spear-sim: {flag} needs a value");
+            exit(2)
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dir" => dir = Some(next_val(&mut it, "--dir")),
+            "--workloads" => {
+                workloads = next_val(&mut it, "--workloads")
+                    .split(',')
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--machines" => {
+                machines = next_val(&mut it, "--machines")
+                    .split(',')
+                    .map(parse_machine)
+                    .collect()
+            }
+            "--mem-latency" => {
+                let mem: u32 = parse_num("--mem-latency", &next_val(&mut it, "--mem-latency"));
+                latency = Some(LatencyConfig::sweep_point(mem));
+            }
+            "--interval" => interval = parse_num("--interval", &next_val(&mut it, "--interval")),
+            "--stride" => stride = parse_num("--stride", &next_val(&mut it, "--stride")),
+            "--threads" => threads = parse_num("--threads", &next_val(&mut it, "--threads")),
+            "--max-cells" => {
+                max_cells = Some(parse_num("--max-cells", &next_val(&mut it, "--max-cells")))
+            }
+            "--quiet" => quiet = true,
+            _ => {
+                eprintln!("spear-sim: unrecognized campaign argument `{arg}`");
+                usage()
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("spear-sim: campaign needs --dir");
+        usage()
+    };
+    if workloads.iter().any(|w| w == "all") {
+        workloads = spear_workloads::all()
+            .iter()
+            .map(|w| w.name.to_string())
+            .collect();
+    }
+    for name in &workloads {
+        if spear_workloads::by_name(name).is_none() {
+            eprintln!("spear-sim: unknown workload `{name}`");
+            exit(1)
+        }
+    }
+    if interval == 0 || stride == 0 {
+        eprintln!("spear-sim: --interval and --stride must be nonzero");
+        exit(2)
+    }
+
+    let mem_latency = latency.unwrap_or_else(LatencyConfig::paper).memory;
+    let spec = CampaignSpec {
+        workloads,
+        points: machines
+            .iter()
+            .map(|&m| MachinePoint {
+                machine: m.name().to_string(),
+                mem_latency,
+                config: m.config(latency),
+            })
+            .collect(),
+        sample: SampleSpec {
+            interval_len: interval,
+            stride,
+        },
+        threads,
+        max_cells,
+    };
+    let campaign = Campaign::new(&dir, spec);
+    let progress = |p: &spear_campaign::ProgressSnapshot| {
+        eprintln!("{}", report::campaign_progress(p));
+    };
+    let summary = campaign
+        .run(if quiet { None } else { Some(&progress) })
+        .unwrap_or_else(|e| {
+            eprintln!("spear-sim: campaign failed: {e}");
+            exit(1)
+        });
+
+    // One versioned stats envelope per aggregate, same schema as
+    // `--stats-json`, under <dir>/aggregates/.
+    let aggs = summary.aggregates();
+    let agg_dir = std::path::Path::new(&dir).join("aggregates");
+    std::fs::create_dir_all(&agg_dir).unwrap_or_else(|e| {
+        eprintln!("spear-sim: cannot create {}: {e}", agg_dir.display());
+        exit(1)
+    });
+    for a in &aggs {
+        // An aggregate reached the workload's halt only if its group
+        // contains the final (halting) interval.
+        let halted = summary.results.iter().any(|c| {
+            c.workload == a.workload
+                && c.machine == a.machine
+                && c.mem_latency == a.mem_latency
+                && c.exit == RunExit::Halted
+        });
+        let doc = StatsExport::new(
+            a.workload.clone(),
+            &a.machine,
+            a.mem_latency,
+            if halted {
+                RunExit::Halted
+            } else {
+                RunExit::InstBudget
+            },
+            a.stats.clone(),
+        );
+        let file = agg_dir.join(format!(
+            "{}-{}-{}.json",
+            a.workload,
+            a.machine.replace('.', "_"),
+            a.mem_latency
+        ));
+        std::fs::write(&file, doc.to_json()).unwrap_or_else(|e| {
+            eprintln!("spear-sim: cannot write {}: {e}", file.display());
+            exit(1)
+        });
+    }
+
+    if summary.interrupted {
+        println!(
+            "campaign interrupted after {} cells ({}/{} done); rerun to resume",
+            summary.executed,
+            summary.executed + summary.skipped,
+            summary.total_cells
+        );
+    } else {
+        println!(
+            "campaign complete: {} cells ({} executed now, {} resumed) in {}",
+            summary.total_cells,
+            summary.executed,
+            summary.skipped,
+            report_ms(summary.elapsed_ms)
+        );
+    }
+    if !quiet {
+        println!("\nper-workload simulation time:");
+        print!("{}", report::campaign_timings(&summary.timings));
+        println!(
+            "\naggregates ({} written to {}):",
+            aggs.len(),
+            agg_dir.display()
+        );
+        for a in &aggs {
+            println!(
+                "  {:<12} {:<14} lat {:>3}  cells {:>4}  IPC {:.4}",
+                a.workload,
+                a.machine,
+                a.mem_latency,
+                a.cells,
+                a.ipc()
+            );
+        }
+    }
+    exit(if summary.interrupted { 3 } else { 0 })
+}
+
+/// Compact duration for the completion line.
+fn report_ms(ms: u64) -> String {
+    if ms >= 1000 {
+        format!("{:.1}s", ms as f64 / 1000.0)
+    } else {
+        format!("{ms}ms")
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
+    }
+    if args[0] == "campaign" {
+        campaign_main(args.split_off(1));
     }
     let mut file: Option<String> = None;
     let mut machine = Machine::Baseline;

@@ -7,6 +7,7 @@
 
 use crate::machines::Machine;
 use crate::runner::{compile_workload, parallel_map, run_one, RunOutcome};
+use spear_campaign::{Campaign, CampaignSpec, MachinePoint, SampleSpec};
 use spear_compiler::CompileReport;
 use spear_cpu::CoreStats;
 use spear_exec::Interp;
@@ -53,9 +54,22 @@ impl IpcMatrix {
     }
 
     /// IPC normalized to the first column (the baseline), as the paper
-    /// plots Figures 6 and 7.
+    /// plots Figures 6 and 7. `None` when the baseline IPC is zero or
+    /// not finite (a truncated or failed baseline run), where the ratio
+    /// would be meaningless.
+    pub fn try_normalized(&self, row: usize, col: usize) -> Option<f64> {
+        let base = self.ipc(row, 0);
+        if base > 0.0 && base.is_finite() {
+            Some(self.ipc(row, col) / base)
+        } else {
+            None
+        }
+    }
+
+    /// Like [`Self::try_normalized`], with degenerate baselines reported
+    /// as 0.0 instead of propagating a NaN/infinity into means and plots.
     pub fn normalized(&self, row: usize, col: usize) -> f64 {
-        self.ipc(row, col) / self.ipc(row, 0)
+        self.try_normalized(row, col).unwrap_or(0.0)
     }
 
     /// Arithmetic mean of the normalized IPCs in a column (the paper's
@@ -111,6 +125,101 @@ pub fn run_matrix(compiled: &Compiled, machines: &[Machine]) -> IpcMatrix {
 /// SPEAR-256.
 pub fn fig6(compiled: &Compiled) -> IpcMatrix {
     run_matrix(compiled, &Machine::FIG6)
+}
+
+/// Sampled counterpart of [`run_matrix`]: route the workload × machine
+/// grid through the checkpointed campaign engine (see `spear-campaign`)
+/// instead of full-program cycle simulation. The campaign directory
+/// `dir` holds per-cell results; rerunning over the same directory
+/// resumes instead of recomputing.
+///
+/// The returned matrix has the same shape as [`run_matrix`]'s, but each
+/// outcome's statistics are the weighted aggregate over the sampled
+/// intervals (`sum(committed) / sum(cycles)` for IPC).
+pub fn run_matrix_sampled(
+    workloads: &[Workload],
+    machines: &[Machine],
+    latency: Option<LatencyConfig>,
+    sample: SampleSpec,
+    dir: &std::path::Path,
+) -> Result<IpcMatrix, String> {
+    let mem_latency = latency.unwrap_or_else(LatencyConfig::paper).memory;
+    let spec = CampaignSpec {
+        workloads: workloads.iter().map(|w| w.name.to_string()).collect(),
+        points: machines
+            .iter()
+            .map(|&m| MachinePoint {
+                machine: m.name().to_string(),
+                mem_latency,
+                config: m.config(latency),
+            })
+            .collect(),
+        sample,
+        threads: 0,
+        max_cells: None,
+    };
+    let summary = Campaign::new(dir, spec).run(None)?;
+    let aggs = summary.aggregates();
+    let mut outcomes = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        let mut row = Vec::with_capacity(machines.len());
+        for &m in machines {
+            let agg = aggs
+                .iter()
+                .find(|a| a.workload == w.name && a.machine == m.name())
+                .ok_or_else(|| format!("campaign produced no cells for {} on {}", w.name, m))?;
+            row.push(RunOutcome {
+                workload: w.name.to_string(),
+                machine: m,
+                latency,
+                stats: agg.stats.clone(),
+            });
+        }
+        outcomes.push(row);
+    }
+    Ok(IpcMatrix {
+        machines: machines.to_vec(),
+        workloads: workloads.iter().map(|w| w.name.to_string()).collect(),
+        outcomes,
+    })
+}
+
+/// **Figure 6**, sampled: the same three-machine matrix estimated from
+/// checkpointed interval simulation.
+pub fn fig6_sampled(
+    workloads: &[Workload],
+    sample: SampleSpec,
+    dir: &std::path::Path,
+) -> Result<IpcMatrix, String> {
+    run_matrix_sampled(workloads, &Machine::FIG6, None, sample, dir)
+}
+
+/// Parse the `SPEAR_SAMPLED` environment flag that routes figure sweeps
+/// through the sampled path: `INTERVAL` or `INTERVAL:STRIDE` (e.g.
+/// `100000:10` = simulate every 10th 100k-instruction interval). Unset,
+/// empty, or malformed values mean "run the full simulation".
+pub fn sample_spec_from_env() -> Option<SampleSpec> {
+    let raw = std::env::var("SPEAR_SAMPLED").ok()?;
+    parse_sample_spec(&raw)
+}
+
+/// The parsing behind [`sample_spec_from_env`], separated for testing.
+pub fn parse_sample_spec(raw: &str) -> Option<SampleSpec> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    let (ival, stride) = match raw.split_once(':') {
+        Some((i, s)) => (i.parse().ok()?, s.parse().ok()?),
+        None => (raw.parse().ok()?, 1),
+    };
+    if ival == 0 || stride == 0 {
+        return None;
+    }
+    Some(SampleSpec {
+        interval_len: ival,
+        stride,
+    })
 }
 
 /// **Figure 7** — adds the dedicated-functional-unit models.
@@ -338,6 +447,61 @@ mod tests {
         // Mean of {1.5, 1.0} and {2.0, 0.5}.
         assert!((m.mean_normalized(1) - 1.25).abs() < 1e-9);
         assert!((m.mean_normalized(2) - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_guards_degenerate_baseline() {
+        // Row "dead" has a zero-IPC baseline (0 committed instructions):
+        // the ratio is undefined, and must neither be NaN nor infinity.
+        let m = synthetic_matrix(&[("live", [1.0, 2.0, 3.0]), ("dead", [0.0, 1.0, 1.0])]);
+        assert_eq!(m.try_normalized(1, 1), None);
+        assert_eq!(m.normalized(1, 1), 0.0);
+        assert!(m.normalized(1, 2).is_finite());
+        // The live row is unaffected...
+        assert_eq!(m.try_normalized(0, 2), Some(3.0));
+        // ...and the column mean stays finite despite the dead row.
+        assert!(m.mean_normalized(1).is_finite());
+        assert!((m.mean_normalized(1) - 1.0).abs() < 1e-9, "(2.0 + 0.0) / 2");
+    }
+
+    #[test]
+    fn sample_spec_parsing() {
+        use spear_campaign::SampleSpec;
+        assert_eq!(
+            parse_sample_spec("100000"),
+            Some(SampleSpec {
+                interval_len: 100_000,
+                stride: 1
+            })
+        );
+        assert_eq!(
+            parse_sample_spec(" 50000:10 "),
+            Some(SampleSpec {
+                interval_len: 50_000,
+                stride: 10
+            })
+        );
+        for bad in ["", "0", "10:0", "abc", "10:xyz", "1:2:3"] {
+            assert_eq!(parse_sample_spec(bad), None, "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn sampled_matrix_matches_full_shape() {
+        let ws = small_set();
+        let dir = std::env::temp_dir().join(format!("spear-sampled-shape-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = fig6_sampled(&ws, spear_campaign::SampleSpec::full(50_000), &dir)
+            .expect("sampled fig6");
+        assert_eq!(m.machines.len(), 3);
+        assert_eq!(m.workloads, vec!["field", "mcf"]);
+        for r in 0..2 {
+            assert!((m.normalized(r, 0) - 1.0).abs() < 1e-12);
+            for c in 0..3 {
+                assert!(m.ipc(r, c) > 0.0);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -3,8 +3,78 @@
 
 use crate::experiments::{Fig8Row, Fig9Series, IpcMatrix, Table1Row, Table3Row, FIG9_LATENCIES};
 
+use spear_campaign::{ProgressSnapshot, WorkloadTiming};
 use spear_cpu::{CoreConfig, CoreStats};
 use std::fmt::Write;
+
+/// Format a millisecond count as a compact human duration.
+fn human_ms(ms: u64) -> String {
+    if ms >= 60_000 {
+        format!("{}m{:02}s", ms / 60_000, (ms % 60_000) / 1000)
+    } else if ms >= 1000 {
+        format!("{:.1}s", ms as f64 / 1000.0)
+    } else {
+        format!("{ms}ms")
+    }
+}
+
+/// One-line campaign progress: cells done/total with percentage, cells
+/// executed by this invocation, elapsed wall time, and the ETA derived
+/// from the mean per-cell time (blank until the first cell lands).
+pub fn campaign_progress(p: &ProgressSnapshot) -> String {
+    let pct = if p.total > 0 {
+        p.done as f64 / p.total as f64 * 100.0
+    } else {
+        100.0
+    };
+    let eta = match p.eta_ms {
+        Some(ms) => format!("ETA {}", human_ms(ms)),
+        None => "ETA --".to_string(),
+    };
+    format!(
+        "cells {}/{} ({:.1}%) | executed {} | elapsed {} | {}",
+        p.done,
+        p.total,
+        pct,
+        p.executed,
+        human_ms(p.elapsed_ms),
+        eta
+    )
+}
+
+/// Per-workload campaign timing table: cells recorded, summed simulation
+/// wall time, and mean time per cell.
+pub fn campaign_timings(timings: &[WorkloadTiming]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "  {:<12} {:>8} {:>12} {:>12}",
+        "workload", "cells", "sim time", "per cell"
+    );
+    let mut total_cells = 0;
+    let mut total_ms = 0;
+    for t in timings {
+        total_cells += t.cells;
+        total_ms += t.wall_ms;
+        let _ = writeln!(
+            s,
+            "  {:<12} {:>8} {:>12} {:>12}",
+            t.workload,
+            t.cells,
+            human_ms(t.wall_ms),
+            human_ms(t.wall_ms / t.cells.max(1))
+        );
+    }
+    let _ = writeln!(
+        s,
+        "  {:<12} {:>8} {:>12} {:>12}",
+        "TOTAL",
+        total_cells,
+        human_ms(total_ms),
+        human_ms(total_ms / total_cells.max(1))
+    );
+    s
+}
 
 /// Render the CPI-stack cycle account: where every commit slot of every
 /// cycle went. `commit_width` is the machine's commit width (the slot
@@ -391,5 +461,48 @@ mod tests {
         let s = summary_line("Figure 6 SPEAR-128 mean speedup", 14.2, 12.7);
         assert!(s.contains("14.2%"));
         assert!(s.contains("12.7%"));
+    }
+
+    #[test]
+    fn campaign_progress_line() {
+        let s = campaign_progress(&spear_campaign::ProgressSnapshot {
+            done: 30,
+            total: 120,
+            executed: 12,
+            elapsed_ms: 4_500,
+            eta_ms: Some(95_000),
+        });
+        assert!(s.contains("cells 30/120 (25.0%)"), "{s}");
+        assert!(s.contains("executed 12"), "{s}");
+        assert!(s.contains("elapsed 4.5s"), "{s}");
+        assert!(s.contains("ETA 1m35s"), "{s}");
+        let cold = campaign_progress(&spear_campaign::ProgressSnapshot {
+            done: 0,
+            total: 10,
+            executed: 0,
+            elapsed_ms: 3,
+            eta_ms: None,
+        });
+        assert!(cold.contains("ETA --"), "{cold}");
+    }
+
+    #[test]
+    fn campaign_timings_table() {
+        let s = campaign_timings(&[
+            spear_campaign::WorkloadTiming {
+                workload: "mcf".into(),
+                cells: 4,
+                wall_ms: 8_000,
+            },
+            spear_campaign::WorkloadTiming {
+                workload: "vpr".into(),
+                cells: 2,
+                wall_ms: 1_000,
+            },
+        ]);
+        assert!(s.contains("mcf"), "{s}");
+        assert!(s.contains("2.0s"), "per-cell mean of mcf: {s}");
+        assert!(s.contains("TOTAL"), "{s}");
+        assert!(s.contains("9.0s"), "summed time: {s}");
     }
 }

@@ -459,6 +459,12 @@ impl<'p> Core<'p> {
         &self.commit_regs
     }
 
+    /// Instructions committed so far (for lockstep differential tests
+    /// that advance a golden interpreter between cycles).
+    pub fn committed(&self) -> u64 {
+        self.stats.committed
+    }
+
     /// Functional memory image (equals architectural memory at halt).
     pub fn memory(&self) -> &Memory {
         &self.mem
@@ -476,6 +482,44 @@ impl<'p> Core<'p> {
     /// The cache hierarchy (miss statistics).
     pub fn hierarchy(&self) -> &Hierarchy {
         &self.hier
+    }
+
+    /// Mutable hierarchy access, for seeding warm cache contents from a
+    /// checkpoint before the first cycle (see `spear-campaign`).
+    pub fn hierarchy_mut(&mut self) -> &mut Hierarchy {
+        &mut self.hier
+    }
+
+    /// Mutable predictor access, for seeding warm branch-predictor state
+    /// from a checkpoint before the first cycle.
+    pub fn predictor_mut(&mut self) -> &mut Predictor {
+        &mut self.predictor
+    }
+
+    /// Seed a freshly built core with a mid-program architectural state:
+    /// both register files (dispatch-order and commit-order start equal —
+    /// nothing is in flight), the memory image, and the fetch PC. The
+    /// cycle counter and statistics stay at zero, so a subsequent
+    /// [`Core::run`] measures exactly the restored region: the interval's
+    /// instruction budget is simply `max_insts` and the exact-slot CPI
+    /// invariant holds over the interval on its own.
+    ///
+    /// Panics if called after simulation has started — mid-flight restore
+    /// is not a supported operation (checkpoints are quiesced states).
+    pub fn restore_arch_state(&mut self, regs: &RegFile, mem: Memory, pc: u32) {
+        assert_eq!(
+            self.cycle, 0,
+            "architectural restore must precede the first simulated cycle"
+        );
+        assert_eq!(
+            mem.len(),
+            self.mem.len(),
+            "restored memory image must match the program's data size"
+        );
+        self.regs = regs.clone();
+        self.commit_regs = regs.clone();
+        self.mem = mem;
+        self.fetch_pc = pc;
     }
 
     /// Current IFQ occupancy (observability for viewers/tests).

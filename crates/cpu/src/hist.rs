@@ -78,6 +78,21 @@ impl Histogram {
         self.max
     }
 
+    /// Fold another histogram into this one, as if every value recorded
+    /// in `other` had been recorded here. Used when aggregating sampled
+    /// simulation intervals into one campaign-level statistic.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Bucket contents as `(lower_bound, count)` pairs, skipping empties.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -143,6 +158,26 @@ mod tests {
         let p99 = h.percentile_bound(0.99);
         assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
         assert!(p99 <= h.max().next_power_of_two());
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in [0, 1, 5, 9, 300] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [2, 7, 4096] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        let empty = Histogram::new();
+        a.merge(&empty);
+        assert_eq!(a, whole, "merging an empty histogram is a no-op");
     }
 
     #[test]

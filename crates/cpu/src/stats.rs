@@ -100,6 +100,23 @@ impl CycleAccount {
         self.useful_slots + self.lost_slots()
     }
 
+    /// Add another account's slot-cycles to this one. The exact-slot
+    /// invariant is preserved: if both inputs satisfy
+    /// `useful_slots + lost_slots() == cycles * commit_width` for their
+    /// own cycle counts, the sum satisfies it for the summed cycles.
+    pub fn merge(&mut self, other: &CycleAccount) {
+        self.useful_slots += other.useful_slots;
+        self.icache_stall += other.icache_stall;
+        self.ifq_empty_after_flush += other.ifq_empty_after_flush;
+        self.branch_recovery += other.branch_recovery;
+        self.dload_miss += other.dload_miss;
+        self.fu_busy += other.fu_busy;
+        self.mem_port_contention += other.mem_port_contention;
+        self.pthread_contention += other.pthread_contention;
+        self.frontend_other += other.frontend_other;
+        self.ruu_full_cycles += other.ruu_full_cycles;
+    }
+
     /// `(label, slot-cycles)` for each lost-slot cause, in a stable
     /// reporting order (largest architectural causes first).
     pub fn causes(&self) -> [(&'static str, u64); 8] {
@@ -260,6 +277,73 @@ impl CoreStats {
     pub fn branch_hit_ratio(&self) -> f64 {
         self.bpred.hit_ratio()
     }
+
+    /// Fold another run's counters into this one, as if the two simulated
+    /// regions had been one run. Used by the sampling campaign to build a
+    /// weighted aggregate over simulated intervals: every counter is a
+    /// plain sum, histograms merge bucket-wise, and per-d-load profiles
+    /// merge by static PC (the output stays sorted by PC). Because each
+    /// interval satisfies the exact-slot CPI invariant on its own, the
+    /// aggregate satisfies it over the summed cycles.
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.cycles += other.cycles;
+        self.committed += other.committed;
+        self.committed_loads += other.committed_loads;
+        self.committed_stores += other.committed_stores;
+        self.committed_branches += other.committed_branches;
+        self.fetched += other.fetched;
+        self.squashed += other.squashed;
+        self.recoveries += other.recoveries;
+        self.triggers_accepted += other.triggers_accepted;
+        self.triggers_ignored_busy += other.triggers_ignored_busy;
+        self.triggers_rejected_occupancy += other.triggers_rejected_occupancy;
+        self.preexec_aborted_flush += other.preexec_aborted_flush;
+        self.preexec_retargets += other.preexec_retargets;
+        self.preexec_aborted_missed += other.preexec_aborted_missed;
+        self.preexec_completed += other.preexec_completed;
+        self.pthread_insts += other.pthread_insts;
+        self.pthread_loads += other.pthread_loads;
+        self.missed_extractions += other.missed_extractions;
+        self.livein_copy_cycles += other.livein_copy_cycles;
+        self.pthread_faults += other.pthread_faults;
+        self.bpred.cond_branches += other.bpred.cond_branches;
+        self.bpred.cond_correct += other.bpred.cond_correct;
+        self.bpred.indirect += other.bpred.indirect;
+        self.bpred.indirect_correct += other.bpred.indirect_correct;
+        for (mine, theirs) in [(&mut self.l1d, &other.l1d), (&mut self.l2, &other.l2)] {
+            mine.reads += theirs.reads;
+            mine.writes += theirs.writes;
+            mine.read_misses += theirs.read_misses;
+            mine.write_misses += theirs.write_misses;
+            mine.writebacks += theirs.writebacks;
+        }
+        self.l1d_main_misses += other.l1d_main_misses;
+        self.l1d_pthread_misses += other.l1d_pthread_misses;
+        self.useful_prefetches += other.useful_prefetches;
+        self.late_prefetches += other.late_prefetches;
+        self.episode_cycles.merge(&other.episode_cycles);
+        self.episode_extractions.merge(&other.episode_extractions);
+        self.cycle_account.merge(&other.cycle_account);
+        for p in &other.dload_profiles {
+            match self
+                .dload_profiles
+                .binary_search_by_key(&p.dload_pc, |d| d.dload_pc)
+            {
+                Ok(i) => {
+                    let d = &mut self.dload_profiles[i];
+                    d.demand_misses += p.demand_misses;
+                    d.episodes_triggered += p.episodes_triggered;
+                    d.episodes_completed += p.episodes_completed;
+                    d.episodes_aborted += p.episodes_aborted;
+                    d.pthread_loads += p.pthread_loads;
+                    d.timely_prefetches += p.timely_prefetches;
+                    d.late_prefetches += p.late_prefetches;
+                    d.useless_prefetches += p.useless_prefetches;
+                }
+                Err(i) => self.dload_profiles.insert(i, p.clone()),
+            }
+        }
+    }
 }
 
 /// How a run ended.
@@ -322,6 +406,60 @@ mod tests {
         };
         assert!((p.accuracy() - 0.8).abs() < 1e-12);
         assert_eq!(DloadProfile::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_keeps_slot_invariant() {
+        let width = 8u64;
+        let mut a = CoreStats {
+            cycles: 10,
+            committed: 40,
+            l1d_main_misses: 3,
+            ..Default::default()
+        };
+        a.cycle_account.useful_slots = 40;
+        a.cycle_account.dload_miss = 40; // 40 + 40 = 10 * 8
+        a.dload_profiles = vec![DloadProfile {
+            dload_pc: 5,
+            demand_misses: 2,
+            ..Default::default()
+        }];
+        a.episode_cycles.record(16);
+        let mut b = CoreStats {
+            cycles: 5,
+            committed: 12,
+            l1d_main_misses: 1,
+            ..Default::default()
+        };
+        b.cycle_account.useful_slots = 12;
+        b.cycle_account.frontend_other = 28; // 12 + 28 = 5 * 8
+        b.dload_profiles = vec![
+            DloadProfile {
+                dload_pc: 3,
+                demand_misses: 1,
+                ..Default::default()
+            },
+            DloadProfile {
+                dload_pc: 5,
+                pthread_loads: 4,
+                ..Default::default()
+            },
+        ];
+        a.merge(&b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.committed, 52);
+        assert_eq!(a.l1d_main_misses, 4);
+        assert_eq!(
+            a.cycle_account.total_slots(),
+            a.cycles * width,
+            "exact-slot invariant survives merging"
+        );
+        assert_eq!(a.episode_cycles.count(), 1);
+        let pcs: Vec<u32> = a.dload_profiles.iter().map(|d| d.dload_pc).collect();
+        assert_eq!(pcs, vec![3, 5], "profiles merged by PC, sorted");
+        let d5 = &a.dload_profiles[1];
+        assert_eq!(d5.demand_misses, 2);
+        assert_eq!(d5.pthread_loads, 4);
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Lockstep differential testing: the cycle core and the functional
+//! interpreter advance together, and the committed architectural
+//! register state must be identical after *every* commit — not just at
+//! halt. This pins down exactly which commit diverges when a pipeline
+//! bug slips in, where the end-state checks in `random_programs.rs`
+//! only say "something, somewhere, went wrong".
+//!
+//! Memory is compared at halt (the core writes its functional memory
+//! image speculatively at dispatch, so mid-run memory equality is not an
+//! invariant; committed registers are).
+
+use proptest::prelude::*;
+use spear_compiler::{CompilerConfig, SpearCompiler};
+use spear_cpu::{Core, CoreConfig};
+use spear_exec::Interp;
+use spear_isa::asm::Asm;
+use spear_isa::reg::*;
+use spear_isa::{Program, SpearBinary};
+
+/// Random structured programs mixing ALU chains, data-dependent
+/// branches, counted load/store loops, and call/return pairs. Always
+/// halts.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (proptest::collection::vec(0u8..4, 1..6), any::<u64>()).prop_map(|(segments, seed)| {
+        let mut a = Asm::new();
+        let data: Vec<u64> = (0..256u64).map(|i| i.wrapping_mul(seed | 1)).collect();
+        let d = a.alloc_u64("data", &data);
+        a.li(R10, seed as i64);
+        a.li(R20, d as i64);
+        for (i, seg) in segments.iter().enumerate() {
+            match seg {
+                0 => {
+                    a.addi(R10, R10, 3);
+                    a.muli(R11, R10, 7);
+                    a.xor(R10, R10, R11);
+                }
+                1 => {
+                    let t = format!("t{i}");
+                    let j = format!("j{i}");
+                    a.andi(R11, R10, 3);
+                    a.beq(R11, R0, &t);
+                    a.addi(R10, R10, 5);
+                    a.j(&j);
+                    a.label(&t);
+                    a.slli(R10, R10, 1);
+                    a.label(&j);
+                }
+                2 => {
+                    let l = format!("l{i}");
+                    a.li(R12, 16);
+                    a.mv(R13, R20);
+                    a.label(&l);
+                    a.ld(R14, R13, 0);
+                    a.add(R10, R10, R14);
+                    a.sd(R10, R13, 8);
+                    a.addi(R13, R13, 16);
+                    a.addi(R12, R12, -1);
+                    a.bne(R12, R0, &l);
+                }
+                _ => {
+                    let f = format!("f{i}");
+                    let over = format!("o{i}");
+                    a.jal(R31, &f);
+                    a.j(&over);
+                    a.label(&f);
+                    a.addi(R10, R10, 11);
+                    a.jr(R31);
+                    a.label(&over);
+                }
+            }
+        }
+        a.halt();
+        a.finish().expect("generated program assembles")
+    })
+}
+
+/// Step the core cycle by cycle; after each cycle, advance the golden
+/// interpreter to the core's commit count and compare the full committed
+/// register file. Returns the total committed instruction count.
+fn lockstep(binary: &SpearBinary, cfg: CoreConfig, label: &str) -> u64 {
+    let mut interp = Interp::new(&binary.program);
+    let mut core = Core::new(binary, cfg);
+    let mut committed: u64 = 0;
+    while !core.halted() {
+        assert!(core.cycle() < 10_000_000, "{label}: cycle budget exceeded");
+        core.step_cycle().expect("simulation step");
+        let now = core.committed();
+        while committed < now {
+            assert!(!interp.halted, "{label}: core committed past golden halt");
+            interp.step().expect("golden step");
+            committed += 1;
+        }
+        if now > 0 {
+            assert_eq!(
+                core.commit_regs().to_bits(),
+                interp.regs.to_bits(),
+                "{label}: committed registers diverge at commit {} (cycle {})",
+                now,
+                core.cycle()
+            );
+        }
+    }
+    assert!(interp.halted, "{label}: golden interpreter must halt too");
+    assert_eq!(committed, interp.icount, "{label}: commit count");
+    assert_eq!(
+        core.memory().checksum(),
+        interp.mem.checksum(),
+        "{label}: memory image at halt"
+    );
+    committed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn baseline_lockstep_on_random_programs(p in arb_program()) {
+        let binary = SpearBinary::plain(p);
+        lockstep(&binary, CoreConfig::baseline(), "baseline");
+    }
+
+    #[test]
+    fn spear_lockstep_on_random_programs(p in arb_program()) {
+        // Aggressive selection so even small programs get p-threads: the
+        // point is that pre-execution stays architecturally invisible at
+        // every single commit.
+        let mut ccfg = CompilerConfig::default();
+        ccfg.slicer.dload_min_misses = 4;
+        ccfg.slicer.dload_miss_fraction = 0.0;
+        let (binary, _) = SpearCompiler::new(ccfg).compile(&p).expect("compile");
+        lockstep(&binary, CoreConfig::spear(128), "spear-128");
+    }
+}
+
+/// A deterministic (non-proptest) case that exercises a long loop, so the
+/// lockstep walk is guaranteed to cross many mispredict recoveries.
+#[test]
+fn lockstep_long_loop() {
+    let mut a = Asm::new();
+    let data: Vec<u64> = (0..128u64).map(|i| i * 3).collect();
+    let d = a.alloc_u64("data", &data);
+    a.li(R10, 0);
+    a.li(R20, d as i64);
+    a.li(R12, 200);
+    a.label("loop");
+    a.andi(R11, R12, 7);
+    a.beq(R11, R0, "skip");
+    a.ld(R14, R20, 0);
+    a.add(R10, R10, R14);
+    a.label("skip");
+    a.addi(R12, R12, -1);
+    a.bne(R12, R0, "loop");
+    a.halt();
+    let p = a.finish().expect("assembles");
+    let committed = lockstep(&SpearBinary::plain(p), CoreConfig::baseline(), "long-loop");
+    assert!(committed > 800, "loop actually ran: {committed}");
+}

@@ -84,6 +84,27 @@ impl<'p> Interp<'p> {
         }
     }
 
+    /// Resume from a previously captured architectural state — the
+    /// checkpoint-restore entry point. `icount` is carried over so
+    /// instruction budgets and interval boundaries keep their absolute
+    /// meaning across the save/restore boundary.
+    pub fn from_state(
+        program: &'p Program,
+        regs: RegFile,
+        mem: Memory,
+        pc: u32,
+        icount: u64,
+    ) -> Interp<'p> {
+        Interp {
+            program,
+            regs,
+            mem,
+            pc,
+            icount,
+            halted: false,
+        }
+    }
+
     /// Execute one instruction. Returns what happened; errors are workload
     /// bugs (out-of-bounds access, runaway PC).
     pub fn step(&mut self) -> Result<StepInfo, ExecError> {
@@ -100,7 +121,7 @@ impl<'p> Interp<'p> {
 
     /// Run to `halt` or until `max_insts` retire.
     pub fn run(&mut self, max_insts: u64) -> Result<Stop, ExecError> {
-        let budget_end = self.icount + max_insts;
+        let budget_end = self.icount.saturating_add(max_insts);
         while !self.halted {
             if self.icount >= budget_end {
                 return Ok(Stop::Budget);
@@ -116,7 +137,7 @@ impl<'p> Interp<'p> {
         max_insts: u64,
         mut hook: impl FnMut(&StepInfo, &RegFile),
     ) -> Result<Stop, ExecError> {
-        let budget_end = self.icount + max_insts;
+        let budget_end = self.icount.saturating_add(max_insts);
         while !self.halted {
             if self.icount >= budget_end {
                 return Ok(Stop::Budget);

@@ -87,6 +87,17 @@ impl Memory {
         self.bytes[a..a + 8].copy_from_slice(&v.to_le_bytes());
     }
 
+    /// The full byte image (for checkpoint serialization).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Rebuild a memory from a raw byte image captured by
+    /// [`Memory::as_bytes`].
+    pub fn from_bytes(bytes: Vec<u8>) -> Memory {
+        Memory { bytes }
+    }
+
     /// FNV-1a hash over all bytes, for differential tests.
     pub fn checksum(&self) -> u64 {
         let mut h = 0xcbf29ce484222325u64;

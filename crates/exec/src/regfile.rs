@@ -75,6 +75,27 @@ impl RegFile {
         }
     }
 
+    /// All 64 registers as raw bits, index order (for checkpointing).
+    pub fn to_bits(&self) -> Vec<u64> {
+        self.bits.to_vec()
+    }
+
+    /// Rebuild from raw bits captured by [`RegFile::to_bits`]. `r0` is
+    /// forced to zero, preserving the hardwired-zero invariant no matter
+    /// what the serialized image claims.
+    pub fn from_bits(bits: &[u64]) -> Result<RegFile, String> {
+        if bits.len() != NUM_REGS {
+            return Err(format!(
+                "register image has {} entries, expected {NUM_REGS}",
+                bits.len()
+            ));
+        }
+        let mut rf = RegFile::new();
+        rf.bits.copy_from_slice(bits);
+        rf.bits[0] = 0;
+        Ok(rf)
+    }
+
     /// FNV-1a hash of the whole file, for differential tests.
     pub fn checksum(&self) -> u64 {
         let mut h = 0xcbf29ce484222325u64;

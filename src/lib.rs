@@ -6,6 +6,7 @@
 
 pub use spear;
 pub use spear_bpred as bpred;
+pub use spear_campaign as campaign;
 pub use spear_compiler as compiler;
 pub use spear_cpu as cpu;
 pub use spear_exec as exec;
