@@ -1,0 +1,95 @@
+//! Golden `--stats-json` envelope regression: the cycle core's behavior
+//! is pinned byte-for-byte for a grid of (workload, machine) cells.
+//!
+//! The golden files under `tests/golden/` were recorded before the
+//! stage-modular core refactor; any change to cycle-level behavior —
+//! timing, statistics, serialization — fails this test loudly. To
+//! re-record after an *intentional* behavioral change, run:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --test golden_envelopes
+//! ```
+//!
+//! and commit the updated files together with the change that justifies
+//! them.
+
+use spear::export::StatsExport;
+use spear::runner::{compile_workload, run_one};
+use spear::Machine;
+use std::path::PathBuf;
+
+/// The golden grid: three workloads spanning the interesting regimes
+/// (cache-resident, stressmark with episodes, pointer chase) on the
+/// baseline, shared-FU SPEAR, and separate-FU SPEAR machines.
+const WORKLOADS: [&str; 3] = ["field", "update", "pointer"];
+const MACHINES: [Machine; 3] = [Machine::Baseline, Machine::Spear128, Machine::SpearSf128];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn golden_path(workload: &str, machine: Machine) -> PathBuf {
+    golden_dir().join(format!(
+        "{workload}-{}.json",
+        machine.name().replace('.', "_")
+    ))
+}
+
+/// Simulate one cell to completion and render its stats envelope exactly
+/// as `spear-sim --stats-json` would.
+fn envelope(workload: &str, machine: Machine) -> String {
+    let w = spear_workloads::by_name(workload).expect("known workload");
+    let (table, _) = compile_workload(&w);
+    let outcome = run_one(&w, &table, machine, None);
+    let mem_latency = machine.config(None).hier.latency.memory;
+    StatsExport::new(
+        workload,
+        machine.name(),
+        mem_latency,
+        spear_cpu::RunExit::Halted,
+        outcome.stats,
+    )
+    .to_json()
+}
+
+#[test]
+fn stats_envelopes_match_pre_refactor_goldens() {
+    let bless = std::env::var_os("GOLDEN_BLESS").is_some();
+    if bless {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+    }
+    let mut failures = Vec::new();
+    for workload in WORKLOADS {
+        for machine in MACHINES {
+            let got = envelope(workload, machine);
+            let path = golden_path(workload, machine);
+            if bless {
+                std::fs::write(&path, &got).expect("write golden");
+                continue;
+            }
+            let want = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+            if got != want {
+                // Point at the first diverging line for a usable failure.
+                let line = got
+                    .lines()
+                    .zip(want.lines())
+                    .position(|(g, w)| g != w)
+                    .map(|i| i + 1)
+                    .unwrap_or(0);
+                failures.push(format!(
+                    "{workload} on {}: envelope differs from {} (first diff at line {line})",
+                    machine.name(),
+                    path.display()
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden stats envelopes diverged:\n  {}",
+        failures.join("\n  ")
+    );
+}
