@@ -29,7 +29,8 @@ fn usage() -> ! {
          \x20      [--stats-json PATH] [--trace-file PATH]\n\
          \x20  or: spear-sim campaign --dir DIR [--workloads a,b,c|all]\n\
          \x20      [--machines M1,M2,...] [--mem-latency N] [--interval N]\n\
-         \x20      [--stride N] [--threads N] [--max-cells N] [--quiet]\n\n\
+         \x20      [--stride N] [--threads N] [--max-cells N] [--quiet]\n\
+         \x20  or: spear-sim dump-config [-m MACHINE] [--mem-latency N]\n\n\
          machines: baseline, spear-128, spear-256, spear-sf-128, spear-sf-256"
     );
     exit(2)
@@ -237,6 +238,39 @@ fn campaign_main(args: Vec<String>) -> ! {
     exit(if summary.interrupted { 3 } else { 0 })
 }
 
+/// The `dump-config` subcommand: print the fully resolved [`CoreConfig`]
+/// a machine model would run with, as pretty-printed JSON. Useful for
+/// diffing machine models and for documenting exactly what a paper figure
+/// was produced with.
+fn dump_config_main(args: Vec<String>) -> ! {
+    let mut machine = Machine::Baseline;
+    let mut latency: Option<LatencyConfig> = None;
+
+    let mut it = args.into_iter();
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("spear-sim: {flag} needs a value");
+            exit(2)
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-m" | "--machine" => machine = parse_machine(&next_val(&mut it, "-m")),
+            "--mem-latency" => {
+                let mem: u32 = parse_num("--mem-latency", &next_val(&mut it, "--mem-latency"));
+                latency = Some(LatencyConfig::sweep_point(mem));
+            }
+            _ => {
+                eprintln!("spear-sim: unrecognized dump-config argument `{arg}`");
+                usage()
+            }
+        }
+    }
+    let cfg = machine.config(latency);
+    println!("{}", serde::json::to_string_pretty(&cfg));
+    exit(0)
+}
+
 /// Compact duration for the completion line.
 fn report_ms(ms: u64) -> String {
     if ms >= 1000 {
@@ -253,6 +287,9 @@ fn main() {
     }
     if args[0] == "campaign" {
         campaign_main(args.split_off(1));
+    }
+    if args[0] == "dump-config" {
+        dump_config_main(args.split_off(1));
     }
     let mut file: Option<String> = None;
     let mut machine = Machine::Baseline;

@@ -1,4 +1,6 @@
-//! The cycle-level out-of-order SMT core with the SPEAR front end.
+//! The simulator façade: the per-cycle stage loop over a
+//! [`crate::pipeline::Pipeline`] driven by a pluggable front-end
+//! extension.
 //!
 //! # Pipeline model
 //!
@@ -6,7 +8,7 @@
 //! writeback → commit`, modelled execution-driven in the `sim-outorder`
 //! style:
 //!
-//! * **Execute-at-dispatch oracle timing.** True-path main-thread
+//! * **Execute-at-dispatch oracle timing.** True-path main-context
 //!   instructions execute functionally (via [`spear_exec::exec_inst`] — the
 //!   same semantics as the golden model) in program order at dispatch;
 //!   the rest of the pipeline provides timing. Branch outcomes are thus
@@ -18,162 +20,24 @@
 //!   order), with commit-order architectural state reconstructed in
 //!   `commit_regs` for live-in copies and final-state checks.
 //!
-//! # SPEAR additions (§3)
-//!
-//! * Pre-decode marks IFQ entries whose PC is in the p-thread table and
-//!   detects delinquent loads (PD).
-//! * A d-load detection triggers pre-execution when the IFQ holds at least
-//!   `trigger_fraction × ifq_size` instructions; the machine then waits for
-//!   the at-trigger RUU snapshot to drain, copies live-ins (one
-//!   cycle per register), and activates the P-thread Extractor.
-//! * The PE scans from the IFQ head, extracting up to `pe_bandwidth`
-//!   marked instructions per cycle into the p-thread context (thread id 1,
-//!   own RUU, own rename table, private store overlay). Extraction shares
-//!   the decode bandwidth: main decode gets whatever the PE left.
-//! * P-thread instructions get issue priority; their loads access the
-//!   shared L1D — that is the prefetch effect.
-//! * The episode ends when the triggering d-load retires from the p-thread
-//!   RUU, or aborts on an IFQ flush or if main decode consumes the
-//!   triggering d-load first.
+//! The stages live in [`crate::stage`] as free functions over the shared
+//! pipeline state; everything SPEAR-specific lives in [`crate::spear`]
+//! behind the [`crate::frontend::FrontEndExt`] trait. A binary with
+//! `cfg.spear == None` runs the no-op [`BaselineFrontEnd`] and behaves as
+//! the baseline superscalar.
 
-use crate::config::{CoreConfig, SpearConfig};
-use crate::fu::FuPool;
-use crate::ifq::{Ifq, IfqEntry};
-use crate::stats::{CoreStats, DloadProfile, RunExit, StallCause};
-use crate::trace::{AbortReason, Event, Trace};
+use crate::config::CoreConfig;
+use crate::ctx::{MAIN_CTX, PTHREAD_CTX};
+use crate::frontend::{BaselineFrontEnd, FrontEndExt};
+use crate::pipeline::Pipeline;
+use crate::spear::SpearFrontEnd;
+use crate::stage;
+use crate::stats::{CoreStats, RunExit};
+use crate::trace::{Event, Trace};
 use spear_bpred::Predictor;
-use spear_exec::{exec_inst, DataMem, ExecError, MemFault, Memory, RegFile};
-use spear_isa::pthread::PThreadEntry;
-use spear_isa::reg::NUM_REGS;
-use spear_isa::{FuClass, Inst, Opcode, Program, SpearBinary};
-use spear_mem::{AccessKind, Hierarchy};
-use std::collections::{BTreeSet, HashMap, VecDeque};
-
-/// Which hardware context an in-flight instruction belongs to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Thread {
-    /// Thread id 0 — the main program.
-    Main,
-    /// Thread id 1 — the prefetching thread.
-    Pthread,
-}
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum EState {
-    Waiting,
-    Ready,
-    Executing,
-    Done,
-}
-
-/// One RUU (reorder-buffer / scheduler) entry.
-#[derive(Clone, Debug)]
-struct RuuEntry {
-    seq: u64,
-    thread: Thread,
-    pc: u32,
-    inst: Inst,
-    state: EState,
-    pending: u32,
-    complete_at: u64,
-    eff_addr: Option<u64>,
-    wrong_path: bool,
-    is_halt: bool,
-    /// P-thread entry that terminates the pre-execution episode.
-    is_trigger_dload: bool,
-    /// Architectural result, applied to `commit_regs` at commit.
-    dst_val: Option<(spear_isa::Reg, u64)>,
-    /// Cycle the entry was dispatched into the RUU (cycle accounting:
-    /// distinguishes "never had an issue opportunity" from contention).
-    dispatch_cycle: u64,
-    /// Set at issue if this memory operation's access went past the L1
-    /// (or merged into an in-flight fill) — the commit-head signal for
-    /// the d-load-miss CPI-stack bucket.
-    mem_missed: bool,
-    /// For p-thread entries: the static d-load PC of the episode that
-    /// extracted it, attributing its prefetches in the per-d-load
-    /// effectiveness profiles.
-    dload_owner: Option<u32>,
-}
-
-/// Per-d-load episode outcome tally (harvested into
-/// [`crate::stats::DloadProfile`] at the end of a run).
-#[derive(Clone, Copy, Debug, Default)]
-struct EpisodeTally {
-    triggered: u64,
-    completed: u64,
-    aborted: u64,
-}
-
-/// P-thread memory view: reads fall through a private byte overlay to the
-/// shared memory image; writes land only in the overlay. This is the
-/// paper's "only updates the data cache without changing the semantic
-/// state" isolation.
-struct PthreadView<'a> {
-    overlay: &'a mut HashMap<u64, u8>,
-    mem: &'a Memory,
-}
-
-impl DataMem for PthreadView<'_> {
-    fn load(&mut self, addr: u64, width: usize) -> Result<u64, MemFault> {
-        let mut buf = [0u8; 8];
-        for (i, b) in buf.iter_mut().enumerate().take(width) {
-            let a = addr.wrapping_add(i as u64);
-            *b = match self.overlay.get(&a) {
-                Some(&v) => v,
-                None => self.mem.peek(a, 1).map_err(|_| MemFault {
-                    addr,
-                    width,
-                    is_store: false,
-                })? as u8,
-            };
-        }
-        Ok(u64::from_le_bytes(buf))
-    }
-
-    fn store(&mut self, addr: u64, width: usize, value: u64) -> Result<(), MemFault> {
-        // Bounds-check against the real image so runaway speculative
-        // stores fault (and get dropped) instead of growing the overlay.
-        self.mem.peek(addr, width).map_err(|_| MemFault {
-            addr,
-            width,
-            is_store: true,
-        })?;
-        for (i, b) in value.to_le_bytes().iter().enumerate().take(width) {
-            self.overlay.insert(addr.wrapping_add(i as u64), *b);
-        }
-        Ok(())
-    }
-}
-
-/// SPEAR trigger/extraction state machine (§3.2).
-#[derive(Clone, Debug, PartialEq, Eq)]
-enum Mode {
-    /// No episode in progress; the PD may accept a trigger.
-    Normal,
-    /// Waiting until the last producers of the live-in registers have
-    /// completed (bounded by the live-in wait limit), so their
-    /// dispatch-point values are available to copy.
-    DrainWait {
-        dload_seq: u64,
-        dload_pc: u32,
-        pt_idx: usize,
-        deadline: u64,
-    },
-    /// Copying live-in registers, one cycle each.
-    CopyLiveIns {
-        remaining: u32,
-        dload_seq: u64,
-        dload_pc: u32,
-        pt_idx: usize,
-    },
-    /// PE active (or drained after extracting the d-load).
-    PreExec {
-        dload_seq: u64,
-        dload_pc: u32,
-        extraction_done: bool,
-    },
-}
+use spear_exec::{ExecError, Memory, RegFile};
+use spear_isa::SpearBinary;
+use spear_mem::Hierarchy;
 
 /// Simulation errors — all indicate workload or harness bugs, not
 /// architectural events.
@@ -208,171 +72,47 @@ pub struct RunResult {
     pub stats: CoreStats,
 }
 
-/// The simulator.
-pub struct Core<'p> {
-    cfg: CoreConfig,
-    spear: Option<SpearConfig>,
-    program: &'p Program,
-    pt_entries: &'p [PThreadEntry],
-    /// Per-PC: bit set if the PC is in any p-thread member set.
-    marked_pcs: Vec<bool>,
-    /// Per-PC: index into `pt_entries` if the PC is a delinquent load.
-    dload_idx: HashMap<u32, usize>,
-
-    // ---- front end ----
-    predictor: Predictor,
-    ifq: Ifq,
-    fetch_pc: u32,
-    fetch_ready_at: u64,
-    fetch_halted: bool,
-    last_fetch_block: Option<u64>,
-
-    // ---- functional state ----
-    /// Dispatch-order register state (main thread).
-    regs: RegFile,
-    /// Commit-order register state (live-in source; final arch state).
-    commit_regs: RegFile,
-    /// Shared functional memory image (written at dispatch).
-    mem: Memory,
-    /// P-thread register context.
-    pth_regs: RegFile,
-    /// P-thread private store overlay.
-    pth_overlay: HashMap<u64, u8>,
-
-    // ---- backend ----
-    entries: HashMap<u64, RuuEntry>,
-    main_order: VecDeque<u64>,
-    pth_order: VecDeque<u64>,
-    consumers: HashMap<u64, Vec<u64>>,
-    ready_main: BTreeSet<u64>,
-    ready_pth: BTreeSet<u64>,
-    stores_main: Vec<(u64, u64, usize)>,
-    stores_pth: Vec<(u64, u64, usize)>,
-    rename_main: [Option<u64>; NUM_REGS],
-    rename_pth: [Option<u64>; NUM_REGS],
-    fus: FuPool,
-    fus_pth: Option<FuPool>,
-    hier: Hierarchy,
-
-    // ---- control ----
-    mode: Mode,
-    /// Cycle the current episode's trigger was accepted (for the episode
-    /// duration histogram).
-    episode_start: u64,
-    /// Instructions extracted so far in the current episode.
-    episode_extracted: u64,
-    /// Set after an IFQ flush while an episode is active: the episode's
-    /// trigger must be re-armed onto a refetched d-load instance before
-    /// this cycle, or the episode aborts.
-    retarget_deadline: Option<u64>,
-    wrongpath: bool,
-    halt_dispatched: bool,
-    pending_recovery: Option<(u64, u32)>,
-    /// Set by a misprediction flush, cleared when dispatch next inserts a
-    /// main-thread instruction: the window where an empty RUU is charged
-    /// to the post-flush refill rather than generic front-end causes.
-    post_flush_refill: bool,
-    /// Whether the p-thread issued a memory / any operation during the
-    /// previous cycle's issue phase (read by this cycle's commit-slot
-    /// classification, which runs first).
-    pth_issued_mem_last: bool,
-    pth_issued_any_last: bool,
-    /// Per-d-load episode outcomes.
-    episode_tally: HashMap<u32, EpisodeTally>,
-    cycle: u64,
-    next_seq: u64,
-    last_commit_cycle: u64,
-    halted: bool,
-
-    /// Counters.
-    pub stats: CoreStats,
-    /// Optional episode trace (see [`Core::enable_trace`]).
-    trace: Option<Trace>,
-}
-
 const DEADLOCK_CYCLES: u64 = 200_000;
 
-/// Cycles an in-progress episode may wait for its d-load to be refetched
-/// after an IFQ flush before it is abandoned.
-const RETARGET_WINDOW: u64 = 512;
+/// The simulator: shared pipeline state plus the front-end extension
+/// driving its speculative contexts.
+pub struct Core<'p> {
+    pipe: Pipeline<'p>,
+    fe: Box<dyn FrontEndExt + 'p>,
+}
 
 impl<'p> Core<'p> {
     /// Build a core for `binary` under `cfg`. A binary with an empty
     /// p-thread table (or `cfg.spear == None`) behaves as the baseline
     /// superscalar.
     pub fn new(binary: &'p SpearBinary, cfg: CoreConfig) -> Core<'p> {
-        let program = &binary.program;
-        let mut marked_pcs = vec![false; program.len()];
-        let mut dload_idx = HashMap::new();
-        if cfg.spear.is_some() {
-            for (i, e) in binary.table.entries.iter().enumerate() {
-                dload_idx.insert(e.dload_pc, i);
-                for &m in &e.members {
-                    if let Some(slot) = marked_pcs.get_mut(m as usize) {
-                        *slot = true;
-                    }
-                }
+        let fe: Box<dyn FrontEndExt + 'p> = match cfg.spear {
+            Some(sp) => {
+                assert!(
+                    cfg.num_contexts > PTHREAD_CTX.0,
+                    "the SPEAR front end needs a speculative context"
+                );
+                Box::new(SpearFrontEnd::new(
+                    sp,
+                    &binary.table.entries,
+                    binary.program.len(),
+                ))
             }
-        }
-        let fus_pth = cfg.separate_fu.then(|| FuPool::new(&cfg));
+            None => Box::new(BaselineFrontEnd),
+        };
         Core {
-            spear: cfg.spear,
-            predictor: Predictor::new(cfg.bpred),
-            ifq: Ifq::new(cfg.ifq_size),
-            fetch_pc: program.entry,
-            fetch_ready_at: 0,
-            fetch_halted: false,
-            last_fetch_block: None,
-            regs: RegFile::new(),
-            commit_regs: RegFile::new(),
-            mem: Memory::from_image(&program.data),
-            pth_regs: RegFile::new(),
-            pth_overlay: HashMap::new(),
-            entries: HashMap::new(),
-            main_order: VecDeque::new(),
-            pth_order: VecDeque::new(),
-            consumers: HashMap::new(),
-            ready_main: BTreeSet::new(),
-            ready_pth: BTreeSet::new(),
-            stores_main: Vec::new(),
-            stores_pth: Vec::new(),
-            rename_main: [None; NUM_REGS],
-            rename_pth: [None; NUM_REGS],
-            fus: FuPool::new(&cfg),
-            fus_pth,
-            hier: Hierarchy::new(cfg.hier),
-            mode: Mode::Normal,
-            episode_start: 0,
-            episode_extracted: 0,
-            retarget_deadline: None,
-            wrongpath: false,
-            halt_dispatched: false,
-            pending_recovery: None,
-            post_flush_refill: false,
-            pth_issued_mem_last: false,
-            pth_issued_any_last: false,
-            episode_tally: HashMap::new(),
-            cycle: 0,
-            next_seq: 1,
-            last_commit_cycle: 0,
-            halted: false,
-            stats: CoreStats::default(),
-            trace: None,
-            program,
-            pt_entries: &binary.table.entries,
-            marked_pcs,
-            dload_idx,
-            cfg,
+            pipe: Pipeline::new(&binary.program, cfg),
+            fe,
         }
     }
 
     /// Run until the program halts or a budget is hit.
     pub fn run(&mut self, max_cycles: u64, max_insts: u64) -> Result<RunResult, SimError> {
-        while !self.halted {
-            if self.cycle >= max_cycles {
+        while !self.pipe.halted {
+            if self.pipe.cycle >= max_cycles {
                 return Ok(self.finish(RunExit::CycleBudget));
             }
-            if self.stats.committed >= max_insts {
+            if self.pipe.stats.committed >= max_insts {
                 return Ok(self.finish(RunExit::InstBudget));
             }
             self.step_cycle()?;
@@ -380,120 +120,110 @@ impl<'p> Core<'p> {
         Ok(self.finish(RunExit::Halted))
     }
 
-    /// Advance one cycle.
+    /// Advance one cycle: commit → writeback → front-end update → issue →
+    /// extraction → dispatch → fetch.
     pub fn step_cycle(&mut self) -> Result<(), SimError> {
-        self.cycle += 1;
-        self.stats.cycles = self.cycle;
-        self.commit();
-        self.writeback();
-        self.update_mode();
-        self.issue();
-        let pe_used = self.pe_extract();
-        self.dispatch(pe_used)?;
-        self.fetch();
+        let pipe = &mut self.pipe;
+        let fe = self.fe.as_mut();
+        pipe.cycle += 1;
+        pipe.stats.cycles = pipe.cycle;
+        stage::commit::run(pipe, fe);
+        stage::writeback::run(pipe, fe);
+        fe.update(pipe);
+        stage::issue::run(pipe);
+        let port = fe.extract(pipe);
+        stage::dispatch::run(pipe, fe, port)?;
+        stage::fetch::run(pipe, fe);
         // Stream the cache-line fills this cycle produced (only when a
         // trace sink is attached; the hierarchy log is off otherwise).
-        if let Some(t) = &mut self.trace {
+        if let Some(t) = &mut pipe.trace {
             if t.has_sink() {
-                let cycle = self.cycle;
-                for f in self.hier.drain_fills() {
+                let cycle = pipe.cycle;
+                for f in pipe.hier.drain_fills() {
                     t.stream(Event::Fill {
                         cycle,
                         block_addr: f.block_addr,
                         latency: f.latency,
                         pthread: f.pthread,
+                        ctx: if f.pthread { PTHREAD_CTX.0 } else { MAIN_CTX.0 },
                     });
                 }
             }
         }
-        if self.cycle - self.last_commit_cycle > DEADLOCK_CYCLES && !self.halted {
-            return Err(SimError::Deadlock { cycle: self.cycle });
+        if pipe.cycle - pipe.last_commit_cycle > DEADLOCK_CYCLES && !pipe.halted {
+            return Err(SimError::Deadlock { cycle: pipe.cycle });
         }
         Ok(())
     }
 
     fn finish(&mut self, exit: RunExit) -> RunResult {
+        let pipe = &mut self.pipe;
         // Prefetches still unclaimed when the run ends never helped
         // anyone — close the timely/late/useless partition.
-        self.hier.drain_pending_prefetches();
-        self.stats.bpred = self.predictor.stats;
-        self.stats.l1d = self.hier.l1d.stats;
-        self.stats.l2 = self.hier.l2.stats;
-        self.stats.l1d_main_misses = self.hier.pc_misses.total();
-        self.stats.l1d_pthread_misses = self.hier.pthread_misses;
-        self.stats.useful_prefetches = self.hier.useful_prefetches;
-        self.stats.late_prefetches = self.hier.late_prefetches;
-        // Per-d-load effectiveness profiles, one row per p-thread table
-        // entry, sorted by static PC.
-        let mut pcs: Vec<u32> = self.dload_idx.keys().copied().collect();
-        pcs.sort_unstable();
-        self.stats.dload_profiles = pcs
-            .into_iter()
-            .map(|pc| {
-                let p = self.hier.dload_profile(pc);
-                let t = self.episode_tally.get(&pc).copied().unwrap_or_default();
-                DloadProfile {
-                    dload_pc: pc,
-                    demand_misses: self.hier.pc_misses.get(pc),
-                    episodes_triggered: t.triggered,
-                    episodes_completed: t.completed,
-                    episodes_aborted: t.aborted,
-                    pthread_loads: p.pthread_loads,
-                    timely_prefetches: p.timely,
-                    late_prefetches: p.late,
-                    useless_prefetches: p.useless,
-                }
-            })
-            .collect();
-        if let Some(t) = &mut self.trace {
+        pipe.hier.drain_pending_prefetches();
+        pipe.stats.bpred = pipe.predictor.stats;
+        pipe.stats.l1d = pipe.hier.l1d.stats;
+        pipe.stats.l2 = pipe.hier.l2.stats;
+        pipe.stats.l1d_main_misses = pipe.hier.pc_misses.total();
+        pipe.stats.l1d_pthread_misses = pipe.hier.pthread_misses;
+        pipe.stats.useful_prefetches = pipe.hier.useful_prefetches;
+        pipe.stats.late_prefetches = pipe.hier.late_prefetches;
+        pipe.stats.dload_profiles = self.fe.harvest_profiles(&pipe.hier);
+        if let Some(t) = &mut pipe.trace {
             t.flush();
         }
         RunResult {
             exit,
-            stats: self.stats.clone(),
+            stats: pipe.stats.clone(),
         }
+    }
+
+    /// All counters.
+    pub fn stats(&self) -> &CoreStats {
+        &self.pipe.stats
     }
 
     /// Committed architectural register state (for differential tests).
     pub fn commit_regs(&self) -> &RegFile {
-        &self.commit_regs
+        &self.pipe.commit_regs
     }
 
     /// Instructions committed so far (for lockstep differential tests
     /// that advance a golden interpreter between cycles).
     pub fn committed(&self) -> u64 {
-        self.stats.committed
+        self.pipe.stats.committed
     }
 
     /// Functional memory image (equals architectural memory at halt).
     pub fn memory(&self) -> &Memory {
-        &self.mem
+        &self.pipe.mem
     }
 
     /// Architectural checksum comparable with
     /// `spear_exec::Interp::state_checksum`.
     pub fn state_checksum(&self) -> u64 {
-        self.commit_regs
+        self.pipe
+            .commit_regs
             .checksum()
             .rotate_left(17)
-            .wrapping_add(self.mem.checksum())
+            .wrapping_add(self.pipe.mem.checksum())
     }
 
     /// The cache hierarchy (miss statistics).
     pub fn hierarchy(&self) -> &Hierarchy {
-        &self.hier
+        &self.pipe.hier
     }
 
     /// Mutable hierarchy access, for seeding warm cache contents from a
     /// checkpoint before the first cycle (see `spear-campaign`).
     pub fn hierarchy_mut(&mut self) -> &mut Hierarchy {
-        &mut self.hier
+        &mut self.pipe.hier
     }
 
     /// Mutable predictor access, for seeding warm branch-predictor state
     /// from a checkpoint before the first cycle.
     pub fn predictor_mut(&mut self) -> &mut Predictor {
-        &mut self.predictor
+        &mut self.pipe.predictor
     }
 
     /// Seed a freshly built core with a mid-program architectural state:
@@ -508,60 +238,58 @@ impl<'p> Core<'p> {
     /// is not a supported operation (checkpoints are quiesced states).
     pub fn restore_arch_state(&mut self, regs: &RegFile, mem: Memory, pc: u32) {
         assert_eq!(
-            self.cycle, 0,
+            self.pipe.cycle, 0,
             "architectural restore must precede the first simulated cycle"
         );
         assert_eq!(
             mem.len(),
-            self.mem.len(),
+            self.pipe.mem.len(),
             "restored memory image must match the program's data size"
         );
-        self.regs = regs.clone();
-        self.commit_regs = regs.clone();
-        self.mem = mem;
-        self.fetch_pc = pc;
+        self.pipe.ctxs[MAIN_CTX.0].regs = regs.clone();
+        self.pipe.commit_regs = regs.clone();
+        self.pipe.mem = mem;
+        self.pipe.fetch.pc = pc;
     }
 
     /// Current IFQ occupancy (observability for viewers/tests).
     pub fn ifq_len(&self) -> usize {
-        self.ifq.len()
+        self.pipe.ifq.len()
     }
 
-    /// Main-thread RUU occupancy.
+    /// Main-context RUU occupancy.
     pub fn ruu_len(&self) -> usize {
-        self.main_order.len()
+        self.pipe.main_ctx().order.len()
     }
 
-    /// P-thread RUU occupancy.
+    /// P-thread-context RUU occupancy.
     pub fn pthread_ruu_len(&self) -> usize {
-        self.pth_order.len()
+        self.pipe
+            .ctxs
+            .get(PTHREAD_CTX.0)
+            .map_or(0, |c| c.order.len())
     }
 
-    /// Short name of the SPEAR front-end state ("normal", "drain",
-    /// "copy", "preexec").
-    pub fn mode_name(&self) -> &'static str {
-        match self.mode {
-            Mode::Normal => "normal",
-            Mode::DrainWait { .. } => "drain",
-            Mode::CopyLiveIns { .. } => "copy",
-            Mode::PreExec { .. } => "preexec",
-        }
+    /// Short name of the front-end state ("normal", or the active phase
+    /// and its target context, e.g. "preexec@ctx1").
+    pub fn mode_name(&self) -> String {
+        self.fe.mode_name()
     }
 
     /// Cycles simulated so far.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.pipe.cycle
     }
 
     /// True once the program's `halt` has committed.
     pub fn halted(&self) -> bool {
-        self.halted
+        self.pipe.halted
     }
 
     /// Keep a bounded log of SPEAR front-end events (trigger, live-in
     /// copy, extraction, episode end, flush).
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(Trace::new(capacity));
+        self.pipe.trace = Some(Trace::new(capacity));
     }
 
     /// Stream every trace event — the episode events plus high-volume
@@ -570,1103 +298,13 @@ impl<'p> Core<'p> {
     /// [`Core::enable_trace`]; without it, only the sink sees events
     /// (the in-memory ring stays empty).
     pub fn set_trace_sink(&mut self, sink: Box<dyn std::io::Write + Send>) {
-        let t = self.trace.get_or_insert_with(|| Trace::new(0));
+        let t = self.pipe.trace.get_or_insert_with(|| Trace::new(0));
         t.set_sink(sink);
-        self.hier.enable_fill_log();
+        self.pipe.hier.enable_fill_log();
     }
 
     /// The recorded trace, if enabled.
     pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
-    }
-
-    #[inline]
-    fn trace_event(&mut self, f: impl FnOnce(u64) -> Event) {
-        if let Some(t) = &mut self.trace {
-            let cycle = self.cycle;
-            t.record(f(cycle));
-        }
-    }
-
-    /// Like [`Core::trace_event`] but sink-only, for per-instruction
-    /// pipeline events too frequent for the bounded ring.
-    #[inline]
-    fn stream_event(&mut self, f: impl FnOnce(u64) -> Event) {
-        if let Some(t) = &mut self.trace {
-            if t.has_sink() {
-                let cycle = self.cycle;
-                t.stream(f(cycle));
-            }
-        }
-    }
-
-    // =================================================================
-    // Commit
-    // =================================================================
-
-    fn commit(&mut self) {
-        let width = self.cfg.commit_width;
-        let mut budget = width;
-        let mut halted_now = false;
-        while budget > 0 {
-            let Some(&seq) = self.main_order.front() else {
-                break;
-            };
-            let e = &self.entries[&seq];
-            if e.state != EState::Done {
-                break;
-            }
-            let e = self.entries.remove(&seq).expect("front entry exists");
-            self.main_order.pop_front();
-            self.consumers.remove(&seq);
-            debug_assert_eq!(e.seq, seq);
-            debug_assert!(!e.wrong_path, "wrong-path entry reached commit");
-            if let Some((r, v)) = e.dst_val {
-                self.commit_regs.write_u64(r, v);
-            }
-            self.stats.committed += 1;
-            self.last_commit_cycle = self.cycle;
-            if e.inst.op.is_load() {
-                self.stats.committed_loads += 1;
-            }
-            if e.inst.op.is_store() {
-                self.stats.committed_stores += 1;
-            }
-            if e.inst.op.is_ctrl() {
-                self.stats.committed_branches += 1;
-            }
-            budget -= 1;
-            let pc = e.pc;
-            self.stream_event(|cycle| Event::Commit { cycle, pc });
-            if e.is_halt {
-                self.halted = true;
-                halted_now = true;
-                break;
-            }
-        }
-        // CPI-stack slot accounting: every cycle has `width` commit
-        // slots; the unused ones are charged to exactly one cause, so
-        // `useful_slots + lost == cycles * width` holds strictly.
-        let used = (width - budget) as u64;
-        self.stats.cycle_account.useful_slots += used;
-        let lost = budget as u64;
-        if lost > 0 {
-            let cause = if halted_now {
-                // The program is over; the rest of the final cycle's
-                // slots have nothing left to commit.
-                StallCause::FrontendOther
-            } else {
-                self.classify_commit_stall()
-            };
-            self.stats.cycle_account.charge(cause, lost);
-        }
-        if halted_now {
-            return;
-        }
-        // P-thread retirement (does not consume main commit bandwidth: the
-        // p-thread writes no architectural state, its "retire" just frees
-        // the RUU entry).
-        while let Some(&seq) = self.pth_order.front() {
-            if self.entries[&seq].state != EState::Done {
-                break;
-            }
-            let e = self.entries.remove(&seq).expect("front entry exists");
-            self.pth_order.pop_front();
-            self.consumers.remove(&seq);
-            if e.is_trigger_dload {
-                if let Mode::PreExec { dload_pc, .. } = self.mode {
-                    self.mode = Mode::Normal;
-                    self.stats.preexec_completed += 1;
-                    self.episode_tally.entry(dload_pc).or_default().completed += 1;
-                    self.record_episode_end();
-                    self.trace_event(|cycle| Event::EpisodeComplete { cycle });
-                }
-            }
-        }
-    }
-
-    /// Attribute this cycle's lost commit slots to one cause, judged from
-    /// the commit head (or the front-end state when the window is empty).
-    /// The head is never `Waiting`: its producers are older, hence
-    /// already completed.
-    fn classify_commit_stall(&self) -> StallCause {
-        if let Some(&head) = self.main_order.front() {
-            let e = &self.entries[&head];
-            if self.pending_recovery.is_some_and(|(b, _)| b == head) {
-                // Commit is blocked on the unresolved mispredicted
-                // branch itself.
-                return StallCause::BranchRecovery;
-            }
-            match e.state {
-                EState::Executing => {
-                    if e.mem_missed {
-                        StallCause::DloadMiss
-                    } else {
-                        StallCause::FuBusy
-                    }
-                }
-                EState::Ready => {
-                    // Dispatched after the most recent issue phase: the
-                    // head never had an issue opportunity — pipeline
-                    // refill, not contention.
-                    if e.dispatch_cycle + 1 >= self.cycle {
-                        StallCause::FrontendOther
-                    } else if e.inst.op.is_mem() {
-                        if self.pth_issued_mem_last {
-                            StallCause::PthreadContention
-                        } else {
-                            StallCause::MemPortContention
-                        }
-                    } else if self.pth_issued_any_last {
-                        StallCause::PthreadContention
-                    } else {
-                        StallCause::FuBusy
-                    }
-                }
-                // Waiting/Done heads are unreachable here (producers are
-                // older; Done would have committed) — keep the stack
-                // total correct regardless.
-                EState::Waiting | EState::Done => StallCause::FrontendOther,
-            }
-        } else if self.post_flush_refill {
-            StallCause::IfqEmptyAfterFlush
-        } else if self.cycle <= self.fetch_ready_at {
-            StallCause::IcacheStall
-        } else {
-            StallCause::FrontendOther
-        }
-    }
-
-    // =================================================================
-    // Writeback + misprediction recovery
-    // =================================================================
-
-    fn writeback(&mut self) {
-        let now = self.cycle;
-        let mut completed: Vec<u64> = Vec::new();
-        for (&seq, e) in self.entries.iter_mut() {
-            if e.state == EState::Executing && e.complete_at <= now {
-                e.state = EState::Done;
-                completed.push(seq);
-            }
-        }
-        completed.sort_unstable();
-        for seq in completed {
-            if let Some(consumers) = self.consumers.get(&seq) {
-                for &c in consumers.clone().iter() {
-                    if let Some(ce) = self.entries.get_mut(&c) {
-                        ce.pending = ce.pending.saturating_sub(1);
-                        if ce.pending == 0 && ce.state == EState::Waiting {
-                            ce.state = EState::Ready;
-                            match ce.thread {
-                                Thread::Main => self.ready_main.insert(c),
-                                Thread::Pthread => self.ready_pth.insert(c),
-                            };
-                        }
-                    }
-                }
-            }
-            // Completed stores no longer gate younger loads.
-            self.stores_main.retain(|&(s, _, _)| s != seq);
-            self.stores_pth.retain(|&(s, _, _)| s != seq);
-        }
-        // Fire the (single) pending recovery if its branch has resolved.
-        if let Some((bseq, target)) = self.pending_recovery {
-            if self
-                .entries
-                .get(&bseq)
-                .is_some_and(|e| e.state == EState::Done)
-            {
-                self.recover(bseq, target);
-            }
-        }
-    }
-
-    fn recover(&mut self, branch_seq: u64, target: u32) {
-        self.stats.recoveries += 1;
-        // Squash main-thread entries younger than the branch. The p-thread
-        // is an independent hardware context: its in-flight instructions
-        // only prefetch, so front-end recovery does not touch them.
-        let squash: Vec<u64> = self
-            .entries
-            .iter()
-            .filter(|(&s, e)| s > branch_seq && e.thread == Thread::Main)
-            .map(|(&s, _)| s)
-            .collect();
-        for s in &squash {
-            self.entries.remove(s);
-            self.consumers.remove(s);
-        }
-        self.stats.squashed += squash.len() as u64;
-        self.main_order.retain(|s| !squash.contains(s));
-        self.ready_main.retain(|s| *s <= branch_seq);
-        self.stores_main.retain(|&(s, _, _)| s <= branch_seq);
-        for r in self.rename_main.iter_mut() {
-            if r.is_some_and(|s| s > branch_seq) {
-                *r = None;
-            }
-        }
-        // Flush the front end and restart at the true target.
-        self.ifq.flush();
-        self.fetch_pc = target;
-        self.fetch_ready_at = self.cycle + 1;
-        self.fetch_halted = false;
-        self.last_fetch_block = None;
-        self.predictor.recover();
-        self.wrongpath = false;
-        self.pending_recovery = None;
-        self.post_flush_refill = true;
-        // An active SPEAR episode loses its IFQ entries, including the
-        // remembered trigger d-load entry. Paper behaviour: the episode
-        // dies with the queue. With the `rearm_after_flush` extension the
-        // p-thread context survives and the PD re-arms the trigger onto
-        // the next fetched instance of the same static d-load (abandoned
-        // if none shows up within the deadline).
-        if self.mode != Mode::Normal {
-            if self.spear.is_some_and(|sp| sp.rearm_after_flush) {
-                self.retarget_deadline = Some(self.cycle + RETARGET_WINDOW);
-            } else {
-                if let Some(pc) = self.mode_dload_pc() {
-                    self.episode_tally.entry(pc).or_default().aborted += 1;
-                }
-                self.mode = Mode::Normal;
-                self.stats.preexec_aborted_flush += 1;
-                self.record_episode_end();
-                self.trace_event(|cycle| Event::EpisodeAborted {
-                    cycle,
-                    reason: AbortReason::Flush,
-                });
-            }
-        }
-        self.trace_event(|cycle| Event::Flush {
-            cycle,
-            redirect_pc: target,
-        });
-    }
-
-    // =================================================================
-    // SPEAR mode transitions
-    // =================================================================
-
-    fn update_mode(&mut self) {
-        if let Some(deadline) = self.retarget_deadline {
-            if self.cycle > deadline {
-                self.retarget_deadline = None;
-                if self.mode != Mode::Normal {
-                    if let Some(pc) = self.mode_dload_pc() {
-                        self.episode_tally.entry(pc).or_default().aborted += 1;
-                    }
-                    self.mode = Mode::Normal;
-                    self.stats.preexec_aborted_flush += 1;
-                    self.record_episode_end();
-                }
-            }
-        }
-        match self.mode.clone() {
-            Mode::DrainWait {
-                dload_seq,
-                dload_pc,
-                pt_idx,
-                deadline,
-            } => {
-                let drained = self.pt_entries[pt_idx].live_ins.iter().all(|r| {
-                    match self.rename_main[r.index()] {
-                        None => true,
-                        Some(p) => self.entries.get(&p).is_none_or(|e| e.state == EState::Done),
-                    }
-                });
-                if drained || self.cycle >= deadline {
-                    let n = self.pt_entries[pt_idx].live_ins.len() as u32;
-                    let per = self.spear.as_ref().map_or(1, |s| s.livein_cycles_per_reg);
-                    self.mode = Mode::CopyLiveIns {
-                        remaining: n * per,
-                        dload_seq,
-                        dload_pc,
-                        pt_idx,
-                    };
-                }
-            }
-            Mode::CopyLiveIns {
-                remaining,
-                dload_seq,
-                dload_pc,
-                pt_idx,
-            } => {
-                if remaining > 0 {
-                    self.stats.livein_copy_cycles += 1;
-                    self.mode = Mode::CopyLiveIns {
-                        remaining: remaining - 1,
-                        dload_seq,
-                        dload_pc,
-                        pt_idx,
-                    };
-                } else {
-                    // Copy each live-in's *freshest completed* value: the
-                    // youngest completed in-flight writer's result (read
-                    // from its physical register), else the committed
-                    // architectural value. In-flight-but-incomplete
-                    // writers have no forwardable value yet.
-                    let entry = &self.pt_entries[pt_idx];
-                    self.pth_regs = RegFile::new();
-                    for &r in &entry.live_ins {
-                        self.pth_regs.write_u64(r, self.freshest_value(r));
-                    }
-                    self.pth_overlay.clear();
-                    self.rename_pth = [None; NUM_REGS];
-                    self.ifq.reset_scan();
-                    let n = entry.live_ins.len();
-                    self.trace_event(|cycle| Event::LiveInsCopied { cycle, count: n });
-                    self.mode = Mode::PreExec {
-                        dload_seq,
-                        dload_pc,
-                        extraction_done: false,
-                    };
-                }
-            }
-            Mode::Normal | Mode::PreExec { .. } => {}
-        }
-    }
-
-    // =================================================================
-    // Issue
-    // =================================================================
-
-    fn issue(&mut self) {
-        self.pth_issued_mem_last = false;
-        self.pth_issued_any_last = false;
-        let mut budget = self.cfg.issue_width;
-        // Scheduling priority (§3.3, "the instructions from the p-thread
-        // are selected for execution first") applies to the p-thread's
-        // *memory operations* — the prefetches that are the point of
-        // pre-execution — capped at its share of the issue width. Its
-        // compute operations fill whatever functional-unit slots the main
-        // thread leaves idle, so a compute-heavy slice cannot starve the
-        // main thread on a scarce unit (see DESIGN.md).
-        let pth_cap = self
-            .spear
-            .and_then(|sp| sp.pthread_issue_cap)
-            .unwrap_or(usize::MAX)
-            .min(budget);
-        let full_priority = self.spear.is_some_and(|sp| sp.full_priority);
-        let mut pth_used = 0;
-        let pth: Vec<u64> = self.ready_pth.iter().copied().collect();
-        for &seq in &pth {
-            if pth_used >= pth_cap {
-                break;
-            }
-            let is_mem = self.entries[&seq].inst.op.is_mem();
-            if !full_priority && !is_mem {
-                continue;
-            }
-            if self.try_issue(seq, Thread::Pthread) {
-                pth_used += 1;
-                budget -= 1;
-                self.pth_issued_any_last = true;
-                if is_mem {
-                    self.pth_issued_mem_last = true;
-                }
-            }
-        }
-        let main: Vec<u64> = self.ready_main.iter().copied().collect();
-        for seq in main {
-            if budget == 0 {
-                break;
-            }
-            if self.try_issue(seq, Thread::Main) {
-                budget -= 1;
-            }
-        }
-        for &seq in &pth {
-            if budget == 0 || pth_used >= pth_cap {
-                break;
-            }
-            if self
-                .entries
-                .get(&seq)
-                .is_none_or(|e| e.inst.op.is_mem() || e.state != EState::Ready)
-            {
-                continue;
-            }
-            if self.try_issue(seq, Thread::Pthread) {
-                pth_used += 1;
-                budget -= 1;
-                self.pth_issued_any_last = true;
-            }
-        }
-    }
-
-    fn try_issue(&mut self, seq: u64, thread: Thread) -> bool {
-        let now = self.cycle;
-        let e = self.entries.get(&seq).expect("ready entry exists");
-        let class = e.inst.op.fu_class();
-        let is_sqrt = e.inst.op == Opcode::Fsqrt;
-        let is_mem = e.inst.op.is_mem();
-        let (eff_addr, pc, wrong_path, is_store) =
-            (e.eff_addr, e.pc, e.wrong_path, e.inst.op.is_store());
-        let dload_owner = e.dload_owner;
-
-        // Latency: memory ops ask the hierarchy; the rest use class
-        // latencies. Wrong-path memory ops are charged an L1 hit and do
-        // not disturb the caches.
-        let occupy: u64;
-        let latency: u64;
-        if is_mem {
-            occupy = 1;
-            latency = if wrong_path {
-                self.hier.latency.l1_hit as u64
-            } else if let Some(eff) = eff_addr {
-                let kind = if is_store {
-                    AccessKind::Write
-                } else {
-                    AccessKind::Read
-                };
-                // The cache access happens at issue; peek the FU first so
-                // a rejected issue does not touch the cache.
-                let pool = match (thread, &mut self.fus_pth) {
-                    (Thread::Pthread, Some(p)) => p,
-                    _ => &mut self.fus,
-                };
-                if !pool.acquire(class, now, 1) {
-                    return false;
-                }
-                let is_pth = thread == Thread::Pthread;
-                if is_pth {
-                    self.hier.set_prefetch_owner(dload_owner);
-                }
-                let l1_hit = self.hier.latency.l1_hit;
-                let acc = self.hier.access_data(eff, kind, pc, is_pth, now);
-                let e = self.entries.get_mut(&seq).expect("entry exists");
-                e.state = EState::Executing;
-                e.complete_at = now + acc.latency as u64;
-                // Anything slower than an L1 hit (true miss or a delayed
-                // hit merging into an in-flight fill) counts as an
-                // outstanding-miss cause for the CPI stack.
-                e.mem_missed = acc.latency > l1_hit;
-                match thread {
-                    Thread::Main => self.ready_main.remove(&seq),
-                    Thread::Pthread => self.ready_pth.remove(&seq),
-                };
-                return true;
-            } else {
-                // A memory op with no resolved address (never on the true
-                // path): treat as an L1 hit.
-                self.hier.latency.l1_hit as u64
-            };
-        } else {
-            latency = self.cfg.lat.for_class(class, is_sqrt) as u64;
-            occupy = match class {
-                FuClass::IntDiv | FuClass::FpDiv => latency,
-                _ => 1,
-            };
-        }
-
-        let pool = match (thread, &mut self.fus_pth) {
-            (Thread::Pthread, Some(p)) => p,
-            _ => &mut self.fus,
-        };
-        if !pool.acquire(class, now, occupy) {
-            return false;
-        }
-        let e = self.entries.get_mut(&seq).expect("entry exists");
-        e.state = EState::Executing;
-        e.complete_at = now + latency.max(1);
-        match thread {
-            Thread::Main => self.ready_main.remove(&seq),
-            Thread::Pthread => self.ready_pth.remove(&seq),
-        };
-        true
-    }
-
-    // =================================================================
-    // PE extraction (p-thread dispatch)
-    // =================================================================
-
-    fn pe_extract(&mut self) -> usize {
-        let Mode::PreExec {
-            dload_seq,
-            dload_pc,
-            extraction_done,
-        } = self.mode
-        else {
-            return 0;
-        };
-        if extraction_done {
-            return 0;
-        }
-        let Some(spear) = self.spear else { return 0 };
-        let pth_cap = spear.pthread_ruu_size;
-        let mut used = 0;
-        while used < spear.pe_bandwidth {
-            if self.pth_order.len() >= pth_cap {
-                break;
-            }
-            let Some(entry) = self.ifq.extract_next_marked() else {
-                break;
-            };
-            used += 1;
-            let is_trigger = entry.seq == dload_seq;
-            let pc = entry.pc;
-            self.episode_extracted += 1;
-            self.trace_event(|cycle| Event::Extract {
-                cycle,
-                pc,
-                is_trigger,
-            });
-            self.dispatch_pthread(&entry, is_trigger);
-            if is_trigger {
-                if let Mode::PreExec { .. } = self.mode {
-                    self.mode = Mode::PreExec {
-                        dload_seq,
-                        dload_pc,
-                        extraction_done: true,
-                    };
-                }
-                break;
-            }
-        }
-        used
-    }
-
-    fn dispatch_pthread(&mut self, fetched: &IfqEntry, is_trigger: bool) {
-        let owner = self.mode_dload_pc();
-        // Functional execution against the p-thread context. Faulting
-        // speculative accesses are simply dropped (no fault is ever raised
-        // architecturally by the p-thread).
-        let mut view = PthreadView {
-            overlay: &mut self.pth_overlay,
-            mem: &self.mem,
-        };
-        let outcome = exec_inst(&fetched.inst, fetched.pc, &mut self.pth_regs, &mut view);
-        let eff_addr = match outcome {
-            Ok(o) => o.eff_addr,
-            Err(_) => {
-                self.stats.pthread_faults += 1;
-                if is_trigger {
-                    // The episode cannot prefetch its own d-load; give up.
-                    if let Some(pc) = owner {
-                        self.episode_tally.entry(pc).or_default().aborted += 1;
-                    }
-                    self.mode = Mode::Normal;
-                    self.stats.preexec_aborted_missed += 1;
-                    self.record_episode_end();
-                    self.trace_event(|cycle| Event::EpisodeAborted {
-                        cycle,
-                        reason: AbortReason::Fault,
-                    });
-                }
-                return;
-            }
-        };
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.stats.pthread_insts += 1;
-        if fetched.inst.op.is_load() {
-            self.stats.pthread_loads += 1;
-        }
-        let mut deps: Vec<u64> = Vec::new();
-        for src in fetched.inst.live_srcs() {
-            if let Some(p) = self.rename_pth[src.index()] {
-                if self
-                    .entries
-                    .get(&p)
-                    .is_some_and(|pe| pe.state != EState::Done)
-                {
-                    deps.push(p);
-                }
-            }
-        }
-        if fetched.inst.op.is_load() {
-            if let Some(addr) = eff_addr {
-                let w = fetched.inst.op.mem_width() as u64;
-                for &(sseq, saddr, swidth) in &self.stores_pth {
-                    if addr < saddr + swidth as u64 && saddr < addr + w {
-                        deps.push(sseq);
-                    }
-                }
-            }
-        }
-        deps.sort_unstable();
-        deps.dedup();
-        if let Some(d) = fetched.inst.dst() {
-            self.rename_pth[d.index()] = Some(seq);
-        }
-        if fetched.inst.op.is_store() {
-            if let Some(addr) = eff_addr {
-                self.stores_pth
-                    .push((seq, addr, fetched.inst.op.mem_width()));
-            }
-        }
-        let pending = deps.len() as u32;
-        for d in &deps {
-            self.consumers.entry(*d).or_default().push(seq);
-        }
-        let state = if pending == 0 {
-            EState::Ready
-        } else {
-            EState::Waiting
-        };
-        if state == EState::Ready {
-            self.ready_pth.insert(seq);
-        }
-        self.entries.insert(
-            seq,
-            RuuEntry {
-                seq,
-                thread: Thread::Pthread,
-                pc: fetched.pc,
-                inst: fetched.inst,
-                state,
-                pending,
-                complete_at: 0,
-                eff_addr,
-                wrong_path: false,
-                is_halt: false,
-                is_trigger_dload: is_trigger,
-                dst_val: None,
-                dispatch_cycle: self.cycle,
-                mem_missed: false,
-                dload_owner: owner,
-            },
-        );
-        self.pth_order.push_back(seq);
-    }
-
-    // =================================================================
-    // Main-thread dispatch
-    // =================================================================
-
-    fn dispatch(&mut self, pe_used: usize) -> Result<(), SimError> {
-        let mut budget = self.cfg.decode_width.saturating_sub(pe_used);
-        while budget > 0 {
-            if self.main_order.len() >= self.cfg.ruu_size {
-                // Auxiliary counter (not part of the slot-cause sum): the
-                // window blocked dispatch while work was waiting.
-                if !self.ifq.is_empty() {
-                    self.stats.cycle_account.ruu_full_cycles += 1;
-                }
-                break;
-            }
-            let Some(front) = self.ifq.front() else { break };
-            let front_seq = front.seq;
-            let front_marked = front.marked;
-            let e = self.ifq.pop_front().expect("front exists");
-            budget -= 1;
-
-            // A marked instruction consumed by main decode while the PE is
-            // active was missed; if it is the triggering d-load, the
-            // episode can never finish — abort it.
-            match self.mode {
-                Mode::PreExec {
-                    dload_seq,
-                    dload_pc,
-                    extraction_done,
-                } => {
-                    if front_marked {
-                        self.stats.missed_extractions += 1;
-                    }
-                    if !extraction_done && front_seq == dload_seq {
-                        self.retarget_or_abort(dload_pc);
-                    }
-                }
-                Mode::DrainWait {
-                    dload_seq,
-                    dload_pc,
-                    ..
-                }
-                | Mode::CopyLiveIns {
-                    dload_seq,
-                    dload_pc,
-                    ..
-                } => {
-                    if front_seq == dload_seq {
-                        self.retarget_or_abort(dload_pc);
-                    }
-                }
-                Mode::Normal => {}
-            }
-
-            self.dispatch_main(e)?;
-        }
-        Ok(())
-    }
-
-    fn dispatch_main(&mut self, fetched: IfqEntry) -> Result<(), SimError> {
-        self.post_flush_refill = false;
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let wrong_path = self.wrongpath || self.halt_dispatched;
-        let mut eff_addr = None;
-        let mut is_halt = false;
-        let mut dst_val = None;
-
-        if !wrong_path {
-            let outcome = exec_inst(&fetched.inst, fetched.pc, &mut self.regs, &mut self.mem)
-                .map_err(|fault| {
-                    SimError::Exec(ExecError::Mem {
-                        pc: fetched.pc,
-                        fault,
-                    })
-                })?;
-            eff_addr = outcome.eff_addr;
-            if let Some(d) = fetched.inst.dst() {
-                dst_val = Some((d, self.regs.read_u64(d)));
-            }
-            if fetched.inst.op.is_ctrl() {
-                self.predictor.update(
-                    fetched.pc,
-                    &fetched.inst,
-                    outcome.taken.unwrap_or(true),
-                    outcome.next_pc,
-                    Some(fetched.pred),
-                );
-                if fetched.pred.next_pc != outcome.next_pc {
-                    self.wrongpath = true;
-                    self.pending_recovery = Some((seq, outcome.next_pc));
-                }
-            }
-            if outcome.halted {
-                is_halt = true;
-                self.halt_dispatched = true;
-            }
-        }
-
-        let mut deps: Vec<u64> = Vec::new();
-        for src in fetched.inst.live_srcs() {
-            if let Some(p) = self.rename_main[src.index()] {
-                if self
-                    .entries
-                    .get(&p)
-                    .is_some_and(|pe| pe.state != EState::Done)
-                {
-                    deps.push(p);
-                }
-            }
-        }
-        if fetched.inst.op.is_load() && !wrong_path {
-            if let Some(addr) = eff_addr {
-                let w = fetched.inst.op.mem_width() as u64;
-                for &(sseq, saddr, swidth) in &self.stores_main {
-                    if addr < saddr + swidth as u64 && saddr < addr + w {
-                        deps.push(sseq);
-                    }
-                }
-            }
-        }
-        deps.sort_unstable();
-        deps.dedup();
-        if let Some(d) = fetched.inst.dst() {
-            self.rename_main[d.index()] = Some(seq);
-        }
-        if fetched.inst.op.is_store() && !wrong_path {
-            if let Some(addr) = eff_addr {
-                self.stores_main
-                    .push((seq, addr, fetched.inst.op.mem_width()));
-            }
-        }
-        let pending = deps.len() as u32;
-        for d in &deps {
-            self.consumers.entry(*d).or_default().push(seq);
-        }
-        let state = if pending == 0 {
-            EState::Ready
-        } else {
-            EState::Waiting
-        };
-        if state == EState::Ready {
-            self.ready_main.insert(seq);
-        }
-        self.entries.insert(
-            seq,
-            RuuEntry {
-                seq,
-                thread: Thread::Main,
-                pc: fetched.pc,
-                inst: fetched.inst,
-                state,
-                pending,
-                complete_at: 0,
-                eff_addr,
-                wrong_path,
-                is_halt,
-                is_trigger_dload: false,
-                dst_val,
-                dispatch_cycle: self.cycle,
-                mem_missed: false,
-                dload_owner: None,
-            },
-        );
-        self.main_order.push_back(seq);
-        Ok(())
-    }
-
-    // =================================================================
-    // Fetch + pre-decode
-    // =================================================================
-
-    fn fetch(&mut self) {
-        if self.fetch_halted || self.cycle < self.fetch_ready_at {
-            return;
-        }
-        let block_bytes = self.hier.l1i.geometry().block_bytes as u64;
-        for _ in 0..self.cfg.fetch_width {
-            if self.ifq.is_full() {
-                break;
-            }
-            let pc = self.fetch_pc;
-            let Some(&inst) = self.program.fetch(pc) else {
-                // Runaway (wrong-path) PC: nothing to fetch until redirect.
-                break;
-            };
-            // Instruction cache: charged once per block transition.
-            let addr = Program::inst_addr(pc);
-            let block = addr / block_bytes;
-            if self.last_fetch_block != Some(block) {
-                let acc = self.hier.access_inst(addr);
-                self.last_fetch_block = Some(block);
-                if acc.latency > self.hier.latency.l1_hit {
-                    // Miss: stall fetch; the line is filled, so the retry
-                    // hits.
-                    self.fetch_ready_at = self.cycle + acc.latency as u64;
-                    break;
-                }
-            }
-            let pred = self.predictor.predict(pc, &inst);
-            let seq = self.next_fetch_seq();
-            self.stats.fetched += 1;
-            let marked = self.marked_pcs.get(pc as usize).copied().unwrap_or(false);
-            let dload = self.dload_idx.get(&pc).copied();
-            self.ifq.push(IfqEntry {
-                seq,
-                pc,
-                inst,
-                pred,
-                marked,
-                is_dload: dload.is_some(),
-            });
-            // PD: d-load detection may trigger pre-execution (§3.2), or
-            // re-arm a flush-orphaned episode onto this fresh instance.
-            if let Some(pt_idx) = dload {
-                let threshold = self
-                    .spear
-                    .map(|sp| (self.ifq.capacity() as f64 * sp.trigger_fraction) as usize)
-                    .unwrap_or(usize::MAX);
-                if self.retarget_deadline.is_some() && self.mode_dload_pc() == Some(pc) {
-                    // Re-arm only once the queue again holds enough slack
-                    // for the refetched instance to be worth chasing.
-                    if self.ifq.len() >= threshold {
-                        self.rearm_trigger(seq);
-                    }
-                } else {
-                    self.consider_trigger(seq, pt_idx);
-                }
-            }
-            if inst.op == Opcode::Halt {
-                self.fetch_halted = true;
-                break;
-            }
-            self.fetch_pc = pred.next_pc;
-            // A predicted-taken transfer ends the fetch cycle.
-            if pred.next_pc != pc + 1 {
-                break;
-            }
-        }
-    }
-
-    /// Fetch-sequence numbers share the dispatch counter's namespace but
-    /// must order *fetch* time; we reserve a unique number per fetched
-    /// instruction by bumping the same counter (dispatch re-numbers for
-    /// the RUU, so only uniqueness and monotonicity matter here).
-    fn next_fetch_seq(&mut self) -> u64 {
-        let s = self.next_seq;
-        self.next_seq += 1;
-        s
-    }
-
-    fn consider_trigger(&mut self, ifq_seq: u64, pt_idx: usize) {
-        let Some(spear) = self.spear else { return };
-        if self.mode != Mode::Normal {
-            self.stats.triggers_ignored_busy += 1;
-            return;
-        }
-        let threshold = (self.ifq.capacity() as f64 * spear.trigger_fraction) as usize;
-        if self.ifq.len() < threshold {
-            self.stats.triggers_rejected_occupancy += 1;
-            return;
-        }
-        let dload_pc = self.pt_entries[pt_idx].dload_pc;
-        let deadline = self.cycle + spear.livein_wait_limit as u64;
-        let occupancy = self.ifq.len();
-        self.mode = Mode::DrainWait {
-            dload_seq: ifq_seq,
-            dload_pc,
-            pt_idx,
-            deadline,
-        };
-        self.stats.triggers_accepted += 1;
-        self.episode_tally.entry(dload_pc).or_default().triggered += 1;
-        self.episode_start = self.cycle;
-        self.episode_extracted = 0;
-        self.trace_event(|cycle| Event::Trigger {
-            cycle,
-            dload_pc,
-            occupancy,
-        });
-    }
-
-    /// The freshest forwardable value of register `r`: the youngest
-    /// *completed* in-flight writer's result, falling back to the
-    /// committed architectural value. If the youngest dispatched writer
-    /// has completed this equals the dispatch-point value.
-    fn freshest_value(&self, r: spear_isa::Reg) -> u64 {
-        for &seq in self.main_order.iter().rev() {
-            let e = &self.entries[&seq];
-            if let Some((dst, v)) = e.dst_val {
-                if dst == r {
-                    if e.state == EState::Done {
-                        return v;
-                    }
-                    // Younger-but-incomplete writer: keep looking for an
-                    // older completed one.
-                    continue;
-                }
-            }
-        }
-        self.commit_regs.read_u64(r)
-    }
-
-    /// Record the episode-duration and extraction histograms at episode
-    /// end (completion or abort).
-    fn record_episode_end(&mut self) {
-        let dur = self.cycle.saturating_sub(self.episode_start);
-        self.stats.episode_cycles.record(dur);
-        self.stats
-            .episode_extractions
-            .record(self.episode_extracted);
-    }
-
-    /// The static d-load PC of the active episode, if any.
-    fn mode_dload_pc(&self) -> Option<u32> {
-        match self.mode {
-            Mode::DrainWait { dload_pc, .. }
-            | Mode::CopyLiveIns { dload_pc, .. }
-            | Mode::PreExec { dload_pc, .. } => Some(dload_pc),
-            Mode::Normal => None,
-        }
-    }
-
-    /// Re-arm a flush-orphaned episode onto a freshly fetched instance of
-    /// its d-load.
-    fn rearm_trigger(&mut self, seq: u64) {
-        self.retarget_deadline = None;
-        self.stats.preexec_retargets += 1;
-        match self.mode {
-            Mode::DrainWait {
-                dload_pc,
-                pt_idx,
-                deadline,
-                ..
-            } => {
-                self.mode = Mode::DrainWait {
-                    dload_seq: seq,
-                    dload_pc,
-                    pt_idx,
-                    deadline,
-                };
-            }
-            Mode::CopyLiveIns {
-                remaining,
-                dload_pc,
-                pt_idx,
-                ..
-            } => {
-                self.mode = Mode::CopyLiveIns {
-                    remaining,
-                    dload_seq: seq,
-                    dload_pc,
-                    pt_idx,
-                };
-            }
-            Mode::PreExec {
-                dload_pc,
-                extraction_done,
-                ..
-            } => {
-                // If the d-load was already extracted the episode is just
-                // waiting for retirement; no re-arm needed.
-                if !extraction_done {
-                    self.mode = Mode::PreExec {
-                        dload_seq: seq,
-                        dload_pc,
-                        extraction_done,
-                    };
-                }
-            }
-            Mode::Normal => {}
-        }
-    }
-
-    /// The main thread decoded the episode's triggering d-load before the
-    /// PE could extract it. Paper behaviour: the episode aborts. With the
-    /// `retarget_missed` extension the trigger logic re-targets the
-    /// youngest still-marked instance of the same static d-load in the
-    /// IFQ instead.
-    fn retarget_or_abort(&mut self, dload_pc: u32) {
-        if !self.spear.is_some_and(|sp| sp.retarget_missed) {
-            self.episode_tally.entry(dload_pc).or_default().aborted += 1;
-            self.mode = Mode::Normal;
-            self.stats.preexec_aborted_missed += 1;
-            self.record_episode_end();
-            self.trace_event(|cycle| Event::EpisodeAborted {
-                cycle,
-                reason: AbortReason::MissedTrigger,
-            });
-            return;
-        }
-        let newest = self
-            .ifq
-            .iter()
-            .filter(|e| e.is_dload && e.pc == dload_pc && e.marked)
-            .map(|e| e.seq)
-            .max();
-        match newest {
-            Some(seq) => match self.mode {
-                Mode::DrainWait {
-                    pt_idx, deadline, ..
-                } => {
-                    self.mode = Mode::DrainWait {
-                        dload_seq: seq,
-                        dload_pc,
-                        pt_idx,
-                        deadline,
-                    };
-                }
-                Mode::CopyLiveIns {
-                    remaining, pt_idx, ..
-                } => {
-                    self.mode = Mode::CopyLiveIns {
-                        remaining,
-                        dload_seq: seq,
-                        dload_pc,
-                        pt_idx,
-                    };
-                }
-                Mode::PreExec {
-                    extraction_done, ..
-                } => {
-                    self.mode = Mode::PreExec {
-                        dload_seq: seq,
-                        dload_pc,
-                        extraction_done,
-                    };
-                }
-                Mode::Normal => {}
-            },
-            None => {
-                self.episode_tally.entry(dload_pc).or_default().aborted += 1;
-                self.mode = Mode::Normal;
-                self.stats.preexec_aborted_missed += 1;
-                self.record_episode_end();
-            }
-        }
+        self.pipe.trace.as_ref()
     }
 }

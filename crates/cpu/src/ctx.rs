@@ -1,0 +1,118 @@
+//! Hardware contexts.
+//!
+//! The paper's machine is an SMT processor whose p-thread runs on a
+//! *spare hardware context* (§3): its own register file, rename table,
+//! reorder buffer, and store isolation, sharing the fetch/decode/issue
+//! bandwidth and the cache hierarchy with the main program. [`HwContext`]
+//! is that replicated per-context state; the machine holds one per
+//! configured context ([`crate::config::CoreConfig::num_contexts`],
+//! 2 in every paper configuration) and every RUU entry carries the
+//! [`CtxId`] it belongs to.
+
+use spear_exec::RegFile;
+use spear_isa::reg::NUM_REGS;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Index of a hardware context. Context 0 is always the main
+/// (architectural) program; higher contexts are speculative.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CtxId(pub usize);
+
+/// The main program's context.
+pub const MAIN_CTX: CtxId = CtxId(0);
+
+/// The context the SPEAR front end runs p-threads on (the first spare).
+pub const PTHREAD_CTX: CtxId = CtxId(1);
+
+impl CtxId {
+    /// True for the main (architectural) context.
+    pub fn is_main(self) -> bool {
+        self == MAIN_CTX
+    }
+}
+
+impl std::fmt::Display for CtxId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ctx{}", self.0)
+    }
+}
+
+/// The per-context replicated machine state.
+///
+/// The main context's `regs` are the *dispatch-order* register file
+/// (execute-at-dispatch oracle state); commit-order state lives in the
+/// pipeline's `commit_regs`. Speculative contexts additionally isolate
+/// their stores in a private byte `overlay` so they can only prefetch,
+/// never change semantic state.
+#[derive(Clone, Debug)]
+pub struct HwContext {
+    /// This context's id (its index in the pipeline's context vector).
+    pub id: CtxId,
+    /// The context's register file.
+    pub regs: RegFile,
+    /// Register rename map: architectural register → youngest in-flight
+    /// producer sequence number.
+    pub rename: [Option<u64>; NUM_REGS],
+    /// Sequence numbers of this context's `Ready` RUU entries (ordered —
+    /// issue scans oldest-first).
+    pub ready: BTreeSet<u64>,
+    /// In-flight stores `(seq, addr, width)` for store→load dependences.
+    pub stores: Vec<(u64, u64, usize)>,
+    /// This context's RUU in dispatch order (head = oldest).
+    pub order: VecDeque<u64>,
+    /// Private store overlay (speculative contexts only; the main
+    /// context writes the shared memory image at dispatch instead).
+    pub overlay: HashMap<u64, u8>,
+}
+
+impl HwContext {
+    /// A fresh, empty context.
+    pub fn new(id: CtxId) -> HwContext {
+        HwContext {
+            id,
+            regs: RegFile::new(),
+            rename: [None; NUM_REGS],
+            ready: BTreeSet::new(),
+            stores: Vec::new(),
+            order: VecDeque::new(),
+            overlay: HashMap::new(),
+        }
+    }
+
+    /// Reset the speculative state a front end re-seeds per episode
+    /// (registers, rename map, store overlay). In-flight bookkeeping
+    /// (`ready`/`stores`/`order`) is left to the pipeline.
+    pub fn reset_spec_state(&mut self) {
+        self.regs = RegFile::new();
+        self.rename = [None; NUM_REGS];
+        self.overlay.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_clears_episode_state_only() {
+        let mut c = HwContext::new(PTHREAD_CTX);
+        c.regs.write_u64(spear_isa::reg::R5, 7);
+        c.rename[5] = Some(42);
+        c.overlay.insert(0x10, 9);
+        c.order.push_back(1);
+        c.ready.insert(1);
+        c.reset_spec_state();
+        assert_eq!(c.regs.read_u64(spear_isa::reg::R5), 0);
+        assert!(c.rename.iter().all(|r| r.is_none()));
+        assert!(c.overlay.is_empty());
+        assert_eq!(c.order.len(), 1, "in-flight bookkeeping survives");
+        assert_eq!(c.ready.len(), 1);
+    }
+
+    #[test]
+    fn ctx_id_display_and_main() {
+        assert!(MAIN_CTX.is_main());
+        assert!(!PTHREAD_CTX.is_main());
+        assert_eq!(PTHREAD_CTX.to_string(), "ctx1");
+    }
+}

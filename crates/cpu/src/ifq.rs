@@ -224,4 +224,61 @@ mod tests {
         assert!(q.is_empty());
         assert!(q.extract_next_marked().is_none());
     }
+
+    #[test]
+    fn occupancy_tracks_pushes_pops_and_capacity() {
+        let mut q = Ifq::new(3);
+        assert_eq!(q.capacity(), 3);
+        assert!(q.is_empty());
+        assert!(!q.is_full());
+        for s in 1..=3 {
+            q.push(entry(s, false));
+            assert_eq!(q.len(), s as usize);
+        }
+        assert!(q.is_full());
+        q.pop_front();
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_full(), "a freed slot reopens fetch");
+        q.push(entry(4, false));
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn marked_entry_bookkeeping_under_mixed_consumption() {
+        let mut q = Ifq::new(8);
+        q.push(entry(1, false));
+        q.push(entry(2, true));
+        q.push(entry(3, true));
+        let marked = |q: &Ifq| q.iter().filter(|e| e.marked).count();
+        assert_eq!(marked(&q), 2);
+        // Extraction clears exactly one indicator; the entry stays queued.
+        q.reset_scan();
+        assert_eq!(q.extract_next_marked().unwrap().seq, 2);
+        assert_eq!(marked(&q), 1);
+        assert_eq!(q.len(), 3);
+        // Main decode consuming a still-marked entry removes its mark with
+        // it (a missed extraction, from the PE's point of view).
+        q.pop_front();
+        q.pop_front();
+        let missed = q.pop_front().unwrap();
+        assert!(missed.marked, "seq 3 left with its indicator set");
+        assert_eq!(marked(&q), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn draining_to_empty_resets_scan_for_refill() {
+        let mut q = Ifq::new(4);
+        q.push(entry(1, true));
+        q.reset_scan();
+        assert_eq!(q.extract_next_marked().unwrap().seq, 1);
+        // Drain completely via main decode; the scan index saturates at
+        // the head rather than underflowing.
+        while q.pop_front().is_some() {}
+        assert!(q.is_empty());
+        assert!(q.extract_next_marked().is_none());
+        // A refilled queue scans from the head again.
+        q.push(entry(2, true));
+        assert_eq!(q.extract_next_marked().unwrap().seq, 2);
+    }
 }

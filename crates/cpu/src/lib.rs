@@ -16,13 +16,20 @@
 
 pub mod config;
 pub mod core;
+pub mod ctx;
+pub mod frontend;
 pub mod fu;
 pub mod hist;
 pub mod ifq;
+pub mod pipeline;
+pub mod spear;
+pub mod stage;
 pub mod stats;
 pub mod trace;
 
-pub use crate::core::{Core, RunResult, SimError, Thread};
+pub use crate::core::{Core, RunResult, SimError};
 pub use config::{CoreConfig, OpLatencies, SpearConfig};
+pub use ctx::{CtxId, HwContext, MAIN_CTX, PTHREAD_CTX};
+pub use frontend::{BaselineFrontEnd, FrontEndExt};
 pub use hist::Histogram;
 pub use stats::{CoreStats, CycleAccount, DloadProfile, RunExit, StallCause};

@@ -1,0 +1,78 @@
+//! The p-thread's isolated memory view.
+
+use spear_exec::{DataMem, MemFault, Memory};
+use std::collections::HashMap;
+
+/// P-thread memory view: reads fall through a private byte overlay to the
+/// shared memory image; writes land only in the overlay. This is the
+/// paper's "only updates the data cache without changing the semantic
+/// state" isolation.
+pub struct PthreadView<'a> {
+    /// The speculative context's private store overlay.
+    pub overlay: &'a mut HashMap<u64, u8>,
+    /// The shared functional memory image (read-only here).
+    pub mem: &'a Memory,
+}
+
+impl DataMem for PthreadView<'_> {
+    fn load(&mut self, addr: u64, width: usize) -> Result<u64, MemFault> {
+        let mut buf = [0u8; 8];
+        for (i, b) in buf.iter_mut().enumerate().take(width) {
+            let a = addr.wrapping_add(i as u64);
+            *b = match self.overlay.get(&a) {
+                Some(&v) => v,
+                None => self.mem.peek(a, 1).map_err(|_| MemFault {
+                    addr,
+                    width,
+                    is_store: false,
+                })? as u8,
+            };
+        }
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn store(&mut self, addr: u64, width: usize, value: u64) -> Result<(), MemFault> {
+        // Bounds-check against the real image so runaway speculative
+        // stores fault (and get dropped) instead of growing the overlay.
+        self.mem.peek(addr, width).map_err(|_| MemFault {
+            addr,
+            width,
+            is_store: true,
+        })?;
+        for (i, b) in value.to_le_bytes().iter().enumerate().take(width) {
+            self.overlay.insert(addr.wrapping_add(i as u64), *b);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_land_in_overlay_and_reads_fall_through() {
+        let mem = Memory::from_bytes(vec![1u8, 2, 3, 4, 5, 6, 7, 8]);
+        let mut overlay = HashMap::new();
+        let mut v = PthreadView {
+            overlay: &mut overlay,
+            mem: &mem,
+        };
+        assert_eq!(v.load(0, 2).unwrap(), 0x0201);
+        v.store(0, 1, 0xAA).unwrap();
+        assert_eq!(v.load(0, 2).unwrap(), 0x02AA, "overlay wins per byte");
+        assert_eq!(mem.peek(0, 1).unwrap(), 1, "the real image is untouched");
+    }
+
+    #[test]
+    fn out_of_bounds_store_faults_without_growing_overlay() {
+        let mem = Memory::from_bytes(vec![0u8; 4]);
+        let mut overlay = HashMap::new();
+        let mut v = PthreadView {
+            overlay: &mut overlay,
+            mem: &mem,
+        };
+        assert!(v.store(100, 8, 1).is_err());
+        assert!(overlay.is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Decode/rename/dispatch for the main context.
+
+use crate::core::SimError;
+use crate::ctx::MAIN_CTX;
+use crate::frontend::FrontEndExt;
+use crate::pipeline::{EState, Pipeline, RuuEntry};
+use crate::stage::{DecodePort, Recovery};
+use spear_exec::{exec_inst, ExecError};
+
+/// Dispatch from the IFQ head into the main-context RUU, with whatever
+/// decode bandwidth the front-end extension's extraction step left
+/// (§3.2: extraction shares the decode bandwidth).
+pub fn run(pipe: &mut Pipeline, fe: &mut dyn FrontEndExt, port: DecodePort) -> Result<(), SimError> {
+    let mut budget = pipe.cfg.decode_width.saturating_sub(port.pe_used);
+    while budget > 0 {
+        if pipe.main_ctx().order.len() >= pipe.cfg.ruu_size {
+            // Auxiliary counter (not part of the slot-cause sum): the
+            // window blocked dispatch while work was waiting.
+            if !pipe.ifq.is_empty() {
+                pipe.stats.cycle_account.ruu_full_cycles += 1;
+            }
+            break;
+        }
+        let Some(front) = pipe.ifq.front() else { break };
+        let front_seq = front.seq;
+        let front_marked = front.marked;
+        let e = pipe.ifq.pop_front().expect("front exists");
+        budget -= 1;
+        fe.on_main_decode(pipe, front_seq, front_marked);
+        dispatch_main(pipe, e)?;
+    }
+    Ok(())
+}
+
+/// Rename, functionally execute (true path only — execute-at-dispatch
+/// oracle timing), and insert one instruction into the main-context RUU.
+fn dispatch_main(pipe: &mut Pipeline, fetched: crate::ifq::IfqEntry) -> Result<(), SimError> {
+    pipe.post_flush_refill = false;
+    let seq = pipe.alloc_seq();
+    let wrong_path = pipe.wrongpath || pipe.halt_dispatched;
+    let mut eff_addr = None;
+    let mut is_halt = false;
+    let mut dst_val = None;
+
+    if !wrong_path {
+        let outcome = exec_inst(
+            &fetched.inst,
+            fetched.pc,
+            &mut pipe.ctxs[MAIN_CTX.0].regs,
+            &mut pipe.mem,
+        )
+        .map_err(|fault| {
+            SimError::Exec(ExecError::Mem {
+                pc: fetched.pc,
+                fault,
+            })
+        })?;
+        eff_addr = outcome.eff_addr;
+        if let Some(d) = fetched.inst.dst() {
+            dst_val = Some((d, pipe.ctxs[MAIN_CTX.0].regs.read_u64(d)));
+        }
+        if fetched.inst.op.is_ctrl() {
+            pipe.predictor.update(
+                fetched.pc,
+                &fetched.inst,
+                outcome.taken.unwrap_or(true),
+                outcome.next_pc,
+                Some(fetched.pred),
+            );
+            if fetched.pred.next_pc != outcome.next_pc {
+                pipe.wrongpath = true;
+                pipe.recovery.pending = Some(Recovery {
+                    branch_seq: seq,
+                    target: outcome.next_pc,
+                });
+            }
+        }
+        if outcome.halted {
+            is_halt = true;
+            pipe.halt_dispatched = true;
+        }
+    }
+
+    let mut deps: Vec<u64> = Vec::new();
+    for src in fetched.inst.live_srcs() {
+        if let Some(p) = pipe.ctxs[MAIN_CTX.0].rename[src.index()] {
+            if pipe
+                .entries
+                .get(&p)
+                .is_some_and(|pe| pe.state != EState::Done)
+            {
+                deps.push(p);
+            }
+        }
+    }
+    if fetched.inst.op.is_load() && !wrong_path {
+        if let Some(addr) = eff_addr {
+            let w = fetched.inst.op.mem_width() as u64;
+            for &(sseq, saddr, swidth) in &pipe.ctxs[MAIN_CTX.0].stores {
+                if addr < saddr + swidth as u64 && saddr < addr + w {
+                    deps.push(sseq);
+                }
+            }
+        }
+    }
+    deps.sort_unstable();
+    deps.dedup();
+    if let Some(d) = fetched.inst.dst() {
+        pipe.ctxs[MAIN_CTX.0].rename[d.index()] = Some(seq);
+    }
+    if fetched.inst.op.is_store() && !wrong_path {
+        if let Some(addr) = eff_addr {
+            pipe.ctxs[MAIN_CTX.0]
+                .stores
+                .push((seq, addr, fetched.inst.op.mem_width()));
+        }
+    }
+    let pending = deps.len() as u32;
+    for d in &deps {
+        pipe.consumers.entry(*d).or_default().push(seq);
+    }
+    let state = if pending == 0 {
+        EState::Ready
+    } else {
+        EState::Waiting
+    };
+    if state == EState::Ready {
+        pipe.ctxs[MAIN_CTX.0].ready.insert(seq);
+    }
+    pipe.entries.insert(
+        seq,
+        RuuEntry {
+            seq,
+            ctx: MAIN_CTX,
+            pc: fetched.pc,
+            inst: fetched.inst,
+            state,
+            pending,
+            complete_at: 0,
+            eff_addr,
+            wrong_path,
+            is_halt,
+            is_trigger_dload: false,
+            dst_val,
+            dispatch_cycle: pipe.cycle,
+            mem_missed: false,
+            dload_owner: None,
+        },
+    );
+    pipe.ctxs[MAIN_CTX.0].order.push_back(seq);
+    Ok(())
+}

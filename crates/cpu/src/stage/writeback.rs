@@ -1,0 +1,185 @@
+//! Writeback: completion, dependent wakeup, and branch-misprediction
+//! recovery.
+
+use crate::ctx::MAIN_CTX;
+use crate::frontend::FrontEndExt;
+use crate::pipeline::{EState, Pipeline};
+use crate::trace::Event;
+
+/// Complete executing entries whose latency has elapsed, wake their
+/// consumers (in sequence order, for determinism), release completed
+/// stores from the disambiguation queues, and fire the pending branch
+/// recovery once its branch has resolved.
+pub fn run(pipe: &mut Pipeline, fe: &mut dyn FrontEndExt) {
+    let now = pipe.cycle;
+    let mut completed: Vec<u64> = Vec::new();
+    for (&seq, e) in pipe.entries.iter_mut() {
+        if e.state == EState::Executing && e.complete_at <= now {
+            e.state = EState::Done;
+            completed.push(seq);
+        }
+    }
+    completed.sort_unstable();
+    for seq in completed {
+        if let Some(consumers) = pipe.consumers.get(&seq) {
+            for &c in consumers.clone().iter() {
+                if let Some(ce) = pipe.entries.get_mut(&c) {
+                    ce.pending = ce.pending.saturating_sub(1);
+                    if ce.pending == 0 && ce.state == EState::Waiting {
+                        ce.state = EState::Ready;
+                        let ctx = ce.ctx;
+                        pipe.ctxs[ctx.0].ready.insert(c);
+                    }
+                }
+            }
+        }
+        // Completed stores no longer gate younger loads.
+        for ctx in pipe.ctxs.iter_mut() {
+            ctx.stores.retain(|&(s, _, _)| s != seq);
+        }
+    }
+    // Fire the (single) pending recovery if its branch has resolved.
+    if let Some(rec) = pipe.recovery.pending {
+        if pipe
+            .entries
+            .get(&rec.branch_seq)
+            .is_some_and(|e| e.state == EState::Done)
+        {
+            recover(pipe, fe, rec.branch_seq, rec.target);
+        }
+    }
+}
+
+/// Squash main-context entries younger than the mispredicted branch,
+/// flush the front end, and restart fetch at the true target.
+/// Speculative contexts are independent hardware contexts: their
+/// in-flight instructions only prefetch, so front-end recovery does not
+/// touch them (the front-end extension decides what happens to an
+/// active episode via its `on_flush` hook).
+pub fn recover(pipe: &mut Pipeline, fe: &mut dyn FrontEndExt, branch_seq: u64, target: u32) {
+    pipe.stats.recoveries += 1;
+    let squash: Vec<u64> = pipe
+        .entries
+        .iter()
+        .filter(|(&s, e)| s > branch_seq && e.ctx == MAIN_CTX)
+        .map(|(&s, _)| s)
+        .collect();
+    for s in &squash {
+        pipe.entries.remove(s);
+        pipe.consumers.remove(s);
+    }
+    pipe.stats.squashed += squash.len() as u64;
+    let main = &mut pipe.ctxs[MAIN_CTX.0];
+    main.order.retain(|s| !squash.contains(s));
+    main.ready.retain(|s| *s <= branch_seq);
+    main.stores.retain(|&(s, _, _)| s <= branch_seq);
+    for r in main.rename.iter_mut() {
+        if r.is_some_and(|s| s > branch_seq) {
+            *r = None;
+        }
+    }
+    // Flush the front end and restart at the true target.
+    pipe.ifq.flush();
+    pipe.fetch.pc = target;
+    pipe.fetch.ready_at = pipe.cycle + 1;
+    pipe.fetch.halted = false;
+    pipe.fetch.last_block = None;
+    pipe.predictor.recover();
+    pipe.wrongpath = false;
+    pipe.recovery.pending = None;
+    pipe.post_flush_refill = true;
+    fe.on_flush(pipe);
+    pipe.trace_event(|cycle| Event::Flush {
+        cycle,
+        redirect_pc: target,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreConfig;
+    use crate::ctx::{CtxId, PTHREAD_CTX};
+    use crate::frontend::BaselineFrontEnd;
+    use crate::pipeline::RuuEntry;
+    use spear_isa::reg::{R0, R1};
+    use spear_isa::{DataImage, Inst, Opcode, Program};
+
+    fn test_program() -> Program {
+        Program {
+            insts: vec![Inst::new(Opcode::Addi, R1, R0, R0, 1), Inst::halt()],
+            data: DataImage::zeroed(64),
+            ..Program::default()
+        }
+    }
+
+    fn push_entry(pipe: &mut Pipeline, seq: u64, ctx: CtxId, state: EState) {
+        pipe.entries.insert(
+            seq,
+            RuuEntry {
+                seq,
+                ctx,
+                pc: 0,
+                inst: Inst::new(Opcode::Addi, R1, R0, R0, 1),
+                state,
+                pending: 0,
+                complete_at: 0,
+                eff_addr: None,
+                wrong_path: false,
+                is_halt: false,
+                is_trigger_dload: false,
+                dst_val: None,
+                dispatch_cycle: 0,
+                mem_missed: false,
+                dload_owner: None,
+            },
+        );
+        pipe.ctxs[ctx.0].order.push_back(seq);
+        if state == EState::Ready {
+            pipe.ctxs[ctx.0].ready.insert(seq);
+        }
+    }
+
+    #[test]
+    fn recover_squashes_only_younger_main_context_entries() {
+        let program = test_program();
+        let mut pipe = Pipeline::new(&program, CoreConfig::spear(128));
+        let mut fe = BaselineFrontEnd;
+        // Main context: an older entry (seq 1 = the branch), a younger
+        // one (seq 4). Speculative context: younger entries (seq 3, 5)
+        // that must survive the flush.
+        push_entry(&mut pipe, 1, MAIN_CTX, EState::Done);
+        push_entry(&mut pipe, 4, MAIN_CTX, EState::Ready);
+        push_entry(&mut pipe, 3, PTHREAD_CTX, EState::Ready);
+        push_entry(&mut pipe, 5, PTHREAD_CTX, EState::Waiting);
+        pipe.ctxs[MAIN_CTX.0].rename[R1.index()] = Some(4);
+        pipe.ctxs[MAIN_CTX.0].stores.push((4, 0x10, 8));
+        pipe.ctxs[PTHREAD_CTX.0].stores.push((5, 0x20, 8));
+
+        recover(&mut pipe, &mut fe, 1, 7);
+
+        assert_eq!(pipe.stats.squashed, 1, "exactly the younger main entry");
+        assert!(pipe.entries.contains_key(&1), "the branch itself survives");
+        assert!(!pipe.entries.contains_key(&4), "younger main entry squashed");
+        assert!(pipe.entries.contains_key(&3), "p-thread entries survive");
+        assert!(pipe.entries.contains_key(&5), "p-thread entries survive");
+        assert_eq!(pipe.ctxs[MAIN_CTX.0].order, [1]);
+        assert_eq!(pipe.ctxs[PTHREAD_CTX.0].order, [3, 5]);
+        assert!(pipe.ctxs[MAIN_CTX.0].ready.is_empty());
+        assert!(pipe.ctxs[PTHREAD_CTX.0].ready.contains(&3));
+        assert!(
+            pipe.ctxs[MAIN_CTX.0].stores.is_empty(),
+            "younger main store released"
+        );
+        assert_eq!(pipe.ctxs[PTHREAD_CTX.0].stores, [(5, 0x20, 8)]);
+        assert_eq!(
+            pipe.ctxs[MAIN_CTX.0].rename[R1.index()],
+            None,
+            "rename mappings younger than the branch are cleared"
+        );
+        assert_eq!(pipe.fetch.pc, 7, "fetch restarts at the true target");
+        assert!(pipe.ifq.is_empty(), "the IFQ is flushed");
+        assert!(pipe.post_flush_refill);
+        assert_eq!(pipe.recovery.pending, None);
+    }
+}

@@ -30,7 +30,7 @@ pub enum Event {
         /// Registers copied.
         count: usize,
     },
-    /// The PE extracted an instruction into the p-thread.
+    /// The PE extracted an instruction into a speculative context.
     Extract {
         /// Cycle of extraction.
         cycle: u64,
@@ -38,6 +38,8 @@ pub enum Event {
         pc: u32,
         /// True for the episode-terminating d-load.
         is_trigger: bool,
+        /// Hardware context the instruction was extracted into.
+        ctx: usize,
     },
     /// The episode finished (its d-load retired from the p-thread RUU).
     EpisodeComplete {
@@ -67,8 +69,10 @@ pub enum Event {
         block_addr: u64,
         /// Cycles until the line arrives.
         latency: u32,
-        /// True if the p-thread (a prefetch) requested it.
+        /// True if a speculative context (a prefetch) requested it.
         pthread: bool,
+        /// Hardware context that requested the fill.
+        ctx: usize,
     },
     /// A main-thread instruction committed. Streamed to the sink only.
     Commit {
@@ -76,6 +80,8 @@ pub enum Event {
         cycle: u64,
         /// Instruction PC.
         pc: u32,
+        /// Hardware context that committed it (always the main context).
+        ctx: usize,
     },
 }
 
@@ -141,10 +147,12 @@ impl Serialize for Event {
                 cycle,
                 pc,
                 is_trigger,
+                ctx,
             } => {
                 put("cycle", Value::U64(cycle));
                 put("pc", Value::U64(pc as u64));
                 put("is_trigger", Value::Bool(is_trigger));
+                put("ctx", Value::U64(ctx as u64));
             }
             Event::EpisodeComplete { cycle } => put("cycle", Value::U64(cycle)),
             Event::EpisodeAborted { cycle, reason } => {
@@ -160,15 +168,18 @@ impl Serialize for Event {
                 block_addr,
                 latency,
                 pthread,
+                ctx,
             } => {
                 put("cycle", Value::U64(cycle));
                 put("block_addr", Value::U64(block_addr));
                 put("latency", Value::U64(latency as u64));
                 put("pthread", Value::Bool(pthread));
+                put("ctx", Value::U64(ctx as u64));
             }
-            Event::Commit { cycle, pc } => {
+            Event::Commit { cycle, pc, ctx } => {
                 put("cycle", Value::U64(cycle));
                 put("pc", Value::U64(pc as u64));
+                put("ctx", Value::U64(ctx as u64));
             }
         }
         Value::Object(f)
@@ -196,9 +207,10 @@ impl fmt::Display for Event {
                 cycle,
                 pc,
                 is_trigger,
+                ctx,
             } => write!(
                 f,
-                "[{cycle:>9}] extract      @{pc}{}",
+                "[{cycle:>9}] extract      @{pc} -> ctx{ctx}{}",
                 if *is_trigger {
                     "  <-- triggering d-load"
                 } else {
@@ -225,12 +237,13 @@ impl fmt::Display for Event {
                 block_addr,
                 latency,
                 pthread,
+                ..
             } => write!(
                 f,
                 "[{cycle:>9}] fill         block {block_addr:#x} in {latency} cycle(s){}",
                 if *pthread { " (p-thread)" } else { "" }
             ),
-            Event::Commit { cycle, pc } => {
+            Event::Commit { cycle, pc, .. } => {
                 write!(f, "[{cycle:>9}] commit       @{pc}")
             }
         }
@@ -379,12 +392,20 @@ mod tests {
         let cap = PREALLOC_CAP + 1000;
         let mut t = Trace::new(cap);
         for c in 0..(cap as u64 + 500) {
-            t.record(Event::Commit { cycle: c, pc: 0 });
+            t.record(Event::Commit {
+                cycle: c,
+                pc: 0,
+                ctx: 0,
+            });
         }
         assert_eq!(t.len(), cap, "retention must honour the full capacity");
         assert_eq!(
             t.events().next(),
-            Some(&Event::Commit { cycle: 500, pc: 0 }),
+            Some(&Event::Commit {
+                cycle: 500,
+                pc: 0,
+                ctx: 0
+            }),
             "oldest retained event must be total - capacity"
         );
     }
@@ -414,6 +435,7 @@ mod tests {
             block_addr: 0x1000,
             latency: 133,
             pthread: true,
+            ctx: 1,
         };
         let s = e.to_string();
         assert!(
@@ -429,12 +451,14 @@ mod tests {
             block_addr: 4096,
             latency: 133,
             pthread: true,
+            ctx: 1,
         };
         let json = serde::json::to_string(&e);
         let v = serde::json::parse(&json).unwrap();
         assert_eq!(v.field("event").unwrap(), &Value::Str("fill".into()));
         assert_eq!(v.field("cycle").unwrap(), &Value::U64(9));
         assert_eq!(v.field("pthread").unwrap(), &Value::Bool(true));
+        assert_eq!(v.field("ctx").unwrap(), &Value::U64(1));
     }
 
     #[test]
@@ -457,7 +481,11 @@ mod tests {
         let mut t = Trace::new(2);
         t.set_sink(Box::new(buf.clone()));
         t.record(Event::EpisodeComplete { cycle: 5 });
-        t.stream(Event::Commit { cycle: 6, pc: 3 });
+        t.stream(Event::Commit {
+            cycle: 6,
+            pc: 3,
+            ctx: 0,
+        });
         t.flush();
         assert_eq!(t.streamed, 2);
         assert_eq!(t.len(), 1, "streamed events stay out of the ring");

@@ -467,6 +467,24 @@ fn separate_fu_model_also_works() {
 }
 
 #[test]
+fn four_context_core_runs_to_completion() {
+    // Contexts beyond ctx1 are idle with the current SPEAR front end, but
+    // an N-way core must still build, run a full SPEAR workload to halt,
+    // and stay architecturally exact.
+    let b = gather_spear(1 << 15, 3000);
+    let mut cfg = CoreConfig::spear(128);
+    cfg.num_contexts = 4;
+    let mut core = Core::new(&b, cfg);
+    let res = core.run(50_000_000, u64::MAX).unwrap();
+    assert_eq!(res.exit, RunExit::Halted);
+    assert!(res.stats.preexec_completed > 0, "episodes must still run");
+    let mut golden = Interp::new(&b.program);
+    golden.run(u64::MAX).unwrap();
+    assert_eq!(res.stats.committed, golden.icount);
+    assert_eq!(core.state_checksum(), golden.state_checksum());
+}
+
+#[test]
 fn determinism_same_seed_same_cycles() {
     let b = gather_spear(1 << 15, 2000);
     let r1 = run_core(&b, CoreConfig::spear(256));

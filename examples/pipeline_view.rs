@@ -45,10 +45,10 @@ fn main() {
     core.enable_trace(64);
 
     println!(
-        "{:>7} {:>5} {:>5} {:>5} {:>9} {:>10}  (bar = IFQ occupancy)",
+        "{:>7} {:>5} {:>5} {:>5} {:>12} {:>10}  (bar = IFQ occupancy)",
         "cycle", "IFQ", "RUU", "pRUU", "mode", "committed"
     );
-    let mut last_mode = "";
+    let mut last_mode = String::new();
     for _ in 0..cycles {
         if core.halted() {
             break;
@@ -56,16 +56,16 @@ fn main() {
         core.step_cycle().expect("step");
         let mode = core.mode_name();
         // Print on mode changes and every 16 cycles.
-        if mode != last_mode || core.cycle() % 16 == 0 {
+        if mode != last_mode || core.cycle().is_multiple_of(16) {
             let bar = "#".repeat(core.ifq_len() / 4);
             println!(
-                "{:>7} {:>5} {:>5} {:>5} {:>9} {:>10}  {}",
+                "{:>7} {:>5} {:>5} {:>5} {:>12} {:>10}  {}",
                 core.cycle(),
                 core.ifq_len(),
                 core.ruu_len(),
                 core.pthread_ruu_len(),
                 mode,
-                core.stats.committed,
+                core.stats().committed,
                 bar
             );
             last_mode = mode;
