@@ -1,0 +1,38 @@
+//! **sim_speed** — simulator self-throughput: full-program SPEAR-128
+//! cycle simulation measured in committed instructions per host second
+//! (criterion's `elem/s` readout = instructions/s; divide by 1000 for
+//! KIPS, the unit `spear-sim --perf` prints).
+//!
+//! Tracks the hot-path data-structure work (slab RUU, chunked overlay,
+//! completion calendar, dense fill/ownership tables): before/after
+//! numbers live in EXPERIMENTS.md. `SPEAR_BENCH_FAST=1` drops the
+//! longer `pointer` cell for CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spear::machines::Machine;
+use spear::runner::{compile_workload, run_one};
+use spear_workloads::by_name;
+
+fn bench_sim_speed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_speed");
+    g.sample_size(10);
+    let names: &[&str] = if spear_bench::fast_mode() {
+        &["field"]
+    } else {
+        &["pointer", "field"]
+    };
+    for name in names {
+        let w = by_name(name).expect("workload exists");
+        let (table, _) = compile_workload(&w);
+        // One calibration run sets the throughput denominator.
+        let committed = run_one(&w, &table, Machine::Spear128, None).stats.committed;
+        g.throughput(Throughput::Elements(committed));
+        g.bench_function(&format!("{name}_spear128_full_run"), |b| {
+            b.iter(|| run_one(&w, &table, Machine::Spear128, None).stats.committed)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_speed);
+criterion_main!(benches);

@@ -27,7 +27,12 @@ use spear_isa::Program;
 use spear_mem::{AccessKind, HierConfig, HierSnapshot, Hierarchy};
 
 /// Version of the checkpoint JSON format. Bump on any breaking change.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// v1 stored the memory image as plain hex (two characters per byte,
+/// even for the untouched zero pages that dominate a data image); v2
+/// stores zero-eliding RLE-hex (see [`to_rle_hex`]). v1 documents are
+/// rejected loudly by version before any field is decoded.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// A restorable simulation state at an instruction boundary.
 #[derive(Clone, Debug)]
@@ -90,7 +95,8 @@ impl Checkpoint {
         )
     }
 
-    /// Serialize to a self-contained JSON document (memory hex-encoded).
+    /// Serialize to a self-contained JSON document (memory RLE-hex
+    /// encoded — zero runs elided, see [`to_rle_hex`]).
     pub fn to_json(&self) -> String {
         let doc = CheckpointDoc {
             version: CHECKPOINT_VERSION,
@@ -98,7 +104,7 @@ impl Checkpoint {
             inst_index: self.inst_index,
             pc: self.pc,
             regs: self.regs.to_bits(),
-            mem_hex: to_hex(self.mem.as_bytes()),
+            mem_rle: to_rle_hex(self.mem.as_bytes()),
             hier: self.hier.clone(),
             pred: self.pred.clone(),
         };
@@ -106,21 +112,28 @@ impl Checkpoint {
     }
 
     /// Parse a document produced by [`Checkpoint::to_json`].
+    ///
+    /// The version gate runs before full field decoding, so an old
+    /// document fails with an explicit version message rather than an
+    /// incidental missing-field error.
     pub fn from_json(s: &str) -> Result<Checkpoint, String> {
-        let doc: CheckpointDoc =
-            serde::json::from_str(s).map_err(|e| format!("checkpoint parse: {e:?}"))?;
-        if doc.version != CHECKPOINT_VERSION {
+        let v = serde::json::parse(s).map_err(|e| format!("checkpoint parse: {e:?}"))?;
+        let version = v
+            .field("version")
+            .and_then(u32::from_value)
+            .map_err(|e| format!("checkpoint parse: {e:?}"))?;
+        if version != CHECKPOINT_VERSION {
             return Err(format!(
-                "checkpoint version {} unsupported (expected {CHECKPOINT_VERSION})",
-                doc.version
+                "checkpoint version {version} unsupported (expected {CHECKPOINT_VERSION})"
             ));
         }
+        let doc = CheckpointDoc::from_value(&v).map_err(|e| format!("checkpoint parse: {e:?}"))?;
         Ok(Checkpoint {
             workload: doc.workload,
             inst_index: doc.inst_index,
             pc: doc.pc,
             regs: RegFile::from_bits(&doc.regs)?,
-            mem: Memory::from_bytes(from_hex(&doc.mem_hex)?),
+            mem: Memory::from_bytes(from_rle_hex(&doc.mem_rle)?),
             hier: doc.hier,
             pred: doc.pred,
         })
@@ -136,26 +149,46 @@ struct CheckpointDoc {
     inst_index: u64,
     pc: u32,
     regs: Vec<u64>,
-    mem_hex: String,
+    mem_rle: String,
     hier: HierSnapshot,
     pred: PredictorSnapshot,
 }
 
-fn to_hex(bytes: &[u8]) -> String {
+/// Minimum zero-run length worth a `z<len>.` token. A run of `n` zero
+/// bytes costs `2n` characters as hex and `2 + digits(n)` as a token,
+/// so two bytes is already a win.
+const MIN_ZERO_RUN: usize = 2;
+
+/// Encode a byte image as zero-eliding RLE-hex: literal stretches are
+/// plain lowercase hex (two characters per byte) and every run of
+/// [`MIN_ZERO_RUN`]-or-more zero bytes becomes a `z<len>.` token. Hex
+/// digits never include `z` or `.`, so decoding is unambiguous. Data
+/// images are dominated by untouched zero pages, which this shrinks
+/// from two characters per byte to a handful per run.
+fn to_rle_hex(bytes: &[u8]) -> String {
     const DIGITS: &[u8; 16] = b"0123456789abcdef";
-    let mut s = String::with_capacity(bytes.len() * 2);
-    for &b in bytes {
-        s.push(DIGITS[(b >> 4) as usize] as char);
-        s.push(DIGITS[(b & 0xF) as usize] as char);
+    let mut s = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == 0 {
+            let run = bytes[i..].iter().take_while(|&&b| b == 0).count();
+            if run >= MIN_ZERO_RUN {
+                s.push('z');
+                s.push_str(&run.to_string());
+                s.push('.');
+                i += run;
+                continue;
+            }
+        }
+        s.push(DIGITS[(bytes[i] >> 4) as usize] as char);
+        s.push(DIGITS[(bytes[i] & 0xF) as usize] as char);
+        i += 1;
     }
     s
 }
 
-fn from_hex(s: &str) -> Result<Vec<u8>, String> {
-    let raw = s.as_bytes();
-    if !raw.len().is_multiple_of(2) {
-        return Err("odd-length hex memory image".to_string());
-    }
+/// Decode [`to_rle_hex`] output back into the byte image.
+fn from_rle_hex(s: &str) -> Result<Vec<u8>, String> {
     let nibble = |c: u8| -> Result<u8, String> {
         match c {
             b'0'..=b'9' => Ok(c - b'0'),
@@ -164,9 +197,28 @@ fn from_hex(s: &str) -> Result<Vec<u8>, String> {
             _ => Err(format!("invalid hex digit {:?}", c as char)),
         }
     };
-    let mut out = Vec::with_capacity(raw.len() / 2);
-    for pair in raw.chunks_exact(2) {
-        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    let raw = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == b'z' {
+            let end = raw[i + 1..]
+                .iter()
+                .position(|&c| c == b'.')
+                .map(|p| i + 1 + p)
+                .ok_or("unterminated zero-run token in memory image")?;
+            let run: usize = s[i + 1..end]
+                .parse()
+                .map_err(|_| format!("bad zero-run length {:?}", &s[i + 1..end]))?;
+            out.resize(out.len() + run, 0);
+            i = end + 1;
+        } else {
+            if i + 1 >= raw.len() {
+                return Err("odd-length hex stretch in memory image".to_string());
+            }
+            out.push((nibble(raw[i])? << 4) | nibble(raw[i + 1])?);
+            i += 2;
+        }
     }
     Ok(out)
 }
@@ -341,11 +393,45 @@ mod tests {
     }
 
     #[test]
-    fn hex_round_trip() {
-        let bytes: Vec<u8> = (0..=255).collect();
-        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
-        assert!(from_hex("0").is_err(), "odd length rejected");
-        assert!(from_hex("zz").is_err(), "non-hex rejected");
+    fn rle_hex_round_trip() {
+        // All byte values, with zero runs of every interesting length
+        // (none, single, exactly MIN_ZERO_RUN, long) spliced between.
+        let mut bytes: Vec<u8> = (0..=255).collect();
+        bytes.splice(0..0, [0u8; 1]);
+        bytes.extend([0u8; 2]);
+        bytes.push(7);
+        bytes.extend([0u8; 4096]);
+        assert_eq!(from_rle_hex(&to_rle_hex(&bytes)).unwrap(), bytes);
+        assert_eq!(from_rle_hex(&to_rle_hex(&[])).unwrap(), Vec::<u8>::new());
+        assert!(from_rle_hex("0").is_err(), "odd literal stretch rejected");
+        assert!(from_rle_hex("qq").is_err(), "non-hex rejected");
+        assert!(from_rle_hex("z12").is_err(), "unterminated run rejected");
+        assert!(from_rle_hex("z.").is_err(), "empty run length rejected");
+    }
+
+    #[test]
+    fn zero_pages_are_elided_not_spelled_out() {
+        let mut bytes = vec![0u8; 64 * 1024];
+        bytes[123] = 0xAB;
+        let enc = to_rle_hex(&bytes);
+        assert!(
+            enc.len() < 64,
+            "a near-empty 64 KiB image must encode in a few tokens, got {} chars",
+            enc.len()
+        );
+        assert_eq!(from_rle_hex(&enc).unwrap(), bytes);
+    }
+
+    #[test]
+    fn v1_checkpoint_documents_fail_loudly_by_version() {
+        // A minimal v1-shaped document (hex memory image, version 1).
+        let v1 = r#"{"version": 1, "workload": "chase", "inst_index": 0, "pc": 0,
+                     "regs": [], "mem_hex": "00ff"}"#;
+        let err = Checkpoint::from_json(v1).unwrap_err();
+        assert!(
+            err.contains("version 1 unsupported (expected 2)"),
+            "the version gate must fire before field decoding: {err}"
+        );
     }
 
     #[test]

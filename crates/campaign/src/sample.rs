@@ -95,6 +95,16 @@ impl Aggregate {
     pub fn ipc(&self) -> f64 {
         self.stats.ipc()
     }
+
+    /// Simulation throughput over the group: committed
+    /// kilo-instructions per host-second of summed cell wall time.
+    /// Observational only (wall time varies run to run), so it is
+    /// reported on stdout but never written into the deterministic
+    /// aggregate envelope files.
+    pub fn kips(&self) -> f64 {
+        let secs = (self.wall_ms as f64 / 1000.0).max(1e-9);
+        self.stats.committed as f64 / secs / 1000.0
+    }
 }
 
 /// Fold per-cell results into one [`Aggregate`] per (workload, machine,
@@ -226,5 +236,8 @@ mod tests {
         assert_eq!(mcf_base.stats.cycles, 500);
         assert_eq!(mcf_base.stats.committed, 200);
         assert!((mcf_base.ipc() - 0.4).abs() < 1e-12);
+        // Throughput: 200 insts over 2 ms of wall time = 100 KIPS.
+        assert_eq!(mcf_base.wall_ms, 2);
+        assert!((mcf_base.kips() - 100.0).abs() < 1e-9);
     }
 }

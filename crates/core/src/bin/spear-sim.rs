@@ -13,7 +13,7 @@
 //! spear-sim workload:mcf -m spear-128 --stats-json out.json --trace-file t.jsonl
 //! ```
 
-use spear::export::StatsExport;
+use spear::export::{SimPerf, StatsExport};
 use spear::{report, Machine};
 use spear_campaign::{Campaign, CampaignSpec, MachinePoint, SampleSpec};
 use spear_cpu::{Core, RunExit};
@@ -26,7 +26,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: spear-sim FILE.spear [-m MACHINE] [--mem-latency N]\n\
          \x20      [--max-cycles N] [--max-insts N] [--trace N] [--quiet]\n\
-         \x20      [--stats-json PATH] [--trace-file PATH]\n\
+         \x20      [--stats-json PATH] [--trace-file PATH] [--perf]\n\
          \x20  or: spear-sim campaign --dir DIR [--workloads a,b,c|all]\n\
          \x20      [--machines M1,M2,...] [--mem-latency N] [--interval N]\n\
          \x20      [--stride N] [--threads N] [--max-cells N] [--quiet]\n\
@@ -226,12 +226,13 @@ fn campaign_main(args: Vec<String>) -> ! {
         );
         for a in &aggs {
             println!(
-                "  {:<12} {:<14} lat {:>3}  cells {:>4}  IPC {:.4}",
+                "  {:<12} {:<14} lat {:>3}  cells {:>4}  IPC {:.4}  {:.0} KIPS",
                 a.workload,
                 a.machine,
                 a.mem_latency,
                 a.cells,
-                a.ipc()
+                a.ipc(),
+                a.kips()
             );
         }
     }
@@ -298,6 +299,7 @@ fn main() {
     let mut max_insts = u64::MAX;
     let mut trace: Option<usize> = None;
     let mut quiet = false;
+    let mut perf = false;
     let mut stats_json: Option<String> = None;
     let mut trace_file: Option<String> = None;
 
@@ -325,6 +327,7 @@ fn main() {
             "--stats-json" => stats_json = Some(next_val(&mut it, "--stats-json")),
             "--trace-file" => trace_file = Some(next_val(&mut it, "--trace-file")),
             "--quiet" => quiet = true,
+            "--perf" => perf = true,
             _ if file.is_none() && !arg.starts_with('-') => file = Some(arg),
             _ => {
                 eprintln!("spear-sim: unrecognized argument `{arg}`");
@@ -367,11 +370,14 @@ fn main() {
         });
         core.set_trace_sink(Box::new(BufWriter::new(f)));
     }
+    let wall_start = std::time::Instant::now();
     let res = core.run(max_cycles, max_insts).unwrap_or_else(|e| {
         eprintln!("spear-sim: {e}");
         exit(1)
     });
+    let wall = wall_start.elapsed();
     let s = &res.stats;
+    let sim_perf = SimPerf::from_run(s.committed, s.cycles, wall);
 
     if let Some(path) = &stats_json {
         let doc = StatsExport::new(
@@ -380,7 +386,8 @@ fn main() {
             mem_latency,
             res.exit,
             s.clone(),
-        );
+        )
+        .with_sim_perf(sim_perf);
         std::fs::write(path, doc.to_json()).unwrap_or_else(|e| {
             eprintln!("spear-sim: cannot write `{path}`: {e}");
             exit(1)
@@ -392,6 +399,9 @@ fn main() {
     println!("cycles        {}", s.cycles);
     println!("committed     {}", s.committed);
     println!("IPC           {:.4}", s.ipc());
+    if perf {
+        println!("{}", sim_perf.summary());
+    }
     if !quiet {
         println!(
             "loads/stores  {} / {}",

@@ -100,10 +100,16 @@ impl<'p> Core<'p> {
             }
             None => Box::new(BaselineFrontEnd),
         };
-        Core {
-            pipe: Pipeline::new(&binary.program, cfg),
-            fe,
+        let is_spear = cfg.spear.is_some();
+        let mut pipe = Pipeline::new(&binary.program, cfg);
+        if is_spear {
+            // Pre-size the hierarchy's per-d-load profile map: the key
+            // set is exactly the table's d-load PCs, so seeding it here
+            // keeps the hot classification paths from ever rehashing.
+            pipe.hier
+                .seed_dload_profiles(binary.table.entries.iter().map(|e| e.dload_pc));
         }
+        Core { pipe, fe }
     }
 
     /// Run until the program halts or a budget is hit.

@@ -9,9 +9,11 @@
 //! 2 in every paper configuration) and every RUU entry carries the
 //! [`CtxId`] it belongs to.
 
+use crate::overlay::Overlay;
+use crate::ruu::SeqId;
 use spear_exec::RegFile;
 use spear_isa::reg::NUM_REGS;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Index of a hardware context. Context 0 is always the main
 /// (architectural) program; higher contexts are speculative.
@@ -51,18 +53,18 @@ pub struct HwContext {
     /// The context's register file.
     pub regs: RegFile,
     /// Register rename map: architectural register → youngest in-flight
-    /// producer sequence number.
-    pub rename: [Option<u64>; NUM_REGS],
-    /// Sequence numbers of this context's `Ready` RUU entries (ordered —
-    /// issue scans oldest-first).
-    pub ready: BTreeSet<u64>,
-    /// In-flight stores `(seq, addr, width)` for store→load dependences.
-    pub stores: Vec<(u64, u64, usize)>,
+    /// producer.
+    pub rename: [Option<SeqId>; NUM_REGS],
+    /// This context's `Ready` RUU entries (ordered by sequence — issue
+    /// scans oldest-first).
+    pub ready: BTreeSet<SeqId>,
+    /// In-flight stores `(id, addr, width)` for store→load dependences.
+    pub stores: Vec<(SeqId, u64, usize)>,
     /// This context's RUU in dispatch order (head = oldest).
-    pub order: VecDeque<u64>,
+    pub order: VecDeque<SeqId>,
     /// Private store overlay (speculative contexts only; the main
     /// context writes the shared memory image at dispatch instead).
-    pub overlay: HashMap<u64, u8>,
+    pub overlay: Overlay,
 }
 
 impl HwContext {
@@ -75,7 +77,7 @@ impl HwContext {
             ready: BTreeSet::new(),
             stores: Vec::new(),
             order: VecDeque::new(),
-            overlay: HashMap::new(),
+            overlay: Overlay::new(),
         }
     }
 
@@ -95,12 +97,13 @@ mod tests {
 
     #[test]
     fn reset_clears_episode_state_only() {
+        let id = SeqId { seq: 1, slot: 0 };
         let mut c = HwContext::new(PTHREAD_CTX);
         c.regs.write_u64(spear_isa::reg::R5, 7);
-        c.rename[5] = Some(42);
+        c.rename[5] = Some(SeqId { seq: 42, slot: 3 });
         c.overlay.insert(0x10, 9);
-        c.order.push_back(1);
-        c.ready.insert(1);
+        c.order.push_back(id);
+        c.ready.insert(id);
         c.reset_spec_state();
         assert_eq!(c.regs.read_u64(spear_isa::reg::R5), 0);
         assert!(c.rename.iter().all(|r| r.is_none()));

@@ -21,7 +21,9 @@ pub mod frontend;
 pub mod fu;
 pub mod hist;
 pub mod ifq;
+pub mod overlay;
 pub mod pipeline;
+pub mod ruu;
 pub mod spear;
 pub mod stage;
 pub mod stats;
@@ -32,4 +34,5 @@ pub use config::{CoreConfig, OpLatencies, SpearConfig};
 pub use ctx::{CtxId, HwContext, MAIN_CTX, PTHREAD_CTX};
 pub use frontend::{BaselineFrontEnd, FrontEndExt};
 pub use hist::Histogram;
+pub use ruu::{Ruu, SeqId};
 pub use stats::{CoreStats, CycleAccount, DloadProfile, RunExit, StallCause};

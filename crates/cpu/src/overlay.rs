@@ -1,0 +1,207 @@
+//! The speculative store overlay: a chunked sparse byte store.
+//!
+//! Speculative contexts isolate their stores in a private overlay so
+//! pre-execution can only prefetch, never change semantic state. The
+//! overlay used to be a `HashMap<u64, u8>` — one SipHash probe *per
+//! byte* on every p-thread load and store. [`Overlay`] keeps the same
+//! byte-granular semantics on a page-granular layout: bytes live in
+//! 64-byte chunks (a presence bitmask plus the data), and chunks are
+//! found through a small open-addressed index keyed by chunk base
+//! address. Episodes clear the overlay constantly
+//! ([`crate::ctx::HwContext::reset_spec_state`]); `clear` keeps both
+//! the chunk storage and the index allocation, so steady-state episodes
+//! allocate nothing.
+
+const CHUNK_BYTES: u64 = 64;
+const EMPTY: u32 = u32::MAX;
+
+/// One 64-byte span of overlaid bytes.
+#[derive(Clone, Debug)]
+struct Chunk {
+    /// Chunk base address (multiple of 64).
+    base: u64,
+    /// Bit `i` set ⇔ byte `base + i` is present.
+    present: u64,
+    /// The overlaid bytes (valid where `present` is set).
+    data: [u8; CHUNK_BYTES as usize],
+}
+
+/// A sparse byte store over 64-byte chunks with an open-addressed
+/// chunk index. Matches the observable behavior of a `HashMap<u64, u8>`
+/// byte map: `get` returns a byte only if it was `insert`ed since the
+/// last `clear`.
+#[derive(Clone, Debug)]
+pub struct Overlay {
+    chunks: Vec<Chunk>,
+    /// Open-addressed index: slot → chunk number (or `EMPTY`).
+    /// Power-of-two sized, linear probing, grown at 50% load.
+    index: Vec<u32>,
+}
+
+impl Default for Overlay {
+    fn default() -> Overlay {
+        Overlay::new()
+    }
+}
+
+impl Overlay {
+    /// An empty overlay.
+    pub fn new() -> Overlay {
+        Overlay {
+            chunks: Vec::new(),
+            index: vec![EMPTY; 16],
+        }
+    }
+
+    /// Number of overlaid bytes.
+    pub fn len(&self) -> usize {
+        self.chunks
+            .iter()
+            .map(|c| c.present.count_ones() as usize)
+            .sum()
+    }
+
+    /// True when no byte is overlaid.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Drop every overlaid byte, keeping chunk and index capacity.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+        self.index.fill(EMPTY);
+    }
+
+    #[inline]
+    fn slot_of(&self, base: u64) -> usize {
+        // Multiplicative hash; the index length is a power of two.
+        let h = base.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & (self.index.len() - 1)
+    }
+
+    /// The chunk number holding `base`, if indexed.
+    #[inline]
+    fn find(&self, base: u64) -> Option<u32> {
+        let mask = self.index.len() - 1;
+        let mut slot = self.slot_of(base);
+        loop {
+            match self.index[slot] {
+                EMPTY => return None,
+                c if self.chunks[c as usize].base == base => return Some(c),
+                _ => slot = (slot + 1) & mask,
+            }
+        }
+    }
+
+    /// The overlaid byte at `addr`, if present.
+    #[inline]
+    pub fn get(&self, addr: u64) -> Option<u8> {
+        let base = addr & !(CHUNK_BYTES - 1);
+        let c = &self.chunks[self.find(base)? as usize];
+        let bit = (addr & (CHUNK_BYTES - 1)) as u32;
+        (c.present >> bit & 1 == 1).then(|| c.data[bit as usize])
+    }
+
+    /// Overlay `value` at `addr`.
+    pub fn insert(&mut self, addr: u64, value: u8) {
+        let base = addr & !(CHUNK_BYTES - 1);
+        let bit = (addr & (CHUNK_BYTES - 1)) as u32;
+        let c = match self.find(base) {
+            Some(c) => c as usize,
+            None => self.insert_chunk(base),
+        };
+        let chunk = &mut self.chunks[c];
+        chunk.present |= 1u64 << bit;
+        chunk.data[bit as usize] = value;
+    }
+
+    /// Add an empty chunk for `base` to the index, growing it at 50%
+    /// load, and return the chunk number.
+    fn insert_chunk(&mut self, base: u64) -> usize {
+        if (self.chunks.len() + 1) * 2 > self.index.len() {
+            self.grow();
+        }
+        let c = self.chunks.len() as u32;
+        self.chunks.push(Chunk {
+            base,
+            present: 0,
+            data: [0; CHUNK_BYTES as usize],
+        });
+        let mask = self.index.len() - 1;
+        let mut slot = self.slot_of(base);
+        while self.index[slot] != EMPTY {
+            slot = (slot + 1) & mask;
+        }
+        self.index[slot] = c;
+        c as usize
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.index.len() * 2;
+        self.index.clear();
+        self.index.resize(new_len, EMPTY);
+        let mask = new_len - 1;
+        for (c, chunk) in self.chunks.iter().enumerate() {
+            let mut slot = {
+                let h = chunk.base.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (h >> 32) as usize & mask
+            };
+            while self.index[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            self.index[slot] = c as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_are_present_only_after_insert() {
+        let mut o = Overlay::new();
+        assert!(o.is_empty());
+        assert_eq!(o.get(0x40), None);
+        o.insert(0x40, 7);
+        assert_eq!(o.get(0x40), Some(7));
+        assert_eq!(o.get(0x41), None, "neighbor byte in the same chunk");
+        o.insert(0x40, 9);
+        assert_eq!(o.get(0x40), Some(9), "insert overwrites");
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_working() {
+        let mut o = Overlay::new();
+        for a in 0..300u64 {
+            o.insert(a * 7, a as u8);
+        }
+        assert_eq!(o.len(), 300);
+        o.clear();
+        assert!(o.is_empty());
+        assert_eq!(o.get(7), None);
+        o.insert(7, 1);
+        assert_eq!(o.get(7), Some(1));
+    }
+
+    #[test]
+    fn matches_hashmap_reference_across_many_chunks() {
+        use std::collections::HashMap;
+        let mut o = Overlay::new();
+        let mut m: HashMap<u64, u8> = HashMap::new();
+        let mut x = 0x1234_5678_u64;
+        for i in 0..5000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = x % 10_000;
+            o.insert(addr, i as u8);
+            m.insert(addr, i as u8);
+        }
+        for a in 0..10_000u64 {
+            assert_eq!(o.get(a), m.get(&a).copied(), "addr {a}");
+        }
+        assert_eq!(o.len(), m.len());
+    }
+}

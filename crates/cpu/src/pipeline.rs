@@ -13,13 +13,15 @@ use crate::config::CoreConfig;
 use crate::ctx::{CtxId, HwContext, MAIN_CTX};
 use crate::fu::FuPool;
 use crate::ifq::Ifq;
+use crate::ruu::Ruu;
 use crate::stage::{IssueLatch, RecoveryPort};
 use crate::stats::CoreStats;
 use crate::trace::{Event, Trace};
 use spear_bpred::Predictor;
 use spear_exec::{Memory, RegFile};
 use spear_isa::{Inst, Program};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Scheduler state of an RUU entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,10 +112,9 @@ pub struct Pipeline<'p> {
     pub mem: Memory,
 
     // ---- backend ----
-    /// All in-flight RUU entries, keyed by sequence number.
-    pub entries: HashMap<u64, RuuEntry>,
-    /// Producer → consumer sequence numbers (wakeup edges).
-    pub consumers: HashMap<u64, Vec<u64>>,
+    /// All in-flight RUU entries (every context), in a generational
+    /// slab with intrusive per-entry consumer lists (wakeup edges).
+    pub ruu: Ruu,
     /// The hardware contexts; index 0 is the main program.
     pub ctxs: Vec<HwContext>,
     /// Functional-unit pools. Shared-FU machines have one pool; `.sf`
@@ -123,6 +124,11 @@ pub struct Pipeline<'p> {
     pub ctx_pool: Vec<usize>,
     /// The cache hierarchy.
     pub hier: spear_mem::Hierarchy,
+    /// Completion calendar: `(complete_at, id)` pushed at issue, popped
+    /// by writeback once due. Squashed entries leave stale ids behind;
+    /// the slab's generation check filters them at pop time, so
+    /// writeback never scans the whole RUU.
+    pub exec_done: BinaryHeap<Reverse<(u64, crate::ruu::SeqId)>>,
 
     // ---- latches / control ----
     /// Issue → commit-classification latch (previous cycle's issues).
@@ -161,7 +167,10 @@ impl<'p> Pipeline<'p> {
         assert!(cfg.num_contexts >= 1, "a machine needs a main context");
         let n = cfg.num_contexts;
         let (pools, ctx_pool) = if cfg.separate_fu {
-            ((0..n).map(|_| FuPool::new(&cfg)).collect(), (0..n).collect())
+            (
+                (0..n).map(|_| FuPool::new(&cfg)).collect(),
+                (0..n).collect(),
+            )
         } else {
             (vec![FuPool::new(&cfg)], vec![0; n])
         };
@@ -176,12 +185,12 @@ impl<'p> Pipeline<'p> {
             },
             commit_regs: RegFile::new(),
             mem: Memory::from_image(&program.data),
-            entries: HashMap::new(),
-            consumers: HashMap::new(),
+            ruu: Ruu::new(),
             ctxs: (0..n).map(|i| HwContext::new(CtxId(i))).collect(),
             pools,
             ctx_pool,
             hier: spear_mem::Hierarchy::new(cfg.hier),
+            exec_done: BinaryHeap::new(),
             issue_latch: IssueLatch::default(),
             recovery: RecoveryPort::default(),
             wrongpath: false,
@@ -228,8 +237,8 @@ impl<'p> Pipeline<'p> {
     /// to the committed architectural value. If the youngest dispatched
     /// writer has completed this equals the dispatch-point value.
     pub fn freshest_value(&self, r: spear_isa::Reg) -> u64 {
-        for &seq in self.main_ctx().order.iter().rev() {
-            let e = &self.entries[&seq];
+        for &id in self.main_ctx().order.iter().rev() {
+            let e = self.ruu.get(id).expect("order holds live entries");
             if let Some((dst, v)) = e.dst_val {
                 if dst == r {
                     if e.state == EState::Done {

@@ -1,0 +1,261 @@
+//! The RUU entry store: a generational slab with intrusive consumer
+//! lists.
+//!
+//! The scheduler used to keep in-flight entries in a
+//! `HashMap<u64, RuuEntry>` plus a parallel `HashMap<u64, Vec<u64>>` of
+//! producer→consumer wakeup edges. Both maps sit on the per-cycle hot
+//! path (dispatch inserts, writeback scans and wakes, issue and commit
+//! look up), so every access paid a SipHash probe and the wakeup map
+//! churned allocations. [`Ruu`] replaces them with a slab:
+//!
+//! * entries live in `Vec<Option<RuuEntry>>` slots recycled through a
+//!   free list, so lookups are one bounds-checked index;
+//! * a [`SeqId`] names an entry by `(seq, slot)` — the `seq` doubles as
+//!   a generation tag, so a stale id (entry squashed or retired, slot
+//!   reused) misses exactly like a `HashMap` lookup of a removed key;
+//! * consumer lists are intrusive (one recycled `Vec` per slot, cleared
+//!   on remove but never dropped), so steady-state wakeup allocates
+//!   nothing.
+//!
+//! [`SeqId`] orders by `seq` first, so ordered containers of ids
+//! (`BTreeSet`, sorted `Vec`s) iterate in the exact sequence order the
+//! old `u64`-keyed code produced — cycle behavior is bit-for-bit
+//! unchanged.
+
+use crate::pipeline::RuuEntry;
+
+/// A slab handle for one in-flight RUU entry: the globally unique
+/// sequence number plus the slot it occupies. Ordering and equality
+/// follow `seq` (slot only tie-breaks, and seqs are unique), so
+/// replacing a `u64` sequence key with a `SeqId` preserves every
+/// ordering the scheduler relies on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqId {
+    /// Globally unique, monotonically increasing sequence number.
+    pub seq: u64,
+    /// Slot index in the slab (generation-checked on every access).
+    pub slot: u32,
+}
+
+impl std::fmt::Display for SeqId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.seq)
+    }
+}
+
+/// The slab of in-flight RUU entries with per-entry consumer lists.
+#[derive(Debug, Default)]
+pub struct Ruu {
+    /// Entry storage; `None` slots are on the free list.
+    slots: Vec<Option<RuuEntry>>,
+    /// Per-slot wakeup edges (consumers of the occupying entry).
+    /// Cleared when the slot is freed; capacity is recycled.
+    consumers: Vec<Vec<SeqId>>,
+    /// Free slot indices (LIFO keeps hot slots hot).
+    free: Vec<u32>,
+    /// Live entry count.
+    len: usize,
+}
+
+impl Ruu {
+    /// An empty slab.
+    pub fn new() -> Ruu {
+        Ruu::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert an entry, returning its handle. The entry's `seq` is the
+    /// generation tag; callers must keep seqs globally unique.
+    pub fn insert(&mut self, entry: RuuEntry) -> SeqId {
+        let seq = entry.seq;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert!(self.slots[s as usize].is_none());
+                self.slots[s as usize] = Some(entry);
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Some(entry));
+                self.consumers.push(Vec::new());
+                s
+            }
+        };
+        self.len += 1;
+        SeqId { seq, slot }
+    }
+
+    /// The entry named by `id`, if still in flight. A stale id (removed
+    /// entry, even with the slot since reused) returns `None`.
+    #[inline]
+    pub fn get(&self, id: SeqId) -> Option<&RuuEntry> {
+        self.slots[id.slot as usize]
+            .as_ref()
+            .filter(|e| e.seq == id.seq)
+    }
+
+    /// Mutable [`Ruu::get`].
+    #[inline]
+    pub fn get_mut(&mut self, id: SeqId) -> Option<&mut RuuEntry> {
+        self.slots[id.slot as usize]
+            .as_mut()
+            .filter(|e| e.seq == id.seq)
+    }
+
+    /// True while the entry named by `id` is in flight.
+    pub fn contains(&self, id: SeqId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Remove and return the entry named by `id`, clearing its consumer
+    /// list (capacity kept) and recycling the slot.
+    pub fn remove(&mut self, id: SeqId) -> Option<RuuEntry> {
+        let slot = id.slot as usize;
+        if self.slots[slot].as_ref().is_none_or(|e| e.seq != id.seq) {
+            return None;
+        }
+        let e = self.slots[slot].take();
+        self.consumers[slot].clear();
+        self.free.push(id.slot);
+        self.len -= 1;
+        e
+    }
+
+    /// Record a wakeup edge: when `producer` completes, `consumer`'s
+    /// pending count drops. No-op if the producer is no longer in
+    /// flight (matches a map insert under a removed key being
+    /// unobservable: its entry would be removed with the producer).
+    pub fn add_consumer(&mut self, producer: SeqId, consumer: SeqId) {
+        if self.contains(producer) {
+            self.consumers[producer.slot as usize].push(consumer);
+        }
+    }
+
+    /// Detach `id`'s consumer list so the caller can walk it while
+    /// mutating other entries. Pair with [`Ruu::put_consumers`].
+    pub fn take_consumers(&mut self, id: SeqId) -> Vec<SeqId> {
+        debug_assert!(self.contains(id));
+        std::mem::take(&mut self.consumers[id.slot as usize])
+    }
+
+    /// Re-attach a consumer list detached by [`Ruu::take_consumers`],
+    /// recycling its capacity.
+    pub fn put_consumers(&mut self, id: SeqId, list: Vec<SeqId>) {
+        debug_assert!(self.consumers[id.slot as usize].is_empty());
+        self.consumers[id.slot as usize] = list;
+    }
+
+    /// Iterate the live entries (slot order, not sequence order).
+    pub fn iter(&self) -> impl Iterator<Item = (SeqId, &RuuEntry)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.as_ref().map(|e| {
+                (
+                    SeqId {
+                        seq: e.seq,
+                        slot: i as u32,
+                    },
+                    e,
+                )
+            })
+        })
+    }
+
+    /// Mutable [`Ruu::iter`].
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (SeqId, &mut RuuEntry)> {
+        self.slots.iter_mut().enumerate().filter_map(|(i, s)| {
+            s.as_mut().map(|e| {
+                let id = SeqId {
+                    seq: e.seq,
+                    slot: i as u32,
+                };
+                (id, e)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::MAIN_CTX;
+    use crate::pipeline::EState;
+    use spear_isa::reg::{R0, R1};
+    use spear_isa::{Inst, Opcode};
+
+    fn entry(seq: u64) -> RuuEntry {
+        RuuEntry {
+            seq,
+            ctx: MAIN_CTX,
+            pc: 0,
+            inst: Inst::new(Opcode::Addi, R1, R0, R0, 1),
+            state: EState::Ready,
+            pending: 0,
+            complete_at: 0,
+            eff_addr: None,
+            wrong_path: false,
+            is_halt: false,
+            is_trigger_dload: false,
+            dst_val: None,
+            dispatch_cycle: 0,
+            mem_missed: false,
+            dload_owner: None,
+        }
+    }
+
+    #[test]
+    fn stale_ids_miss_after_slot_reuse() {
+        let mut r = Ruu::new();
+        let a = r.insert(entry(1));
+        assert!(r.contains(a));
+        r.remove(a).unwrap();
+        let b = r.insert(entry(2));
+        assert_eq!(b.slot, a.slot, "slot recycled");
+        assert!(!r.contains(a), "old generation invisible");
+        assert!(r.contains(b));
+        assert!(r.remove(a).is_none(), "stale remove is a no-op");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn seq_id_orders_by_sequence_not_slot() {
+        let mut r = Ruu::new();
+        let a = r.insert(entry(5));
+        r.remove(a);
+        let b = r.insert(entry(9)); // reuses slot 0
+        let c = r.insert(entry(7)); // fresh slot 1
+        assert!(c < b, "seq 7 sorts before seq 9 despite a larger slot");
+        let mut ids = [b, c];
+        ids.sort_unstable();
+        assert_eq!(ids.iter().map(|i| i.seq).collect::<Vec<_>>(), [7, 9]);
+    }
+
+    #[test]
+    fn consumer_lists_follow_the_entry_not_the_slot() {
+        let mut r = Ruu::new();
+        let p = r.insert(entry(1));
+        let c1 = r.insert(entry(2));
+        r.add_consumer(p, c1);
+        let took = r.take_consumers(p);
+        assert_eq!(took, [c1]);
+        r.put_consumers(p, took);
+        // Removing the producer clears its edges; a new occupant of the
+        // slot starts with an empty list.
+        r.remove(p);
+        let q = r.insert(entry(3));
+        assert_eq!(q.slot, p.slot);
+        assert!(r.take_consumers(q).is_empty());
+        // Edges under a dead producer are dropped, like a map insert
+        // under a key that is about to be removed with the producer.
+        r.add_consumer(p, c1);
+        assert!(r.take_consumers(q).is_empty());
+    }
+}

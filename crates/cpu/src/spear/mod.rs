@@ -27,6 +27,7 @@ use crate::ctx::{CtxId, MAIN_CTX, PTHREAD_CTX};
 use crate::frontend::{FrontEndExt, PreDecode};
 use crate::ifq::IfqEntry;
 use crate::pipeline::{EState, Pipeline, RuuEntry};
+use crate::ruu::SeqId;
 use crate::stage::DecodePort;
 use crate::stats::DloadProfile;
 use crate::trace::{AbortReason, Event};
@@ -106,7 +107,11 @@ pub struct SpearFrontEnd<'p> {
 impl<'p> SpearFrontEnd<'p> {
     /// Build the front end for a p-thread table over a program of
     /// `program_len` instructions.
-    pub fn new(cfg: SpearConfig, table: &'p [PThreadEntry], program_len: usize) -> SpearFrontEnd<'p> {
+    pub fn new(
+        cfg: SpearConfig,
+        table: &'p [PThreadEntry],
+        program_len: usize,
+    ) -> SpearFrontEnd<'p> {
         let mut marked_pcs = vec![false; program_len];
         let mut dload_idx = HashMap::new();
         for (i, e) in table.iter().enumerate() {
@@ -339,14 +344,10 @@ impl<'p> SpearFrontEnd<'p> {
         if fetched.inst.op.is_load() {
             pipe.stats.pthread_loads += 1;
         }
-        let mut deps: Vec<u64> = Vec::new();
+        let mut deps: Vec<SeqId> = Vec::new();
         for src in fetched.inst.live_srcs() {
             if let Some(p) = pipe.ctxs[ctx_idx].rename[src.index()] {
-                if pipe
-                    .entries
-                    .get(&p)
-                    .is_some_and(|pe| pe.state != EState::Done)
-                {
+                if pipe.ruu.get(p).is_some_and(|pe| pe.state != EState::Done) {
                     deps.push(p);
                 }
             }
@@ -354,58 +355,55 @@ impl<'p> SpearFrontEnd<'p> {
         if fetched.inst.op.is_load() {
             if let Some(addr) = eff_addr {
                 let w = fetched.inst.op.mem_width() as u64;
-                for &(sseq, saddr, swidth) in &pipe.ctxs[ctx_idx].stores {
+                for &(sid, saddr, swidth) in &pipe.ctxs[ctx_idx].stores {
                     if addr < saddr + swidth as u64 && saddr < addr + w {
-                        deps.push(sseq);
+                        deps.push(sid);
                     }
                 }
             }
         }
         deps.sort_unstable();
         deps.dedup();
-        if let Some(d) = fetched.inst.dst() {
-            pipe.ctxs[ctx_idx].rename[d.index()] = Some(seq);
-        }
-        if fetched.inst.op.is_store() {
-            if let Some(addr) = eff_addr {
-                pipe.ctxs[ctx_idx]
-                    .stores
-                    .push((seq, addr, fetched.inst.op.mem_width()));
-            }
-        }
         let pending = deps.len() as u32;
-        for d in &deps {
-            pipe.consumers.entry(*d).or_default().push(seq);
-        }
         let state = if pending == 0 {
             EState::Ready
         } else {
             EState::Waiting
         };
-        if state == EState::Ready {
-            pipe.ctxs[ctx_idx].ready.insert(seq);
-        }
-        pipe.entries.insert(
+        let id = pipe.ruu.insert(RuuEntry {
             seq,
-            RuuEntry {
-                seq,
-                ctx: self.ctx,
-                pc: fetched.pc,
-                inst: fetched.inst,
-                state,
-                pending,
-                complete_at: 0,
-                eff_addr,
-                wrong_path: false,
-                is_halt: false,
-                is_trigger_dload: is_trigger,
-                dst_val: None,
-                dispatch_cycle: pipe.cycle,
-                mem_missed: false,
-                dload_owner: owner,
-            },
-        );
-        pipe.ctxs[ctx_idx].order.push_back(seq);
+            ctx: self.ctx,
+            pc: fetched.pc,
+            inst: fetched.inst,
+            state,
+            pending,
+            complete_at: 0,
+            eff_addr,
+            wrong_path: false,
+            is_halt: false,
+            is_trigger_dload: is_trigger,
+            dst_val: None,
+            dispatch_cycle: pipe.cycle,
+            mem_missed: false,
+            dload_owner: owner,
+        });
+        if let Some(d) = fetched.inst.dst() {
+            pipe.ctxs[ctx_idx].rename[d.index()] = Some(id);
+        }
+        if fetched.inst.op.is_store() {
+            if let Some(addr) = eff_addr {
+                pipe.ctxs[ctx_idx]
+                    .stores
+                    .push((id, addr, fetched.inst.op.mem_width()));
+            }
+        }
+        for &d in &deps {
+            pipe.ruu.add_consumer(d, id);
+        }
+        if state == EState::Ready {
+            pipe.ctxs[ctx_idx].ready.insert(id);
+        }
+        pipe.ctxs[ctx_idx].order.push_back(id);
     }
 }
 
@@ -457,7 +455,7 @@ impl FrontEndExt for SpearFrontEnd<'_> {
                 let drained = self.pt_entries[pt_idx].live_ins.iter().all(|r| {
                     match pipe.ctxs[MAIN_CTX.0].rename[r.index()] {
                         None => true,
-                        Some(p) => pipe.entries.get(&p).is_none_or(|e| e.state == EState::Done),
+                        Some(p) => pipe.ruu.get(p).is_none_or(|e| e.state == EState::Done),
                     }
                 });
                 if drained || pipe.cycle >= deadline {

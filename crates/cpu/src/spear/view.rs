@@ -1,7 +1,7 @@
 //! The p-thread's isolated memory view.
 
+use crate::overlay::Overlay;
 use spear_exec::{DataMem, MemFault, Memory};
-use std::collections::HashMap;
 
 /// P-thread memory view: reads fall through a private byte overlay to the
 /// shared memory image; writes land only in the overlay. This is the
@@ -9,7 +9,7 @@ use std::collections::HashMap;
 /// state" isolation.
 pub struct PthreadView<'a> {
     /// The speculative context's private store overlay.
-    pub overlay: &'a mut HashMap<u64, u8>,
+    pub overlay: &'a mut Overlay,
     /// The shared functional memory image (read-only here).
     pub mem: &'a Memory,
 }
@@ -19,8 +19,8 @@ impl DataMem for PthreadView<'_> {
         let mut buf = [0u8; 8];
         for (i, b) in buf.iter_mut().enumerate().take(width) {
             let a = addr.wrapping_add(i as u64);
-            *b = match self.overlay.get(&a) {
-                Some(&v) => v,
+            *b = match self.overlay.get(a) {
+                Some(v) => v,
                 None => self.mem.peek(a, 1).map_err(|_| MemFault {
                     addr,
                     width,
@@ -53,7 +53,7 @@ mod tests {
     #[test]
     fn stores_land_in_overlay_and_reads_fall_through() {
         let mem = Memory::from_bytes(vec![1u8, 2, 3, 4, 5, 6, 7, 8]);
-        let mut overlay = HashMap::new();
+        let mut overlay = Overlay::new();
         let mut v = PthreadView {
             overlay: &mut overlay,
             mem: &mem,
@@ -67,7 +67,7 @@ mod tests {
     #[test]
     fn out_of_bounds_store_faults_without_growing_overlay() {
         let mem = Memory::from_bytes(vec![0u8; 4]);
-        let mut overlay = HashMap::new();
+        let mut overlay = Overlay::new();
         let mut v = PthreadView {
             overlay: &mut overlay,
             mem: &mem,

@@ -16,17 +16,15 @@ pub fn run(pipe: &mut Pipeline, fe: &mut dyn FrontEndExt) {
     let mut budget = width;
     let mut halted_now = false;
     while budget > 0 {
-        let Some(&seq) = pipe.main_ctx().order.front() else {
+        let Some(&id) = pipe.main_ctx().order.front() else {
             break;
         };
-        let e = &pipe.entries[&seq];
-        if e.state != EState::Done {
+        if pipe.ruu.get(id).expect("order holds live entries").state != EState::Done {
             break;
         }
-        let e = pipe.entries.remove(&seq).expect("front entry exists");
+        let e = pipe.ruu.remove(id).expect("front entry exists");
         pipe.ctxs[MAIN_CTX.0].order.pop_front();
-        pipe.consumers.remove(&seq);
-        debug_assert_eq!(e.seq, seq);
+        debug_assert_eq!(e.seq, id.seq);
         debug_assert!(!e.wrong_path, "wrong-path entry reached commit");
         if let Some((r, v)) = e.dst_val {
             pipe.commit_regs.write_u64(r, v);
@@ -76,13 +74,12 @@ pub fn run(pipe: &mut Pipeline, fe: &mut dyn FrontEndExt) {
     }
     // Speculative-context retirement.
     for i in 1..pipe.ctxs.len() {
-        while let Some(&seq) = pipe.ctxs[i].order.front() {
-            if pipe.entries[&seq].state != EState::Done {
+        while let Some(&id) = pipe.ctxs[i].order.front() {
+            if pipe.ruu.get(id).expect("order holds live entries").state != EState::Done {
                 break;
             }
-            let e = pipe.entries.remove(&seq).expect("front entry exists");
+            let e = pipe.ruu.remove(id).expect("front entry exists");
             pipe.ctxs[i].order.pop_front();
-            pipe.consumers.remove(&seq);
             fe.on_ctx_retired(pipe, &e);
         }
     }
@@ -94,12 +91,8 @@ pub fn run(pipe: &mut Pipeline, fe: &mut dyn FrontEndExt) {
 /// already completed.
 fn classify_commit_stall(pipe: &Pipeline) -> StallCause {
     if let Some(&head) = pipe.main_ctx().order.front() {
-        let e = &pipe.entries[&head];
-        if pipe
-            .recovery
-            .pending
-            .is_some_and(|r| r.branch_seq == head)
-        {
+        let e = pipe.ruu.get(head).expect("order holds live entries");
+        if pipe.recovery.pending.is_some_and(|r| r.branch_seq == head) {
             // Commit is blocked on the unresolved mispredicted
             // branch itself.
             return StallCause::BranchRecovery;

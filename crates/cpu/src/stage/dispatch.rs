@@ -4,13 +4,18 @@ use crate::core::SimError;
 use crate::ctx::MAIN_CTX;
 use crate::frontend::FrontEndExt;
 use crate::pipeline::{EState, Pipeline, RuuEntry};
+use crate::ruu::SeqId;
 use crate::stage::{DecodePort, Recovery};
 use spear_exec::{exec_inst, ExecError};
 
 /// Dispatch from the IFQ head into the main-context RUU, with whatever
 /// decode bandwidth the front-end extension's extraction step left
 /// (§3.2: extraction shares the decode bandwidth).
-pub fn run(pipe: &mut Pipeline, fe: &mut dyn FrontEndExt, port: DecodePort) -> Result<(), SimError> {
+pub fn run(
+    pipe: &mut Pipeline,
+    fe: &mut dyn FrontEndExt,
+    port: DecodePort,
+) -> Result<(), SimError> {
     let mut budget = pipe.cfg.decode_width.saturating_sub(port.pe_used);
     while budget > 0 {
         if pipe.main_ctx().order.len() >= pipe.cfg.ruu_size {
@@ -41,6 +46,7 @@ fn dispatch_main(pipe: &mut Pipeline, fetched: crate::ifq::IfqEntry) -> Result<(
     let mut eff_addr = None;
     let mut is_halt = false;
     let mut dst_val = None;
+    let mut mispredict_target = None;
 
     if !wrong_path {
         let outcome = exec_inst(
@@ -69,10 +75,7 @@ fn dispatch_main(pipe: &mut Pipeline, fetched: crate::ifq::IfqEntry) -> Result<(
             );
             if fetched.pred.next_pc != outcome.next_pc {
                 pipe.wrongpath = true;
-                pipe.recovery.pending = Some(Recovery {
-                    branch_seq: seq,
-                    target: outcome.next_pc,
-                });
+                mispredict_target = Some(outcome.next_pc);
             }
         }
         if outcome.halted {
@@ -81,14 +84,10 @@ fn dispatch_main(pipe: &mut Pipeline, fetched: crate::ifq::IfqEntry) -> Result<(
         }
     }
 
-    let mut deps: Vec<u64> = Vec::new();
+    let mut deps: Vec<SeqId> = Vec::new();
     for src in fetched.inst.live_srcs() {
         if let Some(p) = pipe.ctxs[MAIN_CTX.0].rename[src.index()] {
-            if pipe
-                .entries
-                .get(&p)
-                .is_some_and(|pe| pe.state != EState::Done)
-            {
+            if pipe.ruu.get(p).is_some_and(|pe| pe.state != EState::Done) {
                 deps.push(p);
             }
         }
@@ -96,57 +95,60 @@ fn dispatch_main(pipe: &mut Pipeline, fetched: crate::ifq::IfqEntry) -> Result<(
     if fetched.inst.op.is_load() && !wrong_path {
         if let Some(addr) = eff_addr {
             let w = fetched.inst.op.mem_width() as u64;
-            for &(sseq, saddr, swidth) in &pipe.ctxs[MAIN_CTX.0].stores {
+            for &(sid, saddr, swidth) in &pipe.ctxs[MAIN_CTX.0].stores {
                 if addr < saddr + swidth as u64 && saddr < addr + w {
-                    deps.push(sseq);
+                    deps.push(sid);
                 }
             }
         }
     }
     deps.sort_unstable();
     deps.dedup();
-    if let Some(d) = fetched.inst.dst() {
-        pipe.ctxs[MAIN_CTX.0].rename[d.index()] = Some(seq);
-    }
-    if fetched.inst.op.is_store() && !wrong_path {
-        if let Some(addr) = eff_addr {
-            pipe.ctxs[MAIN_CTX.0]
-                .stores
-                .push((seq, addr, fetched.inst.op.mem_width()));
-        }
-    }
     let pending = deps.len() as u32;
-    for d in &deps {
-        pipe.consumers.entry(*d).or_default().push(seq);
-    }
     let state = if pending == 0 {
         EState::Ready
     } else {
         EState::Waiting
     };
-    if state == EState::Ready {
-        pipe.ctxs[MAIN_CTX.0].ready.insert(seq);
-    }
-    pipe.entries.insert(
+    let id = pipe.ruu.insert(RuuEntry {
         seq,
-        RuuEntry {
-            seq,
-            ctx: MAIN_CTX,
-            pc: fetched.pc,
-            inst: fetched.inst,
-            state,
-            pending,
-            complete_at: 0,
-            eff_addr,
-            wrong_path,
-            is_halt,
-            is_trigger_dload: false,
-            dst_val,
-            dispatch_cycle: pipe.cycle,
-            mem_missed: false,
-            dload_owner: None,
-        },
-    );
-    pipe.ctxs[MAIN_CTX.0].order.push_back(seq);
+        ctx: MAIN_CTX,
+        pc: fetched.pc,
+        inst: fetched.inst,
+        state,
+        pending,
+        complete_at: 0,
+        eff_addr,
+        wrong_path,
+        is_halt,
+        is_trigger_dload: false,
+        dst_val,
+        dispatch_cycle: pipe.cycle,
+        mem_missed: false,
+        dload_owner: None,
+    });
+    if let Some(t) = mispredict_target {
+        pipe.recovery.pending = Some(Recovery {
+            branch_seq: id,
+            target: t,
+        });
+    }
+    if let Some(d) = fetched.inst.dst() {
+        pipe.ctxs[MAIN_CTX.0].rename[d.index()] = Some(id);
+    }
+    if fetched.inst.op.is_store() && !wrong_path {
+        if let Some(addr) = eff_addr {
+            pipe.ctxs[MAIN_CTX.0]
+                .stores
+                .push((id, addr, fetched.inst.op.mem_width()));
+        }
+    }
+    for &d in &deps {
+        pipe.ruu.add_consumer(d, id);
+    }
+    if state == EState::Ready {
+        pipe.ctxs[MAIN_CTX.0].ready.insert(id);
+    }
+    pipe.ctxs[MAIN_CTX.0].order.push_back(id);
     Ok(())
 }

@@ -1,6 +1,7 @@
 //! Issue: ready-entry selection and functional-unit / cache access.
 
 use crate::pipeline::{EState, Pipeline};
+use crate::ruu::SeqId;
 use crate::stage::IssueLatch;
 use spear_isa::{FuClass, Opcode};
 use spear_mem::AccessKind;
@@ -26,7 +27,7 @@ pub fn run(pipe: &mut Pipeline) {
         .min(budget);
     let full_priority = pipe.cfg.spear.is_some_and(|sp| sp.full_priority);
     let mut spec_used = 0;
-    let spec: Vec<u64> = pipe
+    let spec: Vec<SeqId> = pipe
         .ctxs
         .iter()
         .skip(1)
@@ -36,7 +37,13 @@ pub fn run(pipe: &mut Pipeline) {
         if spec_used >= pth_cap {
             break;
         }
-        let is_mem = pipe.entries[&seq].inst.op.is_mem();
+        let is_mem = pipe
+            .ruu
+            .get(seq)
+            .expect("ready entry exists")
+            .inst
+            .op
+            .is_mem();
         if !full_priority && !is_mem {
             continue;
         }
@@ -49,7 +56,7 @@ pub fn run(pipe: &mut Pipeline) {
             }
         }
     }
-    let main: Vec<u64> = pipe.main_ctx().ready.iter().copied().collect();
+    let main: Vec<SeqId> = pipe.main_ctx().ready.iter().copied().collect();
     for seq in main {
         if budget == 0 {
             break;
@@ -63,8 +70,8 @@ pub fn run(pipe: &mut Pipeline) {
             break;
         }
         if pipe
-            .entries
-            .get(&seq)
+            .ruu
+            .get(seq)
             .is_none_or(|e| e.inst.op.is_mem() || e.state != EState::Ready)
         {
             continue;
@@ -80,9 +87,9 @@ pub fn run(pipe: &mut Pipeline) {
 /// Try to issue one ready entry: acquire its functional unit and, for
 /// memory ops, access the data-cache hierarchy. Returns false if the
 /// unit is busy (the entry stays ready).
-fn try_issue(pipe: &mut Pipeline, seq: u64) -> bool {
+fn try_issue(pipe: &mut Pipeline, seq: SeqId) -> bool {
     let now = pipe.cycle;
-    let e = pipe.entries.get(&seq).expect("ready entry exists");
+    let e = pipe.ruu.get(seq).expect("ready entry exists");
     let ctx = e.ctx;
     let class = e.inst.op.fu_class();
     let is_sqrt = e.inst.op == Opcode::Fsqrt;
@@ -118,9 +125,11 @@ fn try_issue(pipe: &mut Pipeline, seq: u64) -> bool {
             }
             let l1_hit = pipe.hier.latency.l1_hit;
             let acc = pipe.hier.access_data(eff, kind, pc, is_spec, now);
-            let e = pipe.entries.get_mut(&seq).expect("entry exists");
+            let e = pipe.ruu.get_mut(seq).expect("entry exists");
             e.state = EState::Executing;
             e.complete_at = now + acc.latency as u64;
+            pipe.exec_done
+                .push(std::cmp::Reverse((now + acc.latency as u64, seq)));
             // Anything slower than an L1 hit (true miss or a delayed
             // hit merging into an in-flight fill) counts as an
             // outstanding-miss cause for the CPI stack.
@@ -143,9 +152,11 @@ fn try_issue(pipe: &mut Pipeline, seq: u64) -> bool {
     if !pipe.pools[pool].acquire(class, now, occupy) {
         return false;
     }
-    let e = pipe.entries.get_mut(&seq).expect("entry exists");
+    let e = pipe.ruu.get_mut(seq).expect("entry exists");
     e.state = EState::Executing;
     e.complete_at = now + latency.max(1);
+    pipe.exec_done
+        .push(std::cmp::Reverse((now + latency.max(1), seq)));
     pipe.ctxs[ctx.0].ready.remove(&seq);
     true
 }

@@ -22,6 +22,8 @@ pub mod fetch;
 pub mod issue;
 pub mod writeback;
 
+use crate::ruu::SeqId;
+
 /// Decode-bandwidth port between the front-end extension's extraction
 /// step and main dispatch (§3.2: "extraction shares the decode
 /// bandwidth") — written by extraction, read by dispatch the same cycle.
@@ -54,8 +56,8 @@ pub struct RecoveryPort {
 /// One pending branch recovery.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Recovery {
-    /// Sequence number of the mispredicted branch.
-    pub branch_seq: u64,
+    /// The mispredicted branch's RUU entry.
+    pub branch_seq: SeqId,
     /// The true target to refetch from.
     pub target: u32,
 }

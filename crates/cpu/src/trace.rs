@@ -295,8 +295,13 @@ impl Trace {
     /// Stream every event written to this trace as one JSON object per
     /// line to `sink` (episode events recorded into the ring as well as
     /// sink-only pipeline events passed to [`Trace::stream`]).
+    ///
+    /// The sink is wrapped in a [`std::io::BufWriter`] here, so high-volume
+    /// streams (one line per commit) do not pay a syscall per event.
+    /// Buffered lines reach the underlying writer on [`Trace::flush`]
+    /// (called by `Core::finish`) or when the trace is dropped.
     pub fn set_sink(&mut self, sink: Box<dyn Write + Send>) {
-        self.sink = Some(sink);
+        self.sink = Some(Box::new(std::io::BufWriter::new(sink)));
     }
 
     /// True if a JSONL sink is attached.
@@ -357,6 +362,15 @@ impl Trace {
     /// True if nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+}
+
+impl Drop for Trace {
+    /// Last-resort flush so buffered JSONL lines are not lost if the
+    /// owner never reached an explicit [`Trace::flush`] (e.g. an early
+    /// return or a panic unwinding past `Core::finish`).
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -494,5 +508,37 @@ mod tests {
         assert_eq!(lines.len(), 2);
         let v = serde::json::parse(lines[1]).unwrap();
         assert_eq!(v.field("event").unwrap(), &Value::Str("commit".into()));
+    }
+
+    #[test]
+    fn buffered_sink_flushes_on_drop() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        {
+            let mut t = Trace::new(2);
+            t.set_sink(Box::new(buf.clone()));
+            t.stream(Event::Commit {
+                cycle: 1,
+                pc: 2,
+                ctx: 0,
+            });
+            // No explicit flush: one short line sits in the BufWriter.
+            assert!(buf.0.lock().unwrap().is_empty(), "line is still buffered");
+        }
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1, "drop flushed the buffered line");
     }
 }

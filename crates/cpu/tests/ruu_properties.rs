@@ -1,0 +1,187 @@
+//! Property-based tests of the slab RUU ([`spear_cpu::ruu::Ruu`]) and
+//! its intrusive consumer lists against a plain `HashMap` reference
+//! model — the data structure the slab replaced — under random
+//! interleavings of insert, wakeup-edge recording, completion (wake +
+//! retire), squash and stale-id probing.
+
+use proptest::prelude::*;
+use spear_cpu::pipeline::{EState, RuuEntry};
+use spear_cpu::ruu::{Ruu, SeqId};
+use spear_cpu::MAIN_CTX;
+use spear_isa::reg::{R0, R1};
+use spear_isa::{Inst, Opcode};
+use std::collections::{BTreeMap, HashMap};
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Dispatch a fresh entry (globally unique seq).
+    Insert,
+    /// Record a wakeup edge producer -> consumer (both picked among the
+    /// live entries by index).
+    AddConsumer(usize, usize),
+    /// Complete a live entry: wake its consumers, then retire it.
+    Complete(usize),
+    /// Squash a live entry (no wakeup — its edges die with it).
+    Squash(usize),
+    /// Probe a previously removed id: it must miss even if the slot was
+    /// since recycled.
+    StaleProbe(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => Just(Op::Insert),
+        3 => (any::<usize>(), any::<usize>()).prop_map(|(p, c)| Op::AddConsumer(p, c)),
+        2 => any::<usize>().prop_map(Op::Complete),
+        2 => any::<usize>().prop_map(Op::Squash),
+        1 => any::<usize>().prop_map(Op::StaleProbe),
+    ]
+}
+
+fn entry(seq: u64) -> RuuEntry {
+    RuuEntry {
+        seq,
+        ctx: MAIN_CTX,
+        pc: 0,
+        inst: Inst::new(Opcode::Addi, R1, R0, R0, 1),
+        state: EState::Waiting,
+        pending: 0,
+        complete_at: 0,
+        eff_addr: None,
+        wrong_path: false,
+        is_halt: false,
+        is_trigger_dload: false,
+        dst_val: None,
+        dispatch_cycle: 0,
+        mem_missed: false,
+        dload_owner: None,
+    }
+}
+
+/// The reference: the `HashMap` pair the scheduler used before the slab.
+#[derive(Default)]
+struct RefModel {
+    /// seq -> (state, pending). `BTreeMap` so iteration order is the
+    /// sequence order ordered id containers must reproduce.
+    entries: BTreeMap<u64, (EState, u32)>,
+    /// producer seq -> consumer seqs.
+    edges: HashMap<u64, Vec<u64>>,
+}
+
+/// Pick the `i`-th live seq (model iteration order), if any.
+fn pick(model: &RefModel, i: usize) -> Option<u64> {
+    if model.entries.is_empty() {
+        return None;
+    }
+    model.entries.keys().nth(i % model.entries.len()).copied()
+}
+
+proptest! {
+    /// After every op the slab agrees with the reference model on: the
+    /// live key set, each entry's state and pending count, each
+    /// producer's consumer list, and sequence ordering of ids. Stale
+    /// ids (squashed or retired, slot possibly recycled) always miss.
+    #[test]
+    fn slab_matches_hashmap_reference(ops in proptest::collection::vec(arb_op(), 0..400)) {
+        let mut ruu = Ruu::new();
+        let mut model = RefModel::default();
+        let mut ids: HashMap<u64, SeqId> = HashMap::new();
+        // Every id ever issued: edge lists legitimately keep ids of
+        // consumers that have since been squashed or retired (wakeup
+        // drops them via the generation check), so the expected lists
+        // must be built from the full history, not just the live set.
+        let mut all_ids: HashMap<u64, SeqId> = HashMap::new();
+        let mut dead: Vec<SeqId> = Vec::new();
+        let mut next_seq = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Insert => {
+                    let id = ruu.insert(entry(next_seq));
+                    prop_assert_eq!(id.seq, next_seq);
+                    model.entries.insert(next_seq, (EState::Waiting, 0));
+                    ids.insert(next_seq, id);
+                    all_ids.insert(next_seq, id);
+                    next_seq += 1;
+                }
+                Op::AddConsumer(p, c) => {
+                    let (Some(ps), Some(cs)) = (pick(&model, p), pick(&model, c)) else {
+                        continue;
+                    };
+                    ruu.add_consumer(ids[&ps], ids[&cs]);
+                    model.edges.entry(ps).or_default().push(cs);
+                    model.entries.get_mut(&cs).unwrap().1 += 1;
+                    ruu.get_mut(ids[&cs]).unwrap().pending += 1;
+                }
+                Op::Complete(p) => {
+                    let Some(ps) = pick(&model, p) else { continue };
+                    let id = ids[&ps];
+                    // Wake: exactly what stage/writeback.rs does.
+                    let consumers = ruu.take_consumers(id);
+                    let expected: Vec<SeqId> = model
+                        .edges
+                        .remove(&ps)
+                        .unwrap_or_default()
+                        .iter()
+                        .map(|s| all_ids[s])
+                        .collect();
+                    prop_assert_eq!(&consumers, &expected, "edge list for #{}", ps);
+                    for &c in &consumers {
+                        if let Some(ce) = ruu.get_mut(c) {
+                            ce.pending = ce.pending.saturating_sub(1);
+                            if ce.pending == 0 && ce.state == EState::Waiting {
+                                ce.state = EState::Ready;
+                            }
+                        }
+                        if let Some(m) = model.entries.get_mut(&c.seq) {
+                            m.1 = m.1.saturating_sub(1);
+                            if m.1 == 0 && m.0 == EState::Waiting {
+                                m.0 = EState::Ready;
+                            }
+                        }
+                    }
+                    ruu.put_consumers(id, consumers);
+                    // Retire.
+                    prop_assert!(ruu.remove(id).is_some());
+                    model.entries.remove(&ps);
+                    ids.remove(&ps);
+                    dead.push(id);
+                }
+                Op::Squash(i) => {
+                    let Some(s) = pick(&model, i) else { continue };
+                    let id = ids[&s];
+                    let removed = ruu.remove(id).expect("live entry");
+                    prop_assert_eq!(removed.seq, s);
+                    model.entries.remove(&s);
+                    model.edges.remove(&s);
+                    ids.remove(&s);
+                    dead.push(id);
+                }
+                Op::StaleProbe(i) => {
+                    if dead.is_empty() {
+                        continue;
+                    }
+                    let id = dead[i % dead.len()];
+                    prop_assert!(ruu.get(id).is_none(), "stale id #{} visible", id.seq);
+                    prop_assert!(ruu.remove(id).is_none(), "stale remove removed something");
+                    // An edge under a dead producer is unobservable, like
+                    // a map insert under a removed key.
+                    ruu.add_consumer(id, id);
+                }
+            }
+
+            // Full-state comparison against the reference.
+            prop_assert_eq!(ruu.len(), model.entries.len());
+            let mut live: Vec<SeqId> = ruu.iter().map(|(id, _)| id).collect();
+            live.sort_unstable();
+            let expected: Vec<SeqId> = model.entries.keys().map(|s| ids[s]).collect();
+            prop_assert_eq!(&live, &expected, "live id set / sequence order diverged");
+            for (&seq, &(state, pending)) in &model.entries {
+                let e = ruu.get(ids[&seq]).expect("model entry is live");
+                prop_assert_eq!(e.seq, seq);
+                prop_assert_eq!(e.state, state, "state of #{}", seq);
+                prop_assert_eq!(e.pending, pending, "pending of #{}", seq);
+            }
+        }
+    }
+}

@@ -5,8 +5,19 @@
 //! `spear_exec::Memory`). Geometry and policy follow Table 2 of the paper:
 //! L1D = 256 sets × 32-byte blocks × 4-way LRU, unified L2 = 1024 sets ×
 //! 64-byte blocks × 4-way LRU.
+//!
+//! The line storage is structure-of-arrays: parallel `tags` / `flags` /
+//! `stamps` vectors indexed by `set * assoc + way`. A set's tags are
+//! contiguous, so the hit scan — the single hottest loop in the whole
+//! simulator — touches one dense stride instead of striding over padded
+//! per-line structs.
 
 use serde::{Deserialize, Serialize};
+
+/// `flags` bit 0: the line holds a valid tag.
+const VALID: u8 = 1;
+/// `flags` bit 1: the line has been written since it was filled.
+const DIRTY: u8 = 2;
 
 /// Cache shape.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,6 +34,11 @@ impl CacheGeometry {
     /// Total capacity in bytes.
     pub fn capacity(&self) -> usize {
         self.sets * self.assoc * self.block_bytes
+    }
+
+    /// Number of lines (`sets * assoc`).
+    pub fn lines(&self) -> usize {
+        self.sets * self.assoc
     }
 
     /// Table 2 L1 data cache: 256 sets, 32-byte block, 4-way.
@@ -74,6 +90,10 @@ pub struct AccessResult {
     pub writeback: bool,
     /// Block-aligned address of an evicted line, if any.
     pub evicted: Option<u64>,
+    /// Index of the line that served the access (`set * assoc + way`):
+    /// the hit line, or the just-filled victim on a miss. Stable for the
+    /// lifetime of the cache, so callers can keep per-line side tables.
+    pub line_idx: usize,
 }
 
 /// Per-cache counters.
@@ -113,15 +133,6 @@ impl CacheStats {
     }
 }
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// LRU: last-touch stamp. FIFO: fill stamp.
-    stamp: u64,
-}
-
 /// Serializable image of a cache's tag array and replacement state, used
 /// by the checkpointing subsystem (`spear-campaign`) to carry *warm*
 /// cache contents across a save/restore boundary. Statistics are not
@@ -152,7 +163,12 @@ pub struct CacheSnapshot {
 pub struct Cache {
     geom: CacheGeometry,
     policy: ReplPolicy,
-    lines: Vec<Line>,
+    /// Per-line tags, set-major (`set * assoc + way`).
+    tags: Vec<u64>,
+    /// Per-line [`VALID`] | [`DIRTY`] bits, same indexing.
+    flags: Vec<u8>,
+    /// Per-line replacement stamps (LRU: last touch; FIFO: fill).
+    stamps: Vec<u64>,
     tick: u64,
     rng: u64,
     /// Access/miss counters.
@@ -171,10 +187,13 @@ impl Cache {
             "block size must be a power of two"
         );
         assert!(geom.assoc > 0, "associativity must be nonzero");
+        let n = geom.lines();
         Cache {
             geom,
             policy,
-            lines: vec![Line::default(); geom.sets * geom.assoc],
+            tags: vec![0; n],
+            flags: vec![0; n],
+            stamps: vec![0; n],
             tick: 0,
             rng: 0x9E3779B97F4A7C15,
             stats: CacheStats::default(),
@@ -186,6 +205,11 @@ impl Cache {
     /// Geometry this cache was built with.
     pub fn geometry(&self) -> CacheGeometry {
         self.geom
+    }
+
+    /// log2 of the block size, for shift-based block math in callers.
+    pub fn block_shift(&self) -> u32 {
+        self.block_shift
     }
 
     #[inline]
@@ -221,7 +245,7 @@ impl Cache {
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
         let base = set * self.geom.assoc;
-        let ways = &mut self.lines[base..base + self.geom.assoc];
+        let end = base + self.geom.assoc;
 
         if is_write {
             self.stats.writes += 1;
@@ -229,60 +253,61 @@ impl Cache {
             self.stats.reads += 1;
         }
 
-        // Hit path.
-        for line in ways.iter_mut() {
-            if line.valid && line.tag == tag {
+        // Hit path: scan the set's ways in order.
+        for i in base..end {
+            if self.flags[i] & VALID != 0 && self.tags[i] == tag {
                 if matches!(self.policy, ReplPolicy::Lru) {
-                    line.stamp = tick;
+                    self.stamps[i] = tick;
                 }
-                line.dirty |= is_write;
+                self.flags[i] |= (is_write as u8) << 1;
                 return AccessResult {
                     hit: true,
                     writeback: false,
                     evicted: None,
+                    line_idx: i,
                 };
             }
         }
 
-        // Miss: pick a victim.
+        // Miss: pick a victim — the first invalid way, else per policy
+        // (first-of-minimum stamp for LRU/FIFO, xorshift for Random).
         if is_write {
             self.stats.write_misses += 1;
         } else {
             self.stats.read_misses += 1;
         }
-        let victim = match ways.iter().position(|l| !l.valid) {
+        let victim = match (base..end).find(|&i| self.flags[i] & VALID == 0) {
             Some(i) => i,
             None => match self.policy {
-                ReplPolicy::Lru | ReplPolicy::Fifo => ways
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.stamp)
-                    .map(|(i, _)| i)
-                    .expect("assoc > 0"),
+                ReplPolicy::Lru | ReplPolicy::Fifo => {
+                    let mut best = base;
+                    for i in base + 1..end {
+                        if self.stamps[i] < self.stamps[best] {
+                            best = i;
+                        }
+                    }
+                    best
+                }
                 ReplPolicy::Random => {
                     let assoc = self.geom.assoc;
-                    (self.next_rand() % assoc as u64) as usize
+                    base + (self.next_rand() % assoc as u64) as usize
                 }
             },
         };
-        let ways = &mut self.lines[base..base + self.geom.assoc];
-        let old = ways[victim];
-        let writeback = old.valid && old.dirty;
+        let writeback = self.flags[victim] & (VALID | DIRTY) == VALID | DIRTY;
         if writeback {
             self.stats.writebacks += 1;
         }
-        let evicted = old.valid.then(|| self.block_addr(set, old.tag));
-        let ways = &mut self.lines[base..base + self.geom.assoc];
-        ways[victim] = Line {
-            tag,
-            valid: true,
-            dirty: is_write,
-            stamp: tick,
-        };
+        let evicted =
+            (self.flags[victim] & VALID != 0).then(|| self.block_addr(set, self.tags[victim]));
+        self.tags[victim] = tag;
+        self.flags[victim] = VALID | ((is_write as u8) << 1);
+        self.stamps[victim] = tick;
         AccessResult {
             hit: false,
             writeback,
             evicted,
+            line_idx: victim,
         }
     }
 
@@ -292,16 +317,14 @@ impl Cache {
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
         let base = set * self.geom.assoc;
-        self.lines[base..base + self.geom.assoc]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        (base..base + self.geom.assoc).any(|i| self.flags[i] & VALID != 0 && self.tags[i] == tag)
     }
 
     /// Invalidate everything (keeps statistics).
     pub fn flush(&mut self) {
-        for l in &mut self.lines {
-            *l = Line::default();
-        }
+        self.tags.fill(0);
+        self.flags.fill(0);
+        self.stamps.fill(0);
     }
 
     /// Capture the tag array and replacement state (not the statistics).
@@ -310,13 +333,9 @@ impl Cache {
             sets: self.geom.sets as u64,
             assoc: self.geom.assoc as u64,
             block_bytes: self.geom.block_bytes as u64,
-            tags: self.lines.iter().map(|l| l.tag).collect(),
-            flags: self
-                .lines
-                .iter()
-                .map(|l| (l.valid as u8) | ((l.dirty as u8) << 1))
-                .collect(),
-            stamps: self.lines.iter().map(|l| l.stamp).collect(),
+            tags: self.tags.clone(),
+            flags: self.flags.clone(),
+            stamps: self.stamps.clone(),
             tick: self.tick,
             rng: self.rng,
         }
@@ -340,21 +359,16 @@ impl Cache {
                 "cache snapshot geometry {got:?} != cache geometry {want:?}"
             ));
         }
-        let n = self.lines.len();
+        let n = self.tags.len();
         if snap.tags.len() != n || snap.flags.len() != n || snap.stamps.len() != n {
             return Err(format!(
                 "cache snapshot has {} lines, cache has {n}",
                 snap.tags.len()
             ));
         }
-        for (i, l) in self.lines.iter_mut().enumerate() {
-            *l = Line {
-                tag: snap.tags[i],
-                valid: snap.flags[i] & 1 != 0,
-                dirty: snap.flags[i] & 2 != 0,
-                stamp: snap.stamps[i],
-            };
-        }
+        self.tags.clone_from(&snap.tags);
+        self.flags.clone_from(&snap.flags);
+        self.stamps.clone_from(&snap.stamps);
         self.tick = snap.tick;
         self.rng = snap.rng;
         self.stats = CacheStats::default();
@@ -464,6 +478,22 @@ mod tests {
     fn paper_geometries() {
         assert_eq!(CacheGeometry::l1d_paper().capacity(), 32 * 1024);
         assert_eq!(CacheGeometry::l2_paper().capacity(), 256 * 1024);
+    }
+
+    #[test]
+    fn line_idx_is_stable_between_hit_and_fill() {
+        let mut c = small();
+        let fill = c.access(0x100, false);
+        assert!(!fill.hit);
+        let hit = c.access(0x100, false);
+        assert!(hit.hit);
+        assert_eq!(hit.line_idx, fill.line_idx, "same line serves both");
+        assert!(hit.line_idx < c.geometry().lines());
+        // A conflicting fill that evicts the line reuses its index.
+        c.access(0x100 + 64, false);
+        let evicting = c.access(0x100 + 128, false);
+        assert_eq!(evicting.evicted, Some(0x100), "LRU line evicted");
+        assert_eq!(evicting.line_idx, fill.line_idx, "victim reuses the slot");
     }
 
     #[test]

@@ -7,9 +7,6 @@ use crate::prefetch::{StrideConfig, StridePrefetcher};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-/// Prune the pending-fill map when it grows past this.
-const PENDING_PRUNE: usize = 4096;
-
 /// Access latencies, in CPU cycles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencyConfig {
@@ -156,7 +153,7 @@ pub struct PrefetchCounts {
     /// Prefetched lines the main thread touched while still in flight.
     pub late: u64,
     /// Prefetches that never helped: redundant (line already present),
-    /// evicted before use, displaced, pruned, or unclaimed at run end.
+    /// evicted or displaced before use, or unclaimed at run end.
     pub useless: u64,
 }
 
@@ -197,22 +194,31 @@ pub struct Hierarchy {
     pub pthread_accesses: u64,
     /// MSHR limit, from the configuration.
     mshr_limit: Option<usize>,
-    /// In-flight line fills: L1D block address → cycle the data arrives.
+    /// In-flight line fills as `(L1D block address, arrival cycle)`.
     ///
     /// A tag array alone would let a second access to a just-missed block
     /// hit instantly; real hardware makes it wait on the outstanding fill
     /// (an MSHR merge). Accesses to a pending block are charged the
     /// *remaining* fill latency — this is also what makes a prefetch that
     /// is still in flight partially (rather than fully) hide the miss.
-    pending_fills: HashMap<u64, u64>,
+    ///
+    /// Completed fills are retired eagerly on every new fill, so the
+    /// steady-state occupancy is the number of genuinely outstanding
+    /// lines (bounded by the MSHR count when one is configured) and a
+    /// linear scan beats hashing.
+    pending_fills: Vec<(u64, u64)>,
     /// Accesses that merged into an outstanding fill (delayed hits).
     pub delayed_hits: u64,
-    /// Blocks whose most recent fill was requested by the p-thread and
-    /// that the main thread has not touched yet. The value is the static
-    /// d-load PC whose p-thread issued the prefetch (`None` for
-    /// p-thread stores, which warm the cache but are not counted in the
-    /// per-d-load load-effectiveness profiles).
-    pthread_blocks: HashMap<u64, Option<u32>>,
+    /// Per-L1D-line prefetch ownership, indexed like the cache's line
+    /// array (`set * assoc + way`). `Some(owner)` marks a line whose most
+    /// recent fill was requested by the p-thread and that the main thread
+    /// has not touched yet; `owner` is the static d-load PC whose
+    /// p-thread issued the prefetch (`None` for p-thread stores, which
+    /// warm the cache but are not counted in the per-d-load
+    /// load-effectiveness profiles). Ownership follows the line: an
+    /// eviction classifies the prefetch useless on the spot, so the
+    /// table is fixed-size instead of growing with unique blocks.
+    pthread_owner: Vec<Option<Option<u32>>>,
     /// The d-load PC owning p-thread accesses issued right now (set by
     /// the core per issued p-thread instruction; falls back to the
     /// accessing PC when unset).
@@ -248,9 +254,9 @@ impl Hierarchy {
             pc_misses: PcMissCounts::default(),
             pthread_misses: 0,
             pthread_accesses: 0,
-            pending_fills: HashMap::new(),
+            pending_fills: Vec::new(),
             delayed_hits: 0,
-            pthread_blocks: HashMap::new(),
+            pthread_owner: vec![None; cfg.l1d.lines()],
             prefetch_owner: None,
             dload_profiles: HashMap::new(),
             fill_log: None,
@@ -271,6 +277,10 @@ impl Hierarchy {
         }
         let r1 = self.l1d.access(addr, false);
         debug_assert!(!r1.hit);
+        // The fill may displace a still-unclaimed p-thread line.
+        if let Some(prev) = self.pthread_owner[r1.line_idx].take() {
+            self.classify_useless(prev);
+        }
         if r1.writeback {
             if let Some(victim) = r1.evicted {
                 self.l2.access(victim, true);
@@ -294,38 +304,38 @@ impl Hierarchy {
     }
 
     fn block_of(&self, addr: u64) -> u64 {
-        addr / self.l1d.geometry().block_bytes as u64
+        addr >> self.l1d.block_shift()
     }
 
     /// Remaining latency if `addr`'s block has an outstanding fill.
     fn pending_latency(&mut self, addr: u64, now: u64) -> Option<u32> {
         let block = self.block_of(addr);
-        match self.pending_fills.get(&block) {
-            Some(&fill_at) if fill_at > now => Some((fill_at - now) as u32),
-            Some(_) => {
-                self.pending_fills.remove(&block);
-                None
-            }
-            None => None,
+        let i = self.pending_fills.iter().position(|&(b, _)| b == block)?;
+        let fill_at = self.pending_fills[i].1;
+        if fill_at > now {
+            Some((fill_at - now) as u32)
+        } else {
+            self.pending_fills.swap_remove(i);
+            None
         }
     }
 
+    /// Fills currently outstanding (completed fills retire eagerly, so
+    /// this is bounded by the MSHR count when one is configured).
+    pub fn in_flight_fills(&self) -> usize {
+        self.pending_fills.len()
+    }
+
     fn note_fill(&mut self, addr: u64, now: u64, latency: u32, pthread: bool) -> u32 {
-        if self.pending_fills.len() >= PENDING_PRUNE {
-            self.pending_fills.retain(|_, &mut t| t > now);
-        }
+        // Retire every completed fill before admitting a new one: the
+        // list only ever holds genuinely in-flight lines.
+        self.pending_fills.retain(|&(_, t)| t > now);
         // Finite MSHRs: if every miss register is busy, this fill cannot
         // start until the soonest outstanding fill retires its MSHR.
         let mut start = now;
         if let Some(limit) = self.mshr_limit {
-            let live: Vec<u64> = self
-                .pending_fills
-                .values()
-                .copied()
-                .filter(|&t| t > now)
-                .collect();
-            if live.len() >= limit {
-                let mut soonest: Vec<u64> = live;
+            if self.pending_fills.len() >= limit {
+                let mut soonest: Vec<u64> = self.pending_fills.iter().map(|&(_, t)| t).collect();
                 soonest.sort_unstable();
                 start = soonest[soonest.len() - limit];
                 self.mshr_stalls += 1;
@@ -333,7 +343,12 @@ impl Hierarchy {
         }
         let done = start + latency as u64;
         let block = self.block_of(addr);
-        self.pending_fills.insert(block, done);
+        // A block can re-miss while its earlier fill is still listed
+        // (the line was evicted mid-flight): overwrite, as a map would.
+        match self.pending_fills.iter_mut().find(|e| e.0 == block) {
+            Some(e) => e.1 = done,
+            None => self.pending_fills.push((block, done)),
+        }
         let total = (done - now) as u32;
         if let Some(log) = &mut self.fill_log {
             let block_bytes = self.l1d.geometry().block_bytes as u64;
@@ -388,6 +403,21 @@ impl Hierarchy {
         v
     }
 
+    /// Pre-size the per-d-load profile map with one zeroed row per
+    /// expected key (the attached p-thread table's d-load PCs).
+    ///
+    /// Seeding is invisible to reads — [`Hierarchy::dload_profile`]
+    /// already answers zeros for an absent PC — but it puts the map at
+    /// its steady-state key set up front, so the hot classification
+    /// paths never rehash and a campaign cell does not re-grow the map
+    /// PC by PC after every restore ([`Hierarchy::restore`] zeroes the
+    /// seeded rows in place instead of dropping them).
+    pub fn seed_dload_profiles(&mut self, pcs: impl IntoIterator<Item = u32>) {
+        for pc in pcs {
+            self.dload_profiles.entry(pc).or_default();
+        }
+    }
+
     fn classify_useless(&mut self, owner: Option<u32>) {
         if let Some(pc) = owner {
             self.dload_profiles.entry(pc).or_default().useless += 1;
@@ -399,9 +429,10 @@ impl Hierarchy {
     /// per-d-load partition `timely + late + useless == pthread_loads`
     /// closes.
     pub fn drain_pending_prefetches(&mut self) {
-        let pending: Vec<Option<u32>> = self.pthread_blocks.drain().map(|(_, o)| o).collect();
-        for owner in pending {
-            self.classify_useless(owner);
+        for i in 0..self.pthread_owner.len() {
+            if let Some(owner) = self.pthread_owner[i].take() {
+                self.classify_useless(owner);
+            }
         }
     }
 
@@ -438,17 +469,21 @@ impl Hierarchy {
             None
         };
         if r1.hit {
-            let block = self.block_of(addr);
             if is_pthread {
                 // The line is already present (or already in flight):
                 // this prefetch brought nothing new — redundant.
                 self.classify_useless(owner);
-            } else if let Some(prev) = self.pthread_blocks.remove(&block) {
+            } else if let Some(prev) = self.pthread_owner[r1.line_idx].take() {
                 // Prefetch-effectiveness accounting: the first
                 // main-thread touch of a p-thread-fetched line is a
                 // useful (or, if the fill is still in flight, late)
                 // prefetch.
-                if self.pending_fills.get(&block).is_some_and(|&t| t > now) {
+                let block = self.block_of(addr);
+                let in_flight = self
+                    .pending_fills
+                    .iter()
+                    .any(|&(b, t)| b == block && t > now);
+                if in_flight {
                     self.late_prefetches += 1;
                     if let Some(pc) = prev {
                         self.dload_profiles.entry(pc).or_default().late += 1;
@@ -478,6 +513,11 @@ impl Hierarchy {
         } else {
             self.pc_misses.record(pc);
         }
+        // The fill displaces whatever the victim line held: if that was
+        // a still-unclaimed p-thread prefetch, it can no longer help.
+        if let Some(prev) = self.pthread_owner[r1.line_idx].take() {
+            self.classify_useless(prev);
+        }
         // Write-back of the evicted dirty line into L2.
         if r1.writeback {
             if let Some(victim) = r1.evicted {
@@ -494,23 +534,13 @@ impl Hierarchy {
             )
         };
         let latency = self.note_fill(addr, now, raw_latency, is_pthread);
-        let acc = MemAccess { latency, served_by };
         if is_pthread {
-            if self.pthread_blocks.len() >= PENDING_PRUNE {
-                // Pruned entries were never claimed by the main thread.
-                self.drain_pending_prefetches();
-            }
-            if let Some(prev) = self.pthread_blocks.insert(self.block_of(addr), owner) {
-                // A still-pending prefetch of this block was displaced
-                // before the main thread used it.
-                self.classify_useless(prev);
-            }
-        } else if let Some(prev) = self.pthread_blocks.remove(&self.block_of(addr)) {
-            // The main thread missed anyway: the prefetched line was
-            // evicted before it could be used.
-            self.classify_useless(prev);
+            // Mark the freshly filled line as an unclaimed prefetch; the
+            // main thread's first touch (or the line's eviction, or the
+            // end of the run) will classify it.
+            self.pthread_owner[r1.line_idx] = Some(owner);
         }
-        acc
+        MemAccess { latency, served_by }
     }
 
     /// An instruction fetch of the block containing `addr`.
@@ -570,9 +600,14 @@ impl Hierarchy {
         self.pthread_accesses = 0;
         self.pending_fills.clear();
         self.delayed_hits = 0;
-        self.pthread_blocks.clear();
+        self.pthread_owner.fill(None);
         self.prefetch_owner = None;
-        self.dload_profiles.clear();
+        // Zero the profile rows in place: the key set (seeded from the
+        // p-thread table) survives the restore, so the next cell starts
+        // from a full-size map instead of re-growing it per unique PC.
+        for counts in self.dload_profiles.values_mut() {
+            *counts = PrefetchCounts::default();
+        }
         self.useful_prefetches = 0;
         self.late_prefetches = 0;
         self.mshr_stalls = 0;
@@ -734,6 +769,55 @@ mod tests {
         assert_eq!(b.latency, 133);
         assert_eq!(c.latency, 266, "third miss queues behind an MSHR");
         assert_eq!(h.mshr_stalls, 1);
+    }
+
+    #[test]
+    fn completed_fills_retire_eagerly() {
+        let mut h = hier();
+        // A long stream of distinct-block misses, each issued long after
+        // the previous fill landed: occupancy must not grow with the
+        // number of unique blocks touched.
+        for i in 0..1000u64 {
+            h.access_data(0x100000 + i * 4096, AccessKind::Read, 0, false, i * 1000);
+        }
+        assert!(h.in_flight_fills() <= 1, "completed fills are retired");
+    }
+
+    #[test]
+    fn seeded_profiles_read_as_zeros_and_survive_restore() {
+        let mut h = hier();
+        h.seed_dload_profiles([7, 9]);
+        assert_eq!(h.dload_profile(7), PrefetchCounts::default());
+        // Accumulate into a seeded row, then restore from a snapshot:
+        // the counts reset but the key set stays in place.
+        h.set_prefetch_owner(Some(7));
+        h.access_data(0x4000, AccessKind::Read, 7, true, 0);
+        assert_eq!(h.dload_profile(7).pthread_loads, 1);
+        let snap = h.snapshot();
+        h.restore(&snap).unwrap();
+        assert_eq!(h.dload_profile(7), PrefetchCounts::default());
+        assert_eq!(
+            h.dload_profiles()
+                .iter()
+                .map(|&(pc, _)| pc)
+                .collect::<Vec<_>>(),
+            [7, 9],
+            "restore zeroes the seeded rows instead of dropping them"
+        );
+    }
+
+    #[test]
+    fn eviction_classifies_prefetch_without_drain() {
+        let mut h = hier();
+        h.set_prefetch_owner(Some(9));
+        h.access_data(0x0, AccessKind::Read, 3, true, 0);
+        // Main-thread conflicts (5 blocks into the 4-way set) evict the
+        // prefetched line; the eviction alone settles its classification.
+        for i in 1..6u64 {
+            h.access_data(i * 8192, AccessKind::Read, 0, false, 1000);
+        }
+        let p = h.dload_profile(9);
+        assert_eq!(p.useless, 1, "classified at eviction, no drain needed");
     }
 
     #[test]
