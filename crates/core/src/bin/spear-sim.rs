@@ -30,6 +30,8 @@ fn usage() -> ! {
          \x20  or: spear-sim campaign --dir DIR [--workloads a,b,c|all]\n\
          \x20      [--machines M1,M2,...] [--mem-latency N] [--interval N]\n\
          \x20      [--stride N] [--threads N] [--max-cells N] [--quiet]\n\
+         \x20  or: spear-sim fuzz [--seconds N] [--seed S] [--corpus DIR]\n\
+         \x20  or: spear-sim fuzz --replay DIR\n\
          \x20  or: spear-sim dump-config [-m MACHINE] [--mem-latency N]\n\n\
          machines: baseline, spear-128, spear-256, spear-sf-128, spear-sf-256"
     );
@@ -239,6 +241,79 @@ fn campaign_main(args: Vec<String>) -> ! {
     exit(if summary.interrupted { 3 } else { 0 })
 }
 
+/// The `fuzz` subcommand: run the differential fuzzing harness (random
+/// programs judged by the architectural-equivalence oracle) for a wall-
+/// clock budget, or replay the minimized-reproducer corpus. Exits 0 on a
+/// clean run, 1 on any divergence or regression.
+fn fuzz_main(args: Vec<String>) -> ! {
+    let mut seconds: u64 = 30;
+    let mut seed: u64 = 42;
+    let mut corpus: Option<String> = None;
+    let mut replay: Option<String> = None;
+
+    let mut it = args.into_iter();
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("spear-sim: {flag} needs a value");
+            exit(2)
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seconds" => seconds = parse_num("--seconds", &next_val(&mut it, "--seconds")),
+            "--seed" => seed = parse_num("--seed", &next_val(&mut it, "--seed")),
+            "--corpus" => corpus = Some(next_val(&mut it, "--corpus")),
+            "--replay" => replay = Some(next_val(&mut it, "--replay")),
+            _ => {
+                eprintln!("spear-sim: unrecognized fuzz argument `{arg}`");
+                usage()
+            }
+        }
+    }
+
+    if let Some(dir) = replay {
+        let report = spear_fuzz::replay(std::path::Path::new(&dir), |line| println!("{line}"))
+            .unwrap_or_else(|e| {
+                eprintln!("spear-sim: corpus replay failed: {e}");
+                exit(1)
+            });
+        println!(
+            "corpus replay: {} reproducer(s), {} regression(s)",
+            report.replayed,
+            report.regressions.len()
+        );
+        exit(if report.regressions.is_empty() { 0 } else { 1 })
+    }
+
+    let corpus_dir = corpus.as_ref().map(std::path::Path::new);
+    let summary = spear_fuzz::fuzz(seconds, seed, corpus_dir, |line| println!("{line}"));
+    println!(
+        "fuzz: {} programs ({} golden insts) in {:.1}s, {} divergence(s); \
+         {} episodes completed, {} inclusion diagnostics",
+        summary.programs,
+        summary.golden_insts,
+        summary.elapsed_secs,
+        summary.divergences,
+        summary.episodes_completed,
+        summary.inclusion_violations
+    );
+    for f in &summary.findings {
+        println!(
+            "  reproducer: [{}] {} ({} static / {} dynamic insts){}",
+            f.repro.found_config,
+            f.repro.found_kind,
+            f.repro.static_insts,
+            f.repro.golden_icount,
+            match &f.saved_to {
+                Some(p) if p.as_os_str().is_empty() => " [write failed]".to_string(),
+                Some(p) => format!(" -> {}", p.display()),
+                None => String::new(),
+            }
+        );
+    }
+    exit(if summary.divergences == 0 { 0 } else { 1 })
+}
+
 /// The `dump-config` subcommand: print the fully resolved [`CoreConfig`]
 /// a machine model would run with, as pretty-printed JSON. Useful for
 /// diffing machine models and for documenting exactly what a paper figure
@@ -288,6 +363,9 @@ fn main() {
     }
     if args[0] == "campaign" {
         campaign_main(args.split_off(1));
+    }
+    if args[0] == "fuzz" {
+        fuzz_main(args.split_off(1));
     }
     if args[0] == "dump-config" {
         dump_config_main(args.split_off(1));

@@ -278,6 +278,101 @@ impl CoreStats {
         self.bpred.hit_ratio()
     }
 
+    /// Check the structural invariants every completed run must satisfy,
+    /// independent of workload or configuration. Returns a description of
+    /// the first violation found, or `Ok(())`.
+    ///
+    /// Checked:
+    /// * exact-slot CPI accounting — `useful_slots + lost_slots()` must
+    ///   equal `cycles * commit_width` (every commit slot of every cycle
+    ///   is either used or charged to exactly one stall cause);
+    /// * per-d-load prefetch partition — each profile's
+    ///   `timely + late + useless` must equal its `pthread_loads` (every
+    ///   p-thread load access lands in exactly one bucket);
+    /// * profile ordering — `dload_profiles` sorted by PC with no
+    ///   duplicates (merge and reporting rely on it);
+    /// * committed breakdown — loads + stores + branches cannot exceed
+    ///   the committed total;
+    /// * global prefetch tallies — summed profile buckets cannot exceed
+    ///   the global `pthread_loads`, and the run-wide useful/late
+    ///   counters must match the profile sums (profiles partition all
+    ///   p-thread prefetch traffic).
+    pub fn check_invariants(&self, commit_width: usize) -> Result<(), String> {
+        let total = self.cycle_account.total_slots();
+        let expect = self.cycles * commit_width as u64;
+        if total != expect {
+            return Err(format!(
+                "CPI slot accounting broken: useful {} + lost {} = {} slots, \
+                 but {} cycles x width {} = {}",
+                self.cycle_account.useful_slots,
+                self.cycle_account.lost_slots(),
+                total,
+                self.cycles,
+                commit_width,
+                expect
+            ));
+        }
+        if self.committed_loads + self.committed_stores + self.committed_branches > self.committed {
+            return Err(format!(
+                "committed breakdown exceeds total: {} loads + {} stores + {} branches > {}",
+                self.committed_loads,
+                self.committed_stores,
+                self.committed_branches,
+                self.committed
+            ));
+        }
+        let mut timely = 0u64;
+        let mut late = 0u64;
+        let mut useless = 0u64;
+        let mut prev_pc: Option<u32> = None;
+        for p in &self.dload_profiles {
+            if let Some(prev) = prev_pc {
+                if p.dload_pc <= prev {
+                    return Err(format!(
+                        "dload_profiles not strictly sorted by PC: {:#x} after {:#x}",
+                        p.dload_pc, prev
+                    ));
+                }
+            }
+            prev_pc = Some(p.dload_pc);
+            let sum = p.timely_prefetches + p.late_prefetches + p.useless_prefetches;
+            if sum != p.pthread_loads {
+                return Err(format!(
+                    "d-load {:#x} prefetch partition broken: timely {} + late {} + useless {} \
+                     = {} != pthread_loads {}",
+                    p.dload_pc,
+                    p.timely_prefetches,
+                    p.late_prefetches,
+                    p.useless_prefetches,
+                    sum,
+                    p.pthread_loads
+                ));
+            }
+            timely += p.timely_prefetches;
+            late += p.late_prefetches;
+            useless += p.useless_prefetches;
+        }
+        if timely + late + useless > self.pthread_loads {
+            return Err(format!(
+                "profile buckets exceed global pthread_loads: {} + {} + {} > {}",
+                timely, late, useless, self.pthread_loads
+            ));
+        }
+        if timely != self.useful_prefetches {
+            return Err(format!(
+                "profile timely sum {} != run-wide useful_prefetches {}",
+                timely, self.useful_prefetches
+            ));
+        }
+        if late != self.late_prefetches {
+            return Err(format!(
+                "profile late sum {} != run-wide late_prefetches {}",
+                late, self.late_prefetches
+            ));
+        }
+        Ok(())
+    }
+
     /// Fold another run's counters into this one, as if the two simulated
     /// regions had been one run. Used by the sampling campaign to build a
     /// weighted aggregate over simulated intervals: every counter is a

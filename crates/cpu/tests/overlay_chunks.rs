@@ -1,0 +1,164 @@
+//! Chunk-boundary behavior of the speculative store overlay.
+//!
+//! The overlay stores bytes in 64-byte chunks with a presence bitmask.
+//! These tests pin the two easy-to-break edges: multi-byte stores that
+//! straddle two chunks (the store must split per byte, both chunks must
+//! be indexed), and read-before-write within a chunk that already exists
+//! (bytes whose presence bit is clear must fall through, not read the
+//! chunk's zeroed backing array).
+
+use spear_cpu::overlay::Overlay;
+use spear_cpu::spear::PthreadView;
+use spear_exec::{DataMem, Memory};
+
+const CHUNK: u64 = 64;
+
+// --- Raw overlay: straddling inserts ----------------------------------
+
+#[test]
+fn bytes_across_a_chunk_boundary_live_in_two_chunks() {
+    let mut o = Overlay::new();
+    // Bytes 62..=65 span the chunk-0 / chunk-64 boundary.
+    for (i, a) in (62..66u64).enumerate() {
+        o.insert(a, 0xA0 + i as u8);
+    }
+    assert_eq!(o.get(62), Some(0xA0));
+    assert_eq!(o.get(63), Some(0xA1), "last byte of the first chunk");
+    assert_eq!(o.get(64), Some(0xA2), "first byte of the second chunk");
+    assert_eq!(o.get(65), Some(0xA3));
+    assert_eq!(o.len(), 4);
+    // Neighbors on both sides stay absent.
+    assert_eq!(o.get(61), None);
+    assert_eq!(o.get(66), None);
+}
+
+#[test]
+fn presence_is_per_byte_not_per_chunk() {
+    let mut o = Overlay::new();
+    o.insert(130, 9); // chunk [128, 192) now exists
+                      // Every other byte of that chunk must still read as absent even
+                      // though the chunk's backing array physically holds zeros for them.
+    for a in 128..192u64 {
+        if a == 130 {
+            assert_eq!(o.get(a), Some(9));
+        } else {
+            assert_eq!(o.get(a), None, "byte {a} was never written");
+        }
+    }
+}
+
+#[test]
+fn straddling_writes_match_a_byte_map_at_every_alignment() {
+    use std::collections::HashMap;
+    // Sweep 1/2/4/8-byte stores across several chunk boundaries at every
+    // offset, mirrored into a plain byte map.
+    let mut o = Overlay::new();
+    let mut m: HashMap<u64, u8> = HashMap::new();
+    let mut val = 0u8;
+    for width in [1u64, 2, 4, 8] {
+        for start in (CHUNK - 8)..(CHUNK + 8) {
+            for base_chunk in [0u64, 3, 7] {
+                let addr = base_chunk * CHUNK + start;
+                for i in 0..width {
+                    val = val.wrapping_add(41);
+                    o.insert(addr + i, val);
+                    m.insert(addr + i, val);
+                }
+            }
+        }
+    }
+    for a in 0..10 * CHUNK {
+        assert_eq!(o.get(a), m.get(&a).copied(), "addr {a}");
+    }
+    assert_eq!(o.len(), m.len());
+}
+
+#[test]
+fn clear_forgets_straddling_state() {
+    let mut o = Overlay::new();
+    for a in 60..70u64 {
+        o.insert(a, 1);
+    }
+    o.clear();
+    for a in 60..70u64 {
+        assert_eq!(o.get(a), None);
+    }
+    // Re-straddling after clear works from scratch.
+    o.insert(63, 5);
+    o.insert(64, 6);
+    assert_eq!(o.get(63), Some(5));
+    assert_eq!(o.get(64), Some(6));
+    assert_eq!(o.len(), 2);
+}
+
+// --- Through the p-thread view: straddling stores and loads -----------
+
+/// A memory image whose byte at address `a` is `a as u8` (recognizable
+/// fall-through values).
+fn ramp_memory(len: usize) -> Memory {
+    Memory::from_bytes((0..len).map(|a| a as u8).collect())
+}
+
+#[test]
+fn eight_byte_store_straddling_two_chunks_round_trips() {
+    let mem = ramp_memory(256);
+    let mut overlay = Overlay::new();
+    let mut v = PthreadView {
+        overlay: &mut overlay,
+        mem: &mem,
+    };
+    // Bytes 60..68: four in chunk [0,64), four in chunk [64,128).
+    v.store(60, 8, 0x1122_3344_5566_7788).unwrap();
+    assert_eq!(v.load(60, 8).unwrap(), 0x1122_3344_5566_7788);
+    // Per-byte little-endian split across the boundary.
+    assert_eq!(overlay.get(60), Some(0x88));
+    assert_eq!(overlay.get(63), Some(0x55), "last byte of chunk 0");
+    assert_eq!(overlay.get(64), Some(0x44), "first byte of chunk 1");
+    assert_eq!(overlay.get(67), Some(0x11));
+    assert_eq!(overlay.get(59), None);
+    assert_eq!(overlay.get(68), None);
+    assert_eq!(overlay.len(), 8);
+    // The shared image never sees speculative bytes.
+    for a in 60..68u64 {
+        assert_eq!(mem.peek(a, 1).unwrap(), a, "real memory untouched");
+    }
+}
+
+#[test]
+fn straddling_load_mixes_overlay_and_fallthrough_bytes() {
+    let mem = ramp_memory(256);
+    let mut overlay = Overlay::new();
+    let mut v = PthreadView {
+        overlay: &mut overlay,
+        mem: &mem,
+    };
+    // Overlay only the two bytes below the boundary; the load at 62
+    // spans 62..70, so bytes 64.. must fall through to the ramp image
+    // even though the store created no chunk at 64.
+    v.store(62, 2, 0xBBAA).unwrap();
+    let got = v.load(62, 8).unwrap();
+    let expect = u64::from_le_bytes([0xAA, 0xBB, 64, 65, 66, 67, 68, 69]);
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn read_before_write_falls_through_within_an_existing_chunk() {
+    let mem = ramp_memory(256);
+    let mut overlay = Overlay::new();
+    let mut v = PthreadView {
+        overlay: &mut overlay,
+        mem: &mem,
+    };
+    // One byte written in the middle of chunk [64,128).
+    v.store(100, 1, 0xEE).unwrap();
+    // A wide load covering it: every other byte falls through to the
+    // image — the chunk's zeroed backing array must never leak.
+    let got = v.load(96, 8).unwrap();
+    let expect = u64::from_le_bytes([96, 97, 98, 99, 0xEE, 101, 102, 103]);
+    assert_eq!(got, expect);
+    // Read-before-write on the untouched half of the chunk.
+    assert_eq!(
+        v.load(64, 8).unwrap(),
+        u64::from_le_bytes([64, 65, 66, 67, 68, 69, 70, 71])
+    );
+}

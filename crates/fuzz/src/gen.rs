@@ -1,0 +1,427 @@
+//! Seeded, constrained random program generation.
+//!
+//! A fuzz case is a [`ProgramSpec`]: a seed plus a list of [`Segment`]s,
+//! each a small parameterized code idiom. The spec — not the rendered
+//! [`Program`] — is the unit the shrinker mutates and the corpus stores,
+//! because it is tiny, serializable, and trivially minimizable (drop
+//! segments, halve parameters).
+//!
+//! Every construct the renderer emits terminates by construction: all
+//! loops count a dedicated register down to zero, all pointer chases are
+//! cyclic permutations walked a bounded number of steps, and every memory
+//! address is masked into an allocated region before use. The idiom mix
+//! is deliberately biased toward what SPEAR cares about: pointer-chasing
+//! and strided loops over a 1 MiB array (delinquent loads that miss L1D
+//! and get p-threads from the compiler), plus branches, calls, and
+//! sub-word store/load overlap to stress the rest of the pipeline.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+use spear_isa::asm::Asm;
+use spear_isa::reg::*;
+use spear_isa::Program;
+
+/// Code idioms the renderer knows how to emit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SegKind {
+    /// Straight-line integer ALU chain.
+    AluChain,
+    /// Data-dependent branch diamond (two arms, one join).
+    Diamond,
+    /// Counted loop of sequential loads + stores over the small array.
+    CountedLoop,
+    /// LCG-indexed gather over the 1 MiB array (delinquent loads).
+    Gather,
+    /// Pointer chase through a 32 KiB cyclic linked list (misses L1D).
+    PointerChase,
+    /// Strided load+store sweep over the 1 MiB array.
+    StridedSweep,
+    /// Call/return pair, optionally nested one deep.
+    CallPair,
+    /// Sub-word stores and loads at overlapping, straddling offsets.
+    StoreLoadMix,
+    /// Two-level counted loop nest with a load in the inner body.
+    NestedLoop,
+    /// Gather whose index state round-trips through memory every
+    /// iteration, so the delinquent load's backward slice contains a
+    /// store (exercises p-thread store isolation and forwarding).
+    FeedbackGather,
+}
+
+/// All kinds, for uniform sampling.
+pub const ALL_KINDS: [SegKind; 10] = [
+    SegKind::AluChain,
+    SegKind::Diamond,
+    SegKind::CountedLoop,
+    SegKind::Gather,
+    SegKind::PointerChase,
+    SegKind::StridedSweep,
+    SegKind::CallPair,
+    SegKind::StoreLoadMix,
+    SegKind::NestedLoop,
+    SegKind::FeedbackGather,
+];
+
+/// One parameterized idiom instance. `a` and `b` are free parameters the
+/// renderer folds into safe ranges (iteration counts, strides, offsets),
+/// so *any* `u32` values render to a valid, terminating program — the
+/// shrinker may halve them blindly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// The idiom.
+    pub kind: SegKind,
+    /// Primary parameter (usually the iteration count).
+    pub a: u32,
+    /// Secondary parameter (stride, offset, or variant selector).
+    pub b: u32,
+}
+
+/// A complete fuzz case: everything needed to reproduce a program.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramSpec {
+    /// Seeds the data image contents and in-segment constants.
+    pub seed: u64,
+    /// The program body, rendered segment by segment.
+    pub segments: Vec<Segment>,
+}
+
+/// Number of u64 nodes in the pointer-chase list (32 KiB — as large as
+/// L1D, so a cold chase misses).
+const CHAIN_NODES: u64 = 4096;
+/// Bytes in the large gather/sweep array.
+const BIG_BYTES: u64 = 1 << 20;
+/// u64 entries in the small sequential array.
+const DATA_WORDS: u64 = 512;
+
+impl ProgramSpec {
+    /// Draw a random spec: 1–7 segments with uniform kinds and free
+    /// parameters.
+    pub fn generate<R: RngCore>(rng: &mut R) -> ProgramSpec {
+        let n = rng.random_range(1..8usize);
+        let segments = (0..n)
+            .map(|_| Segment {
+                kind: ALL_KINDS[rng.random_range(0..ALL_KINDS.len())],
+                a: rng.next_u64() as u32,
+                b: rng.next_u64() as u32,
+            })
+            .collect();
+        ProgramSpec {
+            seed: rng.next_u64(),
+            segments,
+        }
+    }
+
+    /// Render to an executable [`Program`]. Total: any seed and any
+    /// parameter values produce a valid program that halts.
+    pub fn render(&self) -> Program {
+        let seed = self.seed;
+        let mut a = Asm::new();
+
+        // Initialized data: a small sequential array, the cyclic chase
+        // list (stored as *byte offsets* into itself so the contents are
+        // layout-independent), and a byte region for sub-word traffic.
+        let data: Vec<u64> = (0..DATA_WORDS).map(|i| i.wrapping_mul(seed | 1)).collect();
+        let d = a.alloc_u64("data", &data);
+        // `step` odd and CHAIN_NODES a power of two → gcd(step, n) = 1 →
+        // the successor map i ↦ (i + step) mod n is one full cycle.
+        let step = (seed | 1) % CHAIN_NODES;
+        let chain: Vec<u64> = (0..CHAIN_NODES)
+            .map(|i| 8 * ((i + step) % CHAIN_NODES))
+            .collect();
+        let c = a.alloc_u64("chain", &chain);
+        let mix: Vec<u8> = (0..256u64).map(|i| (i as u8).wrapping_mul(31)).collect();
+        let m = a.alloc_bytes("mix", &mix);
+        // Reserved (zeroed) memory last, as the assembler requires.
+        let big = a.reserve("big", BIG_BYTES);
+
+        // Register conventions: R10 accumulator; R20 data, R21 big,
+        // R22 chain, R23 mix bases; R11–R17 scratch; R30/R31 link.
+        a.li(R10, seed as i64);
+        a.li(R20, d as i64);
+        a.li(R21, big as i64);
+        a.li(R22, c as i64);
+        a.li(R23, m as i64);
+
+        for (i, seg) in self.segments.iter().enumerate() {
+            render_segment(&mut a, i, seg, seed);
+        }
+        a.halt();
+        a.finish().expect("generated program assembles")
+    }
+}
+
+fn render_segment(a: &mut Asm, i: usize, seg: &Segment, seed: u64) {
+    match seg.kind {
+        SegKind::AluChain => {
+            let ops = seg.a % 8 + 1;
+            for k in 0..ops {
+                match (seg.b as u64 + k as u64) % 4 {
+                    0 => {
+                        a.addi(R10, R10, 3);
+                    }
+                    1 => {
+                        a.muli(R11, R10, 7);
+                        a.xor(R10, R10, R11);
+                    }
+                    2 => {
+                        a.slli(R11, R10, (seg.b % 5 + 1) as i64);
+                        a.add(R10, R10, R11);
+                    }
+                    _ => {
+                        a.srli(R11, R10, 13);
+                        a.sub(R10, R10, R11);
+                    }
+                }
+            }
+        }
+        SegKind::Diamond => {
+            let t = format!("t{i}");
+            let j = format!("j{i}");
+            a.andi(R11, R10, (seg.b % 7 + 1) as i64);
+            a.beq(R11, R0, &t);
+            a.addi(R10, R10, 5);
+            a.j(&j);
+            a.label(&t);
+            a.slli(R10, R10, 1);
+            a.label(&j);
+        }
+        SegKind::CountedLoop => {
+            let l = format!("l{i}");
+            let count = seg.a % 24 + 1;
+            a.li(R12, count as i64);
+            a.mv(R13, R20);
+            a.label(&l);
+            a.ld(R14, R13, 0);
+            a.add(R10, R10, R14);
+            a.sd(R10, R13, 8);
+            a.addi(R13, R13, 16);
+            a.addi(R12, R12, -1);
+            a.bne(R12, R0, &l);
+        }
+        SegKind::Gather => {
+            let l = format!("g{i}");
+            let count = seg.a % 160 + 8;
+            a.li(R12, count as i64);
+            a.li(R15, (seed | 1) as i64);
+            a.label(&l);
+            a.muli(R15, R15, 6364136223846793005);
+            a.addi(R15, R15, 1442695040888963407);
+            a.srli(R16, R15, 24);
+            a.andi(R16, R16, (BIG_BYTES - 8) as i64);
+            a.add(R16, R21, R16);
+            a.ld(R17, R16, 0);
+            a.add(R10, R10, R17);
+            a.addi(R12, R12, -1);
+            a.bne(R12, R0, &l);
+        }
+        SegKind::PointerChase => {
+            let l = format!("p{i}");
+            let count = seg.a % 128 + 8;
+            a.li(R12, count as i64);
+            // Start at an arbitrary (word-aligned) node.
+            a.li(R16, (8 * (seg.b as u64 % CHAIN_NODES)) as i64);
+            a.label(&l);
+            a.add(R17, R22, R16);
+            a.ld(R16, R17, 0); // next node's byte offset
+            a.add(R10, R10, R16);
+            a.addi(R12, R12, -1);
+            a.bne(R12, R0, &l);
+        }
+        SegKind::StridedSweep => {
+            let l = format!("s{i}");
+            let count = seg.a % 48 + 4;
+            let stride = 8 * (seg.b as u64 % 512 + 1);
+            a.li(R12, count as i64);
+            a.li(R13, 0);
+            a.label(&l);
+            a.andi(R16, R13, (BIG_BYTES - 8) as i64);
+            a.add(R16, R21, R16);
+            a.ld(R17, R16, 0);
+            a.add(R10, R10, R17);
+            a.sd(R10, R16, 0);
+            a.addi(R13, R13, stride as i64);
+            a.addi(R12, R12, -1);
+            a.bne(R12, R0, &l);
+        }
+        SegKind::CallPair => {
+            let f = format!("f{i}");
+            let over = format!("o{i}");
+            a.jal(R31, &f);
+            a.j(&over);
+            a.label(&f);
+            a.addi(R10, R10, 11);
+            if seg.b % 2 == 1 {
+                // One level of nesting through a second link register.
+                let g = format!("n{i}");
+                let back = format!("b{i}");
+                a.jal(R30, &g);
+                a.j(&back);
+                a.label(&g);
+                a.xori(R10, R10, 0x55);
+                a.jr(R30);
+                a.label(&back);
+            }
+            a.jr(R31);
+            a.label(&over);
+        }
+        SegKind::StoreLoadMix => {
+            // Sub-word stores at offsets chosen to straddle the overlay's
+            // 64-byte chunk boundary (around offset 64), then overlapping
+            // reads of every width. All inside the 256-byte mix region.
+            let o = (seg.b % 56 + 58) as i64; // 58..=113: spans 64
+            a.sb(R10, R23, o);
+            a.srli(R11, R10, 8);
+            a.sh(R11, R23, o + 1);
+            a.srli(R11, R10, 16);
+            a.sw(R11, R23, o + 3);
+            a.sd(R10, R23, o + 7);
+            a.lb(R12, R23, o);
+            a.add(R10, R10, R12);
+            a.lhu(R12, R23, o + 2);
+            a.add(R10, R10, R12);
+            a.lwu(R12, R23, o + 5);
+            a.add(R10, R10, R12);
+            a.ld(R12, R23, o + 6);
+            a.xor(R10, R10, R12);
+        }
+        SegKind::NestedLoop => {
+            let lo = format!("x{i}");
+            let li = format!("y{i}");
+            let outer = seg.a % 6 + 1;
+            let inner = seg.b % 8 + 1;
+            a.li(R12, outer as i64);
+            a.label(&lo);
+            a.li(R13, inner as i64);
+            a.mv(R14, R20);
+            a.label(&li);
+            a.ld(R15, R14, 0);
+            a.add(R10, R10, R15);
+            a.addi(R14, R14, 8);
+            a.addi(R13, R13, -1);
+            a.bne(R13, R0, &li);
+            a.addi(R12, R12, -1);
+            a.bne(R12, R0, &lo);
+        }
+        SegKind::FeedbackGather => {
+            // The LCG index state lives in a mix-region word: loaded at
+            // the top of each iteration, advanced, stored back. The
+            // delinquent big-array load's backward slice therefore
+            // crosses a store→load memory dependence, which the slicer
+            // follows — p-threads for this load contain the store and
+            // must keep it isolated in the overlay.
+            let l = format!("w{i}");
+            let count = seg.a % 160 + 8;
+            let o = 8 * (seg.b % 24) as i64; // word slot, 0..=184
+            a.sd(R10, R23, o); // seed the state word
+            a.li(R12, count as i64);
+            a.label(&l);
+            a.ld(R15, R23, o);
+            a.muli(R15, R15, 6364136223846793005);
+            a.addi(R15, R15, 1442695040888963407);
+            a.sd(R15, R23, o);
+            a.srli(R16, R15, 24);
+            a.andi(R16, R16, (BIG_BYTES - 8) as i64);
+            a.add(R16, R21, R16);
+            a.ld(R17, R16, 0);
+            a.add(R10, R10, R17);
+            a.addi(R12, R12, -1);
+            a.bne(R12, R0, &l);
+        }
+    }
+}
+
+/// Derive the per-iteration seed for iteration `i` of a fuzz run from the
+/// base seed (SplitMix64 step — decorrelates consecutive iterations).
+pub fn iter_seed(base: u64, i: u64) -> u64 {
+    let mut z = base.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(i.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spear_exec::Interp;
+
+    #[test]
+    fn every_kind_renders_and_halts() {
+        for (k, kind) in ALL_KINDS.iter().enumerate() {
+            let spec = ProgramSpec {
+                seed: 0xDEAD_BEEF ^ k as u64,
+                segments: vec![Segment {
+                    kind: *kind,
+                    a: 12345,
+                    b: 6789,
+                }],
+            };
+            let p = spec.render();
+            let mut i = Interp::new(&p);
+            i.run(1_000_000).expect("executes");
+            assert!(i.halted, "{kind:?} must halt");
+        }
+    }
+
+    #[test]
+    fn random_specs_halt_within_budget() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let spec = ProgramSpec::generate(&mut rng);
+            let p = spec.render();
+            let mut i = Interp::new(&p);
+            i.run(2_000_000).expect("executes");
+            assert!(i.halted, "spec {spec:?} must halt");
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let spec = ProgramSpec::generate(&mut rng);
+        let p1 = spec.render();
+        let p2 = spec.render();
+        assert_eq!(p1.insts.len(), p2.insts.len());
+        let mut a = Interp::new(&p1);
+        let mut b = Interp::new(&p2);
+        a.run(2_000_000).unwrap();
+        b.run(2_000_000).unwrap();
+        assert_eq!(a.state_checksum(), b.state_checksum());
+    }
+
+    #[test]
+    fn extreme_parameters_still_render() {
+        // The renderer must be total over the parameter space so the
+        // shrinker can halve blindly.
+        for (va, vb) in [(0, 0), (u32::MAX, u32::MAX), (1, u32::MAX), (u32::MAX, 0)] {
+            let spec = ProgramSpec {
+                seed: u64::MAX,
+                segments: ALL_KINDS
+                    .iter()
+                    .map(|&kind| Segment { kind, a: va, b: vb })
+                    .collect(),
+            };
+            let p = spec.render();
+            let mut i = Interp::new(&p);
+            i.run(2_000_000).expect("executes");
+            assert!(i.halted);
+        }
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = ProgramSpec::generate(&mut rng);
+        let json = serde::json::to_string(&spec);
+        let back: ProgramSpec = serde::json::from_str(&json).expect("round trip");
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn iter_seed_decorrelates() {
+        assert_ne!(iter_seed(42, 0), iter_seed(42, 1));
+        assert_ne!(iter_seed(42, 0), iter_seed(43, 0));
+        assert_eq!(iter_seed(42, 7), iter_seed(42, 7));
+    }
+}

@@ -1,0 +1,185 @@
+//! Failing-case minimization.
+//!
+//! A ddmin-style shrinker over [`ProgramSpec`]s: first remove segment
+//! chunks (halves, then quarters, down to single segments), then shrink
+//! each surviving segment's numeric parameters toward zero, then simplify
+//! the seed. A candidate is kept only if the oracle still fails — the
+//! minimized spec is guaranteed to reproduce *a* failure, though the
+//! specific divergence detail may shift as the program shrinks.
+//!
+//! Every candidate evaluation is a full oracle run, so the total number
+//! of evaluations is bounded by `budget`.
+
+use crate::gen::{ProgramSpec, Segment};
+use crate::oracle::{self, Failure};
+
+/// Outcome of a shrink: the smallest still-failing spec found, the
+/// failure it produces, and how many oracle evaluations were spent.
+#[derive(Clone, Debug)]
+pub struct Shrunk {
+    /// The minimized spec.
+    pub spec: ProgramSpec,
+    /// The failure the minimized spec reproduces.
+    pub failure: Failure,
+    /// Oracle evaluations consumed.
+    pub evals: usize,
+    /// Golden dynamic instruction count of the minimized program.
+    pub golden_icount: u64,
+    /// Static instruction count of the minimized program.
+    pub static_insts: u64,
+}
+
+/// Minimize `spec`, which must currently fail the oracle (`failure` is
+/// its observed divergence). Runs at most `budget` oracle evaluations.
+pub fn shrink(spec: &ProgramSpec, failure: Failure, budget: usize) -> Shrunk {
+    let mut best = spec.clone();
+    let mut best_failure = failure;
+    let mut evals = 0usize;
+
+    // Returns the new failure if the candidate still fails.
+    let still_fails = |cand: &ProgramSpec, evals: &mut usize| -> Option<Failure> {
+        if *evals >= budget {
+            return None;
+        }
+        *evals += 1;
+        oracle::check(cand).err()
+    };
+
+    loop {
+        let before = (best.segments.clone(), best.seed);
+
+        // Phase 1: segment-list reduction, coarse to fine.
+        let mut chunk = best.segments.len().div_ceil(2).max(1);
+        while chunk >= 1 && best.segments.len() > 1 {
+            let mut start = 0;
+            while start < best.segments.len() && best.segments.len() > 1 {
+                let mut cand = best.clone();
+                let end = (start + chunk).min(cand.segments.len());
+                cand.segments.drain(start..end);
+                if cand.segments.is_empty() {
+                    start += chunk;
+                    continue;
+                }
+                if let Some(f) = still_fails(&cand, &mut evals) {
+                    best = cand;
+                    best_failure = f;
+                    // Retry the same position: the list shifted left.
+                } else {
+                    start += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Phase 2: per-segment parameter shrinking. Halving descends
+        // fast; the decrement polish matters because parameters fold
+        // into ranges with `%`, so the failing region need not be
+        // downward-closed under halving.
+        for i in 0..best.segments.len() {
+            for param in [0u8, 1] {
+                loop {
+                    let Segment { a, b, .. } = best.segments[i];
+                    let cur = if param == 0 { a } else { b };
+                    if cur == 0 {
+                        break;
+                    }
+                    let mut stepped = false;
+                    for next in [cur / 2, cur - 1] {
+                        let mut cand = best.clone();
+                        if param == 0 {
+                            cand.segments[i].a = next;
+                        } else {
+                            cand.segments[i].b = next;
+                        }
+                        if let Some(f) = still_fails(&cand, &mut evals) {
+                            best = cand;
+                            best_failure = f;
+                            stepped = true;
+                            break;
+                        }
+                    }
+                    if !stepped {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Phase 3: seed simplification.
+        for simple in [0u64, 1] {
+            if best.seed != simple {
+                let mut cand = best.clone();
+                cand.seed = simple;
+                if let Some(f) = still_fails(&cand, &mut evals) {
+                    best = cand;
+                    best_failure = f;
+                }
+            }
+        }
+
+        let after = (best.segments.clone(), best.seed);
+        if before == after || evals >= budget {
+            break;
+        }
+    }
+
+    // The final spec fails by construction; measure both size metrics
+    // for reporting (static program length and dynamic golden length).
+    let golden_icount = golden_len(&best);
+    let static_insts = best.render().insts.len() as u64;
+    Shrunk {
+        spec: best,
+        failure: best_failure,
+        evals,
+        golden_icount,
+        static_insts,
+    }
+}
+
+/// Dynamic instruction count of a spec's rendered program on the golden
+/// interpreter.
+pub fn golden_len(spec: &ProgramSpec) -> u64 {
+    let p = spec.render();
+    let mut i = spear_exec::Interp::new(&p);
+    i.run(20_000_000).expect("golden");
+    i.icount
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::SegKind;
+
+    /// Shrinking against a synthetic predicate (not the real oracle):
+    /// exercise the list/param phases cheaply by shrinking with budget 0
+    /// — the spec must come back unchanged.
+    #[test]
+    fn zero_budget_returns_input() {
+        let spec = ProgramSpec {
+            seed: 5,
+            segments: vec![
+                Segment {
+                    kind: SegKind::AluChain,
+                    a: 100,
+                    b: 200,
+                },
+                Segment {
+                    kind: SegKind::Diamond,
+                    a: 3,
+                    b: 4,
+                },
+            ],
+        };
+        let f = Failure {
+            config: "x".into(),
+            kind: "y".into(),
+            detail: "z".into(),
+        };
+        let out = shrink(&spec, f, 0);
+        assert_eq!(out.spec, spec);
+        assert_eq!(out.evals, 0);
+    }
+}

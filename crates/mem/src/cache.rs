@@ -311,6 +311,51 @@ impl Cache {
         }
     }
 
+    /// Block-aligned addresses of every valid line, set-major order
+    /// (diagnostics: inclusion audits, fuzz-harness structure checks).
+    pub fn valid_block_addrs(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for set in 0..self.geom.sets {
+            let base = set * self.geom.assoc;
+            for way in 0..self.geom.assoc {
+                let i = base + way;
+                if self.flags[i] & VALID != 0 {
+                    out.push(self.block_addr(set, self.tags[i]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Check structural well-formedness of the tag store: no set may hold
+    /// the same tag in two valid ways (the hit path scans ways in order
+    /// and would silently shadow the duplicate), and no invalid line may
+    /// carry a dirty bit. Returns the first violation found.
+    pub fn check_structure(&self) -> Result<(), String> {
+        for set in 0..self.geom.sets {
+            let base = set * self.geom.assoc;
+            for way in 0..self.geom.assoc {
+                let i = base + way;
+                if self.flags[i] & VALID == 0 {
+                    if self.flags[i] & DIRTY != 0 {
+                        return Err(format!("set {set} way {way}: dirty bit on an invalid line"));
+                    }
+                    continue;
+                }
+                for later in way + 1..self.geom.assoc {
+                    let j = base + later;
+                    if self.flags[j] & VALID != 0 && self.tags[j] == self.tags[i] {
+                        return Err(format!(
+                            "set {set}: tag {:#x} valid in both way {way} and way {later}",
+                            self.tags[i]
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Would `addr` hit right now? Does not disturb replacement state or
     /// statistics (used by tests and by the profiler's peek).
     pub fn probe(&self, addr: u64) -> bool {

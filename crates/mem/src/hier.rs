@@ -571,6 +571,36 @@ impl Hierarchy {
         self.l1d.stats
     }
 
+    /// Check tag-store well-formedness of all three caches (no duplicate
+    /// valid tags within a set, no dirty-but-invalid lines). Returns the
+    /// first violation found, prefixed with the offending cache's name.
+    pub fn check_structure(&self) -> Result<(), String> {
+        self.l1d
+            .check_structure()
+            .map_err(|e| format!("l1d: {e}"))?;
+        self.l1i
+            .check_structure()
+            .map_err(|e| format!("l1i: {e}"))?;
+        self.l2.check_structure().map_err(|e| format!("l2: {e}"))?;
+        Ok(())
+    }
+
+    /// Count L1 lines (data + instruction) whose block is absent from L2.
+    ///
+    /// This is a *diagnostic*, not an invariant: the model is non-
+    /// inclusive by construction. L2 sees only L1-miss traffic, so a line
+    /// that is hot in L1 ages out of L2's LRU without a back-invalidation,
+    /// legitimately leaving L1-valid blocks with no L2 copy. The fuzz
+    /// harness reports this count rather than asserting zero.
+    pub fn inclusion_violations(&self) -> usize {
+        self.l1d
+            .valid_block_addrs()
+            .into_iter()
+            .chain(self.l1i.valid_block_addrs())
+            .filter(|&b| !self.l2.probe(b))
+            .count()
+    }
+
     /// Capture the warm contents of all three caches (tags, validity,
     /// dirtiness, replacement order). In-flight fills, prefetch ownership
     /// maps and statistics are *not* captured: a snapshot represents a

@@ -1,0 +1,23 @@
+//! Replay the minimized-reproducer corpus (`tests/corpus/`) through the
+//! full differential oracle. Every entry is a shrunk program that once
+//! exposed a real divergence; any entry failing here means a regression
+//! resurrected a fixed bug.
+
+use std::path::Path;
+
+#[test]
+fn corpus_reproducers_all_pass() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut lines = Vec::new();
+    let report = spear_fuzz::replay(&dir, |s| lines.push(s.to_string()))
+        .expect("corpus must be readable — entries are checked in");
+    assert!(
+        report.replayed > 0,
+        "the checked-in corpus must not be empty"
+    );
+    assert!(
+        report.regressions.is_empty(),
+        "corpus regressions:\n{}",
+        lines.join("\n")
+    );
+}
