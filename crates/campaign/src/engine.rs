@@ -51,6 +51,10 @@ const MAX_CELL_CYCLES: u64 = 200_000_000;
 /// Instruction ceiling for the functional pass.
 const MAX_FUNCTIONAL_INSTS: u64 = 1_000_000_000;
 
+/// Finished cells between heartbeat rewrites of `progress.json` /
+/// `metrics.prom` (a final heartbeat is always written at the end).
+const HEARTBEAT_EVERY_CELLS: u64 = 10;
+
 /// One (machine, latency) point of the sweep, with its fully resolved
 /// core configuration. The `machine` and `mem_latency` fields are the
 /// cell key; `config` is what actually runs.
@@ -78,6 +82,10 @@ pub struct CampaignSpec {
     /// Stop after executing this many cells in this invocation (used to
     /// exercise crash-resume in tests and CI; `None` = run to the end).
     pub max_cells: Option<u64>,
+    /// Windowed-telemetry length in cycles for every cell (`None` =
+    /// windows off). Part of the manifest fingerprint: window shape
+    /// changes the persisted stats, so a resume must match.
+    pub window: Option<u64>,
 }
 
 /// One completed cell, as persisted to `cells.jsonl`.
@@ -185,6 +193,7 @@ struct ManifestDoc {
     points: Vec<(String, u32)>,
     interval_len: u64,
     stride: u64,
+    window: Option<u64>,
 }
 
 /// A campaign bound to its directory.
@@ -234,6 +243,7 @@ impl Campaign {
                 .collect(),
             interval_len: self.spec.sample.interval_len,
             stride: self.spec.sample.stride,
+            window: self.spec.window,
         }
     }
 
@@ -362,10 +372,41 @@ impl Campaign {
         let executed = AtomicU64::new(0);
         let done_count = AtomicU64::new(skipped);
         let wall_sum_ms = AtomicU64::new(0);
+        let committed_sum = AtomicU64::new(0);
         let stop = AtomicBool::new(false);
         let budget = self.spec.max_cells.unwrap_or(u64::MAX);
         let points = &self.spec.points;
         let wds_ref = &wds;
+        let window = self.spec.window;
+        // One writer at a time keeps the temp-file dance race-free;
+        // heartbeats are advisory, so their IO errors never stop a run.
+        let heartbeat = Mutex::new(String::new());
+        let beat = |last_cell: &str| {
+            let ex = executed.load(Ordering::SeqCst).min(budget);
+            let d = done_count.load(Ordering::SeqCst);
+            let elapsed_ms = t0.elapsed().as_millis() as u64;
+            let committed = committed_sum.load(Ordering::SeqCst);
+            let kips = if elapsed_ms > 0 {
+                committed as f64 / elapsed_ms as f64
+            } else {
+                0.0
+            };
+            let _ = write_heartbeat(
+                &self.dir,
+                &HeartbeatDoc {
+                    done: d,
+                    total,
+                    executed: ex,
+                    threads: threads as u64,
+                    elapsed_ms,
+                    eta_ms: eta_ms(wall_sum_ms.load(Ordering::SeqCst), ex, total - d, threads),
+                    committed_insts: committed,
+                    kips,
+                    kips_per_shard: kips / threads as f64,
+                    last_cell: last_cell.to_string(),
+                },
+            );
+        };
 
         crossbeam::scope(|scope| {
             for _ in 0..threads.min(pending.len().max(1)) {
@@ -386,7 +427,7 @@ impl Campaign {
                         break;
                     }
                     let cell = &pending[i];
-                    match run_cell(&wds_ref[cell.w], &points[cell.p], cell.interval) {
+                    match run_cell(&wds_ref[cell.w], &points[cell.p], cell.interval, window) {
                         Ok(res) => {
                             let line = serde::json::to_string(&res);
                             {
@@ -399,23 +440,34 @@ impl Campaign {
                                     break;
                                 }
                             }
+                            let fingerprint = format!(
+                                "{}/{}/{}/{}",
+                                res.workload, res.machine, res.mem_latency, res.interval
+                            );
                             wall_sum_ms.fetch_add(res.wall_ms, Ordering::SeqCst);
+                            committed_sum.fetch_add(res.stats.committed, Ordering::SeqCst);
                             new_results.lock().push(res);
                             let d = done_count.fetch_add(1, Ordering::SeqCst) + 1;
+                            if d.is_multiple_of(HEARTBEAT_EVERY_CELLS) {
+                                let mut last = heartbeat.lock();
+                                *last = fingerprint.clone();
+                                beat(&last);
+                            } else {
+                                *heartbeat.lock() = fingerprint;
+                            }
                             if let Some(cb) = on_progress {
                                 let ex = executed.load(Ordering::SeqCst).min(budget);
-                                let remaining = total - d;
-                                let eta_ms = (ex > 0).then(|| {
-                                    let per_cell =
-                                        wall_sum_ms.load(Ordering::SeqCst) as f64 / ex as f64;
-                                    (per_cell * remaining as f64 / threads as f64) as u64
-                                });
                                 cb(&ProgressSnapshot {
                                     done: d,
                                     total,
                                     executed: ex,
                                     elapsed_ms: t0.elapsed().as_millis() as u64,
-                                    eta_ms,
+                                    eta_ms: eta_ms(
+                                        wall_sum_ms.load(Ordering::SeqCst),
+                                        ex,
+                                        total - d,
+                                        threads,
+                                    ),
                                 });
                             }
                         }
@@ -432,6 +484,10 @@ impl Campaign {
             }
         })
         .expect("campaign worker panicked");
+
+        // Final heartbeat so `progress.json` reflects the end state even
+        // when the cell count never hit the heartbeat interval.
+        beat(&heartbeat.lock().clone());
 
         if let Some(e) = first_error.into_inner() {
             return Err(e);
@@ -452,6 +508,119 @@ impl Campaign {
             elapsed_ms: t0.elapsed().as_millis() as u64,
         })
     }
+}
+
+/// Estimated remaining campaign wall time: mean per-cell simulation time
+/// of the cells executed so far, divided across the worker threads.
+/// `None` until the first cell finishes (and under a degenerate zero
+/// thread count), so a fresh campaign never reports a bogus 0ms ETA.
+pub fn eta_ms(wall_sum_ms: u64, executed: u64, remaining: u64, threads: usize) -> Option<u64> {
+    if executed == 0 || threads == 0 {
+        return None;
+    }
+    let per_cell = wall_sum_ms as f64 / executed as f64;
+    Some((per_cell * remaining as f64 / threads as f64) as u64)
+}
+
+/// The campaign heartbeat persisted as `progress.json` (see
+/// [`write_heartbeat`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatDoc {
+    /// Cells finished (including ones skipped as already done).
+    pub done: u64,
+    /// Total cells in the campaign.
+    pub total: u64,
+    /// Cells executed by this invocation.
+    pub executed: u64,
+    /// Worker threads in use.
+    pub threads: u64,
+    /// Wall-clock time since this invocation started, in ms.
+    pub elapsed_ms: u64,
+    /// Estimated remaining time ([`eta_ms`]); `null` until known.
+    pub eta_ms: Option<u64>,
+    /// Committed instructions simulated by this invocation.
+    pub committed_insts: u64,
+    /// Simulation throughput: committed kilo-instructions per
+    /// wall-clock second, summed over all shards.
+    pub kips: f64,
+    /// [`HeartbeatDoc::kips`] divided by the worker count — the mean
+    /// per-shard throughput.
+    pub kips_per_shard: f64,
+    /// Key of the most recently finished cell
+    /// (`workload/machine/mem_latency/interval`); empty before the
+    /// first one.
+    pub last_cell: String,
+}
+
+/// Atomically (write-to-temp + rename) rewrite the campaign heartbeat:
+/// `progress.json` for machines and `metrics.prom` (Prometheus text
+/// exposition format) for scrapers. A reader never observes a torn
+/// file. Heartbeats are advisory: callers may ignore the error.
+pub fn write_heartbeat(dir: &Path, hb: &HeartbeatDoc) -> Result<(), String> {
+    let atomic = |name: &str, contents: String| -> Result<(), String> {
+        let tmp = dir.join(format!("{name}.tmp"));
+        let fin = dir.join(name);
+        std::fs::write(&tmp, contents)
+            .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &fin)
+            .map_err(|e| format!("cannot rename {} -> {}: {e}", tmp.display(), fin.display()))
+    };
+    atomic("progress.json", serde::json::to_string_pretty(hb))?;
+    let mut prom = String::new();
+    let mut gauge = |name: &str, help: &str, value: String| {
+        prom.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+        ));
+    };
+    gauge(
+        "spear_campaign_cells_done",
+        "Cells finished, including previously completed ones.",
+        hb.done.to_string(),
+    );
+    gauge(
+        "spear_campaign_cells_total",
+        "Total cells in the campaign.",
+        hb.total.to_string(),
+    );
+    gauge(
+        "spear_campaign_cells_executed",
+        "Cells executed by this invocation.",
+        hb.executed.to_string(),
+    );
+    gauge(
+        "spear_campaign_threads",
+        "Worker threads in use.",
+        hb.threads.to_string(),
+    );
+    gauge(
+        "spear_campaign_elapsed_ms",
+        "Wall-clock ms since this invocation started.",
+        hb.elapsed_ms.to_string(),
+    );
+    gauge(
+        "spear_campaign_eta_ms",
+        "Estimated remaining ms (absent until the first cell finishes).",
+        match hb.eta_ms {
+            Some(v) => v.to_string(),
+            None => "NaN".to_string(),
+        },
+    );
+    gauge(
+        "spear_campaign_committed_insts",
+        "Committed instructions simulated by this invocation.",
+        hb.committed_insts.to_string(),
+    );
+    gauge(
+        "spear_campaign_kips",
+        "Committed kilo-instructions per wall-clock second, all shards.",
+        format!("{:.3}", hb.kips),
+    );
+    gauge(
+        "spear_campaign_kips_per_shard",
+        "Mean per-shard simulation throughput in KIPS.",
+        format!("{:.3}", hb.kips_per_shard),
+    );
+    atomic("metrics.prom", prom)
 }
 
 /// Per-workload wall-time table over a set of cell results, sorted by
@@ -515,6 +684,7 @@ fn run_cell(
     wd: &WorkloadData,
     point: &MachinePoint,
     interval: Interval,
+    window: Option<u64>,
 ) -> Result<CellResult, String> {
     let cp = wd.set.at(interval.start_inst).ok_or_else(|| {
         format!(
@@ -525,6 +695,9 @@ fn run_cell(
     let t0 = Instant::now();
     let mut core = Core::new(&wd.binary, point.config.clone());
     cp.restore_into(&mut core)?;
+    if let Some(len) = window {
+        core.enable_windows(len);
+    }
     let res = core
         .run(MAX_CELL_CYCLES, interval.len)
         .map_err(|e| format!("{} on {}: {e}", wd.name, point.machine))?;
@@ -575,4 +748,66 @@ fn parallel_map<T: Sync, R: Send>(
         .into_iter()
         .map(|r| r.expect("all slots filled"))
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_is_unknown_before_the_first_cell_and_under_zero_threads() {
+        assert_eq!(eta_ms(0, 0, 100, 4), None, "no data yet");
+        assert_eq!(eta_ms(500, 0, 100, 4), None, "zero executed");
+        assert_eq!(eta_ms(500, 5, 100, 0), None, "degenerate thread count");
+    }
+
+    #[test]
+    fn eta_divides_mean_cell_time_across_threads() {
+        // 10 cells took 1000ms -> 100ms/cell; 40 remain on 4 threads.
+        assert_eq!(eta_ms(1000, 10, 40, 4), Some(1000));
+        assert_eq!(eta_ms(1000, 10, 0, 4), Some(0), "nothing remaining");
+    }
+
+    #[test]
+    fn heartbeat_files_are_written_atomically_and_parse_back() {
+        let dir = std::env::temp_dir().join(format!("spear-heartbeat-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let hb = HeartbeatDoc {
+            done: 12,
+            total: 48,
+            executed: 12,
+            threads: 4,
+            elapsed_ms: 6_000,
+            eta_ms: eta_ms(6_000, 12, 36, 4),
+            committed_insts: 1_200_000,
+            kips: 200.0,
+            kips_per_shard: 50.0,
+            last_cell: "pointer/SPEAR-128/120/3".into(),
+        };
+        write_heartbeat(&dir, &hb).unwrap();
+        // The temp files were renamed away, not left behind.
+        assert!(!dir.join("progress.json.tmp").exists());
+        assert!(!dir.join("metrics.prom.tmp").exists());
+        let back: HeartbeatDoc =
+            serde::json::from_str(&std::fs::read_to_string(dir.join("progress.json")).unwrap())
+                .unwrap();
+        assert_eq!(back, hb);
+        assert_eq!(back.eta_ms, Some(4_500));
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(
+            prom.contains("# TYPE spear_campaign_cells_done gauge"),
+            "{prom}"
+        );
+        assert!(prom.contains("spear_campaign_cells_done 12"), "{prom}");
+        assert!(prom.contains("spear_campaign_kips 200.000"), "{prom}");
+        assert!(prom.contains("spear_campaign_eta_ms 4500"), "{prom}");
+        // An unknown ETA renders as NaN, the Prometheus idiom for
+        // "no value", never as a parse-breaking empty sample.
+        let cold = HeartbeatDoc { eta_ms: None, ..hb };
+        write_heartbeat(&dir, &cold).unwrap();
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(prom.contains("spear_campaign_eta_ms NaN"), "{prom}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -34,8 +34,8 @@ pub mod sample;
 
 pub use checkpoint::{capture_interval_checkpoints, Checkpoint, CheckpointSet, Warmer};
 pub use engine::{
-    workload_timings, Campaign, CampaignSpec, CellResult, MachinePoint, ProgressSnapshot,
-    RunSummary, WorkloadTiming, CELL_SCHEMA_VERSION,
+    eta_ms, workload_timings, write_heartbeat, Campaign, CampaignSpec, CellResult, HeartbeatDoc,
+    MachinePoint, ProgressSnapshot, RunSummary, WorkloadTiming, CELL_SCHEMA_VERSION,
 };
 pub use sample::{aggregate, plan_intervals, Aggregate, Interval, SampleSpec};
 
@@ -72,6 +72,7 @@ mod engine_tests {
             },
             threads,
             max_cells,
+            window: None,
         }
     }
 
@@ -171,6 +172,98 @@ mod engine_tests {
         other.sample.interval_len = 999;
         let err = Campaign::new(&dir, other).run(None).unwrap_err();
         assert!(err.contains("different spec"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn windowed_campaign_partitions_cells_and_is_deterministic_and_resumable() {
+        // Two window lengths bracket the checkpoint-restore cases: a
+        // tiny one so every cell closes many full windows and ends
+        // mid-window, and a huge one so each cell holds exactly one
+        // partial window closed at the interval boundary.
+        for (tag, len) in [("tiny", 257u64), ("huge", 1 << 40)] {
+            let spec = |threads: usize, max_cells: Option<u64>| {
+                let mut s = small_spec(threads, max_cells);
+                s.window = Some(len);
+                s
+            };
+            let ref_dir = temp_dir(&format!("win-ref-{tag}"));
+            let serial = Campaign::new(&ref_dir, spec(1, None)).run(None).unwrap();
+            let want = comparable(&serial.aggregates());
+            for c in &serial.results {
+                let width = if c.machine == "superscalar" {
+                    spear_cpu::CoreConfig::baseline().commit_width
+                } else {
+                    spear_cpu::CoreConfig::spear(128).commit_width
+                };
+                c.stats
+                    .check_invariants(width)
+                    .expect("per-cell window partition holds after checkpoint restore");
+                assert!(!c.stats.windows.is_empty());
+                let committed: u64 = c.stats.windows.iter().map(|w| w.committed).sum();
+                assert_eq!(committed, c.stats.committed);
+                if len == 1 << 40 {
+                    assert_eq!(c.stats.windows.len(), 1, "one partial window per cell");
+                }
+            }
+
+            // Byte-identical aggregates across 2- and 4-thread runs
+            // (`comparable` serializes the stats, windows included).
+            for threads in [2usize, 4] {
+                let dir = temp_dir(&format!("win-t{threads}-{tag}"));
+                let run = Campaign::new(&dir, spec(threads, None)).run(None).unwrap();
+                assert_eq!(comparable(&run.aggregates()), want, "{threads} threads");
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+
+            // Interrupt mid-campaign and resume: the restored cells'
+            // windows must reproduce the uninterrupted aggregate.
+            let dir = temp_dir(&format!("win-resume-{tag}"));
+            let first = Campaign::new(&dir, spec(2, Some(3))).run(None).unwrap();
+            assert!(first.interrupted);
+            let second = Campaign::new(&dir, spec(2, None)).run(None).unwrap();
+            assert!(!second.interrupted);
+            assert_eq!(comparable(&second.aggregates()), want);
+
+            // A windowless spec must not resume a windowed directory:
+            // the manifest fingerprints the window shape.
+            let err = Campaign::new(&dir, small_spec(1, None))
+                .run(None)
+                .unwrap_err();
+            assert!(err.contains("different spec"), "{err}");
+
+            let _ = std::fs::remove_dir_all(&ref_dir);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn campaign_writes_heartbeat_files_with_the_final_state() {
+        let dir = temp_dir("beat");
+        let summary = Campaign::new(&dir, small_spec(2, None)).run(None).unwrap();
+        let hb: HeartbeatDoc =
+            serde::json::from_str(&std::fs::read_to_string(dir.join("progress.json")).unwrap())
+                .expect("progress.json parses");
+        assert_eq!(hb.total, summary.total_cells);
+        assert_eq!(hb.done, summary.total_cells, "final heartbeat sees the end");
+        assert_eq!(hb.executed, summary.executed);
+        assert!(hb.committed_insts > 0);
+        assert!(hb.kips > 0.0);
+        assert_eq!(
+            hb.last_cell.split('/').count(),
+            4,
+            "workload/machine/latency/interval: {}",
+            hb.last_cell
+        );
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(
+            prom.contains(&format!(
+                "spear_campaign_cells_total {}",
+                summary.total_cells
+            )),
+            "{prom}"
+        );
+        assert!(prom.contains("# TYPE spear_campaign_kips gauge"), "{prom}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

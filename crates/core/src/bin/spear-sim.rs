@@ -27,9 +27,12 @@ fn usage() -> ! {
         "usage: spear-sim FILE.spear [-m MACHINE] [--mem-latency N]\n\
          \x20      [--max-cycles N] [--max-insts N] [--trace N] [--quiet]\n\
          \x20      [--stats-json PATH] [--trace-file PATH] [--perf]\n\
+         \x20      [--pipeview PATH] [--perfetto PATH] [--window N]\n\
          \x20  or: spear-sim campaign --dir DIR [--workloads a,b,c|all]\n\
          \x20      [--machines M1,M2,...] [--mem-latency N] [--interval N]\n\
-         \x20      [--stride N] [--threads N] [--max-cells N] [--quiet]\n\
+         \x20      [--stride N] [--threads N] [--max-cells N] [--window N]\n\
+         \x20      [--quiet]\n\
+         \x20  or: spear-sim obs-summary TRACE.jsonl\n\
          \x20  or: spear-sim fuzz [--seconds N] [--seed S] [--corpus DIR]\n\
          \x20  or: spear-sim fuzz --replay DIR\n\
          \x20  or: spear-sim dump-config [-m MACHINE] [--mem-latency N]\n\n\
@@ -71,6 +74,7 @@ fn campaign_main(args: Vec<String>) -> ! {
     let mut stride: u64 = 1;
     let mut threads: usize = 0;
     let mut max_cells: Option<u64> = None;
+    let mut window: Option<u64> = None;
     let mut quiet = false;
 
     let mut it = args.into_iter();
@@ -104,6 +108,14 @@ fn campaign_main(args: Vec<String>) -> ! {
             "--threads" => threads = parse_num("--threads", &next_val(&mut it, "--threads")),
             "--max-cells" => {
                 max_cells = Some(parse_num("--max-cells", &next_val(&mut it, "--max-cells")))
+            }
+            "--window" => {
+                let n: u64 = parse_num("--window", &next_val(&mut it, "--window"));
+                window = Some(if n == 0 {
+                    spear_cpu::DEFAULT_WINDOW_CYCLES
+                } else {
+                    n
+                });
             }
             "--quiet" => quiet = true,
             _ => {
@@ -150,6 +162,7 @@ fn campaign_main(args: Vec<String>) -> ! {
         },
         threads,
         max_cells,
+        window,
     };
     let campaign = Campaign::new(&dir, spec);
     let progress = |p: &spear_campaign::ProgressSnapshot| {
@@ -239,6 +252,26 @@ fn campaign_main(args: Vec<String>) -> ! {
         }
     }
     exit(if summary.interrupted { 3 } else { 0 })
+}
+
+/// The `obs-summary` subcommand: fold the `window` rows of a JSONL
+/// trace (written with `--trace-file` plus `--window`) into a
+/// per-window table.
+fn obs_summary_main(args: Vec<String>) -> ! {
+    let [file] = args.as_slice() else {
+        eprintln!("spear-sim: obs-summary takes exactly one trace file");
+        usage()
+    };
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("spear-sim: cannot read `{file}`: {e}");
+        exit(1)
+    });
+    let windows = spear::obs::parse_window_rows(&text).unwrap_or_else(|e| {
+        eprintln!("spear-sim: `{file}`: {e}");
+        exit(1)
+    });
+    print!("{}", spear::obs::summarize_windows(&windows));
+    exit(0)
 }
 
 /// The `fuzz` subcommand: run the differential fuzzing harness (random
@@ -370,6 +403,9 @@ fn main() {
     if args[0] == "dump-config" {
         dump_config_main(args.split_off(1));
     }
+    if args[0] == "obs-summary" {
+        obs_summary_main(args.split_off(1));
+    }
     let mut file: Option<String> = None;
     let mut machine = Machine::Baseline;
     let mut latency: Option<LatencyConfig> = None;
@@ -380,6 +416,9 @@ fn main() {
     let mut perf = false;
     let mut stats_json: Option<String> = None;
     let mut trace_file: Option<String> = None;
+    let mut pipeview: Option<String> = None;
+    let mut perfetto: Option<String> = None;
+    let mut window: Option<u64> = None;
 
     let mut it = args.into_iter();
     let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -404,6 +443,17 @@ fn main() {
             "--trace" => trace = Some(parse_num("--trace", &next_val(&mut it, "--trace"))),
             "--stats-json" => stats_json = Some(next_val(&mut it, "--stats-json")),
             "--trace-file" => trace_file = Some(next_val(&mut it, "--trace-file")),
+            "--pipeview" => pipeview = Some(next_val(&mut it, "--pipeview")),
+            "--perfetto" => perfetto = Some(next_val(&mut it, "--perfetto")),
+            "--window" => {
+                let n: u64 = parse_num("--window", &next_val(&mut it, "--window"));
+                // 0 selects the default window length.
+                window = Some(if n == 0 {
+                    spear_cpu::DEFAULT_WINDOW_CYCLES
+                } else {
+                    n
+                });
+            }
             "--quiet" => quiet = true,
             "--perf" => perf = true,
             _ if file.is_none() && !arg.starts_with('-') => file = Some(arg),
@@ -448,6 +498,12 @@ fn main() {
         });
         core.set_trace_sink(Box::new(BufWriter::new(f)));
     }
+    if pipeview.is_some() || perfetto.is_some() {
+        core.enable_lifecycle(spear_cpu::DEFAULT_LIFECYCLE_CAP);
+    }
+    if let Some(len) = window {
+        core.enable_windows(len);
+    }
     let wall_start = std::time::Instant::now();
     let res = core.run(max_cycles, max_insts).unwrap_or_else(|e| {
         eprintln!("spear-sim: {e}");
@@ -456,6 +512,41 @@ fn main() {
     let wall = wall_start.elapsed();
     let s = &res.stats;
     let sim_perf = SimPerf::from_run(s.committed, s.cycles, wall);
+
+    // Pipeline-timeline exports from the retained lifecycle records.
+    if pipeview.is_some() || perfetto.is_some() {
+        let obs = core.obs().expect("lifecycle was enabled");
+        let log = obs.lifecycle.as_ref().expect("lifecycle was enabled");
+        if log.dropped > 0 {
+            eprintln!(
+                "spear-sim: lifecycle cap reached; {} record(s) dropped \
+                 (shorten the run with --max-cycles/--max-insts)",
+                log.dropped
+            );
+        }
+        let export =
+            |path: &str, f: &dyn Fn(&mut BufWriter<std::fs::File>) -> std::io::Result<()>| {
+                let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                    eprintln!("spear-sim: cannot create `{path}`: {e}");
+                    exit(1)
+                });
+                let mut w = BufWriter::new(file);
+                f(&mut w)
+                    .and_then(|()| w.into_inner().map_err(|e| e.into_error()).map(drop))
+                    .unwrap_or_else(|e| {
+                        eprintln!("spear-sim: cannot write `{path}`: {e}");
+                        exit(1)
+                    });
+            };
+        if let Some(path) = &pipeview {
+            export(path, &|w| spear::obs::write_konata(w, &log.records));
+        }
+        if let Some(path) = &perfetto {
+            export(path, &|w| {
+                spear::obs::write_perfetto(w, &log.records, &log.samples)
+            });
+        }
+    }
 
     if let Some(path) = &stats_json {
         let doc = StatsExport::new(

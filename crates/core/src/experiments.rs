@@ -157,6 +157,7 @@ pub fn run_matrix_sampled(
         sample,
         threads: 0,
         max_cells: None,
+        window: None,
     };
     let summary = Campaign::new(dir, spec).run(None)?;
     let aggs = summary.aggregates();

@@ -22,6 +22,7 @@
 pub mod experiments;
 pub mod export;
 pub mod machines;
+pub mod obs;
 pub mod report;
 pub mod runner;
 

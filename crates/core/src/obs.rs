@@ -1,0 +1,467 @@
+//! Observability exporters: fold the CPU layer's lifecycle records and
+//! windowed telemetry into external viewer formats.
+//!
+//! Three consumers are served:
+//!
+//! * [`write_konata`] — the Kanata/O3PipeView text log Konata renders as
+//!   a per-instruction pipeline timeline (`spear-sim --pipeview FILE`);
+//! * [`write_perfetto`] — Chrome trace-event JSON that opens directly in
+//!   `ui.perfetto.dev`: one track per hardware context plus counter
+//!   tracks for IFQ occupancy and outstanding misses
+//!   (`spear-sim --perfetto FILE`);
+//! * [`summarize_windows`] — folds the `window` rows of a JSONL trace
+//!   into a per-window text table with an IPC sparkline
+//!   (`spear-sim obs-summary FILE`).
+//!
+//! All three read only the public observability types re-exported from
+//! `spear-cpu`; nothing here touches simulator state.
+
+use serde::Deserialize;
+use spear_cpu::{CounterSample, LifeRecord, WindowStat};
+use std::io::{self, Write};
+
+/// Pipeline lane stages a lifecycle record is unfolded into, in order:
+/// fetch, dispatch/wait, issue/execute, completed-awaiting-retire.
+const STAGES: [&str; 4] = ["F", "Ds", "Is", "Cm"];
+
+/// The `(cycle, stage)` transitions of one record, in stage order.
+/// Stages the instruction never reached (never issued, never completed)
+/// are omitted; a squash ends whatever stage was live.
+fn stage_starts(r: &LifeRecord) -> Vec<(u64, &'static str)> {
+    let mut v = vec![(r.fetch_cycle, STAGES[0]), (r.dispatch_cycle, STAGES[1])];
+    if r.issue_cycle > 0 {
+        v.push((r.issue_cycle, STAGES[2]));
+    }
+    if r.complete_cycle > 0 {
+        v.push((r.complete_cycle, STAGES[3]));
+    }
+    v
+}
+
+/// Write a Kanata 0004 log (the format Konata and gem5's O3PipeView
+/// tooling consume) for the given lifecycle records.
+///
+/// Records are re-sorted by fetch cycle so the file's instruction ids
+/// ascend in fetch order, the ordering Konata's lane layout expects.
+/// Squashed instructions retire with type 1 (flush), committed and
+/// spec-retired ones with type 0.
+pub fn write_konata<W: Write>(w: &mut W, records: &[LifeRecord]) -> io::Result<()> {
+    writeln!(w, "Kanata\t0004")?;
+    if records.is_empty() {
+        return Ok(());
+    }
+    let mut order: Vec<usize> = (0..records.len()).collect();
+    order.sort_by_key(|&i| (records[i].fetch_cycle, records[i].seq));
+
+    // Unfold each record into cycle-stamped lines, then emit them in
+    // global cycle order with `C` lines advancing the clock.
+    // `rank` keeps same-cycle lines in (uid, stage) order so the file
+    // is deterministic and I-before-S holds per instruction.
+    let mut events: Vec<(u64, u64, String)> = Vec::with_capacity(records.len() * 6);
+    for (uid, &i) in order.iter().enumerate() {
+        let r = &records[i];
+        let uid = uid as u64;
+        events.push((
+            r.fetch_cycle,
+            uid * 8,
+            format!("I\t{uid}\t{}\t{}", r.seq, r.ctx),
+        ));
+        let label = if r.episode > 0 {
+            format!("L\t{uid}\t0\t{:#x}: {} [ep{}]", r.pc, r.inst, r.episode)
+        } else {
+            format!("L\t{uid}\t0\t{:#x}: {}", r.pc, r.inst)
+        };
+        events.push((r.fetch_cycle, uid * 8 + 1, label));
+        for (k, (cycle, stage)) in stage_starts(r).into_iter().enumerate() {
+            events.push((
+                cycle,
+                uid * 8 + 2 + k as u64,
+                format!("S\t{uid}\t0\t{stage}"),
+            ));
+        }
+        let kind = if r.squashed { 1 } else { 0 };
+        events.push((r.end_cycle, uid * 8 + 7, format!("R\t{uid}\t{uid}\t{kind}")));
+    }
+    events.sort_by_key(|a| (a.0, a.1));
+
+    let mut clock = events[0].0;
+    writeln!(w, "C=\t{clock}")?;
+    for (cycle, _, line) in &events {
+        if *cycle > clock {
+            writeln!(w, "C\t{}", cycle - clock)?;
+            clock = *cycle;
+        }
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Minimal JSON string escaping for trace-event name/args fields.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write a Chrome trace-event JSON document (the format `ui.perfetto.dev`
+/// and `chrome://tracing` open) for the given lifecycle records and
+/// counter samples.
+///
+/// Layout: process 1 holds one thread track per hardware context (tid =
+/// ctx index, named via `thread_name` metadata); every instruction is a
+/// complete (`ph:"X"`) slice from its fetch cycle to its RUU exit, with
+/// the stage stamps, episode id, and squash flag in `args`. The
+/// change-compressed counter samples become two counter (`ph:"C"`)
+/// tracks: IFQ occupancy and outstanding cache misses. Timestamps are in
+/// cycles (rendered by the viewer as microseconds).
+pub fn write_perfetto<W: Write>(
+    w: &mut W,
+    records: &[LifeRecord],
+    samples: &[CounterSample],
+) -> io::Result<()> {
+    write!(w, "{{\"traceEvents\":[")?;
+    let mut first = true;
+    let sep = |w: &mut W, first: &mut bool| -> io::Result<()> {
+        if *first {
+            *first = false;
+            Ok(())
+        } else {
+            write!(w, ",")
+        }
+    };
+
+    let num_ctxs = records.iter().map(|r| r.ctx + 1).max().unwrap_or(1);
+    for ctx in 0..num_ctxs {
+        let name = if ctx == 0 {
+            "ctx 0 (main)".to_string()
+        } else {
+            format!("ctx {ctx} (p-thread)")
+        };
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{ctx},\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        )?;
+    }
+
+    for r in records {
+        let dur = (r.end_cycle.saturating_sub(r.fetch_cycle)).max(1);
+        let name = json_escape(&format!("{:#x}: {}", r.pc, r.inst));
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{},\"dur\":{dur},\"args\":{{\"seq\":{},\"episode\":{},\
+             \"fetch\":{},\"dispatch\":{},\"issue\":{},\"complete\":{},\
+             \"end\":{},\"squashed\":{}}}}}",
+            r.ctx,
+            r.fetch_cycle,
+            r.seq,
+            r.episode,
+            r.fetch_cycle,
+            r.dispatch_cycle,
+            r.issue_cycle,
+            r.complete_cycle,
+            r.end_cycle,
+            r.squashed
+        )?;
+    }
+
+    for s in samples {
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"ifq_occupancy\",\"ph\":\"C\",\"pid\":1,\"ts\":{},\
+             \"args\":{{\"entries\":{}}}}}",
+            s.cycle, s.ifq_occupancy
+        )?;
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"outstanding_misses\",\"ph\":\"C\",\"pid\":1,\"ts\":{},\
+             \"args\":{{\"fills\":{}}}}}",
+            s.cycle, s.outstanding_misses
+        )?;
+    }
+    write!(w, "],\"displayTimeUnit\":\"ns\"}}")?;
+    Ok(())
+}
+
+/// Parse the `window` rows out of a JSONL trace. Non-window rows and
+/// blank lines are skipped; a malformed line is an error (the file is
+/// machine-written, so damage means truncation or corruption).
+pub fn parse_window_rows(text: &str) -> Result<Vec<WindowStat>, String> {
+    let mut out = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = serde::json::parse(line).map_err(|e| format!("line {}: {e}", n + 1))?;
+        let is_window = matches!(v.field("event"), Ok(serde::Value::Str(s)) if s == "window");
+        if !is_window {
+            continue;
+        }
+        let stat = WindowStat::from_value(&v).map_err(|e| format!("line {}: {e}", n + 1))?;
+        out.push(stat);
+    }
+    Ok(out)
+}
+
+/// Unicode sparkline of a series, scaled to its own maximum.
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(0.0_f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                let idx = ((v / max) * (BARS.len() - 1) as f64).round() as usize;
+                BARS[idx.min(BARS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Render the per-window table `spear-sim obs-summary` prints: one row
+/// per window (IPC, MPKIs, mean IFQ occupancy, episode outcomes, and the
+/// dominant stall cause with its share of lost slots), preceded by an
+/// IPC sparkline across the whole run.
+pub fn summarize_windows(windows: &[WindowStat]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if windows.is_empty() {
+        out.push_str("no window rows (run with --window and --trace-file)\n");
+        return out;
+    }
+    let ipcs: Vec<f64> = windows.iter().map(|w| w.ipc()).collect();
+    let total_cycles: u64 = windows.iter().map(|w| w.cycles).sum();
+    let total_committed: u64 = windows.iter().map(|w| w.committed).sum();
+    let _ = writeln!(
+        out,
+        "{} windows, {} cycles, {} committed (IPC {:.4})",
+        windows.len(),
+        total_cycles,
+        total_committed,
+        if total_cycles > 0 {
+            total_committed as f64 / total_cycles as f64
+        } else {
+            0.0
+        }
+    );
+    let _ = writeln!(out, "IPC  {}", sparkline(&ipcs));
+    let _ = writeln!(
+        out,
+        "{:>6} {:>10} {:>8} {:>7} {:>9} {:>8} {:>6} {:>9}  top stall",
+        "window", "start", "cycles", "IPC", "L1D MPKI", "L2 MPKI", "IFQ", "eps(c/a)"
+    );
+    for w in windows {
+        let (cause, slots) = w.top_stall_cause();
+        let lost = w.cycle_account.lost_slots();
+        let share = if lost > 0 {
+            100.0 * slots as f64 / lost as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10} {:>8} {:>7.3} {:>9.2} {:>8.2} {:>6.1} {:>9}  {} ({:.0}%)",
+            w.index,
+            w.start_cycle,
+            w.cycles,
+            w.ipc(),
+            w.l1d_mpki(),
+            w.l2_mpki(),
+            w.mean_ifq_occupancy(),
+            format!("{}/{}", w.episodes_completed, w.episodes_aborted),
+            cause,
+            share
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+    use spear_isa::reg::{R0, R1};
+    use spear_isa::{Inst, Opcode};
+
+    fn record(seq: u64, ctx: usize, fetch: u64, end: u64, squashed: bool) -> LifeRecord {
+        LifeRecord {
+            seq,
+            ctx,
+            pc: 0x40 + seq as u32,
+            inst: Inst::new(Opcode::Addi, R1, R0, R0, 1),
+            episode: if ctx > 0 { 1 } else { 0 },
+            fetch_cycle: fetch,
+            dispatch_cycle: fetch + 1,
+            issue_cycle: if squashed { 0 } else { fetch + 2 },
+            complete_cycle: if squashed { 0 } else { fetch + 3 },
+            end_cycle: end,
+            squashed,
+        }
+    }
+
+    #[test]
+    fn konata_log_has_header_and_balanced_lines() {
+        let records = vec![
+            record(0, 0, 1, 10, false),
+            record(1, 0, 2, 11, true),
+            record(2, 1, 3, 12, false),
+        ];
+        let mut buf = Vec::new();
+        write_konata(&mut buf, &records).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("Kanata\t0004"));
+        assert_eq!(lines.next(), Some("C=\t1"));
+        let count = |p: &str| text.lines().filter(|l| l.starts_with(p)).count();
+        assert_eq!(count("I\t"), 3, "one I line per record");
+        assert_eq!(count("L\t"), 3, "one label per record");
+        assert_eq!(count("R\t"), 3, "one retire per record");
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.ends_with("\t1"))
+                .filter(|l| l.starts_with("R\t"))
+                .count(),
+            1,
+            "exactly the squashed record flushes"
+        );
+        // Clock lines only ever advance.
+        let mut clock = 1u64;
+        for l in text.lines().filter(|l| l.starts_with("C\t")) {
+            let d: u64 = l[2..].parse().unwrap();
+            assert!(d > 0);
+            clock += d;
+        }
+        assert_eq!(clock, 12, "clock ends at the last event cycle");
+        // The p-thread record labels its episode.
+        assert!(text.contains("[ep1]"));
+    }
+
+    #[test]
+    fn konata_log_orders_instructions_by_fetch_cycle() {
+        // Retirement order differs from fetch order; uids follow fetch.
+        let records = vec![record(7, 0, 20, 30, false), record(3, 0, 5, 40, false)];
+        let mut buf = Vec::new();
+        write_konata(&mut buf, &records).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let i_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("I\t")).collect();
+        assert_eq!(i_lines[0], "I\t0\t3\t0", "earliest fetch gets uid 0");
+        assert_eq!(i_lines[1], "I\t1\t7\t0");
+    }
+
+    #[test]
+    fn perfetto_trace_is_valid_json_with_all_tracks() {
+        let records = vec![record(0, 0, 1, 10, false), record(1, 2, 3, 12, false)];
+        let samples = vec![
+            CounterSample {
+                cycle: 1,
+                ifq_occupancy: 3,
+                outstanding_misses: 0,
+            },
+            CounterSample {
+                cycle: 5,
+                ifq_occupancy: 4,
+                outstanding_misses: 2,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_perfetto(&mut buf, &records, &samples).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let v = serde::json::parse(&text).expect("exporter emits valid JSON");
+        let events = match v.field("traceEvents").unwrap() {
+            serde::Value::Array(a) => a,
+            other => panic!("traceEvents must be an array: {other:?}"),
+        };
+        let phase_count = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| matches!(e.field("ph"), Ok(serde::Value::Str(s)) if s == ph))
+                .count()
+        };
+        assert_eq!(phase_count("M"), 3, "thread_name for ctxs 0..=2");
+        assert_eq!(phase_count("X"), 2, "one slice per instruction");
+        assert_eq!(phase_count("C"), 4, "two counters per sample");
+        // Slices carry their stage stamps.
+        let slice = events
+            .iter()
+            .find(|e| matches!(e.field("ph"), Ok(serde::Value::Str(s)) if s == "X"))
+            .unwrap();
+        let args = slice.field("args").unwrap();
+        assert!(args.field("dispatch").is_ok());
+        assert!(args.field("squashed").is_ok());
+    }
+
+    #[test]
+    fn perfetto_slices_never_have_zero_duration() {
+        // A record squashed the cycle it was fetched still renders.
+        let mut r = record(0, 0, 4, 4, true);
+        r.dispatch_cycle = 4;
+        let mut buf = Vec::new();
+        write_perfetto(&mut buf, &[r], &[]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"dur\":1"));
+    }
+
+    #[test]
+    fn window_rows_fold_into_a_summary_table() {
+        // Two window rows as the trace sink writes them (flattened, with
+        // the event tag), plus unrelated rows that must be skipped.
+        let mk = |index: u64, committed: u64| {
+            let stat = WindowStat {
+                index,
+                start_cycle: index * 100,
+                cycles: 100,
+                committed,
+                l1d_misses: 10,
+                l2_misses: 2,
+                ifq_occupancy_sum: 250,
+                triggers_accepted: 1,
+                episodes_completed: 1,
+                episodes_aborted: 0,
+                ..Default::default()
+            };
+            let mut fields = vec![("event".to_string(), serde::Value::Str("window".into()))];
+            if let serde::Value::Object(f) = stat.to_value() {
+                fields.extend(f);
+            }
+            serde::json::to_string(&serde::Value::Object(fields))
+        };
+        let text = format!(
+            "{}\n{{\"event\":\"commit\",\"cycle\":5,\"pc\":0,\"ctx\":0}}\n{}\n",
+            mk(0, 50),
+            mk(1, 150)
+        );
+        let windows = parse_window_rows(&text).unwrap();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[1].committed, 150);
+        let table = summarize_windows(&windows);
+        assert!(
+            table.contains("2 windows, 200 cycles, 200 committed"),
+            "{table}"
+        );
+        assert!(table.contains("IPC  "), "{table}");
+        assert!(table.contains('█'), "max window hits the top bar: {table}");
+        let garbage = parse_window_rows("not json\n");
+        assert!(garbage.is_err(), "corrupt lines are reported");
+    }
+
+    #[test]
+    fn sparkline_scales_to_its_max() {
+        assert_eq!(sparkline(&[0.0, 1.0, 2.0]), "▁▅█");
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        assert_eq!(sparkline(&[]), "");
+    }
+}

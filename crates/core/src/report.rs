@@ -487,6 +487,23 @@ mod tests {
     }
 
     #[test]
+    fn campaign_progress_survives_an_empty_campaign() {
+        // A degenerate zero-cell campaign (e.g. every cell already done
+        // in a directory being re-aggregated) must render 100% complete
+        // with no ETA, never NaN% or a bogus 0ms estimate.
+        let s = campaign_progress(&spear_campaign::ProgressSnapshot {
+            done: 0,
+            total: 0,
+            executed: 0,
+            elapsed_ms: 0,
+            eta_ms: spear_campaign::eta_ms(0, 0, 0, 4),
+        });
+        assert!(s.contains("cells 0/0 (100.0%)"), "{s}");
+        assert!(s.contains("ETA --"), "{s}");
+        assert!(!s.contains("NaN"), "{s}");
+    }
+
+    #[test]
     fn campaign_timings_table() {
         let s = campaign_timings(&[
             spear_campaign::WorkloadTiming {

@@ -156,6 +156,11 @@ impl<'p> Core<'p> {
                 }
             }
         }
+        // End-of-cycle observability hook: counter samples and window
+        // boundaries. One branch when disabled.
+        if pipe.obs.is_some() {
+            crate::obs::on_cycle_end(pipe);
+        }
         if pipe.cycle - pipe.last_commit_cycle > DEADLOCK_CYCLES && !pipe.halted {
             return Err(SimError::Deadlock { cycle: pipe.cycle });
         }
@@ -164,6 +169,11 @@ impl<'p> Core<'p> {
 
     fn finish(&mut self, exit: RunExit) -> RunResult {
         let pipe = &mut self.pipe;
+        // Close the in-progress partial telemetry window (before the
+        // stats are cloned) so windows partition the run exactly.
+        if pipe.obs.is_some() {
+            crate::obs::on_run_end(pipe);
+        }
         // Prefetches still unclaimed when the run ends never helped
         // anyone — close the timely/late/useless partition.
         pipe.hier.drain_pending_prefetches();
@@ -312,5 +322,32 @@ impl<'p> Core<'p> {
     /// The recorded trace, if enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.pipe.trace.as_ref()
+    }
+
+    /// Collect per-instruction pipeline lifecycle records (and counter
+    /// samples) for the Konata/Perfetto exporters, retaining at most
+    /// `cap` of each.
+    pub fn enable_lifecycle(&mut self, cap: usize) {
+        self.pipe
+            .obs
+            .get_or_insert_with(Default::default)
+            .enable_lifecycle(cap);
+    }
+
+    /// Accumulate windowed interval telemetry into
+    /// [`CoreStats::windows`], closing a window every `len` cycles (and
+    /// streaming each closed window to the trace sink, if one is
+    /// attached).
+    pub fn enable_windows(&mut self, len: u64) {
+        self.pipe
+            .obs
+            .get_or_insert_with(Default::default)
+            .enable_windows(len);
+    }
+
+    /// The observability state (lifecycle records, counter samples), if
+    /// enabled.
+    pub fn obs(&self) -> Option<&crate::obs::Obs> {
+        self.pipe.obs.as_deref()
     }
 }

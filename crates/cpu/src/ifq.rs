@@ -27,6 +27,9 @@ pub struct IfqEntry {
     pub marked: bool,
     /// True if pre-decode matched this PC in the d-load set.
     pub is_dload: bool,
+    /// Cycle the instruction entered the queue (pipeline lifecycle stamp;
+    /// flows into the RUU entry at dispatch or extraction).
+    pub fetch_cycle: u64,
 }
 
 /// The queue. `scan` is the PE's "p-thread head" pointer, kept as an index
@@ -144,6 +147,7 @@ mod tests {
             },
             marked,
             is_dload: false,
+            fetch_cycle: 0,
         }
     }
 

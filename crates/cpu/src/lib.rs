@@ -21,6 +21,7 @@ pub mod frontend;
 pub mod fu;
 pub mod hist;
 pub mod ifq;
+pub mod obs;
 pub mod overlay;
 pub mod pipeline;
 pub mod ruu;
@@ -34,5 +35,6 @@ pub use config::{CoreConfig, OpLatencies, SpearConfig};
 pub use ctx::{CtxId, HwContext, MAIN_CTX, PTHREAD_CTX};
 pub use frontend::{BaselineFrontEnd, FrontEndExt};
 pub use hist::Histogram;
+pub use obs::{CounterSample, LifeRecord, DEFAULT_LIFECYCLE_CAP, DEFAULT_WINDOW_CYCLES};
 pub use ruu::{Ruu, SeqId};
-pub use stats::{CoreStats, CycleAccount, DloadProfile, RunExit, StallCause};
+pub use stats::{CoreStats, CycleAccount, DloadProfile, RunExit, StallCause, WindowStat};

@@ -1,0 +1,297 @@
+//! Cross-layer observability: per-instruction pipeline lifecycle records
+//! and windowed interval telemetry.
+//!
+//! Both facilities are off by default and cost one branch per site when
+//! disabled ([`Pipeline::obs`] is `None`). When enabled:
+//!
+//! * the **lifecycle log** collects one [`LifeRecord`] per instruction
+//!   that leaves the RUU — committed, spec-retired, or squashed — holding
+//!   the fetch/dispatch/issue/complete/end cycle stamps the stage modules
+//!   wrote into the entry, plus point samples of the IFQ occupancy and
+//!   outstanding-miss counters (recorded only on change). The exporters
+//!   in `spear-core` fold these into Konata and Perfetto views;
+//! * the **window accumulator** closes a [`WindowStat`] every `len`
+//!   cycles by snapshotting the cumulative counters and emitting the
+//!   delta. Closed windows land in `CoreStats::windows` (so they ride
+//!   through merge, checkpointed sampling, and the stats-json envelope)
+//!   and stream as JSONL rows to the trace sink when one is attached.
+
+use crate::pipeline::{EState, Pipeline, RuuEntry};
+use crate::stats::{CoreStats, CycleAccount, WindowStat};
+use crate::trace::Event;
+use spear_isa::Inst;
+use spear_mem::Hierarchy;
+
+/// Default telemetry window length in cycles (`--window <n>` overrides).
+pub const DEFAULT_WINDOW_CYCLES: u64 = 10_000;
+
+/// Default cap on retained lifecycle records and counter samples.
+pub const DEFAULT_LIFECYCLE_CAP: usize = 1_000_000;
+
+/// One instruction's pipeline lifecycle, recorded when it leaves the RUU.
+#[derive(Clone, Debug)]
+pub struct LifeRecord {
+    /// RUU sequence number (unique, monotonic in dispatch order).
+    pub seq: u64,
+    /// Hardware context index (0 = main program).
+    pub ctx: usize,
+    /// Instruction PC.
+    pub pc: u32,
+    /// The instruction word (for display labels).
+    pub inst: Inst,
+    /// SPEAR episode ordinal (1-based; 0 = not part of an episode).
+    pub episode: u32,
+    /// Cycle the instruction entered the IFQ.
+    pub fetch_cycle: u64,
+    /// Cycle it was dispatched into the RUU.
+    pub dispatch_cycle: u64,
+    /// Cycle it issued to a functional unit (0 if never issued).
+    pub issue_cycle: u64,
+    /// Cycle its execution completed (0 if never completed).
+    pub complete_cycle: u64,
+    /// Cycle it left the RUU (commit, spec-retire, or squash).
+    pub end_cycle: u64,
+    /// True if it was squashed on a misprediction recovery instead of
+    /// retiring.
+    pub squashed: bool,
+}
+
+/// A point sample of the tracked occupancy counters, recorded at end of
+/// cycle whenever a value changed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Sample cycle.
+    pub cycle: u64,
+    /// IFQ occupancy.
+    pub ifq_occupancy: usize,
+    /// Cache-line fills in flight below the L1s.
+    pub outstanding_misses: usize,
+}
+
+/// The per-instruction side of the observability state.
+#[derive(Debug, Default)]
+pub struct LifecycleLog {
+    /// Retained records, in retirement order.
+    pub records: Vec<LifeRecord>,
+    /// Counter samples, in cycle order (change-compressed).
+    pub samples: Vec<CounterSample>,
+    /// Records (and samples) dropped once `cap` was reached.
+    pub dropped: u64,
+    cap: usize,
+    last_sample: Option<(usize, usize)>,
+}
+
+impl LifecycleLog {
+    fn new(cap: usize) -> LifecycleLog {
+        LifecycleLog {
+            cap,
+            ..Default::default()
+        }
+    }
+
+    fn push(&mut self, r: LifeRecord) {
+        if self.records.len() < self.cap {
+            self.records.push(r);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn sample(&mut self, cycle: u64, ifq: usize, misses: usize) {
+        if self.last_sample == Some((ifq, misses)) {
+            return;
+        }
+        self.last_sample = Some((ifq, misses));
+        if self.samples.len() < self.cap {
+            self.samples.push(CounterSample {
+                cycle,
+                ifq_occupancy: ifq,
+                outstanding_misses: misses,
+            });
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Snapshot of the cumulative counters a window differences against.
+#[derive(Clone, Debug, Default)]
+struct Snap {
+    committed: u64,
+    l1d_misses: u64,
+    l2_misses: u64,
+    triggers_accepted: u64,
+    episodes_completed: u64,
+    episodes_aborted: u64,
+    cycle_account: CycleAccount,
+}
+
+impl Snap {
+    fn capture(stats: &CoreStats, hier: &Hierarchy) -> Snap {
+        let l1d = hier.l1d.stats;
+        let l2 = hier.l2.stats;
+        Snap {
+            committed: stats.committed,
+            l1d_misses: l1d.read_misses + l1d.write_misses,
+            l2_misses: l2.read_misses + l2.write_misses,
+            triggers_accepted: stats.triggers_accepted,
+            episodes_completed: stats.preexec_completed,
+            episodes_aborted: stats.preexec_aborted_flush + stats.preexec_aborted_missed,
+            cycle_account: stats.cycle_account.clone(),
+        }
+    }
+}
+
+/// Field-wise `cur - prev` over the CPI-stack slots.
+fn account_delta(cur: &CycleAccount, prev: &CycleAccount) -> CycleAccount {
+    CycleAccount {
+        useful_slots: cur.useful_slots - prev.useful_slots,
+        icache_stall: cur.icache_stall - prev.icache_stall,
+        ifq_empty_after_flush: cur.ifq_empty_after_flush - prev.ifq_empty_after_flush,
+        branch_recovery: cur.branch_recovery - prev.branch_recovery,
+        dload_miss: cur.dload_miss - prev.dload_miss,
+        fu_busy: cur.fu_busy - prev.fu_busy,
+        mem_port_contention: cur.mem_port_contention - prev.mem_port_contention,
+        pthread_contention: cur.pthread_contention - prev.pthread_contention,
+        frontend_other: cur.frontend_other - prev.frontend_other,
+        ruu_full_cycles: cur.ruu_full_cycles - prev.ruu_full_cycles,
+    }
+}
+
+/// The windowed-telemetry side of the observability state.
+#[derive(Debug)]
+pub struct WindowAcc {
+    /// Window length in cycles.
+    pub len: u64,
+    index: u64,
+    start_cycle: u64,
+    ifq_occupancy_sum: u64,
+    last: Snap,
+}
+
+impl WindowAcc {
+    fn new(len: u64) -> WindowAcc {
+        WindowAcc {
+            len: len.max(1),
+            index: 0,
+            start_cycle: 0,
+            ifq_occupancy_sum: 0,
+            last: Snap::default(),
+        }
+    }
+
+    /// Close the window ending at `cycle` and reset for the next one.
+    fn close(&mut self, cycle: u64, stats: &CoreStats, hier: &Hierarchy) -> WindowStat {
+        let cur = Snap::capture(stats, hier);
+        let stat = WindowStat {
+            index: self.index,
+            start_cycle: self.start_cycle,
+            cycles: cycle - self.start_cycle,
+            committed: cur.committed - self.last.committed,
+            l1d_misses: cur.l1d_misses - self.last.l1d_misses,
+            l2_misses: cur.l2_misses - self.last.l2_misses,
+            ifq_occupancy_sum: self.ifq_occupancy_sum,
+            triggers_accepted: cur.triggers_accepted - self.last.triggers_accepted,
+            episodes_completed: cur.episodes_completed - self.last.episodes_completed,
+            episodes_aborted: cur.episodes_aborted - self.last.episodes_aborted,
+            cycle_account: account_delta(&cur.cycle_account, &self.last.cycle_account),
+        };
+        self.index += 1;
+        self.start_cycle = cycle;
+        self.ifq_occupancy_sum = 0;
+        self.last = cur;
+        stat
+    }
+}
+
+/// All observability state hanging off [`Pipeline::obs`].
+#[derive(Debug, Default)]
+pub struct Obs {
+    /// Per-instruction lifecycle records (`--pipeview`/`--perfetto`).
+    pub lifecycle: Option<LifecycleLog>,
+    /// Windowed interval telemetry (`--window`).
+    pub window: Option<WindowAcc>,
+}
+
+impl Obs {
+    /// Enable the lifecycle log, retaining at most `cap` records.
+    pub fn enable_lifecycle(&mut self, cap: usize) {
+        self.lifecycle = Some(LifecycleLog::new(cap.max(1)));
+    }
+
+    /// Enable windowed telemetry with `len`-cycle windows.
+    pub fn enable_windows(&mut self, len: u64) {
+        self.window = Some(WindowAcc::new(len));
+    }
+
+    /// Record an instruction leaving the RUU.
+    #[inline]
+    pub fn record_retire(&mut self, e: &RuuEntry, cycle: u64, squashed: bool) {
+        if let Some(log) = &mut self.lifecycle {
+            log.push(LifeRecord {
+                seq: e.seq,
+                ctx: e.ctx.0,
+                pc: e.pc,
+                inst: e.inst,
+                episode: e.episode,
+                fetch_cycle: e.fetch_cycle,
+                dispatch_cycle: e.dispatch_cycle,
+                issue_cycle: e.issue_cycle,
+                complete_cycle: if e.state == EState::Done {
+                    e.complete_at
+                } else {
+                    0
+                },
+                end_cycle: cycle,
+                squashed,
+            });
+        }
+    }
+}
+
+/// End-of-cycle hook: sample the occupancy counters and close the
+/// current window at its boundary. Called from `Core::step_cycle` only
+/// when observability is enabled.
+pub fn on_cycle_end(pipe: &mut Pipeline) {
+    let cycle = pipe.cycle;
+    let ifq_occ = pipe.ifq.len();
+    let misses = pipe.hier.in_flight_fills();
+    let Some(obs) = pipe.obs.as_deref_mut() else {
+        return;
+    };
+    if let Some(log) = &mut obs.lifecycle {
+        log.sample(cycle, ifq_occ, misses);
+    }
+    if let Some(w) = &mut obs.window {
+        w.ifq_occupancy_sum += ifq_occ as u64;
+        if cycle - w.start_cycle >= w.len {
+            let stat = w.close(cycle, &pipe.stats, &pipe.hier);
+            if let Some(t) = &mut pipe.trace {
+                if t.has_sink() {
+                    t.stream(Event::Window { stat: stat.clone() });
+                }
+            }
+            pipe.stats.windows.push(stat);
+        }
+    }
+}
+
+/// End-of-run hook: close the in-progress partial window, if any.
+/// Called from `Core::finish` before the stats are harvested.
+pub fn on_run_end(pipe: &mut Pipeline) {
+    let cycle = pipe.cycle;
+    let Some(obs) = pipe.obs.as_deref_mut() else {
+        return;
+    };
+    if let Some(w) = &mut obs.window {
+        if cycle > w.start_cycle {
+            let stat = w.close(cycle, &pipe.stats, &pipe.hier);
+            if let Some(t) = &mut pipe.trace {
+                if t.has_sink() {
+                    t.stream(Event::Window { stat: stat.clone() });
+                }
+            }
+            pipe.stats.windows.push(stat);
+        }
+    }
+}

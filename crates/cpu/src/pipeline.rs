@@ -75,6 +75,16 @@ pub struct RuuEntry {
     /// episode that extracted it, attributing its prefetches in the
     /// per-d-load effectiveness profiles.
     pub dload_owner: Option<u32>,
+    /// Cycle the instruction entered the IFQ (lifecycle stamp; for
+    /// p-thread entries, the cycle the copied instruction was originally
+    /// fetched).
+    pub fetch_cycle: u64,
+    /// Cycle the entry issued to a functional unit (lifecycle stamp;
+    /// 0 while unissued).
+    pub issue_cycle: u64,
+    /// SPEAR episode ordinal that owns this entry (1-based; 0 for
+    /// main-context entries outside any episode).
+    pub episode: u32,
 }
 
 /// The fetch stage's cursor.
@@ -159,6 +169,10 @@ pub struct Pipeline<'p> {
     pub stats: CoreStats,
     /// Optional episode trace.
     pub trace: Option<Trace>,
+    /// Optional observability state (lifecycle records, windowed
+    /// telemetry). Boxed so the disabled case costs one pointer and one
+    /// branch per site.
+    pub obs: Option<Box<crate::obs::Obs>>,
 }
 
 impl<'p> Pipeline<'p> {
@@ -202,6 +216,7 @@ impl<'p> Pipeline<'p> {
             halted: false,
             stats: CoreStats::default(),
             trace: None,
+            obs: None,
             program,
             cfg,
         }
@@ -271,6 +286,16 @@ impl<'p> Pipeline<'p> {
                 let cycle = self.cycle;
                 t.stream(f(cycle));
             }
+        }
+    }
+
+    /// Record an instruction's end of life — retirement (`squashed ==
+    /// false`) or squash — into the lifecycle log. One branch when
+    /// observability is off.
+    #[inline]
+    pub fn obs_retire(&mut self, e: &RuuEntry, squashed: bool) {
+        if let Some(o) = &mut self.obs {
+            o.record_retire(e, self.cycle, squashed);
         }
     }
 }

@@ -208,6 +208,9 @@ mod tests {
             dispatch_cycle: 0,
             mem_missed: false,
             dload_owner: None,
+            fetch_cycle: 0,
+            issue_cycle: 0,
+            episode: 0,
         }
     }
 

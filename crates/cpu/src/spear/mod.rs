@@ -94,6 +94,9 @@ pub struct SpearFrontEnd<'p> {
     /// Cycle the current episode's trigger was accepted (for the episode
     /// duration histogram).
     episode_start: u64,
+    /// Episode ordinal, incremented at each accepted trigger (1-based;
+    /// stamps p-thread RUU entries for the lifecycle exporters).
+    episode_id: u32,
     /// Instructions extracted so far in the current episode.
     episode_extracted: u64,
     /// Set after an IFQ flush while an episode is active: the episode's
@@ -130,6 +133,7 @@ impl<'p> SpearFrontEnd<'p> {
             dload_idx,
             mode: Mode::Normal,
             episode_start: 0,
+            episode_id: 0,
             episode_extracted: 0,
             retarget_deadline: None,
             episode_tally: HashMap::new(),
@@ -180,6 +184,7 @@ impl<'p> SpearFrontEnd<'p> {
         pipe.stats.triggers_accepted += 1;
         self.episode_tally.entry(dload_pc).or_default().triggered += 1;
         self.episode_start = pipe.cycle;
+        self.episode_id += 1;
         self.episode_extracted = 0;
         pipe.trace_event(|cycle| Event::Trigger {
             cycle,
@@ -386,6 +391,9 @@ impl<'p> SpearFrontEnd<'p> {
             dispatch_cycle: pipe.cycle,
             mem_missed: false,
             dload_owner: owner,
+            fetch_cycle: fetched.fetch_cycle,
+            issue_cycle: 0,
+            episode: self.episode_id,
         });
         if let Some(d) = fetched.inst.dst() {
             pipe.ctxs[ctx_idx].rename[d.index()] = Some(id);

@@ -47,6 +47,7 @@ pub fn run(pipe: &mut Pipeline, fe: &mut dyn FrontEndExt) {
             pc,
             ctx: MAIN_CTX.0,
         });
+        pipe.obs_retire(&e, false);
         if e.is_halt {
             pipe.halted = true;
             halted_now = true;
@@ -80,6 +81,7 @@ pub fn run(pipe: &mut Pipeline, fe: &mut dyn FrontEndExt) {
             }
             let e = pipe.ruu.remove(id).expect("front entry exists");
             pipe.ctxs[i].order.pop_front();
+            pipe.obs_retire(&e, false);
             fe.on_ctx_retired(pipe, &e);
         }
     }

@@ -126,6 +126,9 @@ fn dispatch_main(pipe: &mut Pipeline, fetched: crate::ifq::IfqEntry) -> Result<(
         dispatch_cycle: pipe.cycle,
         mem_missed: false,
         dload_owner: None,
+        fetch_cycle: fetched.fetch_cycle,
+        issue_cycle: 0,
+        episode: 0,
     });
     if let Some(t) = mispredict_target {
         pipe.recovery.pending = Some(Recovery {

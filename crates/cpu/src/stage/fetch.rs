@@ -47,6 +47,7 @@ pub fn run(pipe: &mut Pipeline, fe: &mut dyn FrontEndExt) {
             pred,
             marked: pd.marked,
             is_dload: pd.dload,
+            fetch_cycle: pipe.cycle,
         });
         if pd.dload {
             fe.on_dload_fetched(pipe, seq, pc);

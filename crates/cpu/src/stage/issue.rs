@@ -128,6 +128,7 @@ fn try_issue(pipe: &mut Pipeline, seq: SeqId) -> bool {
             let e = pipe.ruu.get_mut(seq).expect("entry exists");
             e.state = EState::Executing;
             e.complete_at = now + acc.latency as u64;
+            e.issue_cycle = now;
             pipe.exec_done
                 .push(std::cmp::Reverse((now + acc.latency as u64, seq)));
             // Anything slower than an L1 hit (true miss or a delayed
@@ -155,6 +156,7 @@ fn try_issue(pipe: &mut Pipeline, seq: SeqId) -> bool {
     let e = pipe.ruu.get_mut(seq).expect("entry exists");
     e.state = EState::Executing;
     e.complete_at = now + latency.max(1);
+    e.issue_cycle = now;
     pipe.exec_done
         .push(std::cmp::Reverse((now + latency.max(1), seq)));
     pipe.ctxs[ctx.0].ready.remove(&seq);

@@ -79,7 +79,9 @@ pub fn recover(pipe: &mut Pipeline, fe: &mut dyn FrontEndExt, branch_seq: SeqId,
         .map(|(s, _)| s)
         .collect();
     for &s in &squash {
-        pipe.ruu.remove(s);
+        if let Some(e) = pipe.ruu.remove(s) {
+            pipe.obs_retire(&e, true);
+        }
     }
     pipe.stats.squashed += squash.len() as u64;
     let main = &mut pipe.ctxs[MAIN_CTX.0];
@@ -146,6 +148,9 @@ mod tests {
             dispatch_cycle: 0,
             mem_missed: false,
             dload_owner: None,
+            fetch_cycle: 0,
+            issue_cycle: 0,
+            episode: 0,
         });
         pipe.ctxs[ctx.0].order.push_back(id);
         if state == EState::Ready {

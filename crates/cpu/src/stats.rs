@@ -171,8 +171,96 @@ impl DloadProfile {
     }
 }
 
-/// Counters accumulated by one simulation run.
+/// One closed telemetry window: deltas of the headline counters over a
+/// fixed span of cycles (default 10k, `--window <n>`). Windows are the
+/// substrate for time-series views of a run (IPC over time, CPI-stack
+/// phases, MPKI spikes) and for SimPoint-style phase clustering.
+///
+/// Each window satisfies the exact-slot invariant on its own:
+/// `cycle_account.total_slots() == cycles * commit_width`.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowStat {
+    /// Window ordinal within its run (0-based).
+    pub index: u64,
+    /// First cycle covered by the window.
+    pub start_cycle: u64,
+    /// Cycles covered (the last window of a run may be partial).
+    pub cycles: u64,
+    /// Main-thread instructions committed inside the window.
+    pub committed: u64,
+    /// L1D misses (read + write) inside the window.
+    pub l1d_misses: u64,
+    /// L2 misses (read + write) inside the window.
+    pub l2_misses: u64,
+    /// Sum of per-cycle IFQ occupancy over the window (divide by
+    /// `cycles` for the mean).
+    pub ifq_occupancy_sum: u64,
+    /// Pre-execution episodes started inside the window.
+    pub triggers_accepted: u64,
+    /// Episodes completed inside the window.
+    pub episodes_completed: u64,
+    /// Episodes aborted (flush, missed trigger, fault) inside the window.
+    pub episodes_aborted: u64,
+    /// CPI-stack slot deltas for the window.
+    pub cycle_account: CycleAccount,
+}
+
+impl WindowStat {
+    /// Committed instructions per cycle inside the window.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1D misses per kilo-instruction inside the window.
+    pub fn l1d_mpki(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.l1d_misses as f64 * 1000.0 / self.committed as f64
+        }
+    }
+
+    /// L2 misses per kilo-instruction inside the window.
+    pub fn l2_mpki(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 * 1000.0 / self.committed as f64
+        }
+    }
+
+    /// Mean IFQ occupancy over the window.
+    pub fn mean_ifq_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ifq_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// The stall cause that lost the most commit slots in this window.
+    pub fn top_stall_cause(&self) -> (&'static str, u64) {
+        self.cycle_account
+            .causes()
+            .into_iter()
+            .max_by_key(|&(_, n)| n)
+            .unwrap_or(("front-end other", 0))
+    }
+}
+
+/// Counters accumulated by one simulation run.
+///
+/// `Serialize`/`Deserialize` are written by hand (not derived) for one
+/// reason: the `windows` field must be *omitted* when empty so that runs
+/// without windowed telemetry serialize byte-identically to the pre-obs
+/// schema (the golden envelopes pin this), and tolerated when absent on
+/// the way back in. All other fields replicate the derive exactly, in
+/// declaration order.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CoreStats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -250,6 +338,148 @@ pub struct CoreStats {
     pub cycle_account: CycleAccount,
     /// Per-static-d-load prefetch effectiveness profiles, sorted by PC.
     pub dload_profiles: Vec<DloadProfile>,
+    /// Windowed interval telemetry (empty unless windows were enabled).
+    /// Omitted from JSON when empty; see the type-level serde note.
+    pub windows: Vec<WindowStat>,
+}
+
+impl Serialize for CoreStats {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = Vec::new();
+        let mut put = |k: &str, v: serde::Value| fields.push((k.to_string(), v));
+        put("cycles", Serialize::to_value(&self.cycles));
+        put("committed", Serialize::to_value(&self.committed));
+        put(
+            "committed_loads",
+            Serialize::to_value(&self.committed_loads),
+        );
+        put(
+            "committed_stores",
+            Serialize::to_value(&self.committed_stores),
+        );
+        put(
+            "committed_branches",
+            Serialize::to_value(&self.committed_branches),
+        );
+        put("fetched", Serialize::to_value(&self.fetched));
+        put("squashed", Serialize::to_value(&self.squashed));
+        put("recoveries", Serialize::to_value(&self.recoveries));
+        put(
+            "triggers_accepted",
+            Serialize::to_value(&self.triggers_accepted),
+        );
+        put(
+            "triggers_ignored_busy",
+            Serialize::to_value(&self.triggers_ignored_busy),
+        );
+        put(
+            "triggers_rejected_occupancy",
+            Serialize::to_value(&self.triggers_rejected_occupancy),
+        );
+        put(
+            "preexec_aborted_flush",
+            Serialize::to_value(&self.preexec_aborted_flush),
+        );
+        put(
+            "preexec_retargets",
+            Serialize::to_value(&self.preexec_retargets),
+        );
+        put(
+            "preexec_aborted_missed",
+            Serialize::to_value(&self.preexec_aborted_missed),
+        );
+        put(
+            "preexec_completed",
+            Serialize::to_value(&self.preexec_completed),
+        );
+        put("pthread_insts", Serialize::to_value(&self.pthread_insts));
+        put("pthread_loads", Serialize::to_value(&self.pthread_loads));
+        put(
+            "missed_extractions",
+            Serialize::to_value(&self.missed_extractions),
+        );
+        put(
+            "livein_copy_cycles",
+            Serialize::to_value(&self.livein_copy_cycles),
+        );
+        put("pthread_faults", Serialize::to_value(&self.pthread_faults));
+        put("bpred", Serialize::to_value(&self.bpred));
+        put("l1d", Serialize::to_value(&self.l1d));
+        put("l2", Serialize::to_value(&self.l2));
+        put(
+            "l1d_main_misses",
+            Serialize::to_value(&self.l1d_main_misses),
+        );
+        put(
+            "l1d_pthread_misses",
+            Serialize::to_value(&self.l1d_pthread_misses),
+        );
+        put(
+            "useful_prefetches",
+            Serialize::to_value(&self.useful_prefetches),
+        );
+        put(
+            "late_prefetches",
+            Serialize::to_value(&self.late_prefetches),
+        );
+        put("episode_cycles", Serialize::to_value(&self.episode_cycles));
+        put(
+            "episode_extractions",
+            Serialize::to_value(&self.episode_extractions),
+        );
+        put("cycle_account", Serialize::to_value(&self.cycle_account));
+        put("dload_profiles", Serialize::to_value(&self.dload_profiles));
+        if !self.windows.is_empty() {
+            put("windows", Serialize::to_value(&self.windows));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for CoreStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(CoreStats {
+            cycles: Deserialize::from_value(v.field("cycles")?)?,
+            committed: Deserialize::from_value(v.field("committed")?)?,
+            committed_loads: Deserialize::from_value(v.field("committed_loads")?)?,
+            committed_stores: Deserialize::from_value(v.field("committed_stores")?)?,
+            committed_branches: Deserialize::from_value(v.field("committed_branches")?)?,
+            fetched: Deserialize::from_value(v.field("fetched")?)?,
+            squashed: Deserialize::from_value(v.field("squashed")?)?,
+            recoveries: Deserialize::from_value(v.field("recoveries")?)?,
+            triggers_accepted: Deserialize::from_value(v.field("triggers_accepted")?)?,
+            triggers_ignored_busy: Deserialize::from_value(v.field("triggers_ignored_busy")?)?,
+            triggers_rejected_occupancy: Deserialize::from_value(
+                v.field("triggers_rejected_occupancy")?,
+            )?,
+            preexec_aborted_flush: Deserialize::from_value(v.field("preexec_aborted_flush")?)?,
+            preexec_retargets: Deserialize::from_value(v.field("preexec_retargets")?)?,
+            preexec_aborted_missed: Deserialize::from_value(v.field("preexec_aborted_missed")?)?,
+            preexec_completed: Deserialize::from_value(v.field("preexec_completed")?)?,
+            pthread_insts: Deserialize::from_value(v.field("pthread_insts")?)?,
+            pthread_loads: Deserialize::from_value(v.field("pthread_loads")?)?,
+            missed_extractions: Deserialize::from_value(v.field("missed_extractions")?)?,
+            livein_copy_cycles: Deserialize::from_value(v.field("livein_copy_cycles")?)?,
+            pthread_faults: Deserialize::from_value(v.field("pthread_faults")?)?,
+            bpred: Deserialize::from_value(v.field("bpred")?)?,
+            l1d: Deserialize::from_value(v.field("l1d")?)?,
+            l2: Deserialize::from_value(v.field("l2")?)?,
+            l1d_main_misses: Deserialize::from_value(v.field("l1d_main_misses")?)?,
+            l1d_pthread_misses: Deserialize::from_value(v.field("l1d_pthread_misses")?)?,
+            useful_prefetches: Deserialize::from_value(v.field("useful_prefetches")?)?,
+            late_prefetches: Deserialize::from_value(v.field("late_prefetches")?)?,
+            episode_cycles: Deserialize::from_value(v.field("episode_cycles")?)?,
+            episode_extractions: Deserialize::from_value(v.field("episode_extractions")?)?,
+            cycle_account: Deserialize::from_value(v.field("cycle_account")?)?,
+            dload_profiles: Deserialize::from_value(v.field("dload_profiles")?)?,
+            // Absent in pre-obs envelopes and in any run without windowed
+            // telemetry: default to empty rather than erroring.
+            windows: match v.field("windows") {
+                Ok(w) => Deserialize::from_value(w)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
 }
 
 impl CoreStats {
@@ -296,7 +526,11 @@ impl CoreStats {
     /// * global prefetch tallies — summed profile buckets cannot exceed
     ///   the global `pthread_loads`, and the run-wide useful/late
     ///   counters must match the profile sums (profiles partition all
-    ///   p-thread prefetch traffic).
+    ///   p-thread prefetch traffic);
+    /// * window partition — when windowed telemetry is present, the
+    ///   windows partition the run exactly: per-window cycles and
+    ///   committed counts sum to the global totals, and each window
+    ///   satisfies the exact-slot invariant on its own.
     pub fn check_invariants(&self, commit_width: usize) -> Result<(), String> {
         let total = self.cycle_account.total_slots();
         let expect = self.cycles * commit_width as u64;
@@ -370,6 +604,33 @@ impl CoreStats {
                 late, self.late_prefetches
             ));
         }
+        if !self.windows.is_empty() {
+            let wcycles: u64 = self.windows.iter().map(|w| w.cycles).sum();
+            if wcycles != self.cycles {
+                return Err(format!(
+                    "window partition broken: per-window cycles sum {} != total cycles {}",
+                    wcycles, self.cycles
+                ));
+            }
+            let wcommitted: u64 = self.windows.iter().map(|w| w.committed).sum();
+            if wcommitted != self.committed {
+                return Err(format!(
+                    "window partition broken: per-window committed sum {} != total committed {}",
+                    wcommitted, self.committed
+                ));
+            }
+            for w in &self.windows {
+                let total = w.cycle_account.total_slots();
+                let expect = w.cycles * commit_width as u64;
+                if total != expect {
+                    return Err(format!(
+                        "window {} CPI slot accounting broken: {} slots, \
+                         but {} cycles x width {} = {}",
+                        w.index, total, w.cycles, commit_width, expect
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -380,6 +641,13 @@ impl CoreStats {
     /// merge by static PC (the output stays sorted by PC). Because each
     /// interval satisfies the exact-slot CPI invariant on its own, the
     /// aggregate satisfies it over the summed cycles.
+    ///
+    /// Windowed telemetry merges by concatenation: `other`'s windows are
+    /// appended after `self`'s in order, each keeping its own run-local
+    /// `index`/`start_cycle`. The window partition invariant (cycles and
+    /// committed sums match the global totals) is therefore exact across
+    /// merges as long as either both sides carry windows or both are
+    /// empty.
     pub fn merge(&mut self, other: &CoreStats) {
         self.cycles += other.cycles;
         self.committed += other.committed;
@@ -438,6 +706,7 @@ impl CoreStats {
                 Err(i) => self.dload_profiles.insert(i, p.clone()),
             }
         }
+        self.windows.extend(other.windows.iter().cloned());
     }
 }
 
@@ -580,6 +849,111 @@ mod tests {
         let json = serde::json::to_string(&s);
         let back: CoreStats = serde::json::from_str(&json).expect("round trip");
         assert_eq!(s, back);
+    }
+
+    fn window(index: u64, start_cycle: u64, cycles: u64, committed: u64, width: u64) -> WindowStat {
+        WindowStat {
+            index,
+            start_cycle,
+            cycles,
+            committed,
+            cycle_account: CycleAccount {
+                useful_slots: committed,
+                dload_miss: cycles * width - committed,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn windows_are_omitted_from_json_when_empty() {
+        let s = CoreStats {
+            cycles: 7,
+            ..Default::default()
+        };
+        let json = serde::json::to_string(&s);
+        assert!(
+            !json.contains("windows"),
+            "empty windows must not appear in the envelope: {json}"
+        );
+        let back: CoreStats = serde::json::from_str(&json).expect("pre-obs envelope parses");
+        assert_eq!(s, back, "absent windows deserialize as empty");
+    }
+
+    #[test]
+    fn windows_round_trip_when_present() {
+        let s = CoreStats {
+            cycles: 20,
+            committed: 30,
+            windows: vec![window(0, 0, 10, 14, 8), window(1, 10, 10, 16, 8)],
+            ..Default::default()
+        };
+        let json = serde::json::to_string(&s);
+        assert!(json.contains("\"windows\""), "{json}");
+        let back: CoreStats = serde::json::from_str(&json).expect("round trip");
+        assert_eq!(s, back);
+        assert_eq!(back.windows.len(), 2);
+        assert!((back.windows[1].ipc() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_concatenates_windows_exactly() {
+        let width = 8u64;
+        let mut a = CoreStats {
+            cycles: 10,
+            committed: 14,
+            windows: vec![window(0, 0, 10, 14, width)],
+            ..Default::default()
+        };
+        a.cycle_account.useful_slots = 14;
+        a.cycle_account.dload_miss = 10 * width - 14;
+        let mut b = CoreStats {
+            cycles: 15,
+            committed: 21,
+            windows: vec![window(0, 0, 10, 13, width), window(1, 10, 5, 8, width)],
+            ..Default::default()
+        };
+        b.cycle_account.useful_slots = 21;
+        b.cycle_account.frontend_other = 15 * width - 21;
+        a.merge(&b);
+        assert_eq!(a.windows.len(), 3, "windows concatenate in order");
+        assert_eq!(
+            a.windows.iter().map(|w| w.committed).sum::<u64>(),
+            a.committed,
+            "per-window committed counts sum to the merged total"
+        );
+        assert_eq!(a.windows.iter().map(|w| w.cycles).sum::<u64>(), a.cycles);
+        a.check_invariants(width as usize)
+            .expect("window partition invariant survives merging");
+    }
+
+    #[test]
+    fn window_invariant_catches_a_broken_partition() {
+        let width = 8usize;
+        let mut s = CoreStats {
+            cycles: 10,
+            committed: 14,
+            windows: vec![window(0, 0, 10, 13, width as u64)], // 13 != 14
+            ..Default::default()
+        };
+        s.cycle_account.useful_slots = 14;
+        s.cycle_account.dload_miss = 10 * width as u64 - 14;
+        // Patch the window's slot account so only the committed sum is off.
+        s.windows[0].cycle_account.useful_slots = 13;
+        s.windows[0].cycle_account.dload_miss = 10 * width as u64 - 13;
+        let err = s.check_invariants(width).unwrap_err();
+        assert!(err.contains("window partition"), "{err}");
+    }
+
+    #[test]
+    fn window_top_stall_cause_and_rates() {
+        let mut w = window(0, 0, 1000, 800, 8);
+        w.l1d_misses = 40;
+        w.ifq_occupancy_sum = 16_000;
+        assert_eq!(w.top_stall_cause().0, "d-load miss");
+        assert!((w.l1d_mpki() - 50.0).abs() < 1e-12);
+        assert!((w.mean_ifq_occupancy() - 16.0).abs() < 1e-12);
     }
 
     #[test]

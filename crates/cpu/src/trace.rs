@@ -6,6 +6,7 @@
 //! Tracing is off by default and costs one branch per event site when
 //! disabled.
 
+use crate::stats::WindowStat;
 use serde::{Serialize, Value};
 use std::collections::VecDeque;
 use std::fmt;
@@ -83,6 +84,12 @@ pub enum Event {
         /// Hardware context that committed it (always the main context).
         ctx: usize,
     },
+    /// A telemetry window closed. Streamed to the sink only; the window
+    /// counters are flattened into the JSON object alongside `event`.
+    Window {
+        /// The closed window's counters.
+        stat: WindowStat,
+    },
 }
 
 /// Why an episode was abandoned.
@@ -118,6 +125,7 @@ impl Event {
             Event::Flush { .. } => "flush",
             Event::Fill { .. } => "fill",
             Event::Commit { .. } => "commit",
+            Event::Window { .. } => "window",
         }
     }
 }
@@ -180,6 +188,14 @@ impl Serialize for Event {
                 put("cycle", Value::U64(cycle));
                 put("pc", Value::U64(pc as u64));
                 put("ctx", Value::U64(ctx as u64));
+            }
+            Event::Window { ref stat } => {
+                // Flatten the window's own fields into the tagged object.
+                if let Value::Object(fields) = stat.to_value() {
+                    for kv in fields {
+                        f.push(kv);
+                    }
+                }
             }
         }
         Value::Object(f)
@@ -246,6 +262,17 @@ impl fmt::Display for Event {
             Event::Commit { cycle, pc, .. } => {
                 write!(f, "[{cycle:>9}] commit       @{pc}")
             }
+            Event::Window { stat } => {
+                write!(
+                    f,
+                    "[{:>9}] window #{}   {} cycle(s), IPC {:.3}, top stall: {}",
+                    stat.start_cycle + stat.cycles,
+                    stat.index,
+                    stat.cycles,
+                    stat.ipc(),
+                    stat.top_stall_cause().0
+                )
+            }
         }
     }
 }
@@ -254,6 +281,11 @@ impl fmt::Display for Event {
 /// this, so a huge `--trace` capacity does not allocate gigabytes up
 /// front; retention always honours the full requested capacity.
 const PREALLOC_CAP: usize = 4096;
+
+/// Flush the sink every this many JSONL lines, so a killed or crashed
+/// run leaves at most this many lines (plus the `BufWriter` tail) behind
+/// in memory instead of an unbounded buffered suffix.
+const SINK_FLUSH_EVERY: usize = 256;
 
 /// A bounded event log with an optional streaming JSONL sink.
 #[derive(Default)]
@@ -265,6 +297,8 @@ pub struct Trace {
     /// Events written to the sink (ring-recorded plus streamed).
     pub streamed: u64,
     sink: Option<Box<dyn Write + Send>>,
+    /// Lines written since the last sink flush (periodic-flush counter).
+    lines_since_flush: usize,
 }
 
 impl fmt::Debug for Trace {
@@ -289,6 +323,7 @@ impl Trace {
             total: 0,
             streamed: 0,
             sink: None,
+            lines_since_flush: 0,
         }
     }
 
@@ -298,10 +333,13 @@ impl Trace {
     ///
     /// The sink is wrapped in a [`std::io::BufWriter`] here, so high-volume
     /// streams (one line per commit) do not pay a syscall per event.
-    /// Buffered lines reach the underlying writer on [`Trace::flush`]
-    /// (called by `Core::finish`) or when the trace is dropped.
+    /// Buffered lines reach the underlying writer every
+    /// [`SINK_FLUSH_EVERY`] lines, on [`Trace::flush`] (called by
+    /// `Core::finish`), and when the trace is dropped — so a killed or
+    /// crashed run keeps a usable trace prefix.
     pub fn set_sink(&mut self, sink: Box<dyn Write + Send>) {
         self.sink = Some(Box::new(std::io::BufWriter::new(sink)));
+        self.lines_since_flush = 0;
     }
 
     /// True if a JSONL sink is attached.
@@ -320,6 +358,13 @@ impl Trace {
                 return;
             }
             self.streamed += 1;
+            self.lines_since_flush += 1;
+            if self.lines_since_flush >= SINK_FLUSH_EVERY {
+                self.lines_since_flush = 0;
+                if s.flush().is_err() {
+                    self.sink = None;
+                }
+            }
         }
     }
 
@@ -344,6 +389,7 @@ impl Trace {
 
     /// Flush the sink (call once at the end of a run).
     pub fn flush(&mut self) {
+        self.lines_since_flush = 0;
         if let Some(s) = &mut self.sink {
             let _ = s.flush();
         }
@@ -508,6 +554,137 @@ mod tests {
         assert_eq!(lines.len(), 2);
         let v = serde::json::parse(lines[1]).unwrap();
         assert_eq!(v.field("event").unwrap(), &Value::Str("commit".into()));
+    }
+
+    #[test]
+    fn sink_flushes_periodically_without_an_explicit_flush() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        let mut t = Trace::new(0);
+        t.set_sink(Box::new(buf.clone()));
+        for c in 0..SINK_FLUSH_EVERY as u64 {
+            t.stream(Event::Commit {
+                cycle: c,
+                pc: 0,
+                ctx: 0,
+            });
+        }
+        // No explicit flush, no drop: the periodic flush alone must have
+        // pushed every line through to the underlying writer.
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            text.lines().count(),
+            SINK_FLUSH_EVERY,
+            "a killed run keeps the flushed prefix"
+        );
+        std::mem::forget(t); // the leak keeps Drop's flush out of the test
+    }
+
+    #[test]
+    fn failing_writer_disables_the_sink_without_aborting() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("disk full"))
+            }
+        }
+
+        let mut t = Trace::new(2);
+        t.set_sink(Box::new(Failing));
+        // Stream enough that both the BufWriter's internal spill and the
+        // periodic flush hit the failing writer.
+        for c in 0..(2 * SINK_FLUSH_EVERY as u64 + 10) {
+            t.stream(Event::Commit {
+                cycle: c,
+                pc: 0,
+                ctx: 0,
+            });
+            t.record(Event::EpisodeComplete { cycle: c });
+        }
+        assert!(!t.has_sink(), "a broken sink is dropped, not retried");
+        assert!(
+            t.streamed < 2 * (2 * SINK_FLUSH_EVERY as u64 + 10),
+            "streaming stopped when the sink broke"
+        );
+        assert_eq!(t.len(), 2, "the in-memory ring is unaffected");
+        t.flush(); // must be a no-op, not a panic
+    }
+
+    #[test]
+    fn short_writes_still_deliver_complete_lines() {
+        use std::sync::{Arc, Mutex};
+
+        /// Accepts at most 7 bytes per call, forcing every line through
+        /// multiple partial writes.
+        #[derive(Clone)]
+        struct Dribble(Arc<Mutex<Vec<u8>>>);
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(7);
+                self.0.lock().unwrap().extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Dribble(Arc::new(Mutex::new(Vec::new())));
+        let mut t = Trace::new(0);
+        t.set_sink(Box::new(buf.clone()));
+        let n = SINK_FLUSH_EVERY as u64 + 50;
+        for c in 0..n {
+            t.stream(Event::Commit {
+                cycle: c,
+                pc: 3,
+                ctx: 0,
+            });
+        }
+        t.flush();
+        assert_eq!(t.streamed, n);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len() as u64, n, "no line lost or torn");
+        for line in lines {
+            serde::json::parse(line).expect("every delivered line is complete JSON");
+        }
+    }
+
+    #[test]
+    fn window_event_serializes_flattened() {
+        let e = Event::Window {
+            stat: crate::stats::WindowStat {
+                index: 2,
+                start_cycle: 20_000,
+                cycles: 10_000,
+                committed: 12_345,
+                ..Default::default()
+            },
+        };
+        let json = serde::json::to_string(&e);
+        let v = serde::json::parse(&json).unwrap();
+        assert_eq!(v.field("event").unwrap(), &Value::Str("window".into()));
+        assert_eq!(v.field("index").unwrap(), &Value::U64(2));
+        assert_eq!(v.field("start_cycle").unwrap(), &Value::U64(20_000));
+        assert_eq!(v.field("committed").unwrap(), &Value::U64(12_345));
+        assert!(v.field("cycle_account").is_ok(), "CPI deltas ride along");
+        assert!(e.to_string().contains("window #2"), "{e}");
     }
 
     #[test]

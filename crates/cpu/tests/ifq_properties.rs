@@ -36,6 +36,7 @@ fn entry(seq: u64, marked: bool) -> IfqEntry {
         },
         marked,
         is_dload: false,
+        fetch_cycle: 0,
     }
 }
 

@@ -55,6 +55,9 @@ fn entry(seq: u64) -> RuuEntry {
         dispatch_cycle: 0,
         mem_missed: false,
         dload_owner: None,
+        fetch_cycle: 0,
+        issue_cycle: 0,
+        episode: 0,
     }
 }
 

@@ -237,3 +237,139 @@ fn trace_sink_streams_parseable_jsonl() {
     assert!(fills > 0, "cache fills must stream");
     assert_eq!(triggers, res.stats.triggers_accepted);
 }
+
+#[test]
+fn windows_partition_the_run_exactly() {
+    let b = gather_spear(1 << 16, 4000);
+    let cfg = CoreConfig::spear(128);
+    let width = cfg.commit_width;
+    let mut core = Core::new(&b, cfg);
+    core.enable_windows(1000);
+    let res = core.run(50_000_000, u64::MAX).unwrap();
+    assert_eq!(res.exit, RunExit::Halted);
+    let windows = &res.stats.windows;
+    assert!(windows.len() > 1, "a multi-thousand-cycle run has windows");
+    assert_eq!(
+        windows.iter().map(|w| w.cycles).sum::<u64>(),
+        res.stats.cycles,
+        "windows cover every cycle exactly once"
+    );
+    assert_eq!(
+        windows.iter().map(|w| w.committed).sum::<u64>(),
+        res.stats.committed,
+        "per-window committed counts sum to the global total"
+    );
+    assert_eq!(
+        windows.iter().map(|w| w.l1d_misses).sum::<u64>(),
+        res.stats.l1d.read_misses + res.stats.l1d.write_misses,
+        "per-window L1D misses sum to the cache totals"
+    );
+    assert_eq!(
+        windows.iter().map(|w| w.triggers_accepted).sum::<u64>(),
+        res.stats.triggers_accepted
+    );
+    for (i, w) in windows.iter().enumerate() {
+        assert_eq!(w.index, i as u64, "window indices are contiguous");
+        assert_eq!(
+            w.cycle_account.total_slots(),
+            w.cycles * width as u64,
+            "the exact-slot invariant holds per window"
+        );
+    }
+    for pair in windows.windows(2) {
+        assert_eq!(
+            pair[0].start_cycle + pair[0].cycles,
+            pair[1].start_cycle,
+            "windows tile the timeline without gaps"
+        );
+        assert_eq!(pair[0].cycles, 1000, "only the last window may be partial");
+    }
+    res.stats
+        .check_invariants(width)
+        .expect("window invariants are part of the standard check");
+    // And the windowed stats still round-trip through the envelope.
+    let json = serde::json::to_string(&res.stats);
+    let back: CoreStats = serde::json::from_str(&json).unwrap();
+    assert_eq!(res.stats, back);
+}
+
+#[test]
+fn window_events_stream_to_the_sink() {
+    let b = gather_spear(1 << 15, 1500);
+    let mut core = Core::new(&b, CoreConfig::spear(128));
+    let sink = Shared::default();
+    core.set_trace_sink(Box::new(sink.clone()));
+    core.enable_windows(2000);
+    let res = core.run(50_000_000, u64::MAX).unwrap();
+    let text = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+    let mut window_rows = 0usize;
+    for line in text.lines() {
+        let v = serde::json::parse(line).expect("valid JSON");
+        if v.field("event").unwrap() == &serde::Value::Str("window".into()) {
+            let idx = match v.field("index").unwrap() {
+                serde::Value::U64(n) => *n,
+                other => panic!("index must be a u64: {other:?}"),
+            };
+            assert_eq!(idx, window_rows as u64, "rows stream in window order");
+            window_rows += 1;
+        }
+    }
+    assert_eq!(
+        window_rows,
+        res.stats.windows.len(),
+        "every closed window streams exactly one JSONL row"
+    );
+}
+
+#[test]
+fn lifecycle_records_cover_the_run_with_ordered_stamps() {
+    let b = gather_spear(1 << 16, 3000);
+    let mut core = Core::new(&b, CoreConfig::spear(128));
+    core.enable_lifecycle(1_000_000);
+    let res = core.run(50_000_000, u64::MAX).unwrap();
+    assert_eq!(res.exit, RunExit::Halted);
+    let obs = core.obs().expect("lifecycle enabled");
+    let log = obs.lifecycle.as_ref().expect("lifecycle enabled");
+    assert_eq!(log.dropped, 0, "cap not hit at this size");
+    let records = &log.records;
+    let main_committed = records.iter().filter(|r| r.ctx == 0 && !r.squashed).count() as u64;
+    assert_eq!(
+        main_committed, res.stats.committed,
+        "one record per committed main-thread instruction"
+    );
+    let squashed = records.iter().filter(|r| r.squashed).count() as u64;
+    assert_eq!(squashed, res.stats.squashed, "one record per squash");
+    // P-thread entries only leave the RUU through speculative
+    // retirement; any still in flight at halt leave no record.
+    let pthread = records.iter().filter(|r| r.ctx > 0).count() as u64;
+    assert!(pthread > 0, "p-thread retirements are recorded too");
+    assert!(pthread <= res.stats.pthread_insts);
+    for r in records {
+        assert!(r.fetch_cycle <= r.dispatch_cycle, "{r:?}");
+        if r.issue_cycle > 0 {
+            assert!(r.dispatch_cycle <= r.issue_cycle, "{r:?}");
+        }
+        if r.complete_cycle > 0 {
+            assert!(r.issue_cycle > 0, "completion implies issue: {r:?}");
+            assert!(r.issue_cycle < r.complete_cycle, "{r:?}");
+            assert!(r.complete_cycle <= r.end_cycle, "{r:?}");
+        }
+        if !r.squashed {
+            assert!(r.complete_cycle > 0, "retirement implies completion: {r:?}");
+        }
+        if r.ctx > 0 {
+            assert!(r.episode > 0, "p-thread records carry an episode id");
+        } else {
+            assert_eq!(r.episode, 0, "main-context records carry none");
+        }
+    }
+    // Episode ids are monotonically non-decreasing in retirement order
+    // and cover every accepted trigger that retired instructions.
+    let max_episode = records.iter().map(|r| r.episode).max().unwrap_or(0);
+    assert!(max_episode as u64 <= res.stats.triggers_accepted);
+    assert!(max_episode > 0, "the gather triggers episodes");
+    assert!(
+        !obs.lifecycle.as_ref().unwrap().samples.is_empty(),
+        "counter samples were collected"
+    );
+}

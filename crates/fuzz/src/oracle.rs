@@ -367,6 +367,10 @@ fn check_sampled_vs_full(
             let mut core = Core::new(binary, cfg.clone());
             cp.restore_into(&mut core)
                 .map_err(|e| fail("checkpoint", e))?;
+            // Windowed telemetry rides along on every interval: the
+            // per-window partition must hold inside each interval and
+            // survive the merge below (check_invariants covers both).
+            core.enable_windows((interval / 4).max(16));
             let res = core
                 .run(CYCLE_BUDGET, interval)
                 .map_err(|e| fail("sim-error", e.to_string()))?;
@@ -397,12 +401,36 @@ fn check_sampled_vs_full(
             res.stats
                 .check_invariants(8)
                 .map_err(|e| fail("invariants", e))?;
+            let window_committed: u64 = res.stats.windows.iter().map(|w| w.committed).sum();
+            if res.stats.windows.is_empty() || window_committed != committed {
+                return Err(fail(
+                    "windows",
+                    format!(
+                        "interval at {} committed {} but its {} window(s) sum to {}",
+                        cp.inst_index,
+                        committed,
+                        res.stats.windows.len(),
+                        window_committed
+                    ),
+                ));
+            }
             total_committed += committed;
             merged.merge(&res.stats);
         }
         merged
             .check_invariants(8)
             .map_err(|e| fail("invariants", format!("merged aggregate: {e}")))?;
+        // The concatenated windows of the merged aggregate still account
+        // for every committed instruction exactly once.
+        let merged_window_committed: u64 = merged.windows.iter().map(|w| w.committed).sum();
+        if merged_window_committed != total_committed {
+            return Err(fail(
+                "windows",
+                format!(
+                    "merged windows sum to {merged_window_committed}, intervals to {total_committed}"
+                ),
+            ));
+        }
         // Back-to-back intervals cover the whole program; overshoot can
         // only double-count, never skip.
         if stride == 1

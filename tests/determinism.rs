@@ -77,6 +77,7 @@ fn campaign_stats_json_identical_across_thread_counts() {
         sample: SampleSpec::full(25_000),
         threads,
         max_cells: None,
+        window: None,
     };
     let base = std::env::temp_dir().join(format!("spear-det-campaign-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
