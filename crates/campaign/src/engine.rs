@@ -30,15 +30,17 @@
 
 use crate::checkpoint::{capture_interval_checkpoints, CheckpointSet};
 use crate::sample::{aggregate, plan_intervals, Aggregate, Interval, SampleSpec};
+use crate::shard_cache::ShardCache;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use spear_compiler::{CompilerConfig, SpearCompiler};
-use spear_cpu::{Core, CoreConfig, CoreStats, RunExit};
+use spear_cpu::{Core, CoreConfig, CoreStats, RunExit, StatsExport};
 use spear_isa::SpearBinary;
 use std::collections::HashSet;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Version of the per-cell JSONL record format. Bump on breaking change.
@@ -202,12 +204,38 @@ pub struct Campaign {
     spec: CampaignSpec,
 }
 
-/// Everything phase 1 prepares for one workload.
-struct WorkloadData {
-    name: String,
-    binary: SpearBinary,
-    set: CheckpointSet,
-    intervals: Vec<Interval>,
+/// Everything phase 1 prepares for one workload: the compiled binary
+/// with its p-thread table, the warm checkpoint shards, and the sampled
+/// interval plan. Shared read-only across every cell that needs it (and,
+/// through a [`ShardCache`], across every *job* that needs it).
+#[derive(Debug)]
+pub struct WorkloadData {
+    /// Workload name.
+    pub name: String,
+    /// Evaluation binary with the compiled p-thread table attached.
+    pub binary: SpearBinary,
+    /// Warm checkpoints at each sampled interval start.
+    pub set: CheckpointSet,
+    /// The sampled interval plan.
+    pub intervals: Vec<Interval>,
+}
+
+impl WorkloadData {
+    /// Approximate resident size in bytes, for the [`ShardCache`] LRU
+    /// budget. Dominated by the per-checkpoint memory images; the binary
+    /// and plan are a flat base charge, and cache/predictor snapshots a
+    /// flat overhead per checkpoint, rather than measured field by field.
+    pub fn approx_bytes(&self) -> u64 {
+        const BASE_OVERHEAD: u64 = 64 * 1024;
+        const PER_CHECKPOINT_OVERHEAD: u64 = 256 * 1024;
+        BASE_OVERHEAD
+            + self
+                .set
+                .checkpoints
+                .iter()
+                .map(|c| c.mem.as_bytes().len() as u64 + PER_CHECKPOINT_OVERHEAD)
+                .sum::<u64>()
+    }
 }
 
 /// One unit of phase-2 work.
@@ -302,12 +330,61 @@ impl Campaign {
         Ok(aggregate(&self.load_results()?))
     }
 
+    /// Physically truncate a torn trailing line off `cells.jsonl` (the
+    /// signature of a kill mid-append). [`Campaign::load_results`] already
+    /// *tolerates* a torn tail, but without truncation the next append
+    /// would glue a fresh record onto the partial line, corrupting a
+    /// record permanently — so a resume must repair the file first.
+    /// Returns the number of bytes cut, if any.
+    fn repair_torn_tail(&self) -> Result<Option<u64>, String> {
+        let path = self.dir.join("cells.jsonl");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        // Find the last non-empty line and its byte offset.
+        let mut last: Option<(usize, &str)> = None;
+        let mut offset = 0;
+        for line in text.split_inclusive('\n') {
+            if !line.trim().is_empty() {
+                last = Some((offset, line.trim_end_matches(['\n', '\r'])));
+            }
+            offset += line.len();
+        }
+        let Some((start, line)) = last else {
+            return Ok(None);
+        };
+        if serde::json::from_str::<CellResult>(line).is_ok() {
+            return Ok(None);
+        }
+        let cut = (text.len() - start) as u64;
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| format!("cannot open {} for repair: {e}", path.display()))?;
+        f.set_len(start as u64)
+            .map_err(|e| format!("cannot truncate {}: {e}", path.display()))?;
+        Ok(Some(cut))
+    }
+
     /// Run (or resume) the campaign. `on_progress` is invoked after every
     /// executed cell.
     pub fn run(
         &self,
         on_progress: Option<&(dyn Fn(&ProgressSnapshot) + Sync)>,
     ) -> Result<RunSummary, String> {
+        self.run_with(&RunOptions {
+            on_progress,
+            ..RunOptions::default()
+        })
+    }
+
+    /// Run (or resume) the campaign with the full option set: progress
+    /// callbacks, cooperative cancellation, and a cross-job checkpoint-
+    /// shard cache.
+    pub fn run_with(&self, opts: &RunOptions<'_>) -> Result<RunSummary, String> {
+        let on_progress = opts.on_progress;
         let t0 = Instant::now();
         if self.spec.workloads.is_empty() || self.spec.points.is_empty() {
             return Err("campaign needs at least one workload and one machine point".into());
@@ -315,6 +392,13 @@ impl Campaign {
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| format!("cannot create {}: {e}", self.dir.display()))?;
         self.check_or_write_manifest()?;
+        if let Some(cut) = self.repair_torn_tail()? {
+            eprintln!(
+                "campaign {}: truncated a torn {cut}-byte trailing record in \
+                 cells.jsonl (crash mid-append); its cell will re-run",
+                self.dir.display()
+            );
+        }
         let prior = self.load_results()?;
         let done: HashSet<CellKey> = prior.iter().map(|c| c.key()).collect();
 
@@ -327,10 +411,15 @@ impl Campaign {
         };
 
         // Phase 1: compile + functional checkpointing, one job/workload.
+        // With a shard cache, warm state built by an earlier job (or an
+        // earlier workload of this one) is reused instead of rebuilt.
         let sample = self.spec.sample;
-        let prepared: Vec<Result<WorkloadData, String>> =
-            parallel_map(&self.spec.workloads, threads, |name| {
-                prepare_workload(name, &sample)
+        let prepared: Vec<Result<Arc<WorkloadData>, String>> =
+            parallel_map(&self.spec.workloads, threads, |name| match opts.cache {
+                Some(cache) => {
+                    cache.get_or_create(name, &sample, || prepare_workload(name, &sample))
+                }
+                None => prepare_workload(name, &sample).map(Arc::new),
             });
         let mut wds = Vec::with_capacity(prepared.len());
         for r in prepared {
@@ -408,10 +497,15 @@ impl Campaign {
             );
         };
 
+        let cancel = opts.cancel;
         crossbeam::scope(|scope| {
             for _ in 0..threads.min(pending.len().max(1)) {
                 scope.spawn(|_| loop {
-                    if stop.load(Ordering::SeqCst) {
+                    // A cancel drains like `max_cells`: in-flight cells
+                    // finish and are persisted; nothing new is claimed.
+                    if stop.load(Ordering::SeqCst)
+                        || cancel.is_some_and(|c| c.load(Ordering::SeqCst))
+                    {
                         break;
                     }
                     // Claim an execution slot against the cell budget
@@ -508,6 +602,68 @@ impl Campaign {
             elapsed_ms: t0.elapsed().as_millis() as u64,
         })
     }
+}
+
+/// Knobs for [`Campaign::run_with`], beyond what the spec pins.
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// Invoked after every executed cell with live progress.
+    pub on_progress: Option<&'a (dyn Fn(&ProgressSnapshot) + Sync)>,
+    /// Cooperative cancellation: once set, workers stop claiming cells;
+    /// in-flight cells finish and are flushed, so the run ends in a
+    /// cleanly resumable state (`interrupted` in the summary).
+    pub cancel: Option<&'a AtomicBool>,
+    /// Checkpoint-shard cache shared across runs: warm state is built
+    /// once per (workload, interval, stride) and reused read-only.
+    pub cache: Option<&'a ShardCache>,
+}
+
+/// Write one versioned stats-JSON envelope per (workload, machine,
+/// latency) aggregate under `<dir>/aggregates/`, exactly as the
+/// `spear-sim campaign` CLI does — the campaign server calls the same
+/// function, which is what makes server and CLI aggregate files
+/// byte-identical by construction. Returns the paths written, in
+/// aggregate order.
+pub fn write_aggregate_envelopes(
+    dir: &Path,
+    results: &[CellResult],
+) -> Result<Vec<PathBuf>, String> {
+    let aggs = aggregate(results);
+    let agg_dir = dir.join("aggregates");
+    std::fs::create_dir_all(&agg_dir)
+        .map_err(|e| format!("cannot create {}: {e}", agg_dir.display()))?;
+    let mut written = Vec::with_capacity(aggs.len());
+    for a in &aggs {
+        // An aggregate reached the workload's halt only if its group
+        // contains the final (halting) interval.
+        let halted = results.iter().any(|c| {
+            c.workload == a.workload
+                && c.machine == a.machine
+                && c.mem_latency == a.mem_latency
+                && c.exit == RunExit::Halted
+        });
+        let doc = StatsExport::new(
+            a.workload.clone(),
+            &a.machine,
+            a.mem_latency,
+            if halted {
+                RunExit::Halted
+            } else {
+                RunExit::InstBudget
+            },
+            a.stats.clone(),
+        );
+        let file = agg_dir.join(format!(
+            "{}-{}-{}.json",
+            a.workload,
+            a.machine.replace('.', "_"),
+            a.mem_latency
+        ));
+        std::fs::write(&file, doc.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+        written.push(file);
+    }
+    Ok(written)
 }
 
 /// Estimated remaining campaign wall time: mean per-cell simulation time

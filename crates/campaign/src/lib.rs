@@ -31,13 +31,16 @@
 pub mod checkpoint;
 pub mod engine;
 pub mod sample;
+pub mod shard_cache;
 
 pub use checkpoint::{capture_interval_checkpoints, Checkpoint, CheckpointSet, Warmer};
 pub use engine::{
-    eta_ms, workload_timings, write_heartbeat, Campaign, CampaignSpec, CellResult, HeartbeatDoc,
-    MachinePoint, ProgressSnapshot, RunSummary, WorkloadTiming, CELL_SCHEMA_VERSION,
+    eta_ms, workload_timings, write_aggregate_envelopes, write_heartbeat, Campaign, CampaignSpec,
+    CellResult, HeartbeatDoc, MachinePoint, ProgressSnapshot, RunOptions, RunSummary, WorkloadData,
+    WorkloadTiming, CELL_SCHEMA_VERSION,
 };
 pub use sample::{aggregate, plan_intervals, Aggregate, Interval, SampleSpec};
+pub use shard_cache::{ShardCache, ShardCacheStats};
 
 #[cfg(test)]
 mod engine_tests {
@@ -156,9 +159,26 @@ mod engine_tests {
         let cut = text.len() - 40;
         std::fs::write(&path, &text[..cut]).unwrap();
 
-        let resumed = Campaign::new(&dir, spec).run(None).unwrap();
+        let resumed = Campaign::new(&dir, spec.clone()).run(None).unwrap();
         assert_eq!(resumed.executed, 1, "exactly the damaged cell re-runs");
         assert_eq!(comparable(&resumed.aggregates()), want);
+
+        // The torn tail must have been physically truncated before the
+        // re-run appended, or the partial line and the fresh record would
+        // have been glued into one permanently malformed line. Re-reading
+        // from disk (not the in-memory summary) proves the file healed.
+        let on_disk = Campaign::new(&dir, spec.clone()).load_results().unwrap();
+        assert_eq!(
+            on_disk.len() as u64,
+            full.total_cells,
+            "every record on disk parses after a torn-tail resume"
+        );
+        for line in std::fs::read_to_string(&path).unwrap().lines() {
+            serde::json::from_str::<engine::CellResult>(line).expect("no glued records");
+        }
+        let again = Campaign::new(&dir, spec).run(None).unwrap();
+        assert_eq!(again.executed, 0, "nothing left to re-run");
+        assert_eq!(comparable(&again.aggregates()), want);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

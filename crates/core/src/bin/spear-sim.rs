@@ -16,11 +16,28 @@
 use spear::export::{SimPerf, StatsExport};
 use spear::{report, Machine};
 use spear_campaign::{Campaign, CampaignSpec, MachinePoint, SampleSpec};
-use spear_cpu::{Core, RunExit};
+use spear_cpu::Core;
 use spear_isa::binfile;
 use spear_mem::LatencyConfig;
 use std::io::BufWriter;
 use std::process::exit;
+
+/// The exit-code contract, applied uniformly across subcommands:
+///
+/// * `0` — success.
+/// * `1` — the run itself succeeded but found what it was looking for
+///   (fuzz divergences / replay regressions), so scripts can separate
+///   "harness broke" from "harness found a bug".
+/// * `2` — usage error: bad flags, unknown names, malformed values.
+/// * `3` — runtime error: IO failures, simulation errors, server faults.
+/// * `4` — campaign interrupted (`--max-cells` budget); rerun to resume.
+mod exitcode {
+    pub const OK: i32 = 0;
+    pub const FINDINGS: i32 = 1;
+    pub const USAGE: i32 = 2;
+    pub const RUNTIME: i32 = 3;
+    pub const INTERRUPTED: i32 = 4;
+}
 
 fn usage() -> ! {
     eprintln!(
@@ -32,34 +49,35 @@ fn usage() -> ! {
          \x20      [--machines M1,M2,...] [--mem-latency N] [--interval N]\n\
          \x20      [--stride N] [--threads N] [--max-cells N] [--window N]\n\
          \x20      [--quiet]\n\
+         \x20  or: spear-sim serve --dir DIR [--addr HOST:PORT] [--workers N]\n\
+         \x20      [--queue-cap N] [--cache-mb N]\n\
+         \x20  or: spear-sim client ACTION [--addr HOST:PORT | --dir DIR] ...\n\
+         \x20      actions: submit (--spec JSON | --spec-file PATH), list,\n\
+         \x20      status ID, aggregates ID, cancel ID, wait ID [--timeout-s N],\n\
+         \x20      shutdown\n\
          \x20  or: spear-sim obs-summary TRACE.jsonl\n\
          \x20  or: spear-sim fuzz [--seconds N] [--seed S] [--corpus DIR]\n\
          \x20  or: spear-sim fuzz --replay DIR\n\
          \x20  or: spear-sim dump-config [-m MACHINE] [--mem-latency N]\n\n\
-         machines: baseline, spear-128, spear-256, spear-sf-128, spear-sf-256"
+         machines: baseline, spear-128, spear-256, spear-sf-128, spear-sf-256\n\
+         exit codes: 0 ok, 1 fuzz findings, 2 usage, 3 runtime error,\n\
+         \x20        4 campaign interrupted"
     );
-    exit(2)
+    exit(exitcode::USAGE)
 }
 
 fn parse_machine(s: &str) -> Machine {
-    match s {
-        "baseline" | "superscalar" => Machine::Baseline,
-        "spear-128" => Machine::Spear128,
-        "spear-256" => Machine::Spear256,
-        "spear-sf-128" | "spear.sf-128" => Machine::SpearSf128,
-        "spear-sf-256" | "spear.sf-256" => Machine::SpearSf256,
-        _ => {
-            eprintln!("spear-sim: unknown machine `{s}`");
-            usage()
-        }
-    }
+    Machine::from_cli_name(s).unwrap_or_else(|| {
+        eprintln!("spear-sim: unknown machine `{s}`");
+        usage()
+    })
 }
 
 /// Parse a numeric flag value, reporting the offending text on failure.
 fn parse_num<T: std::str::FromStr>(flag: &str, val: &str) -> T {
     val.parse().unwrap_or_else(|_| {
         eprintln!("spear-sim: {flag} expects a number, got `{val}`");
-        exit(2)
+        exit(exitcode::USAGE)
     })
 }
 
@@ -81,7 +99,7 @@ fn campaign_main(args: Vec<String>) -> ! {
     let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         it.next().unwrap_or_else(|| {
             eprintln!("spear-sim: {flag} needs a value");
-            exit(2)
+            exit(exitcode::USAGE)
         })
     };
     while let Some(arg) = it.next() {
@@ -137,12 +155,12 @@ fn campaign_main(args: Vec<String>) -> ! {
     for name in &workloads {
         if spear_workloads::by_name(name).is_none() {
             eprintln!("spear-sim: unknown workload `{name}`");
-            exit(1)
+            exit(exitcode::USAGE)
         }
     }
     if interval == 0 || stride == 0 {
         eprintln!("spear-sim: --interval and --stride must be nonzero");
-        exit(2)
+        exit(exitcode::USAGE)
     }
 
     let mem_latency = latency.unwrap_or_else(LatencyConfig::paper).memory;
@@ -172,48 +190,19 @@ fn campaign_main(args: Vec<String>) -> ! {
         .run(if quiet { None } else { Some(&progress) })
         .unwrap_or_else(|e| {
             eprintln!("spear-sim: campaign failed: {e}");
-            exit(1)
+            exit(exitcode::RUNTIME)
         });
 
     // One versioned stats envelope per aggregate, same schema as
-    // `--stats-json`, under <dir>/aggregates/.
+    // `--stats-json`, under <dir>/aggregates/ — via the same writer the
+    // campaign server uses, so CLI and served output stay byte-identical.
     let aggs = summary.aggregates();
     let agg_dir = std::path::Path::new(&dir).join("aggregates");
-    std::fs::create_dir_all(&agg_dir).unwrap_or_else(|e| {
-        eprintln!("spear-sim: cannot create {}: {e}", agg_dir.display());
-        exit(1)
-    });
-    for a in &aggs {
-        // An aggregate reached the workload's halt only if its group
-        // contains the final (halting) interval.
-        let halted = summary.results.iter().any(|c| {
-            c.workload == a.workload
-                && c.machine == a.machine
-                && c.mem_latency == a.mem_latency
-                && c.exit == RunExit::Halted
+    spear_campaign::write_aggregate_envelopes(std::path::Path::new(&dir), &summary.results)
+        .unwrap_or_else(|e| {
+            eprintln!("spear-sim: {e}");
+            exit(exitcode::RUNTIME)
         });
-        let doc = StatsExport::new(
-            a.workload.clone(),
-            &a.machine,
-            a.mem_latency,
-            if halted {
-                RunExit::Halted
-            } else {
-                RunExit::InstBudget
-            },
-            a.stats.clone(),
-        );
-        let file = agg_dir.join(format!(
-            "{}-{}-{}.json",
-            a.workload,
-            a.machine.replace('.', "_"),
-            a.mem_latency
-        ));
-        std::fs::write(&file, doc.to_json()).unwrap_or_else(|e| {
-            eprintln!("spear-sim: cannot write {}: {e}", file.display());
-            exit(1)
-        });
-    }
 
     if summary.interrupted {
         println!(
@@ -251,7 +240,213 @@ fn campaign_main(args: Vec<String>) -> ! {
             );
         }
     }
-    exit(if summary.interrupted { 3 } else { 0 })
+    exit(if summary.interrupted {
+        exitcode::INTERRUPTED
+    } else {
+        exitcode::OK
+    })
+}
+
+/// The `serve` subcommand: run the resident campaign server (see
+/// `spear-serve`) until SIGTERM or `POST /shutdown`, then drain.
+fn serve_main(args: Vec<String>) -> ! {
+    let mut dir: Option<String> = None;
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut workers: usize = 0;
+    let mut queue_cap: usize = 16;
+    let mut cache_mb: u64 = 256;
+
+    let mut it = args.into_iter();
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("spear-sim: {flag} needs a value");
+            exit(exitcode::USAGE)
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dir" => dir = Some(next_val(&mut it, "--dir")),
+            "--addr" => addr = next_val(&mut it, "--addr"),
+            "--workers" => workers = parse_num("--workers", &next_val(&mut it, "--workers")),
+            "--queue-cap" => {
+                queue_cap = parse_num("--queue-cap", &next_val(&mut it, "--queue-cap"))
+            }
+            "--cache-mb" => cache_mb = parse_num("--cache-mb", &next_val(&mut it, "--cache-mb")),
+            _ => {
+                eprintln!("spear-sim: unrecognized serve argument `{arg}`");
+                usage()
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("spear-sim: serve needs --dir");
+        usage()
+    };
+    let cfg = spear_serve::ServeConfig {
+        root: dir.into(),
+        addr,
+        workers,
+        queue_cap,
+        cache_bytes: cache_mb * 1024 * 1024,
+    };
+    spear_serve::install_signal_handlers();
+    let server = spear_serve::Server::bind(&cfg).unwrap_or_else(|e| {
+        eprintln!("spear-sim: serve: {e}");
+        exit(exitcode::RUNTIME)
+    });
+    eprintln!(
+        "spear-serve listening on {} (root {}, queue cap {})",
+        server.local_addr(),
+        cfg.root.display(),
+        cfg.queue_cap,
+    );
+    server.run().unwrap_or_else(|e| {
+        eprintln!("spear-sim: serve: {e}");
+        exit(exitcode::RUNTIME)
+    });
+    eprintln!("spear-serve drained cleanly");
+    exit(exitcode::OK)
+}
+
+/// The `client` subcommand: a thin curl-substitute for the control
+/// plane, so scripts and CI need no external HTTP tooling.
+fn client_main(args: Vec<String>) -> ! {
+    let mut action: Option<String> = None;
+    let mut job_id: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut dir: Option<String> = None;
+    let mut spec: Option<String> = None;
+    let mut timeout_s: u64 = 600;
+
+    let mut it = args.into_iter();
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("spear-sim: {flag} needs a value");
+            exit(exitcode::USAGE)
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(next_val(&mut it, "--addr")),
+            "--dir" => dir = Some(next_val(&mut it, "--dir")),
+            "--spec" => spec = Some(next_val(&mut it, "--spec")),
+            "--spec-file" => {
+                let path = next_val(&mut it, "--spec-file");
+                spec = Some(std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("spear-sim: cannot read `{path}`: {e}");
+                    exit(exitcode::RUNTIME)
+                }));
+            }
+            "--timeout-s" => {
+                timeout_s = parse_num("--timeout-s", &next_val(&mut it, "--timeout-s"))
+            }
+            _ if action.is_none() && !arg.starts_with('-') => action = Some(arg),
+            _ if job_id.is_none() && !arg.starts_with('-') => job_id = Some(arg),
+            _ => {
+                eprintln!("spear-sim: unrecognized client argument `{arg}`");
+                usage()
+            }
+        }
+    }
+    let Some(action) = action else {
+        eprintln!("spear-sim: client needs an action");
+        usage()
+    };
+    let addr = addr.unwrap_or_else(|| match &dir {
+        Some(d) => {
+            spear_serve::client::read_server_addr(std::path::Path::new(d)).unwrap_or_else(|e| {
+                eprintln!("spear-sim: {e}");
+                exit(exitcode::RUNTIME)
+            })
+        }
+        None => {
+            eprintln!("spear-sim: client needs --addr or --dir");
+            usage()
+        }
+    });
+    let need_id = || {
+        job_id.clone().unwrap_or_else(|| {
+            eprintln!("spear-sim: client {action} needs a job id");
+            usage()
+        })
+    };
+
+    let (method, path, body) = match action.as_str() {
+        "submit" => {
+            let Some(spec) = spec.as_deref() else {
+                eprintln!("spear-sim: client submit needs --spec or --spec-file");
+                usage()
+            };
+            ("POST", "/jobs".to_string(), Some(spec))
+        }
+        "list" => ("GET", "/jobs".to_string(), None),
+        "status" => ("GET", format!("/jobs/{}", need_id()), None),
+        "aggregates" => ("GET", format!("/jobs/{}/aggregates", need_id()), None),
+        "cancel" => ("POST", format!("/jobs/{}/cancel", need_id()), None),
+        "shutdown" => ("POST", "/shutdown".to_string(), None),
+        "wait" => {
+            let id = need_id();
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(timeout_s);
+            loop {
+                let (status, text) =
+                    spear_serve::client::request(&addr, "GET", &format!("/jobs/{id}"), None)
+                        .unwrap_or_else(|e| {
+                            eprintln!("spear-sim: {e}");
+                            exit(exitcode::RUNTIME)
+                        });
+                if status != 200 {
+                    eprintln!("spear-sim: wait: {text}");
+                    exit(exitcode::RUNTIME)
+                }
+                let state = serde::json::from_str::<serde::Value>(&text)
+                    .ok()
+                    .and_then(|v| match v.field("state") {
+                        Ok(serde::Value::Str(s)) => Some(s.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_else(|| {
+                        eprintln!("spear-sim: wait: malformed status `{text}`");
+                        exit(exitcode::RUNTIME)
+                    });
+                match state.as_str() {
+                    "done" => {
+                        println!("{text}");
+                        exit(exitcode::OK)
+                    }
+                    "failed" | "cancelled" => {
+                        eprintln!("spear-sim: job {id} ended {state}: {text}");
+                        exit(exitcode::RUNTIME)
+                    }
+                    _ => {}
+                }
+                if std::time::Instant::now() >= deadline {
+                    eprintln!("spear-sim: timed out after {timeout_s}s waiting for {id}");
+                    exit(exitcode::RUNTIME)
+                }
+                std::thread::sleep(std::time::Duration::from_millis(300));
+            }
+        }
+        other => {
+            eprintln!("spear-sim: unknown client action `{other}`");
+            usage()
+        }
+    };
+
+    let (status, text) =
+        spear_serve::client::request(&addr, method, &path, body).unwrap_or_else(|e| {
+            eprintln!("spear-sim: {e}");
+            exit(exitcode::RUNTIME)
+        });
+    if (200..300).contains(&status) {
+        println!("{text}");
+        exit(exitcode::OK)
+    }
+    eprintln!("spear-sim: server returned {status}: {text}");
+    exit(if status == 400 {
+        exitcode::USAGE
+    } else {
+        exitcode::RUNTIME
+    })
 }
 
 /// The `obs-summary` subcommand: fold the `window` rows of a JSONL
@@ -264,14 +459,14 @@ fn obs_summary_main(args: Vec<String>) -> ! {
     };
     let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
         eprintln!("spear-sim: cannot read `{file}`: {e}");
-        exit(1)
+        exit(exitcode::RUNTIME)
     });
     let windows = spear::obs::parse_window_rows(&text).unwrap_or_else(|e| {
         eprintln!("spear-sim: `{file}`: {e}");
-        exit(1)
+        exit(exitcode::RUNTIME)
     });
     print!("{}", spear::obs::summarize_windows(&windows));
-    exit(0)
+    exit(exitcode::OK)
 }
 
 /// The `fuzz` subcommand: run the differential fuzzing harness (random
@@ -288,7 +483,7 @@ fn fuzz_main(args: Vec<String>) -> ! {
     let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         it.next().unwrap_or_else(|| {
             eprintln!("spear-sim: {flag} needs a value");
-            exit(2)
+            exit(exitcode::USAGE)
         })
     };
     while let Some(arg) = it.next() {
@@ -308,14 +503,18 @@ fn fuzz_main(args: Vec<String>) -> ! {
         let report = spear_fuzz::replay(std::path::Path::new(&dir), |line| println!("{line}"))
             .unwrap_or_else(|e| {
                 eprintln!("spear-sim: corpus replay failed: {e}");
-                exit(1)
+                exit(exitcode::RUNTIME)
             });
         println!(
             "corpus replay: {} reproducer(s), {} regression(s)",
             report.replayed,
             report.regressions.len()
         );
-        exit(if report.regressions.is_empty() { 0 } else { 1 })
+        exit(if report.regressions.is_empty() {
+            exitcode::OK
+        } else {
+            exitcode::FINDINGS
+        })
     }
 
     let corpus_dir = corpus.as_ref().map(std::path::Path::new);
@@ -344,7 +543,11 @@ fn fuzz_main(args: Vec<String>) -> ! {
             }
         );
     }
-    exit(if summary.divergences == 0 { 0 } else { 1 })
+    exit(if summary.divergences == 0 {
+        exitcode::OK
+    } else {
+        exitcode::FINDINGS
+    })
 }
 
 /// The `dump-config` subcommand: print the fully resolved [`CoreConfig`]
@@ -359,7 +562,7 @@ fn dump_config_main(args: Vec<String>) -> ! {
     let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         it.next().unwrap_or_else(|| {
             eprintln!("spear-sim: {flag} needs a value");
-            exit(2)
+            exit(exitcode::USAGE)
         })
     };
     while let Some(arg) = it.next() {
@@ -377,7 +580,7 @@ fn dump_config_main(args: Vec<String>) -> ! {
     }
     let cfg = machine.config(latency);
     println!("{}", serde::json::to_string_pretty(&cfg));
-    exit(0)
+    exit(exitcode::OK)
 }
 
 /// Compact duration for the completion line.
@@ -396,6 +599,12 @@ fn main() {
     }
     if args[0] == "campaign" {
         campaign_main(args.split_off(1));
+    }
+    if args[0] == "serve" {
+        serve_main(args.split_off(1));
+    }
+    if args[0] == "client" {
+        client_main(args.split_off(1));
     }
     if args[0] == "fuzz" {
         fuzz_main(args.split_off(1));
@@ -424,7 +633,7 @@ fn main() {
     let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         it.next().unwrap_or_else(|| {
             eprintln!("spear-sim: {flag} needs a value");
-            exit(2)
+            exit(exitcode::USAGE)
         })
     };
     while let Some(arg) = it.next() {
@@ -469,18 +678,18 @@ fn main() {
         // (profiling input drives the compiler; evaluation input runs).
         let Some(w) = spear_workloads::by_name(name) else {
             eprintln!("spear-sim: unknown workload `{name}`");
-            exit(1)
+            exit(exitcode::USAGE)
         };
         let (table, _) = spear::runner::compile_workload(&w);
         spear_compiler::SpearCompiler::attach(w.eval_program(), table)
     } else {
         let bytes = std::fs::read(&file).unwrap_or_else(|e| {
             eprintln!("spear-sim: cannot read `{file}`: {e}");
-            exit(1)
+            exit(exitcode::RUNTIME)
         });
         binfile::load(&bytes).unwrap_or_else(|e| {
             eprintln!("spear-sim: `{file}`: {e}");
-            exit(1)
+            exit(exitcode::RUNTIME)
         })
     };
 
@@ -494,7 +703,7 @@ fn main() {
     if let Some(path) = &trace_file {
         let f = std::fs::File::create(path).unwrap_or_else(|e| {
             eprintln!("spear-sim: cannot create trace file `{path}`: {e}");
-            exit(1)
+            exit(exitcode::RUNTIME)
         });
         core.set_trace_sink(Box::new(BufWriter::new(f)));
     }
@@ -507,7 +716,7 @@ fn main() {
     let wall_start = std::time::Instant::now();
     let res = core.run(max_cycles, max_insts).unwrap_or_else(|e| {
         eprintln!("spear-sim: {e}");
-        exit(1)
+        exit(exitcode::RUNTIME)
     });
     let wall = wall_start.elapsed();
     let s = &res.stats;
@@ -528,14 +737,14 @@ fn main() {
             |path: &str, f: &dyn Fn(&mut BufWriter<std::fs::File>) -> std::io::Result<()>| {
                 let file = std::fs::File::create(path).unwrap_or_else(|e| {
                     eprintln!("spear-sim: cannot create `{path}`: {e}");
-                    exit(1)
+                    exit(exitcode::RUNTIME)
                 });
                 let mut w = BufWriter::new(file);
                 f(&mut w)
                     .and_then(|()| w.into_inner().map_err(|e| e.into_error()).map(drop))
                     .unwrap_or_else(|e| {
                         eprintln!("spear-sim: cannot write `{path}`: {e}");
-                        exit(1)
+                        exit(exitcode::RUNTIME)
                     });
             };
         if let Some(path) = &pipeview {
@@ -559,7 +768,7 @@ fn main() {
         .with_sim_perf(sim_perf);
         std::fs::write(path, doc.to_json()).unwrap_or_else(|e| {
             eprintln!("spear-sim: cannot write `{path}`: {e}");
-            exit(1)
+            exit(exitcode::RUNTIME)
         });
     }
 

@@ -9,154 +9,9 @@
 
 use crate::machines::Machine;
 use crate::runner::RunOutcome;
-use serde::{Deserialize, Serialize};
-use spear_cpu::{CoreStats, RunExit};
+use spear_cpu::RunExit;
 
-/// Version of the exported JSON schema. Bump on any breaking change to
-/// [`StatsExport`] or the stats types it embeds.
-pub const SCHEMA_VERSION: u32 = 1;
-
-/// Simulator self-measurement: how fast the *simulation itself* ran.
-///
-/// Purely observational — derived from the host wall clock, so two runs
-/// of the same cell will differ. It is therefore attached to envelopes
-/// as an *optional, omitted-when-absent* block: deterministic artifacts
-/// (golden files, campaign aggregate files compared byte-for-byte
-/// across resume boundaries) simply never set it.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub struct SimPerf {
-    /// Host wall-clock time of the simulated run, in milliseconds.
-    pub wall_ms: u64,
-    /// Simulation throughput: committed kilo-instructions per host
-    /// second.
-    pub kips: f64,
-    /// Simulated cycles per host second.
-    pub cycles_per_sec: f64,
-}
-
-impl SimPerf {
-    /// Throughput of a run that committed `committed` instructions over
-    /// `cycles` cycles in `wall` of host time.
-    pub fn from_run(committed: u64, cycles: u64, wall: std::time::Duration) -> SimPerf {
-        let secs = wall.as_secs_f64().max(1e-9);
-        SimPerf {
-            wall_ms: wall.as_millis() as u64,
-            kips: committed as f64 / secs / 1000.0,
-            cycles_per_sec: cycles as f64 / secs,
-        }
-    }
-
-    /// One-line human summary (the `spear-sim --perf` line).
-    pub fn summary(&self) -> String {
-        format!(
-            "sim-perf: {:.0} KIPS, {:.2e} cycles/s, {} ms wall",
-            self.kips, self.cycles_per_sec, self.wall_ms
-        )
-    }
-}
-
-/// The top-level JSON document written by `spear-sim --stats-json` and
-/// [`RunOutcome::export`].
-///
-/// Serialization is hand-written (not derived) for one reason: the
-/// optional [`SimPerf`] block must be *omitted* when absent, not
-/// emitted as `null`, so envelopes built without it stay byte-identical
-/// to the pre-`sim_perf` schema (golden files, campaign aggregates).
-#[derive(Clone, Debug, PartialEq)]
-pub struct StatsExport {
-    /// Schema version of this document ([`SCHEMA_VERSION`]).
-    pub schema_version: u32,
-    /// Workload name or input-file path.
-    pub workload: String,
-    /// Machine model name (e.g. `SPEAR-128`).
-    pub machine: String,
-    /// Main-memory access latency in cycles (Table 2 default or the
-    /// `--mem-latency` sweep point).
-    pub mem_latency: u32,
-    /// How the run ended.
-    pub exit: RunExit,
-    /// Full simulator statistics, including the CPI-stack cycle account
-    /// and the per-d-load prefetch profiles.
-    pub stats: CoreStats,
-    /// Simulation-throughput self-measurement (additive; absent from
-    /// deterministic artifacts).
-    pub sim_perf: Option<SimPerf>,
-}
-
-impl Serialize for StatsExport {
-    fn to_value(&self) -> serde::Value {
-        let mut fields = vec![
-            ("schema_version".to_string(), self.schema_version.to_value()),
-            ("workload".to_string(), self.workload.to_value()),
-            ("machine".to_string(), self.machine.to_value()),
-            ("mem_latency".to_string(), self.mem_latency.to_value()),
-            ("exit".to_string(), self.exit.to_value()),
-            ("stats".to_string(), self.stats.to_value()),
-        ];
-        if let Some(p) = &self.sim_perf {
-            fields.push(("sim_perf".to_string(), p.to_value()));
-        }
-        serde::Value::Object(fields)
-    }
-}
-
-impl Deserialize for StatsExport {
-    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
-        Ok(StatsExport {
-            schema_version: u32::from_value(v.field("schema_version")?)?,
-            workload: String::from_value(v.field("workload")?)?,
-            machine: String::from_value(v.field("machine")?)?,
-            mem_latency: u32::from_value(v.field("mem_latency")?)?,
-            exit: RunExit::from_value(v.field("exit")?)?,
-            stats: CoreStats::from_value(v.field("stats")?)?,
-            // Absent in documents from older writers (and in every
-            // deterministic artifact).
-            sim_perf: match v.field("sim_perf") {
-                Ok(val) => Option::<SimPerf>::from_value(val)?,
-                Err(_) => None,
-            },
-        })
-    }
-}
-
-impl StatsExport {
-    /// Build the export envelope around a finished run.
-    pub fn new(
-        workload: impl Into<String>,
-        machine: &str,
-        mem_latency: u32,
-        exit: RunExit,
-        stats: CoreStats,
-    ) -> Self {
-        StatsExport {
-            schema_version: SCHEMA_VERSION,
-            workload: workload.into(),
-            machine: machine.to_string(),
-            mem_latency,
-            exit,
-            stats,
-            sim_perf: None,
-        }
-    }
-
-    /// Attach a simulation-throughput block to the envelope.
-    pub fn with_sim_perf(mut self, perf: SimPerf) -> Self {
-        self.sim_perf = Some(perf);
-        self
-    }
-
-    /// Pretty-printed JSON document.
-    pub fn to_json(&self) -> String {
-        serde::json::to_string_pretty(self)
-    }
-
-    /// Parse a document produced by [`Self::to_json`]. Unknown fields are
-    /// ignored, so newer documents load under older readers as long as
-    /// the present fields keep their meaning.
-    pub fn from_json(s: &str) -> Result<Self, serde::Error> {
-        serde::json::from_str(s)
-    }
-}
+pub use spear_cpu::export::{SimPerf, StatsExport, SCHEMA_VERSION};
 
 impl RunOutcome {
     /// The export envelope for this outcome (latency defaulting to the
@@ -188,58 +43,6 @@ pub fn effective_mem_latency(machine: Machine, latency: Option<spear_mem::Latenc
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn round_trips_through_json() {
-        let mut stats = CoreStats {
-            cycles: 123,
-            committed: 456,
-            ..Default::default()
-        };
-        stats.cycle_account.useful_slots = 456;
-        stats.cycle_account.dload_miss = 528;
-        let doc = StatsExport::new("mcf", "SPEAR-128", 120, RunExit::Halted, stats);
-        let json = doc.to_json();
-        assert!(
-            !json.contains("sim_perf"),
-            "absent sim_perf is omitted, not null — deterministic envelopes \
-             must not change shape"
-        );
-        let back = StatsExport::from_json(&json).expect("valid JSON");
-        assert_eq!(doc, back);
-        assert_eq!(back.schema_version, SCHEMA_VERSION);
-    }
-
-    #[test]
-    fn sim_perf_block_round_trips_when_present() {
-        let stats = CoreStats {
-            cycles: 2_000_000,
-            committed: 1_000_000,
-            ..Default::default()
-        };
-        let perf = SimPerf::from_run(1_000_000, 2_000_000, std::time::Duration::from_millis(250));
-        assert_eq!(perf.wall_ms, 250);
-        assert!(
-            (perf.kips - 4000.0).abs() < 1e-6,
-            "1M insts / 0.25s = 4000 KIPS"
-        );
-        assert!((perf.cycles_per_sec - 8_000_000.0).abs() < 1e-3);
-        let doc =
-            StatsExport::new("mcf", "SPEAR-128", 120, RunExit::Halted, stats).with_sim_perf(perf);
-        let json = doc.to_json();
-        assert!(json.contains("\"sim_perf\""));
-        assert!(json.contains("\"kips\""));
-        let back = StatsExport::from_json(&json).expect("valid JSON");
-        assert_eq!(back.sim_perf, Some(perf));
-        assert!(!perf.summary().is_empty());
-    }
-
-    #[test]
-    fn zero_wall_time_does_not_divide_by_zero() {
-        let p = SimPerf::from_run(100, 100, std::time::Duration::ZERO);
-        assert!(p.kips.is_finite());
-        assert!(p.cycles_per_sec.is_finite());
-    }
 
     #[test]
     fn effective_latency_tracks_override() {

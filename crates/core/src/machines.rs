@@ -1,99 +1,8 @@
 //! The five machine models of the evaluation.
+//!
+//! The [`Machine`] enum itself lives in [`spear_cpu::machine`] so the
+//! campaign engine and the campaign server (`spear-serve`) can resolve
+//! machine names without depending on this top-level crate; it is
+//! re-exported here under its historical path.
 
-use serde::{Deserialize, Serialize};
-use spear_cpu::CoreConfig;
-use spear_mem::LatencyConfig;
-
-/// A machine model from the paper's evaluation (Figures 6 and 7).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Machine {
-    /// The baseline superscalar (Table 2, no SPEAR hardware).
-    Baseline,
-    /// SPEAR with a 128-entry IFQ.
-    Spear128,
-    /// SPEAR with a 256-entry IFQ.
-    Spear256,
-    /// SPEAR-128 with dedicated p-thread functional units (Figure 7).
-    SpearSf128,
-    /// SPEAR-256 with dedicated p-thread functional units (Figure 7).
-    SpearSf256,
-}
-
-impl Machine {
-    /// The three machines of Figure 6 / Table 3 / Figure 8 / Figure 9.
-    pub const FIG6: [Machine; 3] = [Machine::Baseline, Machine::Spear128, Machine::Spear256];
-
-    /// All five machines (Figure 7).
-    pub const ALL: [Machine; 5] = [
-        Machine::Baseline,
-        Machine::Spear128,
-        Machine::Spear256,
-        Machine::SpearSf128,
-        Machine::SpearSf256,
-    ];
-
-    /// The machine's display name (matching the paper's labels).
-    pub fn name(self) -> &'static str {
-        match self {
-            Machine::Baseline => "superscalar",
-            Machine::Spear128 => "SPEAR-128",
-            Machine::Spear256 => "SPEAR-256",
-            Machine::SpearSf128 => "SPEAR.sf-128",
-            Machine::SpearSf256 => "SPEAR.sf-256",
-        }
-    }
-
-    /// True for the models with SPEAR hardware.
-    pub fn is_spear(self) -> bool {
-        self != Machine::Baseline
-    }
-
-    /// Build the core configuration, optionally overriding the memory
-    /// latencies (the Figure 9 sweep).
-    pub fn config(self, latency: Option<LatencyConfig>) -> CoreConfig {
-        let mut cfg = match self {
-            Machine::Baseline => CoreConfig::baseline(),
-            Machine::Spear128 => CoreConfig::spear(128),
-            Machine::Spear256 => CoreConfig::spear(256),
-            Machine::SpearSf128 => CoreConfig::spear_sf(128),
-            Machine::SpearSf256 => CoreConfig::spear_sf(256),
-        };
-        if let Some(lat) = latency {
-            cfg.hier.latency = lat;
-        }
-        cfg
-    }
-}
-
-impl std::fmt::Display for Machine {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn names_match_paper_labels() {
-        assert_eq!(Machine::Spear128.name(), "SPEAR-128");
-        assert_eq!(Machine::SpearSf256.name(), "SPEAR.sf-256");
-    }
-
-    #[test]
-    fn configs_reflect_the_model() {
-        assert!(Machine::Baseline.config(None).spear.is_none());
-        let sf = Machine::SpearSf256.config(None);
-        assert!(sf.spear.is_some());
-        assert!(sf.separate_fu);
-        assert_eq!(sf.ifq_size, 256);
-    }
-
-    #[test]
-    fn latency_override_applies() {
-        let cfg = Machine::Spear128.config(Some(LatencyConfig::sweep_point(200)));
-        assert_eq!(cfg.hier.latency.memory, 200);
-        assert_eq!(cfg.hier.latency.l2_hit, 20);
-    }
-}
+pub use spear_cpu::machine::Machine;

@@ -17,10 +17,12 @@
 pub mod config;
 pub mod core;
 pub mod ctx;
+pub mod export;
 pub mod frontend;
 pub mod fu;
 pub mod hist;
 pub mod ifq;
+pub mod machine;
 pub mod obs;
 pub mod overlay;
 pub mod pipeline;
@@ -33,8 +35,10 @@ pub mod trace;
 pub use crate::core::{Core, RunResult, SimError};
 pub use config::{CoreConfig, OpLatencies, SpearConfig};
 pub use ctx::{CtxId, HwContext, MAIN_CTX, PTHREAD_CTX};
+pub use export::{SimPerf, StatsExport, SCHEMA_VERSION};
 pub use frontend::{BaselineFrontEnd, FrontEndExt};
 pub use hist::Histogram;
+pub use machine::Machine;
 pub use obs::{CounterSample, LifeRecord, DEFAULT_LIFECYCLE_CAP, DEFAULT_WINDOW_CYCLES};
 pub use ruu::{Ruu, SeqId};
 pub use stats::{CoreStats, CycleAccount, DloadProfile, RunExit, StallCause, WindowStat};

@@ -1,0 +1,85 @@
+//! A minimal HTTP/1.1 client for the control plane — enough for
+//! `spear-sim client`, the integration tests, and CI smoke scripts to
+//! talk to the server without external tooling.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// Issue one `method path` request against `addr` (`host:port`),
+/// returning `(status, body)`. Connections are one-shot
+/// (`Connection: close`); the control plane is low-traffic enough that
+/// connection reuse buys nothing.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| format!("cannot set read timeout: {e}"))?;
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(req.as_bytes())
+        .map_err(|e| format!("cannot send request to {addr}: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("cannot read response from {addr}: {e}"))?;
+    parse_response(&raw)
+}
+
+/// Split a raw HTTP/1.1 response into `(status, body)`.
+fn parse_response(raw: &[u8]) -> Result<(u16, String), String> {
+    let text = String::from_utf8_lossy(raw);
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return Err(format!("malformed HTTP response: {text:?}"));
+    };
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line `{status_line}`"))?;
+    // `Connection: close` + read_to_end means the body is simply the
+    // rest of the stream; Content-Length is advisory here.
+    Ok((status, body.to_string()))
+}
+
+/// Read the address a running server advertised in `<root>/server.addr`.
+pub fn read_server_addr(root: &Path) -> Result<String, String> {
+    let path = root.join("server.addr");
+    std::fs::read_to_string(&path)
+        .map(|s| s.trim().to_string())
+        .map_err(|e| {
+            format!(
+                "cannot read {} (is the server running?): {e}",
+                path.display()
+            )
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let raw = b"HTTP/1.1 201 Created\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        assert_eq!(parse_response(raw).unwrap(), (201, "{}".to_string()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 huh\r\n\r\n").is_err());
+    }
+}

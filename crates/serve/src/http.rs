@@ -1,0 +1,348 @@
+//! A deliberately small HTTP/1.1 layer: request parsing with hard
+//! limits, response writing, keep-alive and pipelining.
+//!
+//! The control plane serves a handful of JSON endpoints on localhost;
+//! pulling in a full web stack for that would dwarf the simulator
+//! itself, and the build environment has no registry access anyway.
+//! What *is* non-negotiable even for a toy server is input discipline:
+//! bounded header and body sizes, strict `Content-Length` handling, and
+//! clean errors for malformed requests — those are exactly the paths
+//! `tests/http_edge.rs` pins.
+
+use std::io::{BufRead, Write};
+
+/// Maximum bytes of request line + headers before the request is
+/// rejected with `431 Request Header Fields Too Large`.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// Maximum accepted `Content-Length`, rejected with `413 Content Too
+/// Large` above this. Sweep specs are a few hundred bytes; a megabyte
+/// is generous.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Method token, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as received (e.g. `/jobs/job-0001`).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value for `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Did the client ask to close the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Body as UTF-8 (lossy — the JSON parser will reject garbage).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The peer closed the connection before sending a request — the
+    /// normal end of a keep-alive connection, not an error to report.
+    Closed,
+    /// Request line + headers exceeded [`MAX_HEADER_BYTES`] → 431.
+    HeaderTooLarge,
+    /// `Content-Length` exceeded [`MAX_BODY_BYTES`] → 413.
+    BodyTooLarge,
+    /// Malformed request line, header, or `Content-Length` → 400.
+    BadRequest(String),
+    /// The socket failed mid-request; the connection is unusable.
+    Io(String),
+}
+
+impl ParseError {
+    /// The response to send back, if one can be sent at all.
+    pub fn response(&self) -> Option<Response> {
+        match self {
+            ParseError::Closed | ParseError::Io(_) => None,
+            ParseError::HeaderTooLarge => Some(Response::json(
+                431,
+                "{\"error\":\"request header fields too large\"}".into(),
+            )),
+            ParseError::BodyTooLarge => Some(Response::json(
+                413,
+                "{\"error\":\"request body too large\"}".into(),
+            )),
+            ParseError::BadRequest(msg) => Some(Response::error(400, msg)),
+        }
+    }
+}
+
+/// Read one request from `r`. Designed to be called in a loop over a
+/// `BufReader<TcpStream>`: buffered bytes beyond the current request
+/// are left in place, which is what makes pipelined requests work.
+pub fn read_request(r: &mut impl BufRead) -> Result<Request, ParseError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let line = read_line(r, &mut budget, true)?;
+    let mut parts = line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::BadRequest(format!(
+            "malformed request line `{line}`"
+        )));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(ParseError::BadRequest(format!(
+            "malformed request line `{line}`"
+        )));
+    }
+    if method.is_empty() || path.is_empty() {
+        return Err(ParseError::BadRequest("empty method or target".into()));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, &mut budget, false)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::BadRequest(format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let req = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    let len = match req.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ParseError::BadRequest(format!("invalid content-length `{v}`")))?,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(ParseError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|e| ParseError::Io(format!("short body read: {e}")))?;
+    Ok(Request { body, ..req })
+}
+
+/// Read one CRLF (or bare-LF) terminated line within the shared header
+/// byte budget. `first` distinguishes "connection closed before any
+/// request" from "connection died mid-request".
+fn read_line(r: &mut impl BufRead, budget: &mut usize, first: bool) -> Result<String, ParseError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return Err(if first && buf.is_empty() {
+                    ParseError::Closed
+                } else {
+                    ParseError::Io("connection closed mid-request".into())
+                });
+            }
+            Ok(_) => {}
+            Err(e) => return Err(ParseError::Io(e.to_string())),
+        }
+        if *budget == 0 {
+            return Err(ParseError::HeaderTooLarge);
+        }
+        *budget -= 1;
+        if byte[0] == b'\n' {
+            break;
+        }
+        buf.push(byte[0]);
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| ParseError::BadRequest("non-UTF-8 header bytes".into()))
+}
+
+/// A response to serialize onto the wire.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A plain-text response (used by `/metrics`).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+        }
+    }
+
+    /// A uniform JSON error body.
+    pub fn error(status: u16, msg: &str) -> Response {
+        Response::json(
+            status,
+            format!(
+                "{{\"error\":{}}}",
+                serde::json::to_string(&serde::Value::Str(msg.to_string()))
+            ),
+        )
+    }
+
+    /// Write the response; `keep_alive` picks the `Connection` header.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let req = parse("GET /jobs HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let req = parse("POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_an_error_report() {
+        let err = parse("").unwrap_err();
+        assert!(matches!(err, ParseError::Closed));
+        assert!(err.response().is_none());
+    }
+
+    #[test]
+    fn oversized_headers_are_rejected_with_431() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "a".repeat(MAX_HEADER_BYTES)
+        );
+        let err = parse(&raw).unwrap_err();
+        assert!(matches!(err, ParseError::HeaderTooLarge));
+        assert_eq!(err.response().unwrap().status, 431);
+    }
+
+    #[test]
+    fn bad_content_length_is_a_400() {
+        let err = parse("POST / HTTP/1.1\r\nContent-Length: four\r\n\r\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadRequest(_)));
+        assert_eq!(err.response().unwrap().status, 400);
+    }
+
+    #[test]
+    fn huge_content_length_is_a_413_without_reading_the_body() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = parse(&raw).unwrap_err();
+        assert!(matches!(err, ParseError::BodyTooLarge));
+        assert_eq!(err.response().unwrap().status, 413);
+    }
+
+    #[test]
+    fn malformed_request_line_is_a_400() {
+        for raw in ["GARBAGE\r\n\r\n", "GET /\r\n\r\n", "GET / SPDY/9\r\n\r\n"] {
+            let err = parse(raw).unwrap_err();
+            assert!(matches!(err, ParseError::BadRequest(_)), "raw={raw:?}");
+        }
+    }
+
+    #[test]
+    fn two_pipelined_requests_parse_back_to_back() {
+        let raw = "POST /jobs HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+                   GET /metrics HTTP/1.1\r\n\r\n";
+        let mut cur = Cursor::new(raw.as_bytes().to_vec());
+        let a = read_request(&mut cur).unwrap();
+        assert_eq!((a.method.as_str(), a.body.as_slice()), ("POST", &b"hi"[..]));
+        let b = read_request(&mut cur).unwrap();
+        assert_eq!((b.method.as_str(), b.path.as_str()), ("GET", "/metrics"));
+        assert!(matches!(
+            read_request(&mut cur).unwrap_err(),
+            ParseError::Closed
+        ));
+    }
+
+    #[test]
+    fn response_wire_format_has_content_length_and_connection() {
+        let mut out = Vec::new();
+        Response::json(201, "{\"id\":\"j\"}".into())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 201 Created\r\n"));
+        assert!(text.contains("Content-Length: 10\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"id\":\"j\"}"));
+    }
+}

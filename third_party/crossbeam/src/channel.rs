@@ -1,0 +1,338 @@
+//! The bounded multi-producer/multi-consumer channel subset of
+//! `crossbeam-channel`, over `std::sync::{Mutex, Condvar}`.
+//!
+//! Semantics match crossbeam where the workspace relies on them:
+//!
+//! - [`bounded`] creates a channel holding at most `cap` queued messages;
+//! - [`Sender::try_send`] never blocks: a full queue yields
+//!   [`TrySendError::Full`] (the backpressure signal the campaign server
+//!   turns into HTTP 429);
+//! - [`Receiver::recv`] blocks until a message or disconnection (every
+//!   `Sender` dropped), [`Receiver::recv_timeout`] bounds the wait;
+//! - dropping all receivers disconnects the senders and vice versa.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// `try_send` failure: the queue is full or every receiver is gone.
+/// The message is handed back either way.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue holds `cap` messages.
+    Full(T),
+    /// Every [`Receiver`] has been dropped.
+    Disconnected(T),
+}
+
+/// `send` failure: every [`Receiver`] has been dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// `recv` failure: the queue is empty and every [`Sender`] is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// `recv_timeout` failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the timeout.
+    Timeout,
+    /// The queue is empty and every [`Sender`] is gone.
+    Disconnected,
+}
+
+/// `try_recv` failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty.
+    Empty,
+    /// The queue is empty and every [`Sender`] is gone.
+    Disconnected,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half; cloneable across threads.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half; cloneable across threads.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// A channel holding at most `cap` queued messages (`cap >= 1`).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap >= 1, "bounded channel capacity must be at least 1");
+    let chan = Arc::new(Chan {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::with_capacity(cap),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Queue `t` without blocking, or hand it back if the queue is full
+    /// or disconnected.
+    pub fn try_send(&self, t: T) -> Result<(), TrySendError<T>> {
+        let mut g = self.chan.inner.lock().expect("channel poisoned");
+        if g.receivers == 0 {
+            return Err(TrySendError::Disconnected(t));
+        }
+        if g.queue.len() >= g.cap {
+            return Err(TrySendError::Full(t));
+        }
+        g.queue.push_back(t);
+        drop(g);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Queue `t`, blocking while the queue is full.
+    pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+        let mut g = self.chan.inner.lock().expect("channel poisoned");
+        loop {
+            if g.receivers == 0 {
+                return Err(SendError(t));
+            }
+            if g.queue.len() < g.cap {
+                g.queue.push_back(t);
+                drop(g);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            g = self.chan.not_full.wait(g).expect("channel poisoned");
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Take the oldest message, blocking until one arrives or every
+    /// sender disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut g = self.chan.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(t) = g.queue.pop_front() {
+                drop(g);
+                self.chan.not_full.notify_one();
+                return Ok(t);
+            }
+            if g.senders == 0 {
+                return Err(RecvError);
+            }
+            g = self.chan.not_empty.wait(g).expect("channel poisoned");
+        }
+    }
+
+    /// [`Receiver::recv`] bounded by `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.chan.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(t) = g.queue.pop_front() {
+                drop(g);
+                self.chan.not_full.notify_one();
+                return Ok(t);
+            }
+            if g.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, res) = self
+                .chan
+                .not_empty
+                .wait_timeout(g, deadline - now)
+                .expect("channel poisoned");
+            g = guard;
+            if res.timed_out() && g.queue.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Take the oldest message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut g = self.chan.inner.lock().expect("channel poisoned");
+        if let Some(t) = g.queue.pop_front() {
+            drop(g);
+            self.chan.not_full.notify_one();
+            return Ok(t);
+        }
+        if g.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.inner.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.inner.lock().expect("channel poisoned").receivers += 1;
+        Receiver {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut g = self.chan.inner.lock().expect("channel poisoned");
+        g.senders -= 1;
+        if g.senders == 0 {
+            drop(g);
+            // Wake blocked receivers so they observe the disconnect.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut g = self.chan.inner.lock().expect("channel poisoned");
+        g.receivers -= 1;
+        if g.receivers == 0 {
+            drop(g);
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn try_send_signals_full_and_drains_in_fifo_order() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn recv_blocks_until_a_send_from_another_thread() {
+        let (tx, rx) = bounded(1);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(42).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(42));
+    }
+
+    #[test]
+    fn dropping_all_senders_disconnects_after_draining() {
+        let (tx, rx) = bounded(4);
+        tx.try_send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7), "queued messages survive disconnect");
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn dropping_the_receiver_fails_sends() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.try_send(1), Err(TrySendError::Disconnected(1)));
+        assert_eq!(tx.send(2), Err(SendError(2)));
+    }
+
+    #[test]
+    fn recv_timeout_expires_on_an_empty_channel() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.try_send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn cloned_handles_share_the_queue() {
+        let (tx, rx) = bounded(8);
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx.try_send(1).unwrap();
+        tx2.try_send(2).unwrap();
+        assert_eq!(rx2.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        // One sender dropped is not a disconnect while the clone lives.
+        drop(tx);
+        tx2.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(3));
+    }
+}

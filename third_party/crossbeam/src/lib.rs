@@ -1,10 +1,14 @@
 //! Offline stand-in for `crossbeam`: the scoped-thread API the runner
 //! uses, implemented over `std::thread::scope` (available since Rust
-//! 1.63, so the crossbeam implementation is no longer load-bearing).
+//! 1.63, so the crossbeam implementation is no longer load-bearing),
+//! plus the bounded-[`channel`] subset the campaign server's job queue
+//! uses, implemented over `std::sync` primitives.
 //!
 //! As in crossbeam, `scope` returns `Err` (instead of unwinding) when a
 //! child thread panicked, and spawn closures receive a scope handle so
 //! they could spawn further threads.
+
+pub mod channel;
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
