@@ -43,6 +43,17 @@ impl Bimodal {
         }
     }
 
+    /// Number of counters in the table.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table;
+    /// present for the `len`/`is_empty` idiom).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
     /// The counter table (for checkpointing warm predictor state).
     pub fn snapshot(&self) -> Vec<u8> {
         self.table.clone()
@@ -105,6 +116,21 @@ impl Gshare {
             *c = c.saturating_sub(1);
         }
         self.history = ((self.history << 1) | taken as u32) & ((1 << self.hist_bits) - 1);
+    }
+
+    /// Number of counters in the table.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Global history length in bits.
+    pub fn history_bits(&self) -> u32 {
+        self.hist_bits
     }
 
     /// Counter table and history register (for checkpointing).

@@ -1,0 +1,222 @@
+//! TAGE behavioural tests: provider/alt selection, allocation on
+//! mispredict, useful-bit aging, snapshot round-trips, and bit-exact
+//! determinism — all through the public `BranchPredictor` surface.
+
+use spear_bpred::{
+    BranchPredictor, DirSnapshot, Predictor, PredictorConfig, PredictorKind, Tage, TageConfig,
+};
+
+fn fresh(cfg: TageConfig) -> Tage {
+    Tage::new(2048, cfg)
+}
+
+fn counter(t: &Tage, name: &str) -> u64 {
+    t.detail()
+        .expect("tage exports detail")
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("no counter `{name}`"))
+}
+
+/// A periodic direction stream (period `period`, mixed bit pattern):
+/// history-dependent, so tagged tables — not the base bimodal — must
+/// carry the prediction. Returns the number of correct predictions.
+fn drive_pattern(t: &mut Tage, pc: u32, rounds: usize, period: usize) -> usize {
+    let mut correct = 0;
+    for i in 0..rounds {
+        let taken = (0xB5u32 >> (i % period)) & 1 == 1;
+        if t.predict(pc) == taken {
+            correct += 1;
+        }
+        t.update(pc, taken);
+    }
+    correct
+}
+
+/// A deterministic pseudorandom stream: unlearnable, so it applies
+/// maximum allocation pressure.
+fn drive_noise(t: &mut Tage, pc: u32, rounds: u32) {
+    for i in 0..rounds {
+        let taken = (i.wrapping_mul(2654435761)).count_ones() % 2 == 0;
+        t.predict(pc);
+        t.update(pc, taken);
+    }
+}
+
+#[test]
+fn provider_vs_altpred_selection_is_exercised_and_counted() {
+    let mut t = fresh(TageConfig::default_spec());
+    drive_pattern(&mut t, 0x4A31, 6000, 6);
+    // Tagged entries were allocated, became providers, and for a while
+    // (newly allocated, weak) the alternative prediction overrode them.
+    assert!(counter(&t, "allocations") > 0, "mispredicts must allocate");
+    assert!(
+        counter(&t, "provider_tagged") > 0,
+        "allocated entries must provide predictions"
+    );
+    assert!(
+        counter(&t, "alt_used") > 0,
+        "weak new providers must defer to the alternative at least once"
+    );
+    assert!(counter(&t, "provider_base") > 0, "cold start uses the base");
+}
+
+#[test]
+fn mispredict_allocates_a_tagged_entry() {
+    let mut t = fresh(TageConfig::default_spec());
+    let pc = 0x1234;
+    // A fresh predictor predicts not-taken (base counters weakly NT), so
+    // a taken branch is a mispredict and must allocate.
+    assert!(!t.predict(pc));
+    assert_eq!(counter(&t, "allocations"), 0);
+    t.update(pc, true);
+    assert_eq!(counter(&t, "allocations"), 1);
+    let DirSnapshot::Tage(s) = t.snapshot() else {
+        panic!("tage snapshot")
+    };
+    let live_tags: usize = s.tags.iter().flatten().filter(|&&tag| tag != 0).count();
+    let weak_entries: usize = s
+        .ctrs
+        .iter()
+        .flatten()
+        .filter(|&&c| c == 4) // allocated weakly-taken
+        .count();
+    assert_eq!(live_tags, 1, "exactly one entry allocated");
+    assert_eq!(weak_entries, 1, "allocation starts weak");
+}
+
+#[test]
+fn allocation_failure_ages_candidate_useful_bits() {
+    // One tiny single-entry table: once its entry is useful (u > 0),
+    // further mispredicts cannot allocate and must age it back down.
+    let cfg = TageConfig {
+        tables: 1,
+        table_bits: 1,
+        ..TageConfig::default_spec()
+    };
+    let mut t = Tage::new(16, cfg);
+    drive_noise(&mut t, 0x77, 4000);
+    assert!(
+        counter(&t, "allocation_fails") > 0,
+        "a saturated table must report failed allocations"
+    );
+}
+
+#[test]
+fn useful_bits_decay_on_the_configured_period() {
+    let cfg = TageConfig {
+        u_decay_period: 64,
+        ..TageConfig::default_spec()
+    };
+    let mut t = fresh(cfg);
+    drive_pattern(&mut t, 0x9E1, 1000, 6);
+    assert_eq!(
+        counter(&t, "u_decays"),
+        1000 / 64,
+        "one halving per period of updates"
+    );
+}
+
+#[test]
+fn snapshot_restore_round_trips_history_and_tables() {
+    let mut a = fresh(TageConfig::default_spec());
+    drive_pattern(&mut a, 0xBEEF, 3000, 7);
+    let snap = a.snapshot();
+
+    let mut b = fresh(TageConfig::default_spec());
+    b.restore(&snap).expect("same geometry restores");
+    assert_eq!(b.snapshot(), snap, "restore is lossless");
+    // Detail counters reset: a restored predictor measures only itself.
+    assert_eq!(counter(&b, "provider_tagged"), 0);
+
+    // From here on, both predictors see the same stream and must agree
+    // bit-for-bit — history (including the cross-word high bits) and
+    // every table carried over.
+    for i in 0..500u32 {
+        let pc = 0xBEEF + (i % 3);
+        let taken = i.count_ones() % 2 == 0;
+        assert_eq!(a.predict(pc), b.predict(pc), "diverged at step {i}");
+        a.update(pc, taken);
+        b.update(pc, taken);
+    }
+    assert_eq!(a.snapshot(), b.snapshot());
+}
+
+#[test]
+fn restore_rejects_wrong_geometry_loudly() {
+    let snap = fresh(TageConfig::default_spec()).snapshot();
+    // Different tagged-table count.
+    let mut t = fresh(TageConfig {
+        tables: 3,
+        ..TageConfig::default_spec()
+    });
+    let err = t.restore(&snap).unwrap_err();
+    assert!(err.contains("tagged tables"), "{err}");
+    // Different per-table entry count.
+    let mut t = fresh(TageConfig {
+        table_bits: 9,
+        ..TageConfig::default_spec()
+    });
+    let err = t.restore(&snap).unwrap_err();
+    assert!(err.contains("entries"), "{err}");
+    // Different base sizing.
+    let mut t = Tage::new(1024, TageConfig::default_spec());
+    let err = t.restore(&snap).unwrap_err();
+    assert!(err.contains("base table"), "{err}");
+    // Wrong kind entirely.
+    let mut t = fresh(TageConfig::default_spec());
+    let err = t
+        .restore(&DirSnapshot::Bimodal {
+            counters: vec![1; 2048],
+        })
+        .unwrap_err();
+    assert!(err.contains("bimodal") && err.contains("tage"), "{err}");
+}
+
+#[test]
+fn two_identical_runs_are_bit_identical() {
+    let mut a = fresh(TageConfig::default_spec());
+    let mut b = fresh(TageConfig::default_spec());
+    for i in 0..5000u32 {
+        let pc = (i.wrapping_mul(2654435761)) % 977;
+        let taken = (i ^ (i >> 3)).count_ones() % 2 == 0;
+        assert_eq!(a.predict(pc), b.predict(pc));
+        a.update(pc, taken);
+        b.update(pc, taken);
+    }
+    assert_eq!(a.snapshot(), b.snapshot(), "no hidden nondeterminism");
+    assert_eq!(a.detail(), b.detail());
+}
+
+#[test]
+fn facade_runs_tage_end_to_end_and_beats_bimodal_on_history() {
+    use spear_isa::reg::*;
+    use spear_isa::{Inst, Opcode};
+    let b = Inst::new(Opcode::Bne, R0, R1, R0, 5);
+    let run = |kind: PredictorKind| {
+        let cfg = PredictorConfig {
+            kind,
+            ..PredictorConfig::paper()
+        };
+        let mut p = Predictor::new(cfg);
+        let pattern = [true, false, false, true, false, true];
+        let mut correct = 0;
+        for i in 0..3000 {
+            let taken = pattern[i % pattern.len()];
+            let pred = p.predict(100, &b);
+            if pred.taken == Some(taken) {
+                correct += 1;
+            }
+            p.update(100, &b, taken, 5, Some(pred));
+        }
+        correct
+    };
+    let tage = run(PredictorKind::Tage);
+    let bimodal = run(PredictorKind::Bimodal);
+    assert!(
+        tage > bimodal + 500,
+        "tage {tage} vs bimodal {bimodal} on a period-6 pattern"
+    );
+}

@@ -30,9 +30,13 @@ use spear_mem::{AccessKind, HierConfig, HierSnapshot, Hierarchy};
 ///
 /// v1 stored the memory image as plain hex (two characters per byte,
 /// even for the untouched zero pages that dominate a data image); v2
-/// stores zero-eliding RLE-hex (see [`to_rle_hex`]). v1 documents are
+/// stores zero-eliding RLE-hex (see [`to_rle_hex`]); v3 replaces the
+/// flat bimodal/gshare predictor snapshot with the kind-tagged
+/// polymorphic `PredictorSnapshot` (direction state under a `dir`
+/// envelope whose `kind` tag names the predictor, so a checkpoint can
+/// never silently restore into the wrong predictor). Old documents are
 /// rejected loudly by version before any field is decoded.
-pub const CHECKPOINT_VERSION: u32 = 2;
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// A restorable simulation state at an instruction boundary.
 #[derive(Clone, Debug)]
@@ -429,7 +433,7 @@ mod tests {
                      "regs": [], "mem_hex": "00ff"}"#;
         let err = Checkpoint::from_json(v1).unwrap_err();
         assert!(
-            err.contains("version 1 unsupported (expected 2)"),
+            err.contains("version 1 unsupported (expected 3)"),
             "the version gate must fire before field decoding: {err}"
         );
     }
@@ -529,6 +533,23 @@ mod tests {
         assert!(warm_valid > 0, "functional warming filled L1D lines");
         // The loop branch trained the bimodal table away from its reset
         // state (all counters weakly-not-taken = 1).
-        assert!(warm.pred.bimodal.iter().any(|&c| c != 1));
+        let spear_bpred::DirSnapshot::Bimodal { counters } = &warm.pred.dir else {
+            panic!("paper default is bimodal, got {:?}", warm.pred.dir.kind());
+        };
+        assert!(counters.iter().any(|&c| c != 1));
+    }
+
+    #[test]
+    fn warming_respects_the_configured_predictor_kind() {
+        let p = chase_program(100);
+        let cfg = PredictorConfig::paper().with_spec("tage").unwrap();
+        let set =
+            capture_interval_checkpoints(&p, "chase", HierConfig::paper(), cfg, 200, 1, 1_000_000)
+                .unwrap();
+        let warm = &set.checkpoints[1];
+        assert_eq!(warm.pred.dir.kind(), spear_bpred::PredictorKind::Tage);
+        // And the tagged payload survives the JSON round trip.
+        let back = Checkpoint::from_json(&warm.to_json()).expect("round trip");
+        assert_eq!(back.pred, warm.pred);
     }
 }

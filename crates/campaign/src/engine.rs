@@ -1,5 +1,5 @@
 //! The resumable campaign engine: a crash-safe work queue over
-//! (workload, machine, latency, interval) cells.
+//! (workload, machine, predictor, latency, interval) cells.
 //!
 //! A campaign lives in a directory:
 //!
@@ -16,17 +16,20 @@
 //! signature of a mid-write crash — is tolerated and re-run), and
 //! continues. Two phases:
 //!
-//! 1. **prepare** (one job per workload, parallel): compile the p-thread
-//!    table, then one functional pass capturing a warm checkpoint at each
-//!    sampled interval start (see [`crate::checkpoint`]);
+//! 1. **prepare** (one job per workload × predictor spec, parallel):
+//!    compile the p-thread table, then one functional pass capturing a
+//!    warm checkpoint at each sampled interval start (see
+//!    [`crate::checkpoint`]);
 //! 2. **simulate** (one job per cell, parallel): build a core, restore
 //!    the interval's checkpoint, run for the interval's instruction
 //!    budget, persist the statistics.
 //!
-//! Checkpoints are keyed by workload only: the warm substrate (cache
-//! geometry, predictor sizing) is identical across the five machine
-//! models and the latency sweep, so one functional pass serves every
-//! (machine, latency) point.
+//! Checkpoints are keyed by (workload, predictor spec): the cache
+//! geometry is identical across the five machine models and the latency
+//! sweep, but the warmer trains the *configured* predictor, so a
+//! predictor sweep needs one functional pass per distinct spec. Each
+//! pass still serves every (machine, latency) point that uses the same
+//! predictor.
 
 use crate::checkpoint::{capture_interval_checkpoints, CheckpointSet};
 use crate::sample::{aggregate, plan_intervals, Aggregate, Interval, SampleSpec};
@@ -44,7 +47,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Version of the per-cell JSONL record format. Bump on breaking change.
-pub const CELL_SCHEMA_VERSION: u32 = 1;
+///
+/// v1 keyed cells by (workload, machine, latency, interval); v2 adds the
+/// branch-predictor spec label as a first-class axis of the cell key and
+/// the manifest fingerprint.
+pub const CELL_SCHEMA_VERSION: u32 = 2;
 
 /// Cycle ceiling per cell, so one pathological cell cannot hang a
 /// campaign (same ceiling the full-run experiment runner uses).
@@ -99,6 +106,9 @@ pub struct CellResult {
     pub workload: String,
     /// Machine model name.
     pub machine: String,
+    /// Canonical branch-predictor spec label (`bimodal` for the paper
+    /// default; see `spear_bpred::PredictorConfig::spec_label`).
+    pub bpred: String,
     /// Main-memory latency in cycles.
     pub mem_latency: u32,
     /// Interval index within the workload.
@@ -116,7 +126,7 @@ pub struct CellResult {
     pub stats: CoreStats,
 }
 
-type CellKey = (String, String, u32, u64);
+type CellKey = (String, String, String, u32, u64);
 
 impl CellResult {
     /// The cell's identity within a campaign.
@@ -124,6 +134,7 @@ impl CellResult {
         (
             self.workload.clone(),
             self.machine.clone(),
+            self.bpred.clone(),
             self.mem_latency,
             self.interval,
         )
@@ -186,13 +197,23 @@ impl RunSummary {
     }
 }
 
+/// One sweep point as pinned by the manifest: machine model, predictor
+/// spec label, memory latency. (A named struct rather than a tuple —
+/// the vendored serde derives only pair tuples.)
+#[derive(PartialEq, Serialize, Deserialize)]
+struct ManifestPoint {
+    machine: String,
+    bpred: String,
+    mem_latency: u32,
+}
+
 /// The manifest pins the campaign's shape so a resume into the wrong
 /// directory fails loudly instead of silently mixing results.
 #[derive(PartialEq, Serialize, Deserialize)]
 struct ManifestDoc {
     version: u32,
     workloads: Vec<String>,
-    points: Vec<(String, u32)>,
+    points: Vec<ManifestPoint>,
     interval_len: u64,
     stride: u64,
     window: Option<u64>,
@@ -212,6 +233,9 @@ pub struct Campaign {
 pub struct WorkloadData {
     /// Workload name.
     pub name: String,
+    /// Canonical spec label of the predictor the warmer trained (the
+    /// checkpoints carry this predictor's state).
+    pub bpred: String,
     /// Evaluation binary with the compiled p-thread table attached.
     pub binary: SpearBinary,
     /// Warm checkpoints at each sampled interval start.
@@ -238,7 +262,8 @@ impl WorkloadData {
     }
 }
 
-/// One unit of phase-2 work.
+/// One unit of phase-2 work. `w` indexes the prepared shard list
+/// (workload-major, predictor-minor), `p` the sweep points.
 struct Cell {
     w: usize,
     p: usize,
@@ -267,7 +292,11 @@ impl Campaign {
                 .spec
                 .points
                 .iter()
-                .map(|p| (p.machine.clone(), p.mem_latency))
+                .map(|p| ManifestPoint {
+                    machine: p.machine.clone(),
+                    bpred: p.config.bpred.spec_label(),
+                    mem_latency: p.mem_latency,
+                })
                 .collect(),
             interval_len: self.spec.sample.interval_len,
             stride: self.spec.sample.stride,
@@ -410,16 +439,41 @@ impl Campaign {
             self.spec.threads
         };
 
-        // Phase 1: compile + functional checkpointing, one job/workload.
+        // Phase 1: compile + functional checkpointing, one job per
+        // (workload, distinct predictor spec) — the warmer trains the
+        // configured predictor, so each spec needs its own warm shards.
         // With a shard cache, warm state built by an earlier job (or an
         // earlier workload of this one) is reused instead of rebuilt.
         let sample = self.spec.sample;
+        let mut bpreds: Vec<(String, spear_bpred::PredictorConfig)> = Vec::new();
+        for p in &self.spec.points {
+            let label = p.config.bpred.spec_label();
+            if !bpreds.iter().any(|(l, _)| *l == label) {
+                bpreds.push((label, p.config.bpred));
+            }
+        }
+        // Which prepared shard each sweep point uses.
+        let point_shard: Vec<usize> = self
+            .spec
+            .points
+            .iter()
+            .map(|p| {
+                let label = p.config.bpred.spec_label();
+                bpreds.iter().position(|(l, _)| *l == label).expect("seen")
+            })
+            .collect();
+        let prep: Vec<(String, spear_bpred::PredictorConfig)> = self
+            .spec
+            .workloads
+            .iter()
+            .flat_map(|name| bpreds.iter().map(move |(_, cfg)| (name.clone(), *cfg)))
+            .collect();
         let prepared: Vec<Result<Arc<WorkloadData>, String>> =
-            parallel_map(&self.spec.workloads, threads, |name| match opts.cache {
-                Some(cache) => {
-                    cache.get_or_create(name, &sample, || prepare_workload(name, &sample))
-                }
-                None => prepare_workload(name, &sample).map(Arc::new),
+            parallel_map(&prep, threads, |(name, cfg)| match opts.cache {
+                Some(cache) => cache.get_or_create(name, &cfg.spec_label(), &sample, || {
+                    prepare_workload(name, *cfg, &sample)
+                }),
+                None => prepare_workload(name, *cfg, &sample).map(Arc::new),
             });
         let mut wds = Vec::with_capacity(prepared.len());
         for r in prepared {
@@ -429,18 +483,25 @@ impl Campaign {
         // Enumerate cells in deterministic order and drop completed ones.
         let mut pending = Vec::new();
         let mut total: u64 = 0;
-        for (w, wd) in wds.iter().enumerate() {
+        for w in 0..self.spec.workloads.len() {
             for (p, point) in self.spec.points.iter().enumerate() {
+                let shard = w * bpreds.len() + point_shard[p];
+                let wd = &wds[shard];
                 for &interval in &wd.intervals {
                     total += 1;
                     let key = (
                         wd.name.clone(),
                         point.machine.clone(),
+                        wd.bpred.clone(),
                         point.mem_latency,
                         interval.index,
                     );
                     if !done.contains(&key) {
-                        pending.push(Cell { w, p, interval });
+                        pending.push(Cell {
+                            w: shard,
+                            p,
+                            interval,
+                        });
                     }
                 }
             }
@@ -535,8 +596,8 @@ impl Campaign {
                                 }
                             }
                             let fingerprint = format!(
-                                "{}/{}/{}/{}",
-                                res.workload, res.machine, res.mem_latency, res.interval
+                                "{}/{}/{}/{}/{}",
+                                res.workload, res.machine, res.bpred, res.mem_latency, res.interval
                             );
                             wall_sum_ms.fetch_add(res.wall_ms, Ordering::SeqCst);
                             committed_sum.fetch_add(res.stats.committed, Ordering::SeqCst);
@@ -639,6 +700,7 @@ pub fn write_aggregate_envelopes(
         let halted = results.iter().any(|c| {
             c.workload == a.workload
                 && c.machine == a.machine
+                && c.bpred == a.bpred
                 && c.mem_latency == a.mem_latency
                 && c.exit == RunExit::Halted
         });
@@ -652,13 +714,27 @@ pub fn write_aggregate_envelopes(
                 RunExit::InstBudget
             },
             a.stats.clone(),
-        );
-        let file = agg_dir.join(format!(
-            "{}-{}-{}.json",
-            a.workload,
-            a.machine.replace('.', "_"),
-            a.mem_latency
-        ));
+        )
+        .with_bpred(&a.bpred);
+        // Default-predictor groups keep the historical filename; other
+        // predictors insert their sanitized spec label so a sweep's
+        // groups never collide.
+        let file = if a.bpred == "bimodal" {
+            agg_dir.join(format!(
+                "{}-{}-{}.json",
+                a.workload,
+                a.machine.replace('.', "_"),
+                a.mem_latency
+            ))
+        } else {
+            agg_dir.join(format!(
+                "{}-{}-{}-{}.json",
+                a.workload,
+                a.machine.replace('.', "_"),
+                a.bpred.replace([':', ',', '='], "_"),
+                a.mem_latency
+            ))
+        };
         std::fs::write(&file, doc.to_json())
             .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
         written.push(file);
@@ -802,24 +878,30 @@ pub fn workload_timings(results: &[CellResult]) -> Vec<WorkloadTiming> {
     out
 }
 
-/// Phase 1 for one workload: compile the p-thread table against the
-/// profiling input, attach it to the evaluation image, and capture warm
-/// checkpoints at every sampled interval boundary.
-fn prepare_workload(name: &str, sample: &SampleSpec) -> Result<WorkloadData, String> {
+/// Phase 1 for one (workload, predictor spec): compile the p-thread
+/// table against the profiling input, attach it to the evaluation image,
+/// and capture warm checkpoints at every sampled interval boundary. The
+/// warmer trains `bpred_cfg`'s predictor, so the checkpoints restore
+/// only into cores configured with the same spec.
+fn prepare_workload(
+    name: &str,
+    bpred_cfg: spear_bpred::PredictorConfig,
+    sample: &SampleSpec,
+) -> Result<WorkloadData, String> {
     let w = spear_workloads::by_name(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
     let profile = w.profile_program();
     let (compiled, _report) = SpearCompiler::new(CompilerConfig::default())
         .compile(&profile)
         .map_err(|e| format!("{name}: compile failed: {e}"))?;
     let binary = SpearCompiler::attach(w.eval_program(), compiled.table);
-    // The warm substrate is machine-independent: Table 2 geometry and
-    // predictor sizing are shared by every evaluated model, so these
-    // checkpoints serve all (machine, latency) points.
+    // The cache substrate is machine-independent (Table 2 geometry is
+    // shared by every evaluated model), so these checkpoints serve all
+    // (machine, latency) points that share the predictor spec.
     let set = capture_interval_checkpoints(
         &binary.program,
         name,
         spear_mem::HierConfig::paper(),
-        spear_bpred::PredictorConfig::paper(),
+        bpred_cfg,
         sample.interval_len,
         sample.stride,
         MAX_FUNCTIONAL_INSTS,
@@ -828,6 +910,7 @@ fn prepare_workload(name: &str, sample: &SampleSpec) -> Result<WorkloadData, Str
     debug_assert_eq!(intervals.len(), set.checkpoints.len());
     Ok(WorkloadData {
         name: name.to_string(),
+        bpred: bpred_cfg.spec_label(),
         binary,
         set,
         intervals,
@@ -842,6 +925,11 @@ fn run_cell(
     interval: Interval,
     window: Option<u64>,
 ) -> Result<CellResult, String> {
+    debug_assert_eq!(
+        wd.bpred,
+        point.config.bpred.spec_label(),
+        "cell paired with a shard warmed for a different predictor"
+    );
     let cp = wd.set.at(interval.start_inst).ok_or_else(|| {
         format!(
             "{}: no checkpoint at instruction {}",
@@ -867,6 +955,7 @@ fn run_cell(
         schema_version: CELL_SCHEMA_VERSION,
         workload: wd.name.clone(),
         machine: point.machine.clone(),
+        bpred: wd.bpred.clone(),
         mem_latency: point.mem_latency,
         interval: interval.index,
         start_inst: interval.start_inst,

@@ -13,13 +13,14 @@
 //! * **Checkpointing** ([`checkpoint`]): the warm state at each sampled
 //!   interval boundary — architectural registers, memory image, PC, plus
 //!   cache contents/LRU and predictor tables — is captured once per
-//!   workload and restored into a fresh cycle core per (machine,
-//!   latency) cell. The substrate is machine-independent (Table 2
-//!   geometry is shared by all five models), so one functional pass
-//!   serves the whole sweep.
+//!   (workload, predictor spec) and restored into a fresh cycle core per
+//!   (machine, latency) cell. The cache substrate is machine-independent
+//!   (Table 2 geometry is shared by all five models), so one functional
+//!   pass serves every sweep point that shares the predictor.
 //!
 //! The [`engine`] module turns the resulting (workload, machine,
-//! latency, interval) cells into a crash-safe parallel work queue: each
+//! predictor, latency, interval) cells into a crash-safe parallel work
+//! queue: each
 //! finished cell is flushed to an append-only `cells.jsonl` in the
 //! campaign directory, and a restarted campaign skips everything already
 //! on disk. Aggregation sorts cells by their full key before merging, so
@@ -271,8 +272,8 @@ mod engine_tests {
         assert!(hb.kips > 0.0);
         assert_eq!(
             hb.last_cell.split('/').count(),
-            4,
-            "workload/machine/latency/interval: {}",
+            5,
+            "workload/machine/bpred/latency/interval: {}",
             hb.last_cell
         );
         let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();

@@ -70,14 +70,17 @@ pub fn plan_intervals(total_insts: u64, spec: &SampleSpec) -> Vec<Interval> {
     out
 }
 
-/// The weighted aggregate of one (workload, machine, latency) group of
-/// cell results.
+/// The weighted aggregate of one (workload, machine, predictor, latency)
+/// group of cell results.
 #[derive(Clone, Debug)]
 pub struct Aggregate {
     /// Workload name.
     pub workload: String,
     /// Machine model name.
     pub machine: String,
+    /// Canonical branch-predictor spec label (`bimodal` for the paper
+    /// default).
+    pub bpred: String,
     /// Main-memory latency in cycles.
     pub mem_latency: u32,
     /// Summed statistics over the group's sampled intervals.
@@ -108,7 +111,7 @@ impl Aggregate {
 }
 
 /// Fold per-cell results into one [`Aggregate`] per (workload, machine,
-/// latency) group.
+/// predictor, latency) group.
 ///
 /// Deterministic by construction: cells are sorted by their full key
 /// before merging, so the output is byte-identical no matter how many
@@ -117,9 +120,10 @@ impl Aggregate {
 pub fn aggregate(results: &[CellResult]) -> Vec<Aggregate> {
     let mut sorted: Vec<&CellResult> = results.iter().collect();
     sorted.sort_by(|a, b| {
-        (&a.workload, &a.machine, a.mem_latency, a.interval).cmp(&(
+        (&a.workload, &a.machine, &a.bpred, a.mem_latency, a.interval).cmp(&(
             &b.workload,
             &b.machine,
+            &b.bpred,
             b.mem_latency,
             b.interval,
         ))
@@ -129,12 +133,14 @@ pub fn aggregate(results: &[CellResult]) -> Vec<Aggregate> {
         let key_matches = out.last().is_some_and(|a| {
             a.workload == cell.workload
                 && a.machine == cell.machine
+                && a.bpred == cell.bpred
                 && a.mem_latency == cell.mem_latency
         });
         if !key_matches {
             out.push(Aggregate {
                 workload: cell.workload.clone(),
                 machine: cell.machine.clone(),
+                bpred: cell.bpred.clone(),
                 mem_latency: cell.mem_latency,
                 stats: CoreStats::default(),
                 cells: 0,
@@ -203,6 +209,7 @@ mod tests {
             schema_version: crate::engine::CELL_SCHEMA_VERSION,
             workload: w.to_string(),
             machine: m.to_string(),
+            bpred: "bimodal".to_string(),
             mem_latency: lat,
             interval: iv,
             start_inst: iv * 100,
@@ -239,5 +246,17 @@ mod tests {
         // Throughput: 200 insts over 2 ms of wall time = 100 KIPS.
         assert_eq!(mcf_base.wall_ms, 2);
         assert!((mcf_base.kips() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_keeps_predictor_groups_apart() {
+        let mut tage = cell("mcf", "baseline", 120, 0, 100, 100);
+        tage.bpred = "tage".to_string();
+        let results = vec![cell("mcf", "baseline", 120, 0, 100, 100), tage];
+        let aggs = aggregate(&results);
+        assert_eq!(aggs.len(), 2, "predictor is part of the group key");
+        assert_eq!(aggs[0].bpred, "bimodal");
+        assert_eq!(aggs[1].bpred, "tage");
+        assert_eq!(aggs[0].cells, 1);
     }
 }

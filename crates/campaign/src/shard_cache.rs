@@ -4,9 +4,11 @@
 //!
 //! Phase 1 of a campaign — compile the p-thread table, run the functional
 //! pass, capture warm checkpoints — is the expensive fixed cost of a
-//! sweep, and it depends only on `(workload, interval_len, stride)`,
-//! never on the (machine, latency) grid. A resident server running many
-//! jobs over the same workloads would otherwise pay it once per job;
+//! sweep, and it depends only on `(workload, predictor, interval_len,
+//! stride)`, never on the (machine, latency) grid. (The predictor is part
+//! of the key because the warmer trains the *configured* predictor, so
+//! warm checkpoints differ per predictor spec.) A resident server running
+//! many jobs over the same workloads would otherwise pay it once per job;
 //! with the cache it pays once per shard, and a 10k–1M-cell grid runs in
 //! O(shards) memory.
 //!
@@ -20,8 +22,9 @@ use crate::sample::SampleSpec;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// Cache key: the parameters phase-1 state actually depends on.
-type ShardKey = (String, u64, u64);
+/// Cache key: the parameters phase-1 state actually depends on —
+/// workload, canonical predictor spec label, interval length, stride.
+type ShardKey = (String, String, u64, u64);
 
 /// Cumulative cache counters, for `/metrics`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -82,7 +85,7 @@ impl ShardCache {
         self.budget
     }
 
-    /// Fetch the shard for `(workload, sample)`, building it with
+    /// Fetch the shard for `(workload, bpred, sample)`, building it with
     /// `build` on a miss. Building happens *outside* the cache lock so a
     /// slow functional pass never blocks hits on other shards; if two
     /// threads race to build the same key, the first insert wins and the
@@ -90,10 +93,16 @@ impl ShardCache {
     pub fn get_or_create(
         &self,
         workload: &str,
+        bpred: &str,
         sample: &SampleSpec,
         build: impl FnOnce() -> Result<WorkloadData, String>,
     ) -> Result<Arc<WorkloadData>, String> {
-        let key: ShardKey = (workload.to_string(), sample.interval_len, sample.stride);
+        let key: ShardKey = (
+            workload.to_string(),
+            bpred.to_string(),
+            sample.interval_len,
+            sample.stride,
+        );
         {
             let mut g = self.inner.lock();
             if let Some(i) = g.entries.iter().position(|e| e.key == key) {
@@ -154,6 +163,7 @@ mod tests {
     fn shard(name: &str) -> WorkloadData {
         WorkloadData {
             name: name.to_string(),
+            bpred: "bimodal".to_string(),
             binary: SpearBinary {
                 program: Program::default(),
                 table: PThreadTable::default(),
@@ -177,10 +187,10 @@ mod tests {
     fn hits_after_first_build_and_counts() {
         let cache = ShardCache::new(u64::MAX);
         let a1 = cache
-            .get_or_create("a", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", &spec(), || Ok(shard("a")))
             .unwrap();
         let a2 = cache
-            .get_or_create("a", &spec(), || panic!("must not rebuild"))
+            .get_or_create("a", "bimodal", &spec(), || panic!("must not rebuild"))
             .unwrap();
         assert!(Arc::ptr_eq(&a1, &a2), "same shared shard");
         let s = cache.stats();
@@ -191,27 +201,50 @@ mod tests {
     fn distinct_sample_specs_are_distinct_shards() {
         let cache = ShardCache::new(u64::MAX);
         cache
-            .get_or_create("a", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", &spec(), || Ok(shard("a")))
             .unwrap();
         let other = SampleSpec {
             interval_len: 500,
             stride: 2,
         };
-        cache.get_or_create("a", &other, || Ok(shard("a"))).unwrap();
+        cache
+            .get_or_create("a", "bimodal", &other, || Ok(shard("a")))
+            .unwrap();
         assert_eq!(cache.stats().entries, 2);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn distinct_predictor_specs_are_distinct_shards() {
+        let cache = ShardCache::new(u64::MAX);
+        cache
+            .get_or_create("a", "bimodal", &spec(), || Ok(shard("a")))
+            .unwrap();
+        cache
+            .get_or_create("a", "tage", &spec(), || Ok(shard("a")))
+            .unwrap();
+        assert_eq!(cache.stats().entries, 2, "warm state is per predictor");
+        assert_eq!(cache.stats().misses, 2);
+        cache
+            .get_or_create("a", "tage", &spec(), || panic!("cached"))
+            .unwrap();
     }
 
     #[test]
     fn build_errors_are_propagated_and_not_cached() {
         let cache = ShardCache::new(u64::MAX);
         let err = cache
-            .get_or_create("a", &spec(), || Err("compile failed".to_string()))
+            .get_or_create(
+                "a",
+                "bimodal",
+                &spec(),
+                || Err("compile failed".to_string()),
+            )
             .unwrap_err();
         assert!(err.contains("compile failed"));
         // A later attempt builds again (and can succeed).
         cache
-            .get_or_create("a", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", &spec(), || Ok(shard("a")))
             .unwrap();
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().entries, 1);
@@ -222,10 +255,10 @@ mod tests {
         // Zero budget: every insert evicts down to a single entry.
         let cache = ShardCache::new(0);
         cache
-            .get_or_create("a", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", &spec(), || Ok(shard("a")))
             .unwrap();
         cache
-            .get_or_create("b", &spec(), || Ok(shard("b")))
+            .get_or_create("b", "bimodal", &spec(), || Ok(shard("b")))
             .unwrap();
         let s = cache.stats();
         assert_eq!(s.entries, 1, "budget forces eviction to one entry");
@@ -233,14 +266,14 @@ mod tests {
         // The survivor is the most recent one ("b"): "a" must rebuild.
         let rebuilt = std::cell::Cell::new(false);
         cache
-            .get_or_create("a", &spec(), || {
+            .get_or_create("a", "bimodal", &spec(), || {
                 rebuilt.set(true);
                 Ok(shard("a"))
             })
             .unwrap();
         assert!(rebuilt.get(), "evicted entry rebuilds");
         cache
-            .get_or_create("a", &spec(), || panic!("now cached"))
+            .get_or_create("a", "bimodal", &spec(), || panic!("now cached"))
             .unwrap();
     }
 
@@ -248,10 +281,10 @@ mod tests {
     fn in_flight_arcs_survive_eviction() {
         let cache = ShardCache::new(0);
         let held = cache
-            .get_or_create("a", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", &spec(), || Ok(shard("a")))
             .unwrap();
         cache
-            .get_or_create("b", &spec(), || Ok(shard("b")))
+            .get_or_create("b", "bimodal", &spec(), || Ok(shard("b")))
             .unwrap();
         // "a" was evicted from the cache, but our Arc still works.
         assert_eq!(held.name, "a");

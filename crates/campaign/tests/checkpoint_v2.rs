@@ -1,7 +1,7 @@
-//! Checkpoint v2 on-disk format, end to end: a sparse memory image must
+//! Checkpoint v3 on-disk format, end to end: a sparse memory image must
 //! round-trip byte-identically through the zero-eliding RLE-hex encoding
-//! at a fraction of the naive-hex size, and v1 documents must fail
-//! loudly by version before any field is decoded.
+//! at a fraction of the naive-hex size, and stale-version documents must
+//! fail loudly by version before any field is decoded.
 
 use spear_bpred::PredictorConfig;
 use spear_campaign::checkpoint::{capture_interval_checkpoints, Checkpoint, CHECKPOINT_VERSION};
@@ -107,18 +107,18 @@ fn zero_pages_shrink_the_document_far_below_naive_hex() {
 }
 
 #[test]
-fn v1_document_is_rejected_loudly_by_version() {
-    // A *real* v2 document downgraded only in its version field — the
+fn stale_document_is_rejected_loudly_by_version() {
+    // A *real* v3 document downgraded only in its version field — the
     // gate must fire on the number alone, before any field decoding
     // could produce a confusing missing-field error.
     let cp = sparse_checkpoint();
-    assert_eq!(CHECKPOINT_VERSION, 2);
-    let v2 = cp.to_json();
-    let v1 = v2.replace("\"version\":2,", "\"version\":1,");
-    assert_ne!(v1, v2, "the version field must appear in the document");
+    assert_eq!(CHECKPOINT_VERSION, 3);
+    let v3 = cp.to_json();
+    let v1 = v3.replace("\"version\":3,", "\"version\":1,");
+    assert_ne!(v1, v3, "the version field must appear in the document");
     let err = Checkpoint::from_json(&v1).expect_err("v1 must be rejected");
     assert!(
-        err.contains("version 1 unsupported (expected 2)"),
+        err.contains("version 1 unsupported (expected 3)"),
         "rejection must name both versions: {err}"
     );
 }

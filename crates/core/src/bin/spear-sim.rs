@@ -41,14 +41,14 @@ mod exitcode {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: spear-sim FILE.spear [-m MACHINE] [--mem-latency N]\n\
+        "usage: spear-sim FILE.spear [-m MACHINE] [--bpred SPEC] [--mem-latency N]\n\
          \x20      [--max-cycles N] [--max-insts N] [--trace N] [--quiet]\n\
          \x20      [--stats-json PATH] [--trace-file PATH] [--perf]\n\
          \x20      [--pipeview PATH] [--perfetto PATH] [--window N]\n\
          \x20  or: spear-sim campaign --dir DIR [--workloads a,b,c|all]\n\
-         \x20      [--machines M1,M2,...] [--mem-latency N] [--interval N]\n\
-         \x20      [--stride N] [--threads N] [--max-cells N] [--window N]\n\
-         \x20      [--quiet]\n\
+         \x20      [--machines M1,M2,...] [--bpreds S1,S2,...] [--mem-latency N]\n\
+         \x20      [--interval N] [--stride N] [--threads N] [--max-cells N]\n\
+         \x20      [--window N] [--quiet]\n\
          \x20  or: spear-sim serve --dir DIR [--addr HOST:PORT] [--workers N]\n\
          \x20      [--queue-cap N] [--cache-mb N]\n\
          \x20  or: spear-sim client ACTION [--addr HOST:PORT | --dir DIR] ...\n\
@@ -58,8 +58,10 @@ fn usage() -> ! {
          \x20  or: spear-sim obs-summary TRACE.jsonl\n\
          \x20  or: spear-sim fuzz [--seconds N] [--seed S] [--corpus DIR]\n\
          \x20  or: spear-sim fuzz --replay DIR\n\
-         \x20  or: spear-sim dump-config [-m MACHINE] [--mem-latency N]\n\n\
+         \x20  or: spear-sim dump-config [-m MACHINE] [--bpred SPEC] [--mem-latency N]\n\n\
          machines: baseline, spear-128, spear-256, spear-sf-128, spear-sf-256\n\
+         predictors: bimodal (paper default), gshare,\n\
+         \x20        tage[:tables=N,bits=N,tag=N,hmin=N,hmax=N,decay=N]\n\
          exit codes: 0 ok, 1 fuzz findings, 2 usage, 3 runtime error,\n\
          \x20        4 campaign interrupted"
     );
@@ -71,6 +73,35 @@ fn parse_machine(s: &str) -> Machine {
         eprintln!("spear-sim: unknown machine `{s}`");
         usage()
     })
+}
+
+/// Parse a `--bpred` spec onto the paper's default predictor sizing.
+fn parse_bpred(s: &str) -> spear_bpred::PredictorConfig {
+    spear_bpred::PredictorConfig::paper()
+        .with_spec(s)
+        .unwrap_or_else(|e| {
+            eprintln!("spear-sim: bad predictor spec `{s}`: {e}");
+            usage()
+        })
+}
+
+/// Split a `--bpreds` list on the commas *between* specs. A comma only
+/// starts a new spec when what follows names a predictor kind, so the
+/// commas inside `tage:tables=6,bits=10,...` stay part of that spec.
+fn split_bpred_list(s: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for piece in s.split(',') {
+        let starts_new =
+            matches!(piece, "bimodal" | "gshare" | "tage") || piece.starts_with("tage:");
+        match out.last_mut() {
+            Some(last) if !starts_new => {
+                last.push(',');
+                last.push_str(piece);
+            }
+            _ => out.push(piece.to_string()),
+        }
+    }
+    out
 }
 
 /// Parse a numeric flag value, reporting the offending text on failure.
@@ -87,6 +118,7 @@ fn campaign_main(args: Vec<String>) -> ! {
     let mut dir: Option<String> = None;
     let mut workloads = vec!["all".to_string()];
     let mut machines = vec![Machine::Baseline, Machine::Spear128, Machine::Spear256];
+    let mut bpreds = vec![spear_bpred::PredictorConfig::paper()];
     let mut latency: Option<LatencyConfig> = None;
     let mut interval: u64 = 100_000;
     let mut stride: u64 = 1;
@@ -115,6 +147,12 @@ fn campaign_main(args: Vec<String>) -> ! {
                 machines = next_val(&mut it, "--machines")
                     .split(',')
                     .map(parse_machine)
+                    .collect()
+            }
+            "--bpreds" => {
+                bpreds = split_bpred_list(&next_val(&mut it, "--bpreds"))
+                    .iter()
+                    .map(|s| parse_bpred(s))
                     .collect()
             }
             "--mem-latency" => {
@@ -164,16 +202,21 @@ fn campaign_main(args: Vec<String>) -> ! {
     }
 
     let mem_latency = latency.unwrap_or_else(LatencyConfig::paper).memory;
-    let spec = CampaignSpec {
-        workloads,
-        points: machines
-            .iter()
-            .map(|&m| MachinePoint {
+    let mut points = Vec::with_capacity(machines.len() * bpreds.len());
+    for &m in &machines {
+        for &bp in &bpreds {
+            let mut config = m.config(latency);
+            config.bpred = bp;
+            points.push(MachinePoint {
                 machine: m.name().to_string(),
                 mem_latency,
-                config: m.config(latency),
-            })
-            .collect(),
+                config,
+            });
+        }
+    }
+    let spec = CampaignSpec {
+        workloads,
+        points,
         sample: SampleSpec {
             interval_len: interval,
             stride,
@@ -230,9 +273,10 @@ fn campaign_main(args: Vec<String>) -> ! {
         );
         for a in &aggs {
             println!(
-                "  {:<12} {:<14} lat {:>3}  cells {:>4}  IPC {:.4}  {:.0} KIPS",
+                "  {:<12} {:<14} {:<10} lat {:>3}  cells {:>4}  IPC {:.4}  {:.0} KIPS",
                 a.workload,
                 a.machine,
+                a.bpred,
                 a.mem_latency,
                 a.cells,
                 a.ipc(),
@@ -556,6 +600,7 @@ fn fuzz_main(args: Vec<String>) -> ! {
 /// was produced with.
 fn dump_config_main(args: Vec<String>) -> ! {
     let mut machine = Machine::Baseline;
+    let mut bpred: Option<spear_bpred::PredictorConfig> = None;
     let mut latency: Option<LatencyConfig> = None;
 
     let mut it = args.into_iter();
@@ -568,6 +613,7 @@ fn dump_config_main(args: Vec<String>) -> ! {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "-m" | "--machine" => machine = parse_machine(&next_val(&mut it, "-m")),
+            "--bpred" => bpred = Some(parse_bpred(&next_val(&mut it, "--bpred"))),
             "--mem-latency" => {
                 let mem: u32 = parse_num("--mem-latency", &next_val(&mut it, "--mem-latency"));
                 latency = Some(LatencyConfig::sweep_point(mem));
@@ -578,7 +624,25 @@ fn dump_config_main(args: Vec<String>) -> ! {
             }
         }
     }
-    let cfg = machine.config(latency);
+    let mut cfg = machine.config(latency);
+    if let Some(bp) = bpred {
+        cfg.bpred = bp;
+    }
+    // The resolved config JSON carries the predictor kind and sizing; the
+    // derived direction-table geometry is summarized on stderr so the
+    // stdout document stays pure config.
+    let pred = spear_bpred::Predictor::new(cfg.bpred);
+    let geom: Vec<String> = pred
+        .geometry()
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    eprintln!(
+        "# bpred {} ({}): {}",
+        cfg.bpred.spec_label(),
+        pred.kind().name(),
+        geom.join(" ")
+    );
     println!("{}", serde::json::to_string_pretty(&cfg));
     exit(exitcode::OK)
 }
@@ -617,6 +681,7 @@ fn main() {
     }
     let mut file: Option<String> = None;
     let mut machine = Machine::Baseline;
+    let mut bpred: Option<spear_bpred::PredictorConfig> = None;
     let mut latency: Option<LatencyConfig> = None;
     let mut max_cycles = u64::MAX;
     let mut max_insts = u64::MAX;
@@ -639,6 +704,7 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "-m" | "--machine" => machine = parse_machine(&next_val(&mut it, "-m")),
+            "--bpred" => bpred = Some(parse_bpred(&next_val(&mut it, "--bpred"))),
             "--mem-latency" => {
                 let mem: u32 = parse_num("--mem-latency", &next_val(&mut it, "--mem-latency"));
                 latency = Some(LatencyConfig::sweep_point(mem));
@@ -693,7 +759,11 @@ fn main() {
         })
     };
 
-    let cfg = machine.config(latency);
+    let mut cfg = machine.config(latency);
+    if let Some(bp) = bpred {
+        cfg.bpred = bp;
+    }
+    let bpred_label = cfg.bpred.spec_label();
     let commit_width = cfg.commit_width;
     let mem_latency = cfg.hier.latency.memory;
     let mut core = Core::new(&binary, cfg);
@@ -765,7 +835,8 @@ fn main() {
             res.exit,
             s.clone(),
         )
-        .with_sim_perf(sim_perf);
+        .with_sim_perf(sim_perf)
+        .with_bpred(&bpred_label);
         std::fs::write(path, doc.to_json()).unwrap_or_else(|e| {
             eprintln!("spear-sim: cannot write `{path}`: {e}");
             exit(exitcode::RUNTIME)
@@ -773,6 +844,7 @@ fn main() {
     }
 
     println!("machine       {}", machine.name());
+    println!("bpred         {bpred_label}");
     println!("exit          {:?}", res.exit);
     println!("cycles        {}", s.cycles);
     println!("committed     {}", s.committed);

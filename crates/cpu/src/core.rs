@@ -178,6 +178,7 @@ impl<'p> Core<'p> {
         // anyone — close the timely/late/useless partition.
         pipe.hier.drain_pending_prefetches();
         pipe.stats.bpred = pipe.predictor.stats;
+        pipe.stats.bpred_detail = pipe.predictor.detail();
         pipe.stats.l1d = pipe.hier.l1d.stats;
         pipe.stats.l2 = pipe.hier.l2.stats;
         pipe.stats.l1d_main_misses = pipe.hier.pc_misses.total();

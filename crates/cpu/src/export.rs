@@ -84,6 +84,11 @@ pub struct StatsExport {
     /// Simulation-throughput self-measurement (additive; absent from
     /// deterministic artifacts).
     pub sim_perf: Option<SimPerf>,
+    /// Canonical branch-predictor spec label (e.g. `tage` or
+    /// `tage:tables=8,...`) when the run used a non-default predictor.
+    /// `None` — and omitted from JSON — for the paper's bimodal default,
+    /// keeping default envelopes byte-identical to the pre-trait schema.
+    pub bpred: Option<String>,
 }
 
 impl Serialize for StatsExport {
@@ -98,6 +103,9 @@ impl Serialize for StatsExport {
         ];
         if let Some(p) = &self.sim_perf {
             fields.push(("sim_perf".to_string(), p.to_value()));
+        }
+        if let Some(b) = &self.bpred {
+            fields.push(("bpred".to_string(), b.to_value()));
         }
         serde::Value::Object(fields)
     }
@@ -116,6 +124,11 @@ impl Deserialize for StatsExport {
             // deterministic artifact).
             sim_perf: match v.field("sim_perf") {
                 Ok(val) => Option::<SimPerf>::from_value(val)?,
+                Err(_) => None,
+            },
+            // Absent for default-predictor runs and older writers.
+            bpred: match v.field("bpred") {
+                Ok(val) => Option::<String>::from_value(val)?,
                 Err(_) => None,
             },
         })
@@ -139,12 +152,24 @@ impl StatsExport {
             exit,
             stats,
             sim_perf: None,
+            bpred: None,
         }
     }
 
     /// Attach a simulation-throughput block to the envelope.
     pub fn with_sim_perf(mut self, perf: SimPerf) -> Self {
         self.sim_perf = Some(perf);
+        self
+    }
+
+    /// Record the predictor spec label. The default `bimodal` is stored
+    /// as `None` so default envelopes keep their exact historical bytes.
+    pub fn with_bpred(mut self, label: &str) -> Self {
+        self.bpred = if label == "bimodal" {
+            None
+        } else {
+            Some(label.to_string())
+        };
         self
     }
 
@@ -181,9 +206,32 @@ mod tests {
             "absent sim_perf is omitted, not null — deterministic envelopes \
              must not change shape"
         );
+        assert!(
+            !json.contains("bpred_detail") && !json.contains("\"bpred\": \""),
+            "default-predictor envelopes must not grow predictor blocks"
+        );
         let back = StatsExport::from_json(&json).expect("valid JSON");
         assert_eq!(doc, back);
         assert_eq!(back.schema_version, SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn bpred_label_round_trips_and_bimodal_stays_omitted() {
+        let doc = StatsExport::new(
+            "mcf",
+            "SPEAR-128",
+            120,
+            RunExit::Halted,
+            CoreStats::default(),
+        );
+        let bimodal = doc.clone().with_bpred("bimodal");
+        assert_eq!(bimodal.bpred, None, "default label normalizes to absent");
+        assert_eq!(bimodal.to_json(), doc.to_json());
+        let tage = doc.clone().with_bpred("tage");
+        let json = tage.to_json();
+        assert!(json.contains("\"bpred\": \"tage\""));
+        let back = StatsExport::from_json(&json).expect("valid JSON");
+        assert_eq!(back.bpred.as_deref(), Some("tage"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::hist::Histogram;
 use serde::{Deserialize, Serialize};
-use spear_bpred::PredStats;
+use spear_bpred::{PredStats, PredictorDetail};
 use spear_mem::CacheStats;
 
 /// Why commit slots went unused in a cycle. One cause is charged per
@@ -341,6 +341,12 @@ pub struct CoreStats {
     /// Windowed interval telemetry (empty unless windows were enabled).
     /// Omitted from JSON when empty; see the type-level serde note.
     pub windows: Vec<WindowStat>,
+    /// Predictor-internal counters (e.g. TAGE provider/allocation
+    /// activity). `None` for predictors with no internals to report —
+    /// including the paper's default bimodal — and omitted from JSON so
+    /// default-config envelopes stay byte-identical to the pre-trait
+    /// schema.
+    pub bpred_detail: Option<PredictorDetail>,
 }
 
 impl Serialize for CoreStats {
@@ -432,6 +438,9 @@ impl Serialize for CoreStats {
         if !self.windows.is_empty() {
             put("windows", Serialize::to_value(&self.windows));
         }
+        if let Some(d) = &self.bpred_detail {
+            put("bpred_detail", Serialize::to_value(d));
+        }
         serde::Value::Object(fields)
     }
 }
@@ -477,6 +486,11 @@ impl Deserialize for CoreStats {
             windows: match v.field("windows") {
                 Ok(w) => Deserialize::from_value(w)?,
                 Err(_) => Vec::new(),
+            },
+            // Absent for default-predictor runs and pre-trait envelopes.
+            bpred_detail: match v.field("bpred_detail") {
+                Ok(d) => Some(Deserialize::from_value(d)?),
+                Err(_) => None,
             },
         })
     }
@@ -707,6 +721,11 @@ impl CoreStats {
             }
         }
         self.windows.extend(other.windows.iter().cloned());
+        match (&mut self.bpred_detail, &other.bpred_detail) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.bpred_detail = Some(theirs.clone()),
+            _ => {}
+        }
     }
 }
 

@@ -3,7 +3,8 @@
 //! One fuzz case is judged by running its rendered program through the
 //! reference interpreter (the golden model) and through the cycle-level
 //! core under a configuration matrix — baseline vs SPEAR front end, 2 vs
-//! 4 hardware contexts, the three Figure-6 machine models, and sampled vs
+//! 4 hardware contexts, bimodal vs TAGE branch prediction, the three
+//! Figure-6 machine models, and sampled vs
 //! full simulation — and demanding byte-identical architectural results
 //! everywhere: committed register file, final memory image, and retired
 //! instruction count. Each cycle-level run additionally has to satisfy
@@ -90,7 +91,10 @@ fn golden(p: &Program) -> Golden {
 }
 
 /// The cycle-level configuration matrix: the three Figure-6 machines,
-/// each with 2 and with 4 hardware contexts.
+/// each with 2 and with 4 hardware contexts, plus a TAGE-predicted
+/// variant per machine. The predictor axis must be architecturally
+/// invisible — a mispredicting (or better-predicting) front end changes
+/// cycles, never committed state.
 fn matrix() -> Vec<(String, CoreConfig)> {
     let mut out = Vec::new();
     for cfg in [
@@ -103,6 +107,12 @@ fn matrix() -> Vec<(String, CoreConfig)> {
             c.num_contexts = ctxs;
             out.push((format!("{}/ctx{}", c.model_name(), ctxs), c));
         }
+        let mut c = cfg.clone();
+        c.bpred = c
+            .bpred
+            .with_spec("tage")
+            .expect("default tage spec is valid");
+        out.push((format!("{}/ctx2/tage", c.model_name()), c));
     }
     out
 }
@@ -486,8 +496,9 @@ mod tests {
         };
         let report = check(&spec).expect("clean tree must pass");
         assert!(report.golden_icount > 0);
-        // 6 matrix configs + checkpoint round-trip + two sampled passes.
-        assert_eq!(report.configs_checked, 9);
+        // 9 matrix configs (3 machines x {ctx2, ctx4, ctx2+tage}) +
+        // checkpoint round-trip + two sampled passes.
+        assert_eq!(report.configs_checked, 12);
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub struct JobSpec {
     pub workloads: Vec<String>,
     /// Machine model names (CLI spellings, e.g. `spear-128`).
     pub machines: Vec<String>,
+    /// Branch-predictor specs (`--bpreds`), each a `--bpred` spelling
+    /// like `bimodal`, `gshare` or `tage:tables=6,...`. Empty means the
+    /// paper default (`bimodal`). The grid is machines × bpreds.
+    pub bpreds: Vec<String>,
     /// Main-memory latency override in cycles (`--mem-latency`).
     pub mem_latency: Option<u32>,
     /// Interval length in instructions (`--interval`).
@@ -55,6 +59,7 @@ impl Default for JobSpec {
         JobSpec {
             workloads: Vec::new(),
             machines: Vec::new(),
+            bpreds: Vec::new(),
             mem_latency: None,
             interval: 100_000,
             stride: 1,
@@ -71,6 +76,7 @@ impl Serialize for JobSpec {
         serde::Value::Object(vec![
             ("workloads".into(), self.workloads.to_value()),
             ("machines".into(), self.machines.to_value()),
+            ("bpreds".into(), self.bpreds.to_value()),
             ("mem_latency".into(), self.mem_latency.to_value()),
             ("interval".into(), self.interval.to_value()),
             ("stride".into(), self.stride.to_value()),
@@ -96,6 +102,7 @@ impl Deserialize for JobSpec {
         Ok(JobSpec {
             workloads: Vec::<String>::from_value(v.field("workloads")?)?,
             machines: Vec::<String>::from_value(v.field("machines")?)?,
+            bpreds: opt(v, "bpreds", d.bpreds)?,
             mem_latency: opt(v, "mem_latency", d.mem_latency)?,
             interval: opt(v, "interval", d.interval)?,
             stride: opt(v, "stride", d.stride)?,
@@ -138,18 +145,36 @@ impl JobSpec {
         if self.interval == 0 || self.stride == 0 {
             return Err("interval and stride must be nonzero".into());
         }
+        let mut bpreds = Vec::new();
+        let default_bpreds = ["bimodal".to_string()];
+        for spec in if self.bpreds.is_empty() {
+            &default_bpreds[..]
+        } else {
+            &self.bpreds[..]
+        } {
+            bpreds.push(
+                spear_bpred::PredictorConfig::paper()
+                    .with_spec(spec)
+                    .map_err(|e| format!("bad predictor spec `{spec}`: {e}"))?,
+            );
+        }
         let latency = self.mem_latency.map(LatencyConfig::sweep_point);
         let mem_latency = latency.unwrap_or_else(LatencyConfig::paper).memory;
-        Ok(CampaignSpec {
-            workloads,
-            points: machines
-                .iter()
-                .map(|&m| MachinePoint {
+        let mut points = Vec::with_capacity(machines.len() * bpreds.len());
+        for &m in &machines {
+            for &bp in &bpreds {
+                let mut config = m.config(latency);
+                config.bpred = bp;
+                points.push(MachinePoint {
                     machine: m.name().to_string(),
                     mem_latency,
-                    config: m.config(latency),
-                })
-                .collect(),
+                    config,
+                });
+            }
+        }
+        Ok(CampaignSpec {
+            workloads,
+            points,
             sample: SampleSpec {
                 interval_len: self.interval,
                 stride: self.stride,
@@ -359,6 +384,7 @@ mod tests {
         let spec = JobSpec {
             workloads: vec!["pointer".into()],
             machines: vec!["baseline".into(), "spear-128".into()],
+            bpreds: vec!["bimodal".into(), "tage".into()],
             mem_latency: Some(200),
             interval: 50_000,
             stride: 2,
@@ -379,6 +405,10 @@ mod tests {
         assert_eq!(spec.stride, 1);
         assert_eq!(spec.mem_latency, None);
         assert_eq!(spec.max_cells, None);
+        assert!(
+            spec.bpreds.is_empty(),
+            "bpreds defaults to the paper's bimodal"
+        );
     }
 
     #[test]
@@ -397,6 +427,45 @@ mod tests {
         spec.machines = vec!["baseline".into()];
         spec.stride = 0;
         assert!(spec.resolve(2).unwrap_err().contains("nonzero"));
+        spec.stride = 1;
+        spec.bpreds = vec!["tage:tables=zero".into()];
+        assert!(spec
+            .resolve(2)
+            .unwrap_err()
+            .contains("bad predictor spec `tage:tables=zero`"));
+    }
+
+    #[test]
+    fn resolve_expands_the_machine_by_predictor_grid() {
+        let spec = JobSpec {
+            workloads: vec!["pointer".into()],
+            machines: vec!["baseline".into(), "spear-128".into()],
+            bpreds: vec!["bimodal".into(), "tage".into()],
+            ..JobSpec::default()
+        };
+        let resolved = spec.resolve(2).unwrap();
+        assert_eq!(resolved.points.len(), 4, "machines x bpreds");
+        let labels: Vec<(String, String)> = resolved
+            .points
+            .iter()
+            .map(|p| (p.machine.clone(), p.config.bpred.spec_label()))
+            .collect();
+        assert_eq!(
+            labels[0],
+            ("superscalar".to_string(), "bimodal".to_string())
+        );
+        assert_eq!(labels[1], ("superscalar".to_string(), "tage".to_string()));
+        assert_eq!(labels[3], ("SPEAR-128".to_string(), "tage".to_string()));
+        // Omitted bpreds resolves to a pure-bimodal grid.
+        let plain = JobSpec {
+            workloads: vec!["pointer".into()],
+            machines: vec!["baseline".into()],
+            ..JobSpec::default()
+        }
+        .resolve(2)
+        .unwrap();
+        assert_eq!(plain.points.len(), 1);
+        assert_eq!(plain.points[0].config.bpred.spec_label(), "bimodal");
     }
 
     #[test]

@@ -686,10 +686,11 @@ fn metrics(state: &Arc<State>) -> Response {
         state.queue_cap.to_string(),
     );
 
-    let (counts, running) = {
+    let (counts, running, running_bpreds) = {
         let reg = state.registry.lock();
         let mut counts = [0u64; 5];
         let mut running: Option<ProgressLite> = None;
+        let mut running_bpreds: Vec<String> = Vec::new();
         for j in reg.iter() {
             let i = match j.state {
                 JobState::Queued => 0,
@@ -701,9 +702,14 @@ fn metrics(state: &Arc<State>) -> Response {
             counts[i] += 1;
             if j.state == JobState::Running {
                 running = j.progress;
+                running_bpreds = if j.spec.bpreds.is_empty() {
+                    vec!["bimodal".to_string()]
+                } else {
+                    j.spec.bpreds.clone()
+                };
             }
         }
-        (counts, running)
+        (counts, running, running_bpreds)
     };
     for (i, name) in ["queued", "running", "done", "failed", "cancelled"]
         .iter()
@@ -735,7 +741,6 @@ fn metrics(state: &Arc<State>) -> Response {
             },
         );
     }
-
     let cs = state.cache.stats();
     gauge(
         "spear_serve_shard_cache_hits",
@@ -767,5 +772,29 @@ fn metrics(state: &Arc<State>) -> Response {
         "Configured shard-cache byte budget.",
         state.cache.budget_bytes().to_string(),
     );
+
+    if !running_bpreds.is_empty() {
+        // Active predictor kinds and their table geometry, one labeled
+        // series per (spec, dimension) of the running job's grid.
+        out.push_str(concat!(
+            "# HELP spear_serve_running_bpred_geometry ",
+            "Direction-table geometry of the running job's predictors.\n",
+            "# TYPE spear_serve_running_bpred_geometry gauge\n"
+        ));
+        for spec in &running_bpreds {
+            // Specs were validated at submission; skip defensively anyway.
+            let Ok(cfg) = spear_bpred::PredictorConfig::paper().with_spec(spec) else {
+                continue;
+            };
+            let pred = spear_bpred::Predictor::new(cfg);
+            let label = cfg.spec_label();
+            for (dim, value) in pred.geometry() {
+                out.push_str(&format!(
+                    "spear_serve_running_bpred_geometry{{spec=\"{label}\",kind=\"{}\",dim=\"{dim}\"}} {value}\n",
+                    pred.kind().name(),
+                ));
+            }
+        }
+    }
     Response::text(200, out)
 }
