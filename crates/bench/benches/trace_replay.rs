@@ -1,0 +1,65 @@
+//! **trace_replay** — instruction-supply throughput: how fast the
+//! baseline machine simulates when the committed path comes from a
+//! recorded `.spt` trace instead of live ISA semantics, against two
+//! anchors — the program-driven baseline core (same pipeline, live
+//! oracle) and the bare reference interpreter (the functional ceiling).
+//! Criterion's `elem/s` readout = instructions/s; divide by 1000 for
+//! KIPS, the unit `spear-sim --perf` prints. The replay-vs-interp table
+//! in EXPERIMENTS.md comes from this harness. `SPEAR_BENCH_FAST=1`
+//! drops the longer `pointer` cell for CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spear_cpu::{Core, CoreConfig, RunExit, TraceSource};
+use spear_exec::Interp;
+use spear_isa::SpearBinary;
+use spear_workloads::by_name;
+
+const MAX_CYCLES: u64 = 200_000_000;
+
+fn bench_trace_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_replay");
+    g.sample_size(10);
+    let names: &[&str] = if spear_bench::fast_mode() {
+        &["field"]
+    } else {
+        &["pointer", "field"]
+    };
+    for name in names {
+        let w = by_name(name).expect("workload exists");
+        let binary = SpearBinary::plain(w.eval_program());
+        let (bytes, rstats) = spear_trace::record(&binary, u64::MAX).expect("record");
+        assert!(rstats.halted, "{name} must halt during recording");
+        let tf = spear_trace::TraceFile::decode(&bytes).expect("decode own trace");
+        g.throughput(Throughput::Elements(rstats.insts));
+
+        g.bench_function(&format!("{name}_interp"), |b| {
+            b.iter(|| {
+                let mut i = Interp::new(&binary.program);
+                i.run(u64::MAX).expect("interp");
+                assert!(i.halted);
+                i.icount
+            })
+        });
+        g.bench_function(&format!("{name}_baseline_program"), |b| {
+            b.iter(|| {
+                let mut core = Core::new(&binary, CoreConfig::baseline());
+                let res = core.run(MAX_CYCLES, u64::MAX).expect("program run");
+                assert_eq!(res.exit, RunExit::Halted);
+                res.stats.committed
+            })
+        });
+        g.bench_function(&format!("{name}_baseline_trace"), |b| {
+            b.iter(|| {
+                let src = TraceSource::new(&tf);
+                let mut core = Core::with_source(&binary, CoreConfig::baseline(), Box::new(src));
+                let res = core.run(MAX_CYCLES, u64::MAX).expect("trace replay");
+                assert_eq!(res.exit, RunExit::Halted);
+                res.stats.committed
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_replay);
+criterion_main!(benches);

@@ -34,9 +34,13 @@ use spear_mem::{AccessKind, HierConfig, HierSnapshot, Hierarchy};
 /// flat bimodal/gshare predictor snapshot with the kind-tagged
 /// polymorphic `PredictorSnapshot` (direction state under a `dir`
 /// envelope whose `kind` tag names the predictor, so a checkpoint can
-/// never silently restore into the wrong predictor). Old documents are
-/// rejected loudly by version before any field is decoded.
-pub const CHECKPOINT_VERSION: u32 = 3;
+/// never silently restore into the wrong predictor); v4 adds the
+/// trace-cursor snapshot — the retired-instruction index a trace-driven
+/// front end must resume replay at — so a trace-backed campaign cell can
+/// restore mid-stream, and rejects documents whose cursor disagrees with
+/// the instruction index. Old documents are rejected loudly by version
+/// before any field is decoded.
+pub const CHECKPOINT_VERSION: u32 = 4;
 
 /// A restorable simulation state at an instruction boundary.
 #[derive(Clone, Debug)]
@@ -45,6 +49,13 @@ pub struct Checkpoint {
     pub workload: String,
     /// Instructions retired before this point (the interval boundary).
     pub inst_index: u64,
+    /// Replay cursor for a trace-driven front end: the record index a
+    /// `.spt` replay must resume at. Equal to [`Checkpoint::inst_index`]
+    /// by construction (a trace stores one record per retired
+    /// instruction); persisted separately so a tampered or
+    /// wrongly-spliced document is rejected instead of silently
+    /// replaying the wrong stream position.
+    pub trace_cursor: u64,
     /// Next PC.
     pub pc: u32,
     /// Architectural register file.
@@ -63,6 +74,7 @@ impl Checkpoint {
         Checkpoint {
             workload: workload.to_string(),
             inst_index: interp.icount,
+            trace_cursor: interp.icount,
             pc: interp.pc,
             regs: interp.regs.clone(),
             mem: interp.mem.clone(),
@@ -106,6 +118,7 @@ impl Checkpoint {
             version: CHECKPOINT_VERSION,
             workload: self.workload.clone(),
             inst_index: self.inst_index,
+            trace_cursor: self.trace_cursor,
             pc: self.pc,
             regs: self.regs.to_bits(),
             mem_rle: to_rle_hex(self.mem.as_bytes()),
@@ -132,9 +145,17 @@ impl Checkpoint {
             ));
         }
         let doc = CheckpointDoc::from_value(&v).map_err(|e| format!("checkpoint parse: {e:?}"))?;
+        if doc.trace_cursor != doc.inst_index {
+            return Err(format!(
+                "checkpoint trace cursor {} does not match instruction index {} — \
+                 refusing a cursor-mismatched restore",
+                doc.trace_cursor, doc.inst_index
+            ));
+        }
         Ok(Checkpoint {
             workload: doc.workload,
             inst_index: doc.inst_index,
+            trace_cursor: doc.trace_cursor,
             pc: doc.pc,
             regs: RegFile::from_bits(&doc.regs)?,
             mem: Memory::from_bytes(from_rle_hex(&doc.mem_rle)?),
@@ -151,6 +172,7 @@ struct CheckpointDoc {
     version: u32,
     workload: String,
     inst_index: u64,
+    trace_cursor: u64,
     pc: u32,
     regs: Vec<u64>,
     mem_rle: String,
@@ -433,7 +455,7 @@ mod tests {
                      "regs": [], "mem_hex": "00ff"}"#;
         let err = Checkpoint::from_json(v1).unwrap_err();
         assert!(
-            err.contains("version 1 unsupported (expected 3)"),
+            err.contains("version 1 unsupported (expected 4)"),
             "the version gate must fire before field decoding: {err}"
         );
     }
@@ -503,6 +525,7 @@ mod tests {
         let back = Checkpoint::from_json(&cp.to_json()).expect("round trip");
         assert_eq!(back.workload, cp.workload);
         assert_eq!(back.inst_index, cp.inst_index);
+        assert_eq!(back.trace_cursor, cp.trace_cursor);
         assert_eq!(back.pc, cp.pc);
         assert_eq!(back.regs, cp.regs);
         assert_eq!(back.mem, cp.mem);

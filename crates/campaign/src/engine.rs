@@ -1,5 +1,5 @@
 //! The resumable campaign engine: a crash-safe work queue over
-//! (workload, machine, predictor, latency, interval) cells.
+//! (workload, machine, predictor, frontend, latency, interval) cells.
 //!
 //! A campaign lives in a directory:
 //!
@@ -34,11 +34,13 @@
 use crate::checkpoint::{capture_interval_checkpoints, CheckpointSet};
 use crate::sample::{aggregate, plan_intervals, Aggregate, Interval, SampleSpec};
 use crate::shard_cache::ShardCache;
+use crate::trace_cache::{record_trace, TraceCache};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use spear_compiler::{CompilerConfig, SpearCompiler};
-use spear_cpu::{Core, CoreConfig, CoreStats, RunExit, StatsExport};
+use spear_cpu::{Core, CoreConfig, CoreStats, RunExit, StatsExport, TraceSource};
 use spear_isa::SpearBinary;
+use spear_trace::TraceFile;
 use std::collections::HashSet;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -50,8 +52,9 @@ use std::time::Instant;
 ///
 /// v1 keyed cells by (workload, machine, latency, interval); v2 adds the
 /// branch-predictor spec label as a first-class axis of the cell key and
-/// the manifest fingerprint.
-pub const CELL_SCHEMA_VERSION: u32 = 2;
+/// the manifest fingerprint; v3 adds the instruction-supply front end
+/// (`program` or `trace`) to both.
+pub const CELL_SCHEMA_VERSION: u32 = 3;
 
 /// Cycle ceiling per cell, so one pathological cell cannot hang a
 /// campaign (same ceiling the full-run experiment runner uses).
@@ -84,6 +87,12 @@ pub struct CampaignSpec {
     pub workloads: Vec<String>,
     /// The (machine, latency) sweep points.
     pub points: Vec<MachinePoint>,
+    /// Instruction-supply front ends to sweep (`program`, `trace`).
+    /// Empty normalizes to `["program"]`, the historical behavior.
+    /// `trace` cells replay a recorded committed path instead of
+    /// executing semantics; the trace is recorded once per workload
+    /// during the prepare phase (or fetched from a [`TraceCache`]).
+    pub frontends: Vec<String>,
     /// Interval sampling parameters.
     pub sample: SampleSpec,
     /// Worker threads (0 = all available cores).
@@ -109,6 +118,8 @@ pub struct CellResult {
     /// Canonical branch-predictor spec label (`bimodal` for the paper
     /// default; see `spear_bpred::PredictorConfig::spec_label`).
     pub bpred: String,
+    /// Instruction-supply front end (`program` or `trace`).
+    pub frontend: String,
     /// Main-memory latency in cycles.
     pub mem_latency: u32,
     /// Interval index within the workload.
@@ -126,7 +137,7 @@ pub struct CellResult {
     pub stats: CoreStats,
 }
 
-type CellKey = (String, String, String, u32, u64);
+type CellKey = (String, String, String, String, u32, u64);
 
 impl CellResult {
     /// The cell's identity within a campaign.
@@ -135,6 +146,7 @@ impl CellResult {
             self.workload.clone(),
             self.machine.clone(),
             self.bpred.clone(),
+            self.frontend.clone(),
             self.mem_latency,
             self.interval,
         )
@@ -214,6 +226,7 @@ struct ManifestDoc {
     version: u32,
     workloads: Vec<String>,
     points: Vec<ManifestPoint>,
+    frontends: Vec<String>,
     interval_len: u64,
     stride: u64,
     window: Option<u64>,
@@ -242,6 +255,11 @@ pub struct WorkloadData {
     pub set: CheckpointSet,
     /// The sampled interval plan.
     pub intervals: Vec<Interval>,
+    /// The recorded replay trace, present only when the campaign sweeps
+    /// the `trace` front end (shards built without it cannot serve
+    /// trace-backed cells, which is why the shard-cache key carries the
+    /// supply discriminator).
+    pub trace: Option<Arc<TraceFile>>,
 }
 
 impl WorkloadData {
@@ -263,10 +281,12 @@ impl WorkloadData {
 }
 
 /// One unit of phase-2 work. `w` indexes the prepared shard list
-/// (workload-major, predictor-minor), `p` the sweep points.
+/// (workload-major, predictor-minor), `p` the sweep points, `f` the
+/// spec's front-end list.
 struct Cell {
     w: usize,
     p: usize,
+    f: usize,
     interval: Interval,
 }
 
@@ -284,10 +304,21 @@ impl Campaign {
         &self.dir
     }
 
+    /// The spec's front-end list, normalized: empty means the historical
+    /// program-driven campaign.
+    fn frontends(&self) -> Vec<String> {
+        if self.spec.frontends.is_empty() {
+            vec!["program".to_string()]
+        } else {
+            self.spec.frontends.clone()
+        }
+    }
+
     fn manifest(&self) -> ManifestDoc {
         ManifestDoc {
             version: CELL_SCHEMA_VERSION,
             workloads: self.spec.workloads.clone(),
+            frontends: self.frontends(),
             points: self
                 .spec
                 .points
@@ -418,6 +449,18 @@ impl Campaign {
         if self.spec.workloads.is_empty() || self.spec.points.is_empty() {
             return Err("campaign needs at least one workload and one machine point".into());
         }
+        let frontends = self.frontends();
+        for f in &frontends {
+            if f != "program" && f != "trace" {
+                return Err(format!(
+                    "unknown front end `{f}` (expected `program` or `trace`)"
+                ));
+            }
+            if frontends.iter().filter(|g| *g == f).count() > 1 {
+                return Err(format!("front end `{f}` listed more than once"));
+            }
+        }
+        let needs_trace = frontends.iter().any(|f| f == "trace");
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| format!("cannot create {}: {e}", self.dir.display()))?;
         self.check_or_write_manifest()?;
@@ -468,12 +511,19 @@ impl Campaign {
             .iter()
             .flat_map(|name| bpreds.iter().map(move |(_, cfg)| (name.clone(), *cfg)))
             .collect();
+        // Shards built with a trace attached also serve program cells,
+        // but not vice versa — the supply discriminator keys them apart
+        // in the shard cache.
+        let supply = if needs_trace { "trace" } else { "program" };
         let prepared: Vec<Result<Arc<WorkloadData>, String>> =
-            parallel_map(&prep, threads, |(name, cfg)| match opts.cache {
-                Some(cache) => cache.get_or_create(name, &cfg.spec_label(), &sample, || {
-                    prepare_workload(name, *cfg, &sample)
-                }),
-                None => prepare_workload(name, *cfg, &sample).map(Arc::new),
+            parallel_map(&prep, threads, |(name, cfg)| {
+                let build = || prepare_workload(name, *cfg, &sample, needs_trace, opts.traces);
+                match opts.cache {
+                    Some(cache) => {
+                        cache.get_or_create(name, &cfg.spec_label(), supply, &sample, build)
+                    }
+                    None => build().map(Arc::new),
+                }
             });
         let mut wds = Vec::with_capacity(prepared.len());
         for r in prepared {
@@ -487,21 +537,25 @@ impl Campaign {
             for (p, point) in self.spec.points.iter().enumerate() {
                 let shard = w * bpreds.len() + point_shard[p];
                 let wd = &wds[shard];
-                for &interval in &wd.intervals {
-                    total += 1;
-                    let key = (
-                        wd.name.clone(),
-                        point.machine.clone(),
-                        wd.bpred.clone(),
-                        point.mem_latency,
-                        interval.index,
-                    );
-                    if !done.contains(&key) {
-                        pending.push(Cell {
-                            w: shard,
-                            p,
-                            interval,
-                        });
+                for (f, frontend) in frontends.iter().enumerate() {
+                    for &interval in &wd.intervals {
+                        total += 1;
+                        let key = (
+                            wd.name.clone(),
+                            point.machine.clone(),
+                            wd.bpred.clone(),
+                            frontend.clone(),
+                            point.mem_latency,
+                            interval.index,
+                        );
+                        if !done.contains(&key) {
+                            pending.push(Cell {
+                                w: shard,
+                                p,
+                                f,
+                                interval,
+                            });
+                        }
                     }
                 }
             }
@@ -582,7 +636,13 @@ impl Campaign {
                         break;
                     }
                     let cell = &pending[i];
-                    match run_cell(&wds_ref[cell.w], &points[cell.p], cell.interval, window) {
+                    match run_cell(
+                        &wds_ref[cell.w],
+                        &points[cell.p],
+                        &frontends[cell.f],
+                        cell.interval,
+                        window,
+                    ) {
                         Ok(res) => {
                             let line = serde::json::to_string(&res);
                             {
@@ -596,8 +656,13 @@ impl Campaign {
                                 }
                             }
                             let fingerprint = format!(
-                                "{}/{}/{}/{}/{}",
-                                res.workload, res.machine, res.bpred, res.mem_latency, res.interval
+                                "{}/{}/{}/{}/{}/{}",
+                                res.workload,
+                                res.machine,
+                                res.bpred,
+                                res.frontend,
+                                res.mem_latency,
+                                res.interval
                             );
                             wall_sum_ms.fetch_add(res.wall_ms, Ordering::SeqCst);
                             committed_sum.fetch_add(res.stats.committed, Ordering::SeqCst);
@@ -677,6 +742,9 @@ pub struct RunOptions<'a> {
     /// Checkpoint-shard cache shared across runs: warm state is built
     /// once per (workload, interval, stride) and reused read-only.
     pub cache: Option<&'a ShardCache>,
+    /// Trace cache shared across runs: the replay stream of a workload
+    /// is recorded once and reused by every trace-backed job.
+    pub traces: Option<&'a TraceCache>,
 }
 
 /// Write one versioned stats-JSON envelope per (workload, machine,
@@ -701,6 +769,7 @@ pub fn write_aggregate_envelopes(
             c.workload == a.workload
                 && c.machine == a.machine
                 && c.bpred == a.bpred
+                && c.frontend == a.frontend
                 && c.mem_latency == a.mem_latency
                 && c.exit == RunExit::Halted
         });
@@ -715,26 +784,22 @@ pub fn write_aggregate_envelopes(
             },
             a.stats.clone(),
         )
-        .with_bpred(&a.bpred);
-        // Default-predictor groups keep the historical filename; other
-        // predictors insert their sanitized spec label so a sweep's
-        // groups never collide.
-        let file = if a.bpred == "bimodal" {
-            agg_dir.join(format!(
-                "{}-{}-{}.json",
-                a.workload,
-                a.machine.replace('.', "_"),
-                a.mem_latency
-            ))
-        } else {
-            agg_dir.join(format!(
-                "{}-{}-{}-{}.json",
-                a.workload,
-                a.machine.replace('.', "_"),
-                a.bpred.replace([':', ',', '='], "_"),
-                a.mem_latency
-            ))
-        };
+        .with_bpred(&a.bpred)
+        .with_frontend(&a.frontend);
+        // Default-axis groups (bimodal predictor, program front end)
+        // keep the historical filename; other predictors insert their
+        // sanitized spec label and other front ends their name, so a
+        // sweep's groups never collide.
+        let mut stem = format!("{}-{}", a.workload, a.machine.replace('.', "_"));
+        if a.bpred != "bimodal" {
+            stem.push('-');
+            stem.push_str(&a.bpred.replace([':', ',', '='], "_"));
+        }
+        if a.frontend != "program" {
+            stem.push('-');
+            stem.push_str(&a.frontend);
+        }
+        let file = agg_dir.join(format!("{stem}-{}.json", a.mem_latency));
         std::fs::write(&file, doc.to_json())
             .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
         written.push(file);
@@ -779,8 +844,8 @@ pub struct HeartbeatDoc {
     /// per-shard throughput.
     pub kips_per_shard: f64,
     /// Key of the most recently finished cell
-    /// (`workload/machine/mem_latency/interval`); empty before the
-    /// first one.
+    /// (`workload/machine/bpred/frontend/mem_latency/interval`); empty
+    /// before the first one.
     pub last_cell: String,
 }
 
@@ -882,11 +947,16 @@ pub fn workload_timings(results: &[CellResult]) -> Vec<WorkloadTiming> {
 /// table against the profiling input, attach it to the evaluation image,
 /// and capture warm checkpoints at every sampled interval boundary. The
 /// warmer trains `bpred_cfg`'s predictor, so the checkpoints restore
-/// only into cores configured with the same spec.
+/// only into cores configured with the same spec. When the campaign
+/// sweeps the `trace` front end, the workload's committed path is also
+/// recorded (or fetched from `traces`) so trace-backed cells can replay
+/// it.
 fn prepare_workload(
     name: &str,
     bpred_cfg: spear_bpred::PredictorConfig,
     sample: &SampleSpec,
+    needs_trace: bool,
+    traces: Option<&TraceCache>,
 ) -> Result<WorkloadData, String> {
     let w = spear_workloads::by_name(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
     let profile = w.profile_program();
@@ -908,20 +978,31 @@ fn prepare_workload(
     )?;
     let intervals = plan_intervals(set.total_insts, sample);
     debug_assert_eq!(intervals.len(), set.checkpoints.len());
+    let trace = if needs_trace {
+        Some(match traces {
+            Some(tc) => tc.get_or_record(name, &binary, MAX_FUNCTIONAL_INSTS)?,
+            None => Arc::new(record_trace(name, &binary, MAX_FUNCTIONAL_INSTS)?),
+        })
+    } else {
+        None
+    };
     Ok(WorkloadData {
         name: name.to_string(),
         bpred: bpred_cfg.spec_label(),
         binary,
         set,
         intervals,
+        trace,
     })
 }
 
 /// Phase 2 for one cell: restore the interval's checkpoint into a fresh
-/// core and simulate the interval's instruction budget.
+/// core — program-driven or replaying the recorded trace from the
+/// checkpoint's cursor — and simulate the interval's instruction budget.
 fn run_cell(
     wd: &WorkloadData,
     point: &MachinePoint,
+    frontend: &str,
     interval: Interval,
     window: Option<u64>,
 ) -> Result<CellResult, String> {
@@ -937,7 +1018,18 @@ fn run_cell(
         )
     })?;
     let t0 = Instant::now();
-    let mut core = Core::new(&wd.binary, point.config.clone());
+    let mut core = match frontend {
+        "trace" => {
+            let tf = wd
+                .trace
+                .as_ref()
+                .ok_or_else(|| format!("{}: shard carries no recorded trace", wd.name))?;
+            let src = TraceSource::at_cursor(tf, cp.trace_cursor)
+                .map_err(|e| format!("{} interval {}: {e}", wd.name, interval.index))?;
+            Core::with_source(&wd.binary, point.config.clone(), Box::new(src))
+        }
+        _ => Core::new(&wd.binary, point.config.clone()),
+    };
     cp.restore_into(&mut core)?;
     if let Some(len) = window {
         core.enable_windows(len);
@@ -956,6 +1048,7 @@ fn run_cell(
         workload: wd.name.clone(),
         machine: point.machine.clone(),
         bpred: wd.bpred.clone(),
+        frontend: frontend.to_string(),
         mem_latency: point.mem_latency,
         interval: interval.index,
         start_inst: interval.start_inst,
@@ -1028,7 +1121,7 @@ mod tests {
             committed_insts: 1_200_000,
             kips: 200.0,
             kips_per_shard: 50.0,
-            last_cell: "pointer/SPEAR-128/120/3".into(),
+            last_cell: "pointer/SPEAR-128/bimodal/program/120/3".into(),
         };
         write_heartbeat(&dir, &hb).unwrap();
         // The temp files were renamed away, not left behind.

@@ -33,6 +33,7 @@ pub mod checkpoint;
 pub mod engine;
 pub mod sample;
 pub mod shard_cache;
+pub mod trace_cache;
 
 pub use checkpoint::{capture_interval_checkpoints, Checkpoint, CheckpointSet, Warmer};
 pub use engine::{
@@ -42,6 +43,7 @@ pub use engine::{
 };
 pub use sample::{aggregate, plan_intervals, Aggregate, Interval, SampleSpec};
 pub use shard_cache::{ShardCache, ShardCacheStats};
+pub use trace_cache::{record_trace, TraceCache, TraceCacheStats};
 
 #[cfg(test)]
 mod engine_tests {
@@ -70,6 +72,7 @@ mod engine_tests {
                     config: CoreConfig::spear(128),
                 },
             ],
+            frontends: vec!["program".into()],
             sample: SampleSpec {
                 interval_len: 20_000,
                 stride: 2,
@@ -86,9 +89,11 @@ mod engine_tests {
         aggs.iter()
             .map(|a| {
                 format!(
-                    "{}|{}|{}|{}|{}|{}",
+                    "{}|{}|{}|{}|{}|{}|{}|{}",
                     a.workload,
                     a.machine,
+                    a.bpred,
+                    a.frontend,
                     a.mem_latency,
                     a.cells,
                     a.target_insts,
@@ -272,8 +277,8 @@ mod engine_tests {
         assert!(hb.kips > 0.0);
         assert_eq!(
             hb.last_cell.split('/').count(),
-            5,
-            "workload/machine/bpred/latency/interval: {}",
+            6,
+            "workload/machine/bpred/frontend/latency/interval: {}",
             hb.last_cell
         );
         let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
@@ -286,6 +291,93 @@ mod engine_tests {
         );
         assert!(prom.contains("# TYPE spear_campaign_kips gauge"), "{prom}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_frontend_cells_match_program_cells_on_the_baseline_machine() {
+        let dir = temp_dir("trace-fe");
+        let mut spec = small_spec(2, None);
+        spec.workloads = vec!["pointer".into()];
+        spec.points.truncate(1); // the baseline superscalar point
+        spec.frontends = vec!["program".into(), "trace".into()];
+        let summary = Campaign::new(&dir, spec.clone()).run(None).unwrap();
+        let aggs = summary.aggregates();
+        assert_eq!(aggs.len(), 2, "one aggregate per front end");
+        let prog = aggs.iter().find(|a| a.frontend == "program").unwrap();
+        let trace = aggs.iter().find(|a| a.frontend == "trace").unwrap();
+        assert!(prog.cells > 0 && prog.cells == trace.cells);
+        assert_eq!(
+            serde::json::to_string(&prog.stats),
+            serde::json::to_string(&trace.stats),
+            "baseline timing must not depend on the instruction source"
+        );
+
+        // The aggregate envelope files keep the historical name for the
+        // program group and insert the front end for the trace group.
+        let files = write_aggregate_envelopes(&dir, &summary.results).unwrap();
+        let names: Vec<String> = files
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.contains(&"pointer-superscalar-120.json".to_string()),
+            "{names:?}"
+        );
+        assert!(
+            names.contains(&"pointer-superscalar-trace-120.json".to_string()),
+            "{names:?}"
+        );
+
+        // The frontend axis participates in resume identity: a re-run
+        // has nothing left, and a program-only spec must not resume a
+        // two-frontend directory.
+        let again = Campaign::new(&dir, spec.clone()).run(None).unwrap();
+        assert_eq!(again.executed, 0, "every (frontend, interval) cell done");
+        let mut other = spec;
+        other.frontends = vec!["program".into()];
+        let err = Campaign::new(&dir, other).run(None).unwrap_err();
+        assert!(err.contains("different spec"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bogus_frontends_are_rejected_before_any_work() {
+        let dir = temp_dir("bad-fe");
+        let mut spec = small_spec(1, None);
+        spec.frontends = vec!["oracle".into()];
+        let err = Campaign::new(&dir, spec).run(None).unwrap_err();
+        assert!(err.contains("unknown front end `oracle`"), "{err}");
+        let mut spec = small_spec(1, None);
+        spec.frontends = vec!["trace".into(), "trace".into()];
+        let err = Campaign::new(&dir, spec).run(None).unwrap_err();
+        assert!(err.contains("listed more than once"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_campaigns_share_the_trace_cache_across_jobs() {
+        let traces = TraceCache::new(u64::MAX);
+        let mut spec = small_spec(2, None);
+        spec.workloads = vec!["pointer".into()];
+        spec.points.truncate(1);
+        spec.frontends = vec!["trace".into()];
+        let opts = || RunOptions {
+            traces: Some(&traces),
+            ..RunOptions::default()
+        };
+        let d1 = temp_dir("share-1");
+        let d2 = temp_dir("share-2");
+        let a = Campaign::new(&d1, spec.clone()).run_with(&opts()).unwrap();
+        let b = Campaign::new(&d2, spec).run_with(&opts()).unwrap();
+        assert_eq!(comparable(&a.aggregates()), comparable(&b.aggregates()));
+        let ts = traces.stats();
+        assert_eq!(
+            (ts.misses, ts.hits),
+            (1, 1),
+            "one recording serves both jobs: {ts:?}"
+        );
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d2);
     }
 
     #[test]

@@ -81,6 +81,8 @@ pub struct Aggregate {
     /// Canonical branch-predictor spec label (`bimodal` for the paper
     /// default).
     pub bpred: String,
+    /// Instruction-supply front end (`program` or `trace`).
+    pub frontend: String,
     /// Main-memory latency in cycles.
     pub mem_latency: u32,
     /// Summed statistics over the group's sampled intervals.
@@ -111,7 +113,7 @@ impl Aggregate {
 }
 
 /// Fold per-cell results into one [`Aggregate`] per (workload, machine,
-/// predictor, latency) group.
+/// predictor, frontend, latency) group.
 ///
 /// Deterministic by construction: cells are sorted by their full key
 /// before merging, so the output is byte-identical no matter how many
@@ -120,13 +122,22 @@ impl Aggregate {
 pub fn aggregate(results: &[CellResult]) -> Vec<Aggregate> {
     let mut sorted: Vec<&CellResult> = results.iter().collect();
     sorted.sort_by(|a, b| {
-        (&a.workload, &a.machine, &a.bpred, a.mem_latency, a.interval).cmp(&(
-            &b.workload,
-            &b.machine,
-            &b.bpred,
-            b.mem_latency,
-            b.interval,
-        ))
+        (
+            &a.workload,
+            &a.machine,
+            &a.bpred,
+            &a.frontend,
+            a.mem_latency,
+            a.interval,
+        )
+            .cmp(&(
+                &b.workload,
+                &b.machine,
+                &b.bpred,
+                &b.frontend,
+                b.mem_latency,
+                b.interval,
+            ))
     });
     let mut out: Vec<Aggregate> = Vec::new();
     for cell in sorted {
@@ -134,6 +145,7 @@ pub fn aggregate(results: &[CellResult]) -> Vec<Aggregate> {
             a.workload == cell.workload
                 && a.machine == cell.machine
                 && a.bpred == cell.bpred
+                && a.frontend == cell.frontend
                 && a.mem_latency == cell.mem_latency
         });
         if !key_matches {
@@ -141,6 +153,7 @@ pub fn aggregate(results: &[CellResult]) -> Vec<Aggregate> {
                 workload: cell.workload.clone(),
                 machine: cell.machine.clone(),
                 bpred: cell.bpred.clone(),
+                frontend: cell.frontend.clone(),
                 mem_latency: cell.mem_latency,
                 stats: CoreStats::default(),
                 cells: 0,
@@ -210,6 +223,7 @@ mod tests {
             workload: w.to_string(),
             machine: m.to_string(),
             bpred: "bimodal".to_string(),
+            frontend: "program".to_string(),
             mem_latency: lat,
             interval: iv,
             start_inst: iv * 100,
@@ -246,6 +260,18 @@ mod tests {
         // Throughput: 200 insts over 2 ms of wall time = 100 KIPS.
         assert_eq!(mcf_base.wall_ms, 2);
         assert!((mcf_base.kips() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_keeps_frontend_groups_apart() {
+        let mut trace = cell("mcf", "baseline", 120, 0, 100, 100);
+        trace.frontend = "trace".to_string();
+        let results = vec![cell("mcf", "baseline", 120, 0, 100, 100), trace];
+        let aggs = aggregate(&results);
+        assert_eq!(aggs.len(), 2, "frontend is part of the group key");
+        assert_eq!(aggs[0].frontend, "program");
+        assert_eq!(aggs[1].frontend, "trace");
+        assert_eq!(aggs[0].cells, 1);
     }
 
     #[test]

@@ -23,8 +23,10 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Cache key: the parameters phase-1 state actually depends on —
-/// workload, canonical predictor spec label, interval length, stride.
-type ShardKey = (String, String, u64, u64);
+/// workload, canonical predictor spec label, instruction-supply
+/// discriminator (`program`, or `trace` when the shard also carries a
+/// recorded replay stream), interval length, stride.
+type ShardKey = (String, String, String, u64, u64);
 
 /// Cumulative cache counters, for `/metrics`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -85,21 +87,26 @@ impl ShardCache {
         self.budget
     }
 
-    /// Fetch the shard for `(workload, bpred, sample)`, building it with
-    /// `build` on a miss. Building happens *outside* the cache lock so a
-    /// slow functional pass never blocks hits on other shards; if two
-    /// threads race to build the same key, the first insert wins and the
-    /// loser's copy is dropped.
+    /// Fetch the shard for `(workload, bpred, supply, sample)`, building
+    /// it with `build` on a miss. `supply` discriminates shards that
+    /// carry a recorded replay trace (`trace`) from plain program-driven
+    /// ones (`program`) — they are not interchangeable, so they cache
+    /// separately. Building happens *outside* the cache lock so a slow
+    /// functional pass never blocks hits on other shards; if two threads
+    /// race to build the same key, the first insert wins and the loser's
+    /// copy is dropped.
     pub fn get_or_create(
         &self,
         workload: &str,
         bpred: &str,
+        supply: &str,
         sample: &SampleSpec,
         build: impl FnOnce() -> Result<WorkloadData, String>,
     ) -> Result<Arc<WorkloadData>, String> {
         let key: ShardKey = (
             workload.to_string(),
             bpred.to_string(),
+            supply.to_string(),
             sample.interval_len,
             sample.stride,
         );
@@ -173,6 +180,7 @@ mod tests {
                 total_insts: 0,
             },
             intervals: Vec::new(),
+            trace: None,
         }
     }
 
@@ -187,10 +195,12 @@ mod tests {
     fn hits_after_first_build_and_counts() {
         let cache = ShardCache::new(u64::MAX);
         let a1 = cache
-            .get_or_create("a", "bimodal", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "program", &spec(), || Ok(shard("a")))
             .unwrap();
         let a2 = cache
-            .get_or_create("a", "bimodal", &spec(), || panic!("must not rebuild"))
+            .get_or_create("a", "bimodal", "program", &spec(), || {
+                panic!("must not rebuild")
+            })
             .unwrap();
         assert!(Arc::ptr_eq(&a1, &a2), "same shared shard");
         let s = cache.stats();
@@ -201,14 +211,14 @@ mod tests {
     fn distinct_sample_specs_are_distinct_shards() {
         let cache = ShardCache::new(u64::MAX);
         cache
-            .get_or_create("a", "bimodal", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "program", &spec(), || Ok(shard("a")))
             .unwrap();
         let other = SampleSpec {
             interval_len: 500,
             stride: 2,
         };
         cache
-            .get_or_create("a", "bimodal", &other, || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "program", &other, || Ok(shard("a")))
             .unwrap();
         assert_eq!(cache.stats().entries, 2);
         assert_eq!(cache.stats().misses, 2);
@@ -218,15 +228,34 @@ mod tests {
     fn distinct_predictor_specs_are_distinct_shards() {
         let cache = ShardCache::new(u64::MAX);
         cache
-            .get_or_create("a", "bimodal", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "program", &spec(), || Ok(shard("a")))
             .unwrap();
         cache
-            .get_or_create("a", "tage", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "tage", "program", &spec(), || Ok(shard("a")))
             .unwrap();
         assert_eq!(cache.stats().entries, 2, "warm state is per predictor");
         assert_eq!(cache.stats().misses, 2);
         cache
-            .get_or_create("a", "tage", &spec(), || panic!("cached"))
+            .get_or_create("a", "tage", "program", &spec(), || panic!("cached"))
+            .unwrap();
+    }
+
+    #[test]
+    fn distinct_supplies_are_distinct_shards() {
+        // A program-only shard cannot serve trace-backed cells (no
+        // recorded replay stream attached), so the supply discriminator
+        // must key them apart.
+        let cache = ShardCache::new(u64::MAX);
+        cache
+            .get_or_create("a", "bimodal", "program", &spec(), || Ok(shard("a")))
+            .unwrap();
+        cache
+            .get_or_create("a", "bimodal", "trace", &spec(), || Ok(shard("a")))
+            .unwrap();
+        assert_eq!(cache.stats().entries, 2, "supply is part of the key");
+        assert_eq!(cache.stats().misses, 2);
+        cache
+            .get_or_create("a", "bimodal", "trace", &spec(), || panic!("cached"))
             .unwrap();
     }
 
@@ -234,17 +263,14 @@ mod tests {
     fn build_errors_are_propagated_and_not_cached() {
         let cache = ShardCache::new(u64::MAX);
         let err = cache
-            .get_or_create(
-                "a",
-                "bimodal",
-                &spec(),
-                || Err("compile failed".to_string()),
-            )
+            .get_or_create("a", "bimodal", "program", &spec(), || {
+                Err("compile failed".to_string())
+            })
             .unwrap_err();
         assert!(err.contains("compile failed"));
         // A later attempt builds again (and can succeed).
         cache
-            .get_or_create("a", "bimodal", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "program", &spec(), || Ok(shard("a")))
             .unwrap();
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().entries, 1);
@@ -255,10 +281,10 @@ mod tests {
         // Zero budget: every insert evicts down to a single entry.
         let cache = ShardCache::new(0);
         cache
-            .get_or_create("a", "bimodal", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "program", &spec(), || Ok(shard("a")))
             .unwrap();
         cache
-            .get_or_create("b", "bimodal", &spec(), || Ok(shard("b")))
+            .get_or_create("b", "bimodal", "program", &spec(), || Ok(shard("b")))
             .unwrap();
         let s = cache.stats();
         assert_eq!(s.entries, 1, "budget forces eviction to one entry");
@@ -266,14 +292,14 @@ mod tests {
         // The survivor is the most recent one ("b"): "a" must rebuild.
         let rebuilt = std::cell::Cell::new(false);
         cache
-            .get_or_create("a", "bimodal", &spec(), || {
+            .get_or_create("a", "bimodal", "program", &spec(), || {
                 rebuilt.set(true);
                 Ok(shard("a"))
             })
             .unwrap();
         assert!(rebuilt.get(), "evicted entry rebuilds");
         cache
-            .get_or_create("a", "bimodal", &spec(), || panic!("now cached"))
+            .get_or_create("a", "bimodal", "program", &spec(), || panic!("now cached"))
             .unwrap();
     }
 
@@ -281,10 +307,10 @@ mod tests {
     fn in_flight_arcs_survive_eviction() {
         let cache = ShardCache::new(0);
         let held = cache
-            .get_or_create("a", "bimodal", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "program", &spec(), || Ok(shard("a")))
             .unwrap();
         cache
-            .get_or_create("b", "bimodal", &spec(), || Ok(shard("b")))
+            .get_or_create("b", "bimodal", "program", &spec(), || Ok(shard("b")))
             .unwrap();
         // "a" was evicted from the cache, but our Arc still works.
         assert_eq!(held.name, "a");

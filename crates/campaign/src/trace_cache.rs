@@ -1,0 +1,228 @@
+//! The trace cache: recorded `.spt` replay streams built once per
+//! workload and shared read-only across every trace-backed cell of every
+//! job that needs one.
+//!
+//! Recording a trace is a full functional pass over the workload (one
+//! retired-instruction record per dynamic instruction), so it is the
+//! same class of fixed cost as building a checkpoint shard — and, unlike
+//! a shard, it depends on *nothing* but the workload: the committed path
+//! is architecture-defined, identical across machines, predictors,
+//! latencies and sampling plans. A resident server running many
+//! trace-backed jobs over the same workloads would otherwise re-record
+//! per job; with the cache it records once per workload.
+//!
+//! Eviction is least-recently-used under a byte budget, mirroring
+//! [`crate::shard_cache::ShardCache`]. An entry being used by a running
+//! job is an `Arc` clone, so eviction never invalidates in-flight
+//! replay.
+
+use parking_lot::Mutex;
+use spear_isa::SpearBinary;
+use spear_trace::TraceFile;
+use std::sync::Arc;
+
+/// Cumulative cache counters, for `/metrics`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to record the trace.
+    pub misses: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Estimated bytes currently resident.
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// Estimated resident size of a decoded trace: the in-memory record
+/// array dominates (the `Rec` struct is ~40 bytes against ~1 payload
+/// byte per ALU instruction), plus the embedded image and a flat base.
+fn approx_bytes(tf: &TraceFile) -> u64 {
+    const BASE_OVERHEAD: u64 = 64 * 1024;
+    const PER_REC: u64 = 48;
+    BASE_OVERHEAD + tf.recs.len() as u64 * PER_REC + tf.payload_bytes
+}
+
+struct Entry {
+    /// Workload name — the whole key: the committed path is a function
+    /// of the workload's evaluation program alone.
+    workload: String,
+    data: Arc<TraceFile>,
+    bytes: u64,
+}
+
+struct Inner {
+    /// Most-recently-used last.
+    entries: Vec<Entry>,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// An LRU cache of recorded [`TraceFile`]s under a byte budget.
+pub struct TraceCache {
+    budget: u64,
+    inner: Mutex<Inner>,
+}
+
+impl TraceCache {
+    /// A cache that keeps at most ~`budget_bytes` of estimated trace
+    /// state resident (a single trace larger than the whole budget is
+    /// still cached — the budget bounds the *sum*, evicting down to one
+    /// entry at minimum).
+    pub fn new(budget_bytes: u64) -> TraceCache {
+        TraceCache {
+            budget: budget_bytes,
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Fetch the replay trace for `workload`, recording it from `binary`
+    /// on a miss. Recording happens *outside* the cache lock so a slow
+    /// functional pass never blocks hits on other workloads; if two
+    /// threads race to record the same workload, the first insert wins
+    /// and the loser's copy is dropped.
+    pub fn get_or_record(
+        &self,
+        workload: &str,
+        binary: &SpearBinary,
+        max_insts: u64,
+    ) -> Result<Arc<TraceFile>, String> {
+        {
+            let mut g = self.inner.lock();
+            if let Some(i) = g.entries.iter().position(|e| e.workload == workload) {
+                g.hits += 1;
+                // Touch: move to most-recently-used.
+                let e = g.entries.remove(i);
+                let data = e.data.clone();
+                g.entries.push(e);
+                return Ok(data);
+            }
+            g.misses += 1;
+        }
+        let built = Arc::new(record_trace(workload, binary, max_insts)?);
+        let bytes = approx_bytes(&built);
+        let mut g = self.inner.lock();
+        if let Some(i) = g.entries.iter().position(|e| e.workload == workload) {
+            // Lost a record race; keep the incumbent.
+            let e = g.entries.remove(i);
+            let data = e.data.clone();
+            g.entries.push(e);
+            return Ok(data);
+        }
+        g.entries.push(Entry {
+            workload: workload.to_string(),
+            data: built.clone(),
+            bytes,
+        });
+        g.bytes += bytes;
+        while g.bytes > self.budget && g.entries.len() > 1 {
+            let victim = g.entries.remove(0);
+            g.bytes -= victim.bytes;
+            g.evictions += 1;
+        }
+        Ok(built)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> TraceCacheStats {
+        let g = self.inner.lock();
+        TraceCacheStats {
+            hits: g.hits,
+            misses: g.misses,
+            evictions: g.evictions,
+            resident_bytes: g.bytes,
+            entries: g.entries.len() as u64,
+        }
+    }
+}
+
+/// Record `binary`'s committed path and decode it back into a replayable
+/// [`TraceFile`] — the same encode→decode round trip a `.spt` on disk
+/// takes, so cached and file-loaded traces are indistinguishable.
+pub fn record_trace(
+    workload: &str,
+    binary: &SpearBinary,
+    max_insts: u64,
+) -> Result<TraceFile, String> {
+    let (bytes, stats) =
+        spear_trace::record(binary, max_insts).map_err(|e| format!("{workload}: record: {e}"))?;
+    if !stats.halted {
+        return Err(format!(
+            "{workload}: trace recording hit the {max_insts}-instruction budget before halt"
+        ));
+    }
+    TraceFile::decode(&bytes).map_err(|e| format!("{workload}: re-decode of own trace: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_isa::asm::Asm;
+    use spear_isa::reg::*;
+
+    fn tiny_binary(iters: i64) -> SpearBinary {
+        let mut a = Asm::new();
+        a.li(R3, iters);
+        a.label("spin");
+        a.addi(R3, R3, -1);
+        a.bne(R3, R0, "spin");
+        a.halt();
+        SpearBinary::plain(a.finish().unwrap())
+    }
+
+    #[test]
+    fn records_once_then_hits() {
+        let cache = TraceCache::new(u64::MAX);
+        let b = tiny_binary(8);
+        let t1 = cache.get_or_record("spin", &b, u64::MAX).unwrap();
+        let t2 = cache.get_or_record("spin", &b, u64::MAX).unwrap();
+        assert!(Arc::ptr_eq(&t1, &t2), "same shared trace");
+        assert!(!t1.recs.is_empty());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(s.resident_bytes > 0);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let cache = TraceCache::new(0);
+        cache.get_or_record("a", &tiny_binary(4), u64::MAX).unwrap();
+        let held = cache.get_or_record("b", &tiny_binary(6), u64::MAX).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.entries, 1, "budget forces eviction to one entry");
+        assert_eq!(s.evictions, 1);
+        // The evicted trace rebuilds; the in-flight Arc still works.
+        assert!(!held.recs.is_empty());
+        cache.get_or_record("a", &tiny_binary(4), u64::MAX).unwrap();
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn runaway_recordings_error_instead_of_caching_a_torso() {
+        let cache = TraceCache::new(u64::MAX);
+        let err = cache
+            .get_or_record("spin", &tiny_binary(1000), 5)
+            .unwrap_err();
+        assert!(err.contains("budget before halt"), "{err}");
+        // The failure was not cached.
+        assert_eq!(cache.stats().entries, 0);
+        cache
+            .get_or_record("spin", &tiny_binary(1000), u64::MAX)
+            .unwrap();
+    }
+}

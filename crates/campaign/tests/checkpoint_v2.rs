@@ -1,4 +1,4 @@
-//! Checkpoint v3 on-disk format, end to end: a sparse memory image must
+//! Checkpoint v4 on-disk format, end to end: a sparse memory image must
 //! round-trip byte-identically through the zero-eliding RLE-hex encoding
 //! at a fraction of the naive-hex size, and stale-version documents must
 //! fail loudly by version before any field is decoded.
@@ -108,17 +108,17 @@ fn zero_pages_shrink_the_document_far_below_naive_hex() {
 
 #[test]
 fn stale_document_is_rejected_loudly_by_version() {
-    // A *real* v3 document downgraded only in its version field — the
+    // A *real* v4 document downgraded only in its version field — the
     // gate must fire on the number alone, before any field decoding
     // could produce a confusing missing-field error.
     let cp = sparse_checkpoint();
-    assert_eq!(CHECKPOINT_VERSION, 3);
-    let v3 = cp.to_json();
-    let v1 = v3.replace("\"version\":3,", "\"version\":1,");
-    assert_ne!(v1, v3, "the version field must appear in the document");
+    assert_eq!(CHECKPOINT_VERSION, 4);
+    let v4 = cp.to_json();
+    let v1 = v4.replace("\"version\":4,", "\"version\":1,");
+    assert_ne!(v1, v4, "the version field must appear in the document");
     let err = Checkpoint::from_json(&v1).expect_err("v1 must be rejected");
     assert!(
-        err.contains("version 1 unsupported (expected 3)"),
+        err.contains("version 1 unsupported (expected 4)"),
         "rejection must name both versions: {err}"
     );
 }

@@ -16,9 +16,10 @@
 use spear::export::{SimPerf, StatsExport};
 use spear::{report, Machine};
 use spear_campaign::{Campaign, CampaignSpec, MachinePoint, SampleSpec};
-use spear_cpu::Core;
+use spear_cpu::{Core, TraceSource};
 use spear_isa::binfile;
 use spear_mem::LatencyConfig;
+use spear_trace::TraceFile;
 use std::io::BufWriter;
 use std::process::exit;
 
@@ -45,9 +46,13 @@ fn usage() -> ! {
          \x20      [--max-cycles N] [--max-insts N] [--trace N] [--quiet]\n\
          \x20      [--stats-json PATH] [--trace-file PATH] [--perf]\n\
          \x20      [--pipeview PATH] [--perfetto PATH] [--window N]\n\
+         \x20      [--frontend program|trace:FILE.spt]\n\
+         \x20  or: spear-sim record FILE.spear|workload:NAME --trace-out FILE.spt\n\
+         \x20      [--max-insts N]\n\
          \x20  or: spear-sim campaign --dir DIR [--workloads a,b,c|all]\n\
          \x20      [--machines M1,M2,...] [--bpreds S1,S2,...] [--mem-latency N]\n\
-         \x20      [--interval N] [--stride N] [--threads N] [--max-cells N]\n\
+         \x20      [--frontends program,trace] [--interval N] [--stride N]\n\
+         \x20      [--threads N] [--max-cells N]\n\
          \x20      [--window N] [--quiet]\n\
          \x20  or: spear-sim serve --dir DIR [--addr HOST:PORT] [--workers N]\n\
          \x20      [--queue-cap N] [--cache-mb N]\n\
@@ -112,6 +117,93 @@ fn parse_num<T: std::str::FromStr>(flag: &str, val: &str) -> T {
     })
 }
 
+/// Resolve a positional program argument: `workload:NAME` compiles the
+/// built-in workload in-process (profiling input drives the compiler;
+/// evaluation input runs); anything else loads a `.spear` binfile.
+fn load_input(file: &str) -> spear_isa::SpearBinary {
+    if let Some(name) = file.strip_prefix("workload:") {
+        let Some(w) = spear_workloads::by_name(name) else {
+            eprintln!("spear-sim: unknown workload `{name}`");
+            exit(exitcode::USAGE)
+        };
+        let (table, _) = spear::runner::compile_workload(&w);
+        spear_compiler::SpearCompiler::attach(w.eval_program(), table)
+    } else {
+        let bytes = std::fs::read(file).unwrap_or_else(|e| {
+            eprintln!("spear-sim: cannot read `{file}`: {e}");
+            exit(exitcode::RUNTIME)
+        });
+        binfile::load(&bytes).unwrap_or_else(|e| {
+            eprintln!("spear-sim: `{file}`: {e}");
+            exit(exitcode::RUNTIME)
+        })
+    }
+}
+
+/// The `record` subcommand: run the golden interpreter over a program
+/// and capture the committed path as a compressed self-describing `.spt`
+/// trace (program image + delta/varint/RLE-packed per-instruction
+/// records) that `--frontend trace:FILE` and campaign `frontends: trace`
+/// cells replay.
+fn record_main(args: Vec<String>) -> ! {
+    let mut file: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut max_insts = u64::MAX;
+
+    let mut it = args.into_iter();
+    let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("spear-sim: {flag} needs a value");
+            exit(exitcode::USAGE)
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace-out" => out = Some(next_val(&mut it, "--trace-out")),
+            "--max-insts" => {
+                max_insts = parse_num("--max-insts", &next_val(&mut it, "--max-insts"))
+            }
+            _ if file.is_none() && !arg.starts_with('-') => file = Some(arg),
+            _ => {
+                eprintln!("spear-sim: unrecognized record argument `{arg}`");
+                usage()
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("spear-sim: record needs a program (FILE.spear or workload:NAME)");
+        usage()
+    };
+    let Some(out) = out else {
+        eprintln!("spear-sim: record needs --trace-out");
+        usage()
+    };
+    let binary = load_input(&file);
+    let (bytes, stats) = spear_trace::record(&binary, max_insts).unwrap_or_else(|e| {
+        eprintln!("spear-sim: record `{file}`: {e}");
+        exit(exitcode::RUNTIME)
+    });
+    std::fs::write(&out, &bytes).unwrap_or_else(|e| {
+        eprintln!("spear-sim: cannot write `{out}`: {e}");
+        exit(exitcode::RUNTIME)
+    });
+    if !stats.halted {
+        eprintln!("spear-sim: record hit the --max-insts budget before the program halted");
+    }
+    println!(
+        "recorded {file}: {} insts -> {out} ({} bytes: {} image + {} payload, raw {}); \
+         {:.2} payload bits/inst, {:.2} file bits/inst",
+        stats.insts,
+        stats.file_bytes,
+        stats.image_bytes,
+        stats.payload_bytes,
+        stats.raw_payload_bytes,
+        stats.payload_bits_per_inst(),
+        stats.file_bits_per_inst()
+    );
+    exit(exitcode::OK)
+}
+
 /// The `campaign` subcommand: run (or resume) a checkpointed sampled
 /// campaign and write one `--stats-json`-shaped envelope per aggregate.
 fn campaign_main(args: Vec<String>) -> ! {
@@ -119,6 +211,7 @@ fn campaign_main(args: Vec<String>) -> ! {
     let mut workloads = vec!["all".to_string()];
     let mut machines = vec![Machine::Baseline, Machine::Spear128, Machine::Spear256];
     let mut bpreds = vec![spear_bpred::PredictorConfig::paper()];
+    let mut frontends: Vec<String> = Vec::new();
     let mut latency: Option<LatencyConfig> = None;
     let mut interval: u64 = 100_000;
     let mut stride: u64 = 1;
@@ -153,6 +246,12 @@ fn campaign_main(args: Vec<String>) -> ! {
                 bpreds = split_bpred_list(&next_val(&mut it, "--bpreds"))
                     .iter()
                     .map(|s| parse_bpred(s))
+                    .collect()
+            }
+            "--frontends" => {
+                frontends = next_val(&mut it, "--frontends")
+                    .split(',')
+                    .map(str::to_string)
                     .collect()
             }
             "--mem-latency" => {
@@ -217,6 +316,7 @@ fn campaign_main(args: Vec<String>) -> ! {
     let spec = CampaignSpec {
         workloads,
         points,
+        frontends,
         sample: SampleSpec {
             interval_len: interval,
             stride,
@@ -661,6 +761,9 @@ fn main() {
     if args.is_empty() {
         usage();
     }
+    if args[0] == "record" {
+        record_main(args.split_off(1));
+    }
     if args[0] == "campaign" {
         campaign_main(args.split_off(1));
     }
@@ -693,6 +796,7 @@ fn main() {
     let mut pipeview: Option<String> = None;
     let mut perfetto: Option<String> = None;
     let mut window: Option<u64> = None;
+    let mut frontend: Option<String> = None;
 
     let mut it = args.into_iter();
     let next_val = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -716,6 +820,7 @@ fn main() {
                 max_insts = parse_num("--max-insts", &next_val(&mut it, "--max-insts"))
             }
             "--trace" => trace = Some(parse_num("--trace", &next_val(&mut it, "--trace"))),
+            "--frontend" => frontend = Some(next_val(&mut it, "--frontend")),
             "--stats-json" => stats_json = Some(next_val(&mut it, "--stats-json")),
             "--trace-file" => trace_file = Some(next_val(&mut it, "--trace-file")),
             "--pipeview" => pipeview = Some(next_val(&mut it, "--pipeview")),
@@ -739,24 +844,31 @@ fn main() {
         }
     }
     let Some(file) = file else { usage() };
-    let binary = if let Some(name) = file.strip_prefix("workload:") {
-        // Convenience path: compile the built-in workload in-process
-        // (profiling input drives the compiler; evaluation input runs).
-        let Some(w) = spear_workloads::by_name(name) else {
-            eprintln!("spear-sim: unknown workload `{name}`");
-            exit(exitcode::USAGE)
-        };
-        let (table, _) = spear::runner::compile_workload(&w);
-        spear_compiler::SpearCompiler::attach(w.eval_program(), table)
-    } else {
-        let bytes = std::fs::read(&file).unwrap_or_else(|e| {
-            eprintln!("spear-sim: cannot read `{file}`: {e}");
-            exit(exitcode::RUNTIME)
-        });
-        binfile::load(&bytes).unwrap_or_else(|e| {
-            eprintln!("spear-sim: `{file}`: {e}");
-            exit(exitcode::RUNTIME)
-        })
+    // Resolve the instruction supply. The default `program` front end
+    // compiles/loads the positional argument and executes semantics at
+    // dispatch; `--frontend trace:FILE` replays a recorded committed
+    // path instead, fetching from the image embedded in the trace (the
+    // positional argument then only names the stats envelope).
+    let replay: Option<TraceFile> = match frontend.as_deref() {
+        None | Some("program") => None,
+        Some(spec) => {
+            let Some(path) = spec.strip_prefix("trace:") else {
+                eprintln!("spear-sim: --frontend expects `program` or `trace:FILE`, got `{spec}`");
+                usage()
+            };
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("spear-sim: cannot read trace `{path}`: {e}");
+                exit(exitcode::RUNTIME)
+            });
+            Some(TraceFile::decode(&bytes).unwrap_or_else(|e| {
+                eprintln!("spear-sim: trace `{path}`: {e}");
+                exit(exitcode::RUNTIME)
+            }))
+        }
+    };
+    let binary = match &replay {
+        Some(_) => None,
+        None => Some(load_input(&file)),
     };
 
     let mut cfg = machine.config(latency);
@@ -766,7 +878,10 @@ fn main() {
     let bpred_label = cfg.bpred.spec_label();
     let commit_width = cfg.commit_width;
     let mem_latency = cfg.hier.latency.memory;
-    let mut core = Core::new(&binary, cfg);
+    let mut core = match &replay {
+        Some(tf) => Core::with_source(&tf.binary, cfg, Box::new(TraceSource::new(tf))),
+        None => Core::new(binary.as_ref().expect("program front end"), cfg),
+    };
     if let Some(cap) = trace {
         core.enable_trace(cap);
     }
@@ -836,7 +951,8 @@ fn main() {
             s.clone(),
         )
         .with_sim_perf(sim_perf)
-        .with_bpred(&bpred_label);
+        .with_bpred(&bpred_label)
+        .with_frontend(if replay.is_some() { "trace" } else { "program" });
         std::fs::write(path, doc.to_json()).unwrap_or_else(|e| {
             eprintln!("spear-sim: cannot write `{path}`: {e}");
             exit(exitcode::RUNTIME)

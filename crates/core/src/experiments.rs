@@ -154,6 +154,7 @@ pub fn run_matrix_sampled(
                 config: m.config(latency),
             })
             .collect(),
+        frontends: Vec::new(),
         sample,
         threads: 0,
         max_cells: None,

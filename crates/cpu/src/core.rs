@@ -50,6 +50,9 @@ pub enum SimError {
         /// Cycle at which the watchdog fired.
         cycle: u64,
     },
+    /// The trace-replay instruction source could not supply the
+    /// committed path (exhausted, diverged, or unreplayable record).
+    Trace(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -57,6 +60,7 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Exec(e) => write!(f, "functional execution failed: {e}"),
             SimError::Deadlock { cycle } => write!(f, "pipeline deadlock at cycle {cycle}"),
+            SimError::Trace(msg) => write!(f, "trace replay failed: {msg}"),
         }
     }
 }
@@ -86,6 +90,21 @@ impl<'p> Core<'p> {
     /// p-thread table (or `cfg.spear == None`) behaves as the baseline
     /// superscalar.
     pub fn new(binary: &'p SpearBinary, cfg: CoreConfig) -> Core<'p> {
+        let source = Box::new(crate::source::ProgramSource::new(&binary.program));
+        Core::with_source(binary, cfg, source)
+    }
+
+    /// Build a core whose instruction supply is an explicit
+    /// [`crate::source::ExecSource`] — e.g. a
+    /// [`crate::source::TraceSource`] replaying a recorded `.spt`
+    /// committed path. `binary` must be the source's own image (for a
+    /// trace, the binary embedded in the trace file): it seeds the entry
+    /// PC, the initial data image, and the SPEAR p-thread table.
+    pub fn with_source(
+        binary: &'p SpearBinary,
+        cfg: CoreConfig,
+        source: Box<dyn crate::source::ExecSource + 'p>,
+    ) -> Core<'p> {
         let fe: Box<dyn FrontEndExt + 'p> = match cfg.spear {
             Some(sp) => {
                 assert!(
@@ -101,7 +120,7 @@ impl<'p> Core<'p> {
             None => Box::new(BaselineFrontEnd),
         };
         let is_spear = cfg.spear.is_some();
-        let mut pipe = Pipeline::new(&binary.program, cfg);
+        let mut pipe = Pipeline::with_source(&binary.program, source, cfg);
         if is_spear {
             // Pre-size the hierarchy's per-d-load profile map: the key
             // set is exactly the table's d-load PCs, so seeding it here
@@ -291,6 +310,17 @@ impl<'p> Core<'p> {
     /// and its target context, e.g. "preexec@ctx1").
     pub fn mode_name(&self) -> String {
         self.fe.mode_name()
+    }
+
+    /// Short label of the instruction supply ("program", "trace").
+    pub fn source_name(&self) -> &'static str {
+        self.pipe.source.name()
+    }
+
+    /// The instruction supply's replay cursor: true-path instructions
+    /// its oracle has consumed (dispatch-order, so ≥ `committed()`).
+    pub fn source_cursor(&self) -> u64 {
+        self.pipe.source.cursor()
     }
 
     /// Cycles simulated so far.

@@ -89,6 +89,11 @@ pub struct StatsExport {
     /// `None` — and omitted from JSON — for the paper's bimodal default,
     /// keeping default envelopes byte-identical to the pre-trait schema.
     pub bpred: Option<String>,
+    /// Instruction-supply front end (`trace`) when the run replayed a
+    /// recorded trace instead of executing the program. `None` — and
+    /// omitted from JSON — for the default program front end, keeping
+    /// program-driven envelopes byte-identical to the pre-trace schema.
+    pub frontend: Option<String>,
 }
 
 impl Serialize for StatsExport {
@@ -106,6 +111,9 @@ impl Serialize for StatsExport {
         }
         if let Some(b) = &self.bpred {
             fields.push(("bpred".to_string(), b.to_value()));
+        }
+        if let Some(f) = &self.frontend {
+            fields.push(("frontend".to_string(), f.to_value()));
         }
         serde::Value::Object(fields)
     }
@@ -131,6 +139,11 @@ impl Deserialize for StatsExport {
                 Ok(val) => Option::<String>::from_value(val)?,
                 Err(_) => None,
             },
+            // Absent for program-driven runs and older writers.
+            frontend: match v.field("frontend") {
+                Ok(val) => Option::<String>::from_value(val)?,
+                Err(_) => None,
+            },
         })
     }
 }
@@ -153,6 +166,7 @@ impl StatsExport {
             stats,
             sim_perf: None,
             bpred: None,
+            frontend: None,
         }
     }
 
@@ -169,6 +183,18 @@ impl StatsExport {
             None
         } else {
             Some(label.to_string())
+        };
+        self
+    }
+
+    /// Record the instruction-supply front end. The default `program`
+    /// source is stored as `None` so program-driven envelopes keep their
+    /// exact historical bytes.
+    pub fn with_frontend(mut self, frontend: &str) -> Self {
+        self.frontend = if frontend == "program" {
+            None
+        } else {
+            Some(frontend.to_string())
         };
         self
     }
@@ -232,6 +258,28 @@ mod tests {
         assert!(json.contains("\"bpred\": \"tage\""));
         let back = StatsExport::from_json(&json).expect("valid JSON");
         assert_eq!(back.bpred.as_deref(), Some("tage"));
+    }
+
+    #[test]
+    fn frontend_label_round_trips_and_program_stays_omitted() {
+        let doc = StatsExport::new(
+            "mcf",
+            "SPEAR-128",
+            120,
+            RunExit::Halted,
+            CoreStats::default(),
+        );
+        let program = doc.clone().with_frontend("program");
+        assert_eq!(
+            program.frontend, None,
+            "default source normalizes to absent"
+        );
+        assert_eq!(program.to_json(), doc.to_json());
+        let trace = doc.clone().with_frontend("trace");
+        let json = trace.to_json();
+        assert!(json.contains("\"frontend\": \"trace\""));
+        let back = StatsExport::from_json(&json).expect("valid JSON");
+        assert_eq!(back.frontend.as_deref(), Some("trace"));
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod obs;
 pub mod overlay;
 pub mod pipeline;
 pub mod ruu;
+pub mod source;
 pub mod spear;
 pub mod stage;
 pub mod stats;
@@ -41,4 +42,5 @@ pub use hist::Histogram;
 pub use machine::Machine;
 pub use obs::{CounterSample, LifeRecord, DEFAULT_LIFECYCLE_CAP, DEFAULT_WINDOW_CYCLES};
 pub use ruu::{Ruu, SeqId};
+pub use source::{ExecSource, ProgramSource, TraceSource};
 pub use stats::{CoreStats, CycleAccount, DloadProfile, RunExit, StallCause, WindowStat};

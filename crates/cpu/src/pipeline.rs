@@ -14,6 +14,7 @@ use crate::ctx::{CtxId, HwContext, MAIN_CTX};
 use crate::fu::FuPool;
 use crate::ifq::Ifq;
 use crate::ruu::Ruu;
+use crate::source::{ExecSource, ProgramSource};
 use crate::stage::{IssueLatch, RecoveryPort};
 use crate::stats::CoreStats;
 use crate::trace::{Event, Trace};
@@ -104,8 +105,9 @@ pub struct FetchState {
 pub struct Pipeline<'p> {
     /// Machine configuration.
     pub cfg: CoreConfig,
-    /// The program under simulation.
-    pub program: &'p Program,
+    /// The instruction supply: fetch-image lookup plus the
+    /// committed-path oracle (see [`crate::source`]).
+    pub source: Box<dyn ExecSource + 'p>,
 
     // ---- front end ----
     /// Branch predictor.
@@ -176,8 +178,21 @@ pub struct Pipeline<'p> {
 }
 
 impl<'p> Pipeline<'p> {
-    /// Fresh machine state for `program` under `cfg`.
+    /// Fresh machine state for `program` under `cfg`, supplied by the
+    /// execute-at-dispatch [`ProgramSource`] (today's default).
     pub fn new(program: &'p Program, cfg: CoreConfig) -> Pipeline<'p> {
+        Pipeline::with_source(program, Box::new(ProgramSource::new(program)), cfg)
+    }
+
+    /// Fresh machine state for `program`'s image and initial data,
+    /// supplied by an arbitrary [`ExecSource`]. `program` provides the
+    /// entry PC and data image only; instructions and the committed-path
+    /// oracle come from `source`.
+    pub fn with_source(
+        program: &'p Program,
+        source: Box<dyn ExecSource + 'p>,
+        cfg: CoreConfig,
+    ) -> Pipeline<'p> {
         assert!(cfg.num_contexts >= 1, "a machine needs a main context");
         let n = cfg.num_contexts;
         let (pools, ctx_pool) = if cfg.separate_fu {
@@ -217,7 +232,7 @@ impl<'p> Pipeline<'p> {
             stats: CoreStats::default(),
             trace: None,
             obs: None,
-            program,
+            source,
             cfg,
         }
     }

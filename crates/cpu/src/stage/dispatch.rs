@@ -6,7 +6,6 @@ use crate::frontend::FrontEndExt;
 use crate::pipeline::{EState, Pipeline, RuuEntry};
 use crate::ruu::SeqId;
 use crate::stage::{DecodePort, Recovery};
-use spear_exec::{exec_inst, ExecError};
 
 /// Dispatch from the IFQ head into the main-context RUU, with whatever
 /// decode bandwidth the front-end extension's extraction step left
@@ -49,21 +48,19 @@ fn dispatch_main(pipe: &mut Pipeline, fetched: crate::ifq::IfqEntry) -> Result<(
     let mut mispredict_target = None;
 
     if !wrong_path {
-        let outcome = exec_inst(
+        // The committed-path oracle: semantics under `ProgramSource`,
+        // recorded records under `TraceSource` (see `crate::source`).
+        let outcome = pipe.source.step_main(
             &fetched.inst,
             fetched.pc,
             &mut pipe.ctxs[MAIN_CTX.0].regs,
             &mut pipe.mem,
-        )
-        .map_err(|fault| {
-            SimError::Exec(ExecError::Mem {
-                pc: fetched.pc,
-                fault,
-            })
-        })?;
+        )?;
         eff_addr = outcome.eff_addr;
-        if let Some(d) = fetched.inst.dst() {
-            dst_val = Some((d, pipe.ctxs[MAIN_CTX.0].regs.read_u64(d)));
+        if pipe.source.tracks_registers() {
+            if let Some(d) = fetched.inst.dst() {
+                dst_val = Some((d, pipe.ctxs[MAIN_CTX.0].regs.read_u64(d)));
+            }
         }
         if fetched.inst.op.is_ctrl() {
             pipe.predictor.update(

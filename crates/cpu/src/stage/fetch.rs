@@ -19,7 +19,7 @@ pub fn run(pipe: &mut Pipeline, fe: &mut dyn FrontEndExt) {
             break;
         }
         let pc = pipe.fetch.pc;
-        let Some(&inst) = pipe.program.fetch(pc) else {
+        let Some(inst) = pipe.source.fetch_inst(pc) else {
             // Runaway (wrong-path) PC: nothing to fetch until redirect.
             break;
         };

@@ -1,0 +1,144 @@
+//! Trace-driven replay equivalence: a baseline core driven by a
+//! recorded `.spt` committed path must produce the *byte-identical*
+//! stats envelope of the execute-at-dispatch run it replays — the
+//! pipeline provably does not care where instructions come from.
+
+use spear_cpu::{Core, Machine, StatsExport, TraceSource};
+use spear_isa::asm::Asm;
+use spear_isa::reg::*;
+use spear_isa::SpearBinary;
+use spear_trace::{record, TraceFile};
+
+/// A pointer-chase-flavoured kernel: dependent loads, a store per
+/// iteration, and two branch patterns (inner conditional + loop back
+/// edge) so the predictor, the D-cache, and store-to-load forwarding
+/// all see real traffic.
+fn kernel() -> SpearBinary {
+    let mut a = Asm::new();
+    let xs: Vec<u64> = (0..64).map(|i| (i * 2654435761) % 977).collect();
+    let base = a.alloc_u64("xs", &xs);
+    let out = a.reserve("out", 8 * 64);
+    a.li(R1, base as i64);
+    a.li(R2, out as i64);
+    a.li(R3, 64);
+    a.li(R5, 0);
+    a.label("loop");
+    a.ld(R4, R1, 0);
+    a.andi(R6, R4, 1);
+    a.beq(R6, R0, "even");
+    a.add(R5, R5, R4);
+    a.label("even");
+    a.sd(R5, R2, 0);
+    a.addi(R1, R1, 8);
+    a.addi(R2, R2, 8);
+    a.addi(R3, R3, -1);
+    a.bne(R3, R0, "loop");
+    a.halt();
+    SpearBinary::plain(a.finish().unwrap())
+}
+
+fn envelope(machine: Machine, core_res: (spear_cpu::RunResult, u64)) -> String {
+    let (res, _checksum) = core_res;
+    StatsExport::new("kernel", machine.name(), 100, res.exit, res.stats).to_json()
+}
+
+fn run_program(binary: &SpearBinary, machine: Machine) -> (spear_cpu::RunResult, u64) {
+    let mut core = Core::new(binary, machine.config(None));
+    let res = core.run(u64::MAX, u64::MAX).expect("program run");
+    let ck = core.state_checksum();
+    (res, ck)
+}
+
+fn run_trace(tf: &TraceFile, machine: Machine) -> (spear_cpu::RunResult, u64) {
+    let source = Box::new(TraceSource::new(tf));
+    let mut core = Core::with_source(&tf.binary, machine.config(None), source);
+    let res = core.run(u64::MAX, u64::MAX).expect("trace run");
+    let ck = core.memory().checksum();
+    (res, ck)
+}
+
+#[test]
+fn baseline_replay_envelope_is_byte_identical() {
+    let binary = kernel();
+    let (bytes, stats) = record(&binary, u64::MAX).expect("records");
+    assert!(stats.halted);
+    let tf = TraceFile::decode(&bytes).expect("decodes");
+
+    let prog = run_program(&binary, Machine::Baseline);
+    let trace = run_trace(&tf, Machine::Baseline);
+
+    // Architectural memory stays exact under replay (store data is
+    // recorded), even though registers are not tracked.
+    let mut core = Core::new(&binary, Machine::Baseline.config(None));
+    core.run(u64::MAX, u64::MAX).unwrap();
+    assert_eq!(core.memory().checksum(), trace.1, "replay memory image");
+
+    assert_eq!(
+        envelope(Machine::Baseline, prog),
+        envelope(Machine::Baseline, trace),
+        "baseline stats envelope must not depend on the instruction source"
+    );
+}
+
+#[test]
+fn replay_cursor_tracks_the_true_path() {
+    let binary = kernel();
+    let (bytes, rec_stats) = record(&binary, u64::MAX).unwrap();
+    let tf = TraceFile::decode(&bytes).unwrap();
+    let source = Box::new(TraceSource::new(&tf));
+    let mut core = Core::with_source(&tf.binary, Machine::Baseline.config(None), source);
+    core.run(u64::MAX, u64::MAX).unwrap();
+    assert_eq!(core.source_name(), "trace");
+    assert_eq!(
+        core.source_cursor(),
+        rec_stats.insts,
+        "every recorded instruction is consumed exactly once"
+    );
+}
+
+#[test]
+fn mid_trace_cursor_resume_requires_matching_pc() {
+    let binary = kernel();
+    let (bytes, _) = record(&binary, u64::MAX).unwrap();
+    let tf = TraceFile::decode(&bytes).unwrap();
+
+    // A cursor beyond the trace is rejected up front.
+    let err = match TraceSource::at_cursor(&tf, tf.recs.len() as u64 + 1) {
+        Err(e) => e,
+        Ok(_) => panic!("cursor beyond the trace must be rejected"),
+    };
+    assert!(err.contains("beyond"), "{err}");
+
+    // Resuming at a cursor whose expected PC does not match the fetch
+    // PC fails loudly at the first dispatched instruction instead of
+    // silently replaying the wrong region.
+    let source = Box::new(TraceSource::at_cursor(&tf, 10).expect("valid cursor"));
+    let mut core = Core::with_source(&tf.binary, Machine::Baseline.config(None), source);
+    // Fetch starts at the program entry (pc of record 0), but the
+    // cursor claims record 10: divergence.
+    let err = core.run(u64::MAX, u64::MAX).expect_err("cursor mismatch");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("diverged") && msg.contains("trace"),
+        "divergence must be loud and name the trace: {msg}"
+    );
+}
+
+#[test]
+fn spear_machines_replay_deterministically() {
+    // Under SPEAR front ends the p-thread contexts run semantics over
+    // register live-ins the replay does not track, so stats are allowed
+    // to differ from the program-driven run — but replay must still be
+    // deterministic and architecturally exact on memory.
+    let binary = kernel();
+    let (bytes, _) = record(&binary, u64::MAX).unwrap();
+    let tf = TraceFile::decode(&bytes).unwrap();
+
+    let a = run_trace(&tf, Machine::Spear128);
+    let b = run_trace(&tf, Machine::Spear128);
+    assert_eq!(
+        envelope(Machine::Spear128, a),
+        envelope(Machine::Spear128, b),
+        "trace replay under SPEAR must be deterministic"
+    );
+}

@@ -11,7 +11,10 @@
 //! the structural invariants (exact CPI-stack slot accounting, the
 //! timely/late/useless prefetch partition, cache tag-store
 //! well-formedness), and one configuration round-trips a mid-run
-//! checkpoint through its JSON encoding.
+//! checkpoint through its JSON encoding. Finally, every generated
+//! program is recorded into the `.spt` trace format and replayed
+//! trace-driven on the baseline machine, which must reproduce both the
+//! golden memory image and the program-driven run's exact statistics.
 //!
 //! Cache *inclusion* is deliberately a diagnostic, not an assertion: the
 //! model is non-inclusive by construction (L2 only sees L1-miss traffic,
@@ -22,7 +25,7 @@
 use crate::gen::ProgramSpec;
 use spear_campaign::{capture_interval_checkpoints, Checkpoint, Warmer};
 use spear_compiler::{CompilerConfig, SpearCompiler};
-use spear_cpu::{Core, CoreConfig, CoreStats, RunExit};
+use spear_cpu::{Core, CoreConfig, CoreStats, RunExit, TraceSource};
 use spear_exec::{Interp, Memory, RegFile};
 use spear_isa::{Program, SpearBinary};
 
@@ -239,7 +242,93 @@ pub fn check(spec: &ProgramSpec) -> Result<OracleReport, Failure> {
 
     check_checkpoint_roundtrip(&p, &binary, &g, &mut report)?;
     check_sampled_vs_full(&p, &binary, &g, &mut report)?;
+    check_trace_replay(&binary, &g, &mut report)?;
     Ok(report)
+}
+
+/// Record/replay oracle: every generated program is recorded into the
+/// `.spt` trace format and replayed through a trace-driven baseline
+/// core, which must reproduce the golden memory image and retired count
+/// — and, because baseline timing never reads register *values*, the
+/// exact statistics of the program-driven baseline run. Any codec bug,
+/// cursor slip or wrong-path synthesis difference shows up here as a
+/// stats or divergence failure.
+fn check_trace_replay(
+    binary: &SpearBinary,
+    g: &Golden,
+    report: &mut OracleReport,
+) -> Result<(), Failure> {
+    let label = "superscalar/trace-replay";
+    let fail = |kind: &str, detail: String| Failure {
+        config: label.to_string(),
+        kind: kind.to_string(),
+        detail,
+    };
+    let (bytes, rstats) =
+        spear_trace::record(binary, GOLDEN_BUDGET).map_err(|e| fail("trace", e))?;
+    if !rstats.halted {
+        return Err(fail(
+            "trace",
+            "recording hit the instruction budget before halt".to_string(),
+        ));
+    }
+    if rstats.insts != g.icount {
+        return Err(fail(
+            "trace",
+            format!(
+                "recorded {} instructions, golden {}",
+                rstats.insts, g.icount
+            ),
+        ));
+    }
+    let tf = spear_trace::TraceFile::decode(&bytes).map_err(|e| fail("trace", e.to_string()))?;
+
+    let cfg = CoreConfig::baseline();
+    let mut reference = Core::new(binary, cfg.clone());
+    let ref_res = reference.run(CYCLE_BUDGET, u64::MAX).map_err(|e| Failure {
+        config: label.to_string(),
+        kind: "sim-error".to_string(),
+        detail: e.to_string(),
+    })?;
+
+    let mut core = Core::with_source(binary, cfg, Box::new(TraceSource::new(&tf)));
+    let res = core.run(CYCLE_BUDGET, u64::MAX).map_err(|e| Failure {
+        config: label.to_string(),
+        kind: "sim-error".to_string(),
+        detail: e.to_string(),
+    })?;
+    if res.exit != RunExit::Halted {
+        return Err(fail("exit", format!("expected Halted, got {:?}", res.exit)));
+    }
+    if res.stats.committed != g.icount {
+        return Err(fail(
+            "committed",
+            format!(
+                "replay retired {}, golden {}",
+                res.stats.committed, g.icount
+            ),
+        ));
+    }
+    // Replay applies recorded store data, so architectural memory must
+    // land byte-identical to the golden model. (Register values are not
+    // tracked under replay — that is the `tracks_registers` contract.)
+    if core.memory() != &g.mem {
+        return Err(fail(
+            "memory",
+            first_byte_diff(core.memory().as_bytes(), g.mem.as_bytes()),
+        ));
+    }
+    if res.stats != ref_res.stats {
+        return Err(fail(
+            "trace",
+            "trace-driven baseline statistics diverge from the program-driven run".to_string(),
+        ));
+    }
+    res.stats
+        .check_invariants(8)
+        .map_err(|e| fail("invariants", e))?;
+    report.configs_checked += 1;
+    Ok(())
 }
 
 /// Mid-run checkpoint oracle: capture at the halfway instruction with a
@@ -497,8 +586,8 @@ mod tests {
         let report = check(&spec).expect("clean tree must pass");
         assert!(report.golden_icount > 0);
         // 9 matrix configs (3 machines x {ctx2, ctx4, ctx2+tage}) +
-        // checkpoint round-trip + two sampled passes.
-        assert_eq!(report.configs_checked, 12);
+        // checkpoint round-trip + two sampled passes + trace replay.
+        assert_eq!(report.configs_checked, 13);
     }
 
     #[test]

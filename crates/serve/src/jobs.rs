@@ -40,6 +40,11 @@ pub struct JobSpec {
     /// like `bimodal`, `gshare` or `tage:tables=6,...`. Empty means the
     /// paper default (`bimodal`). The grid is machines × bpreds.
     pub bpreds: Vec<String>,
+    /// Instruction-supply front ends (`--frontends`): `program` and/or
+    /// `trace`. Empty means the historical program-driven grid. `trace`
+    /// cells replay a committed path recorded once per workload and
+    /// shared through the server's trace cache.
+    pub frontends: Vec<String>,
     /// Main-memory latency override in cycles (`--mem-latency`).
     pub mem_latency: Option<u32>,
     /// Interval length in instructions (`--interval`).
@@ -60,6 +65,7 @@ impl Default for JobSpec {
             workloads: Vec::new(),
             machines: Vec::new(),
             bpreds: Vec::new(),
+            frontends: Vec::new(),
             mem_latency: None,
             interval: 100_000,
             stride: 1,
@@ -77,6 +83,7 @@ impl Serialize for JobSpec {
             ("workloads".into(), self.workloads.to_value()),
             ("machines".into(), self.machines.to_value()),
             ("bpreds".into(), self.bpreds.to_value()),
+            ("frontends".into(), self.frontends.to_value()),
             ("mem_latency".into(), self.mem_latency.to_value()),
             ("interval".into(), self.interval.to_value()),
             ("stride".into(), self.stride.to_value()),
@@ -103,6 +110,7 @@ impl Deserialize for JobSpec {
             workloads: Vec::<String>::from_value(v.field("workloads")?)?,
             machines: Vec::<String>::from_value(v.field("machines")?)?,
             bpreds: opt(v, "bpreds", d.bpreds)?,
+            frontends: opt(v, "frontends", d.frontends)?,
             mem_latency: opt(v, "mem_latency", d.mem_latency)?,
             interval: opt(v, "interval", d.interval)?,
             stride: opt(v, "stride", d.stride)?,
@@ -158,6 +166,13 @@ impl JobSpec {
                     .map_err(|e| format!("bad predictor spec `{spec}`: {e}"))?,
             );
         }
+        for f in &self.frontends {
+            if f != "program" && f != "trace" {
+                return Err(format!(
+                    "unknown front end `{f}` (expected `program` or `trace`)"
+                ));
+            }
+        }
         let latency = self.mem_latency.map(LatencyConfig::sweep_point);
         let mem_latency = latency.unwrap_or_else(LatencyConfig::paper).memory;
         let mut points = Vec::with_capacity(machines.len() * bpreds.len());
@@ -175,6 +190,7 @@ impl JobSpec {
         Ok(CampaignSpec {
             workloads,
             points,
+            frontends: self.frontends.clone(),
             sample: SampleSpec {
                 interval_len: self.interval,
                 stride: self.stride,
@@ -385,6 +401,7 @@ mod tests {
             workloads: vec!["pointer".into()],
             machines: vec!["baseline".into(), "spear-128".into()],
             bpreds: vec!["bimodal".into(), "tage".into()],
+            frontends: vec!["program".into(), "trace".into()],
             mem_latency: Some(200),
             interval: 50_000,
             stride: 2,
@@ -408,6 +425,10 @@ mod tests {
         assert!(
             spec.bpreds.is_empty(),
             "bpreds defaults to the paper's bimodal"
+        );
+        assert!(
+            spec.frontends.is_empty(),
+            "frontends defaults to the historical program grid"
         );
     }
 
@@ -433,6 +454,15 @@ mod tests {
             .resolve(2)
             .unwrap_err()
             .contains("bad predictor spec `tage:tables=zero`"));
+        spec.bpreds = Vec::new();
+        spec.frontends = vec!["oracle".into()];
+        assert!(spec
+            .resolve(2)
+            .unwrap_err()
+            .contains("unknown front end `oracle`"));
+        spec.frontends = vec!["program".into(), "trace".into()];
+        let resolved = spec.resolve(2).unwrap();
+        assert_eq!(resolved.frontends, vec!["program", "trace"]);
     }
 
     #[test]

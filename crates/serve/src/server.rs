@@ -28,7 +28,9 @@ use crate::http::{self, Request, Response};
 use crate::jobs::{self, Job, JobSpec, JobState, ProgressLite};
 use parking_lot::Mutex;
 use serde::Value;
-use spear_campaign::{Campaign, HeartbeatDoc, ProgressSnapshot, RunOptions, ShardCache};
+use spear_campaign::{
+    Campaign, HeartbeatDoc, ProgressSnapshot, RunOptions, ShardCache, TraceCache,
+};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -102,6 +104,7 @@ struct State {
     registry: Mutex<Vec<Job>>,
     tx: crossbeam::channel::Sender<String>,
     cache: ShardCache,
+    traces: TraceCache,
     started: Instant,
     http_requests: AtomicU64,
     jobs_submitted: AtomicU64,
@@ -162,6 +165,7 @@ impl Server {
                 registry: Mutex::new(registry),
                 tx,
                 cache: ShardCache::new(cfg.cache_bytes),
+                traces: TraceCache::new(cfg.cache_bytes),
                 started: Instant::now(),
                 http_requests: AtomicU64::new(0),
                 jobs_submitted: AtomicU64::new(0),
@@ -302,6 +306,7 @@ fn run_one(state: &State, id: &str) {
         on_progress: Some(&on_progress),
         cancel: Some(&cancel),
         cache: Some(&state.cache),
+        traces: Some(&state.traces),
     });
 
     match summary {
@@ -771,6 +776,32 @@ fn metrics(state: &Arc<State>) -> Response {
         "spear_serve_shard_cache_budget_bytes",
         "Configured shard-cache byte budget.",
         state.cache.budget_bytes().to_string(),
+    );
+    let ts = state.traces.stats();
+    gauge(
+        "spear_serve_trace_cache_hits",
+        "Trace-cache lookups served from memory.",
+        ts.hits.to_string(),
+    );
+    gauge(
+        "spear_serve_trace_cache_misses",
+        "Trace-cache lookups that recorded the trace.",
+        ts.misses.to_string(),
+    );
+    gauge(
+        "spear_serve_trace_cache_evictions",
+        "Traces evicted under the byte budget.",
+        ts.evictions.to_string(),
+    );
+    gauge(
+        "spear_serve_trace_cache_resident_bytes",
+        "Estimated bytes of resident recorded traces.",
+        ts.resident_bytes.to_string(),
+    );
+    gauge(
+        "spear_serve_trace_cache_entries",
+        "Recorded traces currently resident.",
+        ts.entries.to_string(),
     );
 
     if !running_bpreds.is_empty() {

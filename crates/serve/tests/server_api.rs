@@ -360,6 +360,80 @@ fn metrics_track_jobs_and_cache() {
 }
 
 #[test]
+fn trace_backed_jobs_replay_through_the_trace_cache() {
+    let (addr, root, handle) = start("tracejob", 4);
+
+    // One workload, baseline machine, both front ends: the trace cells
+    // replay the recorded committed path instead of executing `pointer`.
+    let spec = "{\"workloads\":[\"pointer\"],\"machines\":[\"baseline\"],\
+                \"frontends\":[\"program\",\"trace\"],\
+                \"interval\":20000,\"stride\":2}";
+    let (status, body) = submit(&addr, spec);
+    assert_eq!(status, 201, "{body}");
+    let id = field_str(&body, "id").unwrap();
+    wait_for_state(&addr, &id, "done", Duration::from_secs(120));
+
+    // Both front ends aggregated, under their own envelope names.
+    let agg_dir = root
+        .join("jobs")
+        .join(&id)
+        .join("campaign")
+        .join("aggregates");
+    let mut names: Vec<String> = std::fs::read_dir(&agg_dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert_eq!(
+        names,
+        vec![
+            "pointer-superscalar-120.json".to_string(),
+            "pointer-superscalar-trace-120.json".to_string(),
+        ],
+        "{names:?}"
+    );
+    // On the baseline machine replay is timing-equivalent to execution:
+    // the two envelopes differ only by the frontend label.
+    let program = std::fs::read_to_string(agg_dir.join(&names[0])).unwrap();
+    let trace = std::fs::read_to_string(agg_dir.join(&names[1])).unwrap();
+    assert_eq!(
+        trace.replace(",\n  \"frontend\": \"trace\"", ""),
+        program,
+        "baseline trace replay must reproduce the program-driven envelope"
+    );
+
+    // A second identical job re-records nothing: the trace cache serves
+    // the recorded path, and the gauges say so.
+    let (status, body) = submit(&addr, spec);
+    assert_eq!(status, 201, "{body}");
+    let id2 = field_str(&body, "id").unwrap();
+    wait_for_state(&addr, &id2, "done", Duration::from_secs(120));
+
+    let (status, metrics) = client::request(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("spear_serve_trace_cache_misses 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("spear_serve_trace_cache_entries 1"),
+        "{metrics}"
+    );
+
+    // A bogus front end is a 400 at submission, not a failed job.
+    let (status, body) = submit(
+        &addr,
+        "{\"workloads\":[\"pointer\"],\"machines\":[\"baseline\"],\
+         \"frontends\":[\"oracle\"]}",
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unknown front end"), "{body}");
+
+    shutdown(&addr, handle);
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
 fn restart_rescan_resumes_unfinished_jobs() {
     let root = temp_root("rescan");
     let cfg = ServeConfig {

@@ -1,0 +1,137 @@
+//! Byte-level codecs for the `.spt` record payload: LEB128 varints,
+//! zigzag signed mapping, and a zero-byte run-length layer.
+//!
+//! The record stream is built from three orthogonal tricks, composed in
+//! this order:
+//!
+//! 1. **Delta encoding** (done by the caller): PCs and effective
+//!    addresses are stored as differences from a running previous value,
+//!    so sequential code and strided access produce tiny integers.
+//! 2. **Zigzag varints**: signed deltas map to small unsigned integers
+//!    (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`) and are emitted LEB128-style,
+//!    7 bits per byte — a not-taken branch or a repeated address costs
+//!    one byte.
+//! 3. **Zero RLE**: the finished payload is passed through a run-length
+//!    layer that collapses runs of `0x00` (the single most common byte:
+//!    not-taken branches and zero deltas) into `0x00` + varint(run-1).
+
+/// Append `v` as an LEB128 varint (7 bits per byte, MSB = continuation).
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+/// Decode one varint at `*pos`, advancing it. `None` on truncation or a
+/// varint longer than the 10 bytes a `u64` can need (corrupt stream).
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Map a signed value to an unsigned one with small magnitudes first.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Run-length-encode runs of zero bytes: every `0x00` in `raw` is
+/// emitted as `0x00` followed by a varint of how many *additional*
+/// zeros the run contained. Non-zero bytes pass through untouched, so
+/// the layer is transparent to the varint stream above it.
+pub fn rle_encode(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        let b = raw[i];
+        if b != 0 {
+            out.push(b);
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < raw.len() && raw[i] == 0 {
+            i += 1;
+        }
+        out.push(0);
+        put_varint(&mut out, (i - start - 1) as u64);
+    }
+    out
+}
+
+/// Inverse of [`rle_encode`]. `None` if the stream ends inside a run
+/// header or a run would exceed `max_raw` bytes (corrupt length field).
+pub fn rle_decode(enc: &[u8], max_raw: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(enc.len());
+    let mut pos = 0;
+    while pos < enc.len() {
+        let b = enc[pos];
+        pos += 1;
+        if b != 0 {
+            out.push(b);
+        } else {
+            let extra = get_varint(enc, &mut pos)?;
+            let run = (extra as usize).checked_add(1)?;
+            if out.len().checked_add(run)? > max_raw {
+                return None;
+            }
+            out.resize(out.len() + run, 0);
+        }
+        if out.len() > max_raw {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut b = Vec::new();
+            put_varint(&mut b, v);
+            let mut p = 0;
+            assert_eq!(get_varint(&b, &mut p), Some(v));
+            assert_eq!(p, b.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -(u32::MAX as i64)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn rle_round_trips_mixed_runs() {
+        let raw = [1u8, 0, 0, 0, 2, 0, 3, 3, 0, 0];
+        let enc = rle_encode(&raw);
+        assert_eq!(rle_decode(&enc, raw.len()).unwrap(), raw);
+    }
+}

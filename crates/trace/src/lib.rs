@@ -1,0 +1,497 @@
+//! `.spt` — the SPEAR compressed instruction-trace format.
+//!
+//! A trace is a **capture-once / replay-forever** record of a program's
+//! committed path: the cycle core replays the recorded next-PC /
+//! effective-address / store-data oracle instead of re-executing
+//! semantics, and any tool can re-run the exact dynamic stream without
+//! the workload generator that produced it.
+//!
+//! # File layout (all integers little-endian)
+//!
+//! ```text
+//! magic      8 bytes  b"SPEARSPT"
+//! version    u32      1
+//! image_len  u64      length of the embedded program image
+//! image      bytes    the full SPEARBIN binary (program + p-thread table)
+//! start_pc   u32      PC of the first recorded instruction
+//! inst_count u64      number of per-retired-instruction records
+//! raw_len    u64      payload length before the zero-RLE layer
+//! stored_len u64      payload length as stored
+//! encoding   u8       0 = raw varint stream, 1 = zero-RLE layer applied
+//! payload    bytes    the varint record stream
+//! ```
+//!
+//! The recorder stores whichever payload form is smaller: the zero-RLE
+//! layer collapses not-taken/zero-delta runs but costs an extra byte per
+//! *isolated* zero, so zero-sparse streams keep the raw form.
+//!
+//! The file is **self-describing**: the program image travels inside it,
+//! so wrong-path fetch during replay (and the replay itself) needs no
+//! external binary. Per-record fields are conditional on the opcode the
+//! decoder sees at the current PC in the embedded image:
+//!
+//! * control transfer: one varint, `zigzag(next_pc − (pc+1)) << 1 | taken`
+//!   — a not-taken branch is a single `0x00` byte;
+//! * load/store: one varint, `zigzag(eff_addr − prev_eff_addr)` against a
+//!   running previous address;
+//! * store only: one varint, `zigzag(stored value)`;
+//! * everything else (ALU, nop, halt): **zero bytes** — the committed
+//!   next PC is implied.
+//!
+//! That conditionality is what hits the compression target: straight-line
+//! arithmetic costs nothing, loops cost a byte or two per iteration, and
+//! the zero-RLE layer collapses the not-taken/zero-delta bytes that
+//! remain (see `EXPERIMENTS.md` for measured bits/inst).
+
+pub mod codec;
+
+use codec::{get_varint, put_varint, rle_decode, rle_encode, unzigzag, zigzag};
+use spear_exec::Interp;
+use spear_isa::{binfile, Inst, Opcode, SpearBinary};
+use std::fmt;
+
+/// File magic.
+pub const MAGIC: [u8; 8] = *b"SPEARSPT";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// One decoded per-retired-instruction record: the committed-path oracle
+/// the cycle core consumes instead of executing semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rec {
+    /// Committed next PC.
+    pub next_pc: u32,
+    /// For control transfers: the resolved direction (unconditional
+    /// transfers record `true`). `false` for everything else.
+    pub taken: bool,
+    /// True if this instruction was `halt`.
+    pub halted: bool,
+    /// Effective address, for loads and stores.
+    pub eff_addr: Option<u64>,
+    /// For stores: the value written (zero-extended to the access width).
+    pub store: Option<u64>,
+}
+
+/// Why a trace failed to decode. Every variant renders as a one-line
+/// diagnostic; none of the decode paths panic on hostile input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The file does not start with the `.spt` magic.
+    BadMagic,
+    /// The file is a `.spt` trace from an unsupported format version.
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The file ended in the middle of the named section.
+    Truncated(&'static str),
+    /// Structurally invalid content (bad image, PC walk escaping the
+    /// program text, trailing bytes, oversized runs).
+    Corrupt(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a .spt trace (bad magic)"),
+            TraceError::BadVersion { found } => {
+                write!(f, "trace version {found} unsupported (expected {VERSION})")
+            }
+            TraceError::Truncated(what) => {
+                write!(f, "truncated trace: unexpected end of file in {what}")
+            }
+            TraceError::Corrupt(msg) => write!(f, "corrupt trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Capture-side accounting, for the `record` subcommand's summary line
+/// and the EXPERIMENTS.md bits/inst table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordStats {
+    /// Instructions recorded.
+    pub insts: u64,
+    /// Record payload bytes as stored (after zero-RLE).
+    pub payload_bytes: u64,
+    /// Record payload bytes before the zero-RLE layer.
+    pub raw_payload_bytes: u64,
+    /// Embedded program-image bytes.
+    pub image_bytes: u64,
+    /// Total file size.
+    pub file_bytes: u64,
+    /// True if the recording ended at `halt` (false: budget hit).
+    pub halted: bool,
+}
+
+impl RecordStats {
+    /// Stored record-payload bits per recorded instruction.
+    pub fn payload_bits_per_inst(&self) -> f64 {
+        if self.insts == 0 {
+            return 0.0;
+        }
+        self.payload_bytes as f64 * 8.0 / self.insts as f64
+    }
+
+    /// Whole-file bits per recorded instruction (header and embedded
+    /// image amortized over the dynamic stream).
+    pub fn file_bits_per_inst(&self) -> f64 {
+        if self.insts == 0 {
+            return 0.0;
+        }
+        self.file_bytes as f64 * 8.0 / self.insts as f64
+    }
+}
+
+/// A fully decoded trace: the embedded program (fetch image for both the
+/// true path and wrong-path synthesis) plus the committed-path records.
+#[derive(Debug)]
+pub struct TraceFile {
+    /// The embedded SPEARBIN binary.
+    pub binary: SpearBinary,
+    /// PC of the first record.
+    pub start_pc: u32,
+    /// Decoded per-retired-instruction records.
+    pub recs: Vec<Rec>,
+    /// Stored payload size (diagnostics).
+    pub payload_bytes: u64,
+    /// Pre-RLE payload size (diagnostics).
+    pub raw_payload_bytes: u64,
+}
+
+/// What the interpreter observed when one instruction retired — the
+/// fields the encoder needs to reconstruct the committed path.
+struct RetiredStep<'a> {
+    pc: u32,
+    inst: &'a Inst,
+    next_pc: u32,
+    taken: bool,
+    eff_addr: Option<u64>,
+    store: Option<u64>,
+}
+
+/// Encode one retired instruction into the raw varint stream.
+fn encode_step(raw: &mut Vec<u8>, prev_mem: &mut u64, step: RetiredStep<'_>) {
+    if step.inst.op.is_ctrl() {
+        let delta = i64::from(step.next_pc) - (i64::from(step.pc) + 1);
+        put_varint(raw, (zigzag(delta) << 1) | u64::from(step.taken));
+    }
+    if step.inst.op.is_mem() {
+        let ea = step
+            .eff_addr
+            .expect("memory op retired without an effective address");
+        put_varint(raw, zigzag((ea as i64).wrapping_sub(*prev_mem as i64)));
+        *prev_mem = ea;
+        if step.inst.op.is_store() {
+            put_varint(
+                raw,
+                zigzag(step.store.expect("store retired without a value") as i64),
+            );
+        }
+    }
+}
+
+/// Record `binary`'s committed path by running the golden interpreter
+/// from its entry point, up to `max_insts` retired instructions or
+/// `halt`. Returns the encoded `.spt` bytes and capture accounting.
+pub fn record(binary: &SpearBinary, max_insts: u64) -> Result<(Vec<u8>, RecordStats), String> {
+    let mut interp = Interp::new(&binary.program);
+    let start_pc = interp.pc;
+    let mut raw = Vec::new();
+    let mut prev_mem = 0u64;
+    let mut insts = 0u64;
+    while !interp.halted && insts < max_insts {
+        let si = interp
+            .step()
+            .map_err(|e| format!("recording failed: functional execution failed: {e}"))?;
+        let store = if si.inst.op.is_store() {
+            let ea = si
+                .outcome
+                .eff_addr
+                .expect("store retired without an effective address");
+            let v = interp
+                .mem
+                .peek(ea, si.inst.op.mem_width())
+                .map_err(|e| format!("recording failed: store readback: {e}"))?;
+            Some(v)
+        } else {
+            None
+        };
+        encode_step(
+            &mut raw,
+            &mut prev_mem,
+            RetiredStep {
+                pc: si.pc,
+                inst: &si.inst,
+                next_pc: si.outcome.next_pc,
+                taken: si.outcome.taken.unwrap_or(true),
+                eff_addr: si.outcome.eff_addr,
+                store,
+            },
+        );
+        insts += 1;
+    }
+
+    let image = binfile::save(binary);
+    let rle = rle_encode(&raw);
+    // The zero-RLE layer costs an extra byte per *isolated* zero, so it
+    // can expand zero-sparse streams; store whichever form is smaller.
+    let (encoding, payload): (u8, &[u8]) = if rle.len() < raw.len() {
+        (1, &rle)
+    } else {
+        (0, &raw)
+    };
+    let mut out = Vec::with_capacity(45 + image.len() + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(image.len() as u64).to_le_bytes());
+    out.extend_from_slice(&image);
+    out.extend_from_slice(&start_pc.to_le_bytes());
+    out.extend_from_slice(&insts.to_le_bytes());
+    out.extend_from_slice(&(raw.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.push(encoding);
+    out.extend_from_slice(payload);
+
+    let stats = RecordStats {
+        insts,
+        payload_bytes: payload.len() as u64,
+        raw_payload_bytes: raw.len() as u64,
+        image_bytes: image.len() as u64,
+        file_bytes: out.len() as u64,
+        halted: interp.halted,
+    };
+    Ok((out, stats))
+}
+
+fn take<'a>(
+    buf: &'a [u8],
+    pos: &mut usize,
+    n: usize,
+    what: &'static str,
+) -> Result<&'a [u8], TraceError> {
+    let end = pos.checked_add(n).ok_or(TraceError::Truncated(what))?;
+    if end > buf.len() {
+        return Err(TraceError::Truncated(what));
+    }
+    let s = &buf[*pos..end];
+    *pos = end;
+    Ok(s)
+}
+
+fn take_u32(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u32, TraceError> {
+    Ok(u32::from_le_bytes(
+        take(buf, pos, 4, what)?.try_into().unwrap(),
+    ))
+}
+
+fn take_u64(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, TraceError> {
+    Ok(u64::from_le_bytes(
+        take(buf, pos, 8, what)?.try_into().unwrap(),
+    ))
+}
+
+impl TraceFile {
+    /// Decode a `.spt` file. Rejects bad magic, unsupported versions,
+    /// truncation anywhere (header, image, mid-record), and structural
+    /// corruption — always with a one-line diagnostic, never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<TraceFile, TraceError> {
+        let mut pos = 0usize;
+        if take(bytes, &mut pos, 8, "magic")? != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = take_u32(bytes, &mut pos, "version")?;
+        if version != VERSION {
+            return Err(TraceError::BadVersion { found: version });
+        }
+        let image_len = take_u64(bytes, &mut pos, "image length")? as usize;
+        let image = take(bytes, &mut pos, image_len, "program image")?;
+        let binary = binfile::load(image)
+            .map_err(|e| TraceError::Corrupt(format!("embedded program image: {e}")))?;
+        let start_pc = take_u32(bytes, &mut pos, "start pc")?;
+        let inst_count = take_u64(bytes, &mut pos, "instruction count")?;
+        let raw_len = take_u64(bytes, &mut pos, "raw payload length")? as usize;
+        let stored_len = take_u64(bytes, &mut pos, "payload length")? as usize;
+        let encoding = take(bytes, &mut pos, 1, "payload encoding")?[0];
+        let payload = take(bytes, &mut pos, stored_len, "record payload")?;
+        if pos != bytes.len() {
+            return Err(TraceError::Corrupt(format!(
+                "{} trailing bytes after the record payload",
+                bytes.len() - pos
+            )));
+        }
+        let raw: Vec<u8> = match encoding {
+            0 => {
+                if payload.len() != raw_len {
+                    return Err(TraceError::Corrupt(format!(
+                        "raw-encoded payload is {} bytes, header says {raw_len}",
+                        payload.len()
+                    )));
+                }
+                payload.to_vec()
+            }
+            1 => rle_decode(payload, raw_len)
+                .ok_or(TraceError::Truncated("record payload (zero-RLE layer)"))?,
+            other => {
+                return Err(TraceError::Corrupt(format!(
+                    "unknown payload encoding {other}"
+                )))
+            }
+        };
+        if raw.len() != raw_len {
+            return Err(TraceError::Corrupt(format!(
+                "payload decompressed to {} bytes, header says {raw_len}",
+                raw.len()
+            )));
+        }
+
+        let program = &binary.program;
+        let mut recs = Vec::with_capacity(inst_count.min(1 << 24) as usize);
+        let mut pc = start_pc;
+        let mut prev_mem = 0u64;
+        let mut rpos = 0usize;
+        for i in 0..inst_count {
+            let Some(&inst) = program.fetch(pc) else {
+                return Err(TraceError::Corrupt(format!(
+                    "record {i}: pc {pc} escapes the program text"
+                )));
+            };
+            let mut rec = Rec {
+                next_pc: pc.wrapping_add(1),
+                taken: false,
+                halted: false,
+                eff_addr: None,
+                store: None,
+            };
+            if inst.op == Opcode::Halt {
+                rec.next_pc = pc;
+                rec.halted = true;
+            }
+            if inst.op.is_ctrl() {
+                let v = get_varint(&raw, &mut rpos)
+                    .ok_or(TraceError::Truncated("record stream (control field)"))?;
+                rec.taken = v & 1 == 1;
+                let delta = unzigzag(v >> 1);
+                rec.next_pc = (i64::from(pc) + 1).wrapping_add(delta) as u32;
+            }
+            if inst.op.is_mem() {
+                let v = get_varint(&raw, &mut rpos)
+                    .ok_or(TraceError::Truncated("record stream (address field)"))?;
+                let ea = (prev_mem as i64).wrapping_add(unzigzag(v)) as u64;
+                rec.eff_addr = Some(ea);
+                prev_mem = ea;
+                if inst.op.is_store() {
+                    let sv = get_varint(&raw, &mut rpos)
+                        .ok_or(TraceError::Truncated("record stream (store field)"))?;
+                    rec.store = Some(unzigzag(sv) as u64);
+                }
+            }
+            pc = rec.next_pc;
+            recs.push(rec);
+        }
+        if rpos != raw.len() {
+            return Err(TraceError::Corrupt(format!(
+                "{} unconsumed payload bytes after the last record",
+                raw.len() - rpos
+            )));
+        }
+        Ok(TraceFile {
+            binary,
+            start_pc,
+            recs,
+            payload_bytes: stored_len as u64,
+            raw_payload_bytes: raw_len as u64,
+        })
+    }
+
+    /// True if the recording reached `halt` (replay can run to
+    /// completion; a budget-truncated trace can only replay its prefix).
+    pub fn ends_halted(&self) -> bool {
+        self.recs.last().is_some_and(|r| r.halted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spear_isa::asm::Asm;
+    use spear_isa::reg::*;
+
+    fn sum_loop(n: u64) -> SpearBinary {
+        let mut a = Asm::new();
+        let xs: Vec<u64> = (1..=n).collect();
+        let base = a.alloc_u64("xs", &xs);
+        a.li(R1, base as i64);
+        a.li(R2, 0);
+        a.li(R3, n as i64);
+        a.label("loop");
+        a.ld(R4, R1, 0);
+        a.add(R2, R2, R4);
+        a.addi(R1, R1, 8);
+        a.addi(R3, R3, -1);
+        a.bne(R3, R0, "loop");
+        let out = a.reserve("out", 8);
+        a.li(R5, out as i64);
+        a.sd(R2, R5, 0);
+        a.halt();
+        SpearBinary::plain(a.finish().unwrap())
+    }
+
+    #[test]
+    fn record_decode_round_trip_matches_the_interpreter() {
+        let b = sum_loop(16);
+        let (bytes, stats) = record(&b, u64::MAX).unwrap();
+        assert!(stats.halted);
+        let tf = TraceFile::decode(&bytes).unwrap();
+        assert_eq!(tf.recs.len() as u64, stats.insts);
+        assert!(tf.ends_halted());
+
+        // Walk the interpreter in lockstep with the decoded records.
+        let mut i = Interp::new(&b.program);
+        for (n, rec) in tf.recs.iter().enumerate() {
+            let si = i.step().unwrap_or_else(|e| panic!("step {n}: {e}"));
+            assert_eq!(rec.next_pc, si.outcome.next_pc, "record {n} next_pc");
+            assert_eq!(rec.eff_addr, si.outcome.eff_addr, "record {n} eff_addr");
+            assert_eq!(rec.halted, si.outcome.halted, "record {n} halted");
+            if si.inst.op.is_ctrl() {
+                assert_eq!(
+                    rec.taken,
+                    si.outcome.taken.unwrap_or(true),
+                    "record {n} taken"
+                );
+            }
+            if si.inst.op.is_store() {
+                let ea = si.outcome.eff_addr.unwrap();
+                let v = i.mem.peek(ea, si.inst.op.mem_width()).unwrap();
+                assert_eq!(rec.store, Some(v), "record {n} store value");
+            }
+        }
+        assert!(i.halted);
+    }
+
+    #[test]
+    fn loop_kernels_compress_well_under_the_budget() {
+        let b = sum_loop(256);
+        let (_, stats) = record(&b, u64::MAX).unwrap();
+        // 5-inst loop body with one load and one (taken) back-branch:
+        // ~2 payload bytes per iteration = ~3.2 bits/inst, far under the
+        // 16-bit target even before RLE.
+        assert!(
+            stats.payload_bits_per_inst() <= 16.0,
+            "payload bits/inst {} exceeds the format target",
+            stats.payload_bits_per_inst()
+        );
+    }
+
+    #[test]
+    fn budget_truncated_recording_reports_not_halted() {
+        let b = sum_loop(64);
+        let (bytes, stats) = record(&b, 10).unwrap();
+        assert!(!stats.halted);
+        assert_eq!(stats.insts, 10);
+        let tf = TraceFile::decode(&bytes).unwrap();
+        assert_eq!(tf.recs.len(), 10);
+        assert!(!tf.ends_halted());
+    }
+}

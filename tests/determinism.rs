@@ -74,6 +74,7 @@ fn campaign_stats_json_identical_across_thread_counts() {
                 config: CoreConfig::spear(128),
             },
         ],
+        frontends: Vec::new(),
         sample: SampleSpec::full(25_000),
         threads,
         max_cells: None,
