@@ -390,6 +390,61 @@ pub fn capture_interval_checkpoints(
     })
 }
 
+/// Run one functional pass over `program`, capturing a checkpoint at each
+/// of the explicitly named instruction `boundaries` (ascending, deduped by
+/// the caller — typically the start instructions of SimPoint
+/// representative intervals). Like [`capture_interval_checkpoints`], the
+/// [`Warmer`] observes *every* instruction, so each checkpoint carries the
+/// warm state of the whole prefix, not just the sampled regions.
+///
+/// Boundaries at or past the program's halt point are an error: a phase
+/// representative must exist inside the dynamic stream that produced it.
+pub fn capture_checkpoints_at(
+    program: &Program,
+    workload: &str,
+    hier_cfg: HierConfig,
+    bpred_cfg: PredictorConfig,
+    boundaries: &[u64],
+    max_insts: u64,
+) -> Result<CheckpointSet, String> {
+    debug_assert!(
+        boundaries.windows(2).all(|w| w[0] < w[1]),
+        "boundaries must be ascending and unique"
+    );
+    let mut interp = Interp::new(program);
+    let mut warmer = Warmer::new(hier_cfg, bpred_cfg);
+    let mut checkpoints = Vec::new();
+    let mut next = 0usize;
+    loop {
+        if interp.halted {
+            break;
+        }
+        if interp.icount >= max_insts {
+            return Err(format!(
+                "{workload}: functional pass exceeded {max_insts} instructions without halting"
+            ));
+        }
+        if next < boundaries.len() && interp.icount == boundaries[next] {
+            checkpoints.push(Checkpoint::capture(workload, &interp, &warmer));
+            next += 1;
+        }
+        let si = interp
+            .step()
+            .map_err(|e| format!("{workload}: functional pass failed: {e}"))?;
+        warmer.observe(&si);
+    }
+    if next < boundaries.len() {
+        return Err(format!(
+            "{workload}: checkpoint boundary {} lies at or past the program's halt point ({})",
+            boundaries[next], interp.icount
+        ));
+    }
+    Ok(CheckpointSet {
+        checkpoints,
+        total_insts: interp.icount,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +535,48 @@ mod tests {
         assert_eq!(idx, vec![0, 200, 400]);
         assert!(set.at(200).is_some());
         assert!(set.at(100).is_none());
+    }
+
+    #[test]
+    fn capture_at_explicit_boundaries_matches_interval_capture() {
+        let p = chase_program(100);
+        // The interval pass at (100, stride 2) captures at 0, 200, 400.
+        let by_interval = capture_interval_checkpoints(
+            &p,
+            "chase",
+            HierConfig::paper(),
+            PredictorConfig::paper(),
+            100,
+            2,
+            1_000_000,
+        )
+        .unwrap();
+        let by_boundary = capture_checkpoints_at(
+            &p,
+            "chase",
+            HierConfig::paper(),
+            PredictorConfig::paper(),
+            &[0, 200, 400],
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(by_boundary.total_insts, by_interval.total_insts);
+        assert_eq!(by_boundary.checkpoints.len(), 3);
+        for (a, b) in by_boundary.checkpoints.iter().zip(&by_interval.checkpoints) {
+            // Same boundary + same warming history => identical documents.
+            assert_eq!(a.to_json(), b.to_json());
+        }
+        // A boundary past halt is a loud error, not a silent omission.
+        let err = capture_checkpoints_at(
+            &p,
+            "chase",
+            HierConfig::paper(),
+            PredictorConfig::paper(),
+            &[0, 1_000_000 - 1],
+            1_000_000,
+        )
+        .unwrap_err();
+        assert!(err.contains("halt point"), "{err}");
     }
 
     #[test]

@@ -31,14 +31,14 @@
 //! pass still serves every (machine, latency) point that uses the same
 //! predictor.
 
-use crate::checkpoint::{capture_interval_checkpoints, CheckpointSet};
+use crate::checkpoint::{capture_checkpoints_at, capture_interval_checkpoints, CheckpointSet};
 use crate::sample::{aggregate, plan_intervals, Aggregate, Interval, SampleSpec};
 use crate::shard_cache::ShardCache;
 use crate::trace_cache::{record_trace, TraceCache};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use spear_compiler::{CompilerConfig, SpearCompiler};
-use spear_cpu::{Core, CoreConfig, CoreStats, RunExit, StatsExport, TraceSource};
+use spear_cpu::{Core, CoreConfig, CoreStats, RunExit, SimpointBlock, StatsExport, TraceSource};
 use spear_isa::SpearBinary;
 use spear_trace::TraceFile;
 use std::collections::HashSet;
@@ -80,10 +80,42 @@ pub struct MachinePoint {
     pub config: CoreConfig,
 }
 
+/// SimPoint phase-clustering parameters for a `--simpoint` campaign.
+///
+/// With this set, the prepare phase slices every workload's committed
+/// stream into BBV intervals (one per `sample.interval_len`
+/// instructions), clusters them into phases with a seeded k-means (see
+/// `spear_simpoint`), and cycle-simulates only one *representative*
+/// interval per phase. Each representative's cell carries its phase's
+/// population count as a weight, and the aggregate reconstitutes
+/// whole-program statistics as the weight-blended sum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimpointSpec {
+    /// Number of phases; 0 chooses k automatically by BIC.
+    pub k: u64,
+    /// Clusterer seed (projection axes + deterministic k-means).
+    pub seed: u64,
+}
+
+impl Default for SimpointSpec {
+    fn default() -> SimpointSpec {
+        SimpointSpec { k: 0, seed: 42 }
+    }
+}
+
+impl SimpointSpec {
+    /// Canonical one-string form, used as the manifest fingerprint field
+    /// and the shard-cache discriminator (e.g. `k4:seed42`; `k0` = auto).
+    pub fn label(&self) -> String {
+        format!("k{}:seed{}", self.k, self.seed)
+    }
+}
+
 /// What a campaign runs.
 #[derive(Clone, Debug)]
 pub struct CampaignSpec {
-    /// Workload names (resolved via `spear_workloads::by_name`).
+    /// Workload specs: plain abbreviations (`mcf`) or scale-suffixed
+    /// (`mcf@x100`), resolved via `spear_workloads::by_spec`.
     pub workloads: Vec<String>,
     /// The (machine, latency) sweep points.
     pub points: Vec<MachinePoint>,
@@ -104,10 +136,21 @@ pub struct CampaignSpec {
     /// windows off). Part of the manifest fingerprint: window shape
     /// changes the persisted stats, so a resume must match.
     pub window: Option<u64>,
+    /// SimPoint phase clustering (`None` = systematic sampling as
+    /// before). Part of the manifest fingerprint. Requires `stride == 1`
+    /// (clustering *is* the sampling policy) and is incompatible with
+    /// `window` (windowed telemetry is a cycle partition of one run and
+    /// cannot be weight-blended).
+    pub simpoint: Option<SimpointSpec>,
 }
 
 /// One completed cell, as persisted to `cells.jsonl`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived) so the SimPoint `weight`
+/// field is *omitted* when 1: every record a non-simpoint campaign
+/// writes keeps its exact historical bytes, and records from older
+/// writers parse back with the implied unit weight.
+#[derive(Clone, Debug, PartialEq)]
 pub struct CellResult {
     /// Record format version ([`CELL_SCHEMA_VERSION`]).
     pub schema_version: u32,
@@ -128,6 +171,11 @@ pub struct CellResult {
     pub start_inst: u64,
     /// Instructions the cell was budgeted to simulate.
     pub target_insts: u64,
+    /// How many whole-program intervals this cell stands for: 1 for a
+    /// plain campaign cell, the phase's population count for a SimPoint
+    /// representative. Aggregation scale-sums the cell's statistics by
+    /// this factor (see `spear_cpu::CoreStats::merge_scaled`).
+    pub weight: u64,
     /// How the cell's simulation ended (`InstBudget` for interior
     /// intervals, `Halted` for the final one).
     pub exit: RunExit,
@@ -135,6 +183,54 @@ pub struct CellResult {
     pub wall_ms: u64,
     /// Full simulator statistics for the interval.
     pub stats: CoreStats,
+}
+
+impl Serialize for CellResult {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("schema_version".to_string(), self.schema_version.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("machine".to_string(), self.machine.to_value()),
+            ("bpred".to_string(), self.bpred.to_value()),
+            ("frontend".to_string(), self.frontend.to_value()),
+            ("mem_latency".to_string(), self.mem_latency.to_value()),
+            ("interval".to_string(), self.interval.to_value()),
+            ("start_inst".to_string(), self.start_inst.to_value()),
+            ("target_insts".to_string(), self.target_insts.to_value()),
+        ];
+        if self.weight != 1 {
+            fields.push(("weight".to_string(), self.weight.to_value()));
+        }
+        fields.push(("exit".to_string(), self.exit.to_value()));
+        fields.push(("wall_ms".to_string(), self.wall_ms.to_value()));
+        fields.push(("stats".to_string(), self.stats.to_value()));
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for CellResult {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(CellResult {
+            schema_version: u32::from_value(v.field("schema_version")?)?,
+            workload: String::from_value(v.field("workload")?)?,
+            machine: String::from_value(v.field("machine")?)?,
+            bpred: String::from_value(v.field("bpred")?)?,
+            frontend: String::from_value(v.field("frontend")?)?,
+            mem_latency: u32::from_value(v.field("mem_latency")?)?,
+            interval: u64::from_value(v.field("interval")?)?,
+            start_inst: u64::from_value(v.field("start_inst")?)?,
+            target_insts: u64::from_value(v.field("target_insts")?)?,
+            // Absent in records from non-simpoint campaigns and older
+            // writers: both mean the unit weight.
+            weight: match v.field("weight") {
+                Ok(val) => u64::from_value(val)?,
+                Err(_) => 1,
+            },
+            exit: RunExit::from_value(v.field("exit")?)?,
+            wall_ms: u64::from_value(v.field("wall_ms")?)?,
+            stats: CoreStats::from_value(v.field("stats")?)?,
+        })
+    }
 }
 
 type CellKey = (String, String, String, String, u32, u64);
@@ -221,7 +317,11 @@ struct ManifestPoint {
 
 /// The manifest pins the campaign's shape so a resume into the wrong
 /// directory fails loudly instead of silently mixing results.
-#[derive(PartialEq, Serialize, Deserialize)]
+///
+/// Hand-written serde: the `simpoint` fingerprint field is omitted when
+/// the campaign does not cluster, so non-simpoint manifests keep their
+/// exact historical bytes (and parse back under older readers).
+#[derive(PartialEq)]
 struct ManifestDoc {
     version: u32,
     workloads: Vec<String>,
@@ -230,6 +330,47 @@ struct ManifestDoc {
     interval_len: u64,
     stride: u64,
     window: Option<u64>,
+    simpoint: Option<String>,
+}
+
+impl Serialize for ManifestDoc {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("version".to_string(), self.version.to_value()),
+            ("workloads".to_string(), self.workloads.to_value()),
+            ("points".to_string(), self.points.to_value()),
+            ("frontends".to_string(), self.frontends.to_value()),
+            ("interval_len".to_string(), self.interval_len.to_value()),
+            ("stride".to_string(), self.stride.to_value()),
+            // `window` predates `simpoint` and has always been emitted
+            // (as null when off), so it stays unconditional.
+            ("window".to_string(), self.window.to_value()),
+        ];
+        if let Some(s) = &self.simpoint {
+            fields.push(("simpoint".to_string(), s.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ManifestDoc {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(ManifestDoc {
+            version: u32::from_value(v.field("version")?)?,
+            workloads: Vec::<String>::from_value(v.field("workloads")?)?,
+            points: Vec::<ManifestPoint>::from_value(v.field("points")?)?,
+            frontends: Vec::<String>::from_value(v.field("frontends")?)?,
+            interval_len: u64::from_value(v.field("interval_len")?)?,
+            stride: u64::from_value(v.field("stride")?)?,
+            window: Option::<u64>::from_value(v.field("window")?)?,
+            // Absent in manifests from non-simpoint campaigns and older
+            // writers.
+            simpoint: match v.field("simpoint") {
+                Ok(val) => Option::<String>::from_value(val)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 /// A campaign bound to its directory.
@@ -253,8 +394,13 @@ pub struct WorkloadData {
     pub binary: SpearBinary,
     /// Warm checkpoints at each sampled interval start.
     pub set: CheckpointSet,
-    /// The sampled interval plan.
+    /// The sampled interval plan (under SimPoint: the representative
+    /// interval of each phase, ascending by start instruction).
     pub intervals: Vec<Interval>,
+    /// Per-interval aggregation weight, parallel to `intervals`: the
+    /// phase population count under SimPoint. Empty means all-unit
+    /// weights (the plain campaign case).
+    pub weights: Vec<u64>,
     /// The recorded replay trace, present only when the campaign sweeps
     /// the `trace` front end (shards built without it cannot serve
     /// trace-backed cells, which is why the shard-cache key carries the
@@ -288,6 +434,7 @@ struct Cell {
     p: usize,
     f: usize,
     interval: Interval,
+    weight: u64,
 }
 
 impl Campaign {
@@ -332,6 +479,7 @@ impl Campaign {
             interval_len: self.spec.sample.interval_len,
             stride: self.spec.sample.stride,
             window: self.spec.window,
+            simpoint: self.spec.simpoint.map(|s| s.label()),
         }
     }
 
@@ -460,6 +608,21 @@ impl Campaign {
                 return Err(format!("front end `{f}` listed more than once"));
             }
         }
+        if self.spec.simpoint.is_some() {
+            if self.spec.window.is_some() {
+                return Err("--simpoint is incompatible with --window: windowed \
+                            telemetry is a cycle partition of one run and cannot \
+                            be weight-blended across phase representatives"
+                    .into());
+            }
+            if self.spec.sample.stride != 1 {
+                return Err(format!(
+                    "--simpoint requires stride 1 (phase clustering replaces \
+                     systematic sampling), got stride {}",
+                    self.spec.sample.stride
+                ));
+            }
+        }
         let needs_trace = frontends.iter().any(|f| f == "trace");
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| format!("cannot create {}: {e}", self.dir.display()))?;
@@ -515,13 +678,25 @@ impl Campaign {
         // but not vice versa — the supply discriminator keys them apart
         // in the shard cache.
         let supply = if needs_trace { "trace" } else { "program" };
+        let simpoint = self.spec.simpoint;
+        // Simpoint shards carry different checkpoints and weights than
+        // plain shards of the same (workload, predictor, supply), so the
+        // clustering parameters discriminate the cache key ("off" when
+        // the campaign does not cluster).
+        let sp_label = simpoint.map_or_else(|| "off".to_string(), |s| s.label());
         let prepared: Vec<Result<Arc<WorkloadData>, String>> =
             parallel_map(&prep, threads, |(name, cfg)| {
-                let build = || prepare_workload(name, *cfg, &sample, needs_trace, opts.traces);
+                let build =
+                    || prepare_workload(name, *cfg, &sample, simpoint, needs_trace, opts.traces);
                 match opts.cache {
-                    Some(cache) => {
-                        cache.get_or_create(name, &cfg.spec_label(), supply, &sample, build)
-                    }
+                    Some(cache) => cache.get_or_create(
+                        name,
+                        &cfg.spec_label(),
+                        supply,
+                        &sp_label,
+                        &sample,
+                        build,
+                    ),
                     None => build().map(Arc::new),
                 }
             });
@@ -538,7 +713,7 @@ impl Campaign {
                 let shard = w * bpreds.len() + point_shard[p];
                 let wd = &wds[shard];
                 for (f, frontend) in frontends.iter().enumerate() {
-                    for &interval in &wd.intervals {
+                    for (i, &interval) in wd.intervals.iter().enumerate() {
                         total += 1;
                         let key = (
                             wd.name.clone(),
@@ -554,6 +729,7 @@ impl Campaign {
                                 p,
                                 f,
                                 interval,
+                                weight: wd.weights.get(i).copied().unwrap_or(1),
                             });
                         }
                     }
@@ -641,6 +817,7 @@ impl Campaign {
                         &points[cell.p],
                         &frontends[cell.f],
                         cell.interval,
+                        cell.weight,
                         window,
                     ) {
                         Ok(res) => {
@@ -753,9 +930,15 @@ pub struct RunOptions<'a> {
 /// function, which is what makes server and CLI aggregate files
 /// byte-identical by construction. Returns the paths written, in
 /// aggregate order.
+///
+/// `simpoint` is the campaign's clustering spec paired with its interval
+/// length: when set, every envelope gains the additive `simpoint`
+/// provenance block. `None` (every non-simpoint campaign) leaves the
+/// envelopes byte-identical to the historical schema.
 pub fn write_aggregate_envelopes(
     dir: &Path,
     results: &[CellResult],
+    simpoint: Option<(SimpointSpec, u64)>,
 ) -> Result<Vec<PathBuf>, String> {
     let aggs = aggregate(results);
     let agg_dir = dir.join("aggregates");
@@ -773,7 +956,7 @@ pub fn write_aggregate_envelopes(
                 && c.mem_latency == a.mem_latency
                 && c.exit == RunExit::Halted
         });
-        let doc = StatsExport::new(
+        let mut doc = StatsExport::new(
             a.workload.clone(),
             &a.machine,
             a.mem_latency,
@@ -786,6 +969,15 @@ pub fn write_aggregate_envelopes(
         )
         .with_bpred(&a.bpred)
         .with_frontend(&a.frontend);
+        if let Some((sp, interval_len)) = simpoint {
+            doc = doc.with_simpoint(SimpointBlock {
+                k: sp.k,
+                seed: sp.seed,
+                interval_len,
+                phases: a.cells,
+                intervals: a.weight,
+            });
+        }
         // Default-axis groups (bimodal predictor, program front end)
         // keep the historical filename; other predictors insert their
         // sanitized spec label and other front ends their name, so a
@@ -955,29 +1147,97 @@ fn prepare_workload(
     name: &str,
     bpred_cfg: spear_bpred::PredictorConfig,
     sample: &SampleSpec,
+    simpoint: Option<SimpointSpec>,
     needs_trace: bool,
     traces: Option<&TraceCache>,
 ) -> Result<WorkloadData, String> {
-    let w = spear_workloads::by_name(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+    let (w, scale) =
+        spear_workloads::by_spec(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
     let profile = w.profile_program();
     let (compiled, _report) = SpearCompiler::new(CompilerConfig::default())
         .compile(&profile)
         .map_err(|e| format!("{name}: compile failed: {e}"))?;
-    let binary = SpearCompiler::attach(w.eval_program(), compiled.table);
+    let binary = SpearCompiler::attach(w.eval_program_scaled(scale), compiled.table);
     // The cache substrate is machine-independent (Table 2 geometry is
     // shared by every evaluated model), so these checkpoints serve all
     // (machine, latency) points that share the predictor spec.
-    let set = capture_interval_checkpoints(
-        &binary.program,
-        name,
-        spear_mem::HierConfig::paper(),
-        bpred_cfg,
-        sample.interval_len,
-        sample.stride,
-        MAX_FUNCTIONAL_INSTS,
-    )?;
-    let intervals = plan_intervals(set.total_insts, sample);
-    debug_assert_eq!(intervals.len(), set.checkpoints.len());
+    let (set, intervals, weights) = match simpoint {
+        None => {
+            let set = capture_interval_checkpoints(
+                &binary.program,
+                name,
+                spear_mem::HierConfig::paper(),
+                bpred_cfg,
+                sample.interval_len,
+                sample.stride,
+                MAX_FUNCTIONAL_INSTS,
+            )?;
+            let intervals = plan_intervals(set.total_insts, sample);
+            debug_assert_eq!(intervals.len(), set.checkpoints.len());
+            (set, intervals, Vec::new())
+        }
+        Some(sp) => {
+            debug_assert_eq!(sample.stride, 1, "validated by run_with");
+            // Pass A (functional only, no warming): slice the committed
+            // stream into basic-block vectors and cluster them into
+            // phases. The partial tail interval clusters with the rest —
+            // projection is frequency-normalized, so a short interval
+            // compares by profile, not length.
+            let (bbvs, total_a) = spear_exec::collect_bbvs(
+                &binary.program,
+                sample.interval_len,
+                MAX_FUNCTIONAL_INSTS,
+            )
+            .map_err(|e| format!("{name}: BBV pass failed: {e}"))?;
+            let matrix: Vec<Vec<(u64, u64)>> = bbvs.iter().map(|b| b.counts.clone()).collect();
+            let cfg = spear_simpoint::SimpointConfig {
+                k: sp.k as usize,
+                seed: sp.seed,
+                ..Default::default()
+            };
+            let clustering = spear_simpoint::cluster(&matrix, &cfg);
+            // One representative interval per phase, carrying the phase's
+            // population count as its aggregation weight; ascending by
+            // start instruction so pass B captures in stream order.
+            let mut reps: Vec<(Interval, u64)> = clustering
+                .representatives
+                .iter()
+                .zip(&clustering.counts)
+                .map(|(&r, &count)| {
+                    let b = &bbvs[r];
+                    (
+                        Interval {
+                            index: b.index,
+                            start_inst: b.start_inst,
+                            len: b.len,
+                        },
+                        count,
+                    )
+                })
+                .collect();
+            reps.sort_by_key(|(iv, _)| iv.start_inst);
+            let boundaries: Vec<u64> = reps.iter().map(|(iv, _)| iv.start_inst).collect();
+            // Pass B: one warming pass over the whole stream, capturing a
+            // checkpoint only at each representative's start boundary.
+            let set = capture_checkpoints_at(
+                &binary.program,
+                name,
+                spear_mem::HierConfig::paper(),
+                bpred_cfg,
+                &boundaries,
+                MAX_FUNCTIONAL_INSTS,
+            )?;
+            if set.total_insts != total_a {
+                return Err(format!(
+                    "{name}: BBV pass ran {total_a} instructions but the \
+                     checkpoint pass ran {} — non-deterministic workload?",
+                    set.total_insts
+                ));
+            }
+            let (intervals, weights) = reps.into_iter().unzip();
+            (set, intervals, weights)
+        }
+    };
     let trace = if needs_trace {
         Some(match traces {
             Some(tc) => tc.get_or_record(name, &binary, MAX_FUNCTIONAL_INSTS)?,
@@ -992,6 +1252,7 @@ fn prepare_workload(
         binary,
         set,
         intervals,
+        weights,
         trace,
     })
 }
@@ -1004,6 +1265,7 @@ fn run_cell(
     point: &MachinePoint,
     frontend: &str,
     interval: Interval,
+    weight: u64,
     window: Option<u64>,
 ) -> Result<CellResult, String> {
     debug_assert_eq!(
@@ -1053,6 +1315,7 @@ fn run_cell(
         interval: interval.index,
         start_inst: interval.start_inst,
         target_insts: interval.len,
+        weight,
         exit: res.exit,
         wall_ms: t0.elapsed().as_millis() as u64,
         stats: res.stats,

@@ -35,11 +35,13 @@ pub mod sample;
 pub mod shard_cache;
 pub mod trace_cache;
 
-pub use checkpoint::{capture_interval_checkpoints, Checkpoint, CheckpointSet, Warmer};
+pub use checkpoint::{
+    capture_checkpoints_at, capture_interval_checkpoints, Checkpoint, CheckpointSet, Warmer,
+};
 pub use engine::{
     eta_ms, workload_timings, write_aggregate_envelopes, write_heartbeat, Campaign, CampaignSpec,
-    CellResult, HeartbeatDoc, MachinePoint, ProgressSnapshot, RunOptions, RunSummary, WorkloadData,
-    WorkloadTiming, CELL_SCHEMA_VERSION,
+    CellResult, HeartbeatDoc, MachinePoint, ProgressSnapshot, RunOptions, RunSummary, SimpointSpec,
+    WorkloadData, WorkloadTiming, CELL_SCHEMA_VERSION,
 };
 pub use sample::{aggregate, plan_intervals, Aggregate, Interval, SampleSpec};
 pub use shard_cache::{ShardCache, ShardCacheStats};
@@ -80,6 +82,7 @@ mod engine_tests {
             threads,
             max_cells,
             window: None,
+            simpoint: None,
         }
     }
 
@@ -314,7 +317,7 @@ mod engine_tests {
 
         // The aggregate envelope files keep the historical name for the
         // program group and insert the front end for the trace group.
-        let files = write_aggregate_envelopes(&dir, &summary.results).unwrap();
+        let files = write_aggregate_envelopes(&dir, &summary.results, None).unwrap();
         let names: Vec<String> = files
             .iter()
             .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
@@ -378,6 +381,171 @@ mod engine_tests {
         );
         let _ = std::fs::remove_dir_all(&d1);
         let _ = std::fs::remove_dir_all(&d2);
+    }
+
+    fn simpoint_spec(threads: usize, max_cells: Option<u64>) -> CampaignSpec {
+        let mut s = small_spec(threads, max_cells);
+        s.sample.stride = 1;
+        s.simpoint = Some(SimpointSpec { k: 3, seed: 42 });
+        s
+    }
+
+    #[test]
+    fn simpoint_campaign_runs_fewer_cells_resumes_and_is_thread_deterministic() {
+        // Reference: the full (stride-1) campaign, for the cell count.
+        let full_dir = temp_dir("sp-full");
+        let mut full_spec = small_spec(1, None);
+        full_spec.sample.stride = 1;
+        let full = Campaign::new(&full_dir, full_spec).run(None).unwrap();
+
+        let ref_dir = temp_dir("sp-ref");
+        let sp = Campaign::new(&ref_dir, simpoint_spec(1, None))
+            .run(None)
+            .unwrap();
+        assert!(
+            sp.total_cells < full.total_cells,
+            "simpoint must simulate fewer cells than full coverage \
+             ({} vs {})",
+            sp.total_cells,
+            full.total_cells
+        );
+        // Every representative carries its phase's population count, and
+        // per workload group the weights cover the whole program.
+        let sp_aggs = sp.aggregates();
+        let full_aggs = full.aggregates();
+        for (s, f) in sp_aggs.iter().zip(&full_aggs) {
+            assert_eq!(
+                (s.workload.as_str(), s.machine.as_str()),
+                (f.workload.as_str(), f.machine.as_str())
+            );
+            assert_eq!(s.weight, f.cells, "weights cover every interval");
+            // The blend's instruction budget is Σ weight × rep_len: the
+            // short tail interval may be stood for by a full-length
+            // representative (or represent full ones itself), so the
+            // reconstituted budget is the true total ± one interval per
+            // phase, not exact.
+            assert!(
+                s.target_insts.abs_diff(f.target_insts) < s.cells * 20_000,
+                "whole-program budget: {} vs {}",
+                s.target_insts,
+                f.target_insts
+            );
+            assert!(s.cells <= 3, "at most k representatives per group");
+            let rel = (s.ipc() - f.ipc()).abs() / f.ipc();
+            assert!(
+                rel < 0.25,
+                "{}/{}: blended IPC {} vs full {} ({}% off)",
+                s.workload,
+                s.machine,
+                s.ipc(),
+                f.ipc(),
+                rel * 100.0
+            );
+        }
+        // The blended statistics still satisfy the exact-slot invariant.
+        for a in &sp_aggs {
+            let width = if a.machine == "superscalar" {
+                spear_cpu::CoreConfig::baseline().commit_width
+            } else {
+                spear_cpu::CoreConfig::spear(128).commit_width
+            };
+            a.stats.check_invariants(width).expect("scaled invariants");
+        }
+        let want = comparable(&sp_aggs);
+
+        // Thread-count determinism, byte-for-byte.
+        let dn = temp_dir("sp-t4");
+        let parallel = Campaign::new(&dn, simpoint_spec(4, None))
+            .run(None)
+            .unwrap();
+        assert_eq!(comparable(&parallel.aggregates()), want);
+
+        // Interrupt + resume converges to the same aggregates.
+        let dir = temp_dir("sp-resume");
+        let first = Campaign::new(&dir, simpoint_spec(2, Some(2)))
+            .run(None)
+            .unwrap();
+        assert!(first.interrupted);
+        let second = Campaign::new(&dir, simpoint_spec(2, None))
+            .run(None)
+            .unwrap();
+        assert!(!second.interrupted);
+        assert_eq!(comparable(&second.aggregates()), want);
+
+        // The manifest fingerprints the clustering: neither a plain spec
+        // nor different clustering parameters may resume this directory.
+        let mut plain = small_spec(1, None);
+        plain.sample.stride = 1;
+        let err = Campaign::new(&dir, plain).run(None).unwrap_err();
+        assert!(err.contains("different spec"), "{err}");
+        let mut other = simpoint_spec(1, None);
+        other.simpoint = Some(SimpointSpec { k: 3, seed: 7 });
+        let err = Campaign::new(&dir, other).run(None).unwrap_err();
+        assert!(err.contains("different spec"), "{err}");
+
+        // Envelopes gain the additive simpoint block; weight-carrying
+        // records on disk round-trip through the cell schema.
+        let files = write_aggregate_envelopes(
+            &dir,
+            &second.results,
+            Some((SimpointSpec { k: 3, seed: 42 }, 20_000)),
+        )
+        .unwrap();
+        let doc = spear_cpu::StatsExport::from_json(&std::fs::read_to_string(&files[0]).unwrap())
+            .expect("envelope parses");
+        let block = doc.simpoint.expect("simpoint block present");
+        assert_eq!((block.k, block.seed, block.interval_len), (3, 42, 20_000));
+        assert!(block.phases <= block.intervals);
+        for line in std::fs::read_to_string(dir.join("cells.jsonl"))
+            .unwrap()
+            .lines()
+        {
+            let cell: engine::CellResult = serde::json::from_str(line).unwrap();
+            assert!(cell.weight >= 1);
+        }
+        assert!(
+            second.results.iter().any(|c| c.weight > 1),
+            "a 3-phase clustering of >3 intervals must weight some cell"
+        );
+
+        let _ = std::fs::remove_dir_all(&full_dir);
+        let _ = std::fs::remove_dir_all(&ref_dir);
+        let _ = std::fs::remove_dir_all(&dn);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simpoint_rejects_windows_and_nonunit_strides() {
+        let dir = temp_dir("sp-reject");
+        let mut spec = simpoint_spec(1, None);
+        spec.window = Some(1000);
+        let err = Campaign::new(&dir, spec).run(None).unwrap_err();
+        assert!(err.contains("incompatible with --window"), "{err}");
+        let mut spec = simpoint_spec(1, None);
+        spec.sample.stride = 2;
+        let err = Campaign::new(&dir, spec).run(None).unwrap_err();
+        assert!(err.contains("requires stride 1"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scaled_workload_specs_run_and_keep_their_identity() {
+        let dir = temp_dir("scaled");
+        let mut spec = small_spec(2, None);
+        spec.workloads = vec!["pointer".into(), "pointer@x2".into()];
+        spec.points.truncate(1);
+        let summary = Campaign::new(&dir, spec).run(None).unwrap();
+        let aggs = summary.aggregates();
+        assert_eq!(aggs.len(), 2, "base and scaled are distinct groups");
+        let base = aggs.iter().find(|a| a.workload == "pointer").unwrap();
+        let scaled = aggs.iter().find(|a| a.workload == "pointer@x2").unwrap();
+        assert!(
+            scaled.target_insts > base.target_insts,
+            "the scale knob must grow the evaluation run: {} vs {}",
+            scaled.target_insts,
+            base.target_insts
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -87,8 +87,11 @@ pub struct Aggregate {
     pub mem_latency: u32,
     /// Summed statistics over the group's sampled intervals.
     pub stats: CoreStats,
-    /// Number of cells (sampled intervals) in the sum.
+    /// Number of cells (simulated intervals) in the sum.
     pub cells: u64,
+    /// Summed cell weights — the number of whole-program intervals the
+    /// blend stands for. Equal to `cells` outside SimPoint campaigns.
+    pub weight: u64,
     /// Instructions the cells were budgeted to simulate.
     pub target_insts: u64,
     /// Summed wall-clock time spent simulating the cells, in ms.
@@ -157,14 +160,20 @@ pub fn aggregate(results: &[CellResult]) -> Vec<Aggregate> {
                 mem_latency: cell.mem_latency,
                 stats: CoreStats::default(),
                 cells: 0,
+                weight: 0,
                 target_insts: 0,
                 wall_ms: 0,
             });
         }
         let agg = out.last_mut().expect("pushed above");
-        agg.stats.merge(&cell.stats);
+        // A plain campaign cell has weight 1 and this is an exact merge;
+        // a SimPoint representative carries the population count of its
+        // phase and is scale-summed (bit-exact equivalent of merging the
+        // cell `weight` times — see `CoreStats::merge_scaled`).
+        agg.stats.merge_scaled(&cell.stats, cell.weight);
         agg.cells += 1;
-        agg.target_insts += cell.target_insts;
+        agg.weight += cell.weight;
+        agg.target_insts += cell.target_insts * cell.weight;
         agg.wall_ms += cell.wall_ms;
     }
     out
@@ -228,6 +237,7 @@ mod tests {
             interval: iv,
             start_inst: iv * 100,
             target_insts: committed,
+            weight: 1,
             exit: RunExit::InstBudget,
             wall_ms: 1,
             stats: CoreStats {
@@ -260,6 +270,40 @@ mod tests {
         // Throughput: 200 insts over 2 ms of wall time = 100 KIPS.
         assert_eq!(mcf_base.wall_ms, 2);
         assert!((mcf_base.kips() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_cells_blend_as_if_repeated() {
+        // One representative with weight 3 must aggregate exactly like
+        // three copies of the same weight-1 cell.
+        let mut rep = cell("mcf", "baseline", 120, 0, 100, 100);
+        rep.weight = 3;
+        let weighted = aggregate(&[rep.clone(), cell("mcf", "baseline", 120, 3, 40, 100)]);
+        let mut copy = rep;
+        copy.weight = 1;
+        let expanded = aggregate(&[
+            copy.clone(),
+            {
+                let mut c = copy.clone();
+                c.interval = 1;
+                c
+            },
+            {
+                let mut c = copy;
+                c.interval = 2;
+                c
+            },
+            cell("mcf", "baseline", 120, 3, 40, 100),
+        ]);
+        assert_eq!(weighted.len(), 1);
+        assert_eq!(weighted[0].stats.cycles, expanded[0].stats.cycles);
+        assert_eq!(weighted[0].stats.committed, expanded[0].stats.committed);
+        assert_eq!(weighted[0].target_insts, expanded[0].target_insts);
+        assert_eq!(weighted[0].target_insts, 400);
+        assert!((weighted[0].ipc() - expanded[0].ipc()).abs() < 1e-15);
+        // Cell count reflects cells actually simulated, not phase sizes.
+        assert_eq!(weighted[0].cells, 2);
+        assert_eq!(expanded[0].cells, 4);
     }
 
     #[test]

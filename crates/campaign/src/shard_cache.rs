@@ -23,10 +23,12 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Cache key: the parameters phase-1 state actually depends on —
-/// workload, canonical predictor spec label, instruction-supply
+/// workload spec, canonical predictor spec label, instruction-supply
 /// discriminator (`program`, or `trace` when the shard also carries a
-/// recorded replay stream), interval length, stride.
-type ShardKey = (String, String, String, u64, u64);
+/// recorded replay stream), SimPoint discriminator (`off`, or the
+/// clustering label `k<k>:seed<seed>` — simpoint shards carry different
+/// checkpoints and weights), interval length, stride.
+type ShardKey = (String, String, String, String, u64, u64);
 
 /// Cumulative cache counters, for `/metrics`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -87,11 +89,14 @@ impl ShardCache {
         self.budget
     }
 
-    /// Fetch the shard for `(workload, bpred, supply, sample)`, building
-    /// it with `build` on a miss. `supply` discriminates shards that
-    /// carry a recorded replay trace (`trace`) from plain program-driven
-    /// ones (`program`) — they are not interchangeable, so they cache
-    /// separately. Building happens *outside* the cache lock so a slow
+    /// Fetch the shard for `(workload, bpred, supply, simpoint,
+    /// sample)`, building it with `build` on a miss. `supply`
+    /// discriminates shards that carry a recorded replay trace (`trace`)
+    /// from plain program-driven ones (`program`), and `simpoint` keys
+    /// phase-clustered shards (checkpoints at representative boundaries,
+    /// population-count weights) apart from systematic ones (`off`) —
+    /// neither pair is interchangeable, so they cache separately.
+    /// Building happens *outside* the cache lock so a slow
     /// functional pass never blocks hits on other shards; if two threads
     /// race to build the same key, the first insert wins and the loser's
     /// copy is dropped.
@@ -100,6 +105,7 @@ impl ShardCache {
         workload: &str,
         bpred: &str,
         supply: &str,
+        simpoint: &str,
         sample: &SampleSpec,
         build: impl FnOnce() -> Result<WorkloadData, String>,
     ) -> Result<Arc<WorkloadData>, String> {
@@ -107,6 +113,7 @@ impl ShardCache {
             workload.to_string(),
             bpred.to_string(),
             supply.to_string(),
+            simpoint.to_string(),
             sample.interval_len,
             sample.stride,
         );
@@ -180,6 +187,7 @@ mod tests {
                 total_insts: 0,
             },
             intervals: Vec::new(),
+            weights: Vec::new(),
             trace: None,
         }
     }
@@ -195,10 +203,10 @@ mod tests {
     fn hits_after_first_build_and_counts() {
         let cache = ShardCache::new(u64::MAX);
         let a1 = cache
-            .get_or_create("a", "bimodal", "program", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "program", "off", &spec(), || Ok(shard("a")))
             .unwrap();
         let a2 = cache
-            .get_or_create("a", "bimodal", "program", &spec(), || {
+            .get_or_create("a", "bimodal", "program", "off", &spec(), || {
                 panic!("must not rebuild")
             })
             .unwrap();
@@ -211,14 +219,14 @@ mod tests {
     fn distinct_sample_specs_are_distinct_shards() {
         let cache = ShardCache::new(u64::MAX);
         cache
-            .get_or_create("a", "bimodal", "program", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "program", "off", &spec(), || Ok(shard("a")))
             .unwrap();
         let other = SampleSpec {
             interval_len: 500,
             stride: 2,
         };
         cache
-            .get_or_create("a", "bimodal", "program", &other, || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "program", "off", &other, || Ok(shard("a")))
             .unwrap();
         assert_eq!(cache.stats().entries, 2);
         assert_eq!(cache.stats().misses, 2);
@@ -228,15 +236,15 @@ mod tests {
     fn distinct_predictor_specs_are_distinct_shards() {
         let cache = ShardCache::new(u64::MAX);
         cache
-            .get_or_create("a", "bimodal", "program", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "program", "off", &spec(), || Ok(shard("a")))
             .unwrap();
         cache
-            .get_or_create("a", "tage", "program", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "tage", "program", "off", &spec(), || Ok(shard("a")))
             .unwrap();
         assert_eq!(cache.stats().entries, 2, "warm state is per predictor");
         assert_eq!(cache.stats().misses, 2);
         cache
-            .get_or_create("a", "tage", "program", &spec(), || panic!("cached"))
+            .get_or_create("a", "tage", "program", "off", &spec(), || panic!("cached"))
             .unwrap();
     }
 
@@ -247,15 +255,43 @@ mod tests {
         // must key them apart.
         let cache = ShardCache::new(u64::MAX);
         cache
-            .get_or_create("a", "bimodal", "program", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "program", "off", &spec(), || Ok(shard("a")))
             .unwrap();
         cache
-            .get_or_create("a", "bimodal", "trace", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "trace", "off", &spec(), || Ok(shard("a")))
             .unwrap();
         assert_eq!(cache.stats().entries, 2, "supply is part of the key");
         assert_eq!(cache.stats().misses, 2);
         cache
-            .get_or_create("a", "bimodal", "trace", &spec(), || panic!("cached"))
+            .get_or_create("a", "bimodal", "trace", "off", &spec(), || panic!("cached"))
+            .unwrap();
+    }
+
+    #[test]
+    fn distinct_simpoint_labels_are_distinct_shards() {
+        // A systematic shard checkpoints every sampled interval start; a
+        // simpoint shard only representative boundaries, with weights.
+        // Different clustering parameters also differ from each other.
+        let cache = ShardCache::new(u64::MAX);
+        cache
+            .get_or_create("a", "bimodal", "program", "off", &spec(), || Ok(shard("a")))
+            .unwrap();
+        cache
+            .get_or_create("a", "bimodal", "program", "k4:seed42", &spec(), || {
+                Ok(shard("a"))
+            })
+            .unwrap();
+        cache
+            .get_or_create("a", "bimodal", "program", "k4:seed7", &spec(), || {
+                Ok(shard("a"))
+            })
+            .unwrap();
+        assert_eq!(cache.stats().entries, 3, "simpoint is part of the key");
+        assert_eq!(cache.stats().misses, 3);
+        cache
+            .get_or_create("a", "bimodal", "program", "k4:seed42", &spec(), || {
+                panic!("cached")
+            })
             .unwrap();
     }
 
@@ -263,14 +299,14 @@ mod tests {
     fn build_errors_are_propagated_and_not_cached() {
         let cache = ShardCache::new(u64::MAX);
         let err = cache
-            .get_or_create("a", "bimodal", "program", &spec(), || {
+            .get_or_create("a", "bimodal", "program", "off", &spec(), || {
                 Err("compile failed".to_string())
             })
             .unwrap_err();
         assert!(err.contains("compile failed"));
         // A later attempt builds again (and can succeed).
         cache
-            .get_or_create("a", "bimodal", "program", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "program", "off", &spec(), || Ok(shard("a")))
             .unwrap();
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().entries, 1);
@@ -281,10 +317,10 @@ mod tests {
         // Zero budget: every insert evicts down to a single entry.
         let cache = ShardCache::new(0);
         cache
-            .get_or_create("a", "bimodal", "program", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "program", "off", &spec(), || Ok(shard("a")))
             .unwrap();
         cache
-            .get_or_create("b", "bimodal", "program", &spec(), || Ok(shard("b")))
+            .get_or_create("b", "bimodal", "program", "off", &spec(), || Ok(shard("b")))
             .unwrap();
         let s = cache.stats();
         assert_eq!(s.entries, 1, "budget forces eviction to one entry");
@@ -292,14 +328,16 @@ mod tests {
         // The survivor is the most recent one ("b"): "a" must rebuild.
         let rebuilt = std::cell::Cell::new(false);
         cache
-            .get_or_create("a", "bimodal", "program", &spec(), || {
+            .get_or_create("a", "bimodal", "program", "off", &spec(), || {
                 rebuilt.set(true);
                 Ok(shard("a"))
             })
             .unwrap();
         assert!(rebuilt.get(), "evicted entry rebuilds");
         cache
-            .get_or_create("a", "bimodal", "program", &spec(), || panic!("now cached"))
+            .get_or_create("a", "bimodal", "program", "off", &spec(), || {
+                panic!("now cached")
+            })
             .unwrap();
     }
 
@@ -307,10 +345,10 @@ mod tests {
     fn in_flight_arcs_survive_eviction() {
         let cache = ShardCache::new(0);
         let held = cache
-            .get_or_create("a", "bimodal", "program", &spec(), || Ok(shard("a")))
+            .get_or_create("a", "bimodal", "program", "off", &spec(), || Ok(shard("a")))
             .unwrap();
         cache
-            .get_or_create("b", "bimodal", "program", &spec(), || Ok(shard("b")))
+            .get_or_create("b", "bimodal", "program", "off", &spec(), || Ok(shard("b")))
             .unwrap();
         // "a" was evicted from the cache, but our Arc still works.
         assert_eq!(held.name, "a");

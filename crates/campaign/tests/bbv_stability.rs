@@ -1,0 +1,90 @@
+//! Basic-block-vector stability across instruction supplies.
+//!
+//! SimPoint phase clustering keys everything off block ids, which are
+//! basic-block entry PCs of the *committed* path. Those ids must be a
+//! pure function of the committed instruction stream: collecting BBVs
+//! twice from the interpreter must agree exactly, replaying the
+//! committed path out of a recorded `.spt` trace must reproduce the
+//! same vectors id-for-id and count-for-count, and the clustering-time
+//! warming pass must see the same stream length the BBV pass tiled —
+//! otherwise representative boundaries would drift between passes and
+//! the phase weights would blend the wrong intervals.
+
+use spear_campaign::capture_checkpoints_at;
+use spear_compiler::{CompilerConfig, SpearCompiler};
+use spear_exec::{collect_bbvs, BbvCollector};
+use spear_workloads::by_name;
+
+const BUDGET: u64 = 50_000_000;
+const INTERVAL: u64 = 20_000;
+
+fn field_binary() -> spear_isa::SpearBinary {
+    let w = by_name("field").unwrap();
+    let (compiled, _) = SpearCompiler::new(CompilerConfig::default())
+        .compile(&w.profile_program())
+        .unwrap();
+    SpearCompiler::attach(w.eval_program(), compiled.table)
+}
+
+#[test]
+fn bbv_collection_is_deterministic() {
+    let binary = field_binary();
+    let (a, total_a) = collect_bbvs(&binary.program, INTERVAL, BUDGET).unwrap();
+    let (b, total_b) = collect_bbvs(&binary.program, INTERVAL, BUDGET).unwrap();
+    assert_eq!(total_a, total_b);
+    assert_eq!(a, b, "two BBV passes over the same program must agree");
+    assert_eq!(a.iter().map(|iv| iv.len).sum::<u64>(), total_a);
+}
+
+#[test]
+fn replayed_trace_reproduces_interpreter_block_ids() {
+    let binary = field_binary();
+    let (direct, total) = collect_bbvs(&binary.program, INTERVAL, BUDGET).unwrap();
+
+    // Record the committed path, then drive a second collector from the
+    // decoded trace alone: current PC walks `start_pc` → `rec.next_pc`,
+    // and control-ness comes from the static instruction text — exactly
+    // what a trace-driven front end knows.
+    let (bytes, rstats) = spear_trace::record(&binary, BUDGET).unwrap();
+    assert!(rstats.halted, "workload must halt inside the budget");
+    assert_eq!(
+        rstats.insts, total,
+        "the trace records the same stream the BBV pass tiled"
+    );
+    let tf = spear_trace::TraceFile::decode(&bytes).unwrap();
+    let mut collector = BbvCollector::new(INTERVAL);
+    let mut pc = tf.start_pc;
+    for rec in &tf.recs {
+        let inst = &tf.binary.program.insts[pc as usize];
+        collector.observe_committed(pc, inst.op.is_ctrl());
+        pc = rec.next_pc;
+    }
+    let replayed = collector.finish();
+    assert_eq!(
+        replayed, direct,
+        "block ids and counts must be identical under the replay supply"
+    );
+}
+
+#[test]
+fn warming_pass_sees_the_stream_the_bbv_pass_tiled() {
+    let binary = field_binary();
+    let (bbvs, total) = collect_bbvs(&binary.program, INTERVAL, BUDGET).unwrap();
+    // Checkpoint at a few BBV interval starts, the way the simpoint
+    // prepare path checkpoints representative boundaries.
+    let boundaries: Vec<u64> = bbvs.iter().step_by(2).map(|iv| iv.start_inst).collect();
+    let set = capture_checkpoints_at(
+        &binary.program,
+        "field",
+        spear_mem::HierConfig::paper(),
+        spear_bpred::PredictorConfig::paper(),
+        &boundaries,
+        BUDGET,
+    )
+    .unwrap();
+    assert_eq!(set.total_insts, total, "both passes run the same stream");
+    assert_eq!(set.checkpoints.len(), boundaries.len());
+    for (cp, &b) in set.checkpoints.iter().zip(&boundaries) {
+        assert_eq!(cp.inst_index, b, "checkpoints land exactly on BBV starts");
+    }
+}

@@ -15,7 +15,7 @@
 
 use spear::export::{SimPerf, StatsExport};
 use spear::{report, Machine};
-use spear_campaign::{Campaign, CampaignSpec, MachinePoint, SampleSpec};
+use spear_campaign::{Campaign, CampaignSpec, MachinePoint, SampleSpec, SimpointSpec};
 use spear_cpu::{Core, TraceSource};
 use spear_isa::binfile;
 use spear_mem::LatencyConfig;
@@ -49,11 +49,12 @@ fn usage() -> ! {
          \x20      [--frontend program|trace:FILE.spt]\n\
          \x20  or: spear-sim record FILE.spear|workload:NAME --trace-out FILE.spt\n\
          \x20      [--max-insts N]\n\
-         \x20  or: spear-sim campaign --dir DIR [--workloads a,b,c|all]\n\
+         \x20  or: spear-sim campaign --dir DIR [--workloads a,b@x100,c|all]\n\
          \x20      [--machines M1,M2,...] [--bpreds S1,S2,...] [--mem-latency N]\n\
          \x20      [--frontends program,trace] [--interval N] [--stride N]\n\
          \x20      [--threads N] [--max-cells N]\n\
-         \x20      [--window N] [--quiet]\n\
+         \x20      [--window N] [--simpoint] [--simpoint-k N] [--simpoint-seed N]\n\
+         \x20      [--quiet]\n\
          \x20  or: spear-sim serve --dir DIR [--addr HOST:PORT] [--workers N]\n\
          \x20      [--queue-cap N] [--cache-mb N]\n\
          \x20  or: spear-sim client ACTION [--addr HOST:PORT | --dir DIR] ...\n\
@@ -218,6 +219,9 @@ fn campaign_main(args: Vec<String>) -> ! {
     let mut threads: usize = 0;
     let mut max_cells: Option<u64> = None;
     let mut window: Option<u64> = None;
+    let mut simpoint = false;
+    let mut simpoint_k: u64 = 0;
+    let mut simpoint_seed: u64 = 42;
     let mut quiet = false;
 
     let mut it = args.into_iter();
@@ -272,6 +276,15 @@ fn campaign_main(args: Vec<String>) -> ! {
                     n
                 });
             }
+            "--simpoint" => simpoint = true,
+            "--simpoint-k" => {
+                simpoint = true;
+                simpoint_k = parse_num("--simpoint-k", &next_val(&mut it, "--simpoint-k"));
+            }
+            "--simpoint-seed" => {
+                simpoint = true;
+                simpoint_seed = parse_num("--simpoint-seed", &next_val(&mut it, "--simpoint-seed"));
+            }
             "--quiet" => quiet = true,
             _ => {
                 eprintln!("spear-sim: unrecognized campaign argument `{arg}`");
@@ -290,13 +303,24 @@ fn campaign_main(args: Vec<String>) -> ! {
             .collect();
     }
     for name in &workloads {
-        if spear_workloads::by_name(name).is_none() {
+        if spear_workloads::by_spec(name).is_none() {
             eprintln!("spear-sim: unknown workload `{name}`");
             exit(exitcode::USAGE)
         }
     }
     if interval == 0 || stride == 0 {
         eprintln!("spear-sim: --interval and --stride must be nonzero");
+        exit(exitcode::USAGE)
+    }
+    if simpoint && window.is_some() {
+        eprintln!(
+            "spear-sim: --simpoint is incompatible with --window (windowed \
+             telemetry cannot be weight-blended across phase representatives)"
+        );
+        exit(exitcode::USAGE)
+    }
+    if simpoint && stride != 1 {
+        eprintln!("spear-sim: --simpoint requires --stride 1 (clustering replaces sampling)");
         exit(exitcode::USAGE)
     }
 
@@ -324,8 +348,12 @@ fn campaign_main(args: Vec<String>) -> ! {
         threads,
         max_cells,
         window,
+        simpoint: simpoint.then_some(SimpointSpec {
+            k: simpoint_k,
+            seed: simpoint_seed,
+        }),
     };
-    let campaign = Campaign::new(&dir, spec);
+    let campaign = Campaign::new(&dir, spec.clone());
     let progress = |p: &spear_campaign::ProgressSnapshot| {
         eprintln!("{}", report::campaign_progress(p));
     };
@@ -341,11 +369,15 @@ fn campaign_main(args: Vec<String>) -> ! {
     // campaign server uses, so CLI and served output stay byte-identical.
     let aggs = summary.aggregates();
     let agg_dir = std::path::Path::new(&dir).join("aggregates");
-    spear_campaign::write_aggregate_envelopes(std::path::Path::new(&dir), &summary.results)
-        .unwrap_or_else(|e| {
-            eprintln!("spear-sim: {e}");
-            exit(exitcode::RUNTIME)
-        });
+    spear_campaign::write_aggregate_envelopes(
+        std::path::Path::new(&dir),
+        &summary.results,
+        spec.simpoint.map(|sp| (sp, interval)),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("spear-sim: {e}");
+        exit(exitcode::RUNTIME)
+    });
 
     if summary.interrupted {
         println!(

@@ -7,7 +7,7 @@
 
 use crate::machines::Machine;
 use crate::runner::{compile_workload, parallel_map, run_one, RunOutcome};
-use spear_campaign::{Campaign, CampaignSpec, MachinePoint, SampleSpec};
+use spear_campaign::{Campaign, CampaignSpec, MachinePoint, SampleSpec, SimpointSpec};
 use spear_compiler::CompileReport;
 use spear_cpu::CoreStats;
 use spear_exec::Interp;
@@ -143,9 +143,52 @@ pub fn run_matrix_sampled(
     sample: SampleSpec,
     dir: &std::path::Path,
 ) -> Result<IpcMatrix, String> {
+    let names: Vec<String> = workloads.iter().map(|w| w.name.to_string()).collect();
+    run_matrix_campaign(&names, machines, latency, sample, None, dir)
+}
+
+/// SimPoint counterpart of [`run_matrix_sampled`]: phase-cluster each
+/// workload's BBV intervals and cycle-simulate one weighted
+/// representative per phase instead of every `stride`-th interval.
+/// `scale` multiplies the evaluation input (`name@xN` workload specs),
+/// the paper-scale knob for running Figure 6 at 100–1000× the seed
+/// instruction counts.
+pub fn run_matrix_simpoint(
+    workloads: &[Workload],
+    machines: &[Machine],
+    latency: Option<LatencyConfig>,
+    sample: SampleSpec,
+    simpoint: SimpointSpec,
+    scale: u32,
+    dir: &std::path::Path,
+) -> Result<IpcMatrix, String> {
+    let names: Vec<String> = workloads
+        .iter()
+        .map(|w| {
+            if scale > 1 {
+                format!("{}@x{scale}", w.name)
+            } else {
+                w.name.to_string()
+            }
+        })
+        .collect();
+    run_matrix_campaign(&names, machines, latency, sample, Some(simpoint), dir)
+}
+
+/// The campaign-backed matrix runner behind [`run_matrix_sampled`] and
+/// [`run_matrix_simpoint`]: `names` are full workload specs (possibly
+/// `@xN`-scaled) and become the matrix's workload labels.
+fn run_matrix_campaign(
+    names: &[String],
+    machines: &[Machine],
+    latency: Option<LatencyConfig>,
+    sample: SampleSpec,
+    simpoint: Option<SimpointSpec>,
+    dir: &std::path::Path,
+) -> Result<IpcMatrix, String> {
     let mem_latency = latency.unwrap_or_else(LatencyConfig::paper).memory;
     let spec = CampaignSpec {
-        workloads: workloads.iter().map(|w| w.name.to_string()).collect(),
+        workloads: names.to_vec(),
         points: machines
             .iter()
             .map(|&m| MachinePoint {
@@ -159,19 +202,20 @@ pub fn run_matrix_sampled(
         threads: 0,
         max_cells: None,
         window: None,
+        simpoint,
     };
     let summary = Campaign::new(dir, spec).run(None)?;
     let aggs = summary.aggregates();
-    let mut outcomes = Vec::with_capacity(workloads.len());
-    for w in workloads {
+    let mut outcomes = Vec::with_capacity(names.len());
+    for name in names {
         let mut row = Vec::with_capacity(machines.len());
         for &m in machines {
             let agg = aggs
                 .iter()
-                .find(|a| a.workload == w.name && a.machine == m.name())
-                .ok_or_else(|| format!("campaign produced no cells for {} on {}", w.name, m))?;
+                .find(|a| a.workload == *name && a.machine == m.name())
+                .ok_or_else(|| format!("campaign produced no cells for {name} on {m}"))?;
             row.push(RunOutcome {
-                workload: w.name.to_string(),
+                workload: name.clone(),
                 machine: m,
                 latency,
                 stats: agg.stats.clone(),
@@ -181,7 +225,7 @@ pub fn run_matrix_sampled(
     }
     Ok(IpcMatrix {
         machines: machines.to_vec(),
-        workloads: workloads.iter().map(|w| w.name.to_string()).collect(),
+        workloads: names.to_vec(),
         outcomes,
     })
 }
@@ -194,6 +238,26 @@ pub fn fig6_sampled(
     dir: &std::path::Path,
 ) -> Result<IpcMatrix, String> {
     run_matrix_sampled(workloads, &Machine::FIG6, None, sample, dir)
+}
+
+/// **Figure 6**, SimPoint-sampled at `scale`× the evaluation inputs: the
+/// paper-scale phase-clustered estimate.
+pub fn fig6_simpoint(
+    workloads: &[Workload],
+    sample: SampleSpec,
+    simpoint: SimpointSpec,
+    scale: u32,
+    dir: &std::path::Path,
+) -> Result<IpcMatrix, String> {
+    run_matrix_simpoint(
+        workloads,
+        &Machine::FIG6,
+        None,
+        sample,
+        simpoint,
+        scale,
+        dir,
+    )
 }
 
 /// Parse the `SPEAR_SAMPLED` environment flag that routes figure sweeps

@@ -11,7 +11,7 @@ use crate::machines::Machine;
 use crate::runner::RunOutcome;
 use spear_cpu::RunExit;
 
-pub use spear_cpu::export::{SimPerf, StatsExport, SCHEMA_VERSION};
+pub use spear_cpu::export::{SimPerf, SimpointBlock, StatsExport, SCHEMA_VERSION};
 
 impl RunOutcome {
     /// The export envelope for this outcome (latency defaulting to the

@@ -58,6 +58,27 @@ impl SimPerf {
     }
 }
 
+/// Provenance of a SimPoint-sampled aggregate: how the phase clustering
+/// that produced the weight-blended statistics was configured and what it
+/// covered. Additive and omitted-when-absent, like [`SimPerf`]: envelopes
+/// from full or systematically sampled runs never carry it, so their
+/// bytes are unchanged by the block's existence.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimpointBlock {
+    /// Requested phase count (0 = chosen automatically by BIC).
+    pub k: u64,
+    /// Clusterer seed.
+    pub seed: u64,
+    /// Instructions per clustering interval.
+    pub interval_len: u64,
+    /// Representative intervals actually cycle-simulated for this
+    /// aggregate (one per phase).
+    pub phases: u64,
+    /// Total intervals the phase weights cover (the whole-program
+    /// denominator the blend reconstitutes).
+    pub intervals: u64,
+}
+
 /// The top-level JSON document written by `spear-sim --stats-json` and
 /// the campaign aggregate writers.
 ///
@@ -94,6 +115,11 @@ pub struct StatsExport {
     /// omitted from JSON — for the default program front end, keeping
     /// program-driven envelopes byte-identical to the pre-trace schema.
     pub frontend: Option<String>,
+    /// SimPoint phase-clustering provenance when the statistics are a
+    /// weight-blended reconstruction over phase representatives. `None` —
+    /// and omitted from JSON — for full and systematically sampled runs,
+    /// keeping their envelopes byte-identical to the pre-simpoint schema.
+    pub simpoint: Option<SimpointBlock>,
 }
 
 impl Serialize for StatsExport {
@@ -114,6 +140,9 @@ impl Serialize for StatsExport {
         }
         if let Some(f) = &self.frontend {
             fields.push(("frontend".to_string(), f.to_value()));
+        }
+        if let Some(s) = &self.simpoint {
+            fields.push(("simpoint".to_string(), s.to_value()));
         }
         serde::Value::Object(fields)
     }
@@ -144,6 +173,11 @@ impl Deserialize for StatsExport {
                 Ok(val) => Option::<String>::from_value(val)?,
                 Err(_) => None,
             },
+            // Absent for non-simpoint aggregates and older writers.
+            simpoint: match v.field("simpoint") {
+                Ok(val) => Option::<SimpointBlock>::from_value(val)?,
+                Err(_) => None,
+            },
         })
     }
 }
@@ -167,6 +201,7 @@ impl StatsExport {
             sim_perf: None,
             bpred: None,
             frontend: None,
+            simpoint: None,
         }
     }
 
@@ -196,6 +231,12 @@ impl StatsExport {
         } else {
             Some(frontend.to_string())
         };
+        self
+    }
+
+    /// Attach SimPoint phase-clustering provenance to the envelope.
+    pub fn with_simpoint(mut self, block: SimpointBlock) -> Self {
+        self.simpoint = Some(block);
         self
     }
 
@@ -304,6 +345,41 @@ mod tests {
         let back = StatsExport::from_json(&json).expect("valid JSON");
         assert_eq!(back.sim_perf, Some(perf));
         assert!(!perf.summary().is_empty());
+    }
+
+    #[test]
+    fn simpoint_block_round_trips_and_stays_omitted_when_off() {
+        let doc = StatsExport::new(
+            "mcf",
+            "SPEAR-128",
+            120,
+            RunExit::Halted,
+            CoreStats::default(),
+        );
+        assert!(
+            !doc.to_json().contains("simpoint"),
+            "non-simpoint envelopes must not grow a simpoint block"
+        );
+        let block = SimpointBlock {
+            k: 0,
+            seed: 42,
+            interval_len: 100_000,
+            phases: 4,
+            intervals: 150,
+        };
+        let json = doc.clone().with_simpoint(block).to_json();
+        assert!(json.contains("\"simpoint\""));
+        // The block is appended after every pre-existing optional field,
+        // so the prefix of the document is byte-identical with it off.
+        let plain = doc.to_json();
+        let prefix = &plain[..plain.rfind('\n').unwrap_or(0)];
+        assert!(
+            json.starts_with(prefix.trim_end_matches(['}', '\n', ' '])),
+            "simpoint block must be additive at the document tail"
+        );
+        let back = StatsExport::from_json(&json).expect("valid JSON");
+        assert_eq!(back.simpoint, Some(block));
+        assert_eq!(back.simpoint.unwrap().phases, 4);
     }
 
     #[test]

@@ -93,6 +93,25 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Fold another histogram in `weight` times over, as if every value
+    /// recorded in `other` had been recorded here `weight` times. The
+    /// SimPoint aggregator uses this to blend one representative
+    /// interval's statistics across every interval of its phase; the
+    /// value *distribution* (buckets, count, sum) scales linearly, while
+    /// `max` — an order statistic, not a sum — stays the observed
+    /// maximum.
+    pub fn merge_scaled(&mut self, other: &Histogram, weight: u64) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c * weight;
+        }
+        self.count += other.count * weight;
+        self.sum += other.sum * weight;
+        self.max = self.max.max(other.max);
+    }
+
     /// Bucket contents as `(lower_bound, count)` pairs, skipping empties.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -178,6 +197,28 @@ mod tests {
         let empty = Histogram::new();
         a.merge(&empty);
         assert_eq!(a, whole, "merging an empty histogram is a no-op");
+    }
+
+    #[test]
+    fn merge_scaled_matches_repeated_merges() {
+        let mut src = Histogram::new();
+        for v in [0, 1, 5, 9, 300] {
+            src.record(v);
+        }
+        let mut scaled = Histogram::new();
+        scaled.record(7);
+        let mut repeated = scaled.clone();
+        scaled.merge_scaled(&src, 3);
+        for _ in 0..3 {
+            repeated.merge(&src);
+        }
+        assert_eq!(scaled, repeated);
+        // Weight 1 is a plain merge; weight 0 is a no-op.
+        let mut once = Histogram::new();
+        once.merge_scaled(&src, 1);
+        assert_eq!(once, src);
+        once.merge_scaled(&src, 0);
+        assert_eq!(once, src);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod trace;
 pub use crate::core::{Core, RunResult, SimError};
 pub use config::{CoreConfig, OpLatencies, SpearConfig};
 pub use ctx::{CtxId, HwContext, MAIN_CTX, PTHREAD_CTX};
-pub use export::{SimPerf, StatsExport, SCHEMA_VERSION};
+pub use export::{SimPerf, SimpointBlock, StatsExport, SCHEMA_VERSION};
 pub use frontend::{BaselineFrontEnd, FrontEndExt};
 pub use hist::Histogram;
 pub use machine::Machine;

@@ -117,6 +117,23 @@ impl CycleAccount {
         self.ruu_full_cycles += other.ruu_full_cycles;
     }
 
+    /// Add `weight` copies of another account's slot-cycles to this one
+    /// (integer scale-then-sum; see [`CoreStats::merge_scaled`]). Because
+    /// every field scales linearly, the exact-slot invariant is preserved
+    /// for the weighted cycle total.
+    pub fn merge_scaled(&mut self, other: &CycleAccount, weight: u64) {
+        self.useful_slots += other.useful_slots * weight;
+        self.icache_stall += other.icache_stall * weight;
+        self.ifq_empty_after_flush += other.ifq_empty_after_flush * weight;
+        self.branch_recovery += other.branch_recovery * weight;
+        self.dload_miss += other.dload_miss * weight;
+        self.fu_busy += other.fu_busy * weight;
+        self.mem_port_contention += other.mem_port_contention * weight;
+        self.pthread_contention += other.pthread_contention * weight;
+        self.frontend_other += other.frontend_other * weight;
+        self.ruu_full_cycles += other.ruu_full_cycles * weight;
+    }
+
     /// `(label, slot-cycles)` for each lost-slot cause, in a stable
     /// reporting order (largest architectural causes first).
     pub fn causes(&self) -> [(&'static str, u64); 8] {
@@ -727,6 +744,125 @@ impl CoreStats {
             _ => {}
         }
     }
+
+    /// Fold `weight` copies of another run's counters into this one —
+    /// exactly equivalent to calling [`CoreStats::merge`] with `other`
+    /// `weight` times, but in O(1) integer arithmetic, so the result is
+    /// bit-exact regardless of how the work was scheduled. This is the
+    /// SimPoint reconstitution step: one representative interval's
+    /// statistics stand in for every interval of its phase, so the
+    /// whole-program aggregate is the phase-count-weighted sum of the
+    /// representatives.
+    ///
+    /// Every counter scales linearly (including both histograms' value
+    /// distributions and the per-d-load profiles), so all structural
+    /// invariants checked by [`CoreStats::check_invariants`] — exact-slot
+    /// CPI accounting over the scaled cycles, the prefetch partition, the
+    /// committed breakdown — are preserved. The one non-linear statistic
+    /// is the histogram `max`, an order statistic that is the same for 1
+    /// copy or `weight` copies.
+    ///
+    /// Windowed telemetry does *not* scale: repeating a window `weight`
+    /// times would need `weight` copies with shifted `start_cycle`s to
+    /// keep the window partition exact, which is precisely the detail a
+    /// blended estimate cannot reconstruct. Callers must not mix windows
+    /// with weighted merging (the campaign engine rejects
+    /// `--simpoint --window` up front); a weighted merge of windowed
+    /// stats panics in debug builds.
+    pub fn merge_scaled(&mut self, other: &CoreStats, weight: u64) {
+        if weight == 1 {
+            self.merge(other);
+            return;
+        }
+        debug_assert!(
+            other.windows.is_empty() || weight == 0,
+            "windowed telemetry cannot be weight-blended"
+        );
+        if weight == 0 {
+            return;
+        }
+        self.cycles += other.cycles * weight;
+        self.committed += other.committed * weight;
+        self.committed_loads += other.committed_loads * weight;
+        self.committed_stores += other.committed_stores * weight;
+        self.committed_branches += other.committed_branches * weight;
+        self.fetched += other.fetched * weight;
+        self.squashed += other.squashed * weight;
+        self.recoveries += other.recoveries * weight;
+        self.triggers_accepted += other.triggers_accepted * weight;
+        self.triggers_ignored_busy += other.triggers_ignored_busy * weight;
+        self.triggers_rejected_occupancy += other.triggers_rejected_occupancy * weight;
+        self.preexec_aborted_flush += other.preexec_aborted_flush * weight;
+        self.preexec_retargets += other.preexec_retargets * weight;
+        self.preexec_aborted_missed += other.preexec_aborted_missed * weight;
+        self.preexec_completed += other.preexec_completed * weight;
+        self.pthread_insts += other.pthread_insts * weight;
+        self.pthread_loads += other.pthread_loads * weight;
+        self.missed_extractions += other.missed_extractions * weight;
+        self.livein_copy_cycles += other.livein_copy_cycles * weight;
+        self.pthread_faults += other.pthread_faults * weight;
+        self.bpred.cond_branches += other.bpred.cond_branches * weight;
+        self.bpred.cond_correct += other.bpred.cond_correct * weight;
+        self.bpred.indirect += other.bpred.indirect * weight;
+        self.bpred.indirect_correct += other.bpred.indirect_correct * weight;
+        for (mine, theirs) in [(&mut self.l1d, &other.l1d), (&mut self.l2, &other.l2)] {
+            mine.reads += theirs.reads * weight;
+            mine.writes += theirs.writes * weight;
+            mine.read_misses += theirs.read_misses * weight;
+            mine.write_misses += theirs.write_misses * weight;
+            mine.writebacks += theirs.writebacks * weight;
+        }
+        self.l1d_main_misses += other.l1d_main_misses * weight;
+        self.l1d_pthread_misses += other.l1d_pthread_misses * weight;
+        self.useful_prefetches += other.useful_prefetches * weight;
+        self.late_prefetches += other.late_prefetches * weight;
+        self.episode_cycles
+            .merge_scaled(&other.episode_cycles, weight);
+        self.episode_extractions
+            .merge_scaled(&other.episode_extractions, weight);
+        self.cycle_account
+            .merge_scaled(&other.cycle_account, weight);
+        for p in &other.dload_profiles {
+            match self
+                .dload_profiles
+                .binary_search_by_key(&p.dload_pc, |d| d.dload_pc)
+            {
+                Ok(i) => {
+                    let d = &mut self.dload_profiles[i];
+                    d.demand_misses += p.demand_misses * weight;
+                    d.episodes_triggered += p.episodes_triggered * weight;
+                    d.episodes_completed += p.episodes_completed * weight;
+                    d.episodes_aborted += p.episodes_aborted * weight;
+                    d.pthread_loads += p.pthread_loads * weight;
+                    d.timely_prefetches += p.timely_prefetches * weight;
+                    d.late_prefetches += p.late_prefetches * weight;
+                    d.useless_prefetches += p.useless_prefetches * weight;
+                }
+                Err(i) => {
+                    let mut scaled = p.clone();
+                    scaled.demand_misses *= weight;
+                    scaled.episodes_triggered *= weight;
+                    scaled.episodes_completed *= weight;
+                    scaled.episodes_aborted *= weight;
+                    scaled.pthread_loads *= weight;
+                    scaled.timely_prefetches *= weight;
+                    scaled.late_prefetches *= weight;
+                    scaled.useless_prefetches *= weight;
+                    self.dload_profiles.insert(i, scaled);
+                }
+            }
+        }
+        if let Some(theirs) = &other.bpred_detail {
+            let mut scaled = theirs.clone();
+            for (_, v) in &mut scaled.counters {
+                *v *= weight;
+            }
+            match &mut self.bpred_detail {
+                Some(m) => m.merge(&scaled),
+                None => self.bpred_detail = Some(scaled),
+            }
+        }
+    }
 }
 
 /// How a run ended.
@@ -843,6 +979,66 @@ mod tests {
         let d5 = &a.dload_profiles[1];
         assert_eq!(d5.demand_misses, 2);
         assert_eq!(d5.pthread_loads, 4);
+    }
+
+    #[test]
+    fn merge_scaled_matches_repeated_merges_exactly() {
+        let width = 8u64;
+        let mut interval = CoreStats {
+            cycles: 10,
+            committed: 40,
+            committed_loads: 9,
+            committed_stores: 4,
+            committed_branches: 6,
+            l1d_main_misses: 3,
+            pthread_loads: 4,
+            useful_prefetches: 1,
+            late_prefetches: 1,
+            ..Default::default()
+        };
+        interval.cycle_account.useful_slots = 40;
+        interval.cycle_account.dload_miss = 40; // 40 + 40 = 10 * 8
+        interval.bpred.cond_branches = 6;
+        interval.bpred.cond_correct = 5;
+        interval.l1d.reads = 9;
+        interval.l1d.read_misses = 3;
+        interval.dload_profiles = vec![DloadProfile {
+            dload_pc: 5,
+            demand_misses: 2,
+            pthread_loads: 4,
+            timely_prefetches: 1,
+            late_prefetches: 1,
+            useless_prefetches: 2,
+            ..Default::default()
+        }];
+        interval.episode_cycles.record(16);
+        interval.episode_extractions.record(3);
+        interval.bpred_detail = Some(spear_bpred::PredictorDetail {
+            kind: "tage".to_string(),
+            counters: vec![("alloc".to_string(), 7)],
+        });
+        interval.check_invariants(width as usize).unwrap();
+
+        let mut scaled = CoreStats::default();
+        scaled.merge_scaled(&interval, 5);
+        let mut repeated = CoreStats::default();
+        for _ in 0..5 {
+            repeated.merge(&interval);
+        }
+        assert_eq!(scaled, repeated, "scale-then-sum == sum of 5 merges");
+        scaled
+            .check_invariants(width as usize)
+            .expect("exact-slot invariant survives weighting");
+
+        // Weight 0 is a no-op, weight 1 a plain merge.
+        let before = scaled.clone();
+        scaled.merge_scaled(&interval, 0);
+        assert_eq!(scaled, before);
+        let mut one = CoreStats::default();
+        one.merge_scaled(&interval, 1);
+        let mut plain = CoreStats::default();
+        plain.merge(&interval);
+        assert_eq!(one, plain);
     }
 
     #[test]

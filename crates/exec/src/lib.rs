@@ -7,13 +7,17 @@
 //! - [`regfile::RegFile`] — the unified 64-entry register file,
 //! - [`memory::Memory`] — flat bounds-checked data memory,
 //! - [`interp::Interp`] — the in-order interpreter used for workload
-//!   validation, profiling, and differential testing.
+//!   validation, profiling, and differential testing,
+//! - [`bbv::BbvCollector`] — basic-block-vector collection over the
+//!   committed stream, the input to SimPoint phase clustering.
 
+pub mod bbv;
 pub mod interp;
 pub mod memory;
 pub mod regfile;
 pub mod semantics;
 
+pub use bbv::{collect_bbvs, BbvCollector, BbvInterval, DEFAULT_BBV_INTERVAL};
 pub use interp::{ExecError, Interp, StepInfo, Stop};
 pub use memory::Memory;
 pub use regfile::RegFile;

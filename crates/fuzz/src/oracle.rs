@@ -23,7 +23,7 @@
 //! change can promote it.
 
 use crate::gen::ProgramSpec;
-use spear_campaign::{capture_interval_checkpoints, Checkpoint, Warmer};
+use spear_campaign::{capture_checkpoints_at, capture_interval_checkpoints, Checkpoint, Warmer};
 use spear_compiler::{CompilerConfig, SpearCompiler};
 use spear_cpu::{Core, CoreConfig, CoreStats, RunExit, TraceSource};
 use spear_exec::{Interp, Memory, RegFile};
@@ -242,6 +242,7 @@ pub fn check(spec: &ProgramSpec) -> Result<OracleReport, Failure> {
 
     check_checkpoint_roundtrip(&p, &binary, &g, &mut report)?;
     check_sampled_vs_full(&p, &binary, &g, &mut report)?;
+    check_simpoint_vs_full(&p, &binary, &g, &mut report)?;
     check_trace_replay(&binary, &g, &mut report)?;
     Ok(report)
 }
@@ -549,6 +550,160 @@ fn check_sampled_vs_full(
     Ok(())
 }
 
+/// SimPoint oracle over the whole phase-clustering pipeline: collect
+/// per-interval BBVs from the golden interpreter, cluster them, capture
+/// warm checkpoints at the representative boundaries, simulate one
+/// representative per phase, and blend the statistics by phase
+/// population. Checks the structural contract end to end — BBVs tile the
+/// dynamic stream exactly, clustering is deterministic with every
+/// interval in exactly one phase and weights summing to one, each
+/// representative commits its own interval's share, and the blended
+/// aggregate still satisfies the exact-slot invariant with a committed
+/// total within one interval per phase of the golden dynamic length
+/// (the tail interval may stand for — or be represented by —
+/// full-length ones).
+fn check_simpoint_vs_full(
+    p: &Program,
+    binary: &SpearBinary,
+    g: &Golden,
+    report: &mut OracleReport,
+) -> Result<(), Failure> {
+    let label = "SPEAR-128/ctx2/simpoint";
+    let fail = |kind: &str, detail: String| Failure {
+        config: label.to_string(),
+        kind: kind.to_string(),
+        detail,
+    };
+    let cfg = CoreConfig::spear(128);
+    let interval = (g.icount / 4).max(64);
+
+    // Pass A: basic-block vectors must tile the golden stream exactly.
+    let (bbvs, total) =
+        spear_exec::collect_bbvs(p, interval, GOLDEN_BUDGET).map_err(|e| fail("simpoint", e))?;
+    if total != g.icount {
+        return Err(fail(
+            "simpoint",
+            format!("BBV pass counted {total} instructions, golden {}", g.icount),
+        ));
+    }
+    let tiled: u64 = bbvs.iter().map(|b| b.len).sum();
+    if tiled != total {
+        return Err(fail(
+            "simpoint",
+            format!("BBV intervals sum to {tiled}, stream has {total}"),
+        ));
+    }
+
+    // Clustering: deterministic, every interval in exactly one phase,
+    // phase populations summing to n, weights summing to one.
+    let counts: Vec<Vec<(u64, u64)>> = bbvs.iter().map(|b| b.counts.clone()).collect();
+    let sp_cfg = spear_simpoint::SimpointConfig {
+        k: 3,
+        ..Default::default()
+    };
+    let clustering = spear_simpoint::cluster(&counts, &sp_cfg);
+    if spear_simpoint::cluster(&counts, &sp_cfg) != clustering {
+        return Err(fail("simpoint", "clustering is not deterministic".into()));
+    }
+    if clustering.assignments.len() != bbvs.len()
+        || clustering.assignments.iter().any(|&a| a >= clustering.k)
+    {
+        return Err(fail(
+            "simpoint",
+            format!(
+                "{} assignments over {} intervals, k={}",
+                clustering.assignments.len(),
+                bbvs.len(),
+                clustering.k
+            ),
+        ));
+    }
+    let population: u64 = clustering.counts.iter().sum();
+    if population != bbvs.len() as u64 {
+        return Err(fail(
+            "simpoint",
+            format!("phase counts sum to {population}, n={}", bbvs.len()),
+        ));
+    }
+    let weight_sum: f64 = clustering.weights.iter().sum();
+    if (weight_sum - 1.0).abs() > 1e-9 {
+        return Err(fail(
+            "simpoint",
+            format!("weights sum to {weight_sum}, not 1.0"),
+        ));
+    }
+
+    // Pass B: warm checkpoints at the representative boundaries, then
+    // one weighted cycle-level run per phase.
+    let mut reps: Vec<(u64, u64, u64)> = clustering
+        .representatives
+        .iter()
+        .zip(&clustering.counts)
+        .map(|(&r, &c)| (bbvs[r].start_inst, bbvs[r].len, c))
+        .collect();
+    reps.sort_unstable();
+    let boundaries: Vec<u64> = reps.iter().map(|&(s, _, _)| s).collect();
+    let set = capture_checkpoints_at(p, "fuzz", cfg.hier, cfg.bpred, &boundaries, GOLDEN_BUDGET)
+        .map_err(|e| fail("simpoint", e))?;
+    if set.total_insts != total || set.checkpoints.len() != reps.len() {
+        return Err(fail(
+            "simpoint",
+            format!(
+                "warming pass saw {} instructions / {} checkpoints, wanted {total} / {}",
+                set.total_insts,
+                set.checkpoints.len(),
+                reps.len()
+            ),
+        ));
+    }
+    let overshoot = cfg.commit_width as u64 - 1;
+    let mut blended = CoreStats::default();
+    let mut blended_committed = 0u64;
+    for (cp, &(start, len, weight)) in set.checkpoints.iter().zip(&reps) {
+        let mut core = Core::new(binary, cfg.clone());
+        cp.restore_into(&mut core)
+            .map_err(|e| fail("checkpoint", e))?;
+        let res = core
+            .run(CYCLE_BUDGET, interval)
+            .map_err(|e| fail("sim-error", e.to_string()))?;
+        let committed = res.stats.committed;
+        let ok = if len < interval {
+            res.exit == RunExit::Halted && committed == len
+        } else {
+            (interval..=interval + overshoot).contains(&committed)
+        };
+        if !ok {
+            return Err(fail(
+                "simpoint",
+                format!(
+                    "representative at {start} (len {len}) retired {committed} (exit {:?})",
+                    res.exit
+                ),
+            ));
+        }
+        res.stats
+            .check_invariants(8)
+            .map_err(|e| fail("invariants", e))?;
+        blended.merge_scaled(&res.stats, weight);
+        blended_committed += committed * weight;
+    }
+    blended
+        .check_invariants(8)
+        .map_err(|e| fail("invariants", format!("blended aggregate: {e}")))?;
+    let slack = clustering.k as u64 * (interval + overshoot);
+    if blended_committed.abs_diff(g.icount) > slack {
+        return Err(fail(
+            "simpoint",
+            format!(
+                "blended committed {blended_committed}, golden {} (slack {slack})",
+                g.icount
+            ),
+        ));
+    }
+    report.configs_checked += 1;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,8 +741,9 @@ mod tests {
         let report = check(&spec).expect("clean tree must pass");
         assert!(report.golden_icount > 0);
         // 9 matrix configs (3 machines x {ctx2, ctx4, ctx2+tage}) +
-        // checkpoint round-trip + two sampled passes + trace replay.
-        assert_eq!(report.configs_checked, 13);
+        // checkpoint round-trip + two sampled passes + the simpoint
+        // blend + trace replay.
+        assert_eq!(report.configs_checked, 14);
     }
 
     #[test]

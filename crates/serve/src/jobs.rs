@@ -57,6 +57,16 @@ pub struct JobSpec {
     /// Stop after this many cells per server run (`--max-cells`; the
     /// job resumes on the next server start).
     pub max_cells: Option<u64>,
+    /// Run each workload as a SimPoint phase-clustered campaign
+    /// (`--simpoint`): simulate one weighted representative interval
+    /// per phase instead of every interval.
+    pub simpoint: bool,
+    /// Fixed phase count (`--simpoint-k`); providing it implies
+    /// `simpoint`, and `0`/absent means BIC auto-selection.
+    pub simpoint_k: Option<u64>,
+    /// Clustering seed (`--simpoint-seed`); providing it implies
+    /// `simpoint`. Absent means the default seed.
+    pub simpoint_seed: Option<u64>,
 }
 
 impl Default for JobSpec {
@@ -71,6 +81,9 @@ impl Default for JobSpec {
             stride: 1,
             window: None,
             max_cells: None,
+            simpoint: false,
+            simpoint_k: None,
+            simpoint_seed: None,
         }
     }
 }
@@ -89,6 +102,9 @@ impl Serialize for JobSpec {
             ("stride".into(), self.stride.to_value()),
             ("window".into(), self.window.to_value()),
             ("max_cells".into(), self.max_cells.to_value()),
+            ("simpoint".into(), self.simpoint.to_value()),
+            ("simpoint_k".into(), self.simpoint_k.to_value()),
+            ("simpoint_seed".into(), self.simpoint_seed.to_value()),
         ])
     }
 }
@@ -116,6 +132,9 @@ impl Deserialize for JobSpec {
             stride: opt(v, "stride", d.stride)?,
             window: opt(v, "window", d.window)?,
             max_cells: opt(v, "max_cells", d.max_cells)?,
+            simpoint: opt(v, "simpoint", d.simpoint)?,
+            simpoint_k: opt(v, "simpoint_k", d.simpoint_k)?,
+            simpoint_seed: opt(v, "simpoint_seed", d.simpoint_seed)?,
         })
     }
 }
@@ -137,7 +156,7 @@ impl JobSpec {
             return Err("spec needs at least one workload".into());
         }
         for name in &workloads {
-            if spear_workloads::by_name(name).is_none() {
+            if spear_workloads::by_spec(name).is_none() {
                 return Err(format!("unknown workload `{name}`"));
             }
         }
@@ -152,6 +171,27 @@ impl JobSpec {
         }
         if self.interval == 0 || self.stride == 0 {
             return Err("interval and stride must be nonzero".into());
+        }
+        // `simpoint_k` / `simpoint_seed` imply simpoint, exactly like the
+        // CLI's `--simpoint-k` / `--simpoint-seed` flags.
+        let simpoint = (self.simpoint || self.simpoint_k.is_some() || self.simpoint_seed.is_some())
+            .then(|| spear_campaign::SimpointSpec {
+                k: self.simpoint_k.unwrap_or(0),
+                seed: self
+                    .simpoint_seed
+                    .unwrap_or(spear_campaign::SimpointSpec::default().seed),
+            });
+        if simpoint.is_some() {
+            if self.window.is_some() {
+                return Err(
+                    "simpoint is incompatible with window: windowed telemetry cannot be \
+                     weight-blended"
+                        .into(),
+                );
+            }
+            if self.stride != 1 {
+                return Err("simpoint requires stride 1 (phases replace systematic skip)".into());
+            }
         }
         let mut bpreds = Vec::new();
         let default_bpreds = ["bimodal".to_string()];
@@ -204,6 +244,7 @@ impl JobSpec {
                     n
                 }
             }),
+            simpoint,
         })
     }
 }
@@ -407,6 +448,9 @@ mod tests {
             stride: 2,
             window: Some(0),
             max_cells: None,
+            simpoint: true,
+            simpoint_k: Some(4),
+            simpoint_seed: Some(7),
         };
         let text = serde::json::to_string(&spec);
         let back: JobSpec = serde::json::from_str(&text).unwrap();
@@ -429,6 +473,54 @@ mod tests {
         assert!(
             spec.frontends.is_empty(),
             "frontends defaults to the historical program grid"
+        );
+        assert!(!spec.simpoint, "simpoint defaults off");
+        assert_eq!(spec.simpoint_k, None);
+        assert_eq!(spec.simpoint_seed, None);
+    }
+
+    #[test]
+    fn resolve_maps_simpoint_and_rejects_bad_combinations() {
+        let mut spec = JobSpec {
+            workloads: vec!["pointer".into(), "pointer@x100".into()],
+            machines: vec!["baseline".into()],
+            simpoint: true,
+            ..JobSpec::default()
+        };
+        let resolved = spec.resolve(2).unwrap();
+        assert_eq!(
+            resolved.simpoint,
+            Some(spear_campaign::SimpointSpec { k: 0, seed: 42 }),
+            "bare simpoint means auto-k with the default seed"
+        );
+        assert_eq!(
+            resolved.workloads,
+            vec!["pointer".to_string(), "pointer@x100".to_string()],
+            "scaled workload specs survive resolution verbatim"
+        );
+
+        // k/seed imply simpoint even when the flag itself is omitted.
+        spec.simpoint = false;
+        spec.simpoint_k = Some(4);
+        spec.simpoint_seed = Some(7);
+        assert_eq!(
+            spec.resolve(2).unwrap().simpoint,
+            Some(spear_campaign::SimpointSpec { k: 4, seed: 7 })
+        );
+
+        spec.window = Some(0);
+        assert!(spec
+            .resolve(2)
+            .unwrap_err()
+            .contains("incompatible with window"));
+        spec.window = None;
+        spec.stride = 2;
+        assert!(spec.resolve(2).unwrap_err().contains("requires stride 1"));
+        spec.stride = 1;
+        spec.workloads = vec!["pointer@x0".into()];
+        assert!(
+            spec.resolve(2).unwrap_err().contains("unknown workload"),
+            "a zero scale multiplier is rejected"
         );
     }
 

@@ -289,6 +289,11 @@ fn run_one(state: &State, id: &str) {
         }
     };
     let cdir = jobs::campaign_dir(&state.root, id);
+    // Captured now because the spec moves into the campaign: simpoint
+    // envelopes carry a provenance block stamped at aggregation time.
+    let envelope_simpoint = resolved
+        .simpoint
+        .map(|sp| (sp, resolved.sample.interval_len));
     let campaign = Campaign::new(&cdir, resolved);
     let on_progress = |p: &ProgressSnapshot| {
         let mut reg = state.registry.lock();
@@ -320,7 +325,11 @@ fn run_one(state: &State, id: &str) {
             finish(JobState::Failed, Some(e));
         }
         Ok(summary) if !summary.interrupted => {
-            match spear_campaign::write_aggregate_envelopes(&cdir, &summary.results) {
+            match spear_campaign::write_aggregate_envelopes(
+                &cdir,
+                &summary.results,
+                envelope_simpoint,
+            ) {
                 Ok(files) => {
                     let names: Vec<String> = files
                         .iter()

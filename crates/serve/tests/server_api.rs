@@ -110,7 +110,7 @@ fn job_lifecycle_and_byte_identical_aggregates() {
     let summary = spear_campaign::Campaign::new(&ref_dir, spec.resolve(2).unwrap())
         .run(None)
         .expect("reference campaign");
-    spear_campaign::write_aggregate_envelopes(&ref_dir, &summary.results).unwrap();
+    spear_campaign::write_aggregate_envelopes(&ref_dir, &summary.results, None).unwrap();
 
     let srv_dir = root
         .join("jobs")

@@ -1,0 +1,399 @@
+//! # spear-simpoint — SimPoint-style phase clustering
+//!
+//! Groups the per-interval basic-block vectors (BBVs) of a program run
+//! into *phases* and picks one representative interval per phase, so a
+//! campaign can simulate a handful of intervals and reconstitute
+//! whole-program statistics as the phase-count-weighted blend — the
+//! Sherwood et al. SimPoint recipe:
+//!
+//! 1. each interval's sparse BBV is normalized to a frequency vector and
+//!    reduced to a small dense vector by a seeded random projection;
+//! 2. the projected vectors are clustered with k-means (k fixed by the
+//!    caller, or chosen by the BIC over `1..=max_k`);
+//! 3. each cluster's representative is the interval closest to its
+//!    centroid, weighted by the cluster's interval count.
+//!
+//! Everything is deterministic for a fixed seed, and — unusually for
+//! k-means — *invariant under reordering of the input intervals*: the
+//! projection is a pure function of the block id (not of matrix
+//! position), initialization is farthest-first from the lexicographically
+//! smallest projected vector, centroid sums are accumulated in a
+//! content-sorted canonical order, and all ties break on vector content.
+//! Two runs over the same interval multiset therefore produce the same
+//! phases, weights, and representative vectors, no matter how the
+//! intervals were laid out. This is what makes SimPoint parameters safe
+//! to put in campaign manifests and shard-cache keys.
+
+/// Clustering parameters. `seed` feeds the random projection; `k == 0`
+/// selects k automatically by the BIC over `1..=max_k`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimpointConfig {
+    /// Number of phases; 0 = choose by BIC.
+    pub k: usize,
+    /// Largest k considered when `k == 0`.
+    pub max_k: usize,
+    /// Random-projection target dimensionality.
+    pub dims: usize,
+    /// Projection seed.
+    pub seed: u64,
+}
+
+impl Default for SimpointConfig {
+    fn default() -> Self {
+        SimpointConfig {
+            k: 0,
+            max_k: 8,
+            dims: 16,
+            seed: 42,
+        }
+    }
+}
+
+/// The result of clustering `n` intervals into `k` phases.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Clustering {
+    /// Number of (non-empty) phases.
+    pub k: usize,
+    /// Phase of each interval, `assignments[i] < k`. Phase labels are
+    /// canonical (ordered by centroid content), so they are stable under
+    /// interval reordering.
+    pub assignments: Vec<usize>,
+    /// Representative interval index per phase (the interval closest to
+    /// the phase centroid).
+    pub representatives: Vec<usize>,
+    /// Intervals per phase; sums to `n`.
+    pub counts: Vec<u64>,
+    /// `counts` normalized to sum to 1.0.
+    pub weights: Vec<f64>,
+}
+
+/// Cluster one run's BBVs. Each BBV is a sparse, id-sorted
+/// `(block id, instruction count)` vector as produced by
+/// `spear_exec::BbvCollector`. Panics on an empty input.
+pub fn cluster(bbvs: &[Vec<(u64, u64)>], cfg: &SimpointConfig) -> Clustering {
+    assert!(!bbvs.is_empty(), "cannot cluster zero intervals");
+    let dims = cfg.dims.max(1);
+    let points: Vec<Vec<f64>> = bbvs.iter().map(|b| project(b, dims, cfg.seed)).collect();
+    let n = points.len();
+    let k = if cfg.k > 0 {
+        cfg.k.min(n)
+    } else {
+        choose_k_by_bic(&points, cfg.max_k.max(1).min(n))
+    };
+    let (assignments, centroids) = kmeans(&points, k);
+    finalize(&points, assignments, centroids)
+}
+
+/// Project one sparse BBV onto `dims` pseudo-random axes. The BBV is
+/// first normalized by its instruction total, so intervals of unequal
+/// length (the trailing partial interval) compare by *profile*, not by
+/// volume; each block id contributes along a direction derived from a
+/// hash of `(seed, id, axis)` — a pure function of the id, independent
+/// of which other blocks exist in the matrix.
+pub fn project(bbv: &[(u64, u64)], dims: usize, seed: u64) -> Vec<f64> {
+    let total: u64 = bbv.iter().map(|&(_, c)| c).sum();
+    let mut v = vec![0.0f64; dims];
+    if total == 0 {
+        return v;
+    }
+    for &(id, c) in bbv {
+        let f = c as f64 / total as f64;
+        for (d, slot) in v.iter_mut().enumerate() {
+            *slot += f * unit_hash(seed, id, d as u64);
+        }
+    }
+    v
+}
+
+/// Deterministic hash of `(seed, id, axis)` mapped to `[-1, 1)`.
+fn unit_hash(seed: u64, id: u64, axis: u64) -> f64 {
+    let h = splitmix64(
+        splitmix64(seed ^ 0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(splitmix64(id).rotate_left(17))
+            .wrapping_add(axis.wrapping_mul(0xbf58_476d_1ce4_e5b9)),
+    );
+    ((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Lexicographic comparison of two vectors by `f64::total_cmp`.
+fn lex_cmp(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        match x.total_cmp(y) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Indices of `points` in canonical (content-lexicographic) order. All
+/// order-sensitive arithmetic walks points in this order, which is what
+/// makes the clustering invariant under input reordering.
+fn canonical_order(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| lex_cmp(&points[a], &points[b]));
+    order
+}
+
+/// Deterministic, order-invariant k-means. Returns per-point cluster
+/// indices and the final centroids (some possibly empty).
+fn kmeans(points: &[Vec<f64>], k: usize) -> (Vec<usize>, Vec<Vec<f64>>) {
+    let n = points.len();
+    let k = k.min(n).max(1);
+    let order = canonical_order(points);
+
+    // Farthest-first init, seeded from the lexicographically smallest
+    // point. Ties on distance break toward the lexicographically
+    // smallest candidate (the canonical walk visits it first).
+    let mut centroids: Vec<Vec<f64>> = vec![points[order[0]].clone()];
+    let mut nearest: Vec<f64> = points.iter().map(|p| dist2(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let mut best: Option<(usize, f64)> = None;
+        for &i in &order {
+            if best.is_none_or(|(_, d)| nearest[i] > d) {
+                best = Some((i, nearest[i]));
+            }
+        }
+        let (far, d) = best.expect("nonempty points");
+        if d == 0.0 {
+            break; // fewer distinct points than k
+        }
+        let c = points[far].clone();
+        for (i, p) in points.iter().enumerate() {
+            nearest[i] = nearest[i].min(dist2(p, &c));
+        }
+        centroids.push(c);
+    }
+
+    let mut assignments = vec![0usize; n];
+    for _ in 0..100 {
+        // Assign: nearest centroid, ties to the lowest centroid index
+        // (centroid order is itself content-determined).
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (j, c) in centroids.iter().enumerate() {
+                let d = dist2(p, c);
+                if d < best_d {
+                    best = j;
+                    best_d = d;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update: accumulate in canonical order so floating-point sums
+        // are bit-identical regardless of input order. Empty clusters
+        // keep their previous centroid.
+        let dims = centroids[0].len();
+        let mut sums = vec![vec![0.0f64; dims]; centroids.len()];
+        let mut counts = vec![0u64; centroids.len()];
+        for &i in &order {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(&points[i]) {
+                *s += x;
+            }
+        }
+        for (j, c) in centroids.iter_mut().enumerate() {
+            if counts[j] > 0 {
+                for (slot, s) in c.iter_mut().zip(&sums[j]) {
+                    *slot = s / counts[j] as f64;
+                }
+            }
+        }
+    }
+    (assignments, centroids)
+}
+
+/// Drop empty clusters, relabel phases canonically (by centroid
+/// content), and pick representatives and weights.
+fn finalize(points: &[Vec<f64>], assignments: Vec<usize>, centroids: Vec<Vec<f64>>) -> Clustering {
+    let n = points.len();
+    let mut counts_raw = vec![0u64; centroids.len()];
+    for &a in &assignments {
+        counts_raw[a] += 1;
+    }
+    // Canonical phase order: non-empty clusters sorted by centroid.
+    let mut live: Vec<usize> = (0..centroids.len())
+        .filter(|&j| counts_raw[j] > 0)
+        .collect();
+    live.sort_by(|&a, &b| lex_cmp(&centroids[a], &centroids[b]));
+    let mut relabel = vec![usize::MAX; centroids.len()];
+    for (new, &old) in live.iter().enumerate() {
+        relabel[old] = new;
+    }
+    let k = live.len();
+    let assignments: Vec<usize> = assignments.into_iter().map(|a| relabel[a]).collect();
+    let counts: Vec<u64> = live.iter().map(|&j| counts_raw[j]).collect();
+    let order = canonical_order(points);
+    let mut representatives = vec![usize::MAX; k];
+    let mut best_d = vec![f64::INFINITY; k];
+    // Walk canonically so distance ties resolve to the lexicographically
+    // smallest member; the `<` keeps the first (smallest) of exact ties.
+    for &i in &order {
+        let phase = assignments[i];
+        let d = dist2(&points[i], &centroids[live[phase]]);
+        if d < best_d[phase] {
+            best_d[phase] = d;
+            representatives[phase] = i;
+        }
+    }
+    let weights: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+    Clustering {
+        k,
+        assignments,
+        representatives,
+        counts,
+        weights,
+    }
+}
+
+/// Pick k by the Bayesian information criterion (the x-means/SimPoint
+/// spherical-Gaussian form), choosing the smallest k whose
+/// range-normalized score reaches 90% of the best — SimPoint's standard
+/// "good enough and small" rule.
+fn choose_k_by_bic(points: &[Vec<f64>], max_k: usize) -> usize {
+    let mut scores: Vec<(usize, f64)> = Vec::new();
+    for k in 1..=max_k {
+        let (assignments, centroids) = kmeans(points, k);
+        scores.push((k, bic(points, &assignments, &centroids)));
+    }
+    let lo = scores.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+    let hi = scores
+        .iter()
+        .map(|&(_, s)| s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !(hi - lo).is_finite() || hi - lo <= 0.0 {
+        return 1;
+    }
+    for &(k, s) in &scores {
+        if (s - lo) / (hi - lo) >= 0.9 {
+            return k;
+        }
+    }
+    scores.last().map(|&(k, _)| k).unwrap_or(1)
+}
+
+fn bic(points: &[Vec<f64>], assignments: &[usize], centroids: &[Vec<f64>]) -> f64 {
+    let n = points.len() as f64;
+    let d = centroids.first().map_or(1, Vec::len) as f64;
+    let mut counts = vec![0u64; centroids.len()];
+    let mut rss = 0.0;
+    for (p, &a) in points.iter().zip(assignments) {
+        counts[a] += 1;
+        rss += dist2(p, &centroids[a]);
+    }
+    let k = counts.iter().filter(|&&c| c > 0).count() as f64;
+    let sigma2 = (rss / (n - k).max(1.0)).max(1e-12);
+    let mut ll = -(n * d / 2.0) * (2.0 * std::f64::consts::PI * sigma2).ln() - (n - k) / 2.0;
+    for &c in &counts {
+        if c > 0 {
+            ll += c as f64 * (c as f64 / n).ln();
+        }
+    }
+    let params = k * (d + 1.0);
+    ll - (params / 2.0) * n.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two obviously distinct phases: intervals dominated by block A vs
+    /// intervals dominated by block B.
+    fn two_phase_matrix() -> Vec<Vec<(u64, u64)>> {
+        let a = vec![(0u64, 90u64), (8, 10)];
+        let b = vec![(512u64, 95u64), (520, 5)];
+        vec![
+            a.clone(),
+            a.clone(),
+            b.clone(),
+            a.clone(),
+            b.clone(),
+            b.clone(),
+            b,
+        ]
+    }
+
+    #[test]
+    fn fixed_k_splits_the_obvious_phases() {
+        let c = cluster(
+            &two_phase_matrix(),
+            &SimpointConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(c.k, 2);
+        assert_eq!(c.assignments.len(), 7);
+        // Intervals 0,1,3 together; 2,4,5,6 together.
+        assert_eq!(c.assignments[0], c.assignments[1]);
+        assert_eq!(c.assignments[0], c.assignments[3]);
+        assert_eq!(c.assignments[2], c.assignments[4]);
+        assert_ne!(c.assignments[0], c.assignments[2]);
+        let mut counts = c.counts.clone();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![3, 4]);
+        // The representative of each phase is a member of it.
+        for (phase, &rep) in c.representatives.iter().enumerate() {
+            assert_eq!(c.assignments[rep], phase);
+        }
+    }
+
+    #[test]
+    fn auto_k_finds_the_two_phases() {
+        let c = cluster(&two_phase_matrix(), &SimpointConfig::default());
+        assert_eq!(c.k, 2, "BIC should resolve two well-separated phases");
+    }
+
+    #[test]
+    fn k_larger_than_distinct_points_collapses() {
+        let m = vec![vec![(0u64, 10u64)]; 5];
+        let c = cluster(
+            &m,
+            &SimpointConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(c.k, 1, "identical intervals form one phase");
+        assert_eq!(c.counts, vec![5]);
+        assert!((c.weights[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unequal_interval_lengths_compare_by_profile() {
+        // A short tail interval with the same block mix as a full one
+        // lands in the same phase: vectors are frequency-normalized.
+        let full = vec![(0u64, 900u64), (8, 100)];
+        let tail = vec![(0u64, 9u64), (8, 1)];
+        let other = vec![(512u64, 1000u64)];
+        let c = cluster(
+            &[full, other, tail],
+            &SimpointConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(c.assignments[0], c.assignments[2]);
+        assert_ne!(c.assignments[0], c.assignments[1]);
+    }
+}

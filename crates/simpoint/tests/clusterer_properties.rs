@@ -1,0 +1,145 @@
+//! Property tests for the SimPoint clusterer over randomly generated
+//! BBV matrices: determinism for a fixed seed, exactly-one-phase
+//! assignment, weights summing to 1.0, and invariance of the clustering
+//! under interval reordering.
+
+use proptest::prelude::*;
+use spear_simpoint::{cluster, project, Clustering, SimpointConfig};
+
+/// A random BBV matrix: 1..24 intervals, each a sparse id-sorted vector
+/// drawn from a small universe of block ids so intervals genuinely
+/// share blocks (as real program phases do).
+fn arb_matrix() -> impl Strategy<Value = Vec<Vec<(u64, u64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u64..32, 1u64..1000), 1..8),
+        1..24,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|mut row| {
+                // Collapse duplicate ids and sort, as the collector would.
+                row.sort_by_key(|&(id, _)| id);
+                let mut out: Vec<(u64, u64)> = Vec::new();
+                for (id, c) in row {
+                    match out.last_mut() {
+                        Some((last, n)) if *last == id => *n += c,
+                        _ => out.push((id, c)),
+                    }
+                }
+                out
+            })
+            .collect()
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = SimpointConfig> {
+    (0usize..5, 1u64..4).prop_map(|(k, seed)| SimpointConfig {
+        k,
+        max_k: 6,
+        dims: 8,
+        seed,
+    })
+}
+
+/// A deterministic permutation of `0..n` derived from `salt`.
+fn permutation(n: usize, salt: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for i in (1..n).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        idx.swap(i, (state as usize) % (i + 1));
+    }
+    idx
+}
+
+fn check_well_formed(c: &Clustering, n: usize) {
+    assert!(c.k >= 1);
+    assert_eq!(c.assignments.len(), n, "every interval gets a phase");
+    assert!(
+        c.assignments.iter().all(|&a| a < c.k),
+        "every assignment names a live phase"
+    );
+    assert_eq!(c.representatives.len(), c.k);
+    assert_eq!(c.counts.len(), c.k);
+    assert_eq!(c.weights.len(), c.k);
+    assert_eq!(
+        c.counts.iter().sum::<u64>(),
+        n as u64,
+        "phase counts partition the intervals"
+    );
+    assert!(c.counts.iter().all(|&cnt| cnt > 0), "no empty phases");
+    for (phase, &rep) in c.representatives.iter().enumerate() {
+        assert!(rep < n);
+        assert_eq!(
+            c.assignments[rep], phase,
+            "a phase's representative belongs to it"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn clustering_is_deterministic_and_well_formed(
+        m in arb_matrix(),
+        cfg in arb_config(),
+    ) {
+        let a = cluster(&m, &cfg);
+        check_well_formed(&a, m.len());
+        let b = cluster(&m, &cfg);
+        prop_assert_eq!(a, b, "same matrix + seed => same clustering");
+    }
+
+    #[test]
+    fn weights_sum_to_one(m in arb_matrix(), cfg in arb_config()) {
+        let c = cluster(&m, &cfg);
+        let sum: f64 = c.weights.iter().sum();
+        prop_assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "weights sum to {} != 1.0", sum
+        );
+        for (w, &cnt) in c.weights.iter().zip(&c.counts) {
+            prop_assert!((w - cnt as f64 / m.len() as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clustering_is_invariant_under_interval_reordering(
+        m in arb_matrix(),
+        cfg in arb_config(),
+        salt in 1u64..1000,
+    ) {
+        let base = cluster(&m, &cfg);
+        let perm = permutation(m.len(), salt);
+        let shuffled: Vec<Vec<(u64, u64)>> =
+            perm.iter().map(|&i| m[i].clone()).collect();
+        let re = cluster(&shuffled, &cfg);
+
+        prop_assert_eq!(re.k, base.k, "same number of phases");
+        prop_assert_eq!(&re.counts, &base.counts, "same phase sizes");
+        prop_assert_eq!(&re.weights, &base.weights, "same weights");
+        // Phase labels are canonical, so shuffled interval j (= original
+        // interval perm[j]) must land in the same-named phase.
+        for (j, &orig) in perm.iter().enumerate() {
+            prop_assert_eq!(
+                re.assignments[j], base.assignments[orig],
+                "interval {}'s phase must survive reordering", orig
+            );
+        }
+        // Representatives may differ in *index* (intervals with the same
+        // frequency profile are interchangeable), but each phase's
+        // representative must be the same point in clustering space —
+        // i.e. bit-identical after normalization + projection.
+        for phase in 0..re.k {
+            prop_assert_eq!(
+                project(&shuffled[re.representatives[phase]], cfg.dims, cfg.seed),
+                project(&m[base.representatives[phase]], cfg.dims, cfg.seed),
+                "phase {}'s representative must survive reordering",
+                phase
+            );
+        }
+    }
+}

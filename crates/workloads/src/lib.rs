@@ -15,4 +15,4 @@ pub mod specsuite;
 pub mod stressmark;
 pub mod util;
 
-pub use spec::{all, by_name, Input, Suite, Workload, FIG9_SET};
+pub use spec::{all, by_name, by_spec, Input, Suite, Workload, FIG9_SET};

@@ -80,6 +80,16 @@ impl Workload {
     pub fn eval_program(&self) -> Program {
         (self.build)(self.eval_input)
     }
+
+    /// Build with the evaluation input scaled `mult`× — the paper-scale
+    /// knob. Only the *evaluation* run grows: profiling stays on its own
+    /// (different, unscaled) input, preserving the paper's profile-vs-
+    /// simulate data-set split at every scale.
+    pub fn eval_program_scaled(&self, mult: u32) -> Program {
+        let mut input = self.eval_input;
+        input.scale = input.scale.saturating_mul(mult.max(1));
+        (self.build)(input)
+    }
 }
 
 /// All 15 benchmarks, in Table 1 order.
@@ -106,6 +116,22 @@ pub fn all() -> Vec<Workload> {
 /// Look up a workload by its abbreviation.
 pub fn by_name(name: &str) -> Option<Workload> {
     all().into_iter().find(|w| w.name == name)
+}
+
+/// Look up a workload by *spec*: either a plain abbreviation (`mcf`) or
+/// an abbreviation with a scale suffix (`mcf@x100`), the campaign-level
+/// `--scale` syntax for paper-scale instruction counts. Returns the base
+/// workload and the evaluation-scale multiplier (1 for a plain name).
+/// The full spec string stays the workload's identity downstream
+/// (manifests, shard-cache keys, cell records, envelope file names).
+pub fn by_spec(spec: &str) -> Option<(Workload, u32)> {
+    match spec.split_once("@x") {
+        None => by_name(spec).map(|w| (w, 1)),
+        Some((name, mult)) => {
+            let mult: u32 = mult.parse().ok().filter(|&m| m > 0)?;
+            by_name(name).map(|w| (w, mult))
+        }
+    }
 }
 
 /// The six benchmarks of the Figure 9 latency sweep.
@@ -155,5 +181,36 @@ mod tests {
     #[test]
     fn by_name_misses_unknown() {
         assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn by_spec_parses_scale_suffixes() {
+        let (w, mult) = by_spec("mcf").expect("plain name");
+        assert_eq!((w.name, mult), ("mcf", 1));
+        let (w, mult) = by_spec("mcf@x100").expect("scaled name");
+        assert_eq!((w.name, mult), ("mcf", 100));
+        assert!(by_spec("mcf@x0").is_none(), "zero scale is invalid");
+        assert!(by_spec("mcf@xbig").is_none(), "non-numeric scale");
+        assert!(by_spec("nonesuch@x10").is_none(), "unknown base name");
+    }
+
+    #[test]
+    fn scaled_eval_runs_longer_and_profiling_is_untouched() {
+        let w = by_name("mcf").unwrap();
+        let base_len = dynamic_len(&w.eval_program());
+        let scaled_len = dynamic_len(&w.eval_program_scaled(4));
+        assert!(
+            scaled_len > base_len * 2,
+            "4x scale must grow the evaluation run: {base_len} -> {scaled_len}"
+        );
+        // A scale of 1 is the identity.
+        assert_eq!(dynamic_len(&w.eval_program_scaled(1)), base_len);
+    }
+
+    fn dynamic_len(p: &Program) -> u64 {
+        let mut i = spear_exec::Interp::new(p);
+        i.run(2_000_000_000).expect("workload executes");
+        assert!(i.halted, "workload halts");
+        i.icount
     }
 }

@@ -463,7 +463,7 @@ pub fn equake_reference(input: Input) -> u64 {
 /// Rust reference for `art` (used by the golden-value test).
 pub fn art_reference(input: Input) -> u64 {
     const INPUTS: usize = 1 << 10;
-    let neurons = input.scale as usize;
+    let neurons = (input.scale as usize).min(16_384);
     let w = uniform_f64(neurons * INPUTS, input.seed ^ 0xA1);
     let xv = uniform_f64(INPUTS, input.seed ^ 0xA2);
     let sums: Vec<f64> = (0..neurons)
@@ -493,7 +493,11 @@ pub fn art_reference(input: Input) -> u64 {
 pub fn art() -> Workload {
     fn build(input: Input) -> Program {
         const INPUTS: i64 = 1 << 10; // 1024 inputs (8 KiB x, resident)
-        let neurons = input.scale as i64;
+
+        // Each neuron owns an 8 KiB weight row; scaled inputs (`art@xN`)
+        // cap at 16 Ki neurons (128 MiB of weights) instead of growing
+        // the image without bound. Must match `art_reference`.
+        let neurons = (input.scale as i64).min(16_384);
         let mut a = Asm::new();
         let w = uniform_f64((neurons * INPUTS) as usize, input.seed ^ 0xA1);
         let xv = uniform_f64(INPUTS as usize, input.seed ^ 0xA2);

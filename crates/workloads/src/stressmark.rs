@@ -348,7 +348,10 @@ pub fn tr() -> Workload {
         // runs fast and *port-bound* — exactly the regime where a shared
         // p-thread's extra memory traffic hurts and dedicated units help.
         const N: i64 = 128;
-        let k_rounds = input.scale as i64;
+        // Floyd-Warshall pivots index rows of w, so k must stay below N;
+        // scaled inputs (`tr@xN`) cap here instead of walking off the
+        // 128 KiB image.
+        let k_rounds = (input.scale as i64).min(N);
         let mut a = Asm::new();
         let w: Vec<u64> = uniform_indices((N * N) as usize, 4_000, input.seed)
             .into_iter()

@@ -12,4 +12,5 @@ pub use spear_cpu as cpu;
 pub use spear_exec as exec;
 pub use spear_isa as isa;
 pub use spear_mem as mem;
+pub use spear_simpoint as simpoint;
 pub use spear_workloads as workloads;

@@ -79,6 +79,7 @@ fn campaign_stats_json_identical_across_thread_counts() {
         threads,
         max_cells: None,
         window: None,
+        simpoint: None,
     };
     let base = std::env::temp_dir().join(format!("spear-det-campaign-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
